@@ -1,0 +1,85 @@
+// Extension bench: hypothetical technology scaling.
+//
+// Section 5 closes with "a smaller technology node with ultra-high speed and
+// large leakage might consume more than a larger techno with better balanced
+// alpha, Io, zeta ... when considering the same performances."  This bench
+// quantifies the remark with the scaling model of tech/scaling.h applied to
+// the calibrated Wallace multiplier.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "calib/calibrate.h"
+#include "power/optimum.h"
+#include "tech/scaling.h"
+#include "tech/stm_cmos09.h"
+#include "util/table.h"
+
+namespace optpower {
+namespace {
+
+void print_scaling() {
+  bench::print_header("Extension: optimal power across hypothetical scaled nodes (Wallace)");
+  const CalibratedModel cal =
+      calibrate_from_table1_row(*find_table1_row("Wallace"), stm_cmos09_ll());
+  const Technology base = cal.model.tech();
+
+  Table t({"Node scale", "Io [uA]", "zeta [pF]", "alpha", "Vdd*", "Vth*", "Ptot uW"});
+  for (const double ratio : {1.0, 0.9, 0.69, 0.5, 0.35}) {
+    ScalingModel model;  // default: leakage-aggressive scaling
+    const Technology scaled = scale_technology(base, ratio, model);
+    const PowerModel pm(scaled, cal.model.arch());
+    const OptimumResult opt = find_optimum(pm, kPaperFrequency);
+    t.add_row({strprintf("%.2fx (%.0f nm-ish)", ratio, 130.0 * ratio),
+               strprintf("%.2f", scaled.io * 1e6), strprintf("%.2f", scaled.zeta * 1e12),
+               strprintf("%.2f", scaled.alpha), bench::volts(opt.point.vdd),
+               bench::volts(opt.point.vth), bench::uw(opt.point.ptot)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf(
+      "With leakage-aggressive scaling (io ~ s^-2, alpha drifting toward 1), the\n"
+      "optimal total power at fixed 31.25 MHz throughput eventually RISES as the\n"
+      "node shrinks - the paper's closing observation.  A milder leakage exponent\n"
+      "keeps scaling beneficial:\n");
+  Table t2({"Node scale", "g=1 Ptot uW", "g=2 Ptot uW", "g=3 Ptot uW"});
+  for (const double ratio : {1.0, 0.69, 0.5, 0.35}) {
+    std::vector<std::string> row{strprintf("%.2fx", ratio)};
+    for (const double g : {1.0, 2.0, 3.0}) {
+      ScalingModel model;
+      model.leakage_aggressiveness = g;
+      const Technology scaled = scale_technology(base, ratio, model);
+      const OptimumResult opt = find_optimum(PowerModel(scaled, cal.model.arch()), kPaperFrequency);
+      row.push_back(bench::uw(opt.point.ptot));
+    }
+    t2.add_row(row);
+  }
+  std::fputs(t2.to_string().c_str(), stdout);
+}
+
+void BM_ScaleTechnology(benchmark::State& state) {
+  const Technology base = stm_cmos09_ll();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scale_technology(base, 0.69));
+  }
+}
+BENCHMARK(BM_ScaleTechnology);
+
+void BM_ScaledNodeOptimum(benchmark::State& state) {
+  const CalibratedModel cal =
+      calibrate_from_table1_row(*find_table1_row("Wallace"), stm_cmos09_ll());
+  const Technology scaled = scale_technology(cal.model.tech(), 0.69);
+  const PowerModel pm(scaled, cal.model.arch());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_optimum(pm, kPaperFrequency));
+  }
+}
+BENCHMARK(BM_ScaledNodeOptimum);
+
+}  // namespace
+}  // namespace optpower
+
+int main(int argc, char** argv) {
+  optpower::print_scaling();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

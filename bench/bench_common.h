@@ -1,0 +1,49 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every bench prints its reproduction table(s) first - the deliverable that
+// regenerates the paper's table/figure - and then runs google-benchmark
+// timings of the kernels involved.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "arch/paper_data.h"
+#include "tech/linearization.h"
+#include "util/format.h"
+
+namespace optpower::bench {
+
+/// The paper's published Eq. 7 fit for the LL flavor (A = 0.671, B = 0.347
+/// on 0.3-1.0 V); used wherever the paper's own Eq. 13 numbers are compared.
+inline Linearization paper_ll_linearization() {
+  Linearization lin;
+  const PaperModelConstants c = paper_model_constants();
+  lin.a = c.lin_a;
+  lin.b = c.lin_b;
+  lin.alpha = c.alpha;
+  lin.lo = 0.3;
+  lin.hi = 1.0;
+  return lin;
+}
+
+/// Paper sign convention for the Eq. 13 error column:
+/// err% = (Ptot_numerical - Ptot_eq13) / Ptot_numerical * 100.
+inline double eq13_error_pct(double ptot_numerical, double ptot_eq13) {
+  return (ptot_numerical - ptot_eq13) / ptot_numerical * 100.0;
+}
+
+inline std::string uw(double watts) { return strprintf("%.2f", watts * 1e6); }
+inline std::string volts(double v) { return strprintf("%.3f", v); }
+inline std::string pct(double p) { return strprintf("%+.2f", p); }
+
+inline void print_header(const char* what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", what);
+  std::printf("Schuster et al., DATE 2006 - optpower reproduction\n");
+  std::printf("================================================================\n");
+}
+
+}  // namespace optpower::bench

@@ -1,0 +1,100 @@
+// Figure 1 reproduction: total power of the 16-bit RCA multiplier along the
+// timing-constraint curve for several activities, with the optimal working
+// points marked and the dynamic/static ratio annotated (exactly the
+// figure's content).  Emits an ASCII plot plus a CSV block for replotting.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "calib/calibrate.h"
+#include "power/surface.h"
+#include "tech/stm_cmos09.h"
+#include "util/ascii_plot.h"
+#include "util/csv.h"
+
+namespace optpower {
+namespace {
+
+PowerModel rca_model() {
+  return calibrate_from_table1_row(*find_table1_row("RCA"), stm_cmos09_ll()).model;
+}
+
+void print_figure1() {
+  bench::print_header(
+      "Figure 1: Ptot vs Vdd along the timing constraint, RCA multiplier,\n"
+      "activities a, a/2, a/4, a/8 (X marks the optimal working points)");
+  const PowerModel model = rca_model();
+  const std::vector<double> scales = {1.0, 0.5, 0.25, 0.125};
+  const auto curves = figure1_curves(model, kPaperFrequency, scales, 0.33, 1.1, 160);
+
+  AsciiPlot plot({.width = 76, .height = 24, .log_y = true,
+                  .title = "Ptot [W] (log) vs Vdd [V], f = 31.25 MHz",
+                  .x_label = "Vdd [V]"});
+  const char glyphs[] = {'*', 'o', '+', '.'};
+  for (std::size_t k = 0; k < curves.size(); ++k) {
+    PlotSeries s;
+    for (const auto& sample : curves[k].samples) {
+      s.x.push_back(sample.vdd);
+      s.y.push_back(sample.ptot);
+    }
+    s.glyph = glyphs[k % 4];
+    s.label = strprintf("a = %.4f", curves[k].activity);
+    plot.add_series(std::move(s));
+  }
+  for (const auto& c : curves) plot.add_marker(c.optimum.vdd, c.optimum.ptot, 'X');
+  std::fputs(plot.render().c_str(), stdout);
+
+  std::printf("\nOptimal working points (the figure's annotations):\n");
+  for (const auto& c : curves) {
+    std::printf("  a = %.4f : Vdd* = %.3f V, Vth* = %.3f V, Ptot* = %8.2f uW, Pdyn/Pstat = %.2f\n",
+                c.activity, c.optimum.vdd, c.optimum.vth, c.optimum.ptot * 1e6,
+                c.dyn_stat_ratio);
+  }
+  std::printf("Shape checks: lower activity -> lower Ptot, higher Vdd* and Vth* (paper,\n"
+              "Section 1); dyn/stat ratio stays within a small band across activities.\n");
+
+  CsvWriter csv({"activity", "vdd", "vth", "pdyn_w", "pstat_w", "ptot_w"});
+  for (const auto& c : curves) {
+    for (const auto& s : c.samples) {
+      csv.add_row(std::vector<double>{c.activity, s.vdd, s.vth, s.pdyn, s.pstat, s.ptot});
+    }
+  }
+  std::printf("\nCSV series (%zu rows) follow; pipe to a file to replot:\n", csv.num_rows());
+  std::fputs(csv.to_string().c_str(), stdout);
+}
+
+void BM_ConstraintCurve(benchmark::State& state) {
+  const PowerModel model = rca_model();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        constraint_curve(model, kPaperFrequency, 0.33, 1.1, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_ConstraintCurve)->Arg(40)->Arg(160)->Arg(640);
+
+void BM_Figure1FullSweep(benchmark::State& state) {
+  const PowerModel model = rca_model();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        figure1_curves(model, kPaperFrequency, {1.0, 0.5, 0.25, 0.125}, 0.33, 1.1, 160));
+  }
+}
+BENCHMARK(BM_Figure1FullSweep)->Unit(benchmark::kMillisecond);
+
+void BM_PowerSurface2d(benchmark::State& state) {
+  const PowerModel model = rca_model();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        power_surface(model, kPaperFrequency, 0.2, 1.2, 64, 0.0, 0.5, 64));
+  }
+}
+BENCHMARK(BM_PowerSurface2d);
+
+}  // namespace
+}  // namespace optpower
+
+int main(int argc, char** argv) {
+  optpower::print_figure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 2 reproduction: Vdd^{1/alpha} and its linear approximation
+// A*Vdd + B for alpha = 1.5 on [0.3, 0.9] (the figure's parameters), plus
+// the paper's published fit A = 0.671 / B = 0.347 for alpha = 1.86 on
+// [0.3, 1.0].
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "tech/linearization.h"
+#include "util/ascii_plot.h"
+#include "util/csv.h"
+
+namespace optpower {
+namespace {
+
+void print_figure2() {
+  bench::print_header("Figure 2: Vdd^{1/alpha} [*] vs linear approximation [-], alpha = 1.5");
+  const Linearization lin = linearize_vdd_root(1.5, 0.3, 0.9);
+
+  AsciiPlot plot({.width = 72, .height = 20,
+                  .title = "Vdd^(1/1.5) and A*Vdd+B on [0.3, 0.9] V",
+                  .x_label = "Vdd [V]"});
+  PlotSeries exact, approx;
+  CsvWriter csv({"vdd", "exact", "approx", "error"});
+  for (int i = 0; i <= 60; ++i) {
+    const double v = 0.3 + 0.6 * i / 60.0;
+    const double e = std::pow(v, 1.0 / 1.5);
+    exact.x.push_back(v);
+    exact.y.push_back(e);
+    approx.x.push_back(v);
+    approx.y.push_back(lin(v));
+    csv.add_row(std::vector<double>{v, e, lin(v), e - lin(v)});
+  }
+  exact.glyph = '*';
+  exact.label = "Vdd^(1/alpha)";
+  approx.glyph = '-';
+  approx.label = "A*Vdd+B";
+  plot.add_series(exact);
+  plot.add_series(approx);
+  std::fputs(plot.render().c_str(), stdout);
+  std::printf("\nFit for the figure: %s\n", to_string(lin).c_str());
+
+  const Linearization ll = linearize_vdd_root(1.86, 0.3, 1.0);
+  std::printf("Paper's Section-4 fit reproduction (alpha = 1.86, 0.3-1.0 V):\n"
+              "  ours: A = %.4f, B = %.4f   paper: A = 0.671, B = 0.347\n",
+              ll.a, ll.b);
+  const Linearization mmx = linearize_vdd_root(1.86, 0.3, 1.0, LinearizationMethod::kMinimax);
+  std::printf("  minimax alternative: A = %.4f, B = %.4f (max err %.4f vs lsq %.4f)\n", mmx.a,
+              mmx.b, mmx.max_abs_error, ll.max_abs_error);
+  std::printf("\nCSV series follow:\n");
+  std::fputs(csv.to_string().c_str(), stdout);
+}
+
+void BM_LinearizeLsq(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        linearize_vdd_root(1.86, 0.3, 1.0, LinearizationMethod::kLeastSquares,
+                           static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_LinearizeLsq)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_LinearizeMinimax(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        linearize_vdd_root(1.86, 0.3, 1.0, LinearizationMethod::kMinimax));
+  }
+}
+BENCHMARK(BM_LinearizeMinimax);
+
+}  // namespace
+}  // namespace optpower
+
+int main(int argc, char** argv) {
+  optpower::print_figure2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

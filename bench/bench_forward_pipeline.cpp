@@ -1,0 +1,82 @@
+// Forward-pipeline reproduction of Table 1's methodology: every multiplier
+// is generated as a netlist, characterized with our own STA +
+// delay-annotated simulation + cell library (no peeking at the published
+// aggregates), and optimized.  Absolute uW differ from the paper's ST flow;
+// the orderings and ratios are the check.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "report/forward_flow.h"
+#include "tech/stm_cmos09.h"
+#include "util/error.h"
+#include "util/table.h"
+
+namespace optpower {
+namespace {
+
+void print_forward() {
+  bench::print_header(
+      "Forward pipeline: netlist -> (N, a, LDeff, C) -> optimal working point\n"
+      "(own substrates; compare orderings, not absolute uW, against Table 1)");
+  ForwardFlowOptions opt;
+  opt.activity_vectors = 96;
+  const auto results = run_forward_flow_all(stm_cmos09_ll(), kPaperFrequency, opt);
+
+  Table t({"Architecture", "N", "(pap)", "a", "(pap)", "LDeff", "(pap)", "Vdd*", "Vth*",
+           "Ptot uW", "(pap uW)", "Eq13 err%"});
+  for (const auto& r : results) {
+    const auto row = find_table1_row(r.character.name);
+    const double err = r.closed_form.valid
+                           ? bench::eq13_error_pct(r.optimum.ptot, r.closed_form.ptot_eq13)
+                           : 0.0;
+    t.add_row({r.character.name, strprintf("%.0f", r.character.arch.n_cells),
+               strprintf("%d", row->n_cells), strprintf("%.3f", r.character.arch.activity),
+               strprintf("%.4f", row->activity), strprintf("%.1f", r.character.arch.logic_depth),
+               strprintf("%.2f", row->logic_depth), bench::volts(r.optimum.vdd),
+               bench::volts(r.optimum.vth), bench::uw(r.optimum.ptot), bench::uw(row->ptot),
+               r.closed_form.valid ? bench::pct(err) : std::string("n/a")});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  const auto find = [&](const char* name) -> const ForwardResult& {
+    for (const auto& r : results) {
+      if (r.character.name == name) return r;
+    }
+    throw InvalidArgument("missing row");
+  };
+  std::printf("Ordering checks vs the paper:\n");
+  std::printf("  Wallace < RCA:                 %s\n",
+              find("Wallace").optimum.ptot < find("RCA").optimum.ptot ? "YES" : "NO");
+  std::printf("  Sequential worst of all:       %s\n",
+              find("Sequential").optimum.ptot > find("RCA").optimum.ptot * 3 ? "YES" : "NO");
+  std::printf("  pipelining helps RCA:          %s\n",
+              find("RCA hor.pipe4").optimum.ptot < find("RCA").optimum.ptot ? "YES" : "NO");
+  std::printf("  diag pipe glitchier than hor:  %s\n",
+              find("RCA diagpipe4").character.arch.activity >
+                      find("RCA hor.pipe4").character.arch.activity
+                  ? "YES"
+                  : "NO");
+  std::printf("  parallelization helps RCA:     %s\n",
+              find("RCA parallel").optimum.ptot < find("RCA").optimum.ptot ? "YES" : "NO");
+}
+
+void BM_ForwardFlowOneArch(benchmark::State& state) {
+  ForwardFlowOptions opt;
+  opt.activity_vectors = 32;
+  const std::string name = multiplier_names()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_forward_flow(name, stm_cmos09_ll(), kPaperFrequency, opt));
+  }
+  state.SetLabel(name);
+}
+BENCHMARK(BM_ForwardFlowOneArch)->DenseRange(0, 12)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace optpower
+
+int main(int argc, char** argv) {
+  optpower::print_forward();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

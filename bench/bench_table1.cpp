@@ -1,0 +1,84 @@
+// Table 1 reproduction: the thirteen 16-bit multipliers at their optimal
+// working point (STM 0.13um LL flavor, f = 31.25 MHz).
+//
+// Method: each published row over-determines the unpublished per-architecture
+// parameters (C, chi, Io_eff); calibrate_from_table1_row() infers them, then
+// the numerical optimum and Eq. 13 are recomputed from scratch and compared
+// column-by-column against the paper, including the <3% closed-form error
+// claim with the paper's sign convention.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "calib/calibrate.h"
+#include "power/closed_form.h"
+#include "power/optimum.h"
+#include "tech/stm_cmos09.h"
+#include "util/table.h"
+
+namespace optpower {
+namespace {
+
+void print_table1() {
+  bench::print_header(
+      "Table 1: 16-bit multipliers at the optimal working point (LL, 31.25 MHz)");
+  const Technology ll = stm_cmos09_ll();
+  const Linearization lin = bench::paper_ll_linearization();
+
+  Table t({"Architecture", "Vdd*", "(pap)", "Vth*", "(pap)", "Pdyn uW", "Pstat uW", "Ptot uW",
+           "(pap)", "Eq13 uW", "(pap)", "err%", "(pap)"});
+  double max_abs_err = 0.0;
+  for (const Table1Row& row : paper_table1()) {
+    const CalibratedModel cal = calibrate_from_table1_row(row, ll);
+    const OptimumResult opt = find_optimum(cal.model, kPaperFrequency);
+    const ClosedFormResult cf = closed_form_optimum(cal.model, kPaperFrequency, lin);
+    const double err = bench::eq13_error_pct(opt.point.ptot, cf.ptot_eq13);
+    max_abs_err = std::max(max_abs_err, std::fabs(err));
+    t.add_row({row.name, bench::volts(opt.point.vdd), bench::volts(row.vdd_opt),
+               bench::volts(opt.point.vth), bench::volts(row.vth_opt), bench::uw(opt.point.pdyn),
+               bench::uw(opt.point.pstat), bench::uw(opt.point.ptot), bench::uw(row.ptot),
+               bench::uw(cf.ptot_eq13), bench::uw(row.ptot_eq13), bench::pct(err),
+               bench::pct(row.eq13_err_pct)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf("Headline claim check: max |Eq.13 error| = %.2f%% (paper: < 3%%)\n", max_abs_err);
+  std::printf("Qualitative checks: Sequential worst (%.0fx Wallace), Wallace family best,\n"
+              "hor.pipe beats diag.pipe, Wallace par4 loses to par2 (mux overhead).\n",
+              find_table1_row("Sequential")->ptot / find_table1_row("Wallace")->ptot);
+}
+
+void BM_CalibrateRow(benchmark::State& state) {
+  const Technology ll = stm_cmos09_ll();
+  const Table1Row& row = paper_table1()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(calibrate_from_table1_row(row, ll));
+  }
+}
+BENCHMARK(BM_CalibrateRow)->DenseRange(0, 12);
+
+void BM_NumericalOptimum(benchmark::State& state) {
+  const CalibratedModel cal = calibrate_from_table1_row(
+      paper_table1()[static_cast<std::size_t>(state.range(0))], stm_cmos09_ll());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_optimum(cal.model, kPaperFrequency));
+  }
+}
+BENCHMARK(BM_NumericalOptimum)->DenseRange(0, 12);
+
+void BM_ClosedFormEq13(benchmark::State& state) {
+  const CalibratedModel cal = calibrate_from_table1_row(paper_table1()[0], stm_cmos09_ll());
+  const Linearization lin = bench::paper_ll_linearization();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(closed_form_optimum(cal.model, kPaperFrequency, lin));
+  }
+}
+BENCHMARK(BM_ClosedFormEq13);
+
+}  // namespace
+}  // namespace optpower
+
+int main(int argc, char** argv) {
+  optpower::print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

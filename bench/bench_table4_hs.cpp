@@ -1,0 +1,69 @@
+// Table 4 reproduction: the Wallace family on the HS flavor, including the
+// paper's parallelization crossover - on HS, "Wallace parallel" consumes
+// MORE than the basic Wallace (leaky technology penalizes the doubled cell
+// count), the opposite of LL/ULL.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "calib/calibrate.h"
+#include "power/closed_form.h"
+#include "power/optimum.h"
+#include "tech/stm_cmos09.h"
+#include "util/table.h"
+
+namespace optpower {
+namespace {
+
+void print_table4() {
+  bench::print_header("Table 4: Wallace family optimal power, HS flavor (f = 31.25 MHz)");
+  const Technology hs = stm_cmos09_hs();
+  const Linearization lin = linearize_vdd_root(hs.alpha, 0.3, 1.0);
+  std::printf("Flavor linearization: %s\n", to_string(lin).c_str());
+  Table t({"Architecture", "Vdd*", "(pap)", "Vth*", "(pap)", "Ptot uW", "(pap)", "Eq13 uW",
+           "(pap)", "err%", "(pap)"});
+  std::vector<double> ptots;
+  for (const WallaceFlavorRow& row : paper_table4_hs()) {
+    const auto structure = find_table1_row(row.name);
+    const CalibratedModel cal = calibrate_from_optimum(row, *structure, hs);
+    const OptimumResult opt = find_optimum(cal.model, kPaperFrequency);
+    const ClosedFormResult cf = closed_form_optimum(cal.model, kPaperFrequency, lin);
+    const double err = bench::eq13_error_pct(opt.point.ptot, cf.ptot_eq13);
+    ptots.push_back(opt.point.ptot);
+    t.add_row({row.name, bench::volts(opt.point.vdd), bench::volts(row.vdd_opt),
+               bench::volts(opt.point.vth), bench::volts(row.vth_opt), bench::uw(opt.point.ptot),
+               bench::uw(row.ptot), bench::uw(cf.ptot_eq13), bench::uw(row.ptot_eq13),
+               bench::pct(err), bench::pct(row.eq13_err_pct)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf("Crossover check (Section 5): parallel > basic on HS?  %s\n",
+              ptots[1] > ptots[0] ? "YES (reproduced)" : "NO (MISMATCH)");
+  std::printf("Flavor ordering for the Wallace family: LL (%.2f uW) < ULL (%.2f) < HS (%.2f)\n",
+              find_table1_row("Wallace")->ptot * 1e6, paper_table3_ull()[0].ptot * 1e6,
+              paper_table4_hs()[0].ptot * 1e6);
+}
+
+void BM_HsOptimum(benchmark::State& state) {
+  const CalibratedModel cal = calibrate_from_optimum(
+      paper_table4_hs()[0], *find_table1_row("Wallace"), stm_cmos09_hs());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_optimum(cal.model, kPaperFrequency));
+  }
+}
+BENCHMARK(BM_HsOptimum);
+
+void BM_FlavorLinearization(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linearize_vdd_root(1.58, 0.3, 1.0));
+  }
+}
+BENCHMARK(BM_FlavorLinearization);
+
+}  // namespace
+}  // namespace optpower
+
+int main(int argc, char** argv) {
+  optpower::print_table4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Architecture exploration: which multiplier should you use at which
+// throughput?  Runs the full forward flow (netlist generation -> simulation
+// -> STA -> optimization) for a few candidate architectures over a range of
+// data rates and prints the winner per operating point - the paper's
+// Section-4 question answered as a library workflow.
+#include <cstdio>
+#include <vector>
+
+#include "optpower/optpower.h"
+
+int main() {
+  using namespace optpower;
+
+  const std::vector<std::string> candidates = {"RCA", "RCA hor.pipe4", "Wallace",
+                                               "Wallace parallel", "Sequential"};
+  std::printf("Characterizing %zu architectures (build + simulate + STA)...\n\n",
+              candidates.size());
+
+  // Characterize once; the aggregates don't depend on frequency.
+  ForwardFlowOptions opt;
+  opt.activity_vectors = 64;
+  std::vector<ForwardCharacterization> chars;
+  for (const auto& name : candidates) {
+    chars.push_back(characterize_multiplier(build_multiplier(name), opt));
+    const auto& c = chars.back();
+    std::printf("  %-18s N = %5.0f  a = %.3f  LDeff = %6.1f  C = %.1f fF\n", c.name.c_str(),
+                c.arch.n_cells, c.arch.activity, c.arch.logic_depth, c.arch.cell_cap * 1e15);
+  }
+
+  Technology tech = stm_cmos09_ll();
+  tech.io *= 16.0;  // per-cell effective scale (see report/forward_flow.h)
+
+  std::printf("\n%-12s", "f [MHz]");
+  for (const auto& c : chars) std::printf(" %16s", c.name.c_str());
+  std::printf("   winner\n");
+
+  for (const double f_mhz : {2.0, 8.0, 31.25, 125.0, 350.0}) {
+    std::printf("%-12.2f", f_mhz);
+    std::string winner;
+    double best = 1e9;
+    for (const auto& c : chars) {
+      const PowerModel model(tech, c.arch);
+      double ptot_uw;
+      try {
+        ptot_uw = find_optimum(model, f_mhz * 1e6).point.ptot * 1e6;
+      } catch (const Error&) {
+        std::printf(" %16s", "infeasible");
+        continue;
+      }
+      std::printf(" %13.1fuW", ptot_uw);
+      if (ptot_uw < best) {
+        best = ptot_uw;
+        winner = c.name;
+      }
+    }
+    std::printf("   %s\n", winner.c_str());
+  }
+
+  std::printf(
+      "\nReading: at very low data rates the compact sequential design becomes\n"
+      "competitive (its huge effective logic depth stops binding); at high rates the\n"
+      "short-depth Wallace structures win - the trade-off Section 4 of the paper\n"
+      "explains through Eq. 13's chi term.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Frequency sweep: how the optimal working point moves with the throughput
+// target.  Prints Vdd*, Vth*, the power split and Eq. 13 tracking across
+// three decades of clock frequency, plus parameter elasticities at the
+// paper's operating point.
+#include <cmath>
+#include <cstdio>
+
+#include "optpower/optpower.h"
+
+int main() {
+  using namespace optpower;
+
+  const CalibratedModel cal =
+      calibrate_from_table1_row(*find_table1_row("RCA"), stm_cmos09_ll());
+  const PowerModel& model = cal.model;
+
+  std::printf("16-bit RCA multiplier (calibrated), sweeping the throughput target:\n\n");
+  std::printf("%10s %9s %9s %11s %11s %10s %10s\n", "f [MHz]", "Vdd* [V]", "Vth* [V]",
+              "Ptot [uW]", "Eq13 [uW]", "dyn/stat", "Eq13 err%");
+  for (const double f_mhz : {1.0, 3.125, 10.0, 31.25, 62.5, 125.0, 250.0, 500.0}) {
+    const double f = f_mhz * 1e6;
+    OptimumResult opt;
+    try {
+      opt = find_optimum(model, f);
+    } catch (const NumericalError&) {
+      // Beyond the architecture's reach: no (Vdd <= 1.4 V, Vth) meets timing.
+      std::printf("%10.3f %s\n", f_mhz, "   -- infeasible at any allowed supply --");
+      continue;
+    }
+    const ClosedFormResult cf = closed_form_optimum(model, f);
+    const double err_pct = cf.valid
+                               ? (opt.point.ptot - cf.ptot_eq13) / opt.point.ptot * 100.0
+                               : 0.0;
+    // Eq. 13 is meaningful while the optimum stays inside the linearization
+    // range and clear of the supply clamp.
+    const bool in_validity = cf.valid && opt.point.vdd < 1.35 && std::fabs(err_pct) < 25.0;
+    std::printf("%10.3f %9.3f %9.3f %11.2f %11.2f %10.2f %10s\n", f_mhz, opt.point.vdd,
+                opt.point.vth, opt.point.ptot * 1e6, cf.valid ? cf.ptot_eq13 * 1e6 : 0.0,
+                opt.point.dyn_stat_ratio(),
+                in_validity ? strprintf("%+.2f", err_pct).c_str() : "n/a");
+  }
+
+  std::printf("\nElasticities of Ptot* at f = 31.25 MHz (d ln Ptot / d ln x):\n");
+  for (const Elasticity& e : optimal_power_elasticities(model, kPaperFrequency)) {
+    std::printf("  %-20s %+6.3f\n", to_string(e.parameter).c_str(), e.elasticity);
+  }
+  std::printf(
+      "\nReading: N scales power exactly linearly; activity slightly sub-linearly\n"
+      "(the optimizer claws a little back); frequency super-linearly (it also\n"
+      "tightens the timing constraint through chi).\n");
+  return 0;
+}

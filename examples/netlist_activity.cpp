@@ -1,0 +1,62 @@
+// Netlist playground: build a multiplier netlist, inspect its structure,
+// watch it compute, and measure its switching activity with and without
+// glitch-accurate delays - the simulation substrate behind the paper's "a".
+#include <cstdio>
+
+#include "optpower/optpower.h"
+
+int main() {
+  using namespace optpower;
+
+  // Build the 8-bit diagonal-pipelined array multiplier of Figure 4.
+  const GeneratedMultiplier gen = build_multiplier("RCA diagpipe2", 8);
+  const Netlist& nl = gen.netlist;
+  const NetlistStats stats = nl.stats();
+  std::printf("Netlist '%s': %zu cells (%zu DFFs), %zu nets, %.0f um2\n", nl.name().c_str(),
+              stats.num_cells, stats.num_sequential, stats.num_nets, stats.area_um2);
+
+  const TimingReport timing = analyze_timing(nl);
+  std::printf("Critical path: %.1f equivalent gate delays through %zu cells\n",
+              timing.critical_path_units, timing.critical_path.size());
+
+  // Watch it multiply.
+  EventSimulator sim(nl, SimDelayMode::kUnit);
+  std::printf("\nComputing 13 x 11 (pipeline flushes through):\n");
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    std::vector<bool> in(16);
+    for (int i = 0; i < 8; ++i) {
+      in[static_cast<std::size_t>(i)] = (13 >> i) & 1;
+      in[static_cast<std::size_t>(8 + i)] = (11 >> i) & 1;
+    }
+    sim.set_inputs(in);
+    sim.step_cycle();
+    std::printf("  cycle %d: p = %llu\n", cycle,
+                static_cast<unsigned long long>(sim.outputs_word()));
+  }
+  std::printf("  expected 143\n");
+
+  // Activity with and without timing-accurate delays: glitches are the
+  // difference (the paper's diagonal-pipeline penalty).
+  ActivityOptions opt;
+  opt.num_vectors = 256;
+  opt.delay_mode = SimDelayMode::kCellDepth;
+  const ActivityMeasurement timed = measure_activity(nl, opt);
+  opt.delay_mode = SimDelayMode::kZero;
+  const ActivityMeasurement zero_delay = measure_activity(nl, opt);
+  std::printf("\nActivity, delay-annotated: a = %.3f (glitch fraction %.1f%%)\n",
+              timed.activity, timed.glitch_fraction * 100.0);
+  std::printf("Activity, zero-delay:      a = %.3f (functional toggles only)\n",
+              zero_delay.activity);
+  std::printf("Glitch overhead: %.1f%% extra switched capacitance\n",
+              (timed.activity / zero_delay.activity - 1.0) * 100.0);
+
+  // Compare against the horizontal cut of Figure 3.
+  const GeneratedMultiplier hor = build_multiplier("RCA hor.pipe2", 8);
+  opt.delay_mode = SimDelayMode::kCellDepth;
+  const ActivityMeasurement hor_act = measure_activity(hor.netlist, opt);
+  std::printf("\nHorizontal pipeline for comparison: a = %.3f (glitch fraction %.1f%%)\n",
+              hor_act.activity, hor_act.glitch_fraction * 100.0);
+  std::printf("The diagonal cut is %.0f%% more active - the Figure 3/4 story.\n",
+              (timed.activity / hor_act.activity - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Quickstart: find the optimal (Vdd, Vth) working point of a circuit.
+//
+// Describe your circuit by four aggregates (cells N, activity a, effective
+// logic depth LD, average cell capacitance C), pick a technology, and ask
+// for the minimum-total-power working point at your clock frequency - both
+// numerically and with the paper's closed-form Eq. 13.
+#include <cstdio>
+
+#include "optpower/optpower.h"
+
+int main() {
+  using namespace optpower;
+
+  // 1. Technology: the STM 0.13 um Low-Leakage flavor of the paper (Table 2),
+  //    with the per-cell effective scale the Table-1 calibration infers.
+  Technology tech = stm_cmos09_ll();
+  tech.io = 5.4e-5;    // average off-current per *cell* (not per transistor)
+  tech.zeta = 7.1e-12; // average cell delay coefficient
+
+  // 2. Architecture: a 16-bit Wallace-tree multiplier's aggregates.
+  ArchitectureParams arch;
+  arch.name = "my wallace multiplier";
+  arch.n_cells = 729;
+  arch.activity = 0.2976;   // switching cells per clock per cell
+  arch.logic_depth = 17;    // critical path in equivalent gate delays
+  arch.cell_cap = 60e-15;   // average equivalent cell capacitance [F]
+
+  // 3. Optimize at 31.25 MHz.
+  const double f = 31.25e6;
+  const PowerModel model(tech, arch);
+  const OptimumResult opt = find_optimum(model, f);
+
+  std::printf("Numerical optimum for '%s' at %.2f MHz:\n", arch.name.c_str(), f / 1e6);
+  std::printf("  Vdd* = %.3f V, Vth* = %.3f V\n", opt.point.vdd, opt.point.vth);
+  std::printf("  Ptot = %.2f uW (dynamic %.2f + static %.2f, ratio %.2f)\n",
+              opt.point.ptot * 1e6, opt.point.pdyn * 1e6, opt.point.pstat * 1e6,
+              opt.point.dyn_stat_ratio());
+
+  // 4. The closed-form estimate (Eq. 13) - no optimization loop needed.
+  const ClosedFormResult cf = closed_form_optimum(model, f);
+  std::printf("Closed form (Eq. 13): Ptot = %.2f uW (%.2f%% from numerical)\n",
+              cf.ptot_eq13 * 1e6, (cf.ptot_eq13 / opt.point.ptot - 1.0) * 100.0);
+
+  // 5. What would cutting the activity in half buy?
+  ArchitectureParams quiet = arch;
+  quiet.activity *= 0.5;
+  const OptimumResult opt2 = find_optimum(PowerModel(tech, quiet), f);
+  std::printf("Half the activity: Ptot = %.2f uW at Vdd* = %.3f V (higher supply, less power)\n",
+              opt2.point.ptot * 1e6, opt2.point.vdd);
+  return 0;
+}

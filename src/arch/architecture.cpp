@@ -1,0 +1,17 @@
+#include "arch/architecture.h"
+
+#include "util/error.h"
+
+namespace optpower {
+
+void validate(const ArchitectureParams& arch) {
+  require(arch.n_cells > 0.0, "ArchitectureParams '" + arch.name + "': n_cells must be positive");
+  require(arch.activity > 0.0, "ArchitectureParams '" + arch.name + "': activity must be positive");
+  require(arch.activity < 16.0,
+          "ArchitectureParams '" + arch.name + "': activity unreasonably large (>= 16)");
+  require(arch.logic_depth >= 1.0,
+          "ArchitectureParams '" + arch.name + "': logic_depth must be >= 1 gate");
+  require(arch.cell_cap > 0.0, "ArchitectureParams '" + arch.name + "': cell_cap must be positive");
+}
+
+}  // namespace optpower

@@ -1,0 +1,33 @@
+// Architectural parameter vector: what an architecture looks like to the
+// power model (Eq. 1/13):  N cells, average activity a, effective logic
+// depth LD (relative to the throughput period), and the average equivalent
+// cell capacitance C.
+#pragma once
+
+#include <string>
+
+namespace optpower {
+
+/// The aggregates the paper's Eq. 13 consumes.  Obtainable either from the
+/// published dataset (arch/paper_data.h), from parameter-level transforms
+/// (arch/transforms.h), or measured from a synthesized netlist
+/// (netlist/ + sim/ + sta/, see report/forward_flow.h).
+struct ArchitectureParams {
+  std::string name = "unnamed";
+
+  double n_cells = 0.0;       ///< N: number of cells
+  double activity = 0.0;      ///< a: switching cells per *throughput* cycle / N
+                              ///<    (can exceed 1 for sequential designs)
+  double logic_depth = 0.0;   ///< LD: critical path in equivalent gate delays,
+                              ///<    normalized to the throughput period
+  double cell_cap = 70e-15;   ///< C: average equivalent cell capacitance [F]
+  double area_um2 = 0.0;      ///< informational (Table 1 column)
+
+  /// Effective switched capacitance per throughput cycle, N*a*C [F].
+  [[nodiscard]] double switched_cap() const noexcept { return n_cells * activity * cell_cap; }
+};
+
+/// Validate invariants; throws InvalidArgument on the first violation.
+void validate(const ArchitectureParams& arch);
+
+}  // namespace optpower

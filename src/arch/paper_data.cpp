@@ -1,0 +1,68 @@
+#include "arch/paper_data.h"
+
+#include "util/units.h"
+
+namespace optpower {
+
+PaperModelConstants paper_model_constants() { return {}; }
+
+const std::vector<Table1Row>& paper_table1() {
+  // Columns: name, family, N, area, a, LDeff, Vdd, Vth, Pdyn, Pstat, Ptot,
+  // Eq13 Ptot, Eq13 err [%].  Powers converted from the paper's uW.
+  static const std::vector<Table1Row> kRows = {
+      {"RCA", MultiplierFamily::kRca, 608, 11038.0, 0.5056, 61.0, 0.478, 0.213,
+       micro(154.86), micro(36.57), micro(191.44), micro(191.09), 0.182},
+      {"RCA parallel", MultiplierFamily::kRca, 1256, 22223.0, 0.2624, 30.5, 0.395, 0.233,
+       micro(117.20), micro(30.37), micro(147.57), micro(150.29), -1.844},
+      {"RCA parallel 4", MultiplierFamily::kRca, 2455, 43735.0, 0.1344, 15.75, 0.359, 0.256,
+       micro(100.51), micro(26.39), micro(126.90), micro(129.93), -2.384},
+      {"RCA hor.pipe2", MultiplierFamily::kRca, 672, 12458.0, 0.3904, 40.0, 0.423, 0.225,
+       micro(100.51), micro(25.27), micro(125.78), micro(127.25), -1.166},
+      {"RCA hor.pipe4", MultiplierFamily::kRca, 800, 15298.0, 0.2944, 28.0, 0.394, 0.238,
+       micro(81.54), micro(20.94), micro(102.48), micro(104.34), -1.819},
+      {"RCA diagpipe2", MultiplierFamily::kRca, 670, 12684.0, 0.4064, 26.0, 0.407, 0.224,
+       micro(98.65), micro(25.50), micro(124.15), micro(126.11), -1.581},
+      {"RCA diagpipe4", MultiplierFamily::kRca, 812, 15762.0, 0.3456, 14.0, 0.366, 0.233,
+       micro(82.83), micro(22.52), micro(105.35), micro(108.04), -2.559},
+      {"Wallace", MultiplierFamily::kWallace, 729, 11928.0, 0.2976, 17.0, 0.372, 0.236,
+       micro(56.69), micro(15.17), micro(71.86), micro(73.56), -2.376},
+      {"Wallace parallel", MultiplierFamily::kWallace, 1465, 23993.0, 0.1568, 8.0, 0.341, 0.256,
+       micro(55.64), micro(15.06), micro(70.69), micro(72.58), -2.676},
+      {"Wallace par4", MultiplierFamily::kWallace, 2939, 47271.0, 0.0832, 4.75, 0.333, 0.277,
+       micro(58.04), micro(15.26), micro(73.30), micro(75.01), -2.335},
+      {"Sequential", MultiplierFamily::kSequential, 290, 4954.0, 2.9152, 224.0, 0.824, 0.173,
+       micro(1134.00), micro(184.48), micro(1318.48), micro(1318.94), -0.035},
+      {"Seq4_16", MultiplierFamily::kSequential, 351, 6132.0, 0.2464, 120.0, 0.711, 0.228,
+       micro(184.69), micro(31.59), micro(216.29), micro(212.62), 1.696},
+      {"Seq parallel", MultiplierFamily::kSequential, 322, 7276.0, 1.3280, 168.0, 0.817, 0.192,
+       micro(888.19), micro(142.07), micro(1030.26), micro(1028.97), 0.124},
+  };
+  return kRows;
+}
+
+const std::vector<WallaceFlavorRow>& paper_table3_ull() {
+  static const std::vector<WallaceFlavorRow> kRows = {
+      {"Wallace", 0.409, 0.231, micro(84.79), micro(86.03), -1.47},
+      {"Wallace parallel", 0.363, 0.253, micro(76.24), micro(78.02), -2.33},
+      {"Wallace par4", 0.360, 0.281, micro(80.61), micro(82.21), -1.98},
+  };
+  return kRows;
+}
+
+const std::vector<WallaceFlavorRow>& paper_table4_hs() {
+  static const std::vector<WallaceFlavorRow> kRows = {
+      {"Wallace", 0.398, 0.328, micro(99.56), micro(100.33), -0.78},
+      {"Wallace parallel", 0.383, 0.349, micro(110.27), micro(111.39), -1.01},
+      {"Wallace par4", 0.390, 0.376, micro(118.89), micro(119.99), -0.93},
+  };
+  return kRows;
+}
+
+std::optional<Table1Row> find_table1_row(const std::string& name) {
+  for (const auto& row : paper_table1()) {
+    if (row.name == name) return row;
+  }
+  return std::nullopt;
+}
+
+}  // namespace optpower

@@ -1,0 +1,77 @@
+// Machine-readable copies of the paper's published tables.
+//
+// These are the reproduction targets: the benchmark harnesses calibrate
+// models against some columns and check the remaining columns as
+// predictions (see src/calib and EXPERIMENTS.md).
+//
+// Source: Schuster, Nagel, Piguet, Farine, "Architectural and Technology
+// Influence on the Optimal Total Power Consumption", DATE 2006 - Table 1
+// (16-bit multipliers, LL flavor, f = 31.25 MHz), Table 2 (flavors, in
+// tech/stm_cmos09.h), Tables 3/4 (Wallace family on ULL/HS).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace optpower {
+
+/// The multiplier families of Section 4.
+enum class MultiplierFamily { kRca, kWallace, kSequential };
+
+/// One row of Table 1.  All values refer to the optimal working point at
+/// f = 31.25 MHz in the STM LL flavor.  Powers in watts, voltages in volts.
+struct Table1Row {
+  std::string name;
+  MultiplierFamily family;
+  int n_cells;            ///< N
+  double area_um2;        ///< Area [um^2]
+  double activity;        ///< a (vs. throughput frequency)
+  double logic_depth;     ///< LDeff
+  double vdd_opt;         ///< optimal Vdd [V]
+  double vth_opt;         ///< optimal Vth [V]
+  double pdyn;            ///< dynamic power at optimum [W]
+  double pstat;           ///< static power at optimum [W]
+  double ptot;            ///< total power at optimum [W]
+  double ptot_eq13;       ///< paper's Eq. 13 estimate [W]
+  double eq13_err_pct;    ///< paper's reported error [%]
+};
+
+/// One row of Table 3 (ULL) / Table 4 (HS): Wallace family, no power split.
+struct WallaceFlavorRow {
+  std::string name;
+  double vdd_opt;       ///< [V]
+  double vth_opt;       ///< [V]
+  double ptot;          ///< [W]
+  double ptot_eq13;     ///< [W]
+  double eq13_err_pct;  ///< [%]
+};
+
+/// Operating frequency of every experiment in the paper [Hz].
+inline constexpr double kPaperFrequency = 31.25e6;
+
+/// Model constants published in Section 4 for the LL flavor:
+/// A = 0.671, B = 0.347, alpha = 1.86, n = 1.33, Vth0 = 0.354, Vdd_nom = 1.2.
+struct PaperModelConstants {
+  double lin_a = 0.671;
+  double lin_b = 0.347;
+  double alpha = 1.86;
+  double n = 1.33;
+  double vth0_nom = 0.354;
+  double vdd_nom = 1.2;
+};
+[[nodiscard]] PaperModelConstants paper_model_constants();
+
+/// The thirteen Table-1 rows in the paper's order.
+[[nodiscard]] const std::vector<Table1Row>& paper_table1();
+
+/// Table 3: Wallace family, ULL flavor.
+[[nodiscard]] const std::vector<WallaceFlavorRow>& paper_table3_ull();
+
+/// Table 4: Wallace family, HS flavor.
+[[nodiscard]] const std::vector<WallaceFlavorRow>& paper_table4_hs();
+
+/// Look up a Table-1 row by name; std::nullopt when absent.
+[[nodiscard]] std::optional<Table1Row> find_table1_row(const std::string& name);
+
+}  // namespace optpower

@@ -1,0 +1,65 @@
+#include "arch/transforms.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace optpower {
+
+ArchitectureParams pipeline_params(const ArchitectureParams& arch, int stages,
+                                   const PipelineOverheads& ov) {
+  validate(arch);
+  require(stages >= 2 && stages <= 16, "pipeline_params: stages must lie in [2, 16]");
+  ArchitectureParams out = arch;
+  out.name = arch.name + "_pipe" + std::to_string(stages);
+  out.logic_depth = arch.logic_depth / (1.0 + (stages - 1) * ov.depth_efficiency);
+  out.n_cells = arch.n_cells * (1.0 + ov.register_cells_per_stage * (stages - 1));
+  out.activity = arch.activity * std::pow(ov.activity_factor_per_stage, stages - 1);
+  out.area_um2 = arch.area_um2 * out.n_cells / arch.n_cells;
+  validate(out);
+  return out;
+}
+
+PipelineOverheads diagonal_pipeline_overheads() {
+  PipelineOverheads ov;
+  ov.depth_efficiency = 1.15;           // deeper cut than horizontal
+  ov.activity_factor_per_stage = 0.96;  // ... but glitches keep activity high
+  return ov;
+}
+
+ArchitectureParams parallelize_params(const ArchitectureParams& arch, int ways,
+                                      const ParallelOverheads& ov) {
+  validate(arch);
+  require(ways == 2 || ways == 4 || ways == 8, "parallelize_params: ways must be 2, 4 or 8");
+  ArchitectureParams out = arch;
+  out.name = arch.name + "_par" + std::to_string(ways);
+  out.n_cells = arch.n_cells * ways * (1.0 + ov.extra_cells_fraction);
+  out.logic_depth = arch.logic_depth / ways + ov.mux_depth;
+  out.activity = arch.activity / ways * (1.0 + ov.activity_overhead * ways);
+  out.area_um2 = arch.area_um2 * out.n_cells / arch.n_cells;
+  validate(out);
+  return out;
+}
+
+ArchitectureParams sequentialize_params(const ArchitectureParams& arch, int cycles,
+                                        const SequentialOverheads& ov) {
+  validate(arch);
+  require(cycles >= 2 && cycles <= 64, "sequentialize_params: cycles must lie in [2, 64]");
+  ArchitectureParams out = arch;
+  out.name = arch.name + "_seq" + std::to_string(cycles);
+  out.n_cells =
+      std::max(arch.n_cells * ov.cells_fraction / std::sqrt(static_cast<double>(cycles)),
+               ov.control_cells) +
+      ov.control_cells;
+  // Activity per *throughput* period: the shared datapath toggles every
+  // internal cycle, so per-cell activity multiplies by ~cycles.
+  out.activity = arch.activity * static_cast<double>(cycles) * 0.5;
+  // Each internal cycle carries a fraction of the combinational depth, and
+  // all `cycles` of them must fit in one throughput period.
+  out.logic_depth = arch.logic_depth * ov.step_depth_fraction * static_cast<double>(cycles);
+  out.area_um2 = arch.area_um2 * out.n_cells / arch.n_cells;
+  validate(out);
+  return out;
+}
+
+}  // namespace optpower

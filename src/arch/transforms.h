@@ -1,0 +1,48 @@
+// Parameter-level architecture transforms: the Section-4 transformations
+// expressed directly on the (N, a, LD, C) aggregates, for what-if studies
+// without building netlists.  Default overhead factors are fitted to the
+// ratios observable in the paper's Table 1.
+#pragma once
+
+#include "arch/architecture.h"
+
+namespace optpower {
+
+/// Pipelining: cuts the logic depth (not exactly by the stage count), adds
+/// register cells, and changes activity (horizontal cuts *reduce* glitching;
+/// diagonal cuts increase path-delay spread and raise it).
+struct PipelineOverheads {
+  double depth_efficiency = 0.45;     ///< LD' = LD / (1 + (stages-1)*eff)
+                                      ///< (0.45 fits Table 1: 61 -> 40/28 for 2/4 stages)
+  double register_cells_per_stage = 0.105;  ///< N' = N * (1 + this*(stages-1))
+  double activity_factor_per_stage = 0.85;  ///< a' = a * factor^(stages-1)
+};
+[[nodiscard]] ArchitectureParams pipeline_params(const ArchitectureParams& arch, int stages,
+                                                 const PipelineOverheads& ov = {});
+
+/// Diagonal-pipeline defaults: deeper depth cut, glitch-driven activity gain
+/// (Table 1: diagpipe4 has LD 14 vs hor.pipe4's 28, but activity 0.346 vs 0.294).
+[[nodiscard]] PipelineOverheads diagonal_pipeline_overheads();
+
+/// Parallelization by replication + multiplexing: LD' = LD/ways + mux depth,
+/// N' slightly above ways*N (mux/control), a' ~ a/ways + mux activity.
+struct ParallelOverheads {
+  double extra_cells_fraction = 0.033;  ///< N' = ways*N*(1+this)
+  double mux_depth = 0.25;              ///< LD' = LD/ways * (1 + this/ways...)
+  double activity_overhead = 0.04;      ///< a' = a/ways * (1 + this*ways)
+};
+[[nodiscard]] ArchitectureParams parallelize_params(const ArchitectureParams& arch, int ways,
+                                                    const ParallelOverheads& ov = {});
+
+/// Sequentialization: one shared datapath reused over `cycles` clock cycles
+/// per result.  N shrinks dramatically; the *effective* logic depth and the
+/// throughput-normalized activity explode (Table 1's Sequential row).
+struct SequentialOverheads {
+  double cells_fraction = 0.4;     ///< N' = N * this / sqrt(cycles)... coarse
+  double control_cells = 40.0;     ///< counter/mux control overhead
+  double step_depth_fraction = 0.25;  ///< per-cycle LD vs combinational LD
+};
+[[nodiscard]] ArchitectureParams sequentialize_params(const ArchitectureParams& arch, int cycles,
+                                                      const SequentialOverheads& ov = {});
+
+}  // namespace optpower

@@ -1,0 +1,120 @@
+#include "calib/calibrate.h"
+
+#include <cmath>
+
+#include "numeric/linalg.h"
+#include "util/constants.h"
+#include "util/error.h"
+#include "util/format.h"
+
+namespace optpower {
+
+double chi_from_published_point(double vdd, double vth, const Technology& tech) {
+  require(vdd > 0.0 && vth < vdd, "chi_from_published_point: need vth < vdd, vdd > 0");
+  // Pure alpha-power law (the paper's Eq. 2/5): valid for any positive
+  // overdrive vdd - vth.
+  return (vdd - vth) / std::pow(vdd, 1.0 / tech.alpha);
+}
+
+double zeta_from_chi(double chi, double io, double logic_depth, double frequency,
+                     const Technology& tech) {
+  require(chi > 0.0 && io > 0.0 && logic_depth >= 1.0 && frequency > 0.0,
+          "zeta_from_chi: all inputs must be positive (logic_depth >= 1)");
+  const double scale = chi * kEuler / (tech.alpha * tech.n_ut());
+  return std::pow(scale, tech.alpha) * io / (logic_depth * frequency);
+}
+
+CalibratedModel calibrate_from_table1_row(const Table1Row& row, const Technology& base,
+                                          double frequency) {
+  validate(base);
+  require(frequency > 0.0, "calibrate_from_table1_row: frequency must be positive");
+  require(row.pdyn > 0.0 && row.pstat > 0.0,
+          "calibrate_from_table1_row: row must have positive power split");
+
+  const double nut = base.n_ut();
+  const double n = static_cast<double>(row.n_cells);
+
+  // C from the dynamic power at the published optimum.
+  const double cell_cap = row.pdyn / (n * row.activity * row.vdd_opt * row.vdd_opt * frequency);
+
+  // chi from the published (Vdd*, Vth*) on the constraint curve.
+  const double chi = chi_from_published_point(row.vdd_opt, row.vth_opt, base);
+
+  // Io_eff from the static power at the published optimum.
+  const double io_eff = row.pstat * std::exp(row.vth_opt / nut) / (n * row.vdd_opt);
+  require(io_eff > 0.0, "calibrate_from_table1_row: non-positive io_eff");
+
+  // zeta_eff so that Eq. 6 reproduces chi with the effective Io.
+  const double zeta_eff = zeta_from_chi(chi, io_eff, row.logic_depth, frequency, base);
+
+  Technology tech = base;
+  tech.name = base.name + "/" + row.name;
+  tech.io = io_eff;
+  tech.zeta = zeta_eff;
+
+  ArchitectureParams arch;
+  arch.name = row.name;
+  arch.n_cells = n;
+  arch.activity = row.activity;
+  arch.logic_depth = row.logic_depth;
+  arch.cell_cap = cell_cap;
+  arch.area_um2 = row.area_um2;
+
+  return {PowerModel(tech, arch), frequency, chi, cell_cap, io_eff, zeta_eff};
+}
+
+CalibratedModel calibrate_from_optimum(const WallaceFlavorRow& row, const Table1Row& structure,
+                                       const Technology& base, double frequency) {
+  validate(base);
+  require(frequency > 0.0, "calibrate_from_optimum: frequency must be positive");
+  require(row.ptot > 0.0, "calibrate_from_optimum: ptot must be positive");
+
+  const double nut = base.n_ut();
+  const double n = static_cast<double>(structure.n_cells);
+  const double a = structure.activity;
+  const double vdd = row.vdd_opt;
+  const double vth = row.vth_opt;
+
+  const double chi = chi_from_published_point(vdd, vth, base);
+
+  // dVth/dVdd along the constraint: g = 1 - (chi/alpha) vdd^{1/alpha - 1}.
+  const double g = 1.0 - (chi / base.alpha) * std::pow(vdd, 1.0 / base.alpha - 1.0);
+  const double leak_shape = std::exp(-vth / nut);
+
+  // Unknowns x = (C, Io_eff):
+  //   [ n a f vdd^2        n vdd leak_shape              ] [C ]   [ptot]
+  //   [ 2 n a f vdd        n leak_shape (1 - vdd g/nut)  ] [Io] = [0   ]
+  Matrix m(2, 2);
+  m(0, 0) = n * a * frequency * vdd * vdd;
+  m(0, 1) = n * vdd * leak_shape;
+  m(1, 0) = 2.0 * n * a * frequency * vdd;
+  m(1, 1) = n * leak_shape * (1.0 - vdd * g / nut);
+  const std::vector<double> rhs = {row.ptot, 0.0};
+  const std::vector<double> solution = solve_linear(m, rhs);
+  const double cell_cap = solution[0];
+  const double io_eff = solution[1];
+  if (cell_cap <= 0.0 || io_eff <= 0.0) {
+    throw NumericalError(strprintf(
+        "calibrate_from_optimum('%s'): inconsistent row, got C=%.3e F, Io=%.3e A",
+        row.name.c_str(), cell_cap, io_eff));
+  }
+
+  const double zeta_eff = zeta_from_chi(chi, io_eff, structure.logic_depth, frequency, base);
+
+  Technology tech = base;
+  tech.name = base.name + "/" + row.name;
+  tech.io = io_eff;
+  tech.zeta = zeta_eff;
+
+  ArchitectureParams arch;
+  arch.name = row.name;
+  arch.n_cells = n;
+  arch.activity = a;
+  arch.logic_depth = structure.logic_depth;
+  arch.cell_cap = cell_cap;
+  arch.area_um2 = structure.area_um2;
+
+  return {PowerModel(tech, arch), frequency, chi, cell_cap, io_eff, zeta_eff};
+}
+
+}  // namespace optpower

@@ -1,0 +1,118 @@
+#include "calib/tech_extract.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/fit.h"
+#include "numeric/levenberg_marquardt.h"
+#include "util/constants.h"
+#include "util/error.h"
+
+namespace optpower {
+
+SubthresholdExtraction extract_subthreshold(const std::vector<double>& vgs,
+                                            const std::vector<double>& ids, double vth0,
+                                            double ut) {
+  require(vgs.size() == ids.size() && vgs.size() >= 3,
+          "extract_subthreshold: need >= 3 matched samples");
+  require(ut > 0.0, "extract_subthreshold: ut must be positive");
+  for (std::size_t i = 0; i < vgs.size(); ++i) {
+    require(ids[i] > 0.0, "extract_subthreshold: currents must be positive");
+    require(vgs[i] < vth0, "extract_subthreshold: all samples must be below vth0");
+  }
+  // ln I = ln(Io e^{-vth0/(n Ut)}) + Vgs/(n Ut): a line in Vgs.
+  const ExponentialFit fit = fit_exponential(vgs, ids);
+  SubthresholdExtraction out;
+  out.n = fit.scale / ut;
+  require(out.n > 0.5 && out.n < 5.0, "extract_subthreshold: implausible slope factor");
+  out.i_at_vgs0 = fit.y0;
+  out.io = fit.y0 * std::exp(vth0 / fit.scale);
+  double sq = 0.0;
+  for (std::size_t i = 0; i < vgs.size(); ++i) {
+    const double e = std::log(ids[i]) - std::log(fit(vgs[i]));
+    sq += e * e;
+  }
+  out.rms_log_error = std::sqrt(sq / static_cast<double>(vgs.size()));
+  return out;
+}
+
+double extract_threshold_max_gm(const std::vector<double>& vgs, const std::vector<double>& ids) {
+  require(vgs.size() == ids.size() && vgs.size() >= 5,
+          "extract_threshold_max_gm: need >= 5 matched samples");
+  // Central-difference transconductance; find its maximum.
+  std::size_t best = 1;
+  double best_gm = -1.0;
+  for (std::size_t i = 1; i + 1 < vgs.size(); ++i) {
+    const double gm = (ids[i + 1] - ids[i - 1]) / (vgs[i + 1] - vgs[i - 1]);
+    if (gm > best_gm) {
+      best_gm = gm;
+      best = i;
+    }
+  }
+  require(best_gm > 0.0, "extract_threshold_max_gm: non-increasing current data");
+  // Tangent at the max-gm point, extrapolated to Ids = 0.
+  return vgs[best] - ids[best] / best_gm;
+}
+
+DelayExtraction extract_delay_params(const std::vector<double>& vdd,
+                                     const std::vector<double>& tgate, double io, double n,
+                                     double vth0, double eta, double ut) {
+  require(vdd.size() == tgate.size() && vdd.size() >= 4,
+          "extract_delay_params: need >= 4 matched samples");
+  require(io > 0.0 && n >= 1.0 && ut > 0.0, "extract_delay_params: bad device constants");
+  for (std::size_t i = 0; i < vdd.size(); ++i) {
+    require(vdd[i] > vth0 && tgate[i] > 0.0,
+            "extract_delay_params: supplies must exceed vth0; delays must be positive");
+  }
+
+  const auto model_delay = [&](double v, double zeta, double alpha) {
+    const double vth_eff = vth0 - eta * v;
+    const double overdrive = v - vth_eff;
+    const double ion = io * std::pow(kEuler * overdrive / (alpha * n * ut), alpha);
+    return zeta * v / ion;
+  };
+
+  // Seed: a crude power-law relation between overdrive and delay gives alpha;
+  // zeta then follows from matching the mid-range point.
+  std::vector<double> od(vdd.size()), inv_t(vdd.size());
+  for (std::size_t i = 0; i < vdd.size(); ++i) {
+    od[i] = vdd[i] - (vth0 - eta * vdd[i]);
+    inv_t[i] = vdd[i] / tgate[i];  // proportional to Ion
+  }
+  const PowerLawFit seed_law = fit_power_law(od, inv_t);
+  double alpha0 = std::clamp(seed_law.p, 1.0, 2.0);
+  const std::size_t mid = vdd.size() / 2;
+  const double ion_mid =
+      io * std::pow(kEuler * od[mid] / (alpha0 * n * ut), alpha0);
+  double zeta0 = tgate[mid] * ion_mid / vdd[mid];
+
+  const auto residuals = [&](const std::vector<double>& p) {
+    const double zeta = p[0];
+    const double alpha = p[1];
+    std::vector<double> r(vdd.size());
+    if (zeta <= 0.0 || alpha < 1.0 || alpha > 2.0) {
+      std::fill(r.begin(), r.end(), 1e6);
+      return r;
+    }
+    for (std::size_t i = 0; i < vdd.size(); ++i) {
+      r[i] = std::log(model_delay(vdd[i], zeta, alpha)) - std::log(tgate[i]);
+    }
+    return r;
+  };
+
+  const LevenbergMarquardtResult lm = levenberg_marquardt(residuals, {zeta0, alpha0});
+
+  DelayExtraction out;
+  out.zeta = lm.params[0];
+  out.alpha = lm.params[1];
+  out.converged = lm.converged || lm.chi2 < 1e-6;
+  double sq = 0.0;
+  for (std::size_t i = 0; i < vdd.size(); ++i) {
+    const double rel = model_delay(vdd[i], out.zeta, out.alpha) / tgate[i] - 1.0;
+    sq += rel * rel;
+  }
+  out.rms_rel_error = std::sqrt(sq / static_cast<double>(vdd.size()));
+  return out;
+}
+
+}  // namespace optpower

@@ -1,0 +1,52 @@
+// Technology-parameter extraction: the paper's ELDO flow ("technology
+// parameters have been estimated with Spice simulations ... by fitting
+// delays on inverter chains ring oscillators") re-implemented on top of
+// measurement vectors produced by the mini-SPICE engine (src/spice).
+//
+// The extractors are pure functions of data so they can be unit-tested with
+// synthetic curves and reused on real measurements.
+#pragma once
+
+#include <vector>
+
+namespace optpower {
+
+/// Result of a weak-inversion (sub-threshold) fit of Ids(Vgs) data.
+struct SubthresholdExtraction {
+  double n = 0.0;            ///< weak-inversion slope factor
+  double io = 0.0;           ///< current at Vgs = Vth0 [A] (the paper's Io)
+  double i_at_vgs0 = 0.0;    ///< leakage at Vgs = 0 [A]
+  double rms_log_error = 0.0;
+};
+
+/// Fit I = Io * exp((Vgs - vth0)/(n*Ut)) on sub-threshold sweep data
+/// (Vgs strictly below vth0).  `ut` is the thermal voltage at the
+/// measurement temperature.  Throws InvalidArgument on bad data.
+[[nodiscard]] SubthresholdExtraction extract_subthreshold(const std::vector<double>& vgs,
+                                                          const std::vector<double>& ids,
+                                                          double vth0, double ut);
+
+/// Threshold extraction by the maximum-transconductance extrapolation
+/// method: find the steepest point of Ids(Vgs) and extrapolate its tangent
+/// to Ids = 0.  Standard silicon practice; works on our analytic model too.
+[[nodiscard]] double extract_threshold_max_gm(const std::vector<double>& vgs,
+                                              const std::vector<double>& ids);
+
+/// Result of the delay fit (the paper's ring-oscillator flow).
+struct DelayExtraction {
+  double zeta = 0.0;   ///< Eq. 4 coefficient [F]
+  double alpha = 0.0;  ///< alpha-power exponent
+  double rms_rel_error = 0.0;
+  bool converged = false;
+};
+
+/// Fit tgate(Vdd) = zeta * Vdd / (Io * (e*(Vdd - vth_eff)/(alpha n Ut))^alpha)
+/// to measured stage delays at supplies `vdd` (all with overdrive above the
+/// sub-threshold matching point).  (io, n, vth0, eta, ut) are known from the
+/// leakage extraction; (zeta, alpha) are fitted with Levenberg-Marquardt on
+/// log-delay residuals, seeded by a power-law regression.
+[[nodiscard]] DelayExtraction extract_delay_params(const std::vector<double>& vdd,
+                                                   const std::vector<double>& tgate, double io,
+                                                   double n, double vth0, double eta, double ut);
+
+}  // namespace optpower

@@ -1,0 +1,76 @@
+#include "device/mosfet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace optpower {
+
+Mosfet::Mosfet(MosfetParams params) : params_(std::move(params)) {
+  require(params_.io > 0.0, "Mosfet: io must be positive");
+  require(params_.n >= 1.0, "Mosfet: weak-inversion slope n must be >= 1");
+  require(params_.alpha >= 1.0 && params_.alpha <= 2.0,
+          "Mosfet: alpha-power exponent must lie in [1, 2]");
+  require(params_.temperature_k > 0.0, "Mosfet: temperature must be positive");
+}
+
+double Mosfet::threshold(double vds) const noexcept {
+  return params_.vth0 - params_.eta * vds;
+}
+
+double Mosfet::saturation_current(double vgt) const noexcept {
+  const double nut = params_.n_ut();
+  const double vswitch = params_.alpha * nut;  // C1 matching point
+  if (vgt <= vswitch) {
+    return params_.io * std::exp(vgt / nut);
+  }
+  // Paper Eq. 2: Ion = Io * (e * vgt / (alpha * n * Ut))^alpha.
+  return params_.io * std::pow(kEuler * vgt / vswitch, params_.alpha);
+}
+
+double Mosfet::drain_current(double vgs, double vds) const noexcept {
+  if (vds < 0.0) return -drain_current(vgs + vds, -vds);  // source/drain swap
+  const double vth = threshold(vds);
+  const double vgt = vgs - vth;
+  const double isat = saturation_current(vgt);
+  // Simplified Sakurai linear region: Vdsat proportional to a softplus of the
+  // overdrive so that Vdsat stays positive (and the triode blend smooth) even
+  // in weak inversion.
+  const double nut = params_.n_ut();
+  const double vgt_eff = nut * std::log1p(std::exp(std::clamp(vgt / nut, -60.0, 60.0)));
+  const double vdsat = std::max(params_.vdsat_factor * vgt_eff, 1e-6);
+  double shape;
+  if (vds >= vdsat) {
+    shape = 1.0;
+  } else {
+    const double u = vds / vdsat;
+    shape = u * (2.0 - u);  // Sakurai's (2 - Vds/Vd0)(Vds/Vd0)
+  }
+  return isat * shape * (1.0 + params_.lambda * vds);
+}
+
+double Mosfet::off_current(double vds) const noexcept {
+  // Vgs = 0: vgt = -(vth0 - eta*vds); always on the exponential branch for
+  // realistic thresholds.
+  return drain_current(0.0, vds);
+}
+
+double Mosfet::gm(double vgs, double vds) const noexcept {
+  const double h = 1e-6;
+  return (drain_current(vgs + h, vds) - drain_current(vgs - h, vds)) / (2.0 * h);
+}
+
+double Mosfet::gds(double vgs, double vds) const noexcept {
+  const double h = 1e-6;
+  return (drain_current(vgs, vds + h) - drain_current(vgs, vds - h)) / (2.0 * h);
+}
+
+MosfetParams complementary_pmos(const MosfetParams& nmos) {
+  MosfetParams p = nmos;
+  p.name = nmos.name + "_p";
+  p.polarity = MosPolarity::kPmos;
+  return p;
+}
+
+}  // namespace optpower

@@ -1,0 +1,85 @@
+// Analytic MOSFET model: alpha-power law (Sakurai-Newton) on-current,
+// C1-matched to the sub-threshold exponential, with DIBL and a
+// linear/saturation Vds characteristic.
+//
+// This is the device model underneath both halves of the library:
+//  * the power model's Eq. 2 (on-current) and Eq. 1 (sub-threshold leakage)
+//    evaluate the saturated branch directly, and
+//  * the mini-SPICE engine (src/spice) evaluates the full Ids(Vgs, Vds)
+//    surface inside its Newton iteration, which is why the piecewise
+//    branches are stitched with continuous value and first derivative.
+//
+// Matching construction: the sub-threshold current Io*exp(Vgt/(n*Ut)) and the
+// alpha-power current Io*(e*Vgt/(alpha*n*Ut))^alpha take the same value
+// Io*e^alpha AND the same slope at Vgt = alpha*n*Ut, so switching branches at
+// that point is C1.  (This is exactly the matching factor (e/(alpha*n*Ut))^alpha
+// in the paper's Eq. 2.)
+#pragma once
+
+#include <string>
+
+#include "util/constants.h"
+
+namespace optpower {
+
+/// Transistor polarity.  The model is written for NMOS conventions; PMOS
+/// devices are handled by mirroring terminal voltages at the call site
+/// (see spice/elements.cpp).
+enum class MosPolarity { kNmos, kPmos };
+
+/// Parameters of the analytic MOSFET model.  Defaults approximate the STM
+/// 0.13 um LL flavor used throughout the paper.
+struct MosfetParams {
+  std::string name = "generic";
+  MosPolarity polarity = MosPolarity::kNmos;
+
+  double io = 3.34e-6;     ///< off-current at Vgs = Vth [A] (paper's Io)
+  double n = 1.33;         ///< weak-inversion slope factor
+  double alpha = 1.86;     ///< alpha-power-law exponent
+  double vth0 = 0.354;     ///< zero-bias threshold voltage [V]
+  double eta = 0.0;        ///< DIBL coefficient: Vth = vth0 - eta*Vds
+  double lambda = 0.05;    ///< channel-length modulation [1/V]
+  double vdsat_factor = 0.8;  ///< Vdsat = vdsat_factor * Vgt (simplified Sakurai Vd0)
+  double temperature_k = kDefaultTemperatureK;
+
+  /// n * Ut, the sub-threshold exponential scale [V].
+  [[nodiscard]] double n_ut() const noexcept { return n * thermal_voltage(temperature_k); }
+  /// The branch-switch overdrive alpha*n*Ut [V].
+  [[nodiscard]] double match_overdrive() const noexcept { return alpha * n_ut(); }
+};
+
+/// The MOSFET model.  Stateless; all methods are pure functions of params.
+class Mosfet {
+ public:
+  explicit Mosfet(MosfetParams params);
+
+  [[nodiscard]] const MosfetParams& params() const noexcept { return params_; }
+
+  /// Effective threshold voltage with DIBL at drain-source bias `vds`.
+  [[nodiscard]] double threshold(double vds) const noexcept;
+
+  /// Saturated drain current as a function of gate overdrive
+  /// Vgt = Vgs - Vth(Vds):  sub-threshold exponential below alpha*n*Ut,
+  /// alpha-power law above (the paper's Eq. 2), C1-continuous at the switch.
+  [[nodiscard]] double saturation_current(double vgt) const noexcept;
+
+  /// Full drain current Ids(vgs, vds) including the triode region and
+  /// channel-length modulation.  vds >= 0 expected (NMOS convention).
+  [[nodiscard]] double drain_current(double vgs, double vds) const noexcept;
+
+  /// Sub-threshold leakage at vgs = 0 and the given vds (includes DIBL).
+  [[nodiscard]] double off_current(double vds) const noexcept;
+
+  /// Numeric small-signal transconductance dIds/dVgs.
+  [[nodiscard]] double gm(double vgs, double vds) const noexcept;
+  /// Numeric output conductance dIds/dVds.
+  [[nodiscard]] double gds(double vgs, double vds) const noexcept;
+
+ private:
+  MosfetParams params_;
+};
+
+/// Build the complementary PMOS of an NMOS parameter set (same magnitudes).
+[[nodiscard]] MosfetParams complementary_pmos(const MosfetParams& nmos);
+
+}  // namespace optpower

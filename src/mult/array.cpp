@@ -1,0 +1,89 @@
+#include "mult/array.h"
+
+#include "netlist/builder.h"
+#include "netlist/cell.h"
+#include "netlist/transform.h"
+#include "util/error.h"
+#include "util/format.h"
+
+namespace optpower {
+
+Netlist array_multiplier(int width) {
+  require(width >= 2 && width <= 32, "array_multiplier: width must lie in [2, 32]");
+  Netlist nl(strprintf("rca_mult%d", width));
+  const Bus a = add_input_bus(nl, "a", width);
+  const Bus b = add_input_bus(nl, "b", width);
+
+  // Partial products, tagged by array position.
+  std::vector<Bus> pp(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    Bus row;
+    row.reserve(static_cast<std::size_t>(width));
+    for (int j = 0; j < width; ++j) {
+      row.push_back(nl.add_gate(CellType::kAnd2, {a[static_cast<std::size_t>(j)],
+                                                  b[static_cast<std::size_t>(i)]}));
+      nl.tag_last_cell(i, j);
+    }
+    pp[static_cast<std::size_t>(i)] = std::move(row);
+  }
+
+  // Row-by-row ripple accumulation.  After row i the product bits 0..i are
+  // final; `acc` holds the running top (width-1) bits, `carry_top` the MSB.
+  Bus product;
+  product.reserve(static_cast<std::size_t>(2 * width));
+  product.push_back(pp[0][0]);
+  Bus acc(pp[0].begin() + 1, pp[0].end());  // width-1 bits
+  NetId carry_top = kNoNet;
+
+  for (int i = 1; i < width; ++i) {
+    // Operand = acc extended by the previous row's carry-out (0 for row 1).
+    Bus operand = acc;
+    operand.push_back(carry_top == kNoNet ? nl.const0() : carry_top);
+
+    // Ripple add partial-product row i; tag the adders with their position.
+    const Bus& addend = pp[static_cast<std::size_t>(i)];
+    Bus sum;
+    sum.reserve(static_cast<std::size_t>(width));
+    NetId carry = kNoNet;
+    for (int j = 0; j < width; ++j) {
+      std::vector<NetId> outs;
+      if (carry == kNoNet) {
+        outs = nl.add_cell(CellType::kHalfAdder,
+                           {operand[static_cast<std::size_t>(j)], addend[static_cast<std::size_t>(j)]});
+      } else {
+        outs = nl.add_cell(CellType::kFullAdder,
+                           {operand[static_cast<std::size_t>(j)], addend[static_cast<std::size_t>(j)], carry});
+      }
+      nl.tag_last_cell(i, j);
+      sum.push_back(outs[0]);
+      carry = outs[1];
+    }
+    product.push_back(sum[0]);
+    acc.assign(sum.begin() + 1, sum.end());
+    carry_top = carry;
+  }
+
+  for (const NetId bit : acc) product.push_back(bit);
+  product.push_back(carry_top);
+  add_output_bus(nl, "p", product);
+  nl.verify();
+  return nl;
+}
+
+Netlist array_multiplier_hpipe(int width, int stages) {
+  require(stages >= 2, "array_multiplier_hpipe: need >= 2 stages");
+  const Netlist base = array_multiplier(width);
+  Netlist out = pipeline_netlist(base, stages, horizontal_stages(stages, width - 1));
+  out.set_name(strprintf("rca_mult%d_hpipe%d", width, stages));
+  return out;
+}
+
+Netlist array_multiplier_dpipe(int width, int stages) {
+  require(stages >= 2, "array_multiplier_dpipe: need >= 2 stages");
+  const Netlist base = array_multiplier(width);
+  Netlist out = pipeline_netlist(base, stages, diagonal_stages(stages, 2 * (width - 1)));
+  out.set_name(strprintf("rca_mult%d_dpipe%d", width, stages));
+  return out;
+}
+
+}  // namespace optpower

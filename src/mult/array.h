@@ -1,0 +1,27 @@
+// Ripple-carry array (Braun) multipliers: the paper's RCA family.
+//
+// "the basic implementation is constructed as an array of 1-bit adders, its
+// speed being limited by the carry propagation" - rows of ripple adders
+// accumulate one partial-product row each.  Cells carry (row, col) tags so
+// the scheduling-based pipeliner can cut the array horizontally (Figure 3)
+// or diagonally (Figure 4).
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace optpower {
+
+/// Unsigned WxW array multiplier, combinational: inputs a[W], b[W];
+/// outputs p[2W].
+[[nodiscard]] Netlist array_multiplier(int width);
+
+/// Horizontally pipelined array multiplier (registers inserted between row
+/// bands; Figure 3).  Latency = stages - 1 cycles.
+[[nodiscard]] Netlist array_multiplier_hpipe(int width, int stages);
+
+/// Diagonally pipelined array multiplier (registers along anti-diagonal
+/// cuts; Figure 4).  Shorter logic depth per stage, more path-delay spread
+/// (hence more glitching).  Latency = stages - 1 cycles.
+[[nodiscard]] Netlist array_multiplier_dpipe(int width, int stages);
+
+}  // namespace optpower

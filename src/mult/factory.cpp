@@ -1,0 +1,72 @@
+#include "mult/factory.h"
+
+#include "mult/array.h"
+#include "mult/sequential.h"
+#include "mult/wallace.h"
+#include "netlist/transform.h"
+#include "util/error.h"
+
+namespace optpower {
+
+const std::vector<std::string>& multiplier_names() {
+  static const std::vector<std::string> kNames = {
+      "RCA",           "RCA parallel",  "RCA parallel 4", "RCA hor.pipe2", "RCA hor.pipe4",
+      "RCA diagpipe2", "RCA diagpipe4", "Wallace",        "Wallace parallel", "Wallace par4",
+      "Sequential",    "Seq4_16",       "Seq parallel",
+  };
+  return kNames;
+}
+
+GeneratedMultiplier build_multiplier(const std::string& name, int width) {
+  GeneratedMultiplier g{name, Netlist("empty"), width, 1, 1, false};
+  if (name == "RCA") {
+    g.netlist = array_multiplier(width);
+  } else if (name == "RCA parallel") {
+    g.netlist = parallelize_netlist(array_multiplier(width), 2);
+    g.ways = 2;
+  } else if (name == "RCA parallel 4") {
+    g.netlist = parallelize_netlist(array_multiplier(width), 4);
+    g.ways = 4;
+  } else if (name == "RCA hor.pipe2") {
+    g.netlist = array_multiplier_hpipe(width, 2);
+  } else if (name == "RCA hor.pipe4") {
+    g.netlist = array_multiplier_hpipe(width, 4);
+  } else if (name == "RCA diagpipe2") {
+    g.netlist = array_multiplier_dpipe(width, 2);
+  } else if (name == "RCA diagpipe4") {
+    g.netlist = array_multiplier_dpipe(width, 4);
+  } else if (name == "Wallace") {
+    g.netlist = wallace_multiplier(width);
+  } else if (name == "Wallace parallel") {
+    g.netlist = parallelize_netlist(wallace_multiplier(width), 2);
+    g.ways = 2;
+  } else if (name == "Wallace par4") {
+    g.netlist = parallelize_netlist(wallace_multiplier(width), 4);
+    g.ways = 4;
+  } else if (name == "Sequential") {
+    g.netlist = sequential_multiplier(width);
+    g.cycles_per_result = sequential_cycles_per_result(width);
+    g.is_sequential = true;
+  } else if (name == "Seq4_16") {
+    g.netlist = sequential_multiplier_4x(width);
+    g.cycles_per_result = sequential4x_cycles_per_result(width);
+    g.is_sequential = true;
+  } else if (name == "Seq parallel") {
+    g.netlist = sequential_multiplier_parallel(width);
+    g.cycles_per_result = sequential_cycles_per_result(width);
+    g.ways = 2;
+    g.is_sequential = true;
+  } else {
+    throw InvalidArgument("build_multiplier: unknown architecture '" + name + "'");
+  }
+  return g;
+}
+
+std::vector<GeneratedMultiplier> build_all_multipliers(int width) {
+  std::vector<GeneratedMultiplier> all;
+  all.reserve(multiplier_names().size());
+  for (const auto& name : multiplier_names()) all.push_back(build_multiplier(name, width));
+  return all;
+}
+
+}  // namespace optpower

@@ -1,0 +1,36 @@
+// Factory for the paper's thirteen 16-bit multiplier architectures
+// (Section 4), with the metadata the forward characterization flow needs:
+// internal clock ratio, parallelization factor, and how results line up
+// with applied operands.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace optpower {
+
+/// One generated architecture plus its scheduling metadata.
+struct GeneratedMultiplier {
+  std::string name;                ///< Table-1 row name
+  Netlist netlist;
+  int width = 16;
+  int cycles_per_result = 1;       ///< internal clock cycles per data period
+  int ways = 1;                    ///< parallel replication factor
+  bool is_sequential = false;      ///< uses an internal faster clock
+  /// Timing relaxation vs. the data period: LDeff = LD_sta *
+  /// cycles_per_result / ways (see sta/sta.h).
+};
+
+/// Names in the paper's Table-1 order.
+[[nodiscard]] const std::vector<std::string>& multiplier_names();
+
+/// Build one architecture by its Table-1 name ("RCA", "Wallace par4",
+/// "Seq4_16", ...).  Throws InvalidArgument for unknown names.
+[[nodiscard]] GeneratedMultiplier build_multiplier(const std::string& name, int width = 16);
+
+/// Build all thirteen (expensive: ~40k cells total at width 16).
+[[nodiscard]] std::vector<GeneratedMultiplier> build_all_multipliers(int width = 16);
+
+}  // namespace optpower

@@ -1,0 +1,200 @@
+#include "mult/sequential.h"
+
+#include "netlist/builder.h"
+#include "netlist/cell.h"
+#include "util/error.h"
+#include "util/format.h"
+
+namespace optpower {
+namespace {
+
+/// A register bank created on placeholder inputs; the D cones are rewired
+/// once the feedback logic exists (the sequential-feedback pattern enabled
+/// by Netlist::rewire_input).
+struct RegBank {
+  Bus q;
+  std::vector<CellId> cells;
+};
+
+RegBank make_reg_bank(Netlist& nl, int width) {
+  RegBank bank;
+  const NetId placeholder = nl.const0();
+  bank.q.reserve(static_cast<std::size_t>(width));
+  bank.cells.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    const NetId q = nl.add_gate(CellType::kDff, {placeholder});
+    bank.cells.push_back(nl.driver_of(q));
+    bank.q.push_back(q);
+  }
+  return bank;
+}
+
+void connect_reg_bank(Netlist& nl, const RegBank& bank, const Bus& d) {
+  require(d.size() == bank.q.size(), "connect_reg_bank: width mismatch");
+  for (std::size_t i = 0; i < d.size(); ++i) nl.rewire_input(bank.cells[i], 0, d[i]);
+}
+
+Bus shift_left_pad(Netlist& nl, const Bus& bus, int k, int width) {
+  Bus out;
+  out.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < k && static_cast<int>(out.size()) < width; ++i) out.push_back(nl.const0());
+  for (const NetId b : bus) {
+    if (static_cast<int>(out.size()) >= width) break;
+    out.push_back(b);
+  }
+  while (static_cast<int>(out.size()) < width) out.push_back(nl.const0());
+  return out;
+}
+
+/// Gate every bit of `bus` with NOT(load): the P operand is zero on load
+/// cycles (starting a fresh accumulation).
+Bus gate_with_not(Netlist& nl, const Bus& bus, NetId load) {
+  const NetId nload = nl.add_gate(CellType::kInv, {load});
+  return and_with_bit(nl, bus, nload);
+}
+
+/// Appends one add-and-shift core processing `bits_per_cycle` multiplier
+/// bits per clock.  `a_in`/`b_in` are the operand buses (sampled on the
+/// core's internal load cycle); returns the 2W-bit registered result.
+Bus append_sequential_core(Netlist& nl, const Bus& a_in, const Bus& b_in, int bits_per_cycle) {
+  const int width = static_cast<int>(a_in.size());
+  require(width >= 4 && width % bits_per_cycle == 0,
+          "append_sequential_core: width must be a multiple of bits_per_cycle");
+  const int steps = width / bits_per_cycle;
+  int counter_bits = 0;
+  while ((1 << counter_bits) < steps) ++counter_bits;
+  require((1 << counter_bits) == steps, "append_sequential_core: steps must be a power of two");
+
+  // Internal sequencing: counter wraps every `steps` cycles; load on wrap.
+  const Bus counter = add_counter(nl, counter_bits);
+  // load = (counter == 0): AND of inverted state bits.
+  NetId load = nl.add_gate(CellType::kInv, {counter[0]});
+  for (std::size_t i = 1; i < counter.size(); ++i) {
+    const NetId inv = nl.add_gate(CellType::kInv, {counter[i]});
+    load = nl.add_gate(CellType::kAnd2, {load, inv});
+  }
+
+  RegBank a_reg = make_reg_bank(nl, width);
+  RegBank b_reg = make_reg_bank(nl, width);
+  RegBank p_reg = make_reg_bank(nl, width);
+
+  // Operand selection: on load cycles the datapath consumes the fresh
+  // operands directly (embedding the first add-shift step into the load),
+  // otherwise the registered state.
+  const Bus a_used = mux_bus(nl, load, a_reg.q, a_in);
+  Bus b_low_used;  // the bits_per_cycle multiplier bits consumed this cycle
+  for (int j = 0; j < bits_per_cycle; ++j) {
+    b_low_used.push_back(nl.add_gate(
+        CellType::kMux2, {b_reg.q[static_cast<std::size_t>(j)], b_in[static_cast<std::size_t>(j)], load}));
+  }
+  const Bus p_used = gate_with_not(nl, p_reg.q, load);
+
+  // Partial-product block + accumulation.
+  const int sum_width = width + bits_per_cycle;
+  Bus sum;
+  if (bits_per_cycle == 1) {
+    // addend = a_used & b0; sum = p + addend (width+1 bits via carry-out).
+    const Bus addend = and_with_bit(nl, a_used, b_low_used[0]);
+    const AdderResult r = carry_select_adder(nl, p_used, addend, kNoNet, 4);
+    sum = r.sum;
+    sum.push_back(r.carry_out);
+  } else {
+    // Carry-save accumulate bits_per_cycle partial products plus P.
+    std::vector<Bus> addends;
+    for (int j = 0; j < bits_per_cycle; ++j) {
+      const Bus pp = and_with_bit(nl, a_used, b_low_used[static_cast<std::size_t>(j)]);
+      addends.push_back(shift_left_pad(nl, pp, j, sum_width));
+    }
+    addends.push_back(shift_left_pad(nl, p_used, 0, sum_width));
+    // Reduce to two rows with 3:2 compressors.
+    while (addends.size() > 2) {
+      const Bus s0 = addends[0], s1 = addends[1], s2 = addends[2];
+      addends.erase(addends.begin(), addends.begin() + 3);
+      const CarrySaveRow row = carry_save_row(nl, s0, s1, s2);
+      addends.push_back(row.sum);
+      addends.push_back(shift_left_pad(nl, row.carry, 1, sum_width));
+    }
+    const AdderResult r = carry_select_adder(nl, addends[0], addends[1], kNoNet, 4);
+    sum = r.sum;  // sum < 2^sum_width by construction: carry-out unused
+  }
+
+  // State update: A holds (or loads), P <- sum >> bits_per_cycle,
+  // B shifts down by bits_per_cycle with the new product bits on top.
+  connect_reg_bank(nl, a_reg, a_used);
+  Bus p_next;
+  for (int i = 0; i < width; ++i) {
+    p_next.push_back(sum[static_cast<std::size_t>(i + bits_per_cycle)]);
+  }
+  connect_reg_bank(nl, p_reg, p_next);
+  Bus b_next;
+  for (int i = 0; i < width - bits_per_cycle; ++i) {
+    b_next.push_back(nl.add_gate(CellType::kMux2, {b_reg.q[static_cast<std::size_t>(i + bits_per_cycle)],
+                                                   b_in[static_cast<std::size_t>(i + bits_per_cycle)], load}));
+  }
+  for (int j = 0; j < bits_per_cycle; ++j) b_next.push_back(sum[static_cast<std::size_t>(j)]);
+  connect_reg_bank(nl, b_reg, b_next);
+
+  // Result register: captured on the next load, i.e. when {B, P} hold the
+  // finished product of the previous operand pair.
+  Bus result_d = b_reg.q;
+  result_d.insert(result_d.end(), p_reg.q.begin(), p_reg.q.end());
+  return register_bus(nl, result_d, load);
+}
+
+}  // namespace
+
+int sequential_cycles_per_result(int width) noexcept { return width; }
+int sequential4x_cycles_per_result(int width) noexcept { return width / 4; }
+
+Netlist sequential_multiplier(int width) {
+  require(width >= 4 && width <= 32, "sequential_multiplier: width must lie in [4, 32]");
+  Netlist nl(strprintf("seq_mult%d", width));
+  const Bus a = add_input_bus(nl, "a", width);
+  const Bus b = add_input_bus(nl, "b", width);
+  const Bus p = append_sequential_core(nl, a, b, 1);
+  add_output_bus(nl, "p", p);
+  nl.verify();
+  return nl;
+}
+
+Netlist sequential_multiplier_4x(int width) {
+  require(width >= 8 && width % 4 == 0, "sequential_multiplier_4x: width must be a multiple of 4");
+  Netlist nl(strprintf("seq4_mult%d", width));
+  const Bus a = add_input_bus(nl, "a", width);
+  const Bus b = add_input_bus(nl, "b", width);
+  const Bus p = append_sequential_core(nl, a, b, 4);
+  add_output_bus(nl, "p", p);
+  nl.verify();
+  return nl;
+}
+
+Netlist sequential_multiplier_parallel(int width) {
+  require(width >= 4 && width <= 32, "sequential_multiplier_parallel: width must lie in [4, 32]");
+  Netlist nl(strprintf("seqpar_mult%d", width));
+  const Bus a = add_input_bus(nl, "a", width);
+  const Bus b = add_input_bus(nl, "b", width);
+
+  // Phase: MSB of a counter spanning two data periods; lane k holds the
+  // operands of every other data period.
+  int counter_bits = 1;
+  while ((1 << counter_bits) < 2 * width) ++counter_bits;
+  const Bus phase_counter = add_counter(nl, counter_bits);
+  const NetId phase = phase_counter[static_cast<std::size_t>(counter_bits - 1)];
+  const NetId phase_n = nl.add_gate(CellType::kInv, {phase});
+
+  Bus outputs;
+  std::vector<Bus> lane_results;
+  for (int lane = 0; lane < 2; ++lane) {
+    const NetId hold_en = (lane == 0) ? phase_n : phase;
+    Bus a_held, b_held;
+    for (const NetId bit : a) a_held.push_back(nl.add_gate(CellType::kDffEnable, {bit, hold_en}));
+    for (const NetId bit : b) b_held.push_back(nl.add_gate(CellType::kDffEnable, {bit, hold_en}));
+    lane_results.push_back(append_sequential_core(nl, a_held, b_held, 1));
+  }
+  outputs = mux_bus(nl, phase, lane_results[0], lane_results[1]);
+  add_output_bus(nl, "p", outputs);
+  nl.verify();
+  return nl;
+}
+
+}  // namespace optpower

@@ -1,0 +1,39 @@
+// Sequential (add-and-shift) multipliers: the paper's compact family.
+//
+// "the basic implementation computes the multiplication with a sequence of
+// add and shift operations ... as many clock cycles as the operand width ...
+// only one 16-bit adder is necessary.  Note, this corresponds to an internal
+// clock running 16 times faster than the 31.25 MHz data clock."
+//
+// All three variants keep one fast (carry-select) adder and stream the
+// multiplier operand through it:
+//  * sequential_multiplier:      1 bit/cycle, W cycles per result
+//  * sequential_multiplier_4x:   4 bits/cycle via a 4xW carry-save block
+//                                ("4_16 Wallace"), W/4 cycles per result
+//  * sequential_multiplier_parallel: two basic cores on alternating operands
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace optpower {
+
+/// Basic add-and-shift multiplier.  New operands are captured every `width`
+/// clock cycles (when the internal counter wraps); the 2W-bit result of one
+/// operand pair appears one data period + one cycle later and stays stable
+/// for a full period.
+[[nodiscard]] Netlist sequential_multiplier(int width);
+
+/// "4_16 Wallace": adds 4 partial products per cycle with a carry-save
+/// block, needing width/4 cycles per result.  width must be divisible by 4.
+[[nodiscard]] Netlist sequential_multiplier_4x(int width);
+
+/// Replicated-and-multiplexed pair of basic cores: even data periods go to
+/// lane 0, odd to lane 1; each lane has two data periods per result.
+[[nodiscard]] Netlist sequential_multiplier_parallel(int width);
+
+/// Clock cycles per result for each variant (the internal-vs-data clock
+/// ratio the activity normalization and LDeff need).
+[[nodiscard]] int sequential_cycles_per_result(int width) noexcept;
+[[nodiscard]] int sequential4x_cycles_per_result(int width) noexcept;
+
+}  // namespace optpower

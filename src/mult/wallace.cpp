@@ -1,0 +1,76 @@
+#include "mult/wallace.h"
+
+#include "netlist/builder.h"
+#include "netlist/cell.h"
+#include "util/error.h"
+#include "util/format.h"
+
+namespace optpower {
+
+Netlist wallace_multiplier(int width) {
+  require(width >= 2 && width <= 32, "wallace_multiplier: width must lie in [2, 32]");
+  Netlist nl(strprintf("wallace_mult%d", width));
+  const Bus a = add_input_bus(nl, "a", width);
+  const Bus b = add_input_bus(nl, "b", width);
+
+  // Dot diagram: columns[k] collects all bits of weight 2^k.
+  std::vector<std::vector<NetId>> columns(static_cast<std::size_t>(2 * width));
+  for (int i = 0; i < width; ++i) {
+    for (int j = 0; j < width; ++j) {
+      const NetId dot = nl.add_gate(
+          CellType::kAnd2, {a[static_cast<std::size_t>(j)], b[static_cast<std::size_t>(i)]});
+      nl.tag_last_cell(i, j);
+      columns[static_cast<std::size_t>(i + j)].push_back(dot);
+    }
+  }
+
+  // Wallace reduction: per pass, compress every group of 3 in a column with
+  // a full adder and every remaining pair with a half adder, until all
+  // columns have height <= 2.
+  int level = width;  // tag pipeline levels below the pp rows
+  auto max_height = [&]() {
+    std::size_t h = 0;
+    for (const auto& col : columns) h = std::max(h, col.size());
+    return h;
+  };
+  while (max_height() > 2) {
+    std::vector<std::vector<NetId>> next(columns.size());
+    for (std::size_t k = 0; k < columns.size(); ++k) {
+      auto& col = columns[k];
+      std::size_t i = 0;
+      while (col.size() - i >= 3) {
+        const auto outs = nl.add_cell(CellType::kFullAdder, {col[i], col[i + 1], col[i + 2]});
+        nl.tag_last_cell(level, static_cast<std::int32_t>(k));
+        next[k].push_back(outs[0]);
+        if (k + 1 < next.size()) next[k + 1].push_back(outs[1]);
+        i += 3;
+      }
+      if (col.size() - i == 2) {
+        const auto outs = nl.add_cell(CellType::kHalfAdder, {col[i], col[i + 1]});
+        nl.tag_last_cell(level, static_cast<std::int32_t>(k));
+        next[k].push_back(outs[0]);
+        if (k + 1 < next.size()) next[k + 1].push_back(outs[1]);
+        i += 2;
+      }
+      for (; i < col.size(); ++i) next[k].push_back(col[i]);
+    }
+    columns = std::move(next);
+    ++level;
+  }
+
+  // Final two-row addition with the fast carry-select adder.
+  Bus row0, row1;
+  row0.reserve(columns.size());
+  row1.reserve(columns.size());
+  for (auto& col : columns) {
+    row0.push_back(col.empty() ? nl.const0() : col[0]);
+    row1.push_back(col.size() > 1 ? col[1] : nl.const0());
+  }
+  const AdderResult final_sum = carry_select_adder(nl, row0, row1, kNoNet, 4);
+  Bus product = final_sum.sum;  // 2W bits; the carry-out of bit 2W-1 is zero
+  add_output_bus(nl, "p", product);
+  nl.verify();
+  return nl;
+}
+
+}  // namespace optpower

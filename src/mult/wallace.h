@@ -1,0 +1,15 @@
+// Wallace-tree multiplier: "adds the partial products using Carry Save
+// Adders in parallel.  Path delays are better balanced than in RCA,
+// resulting in an overall faster architecture."
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace optpower {
+
+/// Unsigned WxW Wallace-tree multiplier, combinational: column-wise 3:2
+/// compression of the partial-product matrix to height 2, then a
+/// carry-select final adder.
+[[nodiscard]] Netlist wallace_multiplier(int width);
+
+}  // namespace optpower

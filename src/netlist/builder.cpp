@@ -1,0 +1,178 @@
+#include "netlist/builder.h"
+
+#include "netlist/cell.h"
+#include "util/error.h"
+#include "util/format.h"
+
+namespace optpower {
+
+Bus add_input_bus(Netlist& nl, const std::string& prefix, int width) {
+  require(width > 0, "add_input_bus: width must be positive");
+  Bus bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    bus.push_back(nl.add_input(strprintf("%s[%d]", prefix.c_str(), i)));
+  }
+  return bus;
+}
+
+void add_output_bus(Netlist& nl, const std::string& prefix, const Bus& bus) {
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    nl.add_output(strprintf("%s[%zu]", prefix.c_str(), i), bus[i]);
+  }
+}
+
+Bus constant_bus(Netlist& nl, std::uint64_t value, int width) {
+  require(width > 0 && width <= 64, "constant_bus: width must lie in [1, 64]");
+  Bus bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    bus.push_back(((value >> i) & 1u) ? nl.const1() : nl.const0());
+  }
+  return bus;
+}
+
+Bus and_with_bit(Netlist& nl, const Bus& bus, NetId bit) {
+  Bus out;
+  out.reserve(bus.size());
+  for (const NetId b : bus) out.push_back(nl.add_gate(CellType::kAnd2, {b, bit}));
+  return out;
+}
+
+AdderResult ripple_adder(Netlist& nl, const Bus& a, const Bus& b, NetId carry_in) {
+  require(a.size() == b.size() && !a.empty(), "ripple_adder: width mismatch or empty");
+  AdderResult r;
+  r.sum.reserve(a.size());
+  NetId carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (carry == kNoNet) {
+      const auto outs = nl.add_cell(CellType::kHalfAdder, {a[i], b[i]});
+      r.sum.push_back(outs[0]);
+      carry = outs[1];
+    } else {
+      const auto outs = nl.add_cell(CellType::kFullAdder, {a[i], b[i], carry});
+      r.sum.push_back(outs[0]);
+      carry = outs[1];
+    }
+  }
+  r.carry_out = carry;
+  return r;
+}
+
+AdderResult carry_select_adder(Netlist& nl, const Bus& a, const Bus& b, NetId carry_in,
+                               int block) {
+  require(a.size() == b.size() && !a.empty(), "carry_select_adder: width mismatch or empty");
+  require(block >= 1, "carry_select_adder: block must be >= 1");
+  AdderResult total;
+  total.sum.reserve(a.size());
+  NetId carry = (carry_in == kNoNet) ? nl.const0() : carry_in;
+  for (std::size_t base = 0; base < a.size(); base += static_cast<std::size_t>(block)) {
+    const std::size_t end = std::min(a.size(), base + static_cast<std::size_t>(block));
+    const Bus a_blk(a.begin() + static_cast<long>(base), a.begin() + static_cast<long>(end));
+    const Bus b_blk(b.begin() + static_cast<long>(base), b.begin() + static_cast<long>(end));
+    // Speculative ripple for both carry assumptions.
+    const AdderResult zero = ripple_adder(nl, a_blk, b_blk, nl.const0());
+    const AdderResult one = ripple_adder(nl, a_blk, b_blk, nl.const1());
+    for (std::size_t i = 0; i < a_blk.size(); ++i) {
+      total.sum.push_back(nl.add_gate(CellType::kMux2, {zero.sum[i], one.sum[i], carry}));
+    }
+    carry = nl.add_gate(CellType::kMux2, {zero.carry_out, one.carry_out, carry});
+  }
+  total.carry_out = carry;
+  return total;
+}
+
+CarrySaveRow carry_save_row(Netlist& nl, const Bus& a, const Bus& b, const Bus& c) {
+  require(a.size() == b.size() && b.size() == c.size() && !a.empty(),
+          "carry_save_row: width mismatch or empty");
+  CarrySaveRow row;
+  row.sum.reserve(a.size());
+  row.carry.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto outs = nl.add_cell(CellType::kFullAdder, {a[i], b[i], c[i]});
+    row.sum.push_back(outs[0]);
+    row.carry.push_back(outs[1]);
+  }
+  return row;
+}
+
+Bus mux_bus(Netlist& nl, NetId sel, const Bus& a, const Bus& b) {
+  require(a.size() == b.size(), "mux_bus: width mismatch");
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(nl.add_gate(CellType::kMux2, {a[i], b[i], sel}));
+  }
+  return out;
+}
+
+Bus register_bus(Netlist& nl, const Bus& d, NetId enable) {
+  Bus q;
+  q.reserve(d.size());
+  for (const NetId bit : d) {
+    if (enable == kNoNet) {
+      q.push_back(nl.add_gate(CellType::kDff, {bit}));
+    } else {
+      q.push_back(nl.add_gate(CellType::kDffEnable, {bit, enable}));
+    }
+  }
+  return q;
+}
+
+Bus add_counter(Netlist& nl, int bits) {
+  require(bits >= 1 && bits <= 16, "add_counter: bits must lie in [1, 16]");
+  // q_i' = q_i XOR carry_i with carry_0 = 1, carry_{i+1} = q_i AND carry_i:
+  // a ripple of half-adders over the registered state.  The DFFs are created
+  // on placeholder nets first (the HA cone reads their Q outputs), then
+  // rewired onto the HA sums - the standard sequential-feedback pattern.
+  Bus q;
+  std::vector<CellId> dffs;
+  q.reserve(static_cast<std::size_t>(bits));
+  dffs.reserve(static_cast<std::size_t>(bits));
+  const NetId placeholder = nl.const0();
+  for (int i = 0; i < bits; ++i) {
+    const NetId qi = nl.add_gate(CellType::kDff, {placeholder});
+    dffs.push_back(nl.driver_of(qi));
+    q.push_back(qi);
+  }
+  NetId carry = nl.const1();
+  for (int i = 0; i < bits; ++i) {
+    const auto ha = nl.add_cell(CellType::kHalfAdder, {q[static_cast<std::size_t>(i)], carry});
+    nl.rewire_input(dffs[static_cast<std::size_t>(i)], 0, ha[0]);
+    carry = ha[1];
+  }
+  return q;
+}
+
+Bus add_decoder(Netlist& nl, const Bus& state) {
+  require(!state.empty() && state.size() <= 6, "add_decoder: 1..6 state bits");
+  // Complement rails.
+  Bus inv;
+  inv.reserve(state.size());
+  for (const NetId s : state) inv.push_back(nl.add_gate(CellType::kInv, {s}));
+  const std::size_t n = 1u << state.size();
+  Bus out;
+  out.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    NetId acc = ((k & 1u) ? state[0] : inv[0]);
+    for (std::size_t b = 1; b < state.size(); ++b) {
+      const NetId term = ((k >> b) & 1u) ? state[b] : inv[b];
+      acc = nl.add_gate(CellType::kAnd2, {acc, term});
+    }
+    out.push_back(acc);
+  }
+  return out;
+}
+
+Bus resize_bus(Netlist& nl, const Bus& bus, int width) {
+  require(width > 0, "resize_bus: width must be positive");
+  Bus out = bus;
+  if (static_cast<int>(out.size()) > width) {
+    out.resize(static_cast<std::size_t>(width));
+  } else {
+    while (static_cast<int>(out.size()) < width) out.push_back(nl.const0());
+  }
+  return out;
+}
+
+}  // namespace optpower

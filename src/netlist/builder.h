@@ -1,0 +1,70 @@
+// Word-level construction helpers on top of Netlist: buses, adders,
+// multiplexers, registers, counters.  All functions append cells to the
+// given netlist and return the result nets LSB-first.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace optpower {
+
+/// A bus is just an LSB-first vector of nets.
+using Bus = std::vector<NetId>;
+
+/// `width` fresh primary inputs named <prefix>[i].
+[[nodiscard]] Bus add_input_bus(Netlist& nl, const std::string& prefix, int width);
+
+/// Expose a bus as primary outputs named <prefix>[i].
+void add_output_bus(Netlist& nl, const std::string& prefix, const Bus& bus);
+
+/// Constant bus holding `value` (LSB-first), using tie cells.
+[[nodiscard]] Bus constant_bus(Netlist& nl, std::uint64_t value, int width);
+
+/// Bitwise AND of a bus with a single net (partial-product row).
+[[nodiscard]] Bus and_with_bit(Netlist& nl, const Bus& bus, NetId bit);
+
+/// Result of an adder: sum bits plus carry-out.
+struct AdderResult {
+  Bus sum;
+  NetId carry_out = kNoNet;
+};
+
+/// Ripple-carry adder (one FA per bit; HA when carry-in is omitted).
+[[nodiscard]] AdderResult ripple_adder(Netlist& nl, const Bus& a, const Bus& b,
+                                       NetId carry_in = kNoNet);
+
+/// Carry-select adder: ripple blocks of `block` bits computed for both carry
+/// assumptions, selected by the real carry.  Shorter critical path than
+/// ripple at ~2x area - the "fast final adder" of the Wallace tree and the
+/// sequential multiplier's compact-but-fast addition.
+[[nodiscard]] AdderResult carry_select_adder(Netlist& nl, const Bus& a, const Bus& b,
+                                             NetId carry_in = kNoNet, int block = 4);
+
+/// One carry-save (3:2) compression row: {a, b, c} -> {sum, carry<<1}.
+/// All buses must share a width; returns sum and the *unshifted* carries
+/// (caller shifts by indexing).
+struct CarrySaveRow {
+  Bus sum;
+  Bus carry;  ///< same width; semantically weighted one bit higher
+};
+[[nodiscard]] CarrySaveRow carry_save_row(Netlist& nl, const Bus& a, const Bus& b, const Bus& c);
+
+/// 2:1 mux per bit: sel ? b : a.
+[[nodiscard]] Bus mux_bus(Netlist& nl, NetId sel, const Bus& a, const Bus& b);
+
+/// DFF per bit (kDff) or enabled DFF (kDffEnable when `enable` given).
+[[nodiscard]] Bus register_bus(Netlist& nl, const Bus& d, NetId enable = kNoNet);
+
+/// Free-running binary up-counter of `bits` bits (DFF + XOR/AND chain).
+/// Returns the state bits, LSB-first.
+[[nodiscard]] Bus add_counter(Netlist& nl, int bits);
+
+/// Decoder: AND/INV network asserting out[k] when the counter value is k.
+[[nodiscard]] Bus add_decoder(Netlist& nl, const Bus& state);
+
+/// Zero-extend / truncate a bus to `width` (uses tie-0 for extension).
+[[nodiscard]] Bus resize_bus(Netlist& nl, const Bus& bus, int width);
+
+}  // namespace optpower

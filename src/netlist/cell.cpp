@@ -1,0 +1,65 @@
+#include "netlist/cell.h"
+
+namespace optpower {
+namespace {
+
+// Areas [um^2], equivalent switched caps [F] and depths [inverter delays]
+// chosen to approximate a 0.13 um library: an inverter is ~4 um^2 and a DFF
+// ~20 um^2; equivalent caps fold typical wire load at average fanout.
+constexpr CellSpec kSpecs[] = {
+    {CellType::kConst0, "TIE0", 0, 1, 1.6, 1e-15, 0.0, false},
+    {CellType::kConst1, "TIE1", 0, 1, 1.6, 1e-15, 0.0, false},
+    {CellType::kBuf, "BUF", 1, 1, 4.2, 4e-15, 1.0, false},
+    {CellType::kInv, "INV", 1, 1, 3.6, 3e-15, 1.0, false},
+    {CellType::kAnd2, "AND2", 2, 1, 5.8, 5e-15, 1.4, false},
+    {CellType::kOr2, "OR2", 2, 1, 5.8, 5e-15, 1.4, false},
+    {CellType::kNand2, "NAND2", 2, 1, 4.8, 4e-15, 1.0, false},
+    {CellType::kNor2, "NOR2", 2, 1, 4.8, 4e-15, 1.2, false},
+    {CellType::kXor2, "XOR2", 2, 1, 9.6, 9e-15, 1.8, false},
+    {CellType::kXnor2, "XNOR2", 2, 1, 9.6, 9e-15, 1.8, false},
+    {CellType::kMux2, "MUX2", 3, 1, 8.4, 7e-15, 1.4, false},
+    {CellType::kHalfAdder, "HA1", 2, 2, 14.2, 12e-15, 1.8, false},
+    {CellType::kFullAdder, "FA1", 3, 2, 28.6, 20e-15, 2.0, false},
+    {CellType::kDff, "DFF", 1, 1, 21.4, 14e-15, 2.2, true},
+    {CellType::kDffEnable, "DFFE", 2, 1, 26.0, 15e-15, 2.4, true},
+};
+
+}  // namespace
+
+const CellSpec& cell_spec(CellType type) noexcept {
+  return kSpecs[static_cast<std::uint8_t>(type)];
+}
+
+std::uint8_t eval_cell(CellType type, std::uint8_t in) noexcept {
+  const auto a = static_cast<std::uint8_t>(in & 1u);
+  const auto b = static_cast<std::uint8_t>((in >> 1) & 1u);
+  const auto c = static_cast<std::uint8_t>((in >> 2) & 1u);
+  switch (type) {
+    case CellType::kConst0: return 0;
+    case CellType::kConst1: return 1;
+    case CellType::kBuf: return a;
+    case CellType::kInv: return static_cast<std::uint8_t>(a ^ 1u);
+    case CellType::kAnd2: return static_cast<std::uint8_t>(a & b);
+    case CellType::kOr2: return static_cast<std::uint8_t>(a | b);
+    case CellType::kNand2: return static_cast<std::uint8_t>((a & b) ^ 1u);
+    case CellType::kNor2: return static_cast<std::uint8_t>((a | b) ^ 1u);
+    case CellType::kXor2: return static_cast<std::uint8_t>(a ^ b);
+    case CellType::kXnor2: return static_cast<std::uint8_t>((a ^ b) ^ 1u);
+    case CellType::kMux2: return c ? b : a;
+    case CellType::kHalfAdder:
+      // bit0 = sum, bit1 = carry
+      return static_cast<std::uint8_t>((a ^ b) | ((a & b) << 1));
+    case CellType::kFullAdder: {
+      const std::uint8_t sum = a ^ b ^ c;
+      const std::uint8_t carry = static_cast<std::uint8_t>((a & b) | (a & c) | (b & c));
+      return static_cast<std::uint8_t>(sum | (carry << 1));
+    }
+    case CellType::kDff: return a;            // next-Q = D
+    case CellType::kDffEnable: return a;       // next-Q = D when enabled (handled by sim)
+  }
+  return 0;
+}
+
+std::string to_string(CellType type) { return cell_spec(type).name; }
+
+}  // namespace optpower

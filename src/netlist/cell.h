@@ -1,0 +1,62 @@
+// Cell types and per-type static specifications of the generic standard-cell
+// library used by the multiplier generators.
+//
+// The paper counts synthesized library cells ("N number of cells"), where a
+// full adder is ONE cell - so full/half adders are primitive multi-output
+// cells here, not gate compositions.  Areas and capacitances approximate a
+// 0.13 um standard-cell library (the substitution for the ST CMOS09 library;
+// see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace optpower {
+
+/// Every primitive the netlist knows.  kInput/kOutput are port markers, not
+/// cells; kConst0/kConst1 are tie cells.
+enum class CellType : std::uint8_t {
+  kConst0,
+  kConst1,
+  kBuf,
+  kInv,
+  kAnd2,
+  kOr2,
+  kNand2,
+  kNor2,
+  kXor2,
+  kXnor2,
+  kMux2,        ///< inputs {a, b, sel} -> sel ? b : a
+  kHalfAdder,   ///< inputs {a, b} -> outputs {sum, carry}
+  kFullAdder,   ///< inputs {a, b, cin} -> outputs {sum, carry}
+  kDff,         ///< input {d} -> output {q}; clocked by the global clock
+  kDffEnable,   ///< inputs {d, en} -> output {q}; holds when en = 0
+};
+
+/// Static description of one cell type.
+struct CellSpec {
+  CellType type;
+  const char* name;        ///< library name, e.g. "FA1"
+  int num_inputs;
+  int num_outputs;
+  double area_um2;         ///< layout area
+  double cell_cap_f;       ///< equivalent switched capacitance per output toggle [F]
+                           ///< (the per-cell "C" aggregated into Eq. 1)
+  double depth_units;      ///< worst-case propagation delay in equivalent
+                           ///< inverter delays (the STA's LD unit)
+  bool is_sequential;      ///< DFF flavors
+};
+
+/// Look up the spec of a cell type (O(1), never fails).
+[[nodiscard]] const CellSpec& cell_spec(CellType type) noexcept;
+
+/// Evaluate the combinational function of `type`.
+/// `inputs` packs input pin values LSB-first (pin 0 = bit 0).
+/// Returns outputs packed the same way.  Sequential types evaluate their
+/// *data path* (what Q would become on the next edge).
+[[nodiscard]] std::uint8_t eval_cell(CellType type, std::uint8_t inputs) noexcept;
+
+/// Human-readable name ("FA1", "NAND2", ...).
+[[nodiscard]] std::string to_string(CellType type);
+
+}  // namespace optpower

@@ -1,0 +1,181 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "netlist/cell.h"
+#include "util/error.h"
+
+namespace optpower {
+
+Netlist::Netlist(std::string name) : name_(std::move(name)) {}
+
+NetId Netlist::new_net(CellId driver) {
+  net_driver_.push_back(driver);
+  fanout_valid_ = false;
+  return static_cast<NetId>(net_driver_.size() - 1);
+}
+
+NetId Netlist::add_input(const std::string& port_name) {
+  const NetId net = new_net(kNoCell);
+  inputs_.push_back(net);
+  input_names_.push_back(port_name);
+  return net;
+}
+
+void Netlist::add_output(const std::string& port_name, NetId net) {
+  require(net < net_driver_.size(), "Netlist::add_output: unknown net");
+  outputs_.push_back(net);
+  output_names_.push_back(port_name);
+}
+
+std::vector<NetId> Netlist::add_cell(CellType type, const std::vector<NetId>& inputs) {
+  const CellSpec& spec = cell_spec(type);
+  require(static_cast<int>(inputs.size()) == spec.num_inputs,
+          std::string("Netlist::add_cell: ") + spec.name + " expects " +
+              std::to_string(spec.num_inputs) + " inputs, got " + std::to_string(inputs.size()));
+  for (const NetId in : inputs) {
+    require(in < net_driver_.size(), "Netlist::add_cell: unknown input net");
+  }
+  const CellId id = static_cast<CellId>(cells_.size());
+  CellInstance inst;
+  inst.type = type;
+  inst.inputs = inputs;
+  inst.outputs.reserve(static_cast<std::size_t>(spec.num_outputs));
+  cells_.push_back(std::move(inst));
+  std::vector<NetId> outs;
+  outs.reserve(static_cast<std::size_t>(spec.num_outputs));
+  for (int i = 0; i < spec.num_outputs; ++i) outs.push_back(new_net(id));
+  cells_[id].outputs = outs;
+  fanout_valid_ = false;
+  return outs;
+}
+
+NetId Netlist::add_gate(CellType type, const std::vector<NetId>& inputs) {
+  const auto outs = add_cell(type, inputs);
+  require(outs.size() == 1, "Netlist::add_gate: cell is not single-output");
+  return outs[0];
+}
+
+NetId Netlist::const0() {
+  if (const0_ == kNoNet) const0_ = add_gate(CellType::kConst0, {});
+  return const0_;
+}
+
+NetId Netlist::const1() {
+  if (const1_ == kNoNet) const1_ = add_gate(CellType::kConst1, {});
+  return const1_;
+}
+
+void Netlist::tag_last_cell(std::int32_t row, std::int32_t col) {
+  require(!cells_.empty(), "Netlist::tag_last_cell: no cells yet");
+  cells_.back().tag_row = row;
+  cells_.back().tag_col = col;
+}
+
+void Netlist::rewire_input(CellId cell, int pin, NetId net) {
+  require(cell < cells_.size(), "Netlist::rewire_input: unknown cell");
+  require(pin >= 0 && static_cast<std::size_t>(pin) < cells_[cell].inputs.size(),
+          "Netlist::rewire_input: pin out of range");
+  require(net < net_driver_.size(), "Netlist::rewire_input: unknown net");
+  cells_[cell].inputs[static_cast<std::size_t>(pin)] = net;
+  fanout_valid_ = false;
+}
+
+const std::vector<std::vector<CellId>>& Netlist::fanout() const {
+  if (!fanout_valid_) {
+    fanout_cache_.assign(net_driver_.size(), {});
+    for (CellId c = 0; c < cells_.size(); ++c) {
+      for (const NetId in : cells_[c].inputs) fanout_cache_[in].push_back(c);
+    }
+    fanout_valid_ = true;
+  }
+  return fanout_cache_;
+}
+
+std::vector<CellId> Netlist::topo_order() const {
+  // Kahn's algorithm over combinational dependencies: a combinational cell
+  // waits for all of its input drivers that are combinational; sequential
+  // cell outputs and primary inputs are sources.
+  std::vector<int> pending(cells_.size(), 0);
+  for (CellId c = 0; c < cells_.size(); ++c) {
+    if (cell_spec(cells_[c].type).is_sequential) continue;  // source
+    for (const NetId in : cells_[c].inputs) {
+      const CellId drv = net_driver_[in];
+      if (drv != kNoCell && !cell_spec(cells_[drv].type).is_sequential) ++pending[c];
+    }
+  }
+  std::queue<CellId> ready;
+  std::vector<CellId> order;
+  order.reserve(cells_.size());
+  // Sequential cells first (their outputs are stable at cycle start).
+  for (CellId c = 0; c < cells_.size(); ++c) {
+    if (cell_spec(cells_[c].type).is_sequential) order.push_back(c);
+  }
+  for (CellId c = 0; c < cells_.size(); ++c) {
+    if (!cell_spec(cells_[c].type).is_sequential && pending[c] == 0) ready.push(c);
+  }
+  const auto& fo = fanout();
+  std::size_t comb_emitted = 0;
+  while (!ready.empty()) {
+    const CellId c = ready.front();
+    ready.pop();
+    order.push_back(c);
+    ++comb_emitted;
+    for (const NetId out : cells_[c].outputs) {
+      for (const CellId reader : fo[out]) {
+        if (cell_spec(cells_[reader].type).is_sequential) continue;
+        if (--pending[reader] == 0) ready.push(reader);
+      }
+    }
+  }
+  std::size_t comb_total = 0;
+  for (const auto& cell : cells_) {
+    if (!cell_spec(cell.type).is_sequential) ++comb_total;
+  }
+  if (comb_emitted != comb_total) {
+    throw NetlistError("Netlist '" + name_ + "': combinational cycle detected (" +
+                       std::to_string(comb_total - comb_emitted) + " cells unreachable)");
+  }
+  return order;
+}
+
+void Netlist::verify() const {
+  for (CellId c = 0; c < cells_.size(); ++c) {
+    const CellSpec& spec = cell_spec(cells_[c].type);
+    if (static_cast<int>(cells_[c].inputs.size()) != spec.num_inputs ||
+        static_cast<int>(cells_[c].outputs.size()) != spec.num_outputs) {
+      throw NetlistError("Netlist '" + name_ + "': cell " + std::to_string(c) +
+                         " has wrong pin counts");
+    }
+    for (const NetId in : cells_[c].inputs) {
+      if (in >= net_driver_.size()) {
+        throw NetlistError("Netlist '" + name_ + "': cell " + std::to_string(c) +
+                           " reads unknown net");
+      }
+    }
+  }
+  for (const NetId out : outputs_) {
+    if (out >= net_driver_.size()) {
+      throw NetlistError("Netlist '" + name_ + "': primary output on unknown net");
+    }
+  }
+  (void)topo_order();  // throws on combinational cycles
+}
+
+NetlistStats Netlist::stats() const {
+  NetlistStats s;
+  s.num_nets = net_driver_.size();
+  for (const auto& cell : cells_) {
+    const CellSpec& spec = cell_spec(cell.type);
+    if (cell.type == CellType::kConst0 || cell.type == CellType::kConst1) continue;
+    ++s.num_cells;
+    if (spec.is_sequential) ++s.num_sequential;
+    s.area_um2 += spec.area_um2;
+    s.total_cap_f += spec.cell_cap_f;
+  }
+  s.avg_cell_cap_f = s.num_cells > 0 ? s.total_cap_f / static_cast<double>(s.num_cells) : 0.0;
+  return s;
+}
+
+}  // namespace optpower

@@ -1,0 +1,126 @@
+// Gate-level structural netlist: the synthesis-output stand-in that the
+// multiplier generators produce and the simulator/STA consume.
+//
+// Model: single global clock; every net has exactly one driver (a cell
+// output, a primary input, or a tie cell); cells are stored in creation
+// order; combinational cycles are rejected by verify()/levelize().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace optpower {
+enum class CellType : std::uint8_t;
+
+using NetId = std::uint32_t;
+using CellId = std::uint32_t;
+
+inline constexpr NetId kNoNet = 0xffffffffu;
+
+/// One cell instance.
+struct CellInstance {
+  CellType type;
+  std::vector<NetId> inputs;   ///< pin order per CellSpec
+  std::vector<NetId> outputs;
+  /// Generator-attached placement tag (row/column in the multiplier array);
+  /// the pipelining transform's stage functions read it.
+  std::int32_t tag_row = -1;
+  std::int32_t tag_col = -1;
+};
+
+/// Aggregate statistics in the units of the paper's Table 1.
+struct NetlistStats {
+  std::size_t num_cells = 0;        ///< N (excludes ports and tie cells)
+  std::size_t num_sequential = 0;   ///< DFF count within N
+  std::size_t num_nets = 0;
+  double area_um2 = 0.0;
+  double total_cap_f = 0.0;         ///< sum of per-cell equivalent caps
+  double avg_cell_cap_f = 0.0;      ///< total_cap / N  (the paper's C)
+};
+
+/// The netlist graph.
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "netlist");
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // --- construction --------------------------------------------------------
+
+  /// New primary input; returns the net it drives.
+  NetId add_input(const std::string& port_name);
+
+  /// Mark `net` as a primary output.
+  void add_output(const std::string& port_name, NetId net);
+
+  /// Instantiate a cell.  `inputs` must match the type's pin count.
+  /// Returns the output nets (created fresh).
+  std::vector<NetId> add_cell(CellType type, const std::vector<NetId>& inputs);
+
+  /// Single-output convenience wrapper.
+  NetId add_gate(CellType type, const std::vector<NetId>& inputs);
+
+  /// Tie cells (deduplicated: at most one of each per netlist).
+  NetId const0();
+  NetId const1();
+
+  /// Attach a (row, col) placement tag to the most recently added cell.
+  void tag_last_cell(std::int32_t row, std::int32_t col);
+
+  /// Repoint one input pin of an existing cell to another net.  This is the
+  /// escape hatch for sequential feedback (e.g. a counter's DFF reading
+  /// logic computed from its own Q): create the DFF on a placeholder net,
+  /// build the feedback cone from Q, then rewire.  verify() re-checks the
+  /// result; combinational loops are still rejected.
+  void rewire_input(CellId cell, int pin, NetId net);
+
+  // --- inspection -----------------------------------------------------------
+
+  [[nodiscard]] std::size_t num_cells() const noexcept { return cells_.size(); }
+  [[nodiscard]] std::size_t num_nets() const noexcept { return net_driver_.size(); }
+  [[nodiscard]] const CellInstance& cell(CellId id) const { return cells_[id]; }
+  [[nodiscard]] const std::vector<CellInstance>& cells() const noexcept { return cells_; }
+
+  [[nodiscard]] const std::vector<NetId>& primary_inputs() const noexcept { return inputs_; }
+  [[nodiscard]] const std::vector<NetId>& primary_outputs() const noexcept { return outputs_; }
+  [[nodiscard]] const std::vector<std::string>& input_names() const noexcept { return input_names_; }
+  [[nodiscard]] const std::vector<std::string>& output_names() const noexcept { return output_names_; }
+
+  /// Driving cell of a net, or kNoCell for primary inputs.
+  static constexpr CellId kNoCell = 0xffffffffu;
+  [[nodiscard]] CellId driver_of(NetId net) const { return net_driver_.at(net); }
+
+  /// Cells reading each net (computed once, cached; invalidated by edits).
+  [[nodiscard]] const std::vector<std::vector<CellId>>& fanout() const;
+
+  /// Topological order of all cells (sequential cells first as sources, then
+  /// combinational cells by level).  Throws NetlistError on a combinational
+  /// cycle.
+  [[nodiscard]] std::vector<CellId> topo_order() const;
+
+  /// Structural checks: pin counts, driven nets, single drivers, no
+  /// combinational cycles.  Throws NetlistError with a description.
+  void verify() const;
+
+  /// Table-1-style aggregates.
+  [[nodiscard]] NetlistStats stats() const;
+
+ private:
+  NetId new_net(CellId driver);
+
+  std::string name_;
+  std::vector<CellInstance> cells_;
+  std::vector<CellId> net_driver_;            // driver per net (kNoCell = PI)
+  std::vector<NetId> inputs_;
+  std::vector<NetId> outputs_;
+  std::vector<std::string> input_names_;
+  std::vector<std::string> output_names_;
+  NetId const0_ = kNoNet;
+  NetId const1_ = kNoNet;
+  mutable std::vector<std::vector<CellId>> fanout_cache_;
+  mutable bool fanout_valid_ = false;
+};
+
+}  // namespace optpower

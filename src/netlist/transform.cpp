@@ -1,0 +1,199 @@
+#include "netlist/transform.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "netlist/builder.h"
+#include "netlist/cell.h"
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+void require_combinational(const Netlist& nl, const char* who) {
+  for (const auto& cell : nl.cells()) {
+    if (cell_spec(cell.type).is_sequential) {
+      throw NetlistError(std::string(who) + ": source netlist must be purely combinational");
+    }
+  }
+}
+
+/// Lazily materializes "net delayed by k cycles" chains in the target
+/// netlist.
+class DelayChains {
+ public:
+  explicit DelayChains(Netlist& target) : target_(target) {}
+
+  /// Declare the target net representing `source_net` at its base stage.
+  void set_base(NetId source_net, NetId target_net, int base_stage) {
+    entries_[source_net] = {base_stage, {target_net}};
+  }
+
+  /// Target net carrying `source_net`'s value at `stage` (>= base stage).
+  NetId at_stage(NetId source_net, int stage) {
+    auto it = entries_.find(source_net);
+    require(it != entries_.end(), "DelayChains: unmapped net");
+    Entry& e = it->second;
+    require(stage >= e.base_stage, "DelayChains: consumer stage precedes producer stage");
+    const std::size_t delay = static_cast<std::size_t>(stage - e.base_stage);
+    while (e.chain.size() <= delay) {
+      e.chain.push_back(target_.add_gate(CellType::kDff, {e.chain.back()}));
+    }
+    return e.chain[delay];
+  }
+
+ private:
+  struct Entry {
+    int base_stage = 0;
+    std::vector<NetId> chain;  // chain[k] = value delayed by k cycles
+  };
+  Netlist& target_;
+  std::unordered_map<NetId, Entry> entries_;
+};
+
+}  // namespace
+
+int pipeline_latency(int stages) noexcept { return stages - 1; }
+int parallel_latency(int ways) noexcept { return ways + 1; }
+
+Netlist pipeline_netlist(const Netlist& source, int stages, const StageFunction& stage_of) {
+  require(stages >= 2, "pipeline_netlist: need at least 2 stages");
+  require_combinational(source, "pipeline_netlist");
+  source.verify();
+
+  Netlist out(source.name() + "_pipe" + std::to_string(stages));
+  DelayChains chains(out);
+
+  for (std::size_t i = 0; i < source.primary_inputs().size(); ++i) {
+    const NetId pi = out.add_input(source.input_names()[i]);
+    chains.set_base(source.primary_inputs()[i], pi, 0);
+  }
+
+  // Cache per-cell stages and validate the range.
+  std::vector<int> stage(source.num_cells());
+  for (CellId c = 0; c < source.num_cells(); ++c) {
+    stage[c] = stage_of(source, c);
+    if (stage[c] < 0 || stage[c] >= stages) {
+      throw NetlistError("pipeline_netlist: stage function returned " +
+                         std::to_string(stage[c]) + " outside [0, " + std::to_string(stages) +
+                         ") for cell " + std::to_string(c));
+    }
+  }
+
+  for (const CellId c : source.topo_order()) {
+    const CellInstance& cell = source.cell(c);
+    const int s = stage[c];
+    std::vector<NetId> mapped_inputs;
+    mapped_inputs.reserve(cell.inputs.size());
+    for (const NetId in : cell.inputs) {
+      const CellId drv = source.driver_of(in);
+      if (drv != Netlist::kNoCell && stage[drv] > s) {
+        throw NetlistError("pipeline_netlist: non-monotone stage assignment (cell " +
+                           std::to_string(c) + " at stage " + std::to_string(s) +
+                           " reads stage " + std::to_string(stage[drv]) + ")");
+      }
+      mapped_inputs.push_back(chains.at_stage(in, s));
+    }
+    const std::vector<NetId> outs = out.add_cell(cell.type, mapped_inputs);
+    out.tag_last_cell(cell.tag_row, cell.tag_col);
+    for (std::size_t k = 0; k < outs.size(); ++k) {
+      chains.set_base(cell.outputs[k], outs[k], s);
+    }
+  }
+
+  for (std::size_t i = 0; i < source.primary_outputs().size(); ++i) {
+    out.add_output(source.output_names()[i],
+                   chains.at_stage(source.primary_outputs()[i], stages - 1));
+  }
+  out.verify();
+  return out;
+}
+
+StageFunction horizontal_stages(int stages, int max_row) {
+  require(stages >= 2 && max_row >= 1, "horizontal_stages: bad arguments");
+  return [stages, max_row](const Netlist& nl, CellId c) {
+    const std::int32_t row = std::max<std::int32_t>(nl.cell(c).tag_row, 0);
+    const int s = static_cast<int>(static_cast<long>(row) * stages / (max_row + 1));
+    return std::clamp(s, 0, stages - 1);
+  };
+}
+
+StageFunction diagonal_stages(int stages, int max_diag) {
+  require(stages >= 2 && max_diag >= 1, "diagonal_stages: bad arguments");
+  return [stages, max_diag](const Netlist& nl, CellId c) {
+    const CellInstance& cell = nl.cell(c);
+    const std::int32_t diag =
+        std::max<std::int32_t>(cell.tag_row, 0) + std::max<std::int32_t>(cell.tag_col, 0);
+    const int s = static_cast<int>(static_cast<long>(diag) * stages / (max_diag + 1));
+    return std::clamp(s, 0, stages - 1);
+  };
+}
+
+Netlist parallelize_netlist(const Netlist& core, int ways) {
+  require(ways == 2 || ways == 4 || ways == 8, "parallelize_netlist: ways must be 2, 4 or 8");
+  require_combinational(core, "parallelize_netlist");
+  core.verify();
+
+  Netlist out(core.name() + "_par" + std::to_string(ways));
+
+  Bus pis;
+  pis.reserve(core.primary_inputs().size());
+  for (const auto& name : core.input_names()) pis.push_back(out.add_input(name));
+
+  // Round-robin schedule: counter + one-hot decoder.
+  const int bits = (ways == 2) ? 1 : (ways == 4 ? 2 : 3);
+  const Bus counter = add_counter(out, bits);
+  const Bus select = add_decoder(out, counter);
+
+  // Per-lane: capture registers + a copy of the core.
+  std::vector<Bus> lane_outputs(static_cast<std::size_t>(ways));
+  for (int lane = 0; lane < ways; ++lane) {
+    std::unordered_map<NetId, NetId> net_map;
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      const NetId captured =
+          out.add_gate(CellType::kDffEnable, {pis[i], select[static_cast<std::size_t>(lane)]});
+      net_map[core.primary_inputs()[i]] = captured;
+    }
+    for (const CellId c : core.topo_order()) {
+      const CellInstance& cell = core.cell(c);
+      if (cell.type == CellType::kConst0) {
+        net_map[cell.outputs[0]] = out.const0();
+        continue;
+      }
+      if (cell.type == CellType::kConst1) {
+        net_map[cell.outputs[0]] = out.const1();
+        continue;
+      }
+      std::vector<NetId> ins;
+      ins.reserve(cell.inputs.size());
+      for (const NetId in : cell.inputs) ins.push_back(net_map.at(in));
+      const auto outs = out.add_cell(cell.type, ins);
+      out.tag_last_cell(cell.tag_row, cell.tag_col);
+      for (std::size_t k = 0; k < outs.size(); ++k) net_map[cell.outputs[k]] = outs[k];
+    }
+    Bus& louts = lane_outputs[static_cast<std::size_t>(lane)];
+    louts.reserve(core.primary_outputs().size());
+    for (const NetId po : core.primary_outputs()) louts.push_back(net_map.at(po));
+  }
+
+  // Output selection: binary mux tree indexed by the counter (lane k is
+  // selected exactly when it is about to be reloaded, i.e. its result has
+  // had `ways` cycles to settle), then an output register.
+  std::vector<Bus> level = lane_outputs;
+  for (int b = 0; b < bits; ++b) {
+    std::vector<Bus> next;
+    next.reserve(level.size() / 2);
+    for (std::size_t k = 0; k + 1 < level.size(); k += 2) {
+      next.push_back(mux_bus(out, counter[static_cast<std::size_t>(b)], level[k], level[k + 1]));
+    }
+    level = std::move(next);
+  }
+  const Bus registered = register_bus(out, level[0]);
+  for (std::size_t i = 0; i < registered.size(); ++i) {
+    out.add_output(core.output_names()[i], registered[i]);
+  }
+  out.verify();
+  return out;
+}
+
+}  // namespace optpower

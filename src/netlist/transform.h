@@ -1,0 +1,54 @@
+// Structural architecture transforms: scheduling-based pipelining and
+// replication-based parallelization (Section 4 of the paper: "registers
+// inserted horizontally in the critical path", "diagonal insertion of
+// registers", "replicating the basic multiplier and multiplexing data").
+//
+// Pipelining model: a stage function assigns each combinational cell an
+// integer stage in [0, stages).  Every edge from stage s to stage t >= s
+// receives (t - s) DFFs; primary inputs live at stage 0 and are delayed to
+// each consumer's stage; primary outputs produced at stage s are padded to
+// stage (stages - 1).  The result is functionally equivalent to the original
+// circuit with a latency of (stages - 1) cycles - a property the tests
+// check on all pipelined multipliers.
+#pragma once
+
+#include <functional>
+
+#include "netlist/netlist.h"
+
+namespace optpower {
+
+/// Maps a cell of the source netlist to its pipeline stage.
+/// Must be monotone along every combinational edge (producer stage <=
+/// consumer stage); violations throw NetlistError during the transform.
+using StageFunction = std::function<int(const Netlist&, CellId)>;
+
+/// Pipeline `source` into `stages` stages.  The source must be purely
+/// combinational (no DFFs) - all 13 base multiplier datapaths satisfy this
+/// before sequencing.  Returns a new netlist whose outputs equal the
+/// source's outputs delayed by (stages - 1) clock cycles.
+[[nodiscard]] Netlist pipeline_netlist(const Netlist& source, int stages,
+                                       const StageFunction& stage_of);
+
+/// Stage function from the generators' (row, col) placement tags:
+/// horizontal cut - stage grows with tag_row (Figure 3 of the paper).
+[[nodiscard]] StageFunction horizontal_stages(int stages, int max_row);
+
+/// Diagonal cut - stage grows with tag_row + tag_col (Figure 4).
+[[nodiscard]] StageFunction diagonal_stages(int stages, int max_diag);
+
+/// Parallelize by replication: `ways` copies of `core` (which must be purely
+/// combinational), input registers that capture a new operand set into one
+/// lane per cycle (round-robin via an internal counter + decoder), and an
+/// output mux tree that follows the same schedule.  The result consumes one
+/// input per clock and produces one result per clock with a latency of
+/// `ways` cycles, while each lane's combinational logic has `ways` cycles to
+/// settle - exactly the paper's relaxed-timing construction.
+[[nodiscard]] Netlist parallelize_netlist(const Netlist& core, int ways);
+
+/// How many cycles after applying an input its result appears on the
+/// transformed netlist's outputs.
+[[nodiscard]] int pipeline_latency(int stages) noexcept;
+[[nodiscard]] int parallel_latency(int ways) noexcept;
+
+}  // namespace optpower

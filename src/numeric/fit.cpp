@@ -1,0 +1,145 @@
+#include "numeric/fit.h"
+
+#include <cmath>
+
+#include "numeric/linalg.h"
+#include "numeric/minimize.h"
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+void fill_errors(LineFit& fit, const std::vector<double>& x, const std::vector<double>& y) {
+  double max_err = 0.0, sq = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - fit(x[i]);
+    max_err = std::max(max_err, std::fabs(e));
+    sq += e * e;
+  }
+  fit.max_abs_error = max_err;
+  fit.rms_error = x.empty() ? 0.0 : std::sqrt(sq / static_cast<double>(x.size()));
+}
+
+std::pair<std::vector<double>, std::vector<double>> sample_function(
+    const std::function<double(double)>& f, double lo, double hi, int samples) {
+  require(lo < hi, "sample_function: lo must be < hi");
+  require(samples >= 2, "sample_function: need >= 2 samples");
+  std::vector<double> x(static_cast<std::size_t>(samples)), y(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    x[static_cast<std::size_t>(i)] = lo + (hi - lo) * static_cast<double>(i) / (samples - 1);
+    y[static_cast<std::size_t>(i)] = f(x[static_cast<std::size_t>(i)]);
+  }
+  return {std::move(x), std::move(y)};
+}
+
+}  // namespace
+
+LineFit fit_line_least_squares(const std::vector<double>& x, const std::vector<double>& y) {
+  require(x.size() == y.size(), "fit_line_least_squares: x/y size mismatch");
+  require(x.size() >= 2, "fit_line_least_squares: need >= 2 points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-300) {
+    throw NumericalError("fit_line_least_squares: degenerate x values");
+  }
+  LineFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  fill_errors(fit, x, y);
+  return fit;
+}
+
+LineFit fit_line_least_squares(const std::function<double(double)>& f, double lo, double hi,
+                               int samples) {
+  auto [x, y] = sample_function(f, lo, hi, samples);
+  return fit_line_least_squares(x, y);
+}
+
+LineFit fit_line_minimax(const std::function<double(double)>& f, double lo, double hi,
+                         int samples) {
+  require(lo < hi, "fit_line_minimax: lo must be < hi");
+  // For a convex or concave f, the minimax line has the slope of the chord
+  // between the endpoints; the worst error occurs where f' equals that slope
+  // (the parallel-tangent point).  The optimal intercept places the line
+  // midway between the chord and the tangent.
+  const double fl = f(lo), fh = f(hi);
+  const double slope = (fh - fl) / (hi - lo);
+  // Find the parallel-tangent point by maximizing |f(x) - slope*x|.
+  const auto deviation = [&](double x) { return -(std::fabs(f(x) - slope * x - (fl - slope * lo))); };
+  const MinimizeResult tangent = scan_then_refine(deviation, lo, hi, samples);
+  const double xt = tangent.x;
+  const double chord_intercept = fl - slope * lo;
+  const double tangent_intercept = f(xt) - slope * xt;
+  LineFit fit;
+  fit.slope = slope;
+  fit.intercept = 0.5 * (chord_intercept + tangent_intercept);
+  auto [xs, ys] = sample_function(f, lo, hi, samples);
+  fill_errors(fit, xs, ys);
+  return fit;
+}
+
+std::vector<double> fit_polynomial(const std::vector<double>& x, const std::vector<double>& y,
+                                   int degree) {
+  require(x.size() == y.size(), "fit_polynomial: x/y size mismatch");
+  require(degree >= 0, "fit_polynomial: degree must be >= 0");
+  require(x.size() >= static_cast<std::size_t>(degree) + 1,
+          "fit_polynomial: not enough points for requested degree");
+  Matrix a(x.size(), static_cast<std::size_t>(degree) + 1);
+  for (std::size_t r = 0; r < x.size(); ++r) {
+    double p = 1.0;
+    for (int c = 0; c <= degree; ++c) {
+      a(r, static_cast<std::size_t>(c)) = p;
+      p *= x[r];
+    }
+  }
+  return solve_least_squares(a, y);
+}
+
+double eval_polynomial(const std::vector<double>& coeffs, double x) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * x + coeffs[i];
+  return acc;
+}
+
+double PowerLawFit::operator()(double x) const noexcept { return k * std::pow(x, p); }
+
+PowerLawFit fit_power_law(const std::vector<double>& x, const std::vector<double>& y) {
+  require(x.size() == y.size() && x.size() >= 2, "fit_power_law: bad input sizes");
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    require(x[i] > 0.0 && y[i] > 0.0, "fit_power_law: x and y must be positive");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  const LineFit line = fit_line_least_squares(lx, ly);
+  PowerLawFit fit;
+  fit.p = line.slope;
+  fit.k = std::exp(line.intercept);
+  return fit;
+}
+
+double ExponentialFit::operator()(double x) const noexcept { return y0 * std::exp(x / scale); }
+
+ExponentialFit fit_exponential(const std::vector<double>& x, const std::vector<double>& y) {
+  require(x.size() == y.size() && x.size() >= 2, "fit_exponential: bad input sizes");
+  std::vector<double> ly(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    require(y[i] > 0.0, "fit_exponential: y must be positive");
+    ly[i] = std::log(y[i]);
+  }
+  const LineFit line = fit_line_least_squares(x, ly);
+  if (line.slope == 0.0) throw NumericalError("fit_exponential: zero slope (constant data)");
+  ExponentialFit fit;
+  fit.scale = 1.0 / line.slope;
+  fit.y0 = std::exp(line.intercept);
+  return fit;
+}
+
+}  // namespace optpower

@@ -1,0 +1,70 @@
+// Curve fitting: straight-line least squares, polynomial least squares, and
+// minimax (Chebyshev) straight-line approximation of a convex/concave
+// function.
+//
+// The paper's Eq. 7 replaces Vdd^{1/alpha} by A*Vdd + B over a fitting range;
+// the published A = 0.671, B = 0.347 (alpha = 1.86, range 0.3-1.0 V) are
+// reproduced by these fitters (see tests/tech/linearization_test.cpp).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace optpower {
+
+/// y ~= slope * x + intercept.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double max_abs_error = 0.0;   ///< max |y_i - fit(x_i)| over the data
+  double rms_error = 0.0;
+
+  [[nodiscard]] double operator()(double x) const noexcept { return slope * x + intercept; }
+};
+
+/// Ordinary least-squares straight line through (x_i, y_i).
+/// Requires at least two distinct x values.
+[[nodiscard]] LineFit fit_line_least_squares(const std::vector<double>& x,
+                                             const std::vector<double>& y);
+
+/// Least-squares line to a *function* sampled on `samples` uniform points of
+/// [lo, hi] (how the paper fits Eq. 7 over the Vdd range).
+[[nodiscard]] LineFit fit_line_least_squares(const std::function<double(double)>& f, double lo,
+                                             double hi, int samples = 512);
+
+/// Minimax (equioscillation) straight-line fit of a function that is convex
+/// or concave on [lo, hi].  For such functions the Chebyshev line is
+/// characterized by: slope = chord slope, and the intercept centers the error
+/// between the chord and the parallel tangent.  Falls back to a dense-sample
+/// refinement when the tangency search fails.
+[[nodiscard]] LineFit fit_line_minimax(const std::function<double(double)>& f, double lo,
+                                       double hi, int samples = 2048);
+
+/// Polynomial least squares; returns coefficients c[0] + c[1] x + ... c[d] x^d.
+[[nodiscard]] std::vector<double> fit_polynomial(const std::vector<double>& x,
+                                                 const std::vector<double>& y, int degree);
+
+/// Evaluate a polynomial (Horner).
+[[nodiscard]] double eval_polynomial(const std::vector<double>& coeffs, double x) noexcept;
+
+/// Fit y = k * x^p (power law) by linear regression in log-log space.
+/// Requires strictly positive x and y.
+struct PowerLawFit {
+  double k = 0.0;
+  double p = 0.0;
+  [[nodiscard]] double operator()(double x) const noexcept;
+};
+[[nodiscard]] PowerLawFit fit_power_law(const std::vector<double>& x,
+                                        const std::vector<double>& y);
+
+/// Fit y = y0 * exp(x / s) (exponential) by linear regression on log(y);
+/// returns {y0, s}.  Used to extract (Io, n) from sub-threshold sweeps.
+struct ExponentialFit {
+  double y0 = 0.0;
+  double scale = 0.0;  ///< the "s" in exp(x/s)
+  [[nodiscard]] double operator()(double x) const noexcept;
+};
+[[nodiscard]] ExponentialFit fit_exponential(const std::vector<double>& x,
+                                             const std::vector<double>& y);
+
+}  // namespace optpower

@@ -1,0 +1,118 @@
+#include "numeric/integrate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+std::vector<double> axpy(const std::vector<double>& y, double a, const std::vector<double>& x) {
+  std::vector<double> out(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) out[i] = y[i] + a * x[i];
+  return out;
+}
+
+}  // namespace
+
+std::vector<OdeSample> integrate_rk4(const OdeFunction& f, double t0, double t1,
+                                     std::vector<double> y0, int steps) {
+  require(steps >= 1, "integrate_rk4: steps must be >= 1");
+  require(t1 > t0, "integrate_rk4: t1 must be > t0");
+  const double h = (t1 - t0) / steps;
+  std::vector<OdeSample> out;
+  out.reserve(static_cast<std::size_t>(steps) + 1);
+  out.push_back({t0, y0});
+  std::vector<double> y = std::move(y0);
+  for (int s = 0; s < steps; ++s) {
+    const double t = t0 + s * h;
+    const auto k1 = f(t, y);
+    const auto k2 = f(t + 0.5 * h, axpy(y, 0.5 * h, k1));
+    const auto k3 = f(t + 0.5 * h, axpy(y, 0.5 * h, k2));
+    const auto k4 = f(t + h, axpy(y, h, k3));
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+    out.push_back({t + h, y});
+  }
+  return out;
+}
+
+std::vector<OdeSample> integrate_rkf45(const OdeFunction& f, double t0, double t1,
+                                       std::vector<double> y0, const AdaptiveOptions& options) {
+  require(t1 > t0, "integrate_rkf45: t1 must be > t0");
+  // Fehlberg coefficients.
+  constexpr double a2 = 1.0 / 4, a3 = 3.0 / 8, a4 = 12.0 / 13, a5 = 1.0, a6 = 1.0 / 2;
+  constexpr double b21 = 1.0 / 4;
+  constexpr double b31 = 3.0 / 32, b32 = 9.0 / 32;
+  constexpr double b41 = 1932.0 / 2197, b42 = -7200.0 / 2197, b43 = 7296.0 / 2197;
+  constexpr double b51 = 439.0 / 216, b52 = -8.0, b53 = 3680.0 / 513, b54 = -845.0 / 4104;
+  constexpr double b61 = -8.0 / 27, b62 = 2.0, b63 = -3544.0 / 2565, b64 = 1859.0 / 4104,
+                   b65 = -11.0 / 40;
+  constexpr double c1 = 25.0 / 216, c3 = 1408.0 / 2565, c4 = 2197.0 / 4104, c5 = -1.0 / 5;
+  constexpr double d1 = 16.0 / 135, d3 = 6656.0 / 12825, d4 = 28561.0 / 56430, d5 = -9.0 / 50,
+                   d6 = 2.0 / 55;
+
+  double h = options.h_initial > 0.0 ? options.h_initial : (t1 - t0) / 100.0;
+  double t = t0;
+  std::vector<double> y = std::move(y0);
+  std::vector<OdeSample> out;
+  out.push_back({t, y});
+
+  for (int step = 0; step < options.max_steps && t < t1; ++step) {
+    h = std::min(h, t1 - t);
+    const auto k1 = f(t, y);
+    const auto k2 = f(t + a2 * h, axpy(y, h * b21, k1));
+    std::vector<double> tmp = y;
+    for (std::size_t i = 0; i < y.size(); ++i) tmp[i] += h * (b31 * k1[i] + b32 * k2[i]);
+    const auto k3 = f(t + a3 * h, tmp);
+    tmp = y;
+    for (std::size_t i = 0; i < y.size(); ++i)
+      tmp[i] += h * (b41 * k1[i] + b42 * k2[i] + b43 * k3[i]);
+    const auto k4 = f(t + a4 * h, tmp);
+    tmp = y;
+    for (std::size_t i = 0; i < y.size(); ++i)
+      tmp[i] += h * (b51 * k1[i] + b52 * k2[i] + b53 * k3[i] + b54 * k4[i]);
+    const auto k5 = f(t + a5 * h, tmp);
+    tmp = y;
+    for (std::size_t i = 0; i < y.size(); ++i)
+      tmp[i] += h * (b61 * k1[i] + b62 * k2[i] + b63 * k3[i] + b64 * k4[i] + b65 * k5[i]);
+    const auto k6 = f(t + a6 * h, tmp);
+
+    double err = 0.0;
+    std::vector<double> y5(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      const double y4 = y[i] + h * (c1 * k1[i] + c3 * k3[i] + c4 * k4[i] + c5 * k5[i]);
+      y5[i] = y[i] + h * (d1 * k1[i] + d3 * k3[i] + d4 * k4[i] + d5 * k5[i] + d6 * k6[i]);
+      const double scale = options.abs_tol + options.rel_tol * std::max(std::fabs(y[i]), std::fabs(y5[i]));
+      err = std::max(err, std::fabs(y5[i] - y4) / scale);
+    }
+    if (err <= 1.0) {
+      t += h;
+      y = std::move(y5);
+      out.push_back({t, y});
+    }
+    const double factor = (err > 0.0) ? 0.9 * std::pow(err, -0.2) : 5.0;
+    h *= std::clamp(factor, 0.2, 5.0);
+    if (h < options.h_min) {
+      throw NumericalError("integrate_rkf45: step size underflow");
+    }
+  }
+  if (t < t1) throw NumericalError("integrate_rkf45: max_steps exceeded");
+  return out;
+}
+
+double integrate_simpson(const std::function<double(double)>& f, double a, double b, int n) {
+  require(b > a, "integrate_simpson: b must be > a");
+  require(n >= 2, "integrate_simpson: need >= 2 intervals");
+  if (n % 2 != 0) ++n;
+  const double h = (b - a) / n;
+  double sum = f(a) + f(b);
+  for (int i = 1; i < n; ++i) {
+    sum += f(a + i * h) * ((i % 2 == 1) ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0;
+}
+
+}  // namespace optpower

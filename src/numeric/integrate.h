@@ -1,0 +1,45 @@
+// ODE integration (explicit RK4 and adaptive RK45) and 1-D quadrature.
+//
+// The mini-SPICE transient engine uses its own implicit (backward-Euler +
+// Newton) stepper for stiff circuits; the explicit integrators here serve
+// the lighter-weight device characterization sweeps (e.g. single-node
+// inverter discharge used to cross-check the transient engine) and tests.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace optpower {
+
+/// dy/dt = f(t, y) for a vector state.
+using OdeFunction = std::function<std::vector<double>(double, const std::vector<double>&)>;
+
+/// One dense-output sample of an ODE solution.
+struct OdeSample {
+  double t = 0.0;
+  std::vector<double> y;
+};
+
+/// Classic fixed-step RK4 from t0 to t1 with `steps` steps.
+[[nodiscard]] std::vector<OdeSample> integrate_rk4(const OdeFunction& f, double t0, double t1,
+                                                   std::vector<double> y0, int steps);
+
+struct AdaptiveOptions {
+  double abs_tol = 1e-9;
+  double rel_tol = 1e-7;
+  double h_initial = 0.0;   ///< 0 = auto
+  double h_min = 1e-18;
+  int max_steps = 2000000;
+};
+
+/// Adaptive Runge-Kutta-Fehlberg 4(5).  Returns all accepted steps.
+/// Throws NumericalError when the step size underflows h_min.
+[[nodiscard]] std::vector<OdeSample> integrate_rkf45(const OdeFunction& f, double t0, double t1,
+                                                     std::vector<double> y0,
+                                                     const AdaptiveOptions& options = {});
+
+/// Composite Simpson quadrature of f over [a, b] with n (even) intervals.
+[[nodiscard]] double integrate_simpson(const std::function<double(double)>& f, double a, double b,
+                                       int n = 256);
+
+}  // namespace optpower

@@ -1,0 +1,112 @@
+#include "numeric/levenberg_marquardt.h"
+
+#include <cmath>
+
+#include "numeric/linalg.h"
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+double sum_squares(const std::vector<double>& r) {
+  double s = 0.0;
+  for (const double v : r) s += v * v;
+  return s;
+}
+
+}  // namespace
+
+LevenbergMarquardtResult levenberg_marquardt(
+    const std::function<std::vector<double>(const std::vector<double>&)>& residuals,
+    std::vector<double> p0, const LevenbergMarquardtOptions& options) {
+  require(!p0.empty(), "levenberg_marquardt: empty parameter vector");
+  const std::size_t np = p0.size();
+
+  std::vector<double> r = residuals(p0);
+  require(!r.empty(), "levenberg_marquardt: empty residual vector");
+  const std::size_t nr = r.size();
+  double chi2 = sum_squares(r);
+  double lambda = options.lambda0;
+
+  LevenbergMarquardtResult result;
+  result.params = p0;
+  result.chi2 = chi2;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+
+    // Numerical Jacobian: J(i, j) = d r_i / d p_j (forward differences).
+    Matrix jac(nr, np);
+    for (std::size_t j = 0; j < np; ++j) {
+      std::vector<double> pj = result.params;
+      double h = options.relative_jacobian_step * std::fabs(pj[j]);
+      if (h == 0.0) h = options.relative_jacobian_step;
+      pj[j] += h;
+      const std::vector<double> rj = residuals(pj);
+      require(rj.size() == nr, "levenberg_marquardt: residual size changed");
+      for (std::size_t i = 0; i < nr; ++i) jac(i, j) = (rj[i] - r[i]) / h;
+    }
+
+    // Normal equations with Marquardt damping: (J^T J + lambda diag) dp = -J^T r
+    const Matrix jt = jac.transposed();
+    const Matrix jtj = jt * jac;
+    std::vector<double> g(np, 0.0);
+    for (std::size_t j = 0; j < np; ++j)
+      for (std::size_t i = 0; i < nr; ++i) g[j] += jt(j, i) * r[i];
+
+    double gmax = 0.0;
+    for (const double v : g) gmax = std::max(gmax, std::fabs(v));
+    if (gmax < options.gradient_tol) {
+      result.converged = true;
+      return result;
+    }
+
+    bool improved = false;
+    for (int attempt = 0; attempt < 30 && !improved; ++attempt) {
+      Matrix damped = jtj;
+      for (std::size_t j = 0; j < np; ++j) {
+        const double d = jtj(j, j);
+        damped(j, j) = d + lambda * std::max(d, 1e-12);
+      }
+      std::vector<double> step;
+      try {
+        std::vector<double> neg_g(np);
+        for (std::size_t j = 0; j < np; ++j) neg_g[j] = -g[j];
+        step = solve_linear(damped, neg_g);
+      } catch (const NumericalError&) {
+        lambda *= options.lambda_up;
+        continue;
+      }
+      std::vector<double> trial = result.params;
+      double step_norm = 0.0;
+      for (std::size_t j = 0; j < np; ++j) {
+        trial[j] += step[j];
+        step_norm = std::max(step_norm, std::fabs(step[j]));
+      }
+      const std::vector<double> r_trial = residuals(trial);
+      const double chi2_trial = sum_squares(r_trial);
+      if (std::isfinite(chi2_trial) && chi2_trial < chi2) {
+        result.params = std::move(trial);
+        r = r_trial;
+        chi2 = chi2_trial;
+        result.chi2 = chi2;
+        lambda *= options.lambda_down;
+        improved = true;
+        if (step_norm < options.step_tol) {
+          result.converged = true;
+          return result;
+        }
+      } else {
+        lambda *= options.lambda_up;
+      }
+    }
+    if (!improved) {
+      // Damping exploded without progress: accept the current point.
+      result.converged = chi2 < 1e-20 || gmax < std::sqrt(options.gradient_tol);
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace optpower

@@ -1,0 +1,36 @@
+// Levenberg-Marquardt nonlinear least squares with numerical Jacobian.
+//
+// The technology-extraction flow (reproducing the paper's ELDO fitting of
+// Io, n, alpha, zeta on inverter chains / ring oscillators) uses this to fit
+// the alpha-power delay model to simulated delay-vs-voltage curves.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace optpower {
+
+struct LevenbergMarquardtOptions {
+  int max_iterations = 200;
+  double gradient_tol = 1e-12;   ///< stop on small J^T r
+  double step_tol = 1e-12;       ///< stop on small parameter update
+  double lambda0 = 1e-3;         ///< initial damping
+  double lambda_up = 10.0;
+  double lambda_down = 0.25;
+  double relative_jacobian_step = 1e-6;
+};
+
+struct LevenbergMarquardtResult {
+  std::vector<double> params;
+  double chi2 = 0.0;             ///< final sum of squared residuals
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimize sum_i residuals(p)[i]^2 over p, starting from `p0`.
+/// `residuals` must return the same-sized vector on every call.
+[[nodiscard]] LevenbergMarquardtResult levenberg_marquardt(
+    const std::function<std::vector<double>(const std::vector<double>&)>& residuals,
+    std::vector<double> p0, const LevenbergMarquardtOptions& options = {});
+
+}  // namespace optpower

@@ -1,0 +1,158 @@
+#include "numeric/linalg.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace optpower {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  require(r < rows_ && c < cols_, "Matrix::at: index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  require(r < rows_ && c < cols_, "Matrix::at: index out of range");
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  require(cols_ == rhs.rows_, "Matrix::operator*: dimension mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double v = (*this)(r, k);
+      if (v == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) out(r, c) += v * rhs(k, c);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(const std::vector<double>& v) const {
+  require(cols_ == v.size(), "Matrix::operator*: vector dimension mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out[r] += (*this)(r, c) * v[c];
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  require(rows_ == rhs.rows_ && cols_ == rhs.cols_, "Matrix::operator+=: dimension mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+double Matrix::max_abs() const noexcept {
+  double m = 0.0;
+  for (const double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
+  require(lu_.rows() == lu_.cols(), "LuDecomposition: matrix must be square");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: largest |entry| in this column at/under the diagonal.
+    std::size_t pivot = col;
+    double best = std::fabs(lu_(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(lu_(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) {
+      throw NumericalError("LuDecomposition: matrix is singular to working precision");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(pivot, c), lu_(col, c));
+      std::swap(perm_[pivot], perm_[col]);
+      pivot_sign_ = -pivot_sign_;
+    }
+    const double diag = lu_(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = lu_(r, col) / diag;
+      lu_(r, col) = factor;
+      for (std::size_t c = col + 1; c < n; ++c) lu_(r, c) -= factor * lu_(col, c);
+    }
+  }
+}
+
+std::vector<double> LuDecomposition::solve(const std::vector<double>& b) const {
+  const std::size_t n = lu_.rows();
+  require(b.size() == n, "LuDecomposition::solve: rhs dimension mismatch");
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  // Forward substitution (L has implicit unit diagonal).
+  for (std::size_t i = 1; i < n; ++i) {
+    double s = x[i];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  // Back substitution.
+  for (std::size_t i = n; i-- > 0;) {
+    double s = x[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s / lu_(i, i);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::solve(const Matrix& b) const {
+  require(b.rows() == lu_.rows(), "LuDecomposition::solve: rhs dimension mismatch");
+  Matrix x(b.rows(), b.cols());
+  std::vector<double> col(b.rows());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+    const auto sol = solve(col);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+double LuDecomposition::determinant() const noexcept {
+  double det = static_cast<double>(pivot_sign_);
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Matrix LuDecomposition::inverse() const { return solve(Matrix::identity(lu_.rows())); }
+
+std::vector<double> solve_linear(Matrix a, const std::vector<double>& b) {
+  return LuDecomposition(std::move(a)).solve(b);
+}
+
+std::vector<double> solve_least_squares(const Matrix& a, const std::vector<double>& b) {
+  require(a.rows() == b.size(), "solve_least_squares: dimension mismatch");
+  require(a.rows() >= a.cols(), "solve_least_squares: underdetermined system");
+  const Matrix at = a.transposed();
+  return LuDecomposition(at * a).solve(at * b);
+}
+
+}  // namespace optpower

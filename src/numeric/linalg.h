@@ -1,0 +1,75 @@
+// Small dense linear algebra: row-major Matrix, LU decomposition with partial
+// pivoting, linear solves, inverse and determinant.
+//
+// The mini-SPICE Newton iteration, the Levenberg-Marquardt normal equations
+// and polynomial least-squares all run on circuits/fits with at most a few
+// dozen unknowns, so a simple O(n^3) dense LU is the right tool.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace optpower {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+  double& operator()(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const noexcept { return data_[r * cols_ + c]; }
+
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] std::vector<double> operator*(const std::vector<double>& v) const;
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  /// Max-abs element (used by convergence checks).
+  [[nodiscard]] double max_abs() const noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting: PA = LU.
+class LuDecomposition {
+ public:
+  /// Factorizes `a` (must be square).  Throws NumericalError when singular to
+  /// working precision.
+  explicit LuDecomposition(Matrix a);
+
+  /// Solve A x = b for one right-hand side.
+  [[nodiscard]] std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Solve A X = B column-wise.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  [[nodiscard]] double determinant() const noexcept;
+  [[nodiscard]] Matrix inverse() const;
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int pivot_sign_ = 1;
+};
+
+/// Convenience: solve a dense system A x = b (A square).
+[[nodiscard]] std::vector<double> solve_linear(Matrix a, const std::vector<double>& b);
+
+/// Solve the least-squares problem min ||A x - b||_2 via normal equations
+/// with LU (adequate for the small, well-conditioned fits in this library).
+[[nodiscard]] std::vector<double> solve_least_squares(const Matrix& a,
+                                                      const std::vector<double>& b);
+
+}  // namespace optpower

@@ -1,0 +1,166 @@
+#include "numeric/minimize.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace optpower {
+
+MinimizeResult golden_section(const std::function<double(double)>& f, double lo, double hi,
+                              const MinimizeOptions& options) {
+  require(lo < hi, "golden_section: lo must be < hi");
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1), f2 = f(x2);
+  MinimizeResult result;
+  for (int i = 0; i < options.max_iterations; ++i) {
+    ++result.iterations;
+    if (b - a <= options.x_tol) break;
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  result.x = (f1 < f2) ? x1 : x2;
+  result.f = std::min(f1, f2);
+  result.converged = (b - a) <= options.x_tol * 4.0;
+  return result;
+}
+
+MinimizeResult brent_minimize(const std::function<double(double)>& f, double lo, double hi,
+                              const MinimizeOptions& options) {
+  require(lo < hi, "brent_minimize: lo must be < hi");
+  constexpr double kGold = 0.3819660112501051;
+  const double eps = std::sqrt(2.22e-16);
+  double a = lo, b = hi;
+  double x = a + kGold * (b - a);
+  double w = x, v = x;
+  double fx = f(x), fw = fx, fv = fx;
+  double d = 0.0, e = 0.0;
+  MinimizeResult result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    const double xm = 0.5 * (a + b);
+    const double tol1 = eps * std::fabs(x) + options.x_tol / 3.0;
+    const double tol2 = 2.0 * tol1;
+    if (std::fabs(x - xm) <= tol2 - 0.5 * (b - a)) {
+      return {x, fx, result.iterations, true};
+    }
+    bool use_golden = true;
+    if (std::fabs(e) > tol1) {
+      // Fit a parabola through (v, fv), (w, fw), (x, fx).
+      const double r = (x - w) * (fx - fv);
+      double q = (x - v) * (fx - fw);
+      double p = (x - v) * q - (x - w) * r;
+      q = 2.0 * (q - r);
+      if (q > 0.0) p = -p;
+      q = std::fabs(q);
+      const double etemp = e;
+      e = d;
+      if (std::fabs(p) < std::fabs(0.5 * q * etemp) && p > q * (a - x) && p < q * (b - x)) {
+        d = p / q;
+        const double u = x + d;
+        if (u - a < tol2 || b - u < tol2) d = (xm >= x) ? tol1 : -tol1;
+        use_golden = false;
+      }
+    }
+    if (use_golden) {
+      e = (x >= xm) ? (a - x) : (b - x);
+      d = kGold * e;
+    }
+    const double u = (std::fabs(d) >= tol1) ? (x + d) : (x + (d > 0.0 ? tol1 : -tol1));
+    const double fu = f(u);
+    if (fu <= fx) {
+      if (u >= x) a = x;
+      else b = x;
+      v = w;
+      fv = fw;
+      w = x;
+      fw = fx;
+      x = u;
+      fx = fu;
+    } else {
+      if (u < x) a = u;
+      else b = u;
+      if (fu <= fw || w == x) {
+        v = w;
+        fv = fw;
+        w = u;
+        fw = fu;
+      } else if (fu <= fv || v == x || v == w) {
+        v = u;
+        fv = fu;
+      }
+    }
+  }
+  result.x = x;
+  result.f = fx;
+  result.converged = false;
+  return result;
+}
+
+MinimizeResult scan_then_refine(const std::function<double(double)>& f, double lo, double hi,
+                                int samples, const MinimizeOptions& options) {
+  require(lo < hi, "scan_then_refine: lo must be < hi");
+  require(samples >= 3, "scan_then_refine: need at least 3 samples");
+  double best_x = lo;
+  double best_f = std::numeric_limits<double>::infinity();
+  int best_i = 0;
+  for (int i = 0; i < samples; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / (samples - 1);
+    const double fx = f(x);
+    if (std::isfinite(fx) && fx < best_f) {
+      best_f = fx;
+      best_x = x;
+      best_i = i;
+    }
+  }
+  if (!std::isfinite(best_f)) {
+    throw NumericalError("scan_then_refine: objective is non-finite over the whole range");
+  }
+  const double step = (hi - lo) / (samples - 1);
+  const double a = (best_i == 0) ? lo : best_x - step;
+  const double b = (best_i == samples - 1) ? hi : best_x + step;
+  MinimizeResult refined = brent_minimize(f, a, b, options);
+  if (refined.f > best_f) {  // Defensive: never return worse than the scan.
+    refined.x = best_x;
+    refined.f = best_f;
+  }
+  return refined;
+}
+
+GridMinimum grid_minimize_2d(const std::function<double(double, double)>& f, double xlo,
+                             double xhi, std::size_t nx, double ylo, double yhi, std::size_t ny) {
+  require(xlo < xhi && ylo < yhi, "grid_minimize_2d: bad bounds");
+  require(nx >= 2 && ny >= 2, "grid_minimize_2d: need at least a 2x2 grid");
+  GridMinimum best;
+  best.f = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double x = xlo + (xhi - xlo) * static_cast<double>(i) / static_cast<double>(nx - 1);
+    for (std::size_t j = 0; j < ny; ++j) {
+      const double y = ylo + (yhi - ylo) * static_cast<double>(j) / static_cast<double>(ny - 1);
+      const double v = f(x, y);
+      if (std::isfinite(v) && v < best.f) {
+        best = {x, y, v, i, j};
+        found = true;
+      }
+    }
+  }
+  if (!found) throw NumericalError("grid_minimize_2d: no feasible grid point");
+  return best;
+}
+
+}  // namespace optpower

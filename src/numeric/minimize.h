@@ -1,0 +1,60 @@
+// One-dimensional minimization: golden-section search, Brent's parabolic
+// method, and exhaustive grid scan.
+//
+// The optimal-working-point search (Section 3 of the paper) is a 1-D
+// minimization of Ptot(Vdd) restricted to the timing-constraint curve; the
+// 2-D (Vdd, Vth) grid scan cross-checks it the way the paper's "numerical
+// calculation over all reasonable Vdd/Vth couples" does.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace optpower {
+
+/// Options for the 1-D minimizers.
+struct MinimizeOptions {
+  double x_tol = 1e-10;
+  int max_iterations = 200;
+};
+
+/// Result of a 1-D minimization.
+struct MinimizeResult {
+  double x = 0.0;     ///< argmin estimate
+  double f = 0.0;     ///< minimum value
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Golden-section search on [lo, hi]; assumes unimodality inside the bracket.
+[[nodiscard]] MinimizeResult golden_section(const std::function<double(double)>& f, double lo,
+                                            double hi, const MinimizeOptions& options = {});
+
+/// Brent's minimization (golden section + successive parabolic interpolation).
+[[nodiscard]] MinimizeResult brent_minimize(const std::function<double(double)>& f, double lo,
+                                            double hi, const MinimizeOptions& options = {});
+
+/// Exhaustive scan over `samples` equally spaced points followed by a local
+/// golden-section refinement around the best sample.  Robust to mild
+/// non-unimodality (e.g. the flat region near a sequential design's optimum).
+[[nodiscard]] MinimizeResult scan_then_refine(const std::function<double(double)>& f, double lo,
+                                              double hi, int samples = 200,
+                                              const MinimizeOptions& options = {});
+
+/// Result of a 2-D grid minimization.
+struct GridMinimum {
+  double x = 0.0;
+  double y = 0.0;
+  double f = 0.0;
+  std::size_t ix = 0;
+  std::size_t iy = 0;
+};
+
+/// Dense 2-D grid minimization over [xlo,xhi] x [ylo,yhi].  Cells where `f`
+/// returns a non-finite value (infeasible points) are skipped.  Throws
+/// NumericalError when every cell is infeasible.
+[[nodiscard]] GridMinimum grid_minimize_2d(const std::function<double(double, double)>& f,
+                                           double xlo, double xhi, std::size_t nx, double ylo,
+                                           double yhi, std::size_t ny);
+
+}  // namespace optpower

@@ -1,0 +1,121 @@
+#include "numeric/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace optpower {
+
+NelderMeadResult nelder_mead(const std::function<double(const std::vector<double>&)>& f,
+                             std::vector<double> x0, const NelderMeadOptions& options) {
+  require(!x0.empty(), "nelder_mead: x0 must not be empty");
+  const std::size_t n = x0.size();
+
+  // Standard coefficients: reflection, expansion, contraction, shrink.
+  constexpr double kAlpha = 1.0, kGamma = 2.0, kRho = 0.5, kSigma = 0.5;
+
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double step = options.initial_step * std::fabs(x0[i]);
+    if (step == 0.0) step = options.initial_step;
+    simplex[i + 1][i] += step;
+  }
+  std::vector<double> values(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) values[i] = f(simplex[i]);
+
+  NelderMeadResult result;
+  std::vector<std::size_t> order(n + 1);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    for (std::size_t i = 0; i <= n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+
+    const std::size_t best = order[0];
+    const std::size_t worst = order[n];
+    const std::size_t second_worst = order[n - 1];
+
+    // Convergence: function spread and simplex diameter.
+    double diameter = 0.0;
+    for (std::size_t i = 1; i <= n; ++i) {
+      double d = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        d = std::max(d, std::fabs(simplex[order[i]][j] - simplex[best][j]));
+      }
+      diameter = std::max(diameter, d);
+    }
+    const double spread = std::fabs(values[worst] - values[best]);
+    // Require BOTH a tiny function spread and a collapsed simplex: a simplex
+    // straddling a minimum symmetrically has zero spread at finite diameter.
+    if ((std::isfinite(values[worst]) && spread <= options.f_tol && diameter <= 1e3 * options.x_tol) ||
+        diameter <= options.x_tol) {
+      result.converged = true;
+      result.x = simplex[best];
+      result.f = values[best];
+      return result;
+    }
+
+    // Centroid of all points except the worst.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t j = 0; j < n; ++j) centroid[j] += simplex[i][j];
+    }
+    for (auto& c : centroid) c /= static_cast<double>(n);
+
+    const auto blend = [&](double coeff) {
+      std::vector<double> p(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        p[j] = centroid[j] + coeff * (centroid[j] - simplex[worst][j]);
+      }
+      return p;
+    };
+
+    const std::vector<double> reflected = blend(kAlpha);
+    const double f_reflected = f(reflected);
+
+    if (f_reflected < values[best]) {
+      const std::vector<double> expanded = blend(kGamma);
+      const double f_expanded = f(expanded);
+      if (f_expanded < f_reflected) {
+        simplex[worst] = expanded;
+        values[worst] = f_expanded;
+      } else {
+        simplex[worst] = reflected;
+        values[worst] = f_reflected;
+      }
+      continue;
+    }
+    if (f_reflected < values[second_worst]) {
+      simplex[worst] = reflected;
+      values[worst] = f_reflected;
+      continue;
+    }
+    const std::vector<double> contracted = blend(-kRho);
+    const double f_contracted = f(contracted);
+    if (f_contracted < values[worst]) {
+      simplex[worst] = contracted;
+      values[worst] = f_contracted;
+      continue;
+    }
+    // Shrink towards the best vertex.
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == best) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        simplex[i][j] = simplex[best][j] + kSigma * (simplex[i][j] - simplex[best][j]);
+      }
+      values[i] = f(simplex[i]);
+    }
+  }
+
+  const std::size_t best =
+      static_cast<std::size_t>(std::min_element(values.begin(), values.end()) - values.begin());
+  result.x = simplex[best];
+  result.f = values[best];
+  result.converged = false;
+  return result;
+}
+
+}  // namespace optpower

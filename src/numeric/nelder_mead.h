@@ -1,0 +1,32 @@
+// Nelder-Mead downhill simplex minimization in N dimensions.
+//
+// Used by the calibration module (joint (C, Io_eff) solves for Tables 3/4)
+// and as a derivative-free fallback for the technology-extraction fits.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace optpower {
+
+struct NelderMeadOptions {
+  double f_tol = 1e-12;       ///< stop when simplex function spread < f_tol
+  double x_tol = 1e-10;       ///< ... or simplex diameter < x_tol
+  int max_iterations = 2000;
+  double initial_step = 0.1;  ///< relative perturbation used to seed the simplex
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double f = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimize `f` starting from `x0`.  The objective may return +inf to mark
+/// infeasible points (the simplex will move away from them).
+[[nodiscard]] NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f, std::vector<double> x0,
+    const NelderMeadOptions& options = {});
+
+}  // namespace optpower

@@ -1,0 +1,196 @@
+#include "numeric/roots.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+bool opposite_signs(double a, double b) noexcept {
+  return (a < 0.0 && b > 0.0) || (a > 0.0 && b < 0.0);
+}
+
+}  // namespace
+
+RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                  const RootOptions& options) {
+  require(lo < hi, "bisect: lo must be < hi");
+  double flo = f(lo);
+  double fhi = f(hi);
+  RootResult result;
+  if (flo == 0.0) return {lo, 0.0, 0, true};
+  if (fhi == 0.0) return {hi, 0.0, 0, true};
+  if (!opposite_signs(flo, fhi)) {
+    throw NumericalError("bisect: f(lo) and f(hi) do not bracket a root");
+  }
+  for (int i = 0; i < options.max_iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    ++result.iterations;
+    if (fm == 0.0 || (options.f_tol > 0.0 && std::fabs(fm) <= options.f_tol) ||
+        (hi - lo) * 0.5 <= options.x_tol) {
+      return {mid, fm, result.iterations, true};
+    }
+    if (opposite_signs(flo, fm)) {
+      hi = mid;
+      fhi = fm;
+    } else {
+      lo = mid;
+      flo = fm;
+    }
+  }
+  result.x = 0.5 * (lo + hi);
+  result.f = f(result.x);
+  result.converged = false;
+  return result;
+}
+
+RootResult brent_root(const std::function<double(double)>& f, double lo, double hi,
+                      const RootOptions& options) {
+  require(lo < hi, "brent_root: lo must be < hi");
+  double a = lo, b = hi;
+  double fa = f(a), fb = f(b);
+  if (fa == 0.0) return {a, 0.0, 0, true};
+  if (fb == 0.0) return {b, 0.0, 0, true};
+  if (!opposite_signs(fa, fb)) {
+    throw NumericalError("brent_root: f(lo) and f(hi) do not bracket a root");
+  }
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+  RootResult result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    if (std::fabs(fc) < std::fabs(fb)) {
+      a = b;
+      b = c;
+      c = a;
+      fa = fb;
+      fb = fc;
+      fc = fa;
+    }
+    const double tol1 = 2.0 * 2.22e-16 * std::fabs(b) + 0.5 * options.x_tol;
+    const double xm = 0.5 * (c - b);
+    if (std::fabs(xm) <= tol1 || fb == 0.0 ||
+        (options.f_tol > 0.0 && std::fabs(fb) <= options.f_tol)) {
+      return {b, fb, result.iterations, true};
+    }
+    if (std::fabs(e) >= tol1 && std::fabs(fa) > std::fabs(fb)) {
+      // Attempt inverse quadratic interpolation / secant.
+      const double s = fb / fa;
+      double p, q;
+      if (a == c) {
+        p = 2.0 * xm * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * xm * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::fabs(p);
+      const double min1 = 3.0 * xm * q - std::fabs(tol1 * q);
+      const double min2 = std::fabs(e * q);
+      if (2.0 * p < std::min(min1, min2)) {
+        e = d;
+        d = p / q;
+      } else {
+        d = xm;
+        e = d;
+      }
+    } else {
+      d = xm;
+      e = d;
+    }
+    a = b;
+    fa = fb;
+    b += (std::fabs(d) > tol1) ? d : (xm > 0.0 ? tol1 : -tol1);
+    fb = f(b);
+    if (!opposite_signs(fb, fc)) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+  }
+  result.x = b;
+  result.f = fb;
+  result.converged = false;
+  return result;
+}
+
+RootResult newton_root(const std::function<double(double)>& f, double x0, double lo, double hi,
+                       const RootOptions& options) {
+  require(lo < hi, "newton_root: lo must be < hi");
+  double x = std::clamp(x0, lo, hi);
+  double flo = f(lo), fhi = f(hi);
+  const bool bracketed = opposite_signs(flo, fhi);
+  RootResult result;
+  for (int i = 0; i < options.max_iterations; ++i) {
+    ++result.iterations;
+    const double fx = f(x);
+    if (fx == 0.0 || (options.f_tol > 0.0 && std::fabs(fx) <= options.f_tol)) {
+      return {x, fx, result.iterations, true};
+    }
+    if (bracketed) {
+      // Maintain the bracket BEFORE choosing the next point so the bisection
+      // fallback always makes progress.
+      if (opposite_signs(flo, fx)) {
+        hi = x;
+        fhi = fx;
+      } else {
+        lo = x;
+        flo = fx;
+      }
+    }
+    if (bracketed && (hi - lo) <= options.x_tol) {
+      const double mid = 0.5 * (lo + hi);
+      return {mid, f(mid), result.iterations, true};
+    }
+    const double h = std::max(1e-7 * std::fabs(x), 1e-10);
+    const double dfx = (f(x + h) - f(x - h)) / (2.0 * h);
+    double next;
+    if (dfx == 0.0 || !std::isfinite(dfx)) {
+      next = 0.5 * (lo + hi);
+    } else {
+      next = x - fx / dfx;
+    }
+    if (next <= lo || next >= hi) {
+      next = bracketed ? 0.5 * (lo + hi) : std::clamp(next, lo, hi);
+    }
+    // Genuine Newton convergence: a small step that also improves |f|.
+    if (std::fabs(next - x) <= options.x_tol) {
+      const double fn = f(next);
+      if (std::fabs(fn) <= std::fabs(fx)) {
+        return {next, fn, result.iterations, true};
+      }
+    }
+    x = next;
+  }
+  result.x = x;
+  result.f = f(x);
+  result.converged = false;
+  return result;
+}
+
+bool expand_bracket(const std::function<double(double)>& f, double& lo, double& hi,
+                    int max_expansions) {
+  require(lo < hi, "expand_bracket: lo must be < hi");
+  double flo = f(lo), fhi = f(hi);
+  const double kGrow = 1.6;
+  for (int i = 0; i < max_expansions; ++i) {
+    if (opposite_signs(flo, fhi) || flo == 0.0 || fhi == 0.0) return true;
+    if (std::fabs(flo) < std::fabs(fhi)) {
+      lo -= kGrow * (hi - lo);
+      flo = f(lo);
+    } else {
+      hi += kGrow * (hi - lo);
+      fhi = f(hi);
+    }
+  }
+  return opposite_signs(flo, fhi);
+}
+
+}  // namespace optpower

@@ -1,0 +1,48 @@
+// Scalar root finding: bisection, Brent's method and safeguarded Newton.
+//
+// Used by the power model to invert the timing constraint (find the Vdd that
+// yields a target delay at fixed Vth), by the calibration module, and by the
+// mini-SPICE DC operating-point helper.
+#pragma once
+
+#include <functional>
+
+namespace optpower {
+
+/// Options shared by the root finders.
+struct RootOptions {
+  double x_tol = 1e-12;     ///< absolute tolerance on the root location
+  double f_tol = 0.0;       ///< treat |f| <= f_tol as converged (0 = off)
+  int max_iterations = 200;
+};
+
+/// Result of a root search.
+struct RootResult {
+  double x = 0.0;         ///< root estimate
+  double f = 0.0;         ///< residual f(x)
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Plain bisection on [lo, hi].  Requires f(lo) and f(hi) to have opposite
+/// signs; throws NumericalError otherwise.  Always converges (linearly).
+[[nodiscard]] RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                                const RootOptions& options = {});
+
+/// Brent's method (inverse quadratic interpolation + secant + bisection
+/// fallback).  Same bracketing precondition as bisect; superlinear in
+/// practice.  This is the workhorse root finder.
+[[nodiscard]] RootResult brent_root(const std::function<double(double)>& f, double lo, double hi,
+                                    const RootOptions& options = {});
+
+/// Newton's method with numeric derivative, safeguarded to stay inside
+/// [lo, hi] by bisection steps when the Newton step leaves the bracket.
+[[nodiscard]] RootResult newton_root(const std::function<double(double)>& f, double x0, double lo,
+                                     double hi, const RootOptions& options = {});
+
+/// Expand a bracket geometrically around [lo, hi] until f changes sign or
+/// `max_expansions` is hit.  Returns true and updates lo/hi on success.
+[[nodiscard]] bool expand_bracket(const std::function<double(double)>& f, double& lo, double& hi,
+                                  int max_expansions = 60);
+
+}  // namespace optpower

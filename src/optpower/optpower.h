@@ -1,0 +1,41 @@
+// Umbrella header: the public API of the optpower library.
+//
+// Sub-APIs (include individually for faster builds):
+//   power/model.h, power/optimum.h, power/closed_form.h  - the paper's core
+//   power/surface.h, power/sensitivity.h                 - exploration tools
+//   tech/*, arch/*                                       - parameter vectors
+//   calib/*                                              - calibration & extraction
+//   netlist/*, mult/*, sim/*, sta/*                      - EDA substrates
+//   spice/*                                              - mini circuit simulator
+//   report/forward_flow.h                                - end-to-end flow
+#pragma once
+
+#include "arch/architecture.h"
+#include "arch/paper_data.h"
+#include "calib/calibrate.h"
+#include "calib/tech_extract.h"
+#include "mult/factory.h"
+#include "netlist/builder.h"
+#include "netlist/netlist.h"
+#include "netlist/transform.h"
+#include "power/closed_form.h"
+#include "power/model.h"
+#include "power/optimum.h"
+#include "power/sensitivity.h"
+#include "power/surface.h"
+#include "report/forward_flow.h"
+#include "sim/activity.h"
+#include "sim/event_sim.h"
+#include "spice/testbench.h"
+#include "sta/sta.h"
+#include "tech/linearization.h"
+#include "tech/scaling.h"
+#include "tech/stm_cmos09.h"
+#include "tech/technology.h"
+#include "util/ascii_plot.h"
+#include "util/constants.h"
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/format.h"
+#include "util/table.h"
+#include "util/units.h"

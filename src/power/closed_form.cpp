@@ -1,0 +1,71 @@
+#include "power/closed_form.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace optpower {
+
+double eq13_total_power(double n_cells, double activity, double cell_cap, double frequency,
+                        double io, double n_ut, double chi, double lin_a, double lin_b) {
+  const double one_minus = 1.0 - chi * lin_a;
+  if (one_minus <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  const double acf = activity * cell_cap * frequency;
+  const double log_arg = io * one_minus / (2.0 * acf * n_ut);
+  if (log_arg <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  const double bracket = n_ut * (std::log(log_arg) + 1.0) + chi * lin_b;
+  return n_cells * acf / (one_minus * one_minus) * bracket * bracket;
+}
+
+ClosedFormResult closed_form_optimum(const PowerModel& model, double frequency,
+                                     const Linearization& lin) {
+  require(frequency > 0.0, "closed_form_optimum: frequency must be positive");
+  require(std::fabs(lin.alpha - model.tech().alpha) < 1e-9,
+          "closed_form_optimum: linearization was fitted for a different alpha");
+
+  const Technology& tech = model.tech();
+  const ArchitectureParams& arch = model.arch();
+  const double nut = tech.n_ut();
+  const double chi = model.chi(frequency);
+  const double one_minus = 1.0 - chi * lin.a;
+
+  ClosedFormResult result;
+  result.chi = chi;
+  result.one_minus_chi_a = one_minus;
+  result.vth_opt = std::numeric_limits<double>::quiet_NaN();
+  result.vdd_opt = std::numeric_limits<double>::quiet_NaN();
+  result.ptot_eq11 = std::numeric_limits<double>::quiet_NaN();
+  result.ptot_eq12 = std::numeric_limits<double>::quiet_NaN();
+  result.ptot_eq13 = std::numeric_limits<double>::quiet_NaN();
+
+  if (one_minus <= 0.0) return result;  // architecture too slow for Eq. 13
+
+  const double acf = arch.activity * arch.cell_cap * frequency;
+  const double log_arg = tech.io * one_minus / (2.0 * acf * nut);
+  if (log_arg <= 0.0) return result;
+
+  // Eq. 9: the optimal leakage level fixes the effective threshold.
+  result.vth_opt = nut * std::log(log_arg);
+  // Eq. 10: map back through the linearized constraint.
+  result.vdd_opt = (result.vth_opt + chi * lin.b) / one_minus;
+  // Eq. 11/12: total power expressed via the optimal supply.
+  const double vdd = result.vdd_opt;
+  const double naf = arch.n_cells * acf;
+  result.ptot_eq11 = naf * vdd * (vdd + 2.0 * nut / one_minus);
+  const double shifted = vdd + nut / one_minus;
+  result.ptot_eq12 = naf * shifted * shifted;
+  // Eq. 13: fully closed form.
+  result.ptot_eq13 = eq13_total_power(arch.n_cells, arch.activity, arch.cell_cap, frequency,
+                                      tech.io, nut, chi, lin.a, lin.b);
+  result.valid = std::isfinite(result.ptot_eq13) && result.ptot_eq13 > 0.0;
+  return result;
+}
+
+ClosedFormResult closed_form_optimum(const PowerModel& model, double frequency) {
+  const Linearization lin =
+      linearize_vdd_root(model.tech().alpha, 0.3, 1.0, LinearizationMethod::kLeastSquares);
+  return closed_form_optimum(model, frequency, lin);
+}
+
+}  // namespace optpower

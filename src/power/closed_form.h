@@ -1,0 +1,54 @@
+// The closed-form optimal working point of Section 3 (Eq. 9-13).
+//
+// Derivation carried by the implementation (verified step-by-step in
+// tests/power/closed_form_test.cpp):
+//   Linearize Vdd^{1/alpha} ~= A*Vdd + B (Eq. 7)
+//     => Vth(Vdd) ~= (1 - chi*A)*Vdd - chi*B on the constraint curve (Eq. 8)
+//   d Ptot / d Vdd = 0 with Vdd >> n*Ut/(1 - chi*A)
+//     => Io*exp(-Vth*/nUt) = 2*a*C*f*nUt/(1 - chi*A)                  (Eq. 9)
+//     => Vdd* = [nUt*ln(Io(1-chi A)/(2 a C f nUt)) + chi*B]/(1-chi A) (Eq. 10)
+//   Substituting back:
+//     Ptot* = N a C f Vdd*(Vdd* + 2 nUt/(1-chi A))                    (Eq. 11)
+//           ~= N a C f (Vdd* + nUt/(1-chi A))^2                       (Eq. 12)
+//           ~= N a C f/(1-chi A)^2 *
+//              [nUt(ln(Io(1-chi A)/(2 a C f nUt)) + 1) + chi*B]^2     (Eq. 13)
+//
+// Validity: requires 1 - chi*A > 0 (fast-enough architecture) and a positive
+// logarithm argument; `valid` is false otherwise and the power fields are
+// NaN.  eta (DIBL) never appears - the paper's closing observation about
+// Eq. 13 - which tests/power/closed_form_test.cpp checks by sweeping eta.
+#pragma once
+
+#include "power/model.h"
+#include "tech/linearization.h"
+
+namespace optpower {
+
+/// Closed-form estimates for one (model, frequency, linearization) triple.
+struct ClosedFormResult {
+  double chi = 0.0;               ///< Eq. 6
+  double one_minus_chi_a = 0.0;   ///< the paper's (1 - chi*A) factor
+  double vth_opt = 0.0;           ///< Eq. 9 [V] (effective threshold)
+  double vdd_opt = 0.0;           ///< Eq. 10 [V]
+  double ptot_eq11 = 0.0;         ///< Eq. 11 [W] (uses Eq. 10's Vdd)
+  double ptot_eq12 = 0.0;         ///< Eq. 12 [W]
+  double ptot_eq13 = 0.0;         ///< Eq. 13 [W] (the headline formula)
+  bool valid = false;
+};
+
+/// Evaluate Eq. 9-13.  The linearization must have been fitted for the
+/// model's alpha (checked; throws InvalidArgument on mismatch > 1e-9).
+[[nodiscard]] ClosedFormResult closed_form_optimum(const PowerModel& model, double frequency,
+                                                   const Linearization& lin);
+
+/// Convenience overload: fits the linearization on [0.3, 1.0] V with least
+/// squares (the paper's published fitting range) before evaluating.
+[[nodiscard]] ClosedFormResult closed_form_optimum(const PowerModel& model, double frequency);
+
+/// Evaluate Eq. 13 only, from raw scalars (used by sensitivity sweeps that
+/// bypass PowerModel).  Returns NaN when invalid.
+[[nodiscard]] double eq13_total_power(double n_cells, double activity, double cell_cap,
+                                      double frequency, double io, double n_ut, double chi,
+                                      double lin_a, double lin_b);
+
+}  // namespace optpower

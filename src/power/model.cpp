@@ -1,0 +1,123 @@
+#include "power/model.h"
+
+#include <cmath>
+
+#include "numeric/roots.h"
+#include "util/constants.h"
+#include "util/error.h"
+
+namespace optpower {
+
+PowerModel::PowerModel(Technology tech, ArchitectureParams arch, OnCurrentModel current_model)
+    : tech_(std::move(tech)), arch_(std::move(arch)), current_model_(current_model) {
+  validate(tech_);
+  validate(arch_);
+}
+
+double PowerModel::dynamic_power(double vdd, double frequency) const noexcept {
+  return arch_.n_cells * arch_.activity * arch_.cell_cap * vdd * vdd * frequency;
+}
+
+double PowerModel::static_power(double vdd, double vth) const noexcept {
+  return arch_.n_cells * vdd * tech_.io * std::exp(-vth / tech_.n_ut());
+}
+
+double PowerModel::total_power(double vdd, double vth, double frequency) const noexcept {
+  return dynamic_power(vdd, frequency) + static_power(vdd, vth);
+}
+
+OperatingPoint PowerModel::operating_point(double vdd, double vth, double frequency) const {
+  OperatingPoint p;
+  p.vdd = vdd;
+  p.vth = vth;
+  p.vth0 = vth0_from_effective(vth, vdd);
+  p.pdyn = dynamic_power(vdd, frequency);
+  p.pstat = static_power(vdd, vth);
+  p.ptot = p.pdyn + p.pstat;
+  return p;
+}
+
+double PowerModel::on_current(double vdd, double vth) const noexcept {
+  const double vgt = vdd - vth;
+  const double nut = tech_.n_ut();
+  const double vswitch = tech_.alpha * nut;
+  if (current_model_ == OnCurrentModel::kC1Blended && vgt <= vswitch) {
+    // C1 sub-threshold continuation (value Io*e^alpha, slope matched at vswitch).
+    return tech_.io * std::exp(vgt / nut);
+  }
+  if (vgt <= 0.0) return 0.0;  // alpha-power law: no drive below threshold
+  return tech_.io * std::pow(kEuler * vgt / vswitch, tech_.alpha);
+}
+
+double PowerModel::gate_delay(double vdd, double vth) const noexcept {
+  return tech_.zeta * vdd / on_current(vdd, vth);
+}
+
+double PowerModel::critical_path_delay(double vdd, double vth) const noexcept {
+  return arch_.logic_depth * gate_delay(vdd, vth);
+}
+
+double PowerModel::max_frequency(double vdd, double vth) const noexcept {
+  const double t = critical_path_delay(vdd, vth);
+  return t > 0.0 ? 1.0 / t : 0.0;
+}
+
+bool PowerModel::meets_timing(double vdd, double vth, double frequency) const noexcept {
+  return max_frequency(vdd, vth) >= frequency;
+}
+
+double PowerModel::chi(double frequency) const noexcept {
+  const double nut = tech_.n_ut();
+  return (tech_.alpha * nut / kEuler) *
+         std::pow(tech_.zeta * arch_.logic_depth * frequency / tech_.io, 1.0 / tech_.alpha);
+}
+
+double PowerModel::vth_on_constraint(double vdd, double frequency) const noexcept {
+  // Required on-current: LD * zeta * vdd / Ion = 1/f  =>  Ion = zeta*LD*f*vdd.
+  const double ion_required = tech_.zeta * arch_.logic_depth * frequency * vdd;
+  const double nut = tech_.n_ut();
+  const double vswitch = tech_.alpha * nut;
+  const double ratio = ion_required / tech_.io;
+  double vgt;
+  if (current_model_ == OnCurrentModel::kC1Blended && ratio <= std::exp(tech_.alpha)) {
+    // Sub-threshold branch of the C1 model: Io*exp(vgt/nut) = ion_required.
+    vgt = nut * std::log(ratio);
+  } else {
+    // Alpha branch: Io*(e*vgt/vswitch)^alpha = ion_required.  Equivalent to
+    // vgt = chi(f) * vdd^{1/alpha}, i.e. the paper's Eq. 5.
+    vgt = vswitch / kEuler * std::pow(ratio, 1.0 / tech_.alpha);
+  }
+  return vdd - vgt;
+}
+
+double PowerModel::vdd_on_constraint(double vth, double frequency) const {
+  const auto residual = [&](double vdd) {
+    return max_frequency(vdd, vth) - frequency;
+  };
+  // fmax(vdd) is increasing in vdd only where d tgate/d vdd < 0, i.e. for
+  // vdd > -vth/(alpha - 1) when vth < 0 (for vth >= 0 the whole positive
+  // overdrive region is monotone).  Restrict the search accordingly so the
+  // bracketing below is sound.
+  double lo = std::max(1e-3, vth + 1e-4);
+  if (vth < 0.0 && tech_.alpha > 1.0) {
+    lo = std::max(lo, -vth / (tech_.alpha - 1.0) + 1e-6);
+  }
+  const double hi = 10.0;
+  if (residual(hi) < 0.0) {
+    throw NumericalError("vdd_on_constraint: frequency unreachable at vdd = 10 V");
+  }
+  if (residual(lo) > 0.0) return lo;  // already fast enough at the minimum supply
+  const RootResult root = brent_root(residual, lo, hi, {.x_tol = 1e-12});
+  if (!root.converged) throw NumericalError("vdd_on_constraint: root search failed");
+  return root.x;
+}
+
+double PowerModel::vth0_from_effective(double vth, double vdd) const noexcept {
+  return vth + tech_.eta * vdd;
+}
+
+double PowerModel::effective_from_vth0(double vth0, double vdd) const noexcept {
+  return vth0 - tech_.eta * vdd;
+}
+
+}  // namespace optpower

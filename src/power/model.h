@@ -1,0 +1,116 @@
+// The total-power model of Section 2 of the paper (Eq. 1-6): dynamic +
+// sub-threshold static power of an (architecture, technology) pair, the
+// alpha-power-law delay, and the timing-constraint curve that ties Vth to
+// Vdd at a given operating frequency.
+//
+// Voltage conventions: all public methods take the *effective* threshold
+// voltage (DIBL already applied, the paper's Eq. 3).  Helpers convert
+// between the effective Vth and the zero-bias Vth0.
+#pragma once
+
+#include "arch/architecture.h"
+#include "tech/technology.h"
+
+namespace optpower {
+
+/// A fully specified working point with its power breakdown.
+struct OperatingPoint {
+  double vdd = 0.0;        ///< supply [V]
+  double vth = 0.0;        ///< effective threshold [V]
+  double vth0 = 0.0;       ///< zero-bias threshold (vth + eta*vdd) [V]
+  double pdyn = 0.0;       ///< dynamic power [W]
+  double pstat = 0.0;      ///< static power [W]
+  double ptot = 0.0;       ///< total power [W]
+
+  /// Pdyn / Pstat, the ratio annotated on the paper's Figure 1.
+  [[nodiscard]] double dyn_stat_ratio() const noexcept {
+    return pstat > 0.0 ? pdyn / pstat : 0.0;
+  }
+};
+
+/// On-current model selection for Eq. 2.
+enum class OnCurrentModel {
+  /// The paper's pure alpha-power law Io*(e*vgt/(alpha*n*Ut))^alpha, defined
+  /// for vgt > 0 only (zero current, i.e. infinite delay, below).  This is
+  /// the model behind every published number; the default.
+  kAlphaPower,
+  /// C1 extension that follows the sub-threshold exponential below
+  /// vgt = alpha*n*Ut (value- and slope-matched).  Physically better for
+  /// near/sub-threshold supplies; bench_ablation_approx quantifies the
+  /// difference against the paper's model.
+  kC1Blended,
+};
+
+/// Eq. 1-6 evaluated for one (technology, architecture) pair.
+class PowerModel {
+ public:
+  PowerModel(Technology tech, ArchitectureParams arch,
+             OnCurrentModel current_model = OnCurrentModel::kAlphaPower);
+
+  [[nodiscard]] OnCurrentModel current_model() const noexcept { return current_model_; }
+
+  [[nodiscard]] const Technology& tech() const noexcept { return tech_; }
+  [[nodiscard]] const ArchitectureParams& arch() const noexcept { return arch_; }
+
+  // --- Eq. 1: power ------------------------------------------------------
+
+  /// Pdyn = N*a*C*Vdd^2*f  [W].
+  [[nodiscard]] double dynamic_power(double vdd, double frequency) const noexcept;
+
+  /// Pstat = N*Vdd*Io*exp(-Vth/(n*Ut))  [W]  (vth = effective threshold).
+  [[nodiscard]] double static_power(double vdd, double vth) const noexcept;
+
+  /// Ptot = Pdyn + Pstat  [W].
+  [[nodiscard]] double total_power(double vdd, double vth, double frequency) const noexcept;
+
+  /// Assemble a full OperatingPoint record at (vdd, vth, f).
+  [[nodiscard]] OperatingPoint operating_point(double vdd, double vth, double frequency) const;
+
+  // --- Eq. 2-4: device & delay --------------------------------------------
+
+  /// Eq. 2: the on-current per average cell,
+  /// Io*(e*(vdd-vth)/(alpha*n*Ut))^alpha (branching per current_model()).
+  [[nodiscard]] double on_current(double vdd, double vth) const noexcept;
+
+  /// Eq. 4: tgate = zeta * vdd / Ion  [s].
+  [[nodiscard]] double gate_delay(double vdd, double vth) const noexcept;
+
+  /// Critical-path delay LD * tgate  [s].
+  [[nodiscard]] double critical_path_delay(double vdd, double vth) const noexcept;
+
+  /// Largest operating frequency at (vdd, vth): 1 / (LD * tgate)  [Hz].
+  [[nodiscard]] double max_frequency(double vdd, double vth) const noexcept;
+
+  /// True when the circuit meets `frequency` at (vdd, vth).
+  [[nodiscard]] bool meets_timing(double vdd, double vth, double frequency) const noexcept;
+
+  // --- Eq. 5/6: the timing-constraint curve --------------------------------
+
+  /// Eq. 6: chi = (alpha*n*Ut/e) * (zeta*LD*f/Io)^(1/alpha).
+  [[nodiscard]] double chi(double frequency) const noexcept;
+
+  /// Eq. 5 solved exactly for the effective threshold: the unique vth such
+  /// that the critical path exactly matches 1/f at supply `vdd`.  For the
+  /// paper's alpha-power model this is exactly vth = vdd - chi*vdd^{1/alpha};
+  /// the C1 variant additionally covers the sub-threshold branch.
+  [[nodiscard]] double vth_on_constraint(double vdd, double frequency) const noexcept;
+
+  /// Inverse of the constraint in the other direction: the supply that makes
+  /// the critical path match 1/f at the given effective vth.  Solved with
+  /// Brent; throws NumericalError when no supply in (1 mV, 10 V) works.
+  [[nodiscard]] double vdd_on_constraint(double vth, double frequency) const;
+
+  // --- DIBL (Eq. 3) ---------------------------------------------------------
+
+  /// Zero-bias threshold for an effective vth at supply vdd: vth + eta*vdd.
+  [[nodiscard]] double vth0_from_effective(double vth, double vdd) const noexcept;
+  /// Effective threshold from the zero-bias one: vth0 - eta*vdd.
+  [[nodiscard]] double effective_from_vth0(double vth0, double vdd) const noexcept;
+
+ private:
+  Technology tech_;
+  ArchitectureParams arch_;
+  OnCurrentModel current_model_;
+};
+
+}  // namespace optpower

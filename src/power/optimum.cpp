@@ -1,0 +1,66 @@
+#include "power/optimum.h"
+
+#include <cmath>
+#include <limits>
+
+#include "numeric/minimize.h"
+#include "util/error.h"
+
+namespace optpower {
+
+OptimumResult find_optimum(const PowerModel& model, double frequency,
+                           const OptimumOptions& options) {
+  require(frequency > 0.0, "find_optimum: frequency must be positive");
+  require(options.vdd_min > 0.0 && options.vdd_min < options.vdd_max,
+          "find_optimum: bad vdd range");
+
+  const auto objective = [&](double vdd) -> double {
+    const double vth = model.vth_on_constraint(vdd, frequency);
+    if (vth < options.vth_min || vth >= vdd) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return model.total_power(vdd, vth, frequency);
+  };
+
+  const MinimizeResult best =
+      scan_then_refine(objective, options.vdd_min, options.vdd_max, options.scan_samples);
+
+  OptimumResult result;
+  result.frequency = frequency;
+  const double vth = model.vth_on_constraint(best.x, frequency);
+  result.point = model.operating_point(best.x, vth, frequency);
+  result.on_constraint = true;
+  result.converged = best.converged || std::isfinite(best.f);
+  return result;
+}
+
+OptimumResult find_optimum_grid(const PowerModel& model, double frequency,
+                                const OptimumOptions& options) {
+  require(frequency > 0.0, "find_optimum_grid: frequency must be positive");
+
+  const auto objective = [&](double vdd, double vth) -> double {
+    if (vth >= vdd) return std::numeric_limits<double>::infinity();
+    if (!model.meets_timing(vdd, vth, frequency)) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return model.total_power(vdd, vth, frequency);
+  };
+
+  const GridMinimum grid =
+      grid_minimize_2d(objective, options.vdd_min, options.vdd_max, options.grid_nx,
+                       options.vth_min, options.vth_max, options.grid_ny);
+
+  OptimumResult result;
+  result.frequency = frequency;
+  result.point = model.operating_point(grid.x, grid.y, frequency);
+  // The constrained optimum lies on the timing-equality boundary; report how
+  // close the best grid cell is to it.
+  const double vth_exact = model.vth_on_constraint(grid.x, frequency);
+  result.on_constraint = std::fabs(vth_exact - grid.y) <
+                         2.0 * (options.vth_max - options.vth_min) /
+                             static_cast<double>(options.grid_ny - 1);
+  result.converged = true;
+  return result;
+}
+
+}  // namespace optpower

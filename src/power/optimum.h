@@ -1,0 +1,49 @@
+// Numerical search for the optimal working point (Section 3 of the paper):
+// the (Vdd, Vth) pair that minimizes total power while exactly meeting the
+// frequency constraint.
+//
+// Two independent searches are provided:
+//  * find_optimum():      1-D minimization of Ptot(Vdd) restricted to the
+//                         timing-constraint curve Vth(Vdd) (Eq. 5) - this is
+//                         exact because the optimum always lies on the curve
+//                         (a positive slack would allow lowering Vdd; the
+//                         paper makes the same argument).
+//  * find_optimum_grid(): brute-force 2-D scan over all "reasonable Vdd/Vth
+//                         couples" exactly like the paper's numerical
+//                         reference.  Slower; used to cross-validate.
+#pragma once
+
+#include "power/model.h"
+
+namespace optpower {
+
+/// Search-space configuration for the optimum searches.
+struct OptimumOptions {
+  double vdd_min = 0.08;   ///< [V]
+  double vdd_max = 1.40;   ///< [V]
+  double vth_min = -0.30;  ///< effective-threshold floor [V]
+  double vth_max = 0.60;   ///< [V] (grid search only)
+  int scan_samples = 600;  ///< coarse samples before Brent refinement
+  std::size_t grid_nx = 281;  ///< grid-search resolution (Vdd)
+  std::size_t grid_ny = 361;  ///< grid-search resolution (Vth)
+};
+
+/// Result of an optimum search.
+struct OptimumResult {
+  OperatingPoint point;
+  double frequency = 0.0;
+  bool on_constraint = true;  ///< optimum sits on the timing-equality curve
+  bool converged = false;
+};
+
+/// 1-D constrained search (the production method).
+/// Throws NumericalError when no feasible supply exists in the options range.
+[[nodiscard]] OptimumResult find_optimum(const PowerModel& model, double frequency,
+                                         const OptimumOptions& options = {});
+
+/// 2-D exhaustive grid search (the paper's reference method).
+/// Infeasible cells (timing not met, or vth outside range) are skipped.
+[[nodiscard]] OptimumResult find_optimum_grid(const PowerModel& model, double frequency,
+                                              const OptimumOptions& options = {});
+
+}  // namespace optpower

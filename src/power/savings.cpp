@@ -1,0 +1,48 @@
+#include "power/savings.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace optpower {
+
+SavingsReport analyze_savings(const PowerModel& model, double frequency) {
+  require(frequency > 0.0, "analyze_savings: frequency must be positive");
+  const Technology& tech = model.tech();
+
+  SavingsReport report;
+  report.frequency = frequency;
+
+  const double vth_nom = model.effective_from_vth0(tech.vth0_nom, tech.vdd_nom);
+  report.nominal = model.operating_point(tech.vdd_nom, vth_nom, frequency);
+  report.nominal_meets_timing = model.meets_timing(tech.vdd_nom, vth_nom, frequency);
+
+  // Vdd-only scaling: lower the supply until the timing constraint is tight,
+  // keeping the nominal threshold.  If even vdd_nom misses timing, the best
+  // DVS can do is stay at nominal.
+  double vdd_scaled = tech.vdd_nom;
+  if (report.nominal_meets_timing) {
+    const double vth0_const = tech.vth0_nom;
+    // vdd_on_constraint works on the *effective* threshold; with DIBL the
+    // effective threshold shifts as vdd moves, so iterate a couple of times.
+    double v = tech.vdd_nom;
+    for (int i = 0; i < 8; ++i) {
+      const double vth_eff = model.effective_from_vth0(vth0_const, v);
+      v = model.vdd_on_constraint(vth_eff, frequency);
+    }
+    vdd_scaled = std::min(v, tech.vdd_nom);
+  }
+  report.vdd_only = model.operating_point(
+      vdd_scaled, model.effective_from_vth0(tech.vth0_nom, vdd_scaled), frequency);
+
+  try {
+    report.optimal = find_optimum(model, frequency).point;
+  } catch (const NumericalError&) {
+    // Frequency unreachable at any allowed (Vdd, Vth): report honestly.
+    report.optimal = report.vdd_only;
+    report.optimal_found = false;
+  }
+  return report;
+}
+
+}  // namespace optpower

@@ -1,0 +1,41 @@
+// Power savings of the optimal working point versus nominal operation.
+//
+// The motivation behind the paper: running a circuit at its nominal
+// (Vdd_nom, Vth0_nom) wastes the slack between its actual speed and the
+// required throughput.  This module quantifies what moving to the optimal
+// (Vdd*, Vth*) buys, and what a cheaper Vdd-only scaling (DVS with fixed
+// threshold - the paper's reference [7] scenario) achieves in between.
+#pragma once
+
+#include "power/model.h"
+#include "power/optimum.h"
+
+namespace optpower {
+
+/// Comparison of three operating strategies at one frequency.
+struct SavingsReport {
+  OperatingPoint nominal;        ///< (Vdd_nom, Vth_nom): no scaling at all
+  OperatingPoint vdd_only;       ///< Vdd lowered to the timing wall, Vth fixed
+  OperatingPoint optimal;        ///< joint (Vdd*, Vth*) optimum
+  double frequency = 0.0;
+  bool nominal_meets_timing = false;
+  bool optimal_found = true;     ///< false when NO (Vdd, Vth) in range meets timing;
+                                 ///< `optimal` then falls back to `vdd_only`
+
+  /// Ptot(nominal) / Ptot(optimal): the headline saving factor.
+  [[nodiscard]] double total_saving_factor() const noexcept {
+    return optimal.ptot > 0.0 ? nominal.ptot / optimal.ptot : 0.0;
+  }
+  /// Ptot(nominal) / Ptot(vdd_only): what DVS alone achieves.
+  [[nodiscard]] double vdd_only_saving_factor() const noexcept {
+    return vdd_only.ptot > 0.0 ? nominal.ptot / vdd_only.ptot : 0.0;
+  }
+};
+
+/// Evaluate all three strategies.  The nominal threshold is taken from the
+/// technology (effective: vth0_nom - eta*vdd_nom).  Throws NumericalError if
+/// even the nominal point cannot reach `frequency` (check
+/// nominal_meets_timing in that case is moot - the architecture is too slow).
+[[nodiscard]] SavingsReport analyze_savings(const PowerModel& model, double frequency);
+
+}  // namespace optpower

@@ -1,0 +1,82 @@
+#include "power/sensitivity.h"
+
+#include <cmath>
+
+#include "power/optimum.h"
+#include "util/error.h"
+
+namespace optpower {
+
+std::string to_string(ModelParameter p) {
+  switch (p) {
+    case ModelParameter::kActivity: return "activity (a)";
+    case ModelParameter::kNumCells: return "cells (N)";
+    case ModelParameter::kLogicDepth: return "logic depth (LD)";
+    case ModelParameter::kCellCap: return "cell cap (C)";
+    case ModelParameter::kIo: return "off-current (Io)";
+    case ModelParameter::kZeta: return "delay coeff (zeta)";
+    case ModelParameter::kAlpha: return "alpha";
+    case ModelParameter::kSlopeN: return "slope (n)";
+    case ModelParameter::kFrequency: return "frequency (f)";
+  }
+  return "unknown";
+}
+
+PowerModel perturbed_model(const PowerModel& model, ModelParameter p, double factor) {
+  require(factor > 0.0, "perturbed_model: factor must be positive");
+  Technology tech = model.tech();
+  ArchitectureParams arch = model.arch();
+  switch (p) {
+    case ModelParameter::kActivity: arch.activity *= factor; break;
+    case ModelParameter::kNumCells: arch.n_cells *= factor; break;
+    case ModelParameter::kLogicDepth: arch.logic_depth *= factor; break;
+    case ModelParameter::kCellCap: arch.cell_cap *= factor; break;
+    case ModelParameter::kIo: tech.io *= factor; break;
+    case ModelParameter::kZeta: tech.zeta *= factor; break;
+    case ModelParameter::kAlpha: tech.alpha *= factor; break;
+    case ModelParameter::kSlopeN: tech.n *= factor; break;
+    case ModelParameter::kFrequency:
+      throw InvalidArgument("perturbed_model: frequency is not a model member; scale it at the call site");
+  }
+  return {tech, arch};
+}
+
+std::vector<Elasticity> optimal_power_elasticities(const PowerModel& model, double frequency,
+                                                   const std::vector<ModelParameter>& params,
+                                                   double rel_step) {
+  require(rel_step > 0.0 && rel_step < 0.5, "optimal_power_elasticities: bad rel_step");
+  std::vector<Elasticity> out;
+  out.reserve(params.size());
+  const double up = 1.0 + rel_step;
+  const double down = 1.0 - rel_step;
+
+  const auto optimum_power = [&](ModelParameter p, double factor) {
+    if (p == ModelParameter::kFrequency) {
+      return find_optimum(model, frequency * factor).point.ptot;
+    }
+    return find_optimum(perturbed_model(model, p, factor), frequency).point.ptot;
+  };
+
+  for (const ModelParameter p : params) {
+    Elasticity e;
+    e.parameter = p;
+    switch (p) {
+      case ModelParameter::kActivity: e.value = model.arch().activity; break;
+      case ModelParameter::kNumCells: e.value = model.arch().n_cells; break;
+      case ModelParameter::kLogicDepth: e.value = model.arch().logic_depth; break;
+      case ModelParameter::kCellCap: e.value = model.arch().cell_cap; break;
+      case ModelParameter::kIo: e.value = model.tech().io; break;
+      case ModelParameter::kZeta: e.value = model.tech().zeta; break;
+      case ModelParameter::kAlpha: e.value = model.tech().alpha; break;
+      case ModelParameter::kSlopeN: e.value = model.tech().n; break;
+      case ModelParameter::kFrequency: e.value = frequency; break;
+    }
+    const double p_up = optimum_power(p, up);
+    const double p_down = optimum_power(p, down);
+    e.elasticity = (std::log(p_up) - std::log(p_down)) / (std::log(up) - std::log(down));
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace optpower

@@ -1,0 +1,52 @@
+// Sensitivity of the optimal total power to architecture and technology
+// parameters.  Section 4/5 of the paper reasons qualitatively from Eq. 13
+// ("reducing chi lowers Ptot", "high activity is doubly penalized", ...);
+// this module quantifies those statements as elasticities
+//     E_x = d ln Ptot* / d ln x
+// computed by re-running the numerical optimum at perturbed parameters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "power/model.h"
+
+namespace optpower {
+
+/// Parameters the sensitivity sweep can perturb.
+enum class ModelParameter {
+  kActivity,
+  kNumCells,
+  kLogicDepth,
+  kCellCap,
+  kIo,
+  kZeta,
+  kAlpha,
+  kSlopeN,
+  kFrequency,
+};
+
+[[nodiscard]] std::string to_string(ModelParameter p);
+
+/// One elasticity record.
+struct Elasticity {
+  ModelParameter parameter;
+  double value = 0.0;       ///< the parameter's base value
+  double elasticity = 0.0;  ///< d ln Ptot* / d ln x at the base point
+};
+
+/// Compute elasticities of the numerically-optimized Ptot for every
+/// parameter in `params` (central differences with relative step `rel_step`).
+[[nodiscard]] std::vector<Elasticity> optimal_power_elasticities(
+    const PowerModel& model, double frequency,
+    const std::vector<ModelParameter>& params = {
+        ModelParameter::kActivity, ModelParameter::kNumCells, ModelParameter::kLogicDepth,
+        ModelParameter::kCellCap, ModelParameter::kIo, ModelParameter::kZeta,
+        ModelParameter::kFrequency},
+    double rel_step = 0.02);
+
+/// Helper: rebuild the model with one parameter scaled by `factor`.
+[[nodiscard]] PowerModel perturbed_model(const PowerModel& model, ModelParameter p,
+                                         double factor);
+
+}  // namespace optpower

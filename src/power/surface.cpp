@@ -1,0 +1,72 @@
+#include "power/surface.h"
+
+#include "util/error.h"
+
+namespace optpower {
+
+std::vector<ConstraintSample> constraint_curve(const PowerModel& model, double frequency,
+                                               double vdd_lo, double vdd_hi, int samples,
+                                               double vth_floor) {
+  require(vdd_lo > 0.0 && vdd_lo < vdd_hi, "constraint_curve: bad vdd range");
+  require(samples >= 2, "constraint_curve: need >= 2 samples");
+  std::vector<ConstraintSample> out;
+  out.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const double vdd = vdd_lo + (vdd_hi - vdd_lo) * static_cast<double>(i) / (samples - 1);
+    const double vth = model.vth_on_constraint(vdd, frequency);
+    if (vth < vth_floor || vth >= vdd) continue;
+    ConstraintSample s;
+    s.vdd = vdd;
+    s.vth = vth;
+    s.pdyn = model.dynamic_power(vdd, frequency);
+    s.pstat = model.static_power(vdd, vth);
+    s.ptot = s.pdyn + s.pstat;
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<ActivityCurve> figure1_curves(const PowerModel& base, double frequency,
+                                          const std::vector<double>& activity_scales,
+                                          double vdd_lo, double vdd_hi, int samples) {
+  require(!activity_scales.empty(), "figure1_curves: no activity scales given");
+  std::vector<ActivityCurve> out;
+  out.reserve(activity_scales.size());
+  for (const double scale : activity_scales) {
+    require(scale > 0.0, "figure1_curves: activity scales must be positive");
+    ArchitectureParams arch = base.arch();
+    arch.activity *= scale;
+    const PowerModel model(base.tech(), arch);
+    ActivityCurve curve;
+    curve.activity = arch.activity;
+    curve.samples = constraint_curve(model, frequency, vdd_lo, vdd_hi, samples);
+    const OptimumResult opt = find_optimum(model, frequency);
+    curve.optimum = opt.point;
+    curve.dyn_stat_ratio = opt.point.dyn_stat_ratio();
+    out.push_back(std::move(curve));
+  }
+  return out;
+}
+
+std::vector<SurfaceCell> power_surface(const PowerModel& model, double frequency, double vdd_lo,
+                                       double vdd_hi, std::size_t nx, double vth_lo,
+                                       double vth_hi, std::size_t ny) {
+  require(nx >= 2 && ny >= 2, "power_surface: need at least a 2x2 grid");
+  std::vector<SurfaceCell> cells;
+  cells.reserve(nx * ny);
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double vdd = vdd_lo + (vdd_hi - vdd_lo) * static_cast<double>(i) / static_cast<double>(nx - 1);
+    for (std::size_t j = 0; j < ny; ++j) {
+      const double vth = vth_lo + (vth_hi - vth_lo) * static_cast<double>(j) / static_cast<double>(ny - 1);
+      SurfaceCell c;
+      c.vdd = vdd;
+      c.vth = vth;
+      c.ptot = model.total_power(vdd, vth, frequency);
+      c.feasible = vth < vdd && model.meets_timing(vdd, vth, frequency);
+      cells.push_back(c);
+    }
+  }
+  return cells;
+}
+
+}  // namespace optpower

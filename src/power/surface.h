@@ -1,0 +1,57 @@
+// Power curves and surfaces: the data behind the paper's Figure 1
+// ("Total power consumption ... for different circuit activities; the
+// optimal working points are marked, and the dynamic over static power
+// ratio at this point is given").
+#pragma once
+
+#include <vector>
+
+#include "power/model.h"
+#include "power/optimum.h"
+
+namespace optpower {
+
+/// One sample of Ptot along the timing-constraint curve.
+struct ConstraintSample {
+  double vdd = 0.0;
+  double vth = 0.0;   ///< effective threshold from Eq. 5
+  double pdyn = 0.0;
+  double pstat = 0.0;
+  double ptot = 0.0;
+};
+
+/// Sample Ptot(Vdd) restricted to the constraint curve on [vdd_lo, vdd_hi].
+/// Points whose constrained vth collapses below `vth_floor` are skipped.
+[[nodiscard]] std::vector<ConstraintSample> constraint_curve(const PowerModel& model,
+                                                             double frequency, double vdd_lo,
+                                                             double vdd_hi, int samples = 200,
+                                                             double vth_floor = -0.3);
+
+/// One activity's curve plus its optimum (a full Figure-1 series).
+struct ActivityCurve {
+  double activity = 0.0;
+  std::vector<ConstraintSample> samples;
+  OperatingPoint optimum;
+  double dyn_stat_ratio = 0.0;
+};
+
+/// Regenerate Figure 1: curves for each activity scale factor applied to the
+/// model's base architecture (the paper varies "a" on a 16-bit RCA).
+[[nodiscard]] std::vector<ActivityCurve> figure1_curves(const PowerModel& base, double frequency,
+                                                        const std::vector<double>& activity_scales,
+                                                        double vdd_lo = 0.15, double vdd_hi = 1.2,
+                                                        int samples = 240);
+
+/// Dense 2-D map of Ptot(Vdd, Vth) with a feasibility flag per cell; used by
+/// the grid cross-check visualizations and tests.
+struct SurfaceCell {
+  double vdd = 0.0;
+  double vth = 0.0;
+  double ptot = 0.0;
+  bool feasible = false;  ///< meets the frequency at (vdd, vth)
+};
+[[nodiscard]] std::vector<SurfaceCell> power_surface(const PowerModel& model, double frequency,
+                                                     double vdd_lo, double vdd_hi, std::size_t nx,
+                                                     double vth_lo, double vth_hi, std::size_t ny);
+
+}  // namespace optpower

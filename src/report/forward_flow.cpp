@@ -1,0 +1,63 @@
+#include "report/forward_flow.h"
+
+#include "sta/sta.h"
+#include "util/error.h"
+
+namespace optpower {
+
+ForwardCharacterization characterize_multiplier(const GeneratedMultiplier& gen,
+                                                const ForwardFlowOptions& options) {
+  ForwardCharacterization c;
+  c.name = gen.name;
+  c.cycles_per_result = gen.cycles_per_result;
+  c.ways = gen.ways;
+
+  const NetlistStats stats = gen.netlist.stats();
+  const TimingReport timing = analyze_timing(gen.netlist);
+  c.ld_per_cycle = timing.critical_path_units;
+
+  ActivityOptions act;
+  act.num_vectors = options.activity_vectors;
+  act.cycles_per_vector = gen.cycles_per_result;
+  act.seed = options.seed;
+  act.delay_mode = options.delay_mode;
+  c.activity = measure_activity(gen.netlist, act);
+
+  c.arch.name = gen.name;
+  c.arch.n_cells = static_cast<double>(stats.num_cells);
+  c.arch.activity = c.activity.activity;
+  c.arch.logic_depth =
+      effective_logic_depth(timing.critical_path_units, gen.cycles_per_result, gen.ways);
+  c.arch.cell_cap = stats.avg_cell_cap_f;
+  c.arch.area_um2 = stats.area_um2;
+  validate(c.arch);
+  return c;
+}
+
+ForwardResult run_forward_flow(const std::string& arch_name, const Technology& tech,
+                               double frequency, const ForwardFlowOptions& options) {
+  require(frequency > 0.0, "run_forward_flow: frequency must be positive");
+  const GeneratedMultiplier gen = build_multiplier(arch_name, options.width);
+  ForwardResult result;
+  result.character = characterize_multiplier(gen, options);
+
+  Technology scaled = tech;
+  scaled.io = tech.io * options.io_per_cell_scale;
+  scaled.zeta = tech.zeta * options.zeta_cell_scale;
+  const PowerModel model(scaled, result.character.arch);
+  result.optimum = find_optimum(model, frequency).point;
+  result.closed_form = closed_form_optimum(model, frequency);
+  return result;
+}
+
+std::vector<ForwardResult> run_forward_flow_all(const Technology& tech, double frequency,
+                                                const ForwardFlowOptions& options) {
+  std::vector<ForwardResult> all;
+  all.reserve(multiplier_names().size());
+  for (const auto& name : multiplier_names()) {
+    all.push_back(run_forward_flow(name, tech, frequency, options));
+  }
+  return all;
+}
+
+}  // namespace optpower

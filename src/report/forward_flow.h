@@ -1,0 +1,68 @@
+// The end-to-end forward characterization flow (the paper's Section-4
+// methodology with our substrates): generate a multiplier netlist, measure
+// N/C from the cell library, activity from delay-annotated simulation, LDeff
+// from STA, then find the optimal (Vdd, Vth) working point.
+//
+// Absolute numbers differ from the paper's ST-synthesis flow (different cell
+// library, different stimulus); the orderings and ratios are the
+// reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/architecture.h"
+#include "mult/factory.h"
+#include "power/closed_form.h"
+#include "power/optimum.h"
+#include "sim/activity.h"
+#include "tech/technology.h"
+
+namespace optpower {
+
+/// Knobs of the forward flow.
+struct ForwardFlowOptions {
+  int width = 16;
+  int activity_vectors = 96;
+  std::uint64_t seed = 0x5eed0001;
+  SimDelayMode delay_mode = SimDelayMode::kCellDepth;
+  /// Effective per-cell off-current scale: our average cell leaks this many
+  /// reference-transistor Io's (wide/stacked cells leak more than the unit
+  /// inverter; the Table-1 calibration infers ~15-20x for the ST library).
+  double io_per_cell_scale = 16.0;
+  /// zeta scale from the single-inverter value to the average library cell.
+  double zeta_cell_scale = 1.0;
+};
+
+/// Everything the flow measured for one architecture.
+struct ForwardCharacterization {
+  std::string name;
+  ArchitectureParams arch;          ///< N, a, LDeff, C as measured
+  ActivityMeasurement activity;
+  double ld_per_cycle = 0.0;        ///< STA critical path per clock cycle
+  int cycles_per_result = 1;
+  int ways = 1;
+};
+
+/// One forward-flow result row.
+struct ForwardResult {
+  ForwardCharacterization character;
+  OperatingPoint optimum;           ///< numerical optimum at `frequency`
+  ClosedFormResult closed_form;     ///< Eq. 13 at the same point
+};
+
+/// Characterize one generated multiplier (no optimization).
+[[nodiscard]] ForwardCharacterization characterize_multiplier(const GeneratedMultiplier& gen,
+                                                              const ForwardFlowOptions& options = {});
+
+/// Full flow for one architecture name on a technology at `frequency`.
+[[nodiscard]] ForwardResult run_forward_flow(const std::string& arch_name, const Technology& tech,
+                                             double frequency,
+                                             const ForwardFlowOptions& options = {});
+
+/// Full flow for all thirteen architectures.
+[[nodiscard]] std::vector<ForwardResult> run_forward_flow_all(const Technology& tech,
+                                                              double frequency,
+                                                              const ForwardFlowOptions& options = {});
+
+}  // namespace optpower

@@ -1,0 +1,52 @@
+#include "sim/activity.h"
+
+#include "util/error.h"
+#include "util/random.h"
+
+namespace optpower {
+
+ActivityMeasurement measure_activity(const Netlist& netlist, const ActivityOptions& options) {
+  require(options.num_vectors >= 1, "measure_activity: need >= 1 vectors");
+  require(options.cycles_per_vector >= 1, "measure_activity: cycles_per_vector must be >= 1");
+  require(options.warmup_vectors >= 0, "measure_activity: warmup must be >= 0");
+
+  EventSimulator sim(netlist, options.delay_mode);
+  Pcg32 rng(options.seed);
+  const std::size_t num_inputs = netlist.primary_inputs().size();
+
+  const auto apply_random_vector = [&]() {
+    std::vector<bool> vec(num_inputs);
+    for (std::size_t i = 0; i < num_inputs; ++i) vec[i] = rng.next_bool();
+    sim.set_inputs(vec);
+  };
+
+  for (int v = 0; v < options.warmup_vectors; ++v) {
+    apply_random_vector();
+    for (int c = 0; c < options.cycles_per_vector; ++c) sim.step_cycle();
+  }
+  sim.reset_stats();
+
+  for (int v = 0; v < options.num_vectors; ++v) {
+    apply_random_vector();
+    for (int c = 0; c < options.cycles_per_vector; ++c) sim.step_cycle();
+  }
+
+  const SimStats& stats = sim.stats();
+  const NetlistStats nstats = netlist.stats();
+
+  ActivityMeasurement m;
+  m.transitions = stats.total_transitions;
+  m.glitches = stats.glitch_transitions;
+  m.data_periods = static_cast<std::uint64_t>(options.num_vectors);
+  m.clock_cycles = stats.cycles;
+  const double denom = static_cast<double>(nstats.num_cells) * static_cast<double>(m.data_periods);
+  // Charging-edge convention: on a rail-to-rail net, rising and falling
+  // transitions alternate, so 0->1 edges = transitions/2.
+  m.activity = denom > 0.0 ? 0.5 * static_cast<double>(m.transitions) / denom : 0.0;
+  m.glitch_fraction = m.transitions > 0
+                          ? static_cast<double>(m.glitches) / static_cast<double>(m.transitions)
+                          : 0.0;
+  return m;
+}
+
+}  // namespace optpower

@@ -1,0 +1,43 @@
+// Switching-activity measurement: random-stimulus testbench around
+// EventSimulator producing the paper's "a" (switching cells per throughput
+// cycle over total cells, glitches included).
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+#include "sim/event_sim.h"
+
+namespace optpower {
+
+/// Testbench configuration.
+struct ActivityOptions {
+  int num_vectors = 256;          ///< data periods to simulate
+  int cycles_per_vector = 1;      ///< clock cycles per data period (16 for the
+                                  ///< basic sequential multiplier, `ways` after
+                                  ///< parallelization is already 1: the wrapper
+                                  ///< consumes one input per clock)
+  int warmup_vectors = 8;         ///< periods excluded from the statistics
+  std::uint64_t seed = 0x5eed0001;
+  SimDelayMode delay_mode = SimDelayMode::kCellDepth;
+};
+
+/// Activity result in the paper's normalization.
+struct ActivityMeasurement {
+  double activity = 0.0;            ///< a: charging transitions / (N * data periods).
+                                    ///< Convention: Pdyn = a*C*Vdd^2*f draws C*Vdd^2
+                                    ///< from the supply only on 0->1 edges, so a
+                                    ///< counts transitions/2 (edges alternate).
+  double glitch_fraction = 0.0;     ///< glitch transitions / total transitions
+  std::uint64_t transitions = 0;
+  std::uint64_t glitches = 0;
+  std::uint64_t data_periods = 0;
+  std::uint64_t clock_cycles = 0;
+};
+
+/// Drive `netlist` with uniform random input vectors (one fresh vector per
+/// data period, held for cycles_per_vector clocks) and measure activity.
+[[nodiscard]] ActivityMeasurement measure_activity(const Netlist& netlist,
+                                                   const ActivityOptions& options = {});
+
+}  // namespace optpower

@@ -1,0 +1,207 @@
+#include "spice/circuit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/linalg.h"
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+/// Conductance to ground added to every node for well-posedness (gmin).
+constexpr double kGmin = 1e-12;
+
+}  // namespace
+
+Circuit::Circuit() {
+  node_names_.push_back("gnd");
+  is_driven_.push_back(1);  // ground is fixed at 0 V
+}
+
+NodeId Circuit::add_node(const std::string& name) {
+  node_names_.push_back(name.empty() ? "n" + std::to_string(node_names_.size()) : name);
+  is_driven_.push_back(0);
+  return static_cast<NodeId>(node_names_.size() - 1);
+}
+
+void Circuit::add_voltage_source(NodeId node, Waveform waveform) {
+  require(node > 0 && node < num_nodes(), "Circuit::add_voltage_source: bad node");
+  require(!is_driven_[static_cast<std::size_t>(node)],
+          "Circuit::add_voltage_source: node already driven");
+  sources_.push_back({node, std::move(waveform)});
+  is_driven_[static_cast<std::size_t>(node)] = 1;
+}
+
+void Circuit::add_dc_source(NodeId node, double volts) {
+  add_voltage_source(node, [volts](double) { return volts; });
+}
+
+void Circuit::add_capacitor(NodeId a, NodeId b, double farads) {
+  require(a >= 0 && a < num_nodes() && b >= 0 && b < num_nodes(), "Circuit::add_capacitor: bad node");
+  require(farads > 0.0, "Circuit::add_capacitor: capacitance must be positive");
+  caps_.push_back({a, b, farads});
+}
+
+void Circuit::add_resistor(NodeId a, NodeId b, double ohms) {
+  require(a >= 0 && a < num_nodes() && b >= 0 && b < num_nodes(), "Circuit::add_resistor: bad node");
+  require(ohms > 0.0, "Circuit::add_resistor: resistance must be positive");
+  resistors_.push_back({a, b, ohms});
+}
+
+void Circuit::add_nmos(NodeId drain, NodeId gate, NodeId source, MosfetParams params) {
+  require(drain >= 0 && gate >= 0 && source >= 0 && drain < num_nodes() && gate < num_nodes() &&
+              source < num_nodes(),
+          "Circuit::add_nmos: bad node");
+  params.polarity = MosPolarity::kNmos;
+  mosfets_.push_back({drain, gate, source, Mosfet(params), false});
+}
+
+void Circuit::add_pmos(NodeId drain, NodeId gate, NodeId source, MosfetParams params) {
+  require(drain >= 0 && gate >= 0 && source >= 0 && drain < num_nodes() && gate < num_nodes() &&
+              source < num_nodes(),
+          "Circuit::add_pmos: bad node");
+  params.polarity = MosPolarity::kPmos;
+  mosfets_.push_back({drain, gate, source, Mosfet(params), true});
+}
+
+void Circuit::static_currents(const std::vector<double>& v, std::vector<double>& into) const {
+  std::fill(into.begin(), into.end(), 0.0);
+  for (const auto& r : resistors_) {
+    const double i = (v[static_cast<std::size_t>(r.a)] - v[static_cast<std::size_t>(r.b)]) / r.r;
+    into[static_cast<std::size_t>(r.a)] -= i;
+    into[static_cast<std::size_t>(r.b)] += i;
+  }
+  for (const auto& m : mosfets_) {
+    const double vd = v[static_cast<std::size_t>(m.d)];
+    const double vg = v[static_cast<std::size_t>(m.g)];
+    const double vs = v[static_cast<std::size_t>(m.s)];
+    double id;  // current drain -> source (NMOS convention)
+    if (!m.is_pmos) {
+      id = m.model.drain_current(vg - vs, vd - vs);
+    } else {
+      // PMOS mirrored: conducts when gate below source; current source->drain.
+      id = -m.model.drain_current(vs - vg, vs - vd);
+    }
+    into[static_cast<std::size_t>(m.d)] -= id;
+    into[static_cast<std::size_t>(m.s)] += id;
+  }
+  // gmin to ground.
+  for (std::size_t n = 1; n < into.size(); ++n) into[n] -= kGmin * v[n];
+}
+
+std::vector<double> Circuit::solve_newton(double t, std::vector<double> v, double inv_h,
+                                          const std::vector<double>& v_old) const {
+  const std::size_t nn = static_cast<std::size_t>(num_nodes());
+  require(v.size() == nn, "Circuit::solve_newton: bad initial vector");
+
+  // Pin driven nodes.
+  v[0] = 0.0;
+  for (const auto& s : sources_) v[static_cast<std::size_t>(s.node)] = s.waveform(t);
+
+  // Free-node index map.
+  std::vector<int> free_index(nn, -1);
+  std::vector<std::size_t> free_nodes;
+  for (std::size_t n = 1; n < nn; ++n) {
+    if (!is_driven_[n]) {
+      free_index[n] = static_cast<int>(free_nodes.size());
+      free_nodes.push_back(n);
+    }
+  }
+  const std::size_t nf = free_nodes.size();
+  if (nf == 0) return v;
+
+  std::vector<double> into(nn), residual(nf);
+  const auto compute_residual = [&](const std::vector<double>& vv, std::vector<double>& out) {
+    static_currents(vv, into);
+    if (inv_h > 0.0) {
+      for (const auto& c : caps_) {
+        const double dv_new = vv[static_cast<std::size_t>(c.a)] - vv[static_cast<std::size_t>(c.b)];
+        const double dv_old =
+            v_old[static_cast<std::size_t>(c.a)] - v_old[static_cast<std::size_t>(c.b)];
+        const double i = c.c * inv_h * (dv_new - dv_old);  // current a -> b through cap
+        into[static_cast<std::size_t>(c.a)] -= i;
+        into[static_cast<std::size_t>(c.b)] += i;
+      }
+    }
+    for (std::size_t k = 0; k < nf; ++k) out[k] = into[free_nodes[k]];
+  };
+
+  constexpr int kMaxIterations = 200;
+  constexpr double kVoltageStepLimit = 0.25;
+  for (int iter = 0; iter < kMaxIterations; ++iter) {
+    compute_residual(v, residual);
+    double worst = 0.0;
+    for (const double r : residual) worst = std::max(worst, std::fabs(r));
+
+    // Numeric Jacobian d residual / d free voltage.
+    Matrix jac(nf, nf);
+    std::vector<double> r_pert(nf);
+    for (std::size_t j = 0; j < nf; ++j) {
+      const double save = v[free_nodes[j]];
+      const double h = 1e-7;
+      v[free_nodes[j]] = save + h;
+      compute_residual(v, r_pert);
+      v[free_nodes[j]] = save;
+      for (std::size_t i = 0; i < nf; ++i) jac(i, j) = (r_pert[i] - residual[i]) / h;
+    }
+
+    std::vector<double> step;
+    try {
+      std::vector<double> neg(nf);
+      for (std::size_t i = 0; i < nf; ++i) neg[i] = -residual[i];
+      step = solve_linear(jac, neg);
+    } catch (const NumericalError&) {
+      throw NumericalError("Circuit::solve_newton: singular Jacobian at t=" + std::to_string(t));
+    }
+    double step_norm = 0.0;
+    for (std::size_t k = 0; k < nf; ++k) {
+      const double limited = std::clamp(step[k], -kVoltageStepLimit, kVoltageStepLimit);
+      v[free_nodes[k]] += limited;
+      step_norm = std::max(step_norm, std::fabs(limited));
+    }
+    if (step_norm < 1e-10 && worst < 1e-9) return v;
+  }
+  throw NumericalError("Circuit::solve_newton: Newton failed to converge at t=" +
+                       std::to_string(t));
+}
+
+std::vector<double> Circuit::dc_operating_point(double t, std::vector<double> initial) const {
+  std::vector<double> v =
+      initial.empty() ? std::vector<double>(static_cast<std::size_t>(num_nodes()), 0.0)
+                      : std::move(initial);
+  require(v.size() == static_cast<std::size_t>(num_nodes()),
+          "Circuit::dc_operating_point: bad initial vector size");
+  return solve_newton(t, std::move(v), 0.0, {});
+}
+
+Circuit::TransientResult Circuit::transient(double t_end, double dt,
+                                            std::vector<double> initial) const {
+  require(t_end > 0.0 && dt > 0.0 && dt < t_end, "Circuit::transient: bad time range");
+  TransientResult out;
+  std::vector<double> v = initial.empty() ? dc_operating_point(0.0) : std::move(initial);
+  require(v.size() == static_cast<std::size_t>(num_nodes()),
+          "Circuit::transient: bad initial vector size");
+  out.time.push_back(0.0);
+  out.voltages.push_back(v);
+  const double inv_h = 1.0 / dt;
+  const int steps = static_cast<int>(std::ceil(t_end / dt));
+  for (int s = 1; s <= steps; ++s) {
+    const double t = s * dt;
+    v = solve_newton(t, v, inv_h, out.voltages.back());
+    out.time.push_back(t);
+    out.voltages.push_back(v);
+  }
+  return out;
+}
+
+double Circuit::source_current(NodeId node, const std::vector<double>& v, double /*t*/) const {
+  require(node >= 0 && node < num_nodes(), "Circuit::source_current: bad node");
+  std::vector<double> into(static_cast<std::size_t>(num_nodes()));
+  static_currents(v, into);
+  // Elements draw -into[node] from the source (into[] is current delivered
+  // INTO the node by elements; the source must supply the balance).
+  return -into[static_cast<std::size_t>(node)];
+}
+
+}  // namespace optpower

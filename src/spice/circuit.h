@@ -1,0 +1,106 @@
+// Mini circuit simulator: nodal analysis with ideal voltage sources,
+// capacitors, resistors and the analytic MOSFET of src/device.
+//
+// This is the ELDO/Spice stand-in for the paper's technology
+// characterization: "All technology parameters have been estimated with
+// Spice simulations for inverter cells" / "fitting delays on inverter
+// chains ring oscillators".  The solver is deliberately small - tens of
+// nodes - but real: backward-Euler integration with a damped Newton
+// iteration and a dense-LU linear solve per step.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "device/mosfet.h"
+
+namespace optpower {
+
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+/// A stimulus: node voltage as a function of time (for driven nodes).
+using Waveform = std::function<double(double)>;
+
+/// The circuit under construction.
+class Circuit {
+ public:
+  Circuit();
+
+  /// New floating node; returns its id (ground is node 0).
+  NodeId add_node(const std::string& name = "");
+
+  /// Ideal voltage source fixing `node` to waveform(t).
+  void add_voltage_source(NodeId node, Waveform waveform);
+  /// DC convenience.
+  void add_dc_source(NodeId node, double volts);
+
+  void add_capacitor(NodeId a, NodeId b, double farads);
+  void add_resistor(NodeId a, NodeId b, double ohms);
+
+  /// NMOS: current drain->source when on.  PMOS: source->drain.
+  void add_nmos(NodeId drain, NodeId gate, NodeId source, MosfetParams params);
+  void add_pmos(NodeId drain, NodeId gate, NodeId source, MosfetParams params);
+
+  [[nodiscard]] int num_nodes() const noexcept { return static_cast<int>(node_names_.size()); }
+  [[nodiscard]] const std::string& node_name(NodeId n) const { return node_names_[static_cast<std::size_t>(n)]; }
+
+  // --- analysis -------------------------------------------------------------
+
+  /// DC operating point at time `t` (sources evaluated at t).  `initial`
+  /// seeds Newton (empty = zeros).  Throws NumericalError on divergence.
+  [[nodiscard]] std::vector<double> dc_operating_point(double t = 0.0,
+                                                       std::vector<double> initial = {}) const;
+
+  /// Transient: backward Euler with fixed step `dt` from a DC start (or the
+  /// caller-provided initial node voltages).  Returns node voltages per
+  /// step, sample[i] = state at t = i*dt.
+  struct TransientResult {
+    std::vector<double> time;
+    std::vector<std::vector<double>> voltages;  ///< [step][node]
+  };
+  [[nodiscard]] TransientResult transient(double t_end, double dt,
+                                          std::vector<double> initial = {}) const;
+
+  /// Current delivered by the source fixing `node` at the operating point
+  /// `v` (positive = flowing out of the source into the circuit).  Used to
+  /// "measure" leakage the way a supply ammeter would.
+  [[nodiscard]] double source_current(NodeId node, const std::vector<double>& v,
+                                      double t = 0.0) const;
+
+ private:
+  struct Vsrc {
+    NodeId node;
+    Waveform waveform;
+  };
+  struct Cap {
+    NodeId a, b;
+    double c;
+  };
+  struct Res {
+    NodeId a, b;
+    double r;
+  };
+  struct Mos {
+    NodeId d, g, s;
+    Mosfet model;
+    bool is_pmos;
+  };
+
+  /// Sum of static (non-capacitive) element currents INTO each node.
+  void static_currents(const std::vector<double>& v, std::vector<double>& into) const;
+  /// Damped Newton solve of F(v) = 0.  When inv_h > 0, backward-Euler
+  /// capacitor companions against `v_old` are included in F.
+  std::vector<double> solve_newton(double t, std::vector<double> v, double inv_h,
+                                   const std::vector<double>& v_old) const;
+
+  std::vector<std::string> node_names_;
+  std::vector<Vsrc> sources_;
+  std::vector<Cap> caps_;
+  std::vector<Res> resistors_;
+  std::vector<Mos> mosfets_;
+  std::vector<char> is_driven_;  // per node
+};
+
+}  // namespace optpower

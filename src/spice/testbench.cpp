@@ -1,0 +1,194 @@
+#include "spice/testbench.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+/// Estimate a sensible transient window from the device's own scales: a few
+/// RC-like constants at the weakest expected drive.
+double default_window(const InverterConfig& config, double vdd) {
+  const Mosfet ref(config.nmos);
+  const double vth = config.nmos.vth0;
+  const double overdrive = std::max(vdd - vth, 0.05);
+  const double ion = ref.saturation_current(overdrive);
+  const double tau = config.load_cap * vdd / std::max(ion, 1e-12);
+  return 40.0 * tau;
+}
+
+/// Linear interpolation of the time at which `node` crosses `level`.
+double crossing_time(const Circuit::TransientResult& tr, NodeId node, double level, bool rising) {
+  for (std::size_t i = 1; i < tr.time.size(); ++i) {
+    const double v0 = tr.voltages[i - 1][static_cast<std::size_t>(node)];
+    const double v1 = tr.voltages[i][static_cast<std::size_t>(node)];
+    const bool crossed = rising ? (v0 < level && v1 >= level) : (v0 > level && v1 <= level);
+    if (crossed) {
+      const double frac = (level - v0) / (v1 - v0);
+      return tr.time[i - 1] + frac * (tr.time[i] - tr.time[i - 1]);
+    }
+  }
+  throw NumericalError("crossing_time: node never crossed the level");
+}
+
+struct ChainCircuit {
+  Circuit circuit;
+  NodeId vdd_node = 0;
+  NodeId input = 0;
+  std::vector<NodeId> stage_outputs;
+};
+
+ChainCircuit build_chain(const InverterConfig& config, int stages, double vdd,
+                         const Waveform& input_waveform) {
+  ChainCircuit cc;
+  cc.vdd_node = cc.circuit.add_node("vdd");
+  cc.circuit.add_dc_source(cc.vdd_node, vdd);
+  cc.input = cc.circuit.add_node("in");
+  cc.circuit.add_voltage_source(cc.input, input_waveform);
+  const MosfetParams pmos = complementary_pmos(config.nmos);
+  NodeId prev = cc.input;
+  for (int s = 0; s < stages; ++s) {
+    const NodeId out = cc.circuit.add_node("s" + std::to_string(s));
+    cc.circuit.add_nmos(out, prev, kGround, config.nmos);
+    cc.circuit.add_pmos(out, prev, cc.vdd_node, pmos);
+    cc.circuit.add_capacitor(out, kGround, config.load_cap);
+    cc.stage_outputs.push_back(out);
+    prev = out;
+  }
+  return cc;
+}
+
+}  // namespace
+
+double inverter_chain_delay(const InverterConfig& config, int stages, double vdd, double t_end,
+                            double dt) {
+  require(stages >= 3, "inverter_chain_delay: need >= 3 stages");
+  if (t_end <= 0.0) t_end = default_window(config, vdd) * stages / 4.0;
+  if (dt <= 0.0) dt = t_end / 4000.0;
+
+  // Step input after a short settle time.
+  const double t_step = t_end * 0.05;
+  ChainCircuit cc = build_chain(config, stages, vdd,
+                                [t_step, vdd](double t) { return t < t_step ? 0.0 : vdd; });
+  // Seed the transient with the logically-propagated rail pattern (in = 0 ->
+  // alternating high/low): the exact DC differs only by leakage-level mV, and
+  // Newton converges reliably from it (an all-zeros guess does not for
+  // multi-stage chains).
+  std::vector<double> initial(static_cast<std::size_t>(cc.circuit.num_nodes()), 0.0);
+  initial[static_cast<std::size_t>(cc.vdd_node)] = vdd;
+  initial[static_cast<std::size_t>(cc.input)] = 0.0;
+  for (std::size_t s = 0; s < cc.stage_outputs.size(); ++s) {
+    initial[static_cast<std::size_t>(cc.stage_outputs[s])] = (s % 2 == 0) ? vdd : 0.0;
+  }
+  const auto tr = cc.circuit.transient(t_end, dt, initial);
+
+  // 50% crossings: stage k switches alternately falling/rising.
+  const double mid = vdd / 2.0;
+  std::vector<double> crossings;
+  for (std::size_t s = 0; s < cc.stage_outputs.size(); ++s) {
+    const bool rising = (s % 2 == 1);  // input rises -> stage0 falls, stage1 rises...
+    crossings.push_back(crossing_time(tr, cc.stage_outputs[s], mid, rising));
+  }
+  // Average of successive stage-to-stage deltas, excluding the first stage.
+  double sum = 0.0;
+  int count = 0;
+  for (std::size_t s = 1; s < crossings.size(); ++s) {
+    const double d = crossings[s] - crossings[s - 1];
+    require(d > 0.0, "inverter_chain_delay: non-causal crossing order");
+    sum += d;
+    ++count;
+  }
+  return sum / count;
+}
+
+double ring_oscillator_stage_delay(const InverterConfig& config, int stages, double vdd) {
+  require(stages >= 3 && stages % 2 == 1, "ring_oscillator_stage_delay: stages must be odd >= 3");
+  Circuit c;
+  const NodeId vdd_node = c.add_node("vdd");
+  c.add_dc_source(vdd_node, vdd);
+  const MosfetParams pmos = complementary_pmos(config.nmos);
+  std::vector<NodeId> nodes;
+  for (int s = 0; s < stages; ++s) nodes.push_back(c.add_node("r" + std::to_string(s)));
+  for (int s = 0; s < stages; ++s) {
+    const NodeId in = nodes[static_cast<std::size_t>((s + stages - 1) % stages)];
+    const NodeId out = nodes[static_cast<std::size_t>(s)];
+    c.add_nmos(out, in, kGround, config.nmos);
+    c.add_pmos(out, in, vdd_node, pmos);
+    c.add_capacitor(out, kGround, config.load_cap);
+  }
+  // Kick from an alternating pattern (the odd ring has no stable DC state
+  // matching it, so oscillation starts immediately).
+  std::vector<double> initial(static_cast<std::size_t>(c.num_nodes()), 0.0);
+  initial[static_cast<std::size_t>(vdd_node)] = vdd;
+  for (int s = 0; s < stages; ++s) {
+    initial[static_cast<std::size_t>(nodes[static_cast<std::size_t>(s)])] =
+        (s % 2 == 0) ? vdd : 0.0;
+  }
+  const double window = default_window(config, vdd) * stages;
+  const auto tr = c.transient(window, window / 20000.0, initial);
+
+  // Period from successive rising crossings of node 0 (skip the start-up).
+  const double mid = vdd / 2.0;
+  std::vector<double> rising;
+  for (std::size_t i = 1; i < tr.time.size(); ++i) {
+    const double v0 = tr.voltages[i - 1][static_cast<std::size_t>(nodes[0])];
+    const double v1 = tr.voltages[i][static_cast<std::size_t>(nodes[0])];
+    if (v0 < mid && v1 >= mid) {
+      const double frac = (mid - v0) / (v1 - v0);
+      rising.push_back(tr.time[i - 1] + frac * (tr.time[i] - tr.time[i - 1]));
+    }
+  }
+  require(rising.size() >= 3, "ring_oscillator_stage_delay: too few oscillation periods captured");
+  const double period = rising.back() - rising[rising.size() - 2];
+  return period / (2.0 * stages);
+}
+
+DelaySweep measure_delay_vs_vdd(const InverterConfig& config, const std::vector<double>& supplies,
+                                int stages) {
+  require(!supplies.empty(), "measure_delay_vs_vdd: no supplies given");
+  DelaySweep sweep;
+  for (const double vdd : supplies) {
+    require(vdd > config.nmos.vth0, "measure_delay_vs_vdd: supply below threshold");
+    sweep.vdd.push_back(vdd);
+    sweep.tgate.push_back(inverter_chain_delay(config, stages, vdd));
+  }
+  return sweep;
+}
+
+SubthresholdSweep measure_subthreshold(const MosfetParams& nmos, double vdd, double lo, double hi,
+                                       int points) {
+  require(points >= 3 && lo < hi, "measure_subthreshold: bad sweep range");
+  SubthresholdSweep sweep;
+  for (int i = 0; i < points; ++i) {
+    const double vgs = lo + (hi - lo) * static_cast<double>(i) / (points - 1);
+    Circuit c;
+    const NodeId drain = c.add_node("d");
+    const NodeId gate = c.add_node("g");
+    c.add_dc_source(drain, vdd);
+    c.add_dc_source(gate, vgs);
+    c.add_nmos(drain, gate, kGround, nmos);
+    const auto v = c.dc_operating_point();
+    sweep.vgs.push_back(vgs);
+    sweep.ids.push_back(c.source_current(drain, v));
+  }
+  return sweep;
+}
+
+double measure_inverter_leakage(const InverterConfig& config, double vdd) {
+  Circuit c;
+  const NodeId vdd_node = c.add_node("vdd");
+  const NodeId in = c.add_node("in");
+  const NodeId out = c.add_node("out");
+  c.add_dc_source(vdd_node, vdd);
+  c.add_dc_source(in, 0.0);  // NMOS off; leakage flows through it
+  c.add_nmos(out, in, kGround, config.nmos);
+  c.add_pmos(out, in, vdd_node, complementary_pmos(config.nmos));
+  std::vector<double> guess(static_cast<std::size_t>(c.num_nodes()), 0.0);
+  guess[static_cast<std::size_t>(vdd_node)] = vdd;
+  guess[static_cast<std::size_t>(out)] = vdd;  // PMOS pulls the output high
+  const auto v = c.dc_operating_point(0.0, guess);
+  return c.source_current(vdd_node, v);
+}
+
+}  // namespace optpower

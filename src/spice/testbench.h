@@ -1,0 +1,56 @@
+// Characterization testbenches on the mini-SPICE engine: the measurement
+// half of the paper's "technology parameters ... estimated with Spice
+// simulations for inverter cells / fitting delays on inverter chains ring
+// oscillators".  The data they produce feeds calib/tech_extract.h.
+#pragma once
+
+#include <vector>
+
+#include "device/mosfet.h"
+#include "spice/circuit.h"
+
+namespace optpower {
+
+/// Configuration of the standard inverter used by the testbenches.
+struct InverterConfig {
+  MosfetParams nmos;          ///< PMOS is mirrored from this
+  double load_cap = 8e-15;    ///< output load per stage [F]
+  double vdd = 1.2;
+};
+
+/// Average stage delay of a `stages`-long inverter chain at supply `vdd`,
+/// measured from a step input by 50%-crossing times of successive stages
+/// (the first stage is excluded as the input edge is ideal).
+[[nodiscard]] double inverter_chain_delay(const InverterConfig& config, int stages, double vdd,
+                                          double t_end = 0.0, double dt = 0.0);
+
+/// Ring-oscillator stage delay: an odd ring of `stages` inverters is kicked
+/// from an asymmetric initial state; the oscillation period T at the first
+/// node gives tgate = T / (2 * stages).
+[[nodiscard]] double ring_oscillator_stage_delay(const InverterConfig& config, int stages,
+                                                 double vdd);
+
+/// Sweep of delay vs supply voltage: the input data for the (zeta, alpha)
+/// delay fit of calib/tech_extract.h.
+struct DelaySweep {
+  std::vector<double> vdd;
+  std::vector<double> tgate;
+};
+[[nodiscard]] DelaySweep measure_delay_vs_vdd(const InverterConfig& config,
+                                              const std::vector<double>& supplies,
+                                              int stages = 7);
+
+/// Sub-threshold transfer sweep of a single NMOS (drain at vdd):
+/// Ids(vgs) for vgs in [lo, hi], measured as the drain-supply current.
+struct SubthresholdSweep {
+  std::vector<double> vgs;
+  std::vector<double> ids;
+};
+[[nodiscard]] SubthresholdSweep measure_subthreshold(const MosfetParams& nmos, double vdd,
+                                                     double lo, double hi, int points = 25);
+
+/// Static leakage of one inverter at input low (NMOS off), measured as the
+/// current delivered by the supply source at the DC operating point.
+[[nodiscard]] double measure_inverter_leakage(const InverterConfig& config, double vdd);
+
+}  // namespace optpower

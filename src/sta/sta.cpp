@@ -1,0 +1,83 @@
+#include "sta/sta.h"
+
+#include <algorithm>
+
+#include "netlist/cell.h"
+#include "util/error.h"
+
+namespace optpower {
+
+TimingReport analyze_timing(const Netlist& netlist) {
+  netlist.verify();
+  TimingReport report;
+  report.net_arrival.assign(netlist.num_nets(), 0.0);
+  std::vector<CellId> pred(netlist.num_nets(), Netlist::kNoCell);
+
+  // Sequential outputs launch with their clock-to-Q delay.
+  for (CellId c = 0; c < netlist.num_cells(); ++c) {
+    const CellInstance& cell = netlist.cell(c);
+    const CellSpec& spec = cell_spec(cell.type);
+    if (!spec.is_sequential) continue;
+    for (const NetId q : cell.outputs) {
+      report.net_arrival[q] = spec.depth_units;
+      pred[q] = c;
+    }
+  }
+
+  for (const CellId c : netlist.topo_order()) {
+    const CellInstance& cell = netlist.cell(c);
+    const CellSpec& spec = cell_spec(cell.type);
+    if (spec.is_sequential) continue;
+    double worst = 0.0;
+    for (const NetId in : cell.inputs) worst = std::max(worst, report.net_arrival[in]);
+    const double arrival = worst + spec.depth_units;
+    for (const NetId out : cell.outputs) {
+      report.net_arrival[out] = arrival;
+      pred[out] = c;
+    }
+  }
+
+  // Sinks: primary outputs and D/EN pins of sequential cells.
+  const auto consider = [&](NetId net) {
+    if (report.net_arrival[net] > report.critical_path_units) {
+      report.critical_path_units = report.net_arrival[net];
+      report.critical_endpoint = net;
+    }
+  };
+  for (const NetId po : netlist.primary_outputs()) consider(po);
+  for (CellId c = 0; c < netlist.num_cells(); ++c) {
+    const CellInstance& cell = netlist.cell(c);
+    if (!cell_spec(cell.type).is_sequential) continue;
+    for (const NetId in : cell.inputs) consider(in);
+  }
+
+  // Trace the critical path back through worst-arrival inputs.
+  NetId net = report.critical_endpoint;
+  while (net != kNoNet && pred[net] != Netlist::kNoCell) {
+    const CellId c = pred[net];
+    report.critical_path.push_back(c);
+    const CellInstance& cell = netlist.cell(c);
+    if (cell_spec(cell.type).is_sequential) break;  // reached a launching DFF
+    NetId worst_in = kNoNet;
+    double worst = -1.0;
+    for (const NetId in : cell.inputs) {
+      if (report.net_arrival[in] > worst) {
+        worst = report.net_arrival[in];
+        worst_in = in;
+      }
+    }
+    net = worst_in;
+  }
+  std::reverse(report.critical_path.begin(), report.critical_path.end());
+  return report;
+}
+
+double effective_logic_depth(double ld_per_cycle, int internal_cycles_per_result, int ways) {
+  require(ld_per_cycle > 0.0, "effective_logic_depth: ld_per_cycle must be positive");
+  require(internal_cycles_per_result >= 1, "effective_logic_depth: cycles must be >= 1");
+  require(ways >= 1, "effective_logic_depth: ways must be >= 1");
+  return ld_per_cycle * static_cast<double>(internal_cycles_per_result) /
+         static_cast<double>(ways);
+}
+
+}  // namespace optpower

@@ -1,0 +1,39 @@
+// Static timing analysis: topological longest-path over the combinational
+// graph, in units of equivalent inverter delays (CellSpec::depth_units).
+//
+// This is the paper's "LDeff" substrate: the critical register-to-register /
+// input-to-output path measured in gate delays, then normalized to the
+// throughput period (a sequential multiplier that takes 16 internal cycles
+// per result contributes 16x its per-cycle depth; a 2-way parallel design
+// has 2 throughput periods per result, halving its effective depth).
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace optpower {
+
+/// Result of a timing analysis.
+struct TimingReport {
+  double critical_path_units = 0.0;   ///< LD per clock cycle [inverter delays]
+  NetId critical_endpoint = kNoNet;   ///< net where the worst path ends
+  std::vector<CellId> critical_path;  ///< cells along the worst path, source to sink
+  std::vector<double> net_arrival;    ///< arrival time per net
+};
+
+/// Longest combinational path.  Sources: primary inputs and DFF outputs
+/// (arrival 0).  Sinks: primary outputs and DFF inputs.  Sequential cells
+/// contribute their clock-to-q as source offset and setup as sink cost via
+/// their depth_units (applied at the source side).
+[[nodiscard]] TimingReport analyze_timing(const Netlist& netlist);
+
+/// The paper's effective logic depth relative to the *throughput* period:
+///   LDeff = LD_per_cycle * internal_cycles_per_result / ways
+/// where `internal_cycles_per_result` models sequential multipliers (16 for
+/// the basic add-and-shift) and `ways` models parallel replication (each
+/// lane gets `ways` throughput periods).
+[[nodiscard]] double effective_logic_depth(double ld_per_cycle, int internal_cycles_per_result,
+                                           int ways);
+
+}  // namespace optpower

@@ -1,0 +1,47 @@
+#include "tech/linearization.h"
+
+#include <cmath>
+
+#include "numeric/fit.h"
+#include "util/error.h"
+#include "util/format.h"
+
+namespace optpower {
+
+Linearization linearize_vdd_root(double alpha, double lo, double hi, LinearizationMethod method,
+                                 int samples) {
+  require(alpha >= 1.0 && alpha <= 2.0, "linearize_vdd_root: alpha must lie in [1, 2]");
+  require(lo > 0.0 && lo < hi, "linearize_vdd_root: need 0 < lo < hi");
+  const auto f = [alpha](double v) { return std::pow(v, 1.0 / alpha); };
+
+  const LineFit fit = (method == LinearizationMethod::kLeastSquares)
+                          ? fit_line_least_squares(f, lo, hi, samples)
+                          : fit_line_minimax(f, lo, hi, samples);
+
+  Linearization lin;
+  lin.a = fit.slope;
+  lin.b = fit.intercept;
+  lin.alpha = alpha;
+  lin.lo = lo;
+  lin.hi = hi;
+  lin.method = method;
+  lin.max_abs_error = fit.max_abs_error;
+
+  double max_rel = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double v = lo + (hi - lo) * static_cast<double>(i) / (samples - 1);
+    const double exact = f(v);
+    max_rel = std::max(max_rel, std::fabs(exact - lin(v)) / exact);
+  }
+  lin.max_rel_error = max_rel;
+  return lin;
+}
+
+std::string to_string(const Linearization& lin) {
+  return strprintf("A=%.4f B=%.4f (alpha=%.3f, %.2f-%.2fV, %s, max_err=%.2e)", lin.a, lin.b,
+                   lin.alpha, lin.lo, lin.hi,
+                   lin.method == LinearizationMethod::kLeastSquares ? "lsq" : "minimax",
+                   lin.max_abs_error);
+}
+
+}  // namespace optpower

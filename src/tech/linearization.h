@@ -1,0 +1,40 @@
+// Eq. 7 of the paper: the linearization Vdd^{1/alpha} ~= A*Vdd + B over a
+// supply-voltage fitting range.  A and B feed the closed-form optimum
+// (Eq. 9-13); Figure 2 of the paper plots this approximation for alpha = 1.5.
+#pragma once
+
+#include <string>
+
+namespace optpower {
+
+/// How to fit the line.
+enum class LinearizationMethod {
+  kLeastSquares,  ///< the paper "minimiz[es] the approximation error (7)"; LSQ on dense samples
+  kMinimax,       ///< Chebyshev equioscillating line (alternative; ablation bench compares)
+};
+
+/// The fitted line plus metadata.
+struct Linearization {
+  double a = 0.0;      ///< slope (paper's A)
+  double b = 0.0;      ///< intercept (paper's B)
+  double alpha = 0.0;  ///< the exponent that was linearized
+  double lo = 0.0;     ///< fit range [V]
+  double hi = 0.0;
+  LinearizationMethod method = LinearizationMethod::kLeastSquares;
+  double max_abs_error = 0.0;  ///< max |Vdd^{1/alpha} - (A Vdd + B)| over the range
+  double max_rel_error = 0.0;  ///< same, relative to Vdd^{1/alpha}
+
+  /// Evaluate the linear approximation A*vdd + B.
+  [[nodiscard]] double operator()(double vdd) const noexcept { return a * vdd + b; }
+};
+
+/// Fit Vdd^{1/alpha} ~= A*Vdd + B over [lo, hi].
+/// Preconditions: alpha in [1, 2], 0 < lo < hi.
+[[nodiscard]] Linearization linearize_vdd_root(
+    double alpha, double lo, double hi,
+    LinearizationMethod method = LinearizationMethod::kLeastSquares, int samples = 512);
+
+/// Human-readable one-liner, e.g. "A=0.671 B=0.347 (alpha=1.86, 0.30-1.00V, lsq)".
+[[nodiscard]] std::string to_string(const Linearization& lin);
+
+}  // namespace optpower

@@ -1,0 +1,28 @@
+#include "tech/scaling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/format.h"
+
+namespace optpower {
+
+Technology scale_technology(const Technology& base, double size_ratio, const ScalingModel& model) {
+  require(size_ratio > 0.0 && size_ratio <= 1.5,
+          "scale_technology: size_ratio must lie in (0, 1.5]");
+  validate(base);
+  Technology t = base;
+  t.name = base.name + strprintf("_x%.2f", size_ratio);
+  t.zeta = base.zeta * size_ratio;
+  t.io = base.io * std::pow(size_ratio, -model.leakage_aggressiveness);
+  // Number of halvings: log2(1/size_ratio); negative when up-scaling.
+  const double halvings = std::log2(1.0 / size_ratio);
+  t.alpha = std::clamp(base.alpha - model.alpha_drift * halvings, 1.0, 2.0);
+  t.vdd_nom = base.vdd_nom * std::pow(size_ratio, model.voltage_exponent);
+  t.vth0_nom = base.vth0_nom * std::pow(size_ratio, model.voltage_exponent);
+  validate(t);
+  return t;
+}
+
+}  // namespace optpower

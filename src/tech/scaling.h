@@ -1,0 +1,37 @@
+// Hypothetical technology scaling.
+//
+// Section 5 of the paper closes with: "a smaller technology node with
+// ultra-high speed and large leakage might consume more than a larger techno
+// with better balanced alpha, Io, zeta ... at its optimal working point".
+// This module builds such hypothetical nodes so the extension bench
+// (bench_ablation_technology) can quantify that remark.
+//
+// Scaling model (first-order constant-field scaling with leakage-driven
+// deviations, documented per parameter):
+//   * zeta  ~ s^1   : switched capacitance shrinks with feature size s
+//   * io    ~ s^-g  : off-current grows as thresholds drop with scaling
+//                     (g = leakage_aggressiveness, default 2)
+//   * alpha : drifts toward 1 (velocity saturation) by `alpha_drift` per
+//             halving of the node
+//   * vth0  ~ s^0.5 : thresholds shrink slower than the node
+//   * vdd   ~ s^0.5 : same (post-Dennard supply scaling slowdown)
+#pragma once
+
+#include "tech/technology.h"
+
+namespace optpower {
+
+/// Knobs of the scaling model.
+struct ScalingModel {
+  double leakage_aggressiveness = 2.0;  ///< io ~ s^-g
+  double alpha_drift = 0.15;            ///< alpha reduction per node halving
+  double voltage_exponent = 0.5;        ///< vdd, vth ~ s^e
+};
+
+/// Scale `base` to a new feature size.  `size_ratio` is
+/// new_node / old_node, e.g. 90/130 ~ 0.69 for 0.13 um -> 90 nm.
+/// Throws InvalidArgument for non-positive or > 1.5 ratios.
+[[nodiscard]] Technology scale_technology(const Technology& base, double size_ratio,
+                                          const ScalingModel& model = {});
+
+}  // namespace optpower

@@ -1,0 +1,32 @@
+#include "tech/stm_cmos09.h"
+
+#include <vector>
+
+namespace optpower {
+namespace {
+
+Technology make(const char* name, double vth0, double io, double zeta, double alpha) {
+  Technology t;
+  t.name = name;
+  t.vdd_nom = 1.2;
+  t.vth0_nom = vth0;
+  t.io = io;
+  t.zeta = zeta;
+  t.alpha = alpha;
+  t.n = 1.33;  // published for LL; assumed flavor-invariant (see header)
+  return t;
+}
+
+}  // namespace
+
+Technology stm_cmos09_ull() { return make("STM_CMOS09_ULL", 0.466, 2.11e-6, 7.5e-12, 1.95); }
+Technology stm_cmos09_ll() { return make("STM_CMOS09_LL", 0.354, 3.34e-6, 5.5e-12, 1.86); }
+Technology stm_cmos09_hs() { return make("STM_CMOS09_HS", 0.328, 7.08e-6, 6.1e-12, 1.58); }
+
+std::vector<Technology> stm_cmos09_all() {
+  return {stm_cmos09_ull(), stm_cmos09_ll(), stm_cmos09_hs()};
+}
+
+PaperLinearization paper_linearization_ll() { return {}; }
+
+}  // namespace optpower

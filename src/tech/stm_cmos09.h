@@ -1,0 +1,41 @@
+// The three flavors of the STM CMOS09 0.13 um technology from Table 2 of the
+// paper, plus the paper's published model constants for the LL flavor.
+//
+//   Table 2 - STM CMOS09 technology
+//             Vdd_nom  Vth0_nom  Io [uA]  zeta [pF]  alpha
+//     ULL     1.2      0.466     2.11     7.5        1.95
+//     LL      1.2      0.354     3.34     5.5        1.86
+//     HS      1.2      0.328     7.08     6.1        1.58
+//
+// The weak-inversion slope n = 1.33 is published for LL only; the paper uses
+// one n for the study and we follow it for all flavors (documented
+// substitution, see DESIGN.md).
+#pragma once
+
+#include <vector>
+
+#include "tech/technology.h"
+
+namespace optpower {
+
+/// Ultra Low Leakage flavor.
+[[nodiscard]] Technology stm_cmos09_ull();
+/// Low Leakage flavor (the paper's Table 1 baseline).
+[[nodiscard]] Technology stm_cmos09_ll();
+/// High Speed flavor.
+[[nodiscard]] Technology stm_cmos09_hs();
+
+/// All three flavors in the paper's order (ULL, LL, HS).
+[[nodiscard]] std::vector<Technology> stm_cmos09_all();
+
+/// Paper constants for the Eq. 7 linearization of the LL flavor:
+/// "A = 0.671; B = 0.347" fitted on Vdd in [0.3, 1.0] V for alpha = 1.86.
+struct PaperLinearization {
+  double a = 0.671;
+  double b = 0.347;
+  double fit_lo = 0.3;
+  double fit_hi = 1.0;
+};
+[[nodiscard]] PaperLinearization paper_linearization_ll();
+
+}  // namespace optpower

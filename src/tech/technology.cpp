@@ -1,0 +1,34 @@
+#include "tech/technology.h"
+
+#include "util/error.h"
+
+namespace optpower {
+
+MosfetParams Technology::reference_transistor() const {
+  MosfetParams m;
+  m.name = name;
+  m.io = io;
+  m.n = n;
+  m.alpha = alpha;
+  m.vth0 = vth0_nom;
+  m.eta = eta;
+  m.temperature_k = temperature_k;
+  return m;
+}
+
+void validate(const Technology& tech) {
+  require(tech.io > 0.0, "Technology '" + tech.name + "': io must be positive");
+  require(tech.n >= 1.0, "Technology '" + tech.name + "': slope n must be >= 1");
+  require(tech.alpha >= 1.0 && tech.alpha <= 2.0,
+          "Technology '" + tech.name + "': alpha must lie in [1, 2]");
+  require(tech.zeta > 0.0, "Technology '" + tech.name + "': zeta must be positive");
+  require(tech.vdd_nom > 0.0, "Technology '" + tech.name + "': vdd_nom must be positive");
+  require(tech.vth0_nom > 0.0 && tech.vth0_nom < tech.vdd_nom,
+          "Technology '" + tech.name + "': vth0_nom must lie in (0, vdd_nom)");
+  require(tech.eta >= 0.0 && tech.eta < 0.5,
+          "Technology '" + tech.name + "': eta must lie in [0, 0.5)");
+  require(tech.temperature_k > 0.0,
+          "Technology '" + tech.name + "': temperature must be positive");
+}
+
+}  // namespace optpower

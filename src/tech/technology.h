@@ -1,0 +1,40 @@
+// Technology description: the parameter vector the paper reduces a CMOS
+// process flavor to (Table 2), plus derived quantities.
+#pragma once
+
+#include <string>
+
+#include "device/mosfet.h"
+#include "util/constants.h"
+
+namespace optpower {
+
+/// A process flavor as seen by the power model: (Io, n, alpha, zeta) plus
+/// nominal voltages.  Units: volts, amperes, farads, kelvin.
+struct Technology {
+  std::string name = "unnamed";
+
+  double io = 3.34e-6;      ///< average off-current per cell at Vgs = Vth [A]
+  double n = 1.33;          ///< weak-inversion slope
+  double alpha = 1.86;      ///< alpha-power-law exponent
+  double zeta = 5.5e-12;    ///< delay coefficient [F] (Eq. 4: tgate = zeta*Vdd/Ion)
+  double vdd_nom = 1.2;     ///< nominal supply [V]
+  double vth0_nom = 0.354;  ///< nominal zero-bias threshold [V]
+  double eta = 0.0;         ///< DIBL coefficient (drops out of Eq. 13)
+  double temperature_k = kDefaultTemperatureK;
+
+  /// Thermal voltage Ut at this technology's temperature [V].
+  [[nodiscard]] double ut() const noexcept { return thermal_voltage(temperature_k); }
+  /// The sub-threshold scale n*Ut [V].
+  [[nodiscard]] double n_ut() const noexcept { return n * ut(); }
+
+  /// A MOSFET parameter set consistent with this flavor, used to drive the
+  /// mini-SPICE characterization testbenches.
+  [[nodiscard]] MosfetParams reference_transistor() const;
+};
+
+/// Validate invariants (positive currents/caps, alpha in [1,2], ...).
+/// Throws InvalidArgument listing the first violated constraint.
+void validate(const Technology& tech);
+
+}  // namespace optpower

@@ -1,0 +1,101 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+#include "util/format.h"
+
+namespace optpower {
+
+AsciiPlot::AsciiPlot(PlotOptions options) : options_(std::move(options)) {
+  require(options_.width >= 16 && options_.height >= 4, "AsciiPlot: canvas too small");
+}
+
+void AsciiPlot::add_series(PlotSeries series) {
+  require(!series.x.empty(), "AsciiPlot::add_series: empty series");
+  require(series.x.size() == series.y.size(), "AsciiPlot::add_series: x/y size mismatch");
+  series_.push_back(std::move(series));
+}
+
+void AsciiPlot::add_marker(double x, double y, char glyph, const std::string& label) {
+  PlotSeries s;
+  s.x = {x};
+  s.y = {y};
+  s.glyph = glyph;
+  s.label = label;
+  series_.push_back(std::move(s));
+}
+
+std::string AsciiPlot::render() const {
+  if (series_.empty()) return "(empty plot)\n";
+
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin, ymin = xmin, ymax = -xmin;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      double yv = s.y[i];
+      if (options_.log_y) {
+        if (yv <= 0) continue;
+        yv = std::log10(yv);
+      }
+      xmin = std::min(xmin, s.x[i]);
+      xmax = std::max(xmax, s.x[i]);
+      ymin = std::min(ymin, yv);
+      ymax = std::max(ymax, yv);
+    }
+  }
+  if (!(xmax > xmin)) xmax = xmin + 1.0;
+  if (!(ymax > ymin)) ymax = ymin + 1.0;
+
+  const int w = options_.width;
+  const int h = options_.height;
+  std::vector<std::string> canvas(static_cast<std::size_t>(h), std::string(static_cast<std::size_t>(w), ' '));
+
+  const auto to_col = [&](double x) {
+    return static_cast<int>(std::lround((x - xmin) / (xmax - xmin) * (w - 1)));
+  };
+  const auto to_row = [&](double y) {
+    if (options_.log_y) y = std::log10(std::max(y, 1e-300));
+    const int r = static_cast<int>(std::lround((y - ymin) / (ymax - ymin) * (h - 1)));
+    return (h - 1) - r;  // row 0 at top
+  };
+
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (options_.log_y && s.y[i] <= 0) continue;
+      const int c = std::clamp(to_col(s.x[i]), 0, w - 1);
+      const int r = std::clamp(to_row(s.y[i]), 0, h - 1);
+      canvas[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = s.glyph;
+    }
+  }
+
+  std::string out;
+  if (!options_.title.empty()) out += options_.title + "\n";
+  const auto ylab = [&](double frac) {
+    const double yv = ymin + frac * (ymax - ymin);
+    return pad_left(strprintf("%.4g", options_.log_y ? std::pow(10.0, yv) : yv), 10);
+  };
+  for (int r = 0; r < h; ++r) {
+    std::string prefix(12, ' ');
+    if (r == 0) prefix = ylab(1.0) + " +";
+    else if (r == h - 1) prefix = ylab(0.0) + " +";
+    else prefix = std::string(10, ' ') + " |";
+    out += prefix + canvas[static_cast<std::size_t>(r)] + "\n";
+  }
+  out += std::string(11, ' ') + "+" + repeat('-', static_cast<std::size_t>(w)) + "\n";
+  out += std::string(12, ' ') + pad_right(strprintf("%.4g", xmin), static_cast<std::size_t>(w) - 8) +
+         pad_left(strprintf("%.4g", xmax), 8) + "\n";
+  if (!options_.x_label.empty()) {
+    out += std::string(12, ' ') + options_.x_label + "\n";
+  }
+  std::vector<std::string> legend;
+  for (const auto& s : series_) {
+    if (!s.label.empty()) legend.push_back(std::string(1, s.glyph) + " = " + s.label);
+  }
+  if (!legend.empty()) out += "  legend: " + join(legend, ", ") + "\n";
+  return out;
+}
+
+}  // namespace optpower

@@ -1,0 +1,49 @@
+// ASCII line plots.  The paper's figures (Fig. 1 power-vs-Vdd curves, Fig. 2
+// linearization) are regenerated as terminal plots plus CSV; this module
+// implements the terminal half (repro band: hand-roll plotting).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace optpower {
+
+/// One plotted series: x/y samples plus the glyph used for its points.
+struct PlotSeries {
+  std::vector<double> x;
+  std::vector<double> y;
+  char glyph = '*';
+  std::string label;
+};
+
+/// Configuration for an AsciiPlot canvas.
+struct PlotOptions {
+  int width = 72;    ///< interior columns
+  int height = 20;   ///< interior rows
+  bool log_y = false;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Renders one or more series on a character canvas with axes and a legend.
+class AsciiPlot {
+ public:
+  explicit AsciiPlot(PlotOptions options = {});
+
+  /// Add a series; throws InvalidArgument if x/y sizes differ or are empty.
+  void add_series(PlotSeries series);
+
+  /// Add a single marked point (drawn last, e.g. the optimum 'X' markers
+  /// from Fig. 1).
+  void add_marker(double x, double y, char glyph = 'X', const std::string& label = "");
+
+  /// Render to a multi-line string.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  PlotOptions options_;
+  std::vector<PlotSeries> series_;
+};
+
+}  // namespace optpower

@@ -1,0 +1,31 @@
+// Physical constants and derived quantities used throughout the power model.
+//
+// The paper's equations are parameterized by the thermal voltage Ut = kT/q
+// (Eq. 1, 2 of Schuster et al., DATE 2006).  All temperatures are in kelvin,
+// all voltages in volts, currents in amperes, capacitances in farads,
+// frequencies in hertz and powers in watts unless a name says otherwise.
+#pragma once
+
+namespace optpower {
+
+/// Boltzmann constant [J/K] (2019 SI exact value).
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Elementary charge [C] (2019 SI exact value).
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+
+/// Euler's number, used by the alpha-power-law matching factor (Eq. 2).
+inline constexpr double kEuler = 2.718281828459045235;
+
+/// Default junction temperature [K] assumed by the paper's fits (room temp).
+inline constexpr double kDefaultTemperatureK = 300.0;
+
+/// Thermal voltage Ut = kT/q [V] at temperature `temperature_k`.
+[[nodiscard]] constexpr double thermal_voltage(double temperature_k = kDefaultTemperatureK) noexcept {
+  return kBoltzmann * temperature_k / kElementaryCharge;
+}
+
+/// Thermal voltage at the default temperature (~25.852 mV at 300 K).
+inline constexpr double kThermalVoltage300K = thermal_voltage();
+
+}  // namespace optpower

@@ -1,0 +1,62 @@
+#include "util/csv.h"
+
+#include <fstream>
+
+#include "util/error.h"
+#include "util/format.h"
+
+namespace optpower {
+namespace {
+
+std::string escape_cell(const std::string& cell) {
+  const bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "CsvWriter: header must not be empty");
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  require(cells.size() == header_.size(), "CsvWriter::add_row: column count mismatch");
+  rows_.push_back(cells);
+}
+
+void CsvWriter::add_row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (const double v : values) cells.push_back(strprintf("%.10g", v));
+  add_row(cells);
+}
+
+std::string CsvWriter::to_string() const {
+  std::string out;
+  std::vector<std::string> escaped;
+  escaped.reserve(header_.size());
+  for (const auto& h : header_) escaped.push_back(escape_cell(h));
+  out += join(escaped, ",") + "\n";
+  for (const auto& row : rows_) {
+    escaped.clear();
+    for (const auto& c : row) escaped.push_back(escape_cell(c));
+    out += join(escaped, ",") + "\n";
+  }
+  return out;
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw Error("CsvWriter: cannot open '" + path + "' for writing");
+  f << to_string();
+  if (!f) throw Error("CsvWriter: write to '" + path + "' failed");
+}
+
+}  // namespace optpower

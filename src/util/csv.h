@@ -1,0 +1,32 @@
+// Minimal CSV writer for exporting figure series (Fig. 1 power curves,
+// Fig. 2 linearization data) so users can replot the paper's figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace optpower {
+
+/// Accumulates rows and serializes RFC4180-ish CSV (quotes fields containing
+/// commas/quotes/newlines).  Numeric columns are written via %.10g.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(const std::vector<std::string>& cells);
+  void add_row(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Render the full document (header + rows), '\n' line endings.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Write to a file; throws optpower::Error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace optpower

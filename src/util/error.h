@@ -1,0 +1,45 @@
+// Error types for the optpower library.
+//
+// Policy (per C++ Core Guidelines E.2/E.14): throw exceptions derived from a
+// library-specific base so callers can catch `optpower::Error` and know the
+// failure came from this library.  Precondition violations on public APIs
+// throw InvalidArgument; numerical non-convergence throws NumericalError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace optpower {
+
+/// Base class of every exception thrown by optpower.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad parameter, empty range...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// An iterative numerical method failed to converge or was given an
+/// ill-conditioned problem (no bracket, singular matrix, ...).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// A netlist/structural consistency violation (dangling net, combinational
+/// loop, width mismatch, ...).
+class NetlistError : public Error {
+ public:
+  explicit NetlistError(const std::string& what) : Error(what) {}
+};
+
+/// Internal helper: throw InvalidArgument when `condition` is false.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw InvalidArgument(message);
+}
+
+}  // namespace optpower

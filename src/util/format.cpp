@@ -1,0 +1,78 @@
+#include "util/format.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace optpower {
+
+std::string strprintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string fmt_fixed(double v, int digits) {
+  return strprintf("%.*f", digits, v);
+}
+
+std::string fmt_sci(double v, int digits) {
+  return strprintf("%.*e", digits, v);
+}
+
+std::string fmt_si(double v, const std::string& unit, int digits) {
+  struct Scale {
+    double factor;
+    const char* prefix;
+  };
+  static constexpr Scale kScales[] = {
+      {1e-12, "p"}, {1e-9, "n"}, {1e-6, "u"}, {1e-3, "m"},
+      {1.0, ""},    {1e3, "k"},  {1e6, "M"},  {1e9, "G"},
+  };
+  if (v == 0.0) return strprintf("%.*f %s", digits, 0.0, unit.c_str());
+  const double mag = std::fabs(v);
+  const Scale* best = &kScales[4];  // unity by default
+  for (const auto& s : kScales) {
+    if (mag >= s.factor && mag < s.factor * 1e3) {
+      best = &s;
+      break;
+    }
+  }
+  if (mag < 1e-12) best = &kScales[0];
+  if (mag >= 1e12) best = &kScales[7];
+  return strprintf("%.*f %s%s", digits, v / best->factor, best->prefix, unit.c_str());
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string repeat(char c, std::size_t n) { return std::string(n, c); }
+
+}  // namespace optpower

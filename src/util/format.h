@@ -1,0 +1,35 @@
+// printf-style string formatting returning std::string, plus numeric
+// pretty-printers used by the table/report code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace optpower {
+
+/// snprintf into a std::string.  Format errors return an empty string.
+[[nodiscard]] std::string strprintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Fixed-point formatting with `digits` decimals, e.g. fmt_fixed(3.14159, 2) == "3.14".
+[[nodiscard]] std::string fmt_fixed(double v, int digits);
+
+/// Scientific formatting, e.g. fmt_sci(3.34e-6, 2) == "3.34e-06".
+[[nodiscard]] std::string fmt_sci(double v, int digits);
+
+/// Engineering-style formatting with an SI suffix (p, n, u, m, "", k, M, G),
+/// e.g. fmt_si(3.34e-6, "A") == "3.340 uA".
+[[nodiscard]] std::string fmt_si(double v, const std::string& unit, int digits = 3);
+
+/// Left/right padding to a fixed width (spaces).  Strings longer than
+/// `width` are returned unchanged.
+[[nodiscard]] std::string pad_left(const std::string& s, std::size_t width);
+[[nodiscard]] std::string pad_right(const std::string& s, std::size_t width);
+
+/// Join a list of strings with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Repeat a character `n` times.
+[[nodiscard]] std::string repeat(char c, std::size_t n);
+
+}  // namespace optpower

@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation.
+//
+// The logic-simulation testbenches and property tests must be reproducible
+// across platforms, so we carry our own small PCG32 implementation instead of
+// relying on std::mt19937's distribution implementations (whose results are
+// unspecified across standard libraries for e.g. uniform_int_distribution).
+#pragma once
+
+#include <cstdint>
+
+namespace optpower {
+
+/// PCG32 (O'Neill): 64-bit state, 32-bit output, period 2^64.
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) noexcept {
+    state_ = 0U;
+    inc_ = (stream << 1u) | 1u;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  /// Next raw 32-bit output.
+  std::uint32_t next_u32() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform in [0, bound) without modulo bias (bound > 0).
+  std::uint32_t next_below(std::uint32_t bound) noexcept {
+    const std::uint32_t threshold = (0u - bound) % bound;
+    for (;;) {
+      const std::uint32_t r = next_u32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1) with 53 random mantissa bits.
+  double next_double() noexcept {
+    const std::uint64_t hi = next_u32() >> 5;  // 27 bits
+    const std::uint64_t lo = next_u32() >> 6;  // 26 bits
+    return static_cast<double>((hi << 26) | lo) * (1.0 / 9007199254740992.0);  // / 2^53
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_in(double lo, double hi) noexcept { return lo + (hi - lo) * next_double(); }
+
+  /// Fair coin / biased coin with probability `p_true`.
+  bool next_bool(double p_true = 0.5) noexcept { return next_double() < p_true; }
+
+  /// Uniform n-bit unsigned value (n in [1, 64]).
+  std::uint64_t next_bits(int n) noexcept {
+    std::uint64_t v = (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+    if (n >= 64) return v;
+    return v & ((1ULL << n) - 1ULL);
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace optpower

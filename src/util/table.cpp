@@ -1,0 +1,63 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/format.h"
+
+namespace optpower {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "Table: header must not be empty");
+  align_.assign(header_.size(), Align::kRight);
+  align_[0] = Align::kLeft;
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  require(row.size() == header_.size(),
+          "Table::add_row: row has " + std::to_string(row.size()) + " cells, expected " +
+              std::to_string(header_.size()));
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+void Table::set_align(std::size_t column, Align align) {
+  require(column < align_.size(), "Table::set_align: column out of range");
+  align_[column] = align;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.empty()) continue;
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::vector<std::string> cells(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells[c] = (align_[c] == Align::kLeft) ? pad_right(row[c], widths[c])
+                                             : pad_left(row[c], widths[c]);
+    }
+    return "| " + join(cells, " | ") + " |\n";
+  };
+
+  std::string rule = "+";
+  for (const auto w : widths) rule += repeat('-', w + 2) + "+";
+  rule += "\n";
+
+  std::string out;
+  if (!caption_.empty()) out += caption_ + "\n";
+  out += rule;
+  out += render_row(header_);
+  out += rule;
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule : render_row(row);
+  }
+  out += rule;
+  return out;
+}
+
+}  // namespace optpower

@@ -1,0 +1,49 @@
+// Fixed-width ASCII table builder used by the benchmark harnesses to print
+// the paper's tables (Table 1, 3, 4, ...) and by the examples.
+//
+// Usage:
+//   Table t({"Arch", "Vdd [V]", "Ptot [uW]"});
+//   t.add_row({"RCA", "0.478", "191.44"});
+//   std::cout << t.to_string();
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace optpower {
+
+/// Column alignment for rendered cells.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table renderer.  Rows must have exactly as many cells
+/// as the header; violations throw InvalidArgument.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a data row.  Throws InvalidArgument on column-count mismatch.
+  void add_row(std::vector<std::string> row);
+
+  /// Append a horizontal separator line at the current position.
+  void add_separator();
+
+  /// Set per-column alignment (default: first column left, rest right).
+  void set_align(std::size_t column, Align align);
+
+  /// Optional caption printed above the table.
+  void set_caption(std::string caption) { caption_ = std::move(caption); }
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_columns() const noexcept { return header_.size(); }
+
+  /// Render the table, ending with a trailing newline.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == separator
+  std::vector<Align> align_;
+  std::string caption_;
+};
+
+}  // namespace optpower

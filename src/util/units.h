@@ -1,0 +1,26 @@
+// Small unit-conversion helpers.  The library computes in SI base units;
+// these helpers exist so that call sites reading values out of the paper's
+// tables (µW, µA, pF, µm², MHz) stay self-documenting.
+#pragma once
+
+namespace optpower {
+
+[[nodiscard]] constexpr double micro(double v) noexcept { return v * 1e-6; }
+[[nodiscard]] constexpr double nano(double v) noexcept { return v * 1e-9; }
+[[nodiscard]] constexpr double pico(double v) noexcept { return v * 1e-12; }
+[[nodiscard]] constexpr double femto(double v) noexcept { return v * 1e-15; }
+
+[[nodiscard]] constexpr double kilo(double v) noexcept { return v * 1e3; }
+[[nodiscard]] constexpr double mega(double v) noexcept { return v * 1e6; }
+[[nodiscard]] constexpr double giga(double v) noexcept { return v * 1e9; }
+
+/// Watts -> microwatts (for printing table rows in the paper's unit).
+[[nodiscard]] constexpr double to_microwatt(double watts) noexcept { return watts * 1e6; }
+/// Seconds -> picoseconds.
+[[nodiscard]] constexpr double to_picosecond(double seconds) noexcept { return seconds * 1e12; }
+/// Seconds -> nanoseconds.
+[[nodiscard]] constexpr double to_nanosecond(double seconds) noexcept { return seconds * 1e9; }
+/// Hertz -> megahertz.
+[[nodiscard]] constexpr double to_megahertz(double hertz) noexcept { return hertz * 1e-6; }
+
+}  // namespace optpower

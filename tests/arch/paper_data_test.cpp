@@ -1,0 +1,111 @@
+#include "arch/paper_data.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace optpower {
+namespace {
+
+TEST(PaperData, ThirteenMultipliers) {
+  EXPECT_EQ(paper_table1().size(), 13u);
+  EXPECT_EQ(paper_table3_ull().size(), 3u);
+  EXPECT_EQ(paper_table4_hs().size(), 3u);
+}
+
+TEST(PaperData, PowersSumConsistently) {
+  // Ptot = Pdyn + Pstat holds for every published row (rounding ~ 0.02 uW).
+  for (const auto& row : paper_table1()) {
+    EXPECT_NEAR(row.pdyn + row.pstat, row.ptot, 0.03e-6) << row.name;
+  }
+}
+
+TEST(PaperData, PublishedErrorColumnConsistent) {
+  // err% = (Ptot - Eq13)/Ptot * 100 (the paper's sign convention).
+  for (const auto& row : paper_table1()) {
+    const double err = (row.ptot - row.ptot_eq13) / row.ptot * 100.0;
+    EXPECT_NEAR(err, row.eq13_err_pct, 0.05) << row.name;
+  }
+  for (const auto& row : paper_table3_ull()) {
+    const double err = (row.ptot - row.ptot_eq13) / row.ptot * 100.0;
+    EXPECT_NEAR(err, row.eq13_err_pct, 0.05) << row.name;
+  }
+  for (const auto& row : paper_table4_hs()) {
+    const double err = (row.ptot - row.ptot_eq13) / row.ptot * 100.0;
+    EXPECT_NEAR(err, row.eq13_err_pct, 0.05) << row.name;
+  }
+}
+
+TEST(PaperData, HeadlineClaimErrorsBelowThreePercent) {
+  for (const auto& row : paper_table1()) {
+    EXPECT_LT(std::fabs(row.eq13_err_pct), 3.0) << row.name;
+  }
+}
+
+TEST(PaperData, SequentialDesignsAreWorst) {
+  // Section 4: "sequential multipliers are not suited for low power design".
+  double worst_non_seq = 0.0;
+  for (const auto& row : paper_table1()) {
+    if (row.family != MultiplierFamily::kSequential) {
+      worst_non_seq = std::max(worst_non_seq, row.ptot);
+    }
+  }
+  EXPECT_GT(find_table1_row("Sequential")->ptot, worst_non_seq);
+  EXPECT_GT(find_table1_row("Seq parallel")->ptot, worst_non_seq);
+}
+
+TEST(PaperData, WallaceFamilyIsBest) {
+  double best_non_wallace = 1.0;
+  for (const auto& row : paper_table1()) {
+    if (row.family != MultiplierFamily::kWallace) {
+      best_non_wallace = std::min(best_non_wallace, row.ptot);
+    }
+  }
+  EXPECT_LT(find_table1_row("Wallace")->ptot, best_non_wallace);
+}
+
+TEST(PaperData, HorizontalPipelineBeatsDiagonalOnActivity) {
+  // Section 4: diagonal pipelining shortens LD more but raises glitching.
+  const auto hor2 = *find_table1_row("RCA hor.pipe2");
+  const auto diag2 = *find_table1_row("RCA diagpipe2");
+  EXPECT_LT(diag2.logic_depth, hor2.logic_depth);
+  EXPECT_GT(diag2.activity, hor2.activity);
+  const auto hor4 = *find_table1_row("RCA hor.pipe4");
+  const auto diag4 = *find_table1_row("RCA diagpipe4");
+  EXPECT_LT(diag4.logic_depth, hor4.logic_depth);
+  EXPECT_GT(diag4.activity, hor4.activity);
+}
+
+TEST(PaperData, ParallelizationDividesEffectiveDepth) {
+  const auto base = *find_table1_row("RCA");
+  const auto par2 = *find_table1_row("RCA parallel");
+  const auto par4 = *find_table1_row("RCA parallel 4");
+  EXPECT_NEAR(par2.logic_depth, base.logic_depth / 2.0, 0.5);
+  EXPECT_NEAR(par4.logic_depth, base.logic_depth / 4.0, 0.75);
+  // ... while roughly doubling/quadrupling cells.
+  EXPECT_GT(par2.n_cells, 2.0 * base.n_cells * 0.9);
+  EXPECT_GT(par4.n_cells, 4.0 * base.n_cells * 0.9);
+}
+
+TEST(PaperData, SequentialActivityAboveOne) {
+  // "the activity ... can be very high and even bigger than 1 in some cases".
+  EXPECT_GT(find_table1_row("Sequential")->activity, 1.0);
+  EXPECT_GT(find_table1_row("Seq parallel")->activity, 1.0);
+}
+
+TEST(PaperData, FindRowHandlesMissingName) {
+  EXPECT_FALSE(find_table1_row("Booth").has_value());
+  EXPECT_TRUE(find_table1_row("RCA").has_value());
+}
+
+TEST(PaperData, WallaceParallelizationNonMonotoneOnLl) {
+  // par2 helps, par4 hurts (mux overhead) - Section 4's crossover.
+  const double w = find_table1_row("Wallace")->ptot;
+  const double w2 = find_table1_row("Wallace parallel")->ptot;
+  const double w4 = find_table1_row("Wallace par4")->ptot;
+  EXPECT_LT(w2, w);
+  EXPECT_GT(w4, w2);
+}
+
+}  // namespace
+}  // namespace optpower

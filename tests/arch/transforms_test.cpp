@@ -1,0 +1,105 @@
+#include "arch/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/paper_data.h"
+#include "power/optimum.h"
+#include "tech/stm_cmos09.h"
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+ArchitectureParams rca() {
+  ArchitectureParams a;
+  a.name = "RCA";
+  a.n_cells = 608;
+  a.activity = 0.5056;
+  a.logic_depth = 61;
+  a.cell_cap = 70e-15;
+  a.area_um2 = 11038;
+  return a;
+}
+
+TEST(PipelineParams, ShapesMatchTable1Ratios) {
+  // Paper: RCA -> hor.pipe2: LD 61 -> 40, N 608 -> 672, a 0.506 -> 0.390.
+  const ArchitectureParams p2 = pipeline_params(rca(), 2);
+  EXPECT_NEAR(p2.logic_depth, 40.0, 8.0);
+  EXPECT_NEAR(p2.n_cells, 672.0, 40.0);
+  EXPECT_LT(p2.activity, rca().activity);
+  // -> hor.pipe4: LD 28, N 800, a 0.294.
+  const ArchitectureParams p4 = pipeline_params(rca(), 4);
+  EXPECT_NEAR(p4.logic_depth, 28.0, 8.0);
+  EXPECT_NEAR(p4.n_cells, 800.0, 60.0);
+  EXPECT_LT(p4.activity, p2.activity);
+}
+
+TEST(PipelineParams, DiagonalCutsDeeperButStaysActive) {
+  const ArchitectureParams hor = pipeline_params(rca(), 4);
+  const ArchitectureParams diag = pipeline_params(rca(), 4, diagonal_pipeline_overheads());
+  EXPECT_LT(diag.logic_depth, hor.logic_depth);   // paper: 14 vs 28
+  EXPECT_GT(diag.activity, hor.activity);          // paper: 0.346 vs 0.294
+}
+
+TEST(ParallelizeParams, ShapesMatchTable1Ratios) {
+  // Paper: RCA -> parallel: N 1256, LD 30.5, a 0.262.
+  const ArchitectureParams p2 = parallelize_params(rca(), 2);
+  EXPECT_NEAR(p2.n_cells, 1256.0, 60.0);
+  EXPECT_NEAR(p2.logic_depth, 30.5, 2.0);
+  EXPECT_NEAR(p2.activity, 0.2624, 0.03);
+  const ArchitectureParams p4 = parallelize_params(rca(), 4);
+  EXPECT_NEAR(p4.n_cells, 2455.0, 120.0);
+  EXPECT_NEAR(p4.logic_depth, 15.75, 1.5);
+}
+
+TEST(SequentializeParams, ActivityAndDepthExplode) {
+  const ArchitectureParams seq = sequentialize_params(rca(), 16);
+  EXPECT_LT(seq.n_cells, rca().n_cells);
+  EXPECT_GT(seq.activity, 1.0);          // paper's Sequential: a = 2.92
+  EXPECT_GT(seq.logic_depth, 150.0);     // paper: 224
+}
+
+TEST(Transforms, RejectBadArguments) {
+  EXPECT_THROW((void)pipeline_params(rca(), 1), InvalidArgument);
+  EXPECT_THROW((void)parallelize_params(rca(), 3), InvalidArgument);
+  EXPECT_THROW((void)sequentialize_params(rca(), 1), InvalidArgument);
+}
+
+TEST(Transforms, PowerRankingFollowsPaper) {
+  // Drive the transforms through the optimizer with an effective technology
+  // and check the Section-4 power ordering: pipe4 < pipe2 < base << seq.
+  Technology tech = stm_cmos09_ll();
+  tech.io = 6.1e-5;
+  tech.zeta = 6.0e-12;
+  const auto power = [&](const ArchitectureParams& a) {
+    return find_optimum(PowerModel(tech, a), kPaperFrequency).point.ptot;
+  };
+  const double base = power(rca());
+  const double pipe2 = power(pipeline_params(rca(), 2));
+  const double pipe4 = power(pipeline_params(rca(), 4));
+  const double seq = power(sequentialize_params(rca(), 16));
+  EXPECT_LT(pipe2, base);
+  EXPECT_LT(pipe4, pipe2);
+  EXPECT_GT(seq, 2.0 * base);
+}
+
+TEST(Transforms, ParallelizationCrossoverOnShortDepth) {
+  // A design that is already fast gains little from chi and pays the cell
+  // overhead: par4 should NOT beat par2 (the Wallace par4 story).
+  Technology tech = stm_cmos09_ll();
+  tech.io = 5.4e-5;
+  tech.zeta = 7.1e-12;
+  ArchitectureParams fast = rca();
+  fast.logic_depth = 17;
+  fast.activity = 0.2976;
+  fast.n_cells = 729;
+  const auto power = [&](const ArchitectureParams& a) {
+    return find_optimum(PowerModel(tech, a), kPaperFrequency).point.ptot;
+  };
+  const double p2 = power(parallelize_params(fast, 2));
+  const double p4 = power(parallelize_params(fast, 4));
+  EXPECT_GT(p4, p2 * 0.98);
+}
+
+}  // namespace
+}  // namespace optpower

@@ -1,0 +1,202 @@
+// The central reproduction tests: calibrating per-architecture models from
+// the published rows and checking that (a) the published working point is
+// the model's numerical optimum, and (b) Eq. 13 lands within the paper's
+// claimed <3% of the numerical optimum, with the published error magnitudes.
+#include "calib/calibrate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "power/closed_form.h"
+#include "power/optimum.h"
+#include "tech/stm_cmos09.h"
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+class Table1Calibration : public ::testing::TestWithParam<int> {
+ protected:
+  const Table1Row& row() const { return paper_table1()[static_cast<std::size_t>(GetParam())]; }
+};
+
+TEST_P(Table1Calibration, RoundTripsPublishedPowersExactly) {
+  const Table1Row& r = row();
+  const CalibratedModel cal = calibrate_from_table1_row(r, stm_cmos09_ll());
+  // By construction the calibrated model reproduces the published row at the
+  // published voltages.
+  EXPECT_NEAR(cal.model.dynamic_power(r.vdd_opt, kPaperFrequency) / r.pdyn, 1.0, 1e-10);
+  EXPECT_NEAR(cal.model.static_power(r.vdd_opt, r.vth_opt) / r.pstat, 1.0, 1e-10);
+  EXPECT_NEAR(cal.model.vth_on_constraint(r.vdd_opt, kPaperFrequency), r.vth_opt, 1e-10);
+}
+
+TEST_P(Table1Calibration, PublishedPointIsTheNumericalOptimum) {
+  // NOT true by construction: optimality is a prediction of the calibration.
+  const Table1Row& r = row();
+  const CalibratedModel cal = calibrate_from_table1_row(r, stm_cmos09_ll());
+  const OptimumResult opt = find_optimum(cal.model, kPaperFrequency);
+  EXPECT_NEAR(opt.point.vdd, r.vdd_opt, 0.004) << r.name;
+  EXPECT_NEAR(opt.point.vth, r.vth_opt, 0.003) << r.name;
+  EXPECT_NEAR(opt.point.ptot / r.ptot, 1.0, 0.002) << r.name;
+  // The dyn/stat split is exponentially sensitive to the mV-level Vdd shift
+  // between our optimizer and the paper's grid, hence the looser 5%.
+  EXPECT_NEAR(opt.point.pdyn / r.pdyn, 1.0, 0.05) << r.name;
+  EXPECT_NEAR(opt.point.pstat / r.pstat, 1.0, 0.05) << r.name;
+}
+
+TEST_P(Table1Calibration, Eq13WithinPaperToleranceAndSign) {
+  const Table1Row& r = row();
+  const CalibratedModel cal = calibrate_from_table1_row(r, stm_cmos09_ll());
+  const OptimumResult opt = find_optimum(cal.model, kPaperFrequency);
+  // The paper evaluates Eq. 13 with its published A/B fit.
+  Linearization lin;
+  lin.a = paper_model_constants().lin_a;
+  lin.b = paper_model_constants().lin_b;
+  lin.alpha = cal.model.tech().alpha;
+  lin.lo = 0.3;
+  lin.hi = 1.0;
+  const ClosedFormResult cf = closed_form_optimum(cal.model, kPaperFrequency, lin);
+  ASSERT_TRUE(cf.valid) << r.name;
+  // Headline claim: |error| < 3% (we allow 3.2% for calibration slack).
+  const double err_pct = (opt.point.ptot - cf.ptot_eq13) / opt.point.ptot * 100.0;
+  EXPECT_LT(std::fabs(err_pct), 3.2) << r.name;
+  // Our Eq. 13 value must sit close to the paper's published Eq. 13 value.
+  EXPECT_NEAR(cf.ptot_eq13 / r.ptot_eq13, 1.0, 0.01) << r.name;
+  // And the error sign must match the paper's reported sign.
+  if (std::fabs(r.eq13_err_pct) > 0.3) {
+    EXPECT_GT(err_pct * r.eq13_err_pct, 0.0)
+        << r.name << ": our err " << err_pct << "% vs paper " << r.eq13_err_pct << "%";
+  }
+}
+
+TEST_P(Table1Calibration, InferredParametersArePhysical) {
+  const Table1Row& r = row();
+  const CalibratedModel cal = calibrate_from_table1_row(r, stm_cmos09_ll());
+  EXPECT_GT(cal.cell_cap, 5e-15) << r.name;    // > 5 fF per average cell
+  EXPECT_LT(cal.cell_cap, 500e-15) << r.name;  // < 500 fF
+  EXPECT_GT(cal.io_eff, 1e-7) << r.name;
+  EXPECT_LT(cal.io_eff, 1e-3) << r.name;
+  EXPECT_GT(cal.zeta_eff, 1e-14) << r.name;
+  EXPECT_LT(cal.zeta_eff, 1e-9) << r.name;
+  EXPECT_GT(cal.chi, 0.0) << r.name;
+  EXPECT_LT(cal.chi * 0.671, 1.0) << r.name;  // Eq. 13 validity: chi*A < 1
+}
+
+INSTANTIATE_TEST_SUITE_P(AllThirteenMultipliers, Table1Calibration,
+                         ::testing::Range(0, 13));
+
+// ---------------------------------------------------------------------------
+
+struct FlavorCase {
+  const char* table;
+  int index;
+};
+
+class FlavorCalibration : public ::testing::TestWithParam<FlavorCase> {
+ protected:
+  const WallaceFlavorRow& row() const {
+    const auto& rows = std::string(GetParam().table) == "ULL" ? paper_table3_ull()
+                                                              : paper_table4_hs();
+    return rows[static_cast<std::size_t>(GetParam().index)];
+  }
+  Technology tech() const {
+    return std::string(GetParam().table) == "ULL" ? stm_cmos09_ull() : stm_cmos09_hs();
+  }
+};
+
+TEST_P(FlavorCalibration, ReproducesPublishedOptimum) {
+  const WallaceFlavorRow& r = row();
+  const auto structure = find_table1_row(r.name);
+  ASSERT_TRUE(structure.has_value());
+  const CalibratedModel cal = calibrate_from_optimum(r, *structure, tech());
+  const OptimumResult opt = find_optimum(cal.model, kPaperFrequency);
+  EXPECT_NEAR(opt.point.vdd, r.vdd_opt, 0.004) << r.name;
+  EXPECT_NEAR(opt.point.vth, r.vth_opt, 0.003) << r.name;
+  EXPECT_NEAR(opt.point.ptot / r.ptot, 1.0, 0.002) << r.name;
+}
+
+TEST_P(FlavorCalibration, Eq13WithinToleranceUsingFlavorLinearization) {
+  const WallaceFlavorRow& r = row();
+  const auto structure = find_table1_row(r.name);
+  ASSERT_TRUE(structure.has_value());
+  const Technology t = tech();
+  const CalibratedModel cal = calibrate_from_optimum(r, *structure, t);
+  const Linearization lin = linearize_vdd_root(t.alpha, 0.3, 1.0);
+  const ClosedFormResult cf = closed_form_optimum(cal.model, kPaperFrequency, lin);
+  ASSERT_TRUE(cf.valid);
+  const OptimumResult opt = find_optimum(cal.model, kPaperFrequency);
+  const double err_pct = (opt.point.ptot - cf.ptot_eq13) / opt.point.ptot * 100.0;
+  EXPECT_LT(std::fabs(err_pct), 3.0) << r.name;
+  EXPECT_NEAR(cf.ptot_eq13 / r.ptot_eq13, 1.0, 0.01) << r.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(WallaceFamilies, FlavorCalibration,
+                         ::testing::Values(FlavorCase{"ULL", 0}, FlavorCase{"ULL", 1},
+                                           FlavorCase{"ULL", 2}, FlavorCase{"HS", 0},
+                                           FlavorCase{"HS", 1}, FlavorCase{"HS", 2}));
+
+// ---------------------------------------------------------------------------
+
+TEST(CalibrateHelpers, ChiFromPublishedPointInvertsEq5) {
+  const Technology ll = stm_cmos09_ll();
+  const double vdd = 0.478, vth = 0.213;
+  const double chi = chi_from_published_point(vdd, vth, ll);
+  EXPECT_NEAR(vdd - chi * std::pow(vdd, 1.0 / ll.alpha), vth, 1e-12);
+}
+
+TEST(CalibrateHelpers, ZetaFromChiInvertsEq6) {
+  const Technology ll = stm_cmos09_ll();
+  const double chi = 0.394, io = 6e-5, ld = 61.0;
+  const double zeta = zeta_from_chi(chi, io, ld, kPaperFrequency, ll);
+  // Recompute chi via Eq. 6 and compare.
+  const double chi_back = (ll.alpha * ll.n_ut() / 2.718281828459045) *
+                          std::pow(zeta * ld * kPaperFrequency / io, 1.0 / ll.alpha);
+  EXPECT_NEAR(chi_back / chi, 1.0, 1e-12);
+}
+
+TEST(CalibrateHelpers, RejectsNonsensePoints) {
+  const Technology ll = stm_cmos09_ll();
+  EXPECT_THROW((void)chi_from_published_point(0.5, 0.6, ll), InvalidArgument);
+  EXPECT_THROW((void)zeta_from_chi(-1.0, 1e-6, 10.0, 1e6, ll), InvalidArgument);
+}
+
+TEST(CalibrateErrors, RowWithZeroPowerRejected) {
+  Table1Row bad = paper_table1()[0];
+  bad.pstat = 0.0;
+  EXPECT_THROW((void)calibrate_from_table1_row(bad, stm_cmos09_ll()), InvalidArgument);
+}
+
+TEST(WallaceParallelizationCrossover, HsPenalizesParallelUllRewardsIt) {
+  // Section 5's key qualitative finding, checked end-to-end on our
+  // calibrated models: on HS, Wallace parallel consumes MORE than basic
+  // Wallace; on ULL (and LL) it consumes LESS.
+  const auto structure0 = *find_table1_row("Wallace");
+  const auto structure1 = *find_table1_row("Wallace parallel");
+
+  const auto hs0 = calibrate_from_optimum(paper_table4_hs()[0], structure0, stm_cmos09_hs());
+  const auto hs1 = calibrate_from_optimum(paper_table4_hs()[1], structure1, stm_cmos09_hs());
+  EXPECT_GT(find_optimum(hs1.model, kPaperFrequency).point.ptot,
+            find_optimum(hs0.model, kPaperFrequency).point.ptot);
+
+  const auto ull0 = calibrate_from_optimum(paper_table3_ull()[0], structure0, stm_cmos09_ull());
+  const auto ull1 = calibrate_from_optimum(paper_table3_ull()[1], structure1, stm_cmos09_ull());
+  EXPECT_LT(find_optimum(ull1.model, kPaperFrequency).point.ptot,
+            find_optimum(ull0.model, kPaperFrequency).point.ptot);
+}
+
+TEST(FlavorOrdering, LlBeatsUllAndHsForWholeWallaceFamily) {
+  // "the technology presenting the lowest optimal power consumption is the
+  // LL, showing that extreme technology flavors (ULL and HS) are penalized".
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double ll = paper_table1()[7 + i].ptot;       // Wallace rows of Table 1
+    const double ull = paper_table3_ull()[i].ptot;
+    const double hs = paper_table4_hs()[i].ptot;
+    EXPECT_LT(ll, ull);
+    EXPECT_LT(ll, hs);
+    EXPECT_LT(ull, hs);  // additional published ordering
+  }
+}
+
+}  // namespace
+}  // namespace optpower

@@ -1,0 +1,127 @@
+#include "device/mosfet.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+MosfetParams ll_params() {
+  MosfetParams p;  // defaults approximate STM LL
+  return p;
+}
+
+TEST(Mosfet, SubthresholdSlopeIsNUt) {
+  const Mosfet m(ll_params());
+  const double nut = ll_params().n_ut();
+  // One decade of current per n*Ut*ln(10) of gate drive below threshold.
+  const double i1 = m.saturation_current(-0.2);
+  const double i2 = m.saturation_current(-0.2 + nut * std::log(10.0));
+  EXPECT_NEAR(i2 / i1, 10.0, 1e-9);
+}
+
+TEST(Mosfet, CurrentAtThresholdIsIo) {
+  const Mosfet m(ll_params());
+  EXPECT_NEAR(m.saturation_current(0.0) / ll_params().io, 1.0, 1e-12);
+}
+
+TEST(Mosfet, C1ContinuityAtMatchPoint) {
+  const Mosfet m(ll_params());
+  const double vswitch = ll_params().match_overdrive();
+  const double below = m.saturation_current(vswitch - 1e-9);
+  const double above = m.saturation_current(vswitch + 1e-9);
+  EXPECT_NEAR(below / above, 1.0, 1e-6);
+  // Slope continuity: numerical derivative from both sides agrees to ~0.1%.
+  const double h = 1e-7;
+  const double slope_below =
+      (m.saturation_current(vswitch) - m.saturation_current(vswitch - h)) / h;
+  const double slope_above =
+      (m.saturation_current(vswitch + h) - m.saturation_current(vswitch)) / h;
+  EXPECT_NEAR(slope_below / slope_above, 1.0, 1e-3);
+}
+
+TEST(Mosfet, AlphaPowerInStrongInversion) {
+  const MosfetParams p = ll_params();
+  const Mosfet m(p);
+  const double vgt = 0.8;
+  const double expected =
+      p.io * std::pow(2.718281828459045 * vgt / (p.alpha * p.n_ut()), p.alpha);
+  EXPECT_NEAR(m.saturation_current(vgt) / expected, 1.0, 1e-12);
+}
+
+TEST(Mosfet, DiblLowersThresholdWithVds) {
+  MosfetParams p = ll_params();
+  p.eta = 0.08;
+  const Mosfet m(p);
+  EXPECT_NEAR(m.threshold(0.0), p.vth0, 1e-12);
+  EXPECT_NEAR(m.threshold(1.0), p.vth0 - 0.08, 1e-12);
+  // More drain bias, more leakage.
+  EXPECT_GT(m.off_current(1.2), m.off_current(0.6));
+}
+
+TEST(Mosfet, TriodeRegionBelowSaturation) {
+  const Mosfet m(ll_params());
+  const double vgs = 1.2;
+  // Small vds: current rises roughly linearly; saturates at large vds.
+  const double i_small = m.drain_current(vgs, 0.05);
+  const double i_half = m.drain_current(vgs, 0.3);
+  const double i_sat = m.drain_current(vgs, 1.2);
+  EXPECT_LT(i_small, i_half);
+  EXPECT_LT(i_half, i_sat);
+}
+
+TEST(Mosfet, ChannelLengthModulationRaisesSaturatedCurrent) {
+  MosfetParams p = ll_params();
+  p.lambda = 0.1;
+  const Mosfet m(p);
+  EXPECT_GT(m.drain_current(1.2, 1.2), m.drain_current(1.2, 0.9));
+}
+
+TEST(Mosfet, NegativeVdsMirrorsTerminals) {
+  const Mosfet m(ll_params());
+  // Id(vgs, -vds) = -Id(vgs + vds_applied...) -- antisymmetric sign at least.
+  EXPECT_LT(m.drain_current(1.0, -0.5), 0.0);
+}
+
+TEST(Mosfet, TransconductancePositive) {
+  const Mosfet m(ll_params());
+  EXPECT_GT(m.gm(0.8, 1.0), 0.0);
+  EXPECT_GT(m.gds(0.8, 0.2), 0.0);
+}
+
+TEST(Mosfet, RejectsBadParameters) {
+  MosfetParams p = ll_params();
+  p.io = -1.0;
+  EXPECT_THROW(Mosfet{p}, InvalidArgument);
+  p = ll_params();
+  p.alpha = 2.5;
+  EXPECT_THROW(Mosfet{p}, InvalidArgument);
+  p = ll_params();
+  p.n = 0.5;
+  EXPECT_THROW(Mosfet{p}, InvalidArgument);
+}
+
+TEST(Mosfet, ComplementaryPmosCopiesMagnitudes) {
+  const MosfetParams n = ll_params();
+  const MosfetParams p = complementary_pmos(n);
+  EXPECT_EQ(p.polarity, MosPolarity::kPmos);
+  EXPECT_DOUBLE_EQ(p.io, n.io);
+  EXPECT_DOUBLE_EQ(p.vth0, n.vth0);
+}
+
+class OverdriveSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OverdriveSweep, CurrentStrictlyIncreasingInVgt) {
+  const Mosfet m(ll_params());
+  const double vgt = GetParam();
+  EXPECT_GT(m.saturation_current(vgt + 1e-4), m.saturation_current(vgt));
+}
+
+INSTANTIATE_TEST_SUITE_P(Overdrives, OverdriveSweep,
+                         ::testing::Values(-0.3, -0.1, 0.0, 0.05, 0.064, 0.1, 0.3, 0.8));
+
+}  // namespace
+}  // namespace optpower

@@ -1,0 +1,219 @@
+// Functional and structural tests of the thirteen multiplier architectures:
+// every netlist must compute exact products through the event simulator
+// (with latency discovered once and then required to be constant), and the
+// family must reproduce the paper's structural orderings.
+#include "mult/factory.h"
+
+#include <cctype>
+
+#include <gtest/gtest.h>
+
+#include "mult/array.h"
+#include "mult/sequential.h"
+#include "mult/wallace.h"
+#include "netlist/transform.h"
+#include "sim/activity.h"
+#include "sim/event_sim.h"
+#include "sta/sta.h"
+#include "util/error.h"
+#include "util/random.h"
+
+namespace optpower {
+namespace {
+
+std::vector<bool> pack_operands(std::uint64_t a, std::uint64_t b, int width) {
+  std::vector<bool> v(static_cast<std::size_t>(2 * width));
+  for (int i = 0; i < width; ++i) {
+    v[static_cast<std::size_t>(i)] = (a >> i) & 1;
+    v[static_cast<std::size_t>(width + i)] = (b >> i) & 1;
+  }
+  return v;
+}
+
+/// Streams `periods` random operand pairs through the design and checks the
+/// output stream equals the expected products at a constant latency
+/// (discovered from the first few outputs).
+void check_multiplier_stream(const GeneratedMultiplier& g, int periods, std::uint64_t seed,
+                             SimDelayMode mode = SimDelayMode::kUnit) {
+  EventSimulator sim(g.netlist, mode);
+  Pcg32 rng(seed);
+  std::vector<std::uint64_t> expected, got;
+  for (int p = 0; p < periods; ++p) {
+    const std::uint64_t a = rng.next_bits(g.width);
+    const std::uint64_t b = rng.next_bits(g.width);
+    expected.push_back(a * b);
+    sim.set_inputs(pack_operands(a, b, g.width));
+    for (int c = 0; c < g.cycles_per_result; ++c) sim.step_cycle();
+    got.push_back(sim.outputs_word());
+  }
+  int latency = -1;
+  for (int cand = 0; cand <= 8 && latency < 0; ++cand) {
+    bool ok = true;
+    for (int p = cand + 2; p < periods; ++p) {
+      if (got[static_cast<std::size_t>(p)] != expected[static_cast<std::size_t>(p - cand)]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) latency = cand;
+  }
+  ASSERT_GE(latency, 0) << g.name << ": no constant latency <= 8 periods matches the stream";
+  // Every post-warmup output must match (not just most).
+  for (int p = latency + 2; p < periods; ++p) {
+    EXPECT_EQ(got[static_cast<std::size_t>(p)], expected[static_cast<std::size_t>(p - latency)])
+        << g.name << " period " << p;
+  }
+}
+
+class AllMultipliers : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllMultipliers, ComputesExactProductsWidth8) {
+  const GeneratedMultiplier g = build_multiplier(GetParam(), 8);
+  check_multiplier_stream(g, 48, 0xabc1);
+}
+
+TEST_P(AllMultipliers, ComputesExactProductsWidth16) {
+  const GeneratedMultiplier g = build_multiplier(GetParam(), 16);
+  check_multiplier_stream(g, 24, 0xabc2);
+}
+
+TEST_P(AllMultipliers, CorrectUnderTimedDelaysToo) {
+  // Glitches must never corrupt the settled result.
+  const GeneratedMultiplier g = build_multiplier(GetParam(), 8);
+  check_multiplier_stream(g, 24, 0xabc3, SimDelayMode::kCellDepth);
+}
+
+TEST_P(AllMultipliers, NetlistVerifies) {
+  const GeneratedMultiplier g = build_multiplier(GetParam(), 16);
+  EXPECT_NO_THROW(g.netlist.verify());
+  EXPECT_GT(g.netlist.stats().num_cells, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSet, AllMultipliers,
+                         ::testing::ValuesIn(multiplier_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string s = info.param;
+                           for (char& c : s) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return s;
+                         });
+
+TEST(MultiplierFactory, RejectsUnknownName) {
+  EXPECT_THROW((void)build_multiplier("Booth"), InvalidArgument);
+}
+
+TEST(MultiplierFactory, CornerOperandsWidth16) {
+  // Zero, one, all-ones and single-bit patterns on the two fastest designs.
+  for (const char* name : {"RCA", "Wallace"}) {
+    const GeneratedMultiplier g = build_multiplier(name, 16);
+    EventSimulator sim(g.netlist, SimDelayMode::kUnit);
+    const std::uint64_t cases[][2] = {
+        {0, 0}, {0, 65535}, {1, 65535}, {65535, 65535}, {32768, 32768}, {1, 1}, {43690, 21845}};
+    for (const auto& c : cases) {
+      sim.set_inputs(pack_operands(c[0], c[1], 16));
+      sim.step_cycle();
+      EXPECT_EQ(sim.outputs_word(), c[0] * c[1]) << name << " " << c[0] << "*" << c[1];
+    }
+  }
+}
+
+// --- structural orderings from Section 4 of the paper ----------------------
+
+TEST(MultiplierStructure, WallaceShorterThanRca) {
+  const auto rca = analyze_timing(build_multiplier("RCA", 16).netlist);
+  const auto wal = analyze_timing(build_multiplier("Wallace", 16).netlist);
+  EXPECT_LT(wal.critical_path_units, 0.6 * rca.critical_path_units);
+}
+
+TEST(MultiplierStructure, PipeliningShortensLogicDepth) {
+  const double base = analyze_timing(build_multiplier("RCA", 16).netlist).critical_path_units;
+  const double h2 = analyze_timing(build_multiplier("RCA hor.pipe2", 16).netlist).critical_path_units;
+  const double h4 = analyze_timing(build_multiplier("RCA hor.pipe4", 16).netlist).critical_path_units;
+  EXPECT_LT(h2, base);
+  EXPECT_LT(h4, h2);
+  // "although not exactly divided by 2 or 4" - check it is a partial cut.
+  EXPECT_GT(h2, base / 2.0 * 0.8);
+}
+
+TEST(MultiplierStructure, DiagonalCutsDeeperThanHorizontal) {
+  // Figure 3 vs Figure 4: the diagonal cut yields a shorter per-stage path.
+  const double h2 = analyze_timing(build_multiplier("RCA hor.pipe2", 16).netlist).critical_path_units;
+  const double d2 = analyze_timing(build_multiplier("RCA diagpipe2", 16).netlist).critical_path_units;
+  EXPECT_LE(d2, h2);
+}
+
+TEST(MultiplierStructure, ParallelizationRelaxesEffectiveDepth) {
+  const auto base = build_multiplier("Wallace", 16);
+  const auto par2 = build_multiplier("Wallace parallel", 16);
+  const auto par4 = build_multiplier("Wallace par4", 16);
+  const double ld0 = effective_logic_depth(
+      analyze_timing(base.netlist).critical_path_units, base.cycles_per_result, base.ways);
+  const double ld2 = effective_logic_depth(
+      analyze_timing(par2.netlist).critical_path_units, par2.cycles_per_result, par2.ways);
+  const double ld4 = effective_logic_depth(
+      analyze_timing(par4.netlist).critical_path_units, par4.cycles_per_result, par4.ways);
+  EXPECT_LT(ld2, ld0);
+  EXPECT_LT(ld4, ld2);
+  // ... at more than double the cells.
+  EXPECT_GT(par2.netlist.stats().num_cells, 2 * base.netlist.stats().num_cells);
+}
+
+TEST(MultiplierStructure, SequentialIsSmallButEffectivelyDeep) {
+  const auto seq = build_multiplier("Sequential", 16);
+  const auto rca = build_multiplier("RCA", 16);
+  EXPECT_LT(seq.netlist.stats().num_cells, rca.netlist.stats().num_cells);
+  const double ld_seq = effective_logic_depth(
+      analyze_timing(seq.netlist).critical_path_units, seq.cycles_per_result, seq.ways);
+  const double ld_rca = effective_logic_depth(
+      analyze_timing(rca.netlist).critical_path_units, rca.cycles_per_result, rca.ways);
+  EXPECT_GT(ld_seq, 2.0 * ld_rca);
+}
+
+TEST(MultiplierActivity, DiagonalPipelineGlitchesMoreThanHorizontal) {
+  // The paper's key pipelining observation: "a diagonal pipeline, presenting
+  // a shorter logical depth than the horizontal one, was penalized due to
+  // the increased number of glitches (reflected by the increase in
+  // activity)."
+  ActivityOptions opt;
+  opt.num_vectors = 64;
+  const auto hor = measure_activity(build_multiplier("RCA hor.pipe4", 16).netlist, opt);
+  const auto diag = measure_activity(build_multiplier("RCA diagpipe4", 16).netlist, opt);
+  EXPECT_GT(diag.activity, hor.activity);
+  EXPECT_GT(diag.glitch_fraction, hor.glitch_fraction);
+}
+
+TEST(MultiplierActivity, SequentialActivityExceedsOne) {
+  // "the activity ... can be very high and even bigger than 1 in some cases".
+  ActivityOptions opt;
+  opt.num_vectors = 32;
+  opt.cycles_per_vector = 16;
+  const auto seq = measure_activity(build_multiplier("Sequential", 16).netlist, opt);
+  EXPECT_GT(seq.activity, 1.0);
+}
+
+TEST(MultiplierActivity, ParallelizationReducesActivity) {
+  ActivityOptions opt;
+  opt.num_vectors = 64;
+  const auto base = measure_activity(build_multiplier("RCA", 16).netlist, opt);
+  const auto par = measure_activity(build_multiplier("RCA parallel", 16).netlist, opt);
+  EXPECT_LT(par.activity, base.activity);
+}
+
+class WidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WidthSweep, RcaAndWallaceCorrectAcrossWidths) {
+  const int width = GetParam();
+  check_multiplier_stream(build_multiplier("RCA", width), 32, 0x11);
+  check_multiplier_stream(build_multiplier("Wallace", width), 32, 0x22);
+}
+
+TEST_P(WidthSweep, SequentialCorrectAcrossWidths) {
+  const int width = GetParam();
+  check_multiplier_stream(build_multiplier("Sequential", width), 24, 0x33);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WidthSweep, ::testing::Values(4, 8, 16));
+
+}  // namespace
+}  // namespace optpower

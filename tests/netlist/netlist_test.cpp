@@ -1,0 +1,158 @@
+#include "netlist/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.h"
+#include "netlist/cell.h"
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+TEST(CellSpec, PinCountsAndNames) {
+  EXPECT_EQ(cell_spec(CellType::kFullAdder).num_inputs, 3);
+  EXPECT_EQ(cell_spec(CellType::kFullAdder).num_outputs, 2);
+  EXPECT_EQ(cell_spec(CellType::kMux2).num_inputs, 3);
+  EXPECT_EQ(to_string(CellType::kNand2), "NAND2");
+  EXPECT_TRUE(cell_spec(CellType::kDff).is_sequential);
+  EXPECT_FALSE(cell_spec(CellType::kXor2).is_sequential);
+}
+
+TEST(CellEval, TruthTables) {
+  // Exhaustive over all input combinations for every combinational type.
+  for (std::uint8_t in = 0; in < 8; ++in) {
+    const bool a = in & 1, b = (in >> 1) & 1, c = (in >> 2) & 1;
+    EXPECT_EQ(eval_cell(CellType::kAnd2, in) & 1, a && b);
+    EXPECT_EQ(eval_cell(CellType::kNand2, in) & 1, !(a && b));
+    EXPECT_EQ(eval_cell(CellType::kOr2, in) & 1, a || b);
+    EXPECT_EQ(eval_cell(CellType::kNor2, in) & 1, !(a || b));
+    EXPECT_EQ(eval_cell(CellType::kXor2, in) & 1, a != b);
+    EXPECT_EQ(eval_cell(CellType::kXnor2, in) & 1, a == b);
+    EXPECT_EQ(eval_cell(CellType::kInv, in) & 1, !a);
+    EXPECT_EQ(eval_cell(CellType::kMux2, in) & 1, c ? b : a);
+    const std::uint8_t fa = eval_cell(CellType::kFullAdder, in);
+    EXPECT_EQ((fa & 1) + ((fa >> 1) & 1) * 2, static_cast<int>(a) + b + c);
+    const std::uint8_t ha = eval_cell(CellType::kHalfAdder, in & 3);
+    EXPECT_EQ((ha & 1) + ((ha >> 1) & 1) * 2, static_cast<int>(a) + b);
+  }
+}
+
+TEST(Netlist, BuildsAndVerifiesSimpleCircuit) {
+  Netlist nl("toy");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId y = nl.add_gate(CellType::kNand2, {a, b});
+  nl.add_output("y", y);
+  EXPECT_NO_THROW(nl.verify());
+  EXPECT_EQ(nl.num_cells(), 1u);
+  EXPECT_EQ(nl.driver_of(y), 0u);
+  EXPECT_EQ(nl.driver_of(a), Netlist::kNoCell);
+}
+
+TEST(Netlist, RejectsWrongPinCount) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  EXPECT_THROW((void)nl.add_cell(CellType::kNand2, {a}), InvalidArgument);
+  EXPECT_THROW((void)nl.add_cell(CellType::kInv, {a, a}), InvalidArgument);
+}
+
+TEST(Netlist, RejectsUnknownNets) {
+  Netlist nl;
+  EXPECT_THROW((void)nl.add_cell(CellType::kInv, {42}), InvalidArgument);
+  EXPECT_THROW(nl.add_output("y", 42), InvalidArgument);
+}
+
+TEST(Netlist, ConstCellsDeduplicated) {
+  Netlist nl;
+  EXPECT_EQ(nl.const0(), nl.const0());
+  EXPECT_EQ(nl.const1(), nl.const1());
+  EXPECT_NE(nl.const0(), nl.const1());
+}
+
+TEST(Netlist, DetectsCombinationalCycle) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId x = nl.add_gate(CellType::kAnd2, {a, a});
+  const NetId y = nl.add_gate(CellType::kOr2, {x, a});
+  // Create the cycle: AND reads the OR output.
+  nl.rewire_input(nl.driver_of(x), 1, y);
+  EXPECT_THROW(nl.verify(), NetlistError);
+}
+
+TEST(Netlist, SequentialFeedbackIsLegal) {
+  Netlist nl;
+  const NetId q = nl.add_gate(CellType::kDff, {nl.const0()});
+  const NetId nq = nl.add_gate(CellType::kInv, {q});
+  nl.rewire_input(nl.driver_of(q), 0, nq);  // toggle flop
+  nl.add_output("q", q);
+  EXPECT_NO_THROW(nl.verify());
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId x = nl.add_gate(CellType::kInv, {a});
+  const NetId y = nl.add_gate(CellType::kInv, {x});
+  nl.add_output("y", y);
+  const auto order = nl.topo_order();
+  // INV(a) must precede INV(x).
+  std::size_t pos_first = 0, pos_second = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == nl.driver_of(x)) pos_first = i;
+    if (order[i] == nl.driver_of(y)) pos_second = i;
+  }
+  EXPECT_LT(pos_first, pos_second);
+}
+
+TEST(Netlist, StatsCountCellsAndArea) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  (void)nl.add_cell(CellType::kFullAdder, {a, b, nl.const0()});
+  (void)nl.add_gate(CellType::kDff, {a});
+  const NetlistStats s = nl.stats();
+  EXPECT_EQ(s.num_cells, 2u);  // tie cell excluded
+  EXPECT_EQ(s.num_sequential, 1u);
+  EXPECT_NEAR(s.area_um2, cell_spec(CellType::kFullAdder).area_um2 +
+                              cell_spec(CellType::kDff).area_um2, 1e-9);
+  EXPECT_GT(s.avg_cell_cap_f, 0.0);
+}
+
+TEST(Builder, ConstantBusEncodesValue) {
+  Netlist nl;
+  const Bus bus = constant_bus(nl, 0b1011, 4);
+  EXPECT_EQ(bus[0], nl.const1());
+  EXPECT_EQ(bus[1], nl.const1());
+  EXPECT_EQ(bus[2], nl.const0());
+  EXPECT_EQ(bus[3], nl.const1());
+}
+
+TEST(Builder, ResizeBusExtendsAndTruncates) {
+  Netlist nl;
+  const Bus bus = add_input_bus(nl, "x", 3);
+  EXPECT_EQ(resize_bus(nl, bus, 5).size(), 5u);
+  EXPECT_EQ(resize_bus(nl, bus, 2).size(), 2u);
+  EXPECT_EQ(resize_bus(nl, bus, 5)[4], nl.const0());
+}
+
+TEST(Builder, RippleAdderCellCount) {
+  Netlist nl;
+  const Bus a = add_input_bus(nl, "a", 8);
+  const Bus b = add_input_bus(nl, "b", 8);
+  const std::size_t before = nl.num_cells();
+  (void)ripple_adder(nl, a, b);
+  // HA for bit 0 + 7 FAs.
+  EXPECT_EQ(nl.num_cells() - before, 8u);
+}
+
+TEST(Builder, RejectsWidthMismatches) {
+  Netlist nl;
+  const Bus a = add_input_bus(nl, "a", 4);
+  const Bus b = add_input_bus(nl, "b", 3);
+  EXPECT_THROW((void)ripple_adder(nl, a, b), InvalidArgument);
+  EXPECT_THROW((void)mux_bus(nl, a[0], a, b), InvalidArgument);
+  EXPECT_THROW((void)carry_save_row(nl, a, a, b), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace optpower

@@ -1,0 +1,107 @@
+#include "numeric/fit.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+TEST(LineLsq, ExactLineRecovered) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y = {1.0, 3.0, 5.0, 7.0};
+  const LineFit fit = fit_line_least_squares(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.max_abs_error, 0.0, 1e-12);
+}
+
+TEST(LineLsq, NoisyDataHasResidualStats) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y = {0.1, 0.9, 2.1, 2.9};
+  const LineFit fit = fit_line_least_squares(x, y);
+  EXPECT_NEAR(fit.slope, 1.0, 0.1);
+  EXPECT_GT(fit.max_abs_error, 0.0);
+  EXPECT_GE(fit.max_abs_error, fit.rms_error);
+}
+
+TEST(LineLsq, ThrowsOnDegenerateX) {
+  EXPECT_THROW((void)fit_line_least_squares({1.0, 1.0}, {0.0, 5.0}), NumericalError);
+  EXPECT_THROW((void)fit_line_least_squares({1.0}, {0.0}), InvalidArgument);
+}
+
+TEST(LineLsqFunction, SamplesUniformly) {
+  const LineFit fit = fit_line_least_squares([](double x) { return 3.0 * x - 2.0; }, 0.0, 1.0);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, -2.0, 1e-9);
+}
+
+TEST(LineMinimax, EquioscillatesOnSqrt) {
+  // Minimax line for sqrt(x) on [0.25, 1]: errors at the ends and at the
+  // parallel-tangent point must be equal in magnitude, alternating sign.
+  const auto f = [](double x) { return std::sqrt(x); };
+  const LineFit fit = fit_line_minimax(f, 0.25, 1.0);
+  const double e_lo = f(0.25) - fit(0.25);
+  const double e_hi = f(1.0) - fit(1.0);
+  EXPECT_NEAR(e_lo, e_hi, 1e-6);                      // endpoint errors equal
+  EXPECT_NEAR(std::fabs(e_lo), fit.max_abs_error, 1e-6);  // and extremal
+}
+
+TEST(LineMinimax, BeatsLeastSquaresOnMaxError) {
+  const auto f = [](double x) { return std::pow(x, 1.0 / 1.86); };
+  const LineFit lsq = fit_line_least_squares(f, 0.3, 1.0);
+  const LineFit mmx = fit_line_minimax(f, 0.3, 1.0);
+  EXPECT_LT(mmx.max_abs_error, lsq.max_abs_error);
+}
+
+TEST(Polynomial, RecoversQuadratic) {
+  std::vector<double> x, y;
+  for (int i = 0; i <= 10; ++i) {
+    x.push_back(i * 0.5);
+    y.push_back(2.0 - x.back() + 0.5 * x.back() * x.back());
+  }
+  const auto c = fit_polynomial(x, y, 2);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_NEAR(c[0], 2.0, 1e-8);
+  EXPECT_NEAR(c[1], -1.0, 1e-8);
+  EXPECT_NEAR(c[2], 0.5, 1e-8);
+  EXPECT_NEAR(eval_polynomial(c, 2.0), 2.0 - 2.0 + 2.0, 1e-8);
+}
+
+TEST(Polynomial, RejectsUnderdetermined) {
+  EXPECT_THROW((void)fit_polynomial({1.0, 2.0}, {1.0, 2.0}, 3), InvalidArgument);
+}
+
+TEST(PowerLaw, RecoversExponent) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(0.1 * i);
+    y.push_back(2.5 * std::pow(x.back(), 1.86));
+  }
+  const PowerLawFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.p, 1.86, 1e-9);
+  EXPECT_NEAR(fit.k, 2.5, 1e-9);
+  EXPECT_NEAR(fit(2.0), 2.5 * std::pow(2.0, 1.86), 1e-6);
+}
+
+TEST(PowerLaw, RejectsNonPositive) {
+  EXPECT_THROW((void)fit_power_law({-1.0, 1.0}, {1.0, 1.0}), InvalidArgument);
+}
+
+TEST(Exponential, RecoversSubthresholdSlope) {
+  // I = Io * exp(V / (n*Ut)), the shape extract_subthreshold relies on.
+  const double n_ut = 1.33 * 0.025852;
+  std::vector<double> v, i;
+  for (int k = 0; k <= 10; ++k) {
+    v.push_back(0.02 * k);
+    i.push_back(1e-9 * std::exp(v.back() / n_ut));
+  }
+  const ExponentialFit fit = fit_exponential(v, i);
+  EXPECT_NEAR(fit.scale, n_ut, 1e-9);
+  EXPECT_NEAR(fit.y0, 1e-9, 1e-15);
+}
+
+}  // namespace
+}  // namespace optpower

@@ -1,0 +1,70 @@
+#include "numeric/integrate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+TEST(Rk4, ExponentialDecayMatchesAnalytic) {
+  const OdeFunction f = [](double, const std::vector<double>& y) {
+    return std::vector<double>{-2.0 * y[0]};
+  };
+  const auto samples = integrate_rk4(f, 0.0, 1.0, {1.0}, 100);
+  EXPECT_NEAR(samples.back().y[0], std::exp(-2.0), 1e-8);
+  EXPECT_EQ(samples.size(), 101u);
+}
+
+TEST(Rk4, HarmonicOscillatorConservesEnergyApproximately) {
+  const OdeFunction f = [](double, const std::vector<double>& y) {
+    return std::vector<double>{y[1], -y[0]};
+  };
+  const auto samples = integrate_rk4(f, 0.0, 2.0 * M_PI, {1.0, 0.0}, 2000);
+  EXPECT_NEAR(samples.back().y[0], 1.0, 1e-9);
+  EXPECT_NEAR(samples.back().y[1], 0.0, 1e-9);
+}
+
+TEST(Rkf45, AdaptiveMatchesAnalytic) {
+  const OdeFunction f = [](double t, const std::vector<double>& y) {
+    return std::vector<double>{y[0] * std::cos(t)};
+  };
+  const auto samples = integrate_rkf45(f, 0.0, 3.0, {1.0}, {.abs_tol = 1e-10, .rel_tol = 1e-10});
+  EXPECT_NEAR(samples.back().y[0], std::exp(std::sin(3.0)), 1e-7);
+}
+
+TEST(Rkf45, StiffnessHandledByStepShrink) {
+  // Moderately stiff decay: lambda = -500.
+  const OdeFunction f = [](double, const std::vector<double>& y) {
+    return std::vector<double>{-500.0 * y[0]};
+  };
+  const auto samples = integrate_rkf45(f, 0.0, 0.1, {1.0});
+  EXPECT_NEAR(samples.back().y[0], std::exp(-50.0), 1e-9);
+}
+
+TEST(Rk4, RejectsBadArguments) {
+  const OdeFunction f = [](double, const std::vector<double>& y) { return y; };
+  EXPECT_THROW((void)integrate_rk4(f, 0.0, 1.0, {1.0}, 0), InvalidArgument);
+  EXPECT_THROW((void)integrate_rk4(f, 1.0, 0.0, {1.0}, 10), InvalidArgument);
+}
+
+TEST(Simpson, ExactForCubics) {
+  const auto f = [](double x) { return x * x * x - 2.0 * x + 1.0; };
+  // Integral over [0, 2]: 4 - 4 + 2 = 2.
+  EXPECT_NEAR(integrate_simpson(f, 0.0, 2.0, 2), 2.0, 1e-12);
+}
+
+TEST(Simpson, ConvergesOnTranscendental) {
+  EXPECT_NEAR(integrate_simpson([](double x) { return std::exp(-x * x); }, -5.0, 5.0, 512),
+              std::sqrt(M_PI), 1e-8);
+}
+
+TEST(Simpson, OddIntervalCountRoundedUp) {
+  // n = 3 is promoted to 4 internally; result must still be exact for x^2.
+  EXPECT_NEAR(integrate_simpson([](double x) { return x * x; }, 0.0, 3.0, 3), 9.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace optpower

@@ -1,0 +1,86 @@
+#include "numeric/levenberg_marquardt.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/random.h"
+
+namespace optpower {
+namespace {
+
+TEST(LevenbergMarquardt, FitsExponentialDecay) {
+  // y = 3.0 * exp(-1.5 t), fit (amplitude, rate).
+  std::vector<double> t, y;
+  for (int i = 0; i <= 20; ++i) {
+    t.push_back(0.1 * i);
+    y.push_back(3.0 * std::exp(-1.5 * t.back()));
+  }
+  const auto residuals = [&](const std::vector<double>& p) {
+    std::vector<double> r(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) r[i] = p[0] * std::exp(-p[1] * t[i]) - y[i];
+    return r;
+  };
+  const auto fit = levenberg_marquardt(residuals, {1.0, 1.0});
+  EXPECT_NEAR(fit.params[0], 3.0, 1e-6);
+  EXPECT_NEAR(fit.params[1], 1.5, 1e-6);
+  EXPECT_LT(fit.chi2, 1e-12);
+}
+
+TEST(LevenbergMarquardt, FitsAlphaPowerDelayShape) {
+  // Same structural form as the technology extraction: t(v) = z*v/(k*(v-vt)^a).
+  const double z_true = 5.5e-12, a_true = 1.86, vt = 0.354, k = 1e-2;
+  std::vector<double> v, d;
+  for (int i = 0; i <= 12; ++i) {
+    v.push_back(0.6 + 0.05 * i);
+    d.push_back(z_true * v.back() / (k * std::pow(v.back() - vt, a_true)));
+  }
+  const auto residuals = [&](const std::vector<double>& p) {
+    std::vector<double> r(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const double model = p[0] * v[i] / (k * std::pow(v[i] - vt, p[1]));
+      r[i] = std::log(model) - std::log(d[i]);
+    }
+    return r;
+  };
+  const auto fit = levenberg_marquardt(residuals, {1e-11, 1.5});
+  EXPECT_NEAR(fit.params[0] / z_true, 1.0, 1e-5);
+  EXPECT_NEAR(fit.params[1], a_true, 1e-5);
+}
+
+TEST(LevenbergMarquardt, NoisyDataStillConvergesNearTruth) {
+  Pcg32 rng(5);
+  std::vector<double> t, y;
+  for (int i = 0; i <= 40; ++i) {
+    t.push_back(0.05 * i);
+    y.push_back(2.0 * std::exp(-0.8 * t.back()) + 0.01 * (rng.next_double() - 0.5));
+  }
+  const auto residuals = [&](const std::vector<double>& p) {
+    std::vector<double> r(t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) r[i] = p[0] * std::exp(-p[1] * t[i]) - y[i];
+    return r;
+  };
+  const auto fit = levenberg_marquardt(residuals, {1.0, 1.0});
+  EXPECT_NEAR(fit.params[0], 2.0, 0.05);
+  EXPECT_NEAR(fit.params[1], 0.8, 0.05);
+}
+
+TEST(LevenbergMarquardt, RejectsEmptyParams) {
+  EXPECT_THROW(
+      (void)levenberg_marquardt([](const std::vector<double>&) { return std::vector<double>{0.0}; },
+                                {}),
+      InvalidArgument);
+}
+
+TEST(LevenbergMarquardt, AlreadyOptimalStopsImmediately) {
+  const auto residuals = [](const std::vector<double>& p) {
+    return std::vector<double>{p[0] - 1.0};
+  };
+  const auto fit = levenberg_marquardt(residuals, {1.0});
+  EXPECT_TRUE(fit.converged);
+  EXPECT_LT(fit.chi2, 1e-20);
+}
+
+}  // namespace
+}  // namespace optpower

@@ -1,0 +1,132 @@
+#include "numeric/linalg.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/random.h"
+
+namespace optpower {
+namespace {
+
+TEST(Matrix, IdentityAndMultiply) {
+  const Matrix id = Matrix::identity(3);
+  Matrix a(3, 3);
+  int k = 1;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = k++;
+  const Matrix prod = a * id;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(prod(r, c), a(r, c));
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  const Matrix tt = t.transposed();
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(tt(r, c), a(r, c));
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix a(2, 2);
+  EXPECT_THROW((void)a.at(2, 0), InvalidArgument);
+  EXPECT_THROW((void)a.at(0, 2), InvalidArgument);
+}
+
+TEST(Matrix, VectorMultiply) {
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 0;
+  a(1, 0) = 1; a(1, 1) = 3;
+  const std::vector<double> v = a * std::vector<double>{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 3; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 2;
+  const auto x = solve_linear(a, {9.0, 8.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, PivotsOnZeroDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 0;
+  const auto x = solve_linear(a, {5.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 5.0, 1e-12);
+}
+
+TEST(Lu, ThrowsOnSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 4;
+  EXPECT_THROW(LuDecomposition{a}, NumericalError);
+}
+
+TEST(Lu, DeterminantMatchesClosedForm) {
+  Matrix a(2, 2);
+  a(0, 0) = 4; a(0, 1) = 7;
+  a(1, 0) = 2; a(1, 1) = 6;
+  EXPECT_NEAR(LuDecomposition(a).determinant(), 10.0, 1e-12);
+}
+
+TEST(Lu, InverseTimesOriginalIsIdentity) {
+  Pcg32 rng(3);
+  Matrix a(4, 4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = rng.next_in(-1.0, 1.0);
+  for (std::size_t i = 0; i < 4; ++i) a(i, i) += 4.0;  // diagonally dominant
+  const Matrix inv = LuDecomposition(a).inverse();
+  const Matrix prod = a * inv;
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-10);
+    }
+}
+
+TEST(LeastSquares, RecoverLineFromOverdeterminedSystem) {
+  // y = 2x + 1 sampled at 5 points, exactly consistent.
+  Matrix a(5, 2);
+  std::vector<double> b(5);
+  for (int i = 0; i < 5; ++i) {
+    a(static_cast<std::size_t>(i), 0) = 1.0;
+    a(static_cast<std::size_t>(i), 1) = i;
+    b[static_cast<std::size_t>(i)] = 2.0 * i + 1.0;
+  }
+  const auto x = solve_least_squares(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 2.0, 1e-10);
+}
+
+class RandomSolveSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSolveSweep, SolveThenMultiplyRecoversRhs) {
+  const int n = GetParam();
+  Pcg32 rng(static_cast<std::uint64_t>(n));
+  Matrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) a(r, c) = rng.next_in(-1.0, 1.0);
+    a(r, r) += static_cast<double>(n);
+    b[r] = rng.next_in(-10.0, 10.0);
+  }
+  const auto x = solve_linear(a, b);
+  const auto back = a * x;
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(back[i], b[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomSolveSweep, ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace optpower

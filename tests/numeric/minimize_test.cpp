@@ -1,0 +1,107 @@
+#include "numeric/minimize.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+TEST(GoldenSection, QuadraticMinimum) {
+  const auto f = [](double x) { return (x - 1.5) * (x - 1.5) + 2.0; };
+  const MinimizeResult r = golden_section(f, 0.0, 4.0);
+  EXPECT_NEAR(r.x, 1.5, 1e-7);
+  EXPECT_NEAR(r.f, 2.0, 1e-12);
+}
+
+TEST(BrentMinimize, QuadraticMinimum) {
+  const auto f = [](double x) { return 3.0 * (x + 0.25) * (x + 0.25) - 1.0; };
+  const MinimizeResult r = brent_minimize(f, -2.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, -0.25, 1e-8);
+}
+
+TEST(BrentMinimize, AsymmetricValley) {
+  // Shape similar to Ptot(Vdd): x^2 + exponential wall on the left.
+  const auto f = [](double x) { return x * x + std::exp(-8.0 * x); };
+  const MinimizeResult r = brent_minimize(f, 0.01, 3.0);
+  // Stationary point: 2x = 8 exp(-8x); solves to x ~ 0.316924.
+  EXPECT_NEAR(r.x, 0.3169236, 1e-5);
+}
+
+TEST(BrentMinimize, FewerEvaluationsThanGolden) {
+  int calls_brent = 0, calls_golden = 0;
+  const auto fb = [&](double x) { ++calls_brent; return std::pow(x - 0.7, 4.0); };
+  const auto fg = [&](double x) { ++calls_golden; return std::pow(x - 0.7, 4.0); };
+  (void)brent_minimize(fb, 0.0, 2.0, {.x_tol = 1e-8});
+  (void)golden_section(fg, 0.0, 2.0, {.x_tol = 1e-8});
+  EXPECT_LT(calls_brent, calls_golden);
+}
+
+TEST(ScanThenRefine, HandlesInfeasibleRegions) {
+  // +inf plateau left of 1.0 (mimics timing-infeasible supplies).
+  const auto f = [](double x) {
+    if (x < 1.0) return std::numeric_limits<double>::infinity();
+    return (x - 1.7) * (x - 1.7);
+  };
+  const MinimizeResult r = scan_then_refine(f, 0.0, 3.0, 101);
+  EXPECT_NEAR(r.x, 1.7, 1e-6);
+}
+
+TEST(ScanThenRefine, ThrowsWhenEverythingInfeasible) {
+  const auto f = [](double) { return std::numeric_limits<double>::infinity(); };
+  EXPECT_THROW((void)scan_then_refine(f, 0.0, 1.0, 11), NumericalError);
+}
+
+TEST(ScanThenRefine, PicksGlobalAmongTwoValleys) {
+  // Two minima; the deeper one is at x = 2.5 (value ~ -1), shallower at 0.5.
+  const auto f = [](double x) {
+    return -std::exp(-10.0 * (x - 0.5) * (x - 0.5)) * 0.6 -
+           std::exp(-10.0 * (x - 2.5) * (x - 2.5));
+  };
+  const MinimizeResult r = scan_then_refine(f, 0.0, 3.0, 301);
+  EXPECT_NEAR(r.x, 2.5, 1e-3);
+}
+
+TEST(GridMinimize2d, FindsMinimumOfBowl) {
+  const auto f = [](double x, double y) { return (x - 1.0) * (x - 1.0) + (y + 2.0) * (y + 2.0); };
+  const GridMinimum g = grid_minimize_2d(f, -5.0, 5.0, 101, -5.0, 5.0, 101);
+  EXPECT_NEAR(g.x, 1.0, 0.1);
+  EXPECT_NEAR(g.y, -2.0, 0.1);
+}
+
+TEST(GridMinimize2d, SkipsInfeasibleCells) {
+  const auto f = [](double x, double y) {
+    if (x + y < 1.0) return std::numeric_limits<double>::infinity();  // constraint
+    return x * x + y * y;
+  };
+  const GridMinimum g = grid_minimize_2d(f, 0.0, 2.0, 201, 0.0, 2.0, 201);
+  // Constrained optimum of x^2+y^2 s.t. x+y >= 1 is x = y = 0.5.
+  EXPECT_NEAR(g.x, 0.5, 0.02);
+  EXPECT_NEAR(g.y, 0.5, 0.02);
+}
+
+TEST(GridMinimize2d, ThrowsWhenAllInfeasible) {
+  const auto f = [](double, double) { return std::numeric_limits<double>::infinity(); };
+  EXPECT_THROW((void)grid_minimize_2d(f, 0.0, 1.0, 5, 0.0, 1.0, 5), NumericalError);
+}
+
+class UnimodalSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(UnimodalSweep, GoldenAndBrentAgree) {
+  const double center = GetParam();
+  const auto f = [center](double x) { return std::cosh(x - center); };
+  const MinimizeResult g = golden_section(f, center - 3.0, center + 4.0);
+  const MinimizeResult b = brent_minimize(f, center - 3.0, center + 4.0);
+  EXPECT_NEAR(g.x, center, 1e-6);
+  EXPECT_NEAR(b.x, center, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Centers, UnimodalSweep,
+                         ::testing::Values(-2.0, -0.3, 0.0, 0.7, 1.9, 5.5));
+
+}  // namespace
+}  // namespace optpower

@@ -1,0 +1,77 @@
+#include "numeric/nelder_mead.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+TEST(NelderMead, MinimizesSphere) {
+  const auto f = [](const std::vector<double>& x) {
+    double s = 0.0;
+    for (const double v : x) s += (v - 1.0) * (v - 1.0);
+    return s;
+  };
+  const NelderMeadResult r = nelder_mead(f, {5.0, -3.0, 0.0});
+  EXPECT_TRUE(r.converged);
+  for (const double v : r.x) EXPECT_NEAR(v, 1.0, 1e-4);
+}
+
+TEST(NelderMead, MinimizesRosenbrock2d) {
+  const auto f = [](const std::vector<double>& x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  const NelderMeadResult r = nelder_mead(f, {-1.2, 1.0}, {.max_iterations = 5000});
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, AvoidsInfeasiblePlateau) {
+  const auto f = [](const std::vector<double>& x) {
+    if (x[0] < 0.0) return std::numeric_limits<double>::infinity();
+    return (x[0] - 2.0) * (x[0] - 2.0);
+  };
+  const NelderMeadResult r = nelder_mead(f, {0.5});
+  EXPECT_NEAR(r.x[0], 2.0, 1e-4);
+}
+
+TEST(NelderMead, RejectsEmptyStart) {
+  EXPECT_THROW((void)nelder_mead([](const std::vector<double>&) { return 0.0; }, {}),
+               InvalidArgument);
+}
+
+TEST(NelderMead, HandlesZeroInitialComponent) {
+  const auto f = [](const std::vector<double>& x) { return x[0] * x[0] + x[1] * x[1]; };
+  const NelderMeadResult r = nelder_mead(f, {0.0, 0.0});
+  EXPECT_NEAR(r.f, 0.0, 1e-8);
+}
+
+class QuadraticDims : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuadraticDims, ConvergesInAnyDimension) {
+  const int dims = GetParam();
+  const auto f = [](const std::vector<double>& x) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double target = static_cast<double>(i);
+      s += (x[i] - target) * (x[i] - target) * (1.0 + static_cast<double>(i));
+    }
+    return s;
+  };
+  std::vector<double> x0(static_cast<std::size_t>(dims), 10.0);
+  const NelderMeadResult r = nelder_mead(f, x0, {.max_iterations = 20000});
+  for (std::size_t i = 0; i < r.x.size(); ++i) {
+    EXPECT_NEAR(r.x[i], static_cast<double>(i), 5e-3) << "dim " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, QuadraticDims, ::testing::Values(1, 2, 3, 4, 6));
+
+}  // namespace
+}  // namespace optpower

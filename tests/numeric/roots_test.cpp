@@ -1,0 +1,110 @@
+#include "numeric/roots.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+TEST(Bisect, FindsSimpleRoot) {
+  const auto f = [](double x) { return x * x - 2.0; };
+  const RootResult r = bisect(f, 0.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Bisect, ExactEndpointRoot) {
+  const auto f = [](double x) { return x - 1.0; };
+  const RootResult r = bisect(f, 1.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.x, 1.0);
+}
+
+TEST(Bisect, ThrowsWithoutBracket) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_THROW((void)bisect(f, -1.0, 1.0), NumericalError);
+}
+
+TEST(Bisect, ThrowsOnInvertedInterval) {
+  const auto f = [](double x) { return x; };
+  EXPECT_THROW((void)bisect(f, 2.0, 1.0), InvalidArgument);
+}
+
+TEST(BrentRoot, FindsSimpleRoot) {
+  const auto f = [](double x) { return std::cos(x) - x; };
+  const RootResult r = brent_root(f, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.7390851332151607, 1e-10);
+}
+
+TEST(BrentRoot, BeatsBisectionOnIterations) {
+  const auto f = [](double x) { return std::exp(x) - 5.0; };
+  const RootResult brent = brent_root(f, 0.0, 5.0);
+  const RootResult bisected = bisect(f, 0.0, 5.0);
+  EXPECT_TRUE(brent.converged);
+  EXPECT_LT(brent.iterations, bisected.iterations);
+  EXPECT_NEAR(brent.x, std::log(5.0), 1e-10);
+}
+
+TEST(BrentRoot, SteepExponentialRoot) {
+  // The kind of function the timing-constraint inversion produces.
+  const auto f = [](double x) { return std::exp(20.0 * x) - 1000.0; };
+  const RootResult r = brent_root(f, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::log(1000.0) / 20.0, 1e-9);
+}
+
+TEST(BrentRoot, ThrowsWithoutBracket) {
+  const auto f = [](double x) { return x * x + 0.5; };
+  EXPECT_THROW((void)brent_root(f, -1.0, 1.0), NumericalError);
+}
+
+TEST(NewtonRoot, ConvergesFromInteriorGuess) {
+  const auto f = [](double x) { return x * x * x - 8.0; };
+  const RootResult r = newton_root(f, 1.0, 0.0, 5.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 2.0, 1e-8);
+}
+
+TEST(NewtonRoot, SurvivesFlatRegionViaBisectionFallback) {
+  const auto f = [](double x) { return std::tanh(10.0 * (x - 0.7)); };
+  const RootResult r = newton_root(f, 0.01, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.7, 1e-6);
+}
+
+TEST(ExpandBracket, GrowsUntilSignChange) {
+  const auto f = [](double x) { return x - 100.0; };
+  double lo = 0.0, hi = 1.0;
+  EXPECT_TRUE(expand_bracket(f, lo, hi));
+  EXPECT_LT(f(lo) * f(hi), 0.0);
+}
+
+TEST(ExpandBracket, FailsWhenNoRootExists) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  double lo = -1.0, hi = 1.0;
+  EXPECT_FALSE(expand_bracket(f, lo, hi, 8));
+}
+
+class RootFinderAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(RootFinderAgreement, AllMethodsAgreeOnShiftedCubic) {
+  const double shift = GetParam();
+  const auto f = [shift](double x) { return x * x * x - shift; };
+  const double expected = std::cbrt(shift);
+  const RootResult b = bisect(f, 0.0, 10.0);
+  const RootResult br = brent_root(f, 0.0, 10.0);
+  const RootResult nw = newton_root(f, 5.0, 0.0, 10.0);
+  EXPECT_NEAR(b.x, expected, 1e-8);
+  EXPECT_NEAR(br.x, expected, 1e-8);
+  EXPECT_NEAR(nw.x, expected, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShiftSweep, RootFinderAgreement,
+                         ::testing::Values(0.5, 1.0, 2.0, 10.0, 123.456, 900.0));
+
+}  // namespace
+}  // namespace optpower

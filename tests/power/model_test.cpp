@@ -1,0 +1,177 @@
+#include "power/model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "arch/paper_data.h"
+#include "tech/stm_cmos09.h"
+#include "util/constants.h"
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+ArchitectureParams rca_arch() {
+  ArchitectureParams a;
+  a.name = "RCA";
+  a.n_cells = 608;
+  a.activity = 0.5056;
+  a.logic_depth = 61;
+  a.cell_cap = 70e-15;
+  return a;
+}
+
+TEST(PowerModel, DynamicPowerMatchesEq1) {
+  const PowerModel m(stm_cmos09_ll(), rca_arch());
+  const double vdd = 0.5, f = 31.25e6;
+  const double expected = 608 * 0.5056 * 70e-15 * vdd * vdd * f;
+  EXPECT_DOUBLE_EQ(m.dynamic_power(vdd, f), expected);
+}
+
+TEST(PowerModel, StaticPowerMatchesEq1) {
+  const Technology ll = stm_cmos09_ll();
+  const PowerModel m(ll, rca_arch());
+  const double vdd = 0.5, vth = 0.25;
+  const double expected = 608 * vdd * ll.io * std::exp(-vth / ll.n_ut());
+  EXPECT_DOUBLE_EQ(m.static_power(vdd, vth), expected);
+}
+
+TEST(PowerModel, TotalIsSumOfParts) {
+  const PowerModel m(stm_cmos09_ll(), rca_arch());
+  const double f = 31.25e6;
+  EXPECT_DOUBLE_EQ(m.total_power(0.6, 0.2, f),
+                   m.dynamic_power(0.6, f) + m.static_power(0.6, 0.2));
+}
+
+TEST(PowerModel, StaticPowerExponentialInVth) {
+  const Technology ll = stm_cmos09_ll();
+  const PowerModel m(ll, rca_arch());
+  // Lowering vth by one n*Ut*ln(10) decade multiplies leakage by 10.
+  const double decade = ll.n_ut() * std::log(10.0);
+  EXPECT_NEAR(m.static_power(0.5, 0.2 - decade) / m.static_power(0.5, 0.2), 10.0, 1e-9);
+}
+
+TEST(PowerModel, OnCurrentMatchesAlphaPowerLaw) {
+  const Technology ll = stm_cmos09_ll();
+  const PowerModel m(ll, rca_arch());
+  const double vdd = 0.478, vth = 0.213;
+  const double vgt = vdd - vth;
+  const double expected =
+      ll.io * std::pow(kEuler * vgt / (ll.alpha * ll.n_ut()), ll.alpha);
+  EXPECT_NEAR(m.on_current(vdd, vth) / expected, 1.0, 1e-12);
+}
+
+TEST(PowerModel, AlphaPowerIsZeroBelowThreshold) {
+  const PowerModel m(stm_cmos09_ll(), rca_arch(), OnCurrentModel::kAlphaPower);
+  EXPECT_EQ(m.on_current(0.3, 0.35), 0.0);
+  EXPECT_EQ(m.max_frequency(0.3, 0.35), 0.0);
+}
+
+TEST(PowerModel, C1BlendContinuousAtBranchSwitch) {
+  const Technology ll = stm_cmos09_ll();
+  const PowerModel m(ll, rca_arch(), OnCurrentModel::kC1Blended);
+  const double vswitch = ll.alpha * ll.n_ut();
+  const double vth = 0.3;
+  const double below = m.on_current(vth + vswitch - 1e-9, vth);
+  const double above = m.on_current(vth + vswitch + 1e-9, vth);
+  EXPECT_NEAR(below / above, 1.0, 1e-6);
+  // Value at the switch equals Io * e^alpha by construction.
+  EXPECT_NEAR(m.on_current(vth + vswitch, vth) / (ll.io * std::exp(ll.alpha)), 1.0, 1e-12);
+}
+
+TEST(PowerModel, GateDelayMatchesEq4) {
+  const Technology ll = stm_cmos09_ll();
+  const PowerModel m(ll, rca_arch());
+  const double vdd = 0.6, vth = 0.25;
+  EXPECT_NEAR(m.gate_delay(vdd, vth), ll.zeta * vdd / m.on_current(vdd, vth), 1e-25);
+  EXPECT_NEAR(m.critical_path_delay(vdd, vth), 61.0 * m.gate_delay(vdd, vth), 1e-20);
+}
+
+TEST(PowerModel, ChiMatchesEq6) {
+  const Technology ll = stm_cmos09_ll();
+  const PowerModel m(ll, rca_arch());
+  const double f = kPaperFrequency;
+  const double expected = (ll.alpha * ll.n_ut() / kEuler) *
+                          std::pow(ll.zeta * 61.0 * f / ll.io, 1.0 / ll.alpha);
+  EXPECT_NEAR(m.chi(f) / expected, 1.0, 1e-12);
+}
+
+TEST(PowerModel, ConstraintReproducesEq5ClosedForm) {
+  const Technology ll = stm_cmos09_ll();
+  const PowerModel m(ll, rca_arch());
+  const double f = kPaperFrequency;
+  for (double vdd = 0.3; vdd <= 1.2; vdd += 0.1) {
+    const double expected = vdd - m.chi(f) * std::pow(vdd, 1.0 / ll.alpha);
+    EXPECT_NEAR(m.vth_on_constraint(vdd, f), expected, 1e-12) << "vdd=" << vdd;
+  }
+}
+
+TEST(PowerModel, ConstraintExactlyMeetsFrequency) {
+  const PowerModel m(stm_cmos09_ll(), rca_arch());
+  const double f = kPaperFrequency;
+  for (double vdd = 0.35; vdd <= 1.2; vdd += 0.05) {
+    const double vth = m.vth_on_constraint(vdd, f);
+    EXPECT_NEAR(m.max_frequency(vdd, vth) / f, 1.0, 1e-9) << "vdd=" << vdd;
+  }
+}
+
+TEST(PowerModel, VddOnConstraintInvertsVthOnConstraint) {
+  // Use effective per-architecture (io, zeta) so the constrained threshold is
+  // positive at the probe supply (the regime where fmax(vdd) is monotone and
+  // the inversion is single-valued).
+  Technology tech = stm_cmos09_ll();
+  tech.io = 6.1e-5;
+  tech.zeta = 6.0e-12;
+  const PowerModel m(tech, rca_arch());
+  const double f = kPaperFrequency;
+  const double vdd = 0.55;
+  const double vth = m.vth_on_constraint(vdd, f);
+  ASSERT_GT(vth, 0.0);
+  EXPECT_NEAR(m.vdd_on_constraint(vth, f), vdd, 1e-7);
+}
+
+TEST(PowerModel, VddOnConstraintThrowsWhenUnreachable) {
+  ArchitectureParams a = rca_arch();
+  a.logic_depth = 1e9;  // absurdly deep pipeline-free design
+  const PowerModel m(stm_cmos09_ll(), a);
+  EXPECT_THROW((void)m.vdd_on_constraint(0.4, 1e9), NumericalError);
+}
+
+TEST(PowerModel, DiblRoundTrip) {
+  Technology ll = stm_cmos09_ll();
+  ll.eta = 0.1;
+  const PowerModel m(ll, rca_arch());
+  const double vth0 = 0.354, vdd = 1.0;
+  const double veff = m.effective_from_vth0(vth0, vdd);
+  EXPECT_NEAR(veff, 0.254, 1e-12);
+  EXPECT_NEAR(m.vth0_from_effective(veff, vdd), vth0, 1e-12);
+}
+
+TEST(PowerModel, MeetsTimingConsistentWithMaxFrequency) {
+  const PowerModel m(stm_cmos09_ll(), rca_arch());
+  EXPECT_TRUE(m.meets_timing(1.2, 0.354, 1e6));
+  EXPECT_FALSE(m.meets_timing(0.2, 0.19, 1e9));
+}
+
+TEST(PowerModel, RejectsInvalidInputs) {
+  ArchitectureParams bad = rca_arch();
+  bad.n_cells = 0;
+  EXPECT_THROW(PowerModel(stm_cmos09_ll(), bad), InvalidArgument);
+  Technology bad_tech = stm_cmos09_ll();
+  bad_tech.alpha = 2.5;
+  EXPECT_THROW(PowerModel(bad_tech, rca_arch()), InvalidArgument);
+}
+
+TEST(PowerModel, OperatingPointRecordsBreakdown) {
+  Technology ll = stm_cmos09_ll();
+  ll.eta = 0.05;
+  const PowerModel m(ll, rca_arch());
+  const OperatingPoint p = m.operating_point(0.5, 0.22, kPaperFrequency);
+  EXPECT_DOUBLE_EQ(p.ptot, p.pdyn + p.pstat);
+  EXPECT_NEAR(p.vth0, 0.22 + 0.05 * 0.5, 1e-12);
+  EXPECT_GT(p.dyn_stat_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace optpower

@@ -1,0 +1,127 @@
+#include "power/optimum.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "arch/paper_data.h"
+#include "tech/stm_cmos09.h"
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+PowerModel wallace_model() {
+  ArchitectureParams a;
+  a.name = "Wallace";
+  a.n_cells = 729;
+  a.activity = 0.2976;
+  a.logic_depth = 17;
+  a.cell_cap = 60e-15;
+  // Effective per-architecture (io, zeta) as inferred by the Table-1
+  // calibration for the Wallace netlist (see calibrate_test.cpp).
+  Technology tech = stm_cmos09_ll();
+  tech.io = 5.4e-5;
+  tech.zeta = 7.1e-12;
+  return {tech, a};
+}
+
+TEST(FindOptimum, SitsOnTimingConstraint) {
+  const PowerModel m = wallace_model();
+  const OptimumResult r = find_optimum(m, kPaperFrequency);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(m.max_frequency(r.point.vdd, r.point.vth) / kPaperFrequency, 1.0, 1e-6);
+}
+
+TEST(FindOptimum, IsALocalMinimumAlongConstraint) {
+  const PowerModel m = wallace_model();
+  const OptimumResult r = find_optimum(m, kPaperFrequency);
+  for (const double dv : {-0.01, -0.003, 0.003, 0.01}) {
+    const double vdd = r.point.vdd + dv;
+    const double vth = m.vth_on_constraint(vdd, kPaperFrequency);
+    EXPECT_GE(m.total_power(vdd, vth, kPaperFrequency), r.point.ptot * (1.0 - 1e-9))
+        << "dv=" << dv;
+  }
+}
+
+TEST(FindOptimum, BeatsEveryFeasibleGridPoint) {
+  // Property: no feasible (vdd, vth) pair may consume less than the optimum.
+  const PowerModel m = wallace_model();
+  const OptimumResult r = find_optimum(m, kPaperFrequency);
+  for (double vdd = 0.2; vdd <= 1.3; vdd += 0.05) {
+    for (double vth = -0.1; vth < vdd; vth += 0.05) {
+      if (!m.meets_timing(vdd, vth, kPaperFrequency)) continue;
+      EXPECT_GE(m.total_power(vdd, vth, kPaperFrequency), r.point.ptot * (1.0 - 1e-9))
+          << "vdd=" << vdd << " vth=" << vth;
+    }
+  }
+}
+
+TEST(FindOptimum, GridSearchAgreesWithConstrainedSearch) {
+  const PowerModel m = wallace_model();
+  const OptimumResult fine = find_optimum(m, kPaperFrequency);
+  const OptimumResult grid = find_optimum_grid(m, kPaperFrequency);
+  EXPECT_TRUE(grid.on_constraint);
+  EXPECT_NEAR(grid.point.vdd, fine.point.vdd, 0.01);
+  EXPECT_NEAR(grid.point.ptot / fine.point.ptot, 1.0, 0.02);
+  EXPECT_GE(grid.point.ptot, fine.point.ptot * (1.0 - 1e-9));
+}
+
+TEST(FindOptimum, HigherFrequencyCostsMorePower) {
+  const PowerModel m = wallace_model();
+  double prev = 0.0;
+  for (const double f : {10e6, 31.25e6, 100e6, 300e6}) {
+    const OptimumResult r = find_optimum(m, f);
+    EXPECT_GT(r.point.ptot, prev) << "f=" << f;
+    prev = r.point.ptot;
+  }
+}
+
+TEST(FindOptimum, LowerActivityRaisesOptimalVoltages) {
+  // The Figure-1 observation: reducing a lowers Ptot but raises Vdd*/Vth*.
+  const PowerModel base = wallace_model();
+  ArchitectureParams quiet = base.arch();
+  quiet.activity *= 0.25;
+  const PowerModel quiet_model(base.tech(), quiet);
+  const OptimumResult r_base = find_optimum(base, kPaperFrequency);
+  const OptimumResult r_quiet = find_optimum(quiet_model, kPaperFrequency);
+  EXPECT_LT(r_quiet.point.ptot, r_base.point.ptot);
+  EXPECT_GT(r_quiet.point.vdd, r_base.point.vdd);
+  EXPECT_GT(r_quiet.point.vth, r_base.point.vth);
+}
+
+TEST(FindOptimum, DynStatRatioNearTheoreticalValue) {
+  // From Eq. 11: Pdyn/Pstat at the optimum ~ Vdd*(1-chi*A)/(2*n*Ut) -- for
+  // the paper's designs this lands in the 3..8 range, never << 1 or >> 20.
+  const PowerModel m = wallace_model();
+  const OptimumResult r = find_optimum(m, kPaperFrequency);
+  EXPECT_GT(r.point.dyn_stat_ratio(), 2.0);
+  EXPECT_LT(r.point.dyn_stat_ratio(), 10.0);
+}
+
+TEST(FindOptimum, RejectsBadFrequency) {
+  EXPECT_THROW((void)find_optimum(wallace_model(), 0.0), InvalidArgument);
+  EXPECT_THROW((void)find_optimum(wallace_model(), -1.0), InvalidArgument);
+}
+
+TEST(FindOptimumGrid, RespectsFeasibility) {
+  const PowerModel m = wallace_model();
+  const OptimumResult r = find_optimum_grid(m, kPaperFrequency);
+  EXPECT_TRUE(m.meets_timing(r.point.vdd, r.point.vth, kPaperFrequency));
+}
+
+class FrequencySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FrequencySweep, GridAndConstrainedAgreeAcrossFrequencies) {
+  const double f = GetParam();
+  const PowerModel m = wallace_model();
+  const OptimumResult fine = find_optimum(m, f);
+  const OptimumResult grid = find_optimum_grid(m, f);
+  EXPECT_NEAR(grid.point.ptot / fine.point.ptot, 1.0, 0.03) << "f=" << f;
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, FrequencySweep,
+                         ::testing::Values(5e6, 31.25e6, 62.5e6, 125e6, 250e6));
+
+}  // namespace
+}  // namespace optpower

@@ -1,0 +1,76 @@
+#include "power/savings.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/paper_data.h"
+#include "calib/calibrate.h"
+#include "tech/stm_cmos09.h"
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+PowerModel wallace_model() {
+  return calibrate_from_table1_row(*find_table1_row("Wallace"), stm_cmos09_ll()).model;
+}
+
+TEST(Savings, StrategiesAreOrdered) {
+  // nominal >= vdd-only >= joint optimum, strictly when slack exists.
+  const SavingsReport r = analyze_savings(wallace_model(), kPaperFrequency);
+  ASSERT_TRUE(r.nominal_meets_timing);
+  EXPECT_GT(r.nominal.ptot, r.vdd_only.ptot);
+  EXPECT_GT(r.vdd_only.ptot, r.optimal.ptot * (1.0 - 1e-12));
+  EXPECT_GT(r.total_saving_factor(), r.vdd_only_saving_factor());
+}
+
+TEST(Savings, OptimalSavingIsSubstantialAtPaperFrequency) {
+  // A fast circuit at 31.25 MHz has enormous slack at 1.2 V nominal: the
+  // joint optimization buys an order of magnitude.
+  const SavingsReport r = analyze_savings(wallace_model(), kPaperFrequency);
+  EXPECT_GT(r.total_saving_factor(), 5.0);
+  EXPECT_LT(r.total_saving_factor(), 500.0);
+}
+
+TEST(Savings, VddOnlyPointIsTimingTight) {
+  const PowerModel m = wallace_model();
+  const SavingsReport r = analyze_savings(m, kPaperFrequency);
+  EXPECT_NEAR(m.max_frequency(r.vdd_only.vdd, r.vdd_only.vth) / kPaperFrequency, 1.0, 1e-6);
+  // The joint optimum undercuts the Vth-pinned point by trading leakage.
+  EXPECT_LT(r.optimal.vth, r.vdd_only.vth);
+}
+
+TEST(Savings, SavingShrinksAsFrequencyRises) {
+  const PowerModel m = wallace_model();
+  const double slow = analyze_savings(m, 0.25 * kPaperFrequency).total_saving_factor();
+  const double fast = analyze_savings(m, 4.0 * kPaperFrequency).total_saving_factor();
+  EXPECT_GT(slow, fast);
+}
+
+TEST(Savings, NominalTooSlowIsReported) {
+  // A deep sequential design at a frequency nominal operation cannot reach.
+  const PowerModel m = calibrate_from_table1_row(*find_table1_row("Sequential"),
+                                                 stm_cmos09_ll()).model;
+  const SavingsReport r = analyze_savings(m, 20.0 * kPaperFrequency);
+  EXPECT_FALSE(r.nominal_meets_timing);
+  EXPECT_FALSE(r.optimal_found);
+  // DVS falls back to nominal; no bogus "saving" is claimed.
+  EXPECT_DOUBLE_EQ(r.vdd_only.vdd, m.tech().vdd_nom);
+  EXPECT_DOUBLE_EQ(r.total_saving_factor(), r.vdd_only_saving_factor());
+}
+
+TEST(Savings, RejectsBadFrequency) {
+  EXPECT_THROW((void)analyze_savings(wallace_model(), -1.0), InvalidArgument);
+}
+
+TEST(Savings, DiblHandledInBothDirections) {
+  Technology tech = wallace_model().tech();
+  tech.eta = 0.1;
+  const PowerModel m(tech, wallace_model().arch());
+  const SavingsReport r = analyze_savings(m, kPaperFrequency);
+  EXPECT_GT(r.total_saving_factor(), 1.0);
+  // Effective nominal threshold reflects DIBL at the nominal supply.
+  EXPECT_NEAR(r.nominal.vth, tech.vth0_nom - 0.1 * tech.vdd_nom, 1e-12);
+}
+
+}  // namespace
+}  // namespace optpower

@@ -1,0 +1,77 @@
+#include "power/sensitivity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "arch/paper_data.h"
+#include "calib/calibrate.h"
+#include "tech/stm_cmos09.h"
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+PowerModel wallace_model() {
+  return calibrate_from_table1_row(*find_table1_row("Wallace"), stm_cmos09_ll()).model;
+}
+
+TEST(Sensitivity, CellsElasticityIsUnity) {
+  // Ptot* is exactly proportional to N (Eq. 13's prefactor).
+  const auto e = optimal_power_elasticities(wallace_model(), kPaperFrequency,
+                                            {ModelParameter::kNumCells});
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_NEAR(e[0].elasticity, 1.0, 1e-3);
+}
+
+TEST(Sensitivity, ActivitySubLinearButPositive) {
+  // Higher a raises Ptot* slightly less than proportionally (the log term
+  // in Eq. 13 gives a little back through the re-optimized voltages).
+  const auto e = optimal_power_elasticities(wallace_model(), kPaperFrequency,
+                                            {ModelParameter::kActivity});
+  EXPECT_GT(e[0].elasticity, 0.5);
+  EXPECT_LT(e[0].elasticity, 1.0);
+}
+
+TEST(Sensitivity, LogicDepthPenalizesPower) {
+  const auto e = optimal_power_elasticities(wallace_model(), kPaperFrequency,
+                                            {ModelParameter::kLogicDepth});
+  EXPECT_GT(e[0].elasticity, 0.0);
+}
+
+TEST(Sensitivity, FrequencySuperLinear) {
+  // f appears in Pdyn directly AND tightens chi: elasticity > 1.
+  const auto e = optimal_power_elasticities(wallace_model(), kPaperFrequency,
+                                            {ModelParameter::kFrequency});
+  EXPECT_GT(e[0].elasticity, 1.0);
+}
+
+TEST(Sensitivity, DefaultSetCoversSevenParameters) {
+  const auto e = optimal_power_elasticities(wallace_model(), kPaperFrequency);
+  EXPECT_EQ(e.size(), 7u);
+  for (const auto& el : e) {
+    EXPECT_TRUE(std::isfinite(el.elasticity)) << to_string(el.parameter);
+    EXPECT_GT(el.value, 0.0);
+  }
+}
+
+TEST(Sensitivity, PerturbedModelScalesTheRightKnob) {
+  const PowerModel base = wallace_model();
+  const PowerModel up = perturbed_model(base, ModelParameter::kIo, 2.0);
+  EXPECT_DOUBLE_EQ(up.tech().io, 2.0 * base.tech().io);
+  EXPECT_DOUBLE_EQ(up.arch().activity, base.arch().activity);
+  EXPECT_THROW((void)perturbed_model(base, ModelParameter::kFrequency, 2.0), InvalidArgument);
+  EXPECT_THROW((void)perturbed_model(base, ModelParameter::kIo, -1.0), InvalidArgument);
+}
+
+TEST(Sensitivity, ToStringNamesEveryParameter) {
+  for (const ModelParameter p :
+       {ModelParameter::kActivity, ModelParameter::kNumCells, ModelParameter::kLogicDepth,
+        ModelParameter::kCellCap, ModelParameter::kIo, ModelParameter::kZeta,
+        ModelParameter::kAlpha, ModelParameter::kSlopeN, ModelParameter::kFrequency}) {
+    EXPECT_NE(to_string(p), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace optpower

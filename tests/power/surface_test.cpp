@@ -1,0 +1,92 @@
+#include "power/surface.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/paper_data.h"
+#include "calib/calibrate.h"
+#include "tech/stm_cmos09.h"
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+PowerModel rca_model() {
+  // The Figure-1 circuit: the calibrated 16-bit RCA multiplier.
+  return calibrate_from_table1_row(*find_table1_row("RCA"), stm_cmos09_ll()).model;
+}
+
+TEST(ConstraintCurve, SamplesSatisfyTiming) {
+  const PowerModel m = rca_model();
+  const auto curve = constraint_curve(m, kPaperFrequency, 0.3, 1.0, 40);
+  ASSERT_GT(curve.size(), 10u);
+  for (const auto& s : curve) {
+    EXPECT_NEAR(m.max_frequency(s.vdd, s.vth) / kPaperFrequency, 1.0, 1e-6);
+    EXPECT_NEAR(s.ptot, s.pdyn + s.pstat, 1e-15);
+  }
+}
+
+TEST(ConstraintCurve, IsConvexish) {
+  // Ptot along the constraint has one interior minimum (Figure 1's U shape).
+  const PowerModel m = rca_model();
+  const auto curve = constraint_curve(m, kPaperFrequency, 0.32, 1.1, 200);
+  int sign_changes = 0;
+  for (std::size_t i = 2; i < curve.size(); ++i) {
+    const double d_prev = curve[i - 1].ptot - curve[i - 2].ptot;
+    const double d_cur = curve[i].ptot - curve[i - 1].ptot;
+    if (d_prev < 0.0 && d_cur > 0.0) ++sign_changes;
+  }
+  EXPECT_EQ(sign_changes, 1);
+}
+
+TEST(Figure1Curves, LowerActivityLowerPowerHigherVoltages) {
+  // The paper's Figure-1 annotation: "reducing the activity allows reducing
+  // Ptot, whereas it tends to increase the optimal Vdd and Vth."
+  const PowerModel m = rca_model();
+  const auto curves = figure1_curves(m, kPaperFrequency, {1.0, 0.5, 0.25, 0.125}, 0.3, 1.1, 120);
+  ASSERT_EQ(curves.size(), 4u);
+  for (std::size_t i = 1; i < curves.size(); ++i) {
+    EXPECT_LT(curves[i].optimum.ptot, curves[i - 1].optimum.ptot);
+    EXPECT_GT(curves[i].optimum.vdd, curves[i - 1].optimum.vdd);
+    EXPECT_GT(curves[i].optimum.vth, curves[i - 1].optimum.vth);
+    EXPECT_GT(curves[i].dyn_stat_ratio, 0.0);
+  }
+}
+
+TEST(Figure1Curves, OptimumLiesOnItsCurve) {
+  const PowerModel m = rca_model();
+  const auto curves = figure1_curves(m, kPaperFrequency, {1.0}, 0.3, 1.1, 400);
+  const auto& c = curves[0];
+  // The marked optimum must not undercut any sampled point by more than the
+  // sampling error, and some sampled point must be close to it.
+  double best_sample = 1e9;
+  for (const auto& s : c.samples) best_sample = std::min(best_sample, s.ptot);
+  EXPECT_LE(c.optimum.ptot, best_sample * (1.0 + 1e-9));
+  EXPECT_NEAR(best_sample / c.optimum.ptot, 1.0, 1e-3);
+}
+
+TEST(PowerSurface, FeasibleRegionIsUpperRight) {
+  const PowerModel m = rca_model();
+  const auto cells = power_surface(m, kPaperFrequency, 0.2, 1.2, 21, 0.0, 0.5, 21);
+  ASSERT_EQ(cells.size(), 21u * 21u);
+  // For a fixed vth, feasibility is monotone in vdd.
+  for (std::size_t j = 0; j < 21; ++j) {
+    bool seen_feasible = false;
+    for (std::size_t i = 0; i < 21; ++i) {
+      const auto& cell = cells[i * 21 + j];
+      if (cell.feasible) seen_feasible = true;
+      else EXPECT_FALSE(seen_feasible && cell.vth < cell.vdd)
+          << "feasibility not monotone at vdd=" << cell.vdd << " vth=" << cell.vth;
+    }
+  }
+}
+
+TEST(SurfaceValidation, RejectsBadArguments) {
+  const PowerModel m = rca_model();
+  EXPECT_THROW((void)constraint_curve(m, kPaperFrequency, 1.0, 0.3, 10), InvalidArgument);
+  EXPECT_THROW((void)figure1_curves(m, kPaperFrequency, {}), InvalidArgument);
+  EXPECT_THROW((void)figure1_curves(m, kPaperFrequency, {-1.0}), InvalidArgument);
+  EXPECT_THROW((void)power_surface(m, kPaperFrequency, 0.2, 1.2, 1, 0.0, 0.5, 5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace optpower

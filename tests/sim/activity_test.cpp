@@ -1,0 +1,107 @@
+#include "sim/activity.h"
+
+#include <gtest/gtest.h>
+
+#include "mult/array.h"
+#include "mult/wallace.h"
+#include "netlist/builder.h"
+#include "netlist/cell.h"
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+TEST(Activity, DeterministicForSameSeed) {
+  const Netlist nl = array_multiplier(8);
+  ActivityOptions opt;
+  opt.num_vectors = 32;
+  const auto a = measure_activity(nl, opt);
+  const auto b = measure_activity(nl, opt);
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.glitches, b.glitches);
+  EXPECT_DOUBLE_EQ(a.activity, b.activity);
+}
+
+TEST(Activity, SeedChangesButStatisticsStable) {
+  const Netlist nl = array_multiplier(8);
+  ActivityOptions opt;
+  opt.num_vectors = 128;
+  const auto a = measure_activity(nl, opt);
+  opt.seed = 0xdeadbeef;
+  const auto b = measure_activity(nl, opt);
+  EXPECT_NE(a.transitions, b.transitions);        // different stimulus
+  EXPECT_NEAR(b.activity / a.activity, 1.0, 0.1);  // same statistic
+}
+
+TEST(Activity, ChargingEdgeConvention) {
+  // A single inverter toggling every cycle: 1 output transition per cycle,
+  // so a = transitions/2 / (N=1 * periods) = 0.5.
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId q = nl.add_gate(CellType::kDff, {a});
+  const NetId y = nl.add_gate(CellType::kInv, {q});
+  nl.add_output("y", y);
+  // Random inputs toggle ~half the time; just check the normalization bound.
+  ActivityOptions opt;
+  opt.num_vectors = 512;
+  const auto m = measure_activity(nl, opt);
+  EXPECT_GT(m.activity, 0.1);
+  EXPECT_LT(m.activity, 1.0);
+  EXPECT_DOUBLE_EQ(m.activity,
+                   0.5 * static_cast<double>(m.transitions) /
+                       (static_cast<double>(nl.stats().num_cells) *
+                        static_cast<double>(m.data_periods)));
+}
+
+TEST(Activity, WarmupExcludedFromStats) {
+  const Netlist nl = array_multiplier(6);
+  ActivityOptions with_warmup;
+  with_warmup.num_vectors = 64;
+  with_warmup.warmup_vectors = 16;
+  ActivityOptions no_warmup = with_warmup;
+  no_warmup.warmup_vectors = 0;
+  const auto a = measure_activity(nl, with_warmup);
+  const auto b = measure_activity(nl, no_warmup);
+  EXPECT_EQ(a.data_periods, b.data_periods);  // warmup not counted
+  // Different stimulus alignment, similar statistics.
+  EXPECT_NEAR(a.activity / b.activity, 1.0, 0.15);
+}
+
+TEST(Activity, CyclesPerVectorNormalization) {
+  // Holding each vector for k cycles multiplies clock cycles but not the
+  // per-data-period activity much (no new input transitions after cycle 1).
+  const Netlist nl = array_multiplier(6);
+  ActivityOptions one;
+  one.num_vectors = 64;
+  ActivityOptions four = one;
+  four.cycles_per_vector = 4;
+  const auto a1 = measure_activity(nl, one);
+  const auto a4 = measure_activity(nl, four);
+  EXPECT_EQ(a4.clock_cycles, 4u * a4.data_periods);
+  EXPECT_NEAR(a4.activity / a1.activity, 1.0, 0.1);
+}
+
+TEST(Activity, DelayModeChangesGlitchesOnly) {
+  const Netlist nl = wallace_multiplier(8);
+  ActivityOptions timed;
+  timed.num_vectors = 64;
+  ActivityOptions zero = timed;
+  zero.delay_mode = SimDelayMode::kZero;
+  const auto t = measure_activity(nl, timed);
+  const auto z = measure_activity(nl, zero);
+  EXPECT_GT(t.activity, z.activity);         // glitches only in timed mode
+  EXPECT_GT(t.glitch_fraction, z.glitch_fraction);
+}
+
+TEST(Activity, RejectsBadOptions) {
+  const Netlist nl = array_multiplier(4);
+  ActivityOptions opt;
+  opt.num_vectors = 0;
+  EXPECT_THROW((void)measure_activity(nl, opt), InvalidArgument);
+  opt.num_vectors = 8;
+  opt.cycles_per_vector = 0;
+  EXPECT_THROW((void)measure_activity(nl, opt), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace optpower

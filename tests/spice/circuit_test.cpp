@@ -1,0 +1,94 @@
+#include "spice/circuit.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tech/stm_cmos09.h"
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+TEST(Circuit, ResistorDividerDc) {
+  Circuit c;
+  const NodeId vin = c.add_node("vin");
+  const NodeId mid = c.add_node("mid");
+  c.add_dc_source(vin, 1.0);
+  c.add_resistor(vin, mid, 1000.0);
+  c.add_resistor(mid, kGround, 3000.0);
+  const auto v = c.dc_operating_point();
+  EXPECT_NEAR(v[static_cast<std::size_t>(mid)], 0.75, 1e-6);
+}
+
+TEST(Circuit, SourceCurrentMatchesOhm) {
+  Circuit c;
+  const NodeId vin = c.add_node("vin");
+  c.add_dc_source(vin, 2.0);
+  c.add_resistor(vin, kGround, 1000.0);
+  const auto v = c.dc_operating_point();
+  EXPECT_NEAR(c.source_current(vin, v), 2e-3, 1e-9);
+}
+
+TEST(Circuit, RcDischargeMatchesAnalytic) {
+  // Cap charged to 1 V decays through R with tau = RC.
+  Circuit c;
+  const NodeId n = c.add_node("n");
+  c.add_resistor(n, kGround, 1e4);
+  c.add_capacitor(n, kGround, 1e-12);  // tau = 10 ns
+  std::vector<double> init(static_cast<std::size_t>(c.num_nodes()), 0.0);
+  init[static_cast<std::size_t>(n)] = 1.0;
+  const auto tr = c.transient(50e-9, 0.02e-9, init);
+  const double v_end = tr.voltages.back()[static_cast<std::size_t>(n)];
+  EXPECT_NEAR(v_end, std::exp(-5.0), 2e-3);  // 5 tau, BE is first order
+}
+
+TEST(Circuit, InverterDcTransferEndpoints) {
+  const MosfetParams nmos = stm_cmos09_ll().reference_transistor();
+  Circuit c;
+  const NodeId vdd = c.add_node("vdd");
+  const NodeId in = c.add_node("in");
+  const NodeId out = c.add_node("out");
+  c.add_dc_source(vdd, 1.2);
+  c.add_dc_source(in, 0.0);
+  c.add_nmos(out, in, kGround, nmos);
+  c.add_pmos(out, in, vdd, complementary_pmos(nmos));
+  const auto v_low_in = c.dc_operating_point();
+  EXPECT_NEAR(v_low_in[static_cast<std::size_t>(out)], 1.2, 0.01);
+}
+
+TEST(Circuit, InverterOutputLowWhenInputHigh) {
+  const MosfetParams nmos = stm_cmos09_ll().reference_transistor();
+  Circuit c;
+  const NodeId vdd = c.add_node("vdd");
+  const NodeId in = c.add_node("in");
+  const NodeId out = c.add_node("out");
+  c.add_dc_source(vdd, 1.2);
+  c.add_dc_source(in, 1.2);
+  c.add_nmos(out, in, kGround, nmos);
+  c.add_pmos(out, in, vdd, complementary_pmos(nmos));
+  std::vector<double> guess(static_cast<std::size_t>(c.num_nodes()), 0.0);
+  guess[static_cast<std::size_t>(vdd)] = 1.2;
+  guess[static_cast<std::size_t>(in)] = 1.2;
+  const auto v = c.dc_operating_point(0.0, guess);
+  EXPECT_NEAR(v[static_cast<std::size_t>(out)], 0.0, 0.01);
+}
+
+TEST(Circuit, RejectsBadElements) {
+  Circuit c;
+  const NodeId n = c.add_node("n");
+  EXPECT_THROW(c.add_capacitor(n, kGround, -1e-15), InvalidArgument);
+  EXPECT_THROW(c.add_resistor(n, 99, 100.0), InvalidArgument);
+  c.add_dc_source(n, 1.0);
+  EXPECT_THROW(c.add_dc_source(n, 2.0), InvalidArgument);  // double drive
+}
+
+TEST(Circuit, TransientRejectsBadTimes) {
+  Circuit c;
+  (void)c.add_node("n");
+  EXPECT_THROW((void)c.transient(0.0, 1e-12), InvalidArgument);
+  EXPECT_THROW((void)c.transient(1e-9, 2e-9), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace optpower

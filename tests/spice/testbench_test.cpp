@@ -1,0 +1,93 @@
+#include "spice/testbench.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tech/stm_cmos09.h"
+#include "util/constants.h"
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+InverterConfig ll_inverter() {
+  InverterConfig cfg;
+  cfg.nmos = stm_cmos09_ll().reference_transistor();
+  return cfg;
+}
+
+TEST(Testbench, ChainDelayPositiveAndFinite) {
+  const double d = inverter_chain_delay(ll_inverter(), 5, 1.2);
+  EXPECT_GT(d, 1e-13);
+  EXPECT_LT(d, 1e-9);
+}
+
+TEST(Testbench, DelayGrowsAsSupplyDrops) {
+  const InverterConfig cfg = ll_inverter();
+  double prev = 0.0;
+  for (const double vdd : {1.2, 1.0, 0.8, 0.6, 0.5}) {
+    const double d = inverter_chain_delay(cfg, 5, vdd);
+    EXPECT_GT(d, prev) << "vdd=" << vdd;
+    prev = d;
+  }
+}
+
+TEST(Testbench, RingAndChainAgree) {
+  // Two independent measurement methods of the same quantity (the paper's
+  // "inverter chains ring oscillators") must agree within a few percent.
+  const InverterConfig cfg = ll_inverter();
+  const double chain = inverter_chain_delay(cfg, 5, 1.2);
+  const double ring = ring_oscillator_stage_delay(cfg, 5, 1.2);
+  EXPECT_NEAR(ring / chain, 1.0, 0.10);
+}
+
+TEST(Testbench, RingRequiresOddStageCount) {
+  EXPECT_THROW((void)ring_oscillator_stage_delay(ll_inverter(), 4, 1.2), InvalidArgument);
+}
+
+TEST(Testbench, SubthresholdSweepIsExponential) {
+  const MosfetParams nmos = stm_cmos09_ll().reference_transistor();
+  const auto sweep = measure_subthreshold(nmos, 1.2, 0.05, 0.25, 9);
+  ASSERT_EQ(sweep.vgs.size(), 9u);
+  // Slope: one decade per n*Ut*ln(10).
+  const double decade_v = nmos.n * thermal_voltage() * std::log(10.0);
+  for (std::size_t i = 1; i < sweep.vgs.size(); ++i) {
+    EXPECT_GT(sweep.ids[i], sweep.ids[i - 1]);
+  }
+  const double measured_decades =
+      std::log10(sweep.ids.back() / sweep.ids.front());
+  const double expected_decades = (sweep.vgs.back() - sweep.vgs.front()) / decade_v;
+  EXPECT_NEAR(measured_decades / expected_decades, 1.0, 0.02);
+}
+
+TEST(Testbench, InverterLeakageMatchesDeviceOffCurrent) {
+  const InverterConfig cfg = ll_inverter();
+  const double leak = measure_inverter_leakage(cfg, 1.2);
+  const Mosfet ref(cfg.nmos);
+  // The supply delivers (through the on PMOS) exactly the NMOS off-current.
+  EXPECT_NEAR(leak / ref.off_current(1.2), 1.0, 0.05);
+}
+
+TEST(Testbench, LeakageOrderingAcrossFlavors) {
+  // HS leaks more than LL leaks more than ULL (Table 2's Vth/Io ordering).
+  double leak_ull, leak_ll, leak_hs;
+  {
+    InverterConfig cfg;
+    cfg.nmos = stm_cmos09_ull().reference_transistor();
+    leak_ull = measure_inverter_leakage(cfg, 1.2);
+    cfg.nmos = stm_cmos09_ll().reference_transistor();
+    leak_ll = measure_inverter_leakage(cfg, 1.2);
+    cfg.nmos = stm_cmos09_hs().reference_transistor();
+    leak_hs = measure_inverter_leakage(cfg, 1.2);
+  }
+  EXPECT_LT(leak_ull, leak_ll);
+  EXPECT_LT(leak_ll, leak_hs);
+}
+
+TEST(Testbench, DelaySweepRejectsSubThresholdSupply) {
+  EXPECT_THROW((void)measure_delay_vs_vdd(ll_inverter(), {0.2}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace optpower

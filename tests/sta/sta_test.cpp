@@ -1,0 +1,92 @@
+#include "sta/sta.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.h"
+#include "netlist/cell.h"
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+TEST(Sta, InverterChainDepthAccumulates) {
+  Netlist nl;
+  NetId x = nl.add_input("a");
+  for (int i = 0; i < 5; ++i) x = nl.add_gate(CellType::kInv, {x});
+  nl.add_output("y", x);
+  const TimingReport r = analyze_timing(nl);
+  EXPECT_NEAR(r.critical_path_units, 5.0 * cell_spec(CellType::kInv).depth_units, 1e-9);
+  EXPECT_EQ(r.critical_path.size(), 5u);
+}
+
+TEST(Sta, PicksTheLongerBranch) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  // Short branch: one INV.  Long branch: XOR (1.8) + FA (2.0).
+  const NetId s = nl.add_gate(CellType::kInv, {a});
+  const NetId x = nl.add_gate(CellType::kXor2, {a, a});
+  const auto fa = nl.add_cell(CellType::kFullAdder, {x, a, a});
+  const NetId y = nl.add_gate(CellType::kAnd2, {s, fa[0]});
+  nl.add_output("y", y);
+  const TimingReport r = analyze_timing(nl);
+  const double expected = cell_spec(CellType::kXor2).depth_units +
+                          cell_spec(CellType::kFullAdder).depth_units +
+                          cell_spec(CellType::kAnd2).depth_units;
+  EXPECT_NEAR(r.critical_path_units, expected, 1e-9);
+}
+
+TEST(Sta, RegisterBoundariesCutPaths) {
+  // in -> INV x4 -> DFF -> INV x2 -> out: worst register-to-register /
+  // boundary path is the 4-inverter launch cone (plus nothing), and the DFF
+  // launches the 2-inverter cone with its clk-to-q.
+  Netlist nl;
+  NetId x = nl.add_input("a");
+  for (int i = 0; i < 4; ++i) x = nl.add_gate(CellType::kInv, {x});
+  const NetId q = nl.add_gate(CellType::kDff, {x});
+  NetId y = q;
+  for (int i = 0; i < 2; ++i) y = nl.add_gate(CellType::kInv, {y});
+  nl.add_output("y", y);
+  const TimingReport r = analyze_timing(nl);
+  const double inv = cell_spec(CellType::kInv).depth_units;
+  const double dff = cell_spec(CellType::kDff).depth_units;
+  // Paths: 4*inv (to DFF D) vs dff + 2*inv (Q to output).
+  EXPECT_NEAR(r.critical_path_units, std::max(4.0 * inv, dff + 2.0 * inv), 1e-9);
+}
+
+TEST(Sta, SequentialLoopDoesNotDiverge) {
+  Netlist nl;
+  const NetId q = nl.add_gate(CellType::kDff, {nl.const0()});
+  const NetId nq = nl.add_gate(CellType::kInv, {q});
+  nl.rewire_input(nl.driver_of(q), 0, nq);
+  nl.add_output("q", q);
+  const TimingReport r = analyze_timing(nl);
+  EXPECT_GT(r.critical_path_units, 0.0);
+  EXPECT_LT(r.critical_path_units, 10.0);
+}
+
+TEST(Sta, EffectiveLogicDepthScaling) {
+  // Sequential: x16 internal cycles; parallel: /ways.
+  EXPECT_DOUBLE_EQ(effective_logic_depth(14.0, 16, 1), 224.0);  // the paper's Sequential
+  EXPECT_DOUBLE_EQ(effective_logic_depth(30.0, 4, 1), 120.0);   // Seq4_16 shape
+  EXPECT_DOUBLE_EQ(effective_logic_depth(61.0, 1, 2), 30.5);    // RCA parallel
+  EXPECT_DOUBLE_EQ(effective_logic_depth(61.0, 1, 4), 15.25);
+}
+
+TEST(Sta, EffectiveLogicDepthRejectsBadInputs) {
+  EXPECT_THROW((void)effective_logic_depth(0.0, 1, 1), InvalidArgument);
+  EXPECT_THROW((void)effective_logic_depth(10.0, 0, 1), InvalidArgument);
+  EXPECT_THROW((void)effective_logic_depth(10.0, 1, 0), InvalidArgument);
+}
+
+TEST(Sta, CriticalPathTraceEndsAtEndpoint) {
+  Netlist nl;
+  NetId x = nl.add_input("a");
+  for (int i = 0; i < 3; ++i) x = nl.add_gate(CellType::kNand2, {x, x});
+  nl.add_output("y", x);
+  const TimingReport r = analyze_timing(nl);
+  ASSERT_FALSE(r.critical_path.empty());
+  EXPECT_EQ(nl.cell(r.critical_path.back()).outputs[0], r.critical_endpoint);
+}
+
+}  // namespace
+}  // namespace optpower

@@ -1,0 +1,83 @@
+#include "tech/linearization.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "arch/paper_data.h"
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+TEST(Linearization, ReproducesPaperABForLl) {
+  // Paper Section 4: "A = 0.671; B = 0.347" for alpha = 1.86 on 0.3-1.0 V.
+  const Linearization lin = linearize_vdd_root(1.86, 0.3, 1.0);
+  EXPECT_NEAR(lin.a, paper_model_constants().lin_a, 0.005);
+  EXPECT_NEAR(lin.b, paper_model_constants().lin_b, 0.005);
+}
+
+TEST(Linearization, Figure2RangeIsAccurate) {
+  // Figure 2 plots alpha = 1.5 on [0.3, 0.9]; the approximation stays within
+  // a few percent over the fitted range.
+  const Linearization lin = linearize_vdd_root(1.5, 0.3, 0.9);
+  EXPECT_LT(lin.max_rel_error, 0.05);
+  for (double v = 0.3; v <= 0.9; v += 0.05) {
+    EXPECT_NEAR(lin(v) / std::pow(v, 1.0 / 1.5), 1.0, 0.05) << "v=" << v;
+  }
+}
+
+TEST(Linearization, MinimaxTightensMaxError) {
+  const Linearization lsq = linearize_vdd_root(1.86, 0.3, 1.0, LinearizationMethod::kLeastSquares);
+  const Linearization mmx = linearize_vdd_root(1.86, 0.3, 1.0, LinearizationMethod::kMinimax);
+  EXPECT_LT(mmx.max_abs_error, lsq.max_abs_error);
+}
+
+TEST(Linearization, AlphaOneIsExact) {
+  // Vdd^{1/1} is already linear: A = 1, B = 0, error ~ 0.
+  const Linearization lin = linearize_vdd_root(1.0, 0.3, 1.0);
+  EXPECT_NEAR(lin.a, 1.0, 1e-9);
+  EXPECT_NEAR(lin.b, 0.0, 1e-9);
+  EXPECT_LT(lin.max_abs_error, 1e-9);
+}
+
+TEST(Linearization, NarrowRangeShrinksError) {
+  const Linearization wide = linearize_vdd_root(1.86, 0.2, 1.2);
+  const Linearization narrow = linearize_vdd_root(1.86, 0.4, 0.6);
+  EXPECT_LT(narrow.max_abs_error, wide.max_abs_error);
+}
+
+TEST(Linearization, RejectsBadArguments) {
+  EXPECT_THROW((void)linearize_vdd_root(2.5, 0.3, 1.0), InvalidArgument);
+  EXPECT_THROW((void)linearize_vdd_root(1.86, -0.1, 1.0), InvalidArgument);
+  EXPECT_THROW((void)linearize_vdd_root(1.86, 1.0, 0.3), InvalidArgument);
+}
+
+TEST(Linearization, ToStringMentionsCoefficients) {
+  const Linearization lin = linearize_vdd_root(1.86, 0.3, 1.0);
+  const std::string s = to_string(lin);
+  EXPECT_NE(s.find("A="), std::string::npos);
+  EXPECT_NE(s.find("B="), std::string::npos);
+  EXPECT_NE(s.find("lsq"), std::string::npos);
+}
+
+class AlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweep, ApproximationHoldsAcrossAlpha) {
+  const double alpha = GetParam();
+  const Linearization lin = linearize_vdd_root(alpha, 0.3, 1.0);
+  // Eq. 7 quality across the flavor range of Table 2 (alpha 1.58-1.95):
+  // everywhere below 6% relative error on the fit range.
+  EXPECT_LT(lin.max_rel_error, 0.06) << "alpha=" << alpha;
+  // Slope/intercept positive and bounded - what Eq. 9-13 assume.
+  EXPECT_GT(lin.a, 0.3);
+  EXPECT_LT(lin.a, 1.05);
+  EXPECT_GT(lin.b, -1e-9);
+  EXPECT_LT(lin.b, 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep,
+                         ::testing::Values(1.0, 1.2, 1.4, 1.5, 1.58, 1.7, 1.86, 1.95, 2.0));
+
+}  // namespace
+}  // namespace optpower

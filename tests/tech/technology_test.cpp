@@ -1,0 +1,93 @@
+#include "tech/technology.h"
+
+#include <gtest/gtest.h>
+
+#include "tech/scaling.h"
+#include "tech/stm_cmos09.h"
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+TEST(Technology, Table2ValuesEncoded) {
+  const Technology ull = stm_cmos09_ull();
+  EXPECT_DOUBLE_EQ(ull.vth0_nom, 0.466);
+  EXPECT_DOUBLE_EQ(ull.io, 2.11e-6);
+  EXPECT_DOUBLE_EQ(ull.zeta, 7.5e-12);
+  EXPECT_DOUBLE_EQ(ull.alpha, 1.95);
+
+  const Technology ll = stm_cmos09_ll();
+  EXPECT_DOUBLE_EQ(ll.vth0_nom, 0.354);
+  EXPECT_DOUBLE_EQ(ll.io, 3.34e-6);
+  EXPECT_DOUBLE_EQ(ll.zeta, 5.5e-12);
+  EXPECT_DOUBLE_EQ(ll.alpha, 1.86);
+  EXPECT_DOUBLE_EQ(ll.n, 1.33);
+
+  const Technology hs = stm_cmos09_hs();
+  EXPECT_DOUBLE_EQ(hs.vth0_nom, 0.328);
+  EXPECT_DOUBLE_EQ(hs.io, 7.08e-6);
+  EXPECT_DOUBLE_EQ(hs.zeta, 6.1e-12);
+  EXPECT_DOUBLE_EQ(hs.alpha, 1.58);
+}
+
+TEST(Technology, AllFlavorsShareNominalSupply) {
+  for (const auto& t : stm_cmos09_all()) {
+    EXPECT_DOUBLE_EQ(t.vdd_nom, 1.2) << t.name;
+    EXPECT_NO_THROW(validate(t)) << t.name;
+  }
+}
+
+TEST(Technology, ThermalVoltageAt300K) {
+  const Technology ll = stm_cmos09_ll();
+  EXPECT_NEAR(ll.ut(), 0.025852, 1e-5);
+  EXPECT_NEAR(ll.n_ut(), 1.33 * 0.025852, 1e-5);
+}
+
+TEST(Technology, ReferenceTransistorInheritsParameters) {
+  const Technology ll = stm_cmos09_ll();
+  const MosfetParams m = ll.reference_transistor();
+  EXPECT_DOUBLE_EQ(m.io, ll.io);
+  EXPECT_DOUBLE_EQ(m.alpha, ll.alpha);
+  EXPECT_DOUBLE_EQ(m.vth0, ll.vth0_nom);
+}
+
+TEST(Technology, ValidationCatchesEachViolation) {
+  Technology t = stm_cmos09_ll();
+  t.io = 0.0;
+  EXPECT_THROW(validate(t), InvalidArgument);
+  t = stm_cmos09_ll();
+  t.n = 0.8;
+  EXPECT_THROW(validate(t), InvalidArgument);
+  t = stm_cmos09_ll();
+  t.vth0_nom = 1.5;
+  EXPECT_THROW(validate(t), InvalidArgument);
+  t = stm_cmos09_ll();
+  t.eta = 0.9;
+  EXPECT_THROW(validate(t), InvalidArgument);
+}
+
+TEST(Scaling, ShrinkIncreasesLeakageAndCutsZeta) {
+  const Technology base = stm_cmos09_ll();
+  const Technology smaller = scale_technology(base, 90.0 / 130.0);
+  EXPECT_GT(smaller.io, base.io);
+  EXPECT_LT(smaller.zeta, base.zeta);
+  EXPECT_LT(smaller.alpha, base.alpha);
+  EXPECT_LT(smaller.vdd_nom, base.vdd_nom);
+  EXPECT_NO_THROW(validate(smaller));
+}
+
+TEST(Scaling, UnityRatioIsIdentityForPhysicalKnobs) {
+  const Technology base = stm_cmos09_ll();
+  const Technology same = scale_technology(base, 1.0);
+  EXPECT_DOUBLE_EQ(same.io, base.io);
+  EXPECT_DOUBLE_EQ(same.zeta, base.zeta);
+  EXPECT_DOUBLE_EQ(same.alpha, base.alpha);
+}
+
+TEST(Scaling, RejectsBadRatio) {
+  EXPECT_THROW((void)scale_technology(stm_cmos09_ll(), 0.0), InvalidArgument);
+  EXPECT_THROW((void)scale_technology(stm_cmos09_ll(), 2.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace optpower

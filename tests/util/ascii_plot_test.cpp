@@ -1,0 +1,55 @@
+#include "util/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+TEST(AsciiPlot, RendersSeriesGlyphs) {
+  AsciiPlot plot({.width = 40, .height = 10, .title = "demo"});
+  plot.add_series({{0.0, 1.0, 2.0}, {0.0, 1.0, 4.0}, '*', "y=x^2"});
+  const std::string s = plot.render();
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("y=x^2"), std::string::npos);
+}
+
+TEST(AsciiPlot, MarkerAppears) {
+  AsciiPlot plot({.width = 40, .height = 10});
+  plot.add_series({{0.0, 1.0}, {0.0, 1.0}, '.', ""});
+  plot.add_marker(0.5, 0.5, 'X', "optimum");
+  const std::string s = plot.render();
+  EXPECT_NE(s.find('X'), std::string::npos);
+}
+
+TEST(AsciiPlot, LogScaleHandlesDecades) {
+  AsciiPlot plot({.width = 40, .height = 12, .log_y = true});
+  plot.add_series({{0.0, 1.0, 2.0}, {1e-6, 1e-4, 1e-2}, 'o', ""});
+  EXPECT_FALSE(plot.render().empty());
+}
+
+TEST(AsciiPlot, RejectsMismatchedSeries) {
+  AsciiPlot plot;
+  EXPECT_THROW(plot.add_series({{1.0}, {1.0, 2.0}, '*', ""}), InvalidArgument);
+  EXPECT_THROW(plot.add_series({{}, {}, '*', ""}), InvalidArgument);
+}
+
+TEST(AsciiPlot, RejectsTinyCanvas) {
+  EXPECT_THROW(AsciiPlot({.width = 2, .height = 2}), InvalidArgument);
+}
+
+TEST(AsciiPlot, EmptyPlotRendersPlaceholder) {
+  AsciiPlot plot;
+  EXPECT_EQ(plot.render(), "(empty plot)\n");
+}
+
+TEST(AsciiPlot, AxisLabelsPrinted) {
+  AsciiPlot plot({.width = 30, .height = 8, .x_label = "Vdd [V]"});
+  plot.add_series({{0.3, 1.0}, {1.0, 2.0}, '*', ""});
+  EXPECT_NE(plot.render().find("Vdd [V]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optpower

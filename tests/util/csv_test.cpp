@@ -1,0 +1,60 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  CsvWriter w({"vdd", "ptot"});
+  w.add_row(std::vector<double>{0.478, 191.44});
+  EXPECT_EQ(w.to_string(), "vdd,ptot\n0.478,191.44\n");
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  CsvWriter w({"name", "note"});
+  w.add_row(std::vector<std::string>{"a,b", "say \"hi\""});
+  EXPECT_EQ(w.to_string(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, RejectsColumnMismatch) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row(std::vector<double>{1.0}), InvalidArgument);
+}
+
+TEST(CsvWriter, RejectsEmptyHeader) {
+  EXPECT_THROW(CsvWriter w({}), InvalidArgument);
+}
+
+TEST(CsvWriter, NumericPrecisionPreserved) {
+  CsvWriter w({"x"});
+  w.add_row(std::vector<double>{3.34e-6});
+  EXPECT_NE(w.to_string().find("3.34e-06"), std::string::npos);
+}
+
+TEST(CsvWriter, WriteFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/optpower_csv_test.csv";
+  CsvWriter w({"a"});
+  w.add_row(std::vector<double>{1.5});
+  w.write_file(path);
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1.5");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, WriteFileThrowsOnBadPath) {
+  CsvWriter w({"a"});
+  EXPECT_THROW(w.write_file("/nonexistent-dir-xyz/file.csv"), Error);
+}
+
+}  // namespace
+}  // namespace optpower

@@ -1,0 +1,59 @@
+#include "util/format.h"
+
+#include <gtest/gtest.h>
+
+namespace optpower {
+namespace {
+
+TEST(Strprintf, BasicFormatting) {
+  EXPECT_EQ(strprintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strprintf("%.3f", 1.23456), "1.235");
+}
+
+TEST(Strprintf, EmptyAndLongStrings) {
+  EXPECT_EQ(strprintf("%s", ""), "");
+  const std::string big(500, 'a');
+  EXPECT_EQ(strprintf("%s", big.c_str()), big);
+}
+
+TEST(FmtFixed, RoundsCorrectly) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(-0.005, 2), "-0.01");
+  EXPECT_EQ(fmt_fixed(2.0, 0), "2");
+}
+
+TEST(FmtSci, FormatsExponent) {
+  EXPECT_EQ(fmt_sci(3.34e-6, 2), "3.34e-06");
+}
+
+TEST(FmtSi, PicksSiPrefix) {
+  EXPECT_EQ(fmt_si(3.34e-6, "A", 2), "3.34 uA");
+  EXPECT_EQ(fmt_si(5.5e-12, "F", 1), "5.5 pF");
+  EXPECT_EQ(fmt_si(31.25e6, "Hz", 2), "31.25 MHz");
+  EXPECT_EQ(fmt_si(0.478, "V", 3), "478.000 mV");
+}
+
+TEST(FmtSi, HandlesZeroAndNegative) {
+  EXPECT_EQ(fmt_si(0.0, "W", 1), "0.0 W");
+  EXPECT_EQ(fmt_si(-191.44e-6, "W", 2), "-191.44 uW");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");  // longer than width: unchanged
+}
+
+TEST(Join, VariousSizes) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, " | "), "a | b | c");
+}
+
+TEST(Repeat, ProducesRun) {
+  EXPECT_EQ(repeat('-', 4), "----");
+  EXPECT_EQ(repeat('x', 0), "");
+}
+
+}  // namespace
+}  // namespace optpower

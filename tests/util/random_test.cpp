@@ -1,0 +1,68 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+namespace optpower {
+namespace {
+
+TEST(Pcg32, DeterministicForSameSeed) {
+  Pcg32 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Pcg32, DifferentSeedsDiverge) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, NextBelowStaysInRange) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Pcg32, NextDoubleInUnitInterval) {
+  Pcg32 rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // law of large numbers
+}
+
+TEST(Pcg32, NextBitsMasksWidth) {
+  Pcg32 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.next_bits(16), 1u << 16);
+    EXPECT_LT(rng.next_bits(1), 2u);
+  }
+}
+
+TEST(Pcg32, BiasedCoinApproximatesProbability) {
+  Pcg32 rng(13);
+  int heads = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.next_bool(0.3)) ++heads;
+  }
+  EXPECT_NEAR(heads / 20000.0, 0.3, 0.02);
+}
+
+TEST(Pcg32, NextInRespectsBounds) {
+  Pcg32 rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_in(-2.5, 3.5);
+    ASSERT_GE(v, -2.5);
+    ASSERT_LT(v, 3.5);
+  }
+}
+
+}  // namespace
+}  // namespace optpower

@@ -1,0 +1,68 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"Arch", "Ptot"});
+  t.add_row({"RCA", "191.44"});
+  t.add_row({"Wallace", "71.86"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| Arch "), std::string::npos);
+  EXPECT_NE(s.find("191.44"), std::string::npos);
+  EXPECT_NE(s.find("Wallace"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, AlignsRightByDefaultExceptFirst) {
+  Table t({"name", "val"});
+  t.add_row({"a", "1"});
+  const std::string s = t.to_string();
+  // First column left: "| a    |"; second right: "|   1 |".
+  EXPECT_NE(s.find("| a    |"), std::string::npos);
+  EXPECT_NE(s.find("|   1 |"), std::string::npos);
+}
+
+TEST(Table, ThrowsOnColumnMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), InvalidArgument);
+}
+
+TEST(Table, ThrowsOnEmptyHeader) {
+  EXPECT_THROW(Table t({}), InvalidArgument);
+}
+
+TEST(Table, SeparatorAndCaption) {
+  Table t({"x"});
+  t.set_caption("Table 1 - results");
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string s = t.to_string();
+  EXPECT_EQ(s.rfind("Table 1 - results", 0), 0u);  // caption first
+  // Expect at least 4 rule lines (top, after header, separator, bottom).
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = s.find("+-", pos)) != std::string::npos; ++pos) ++rules;
+  EXPECT_GE(rules, 4);
+}
+
+TEST(Table, SetAlignValidatesColumn) {
+  Table t({"a", "b"});
+  t.set_align(1, Align::kLeft);
+  EXPECT_THROW(t.set_align(2, Align::kLeft), InvalidArgument);
+}
+
+TEST(Table, WidthsAdaptToLongestCell) {
+  Table t({"h"});
+  t.add_row({"a-very-long-cell"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a-very-long-cell |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optpower
