@@ -49,7 +49,7 @@ void print_ablation() {
 
   // Alpha-power vs C1 blend: only matters near/below the branch point.
   std::printf("\nOn-current model ablation (Wallace par4, the lowest-overdrive row):\n");
-  const Table1Row& wp4 = *find_table1_row("Wallace par4");
+  const Table1Row wp4 = *find_table1_row("Wallace par4");
   const CalibratedModel cal = calibrate_from_table1_row(wp4, ll);
   const PowerModel blended(cal.model.tech(), cal.model.arch(), OnCurrentModel::kC1Blended);
   const OptimumResult o_alpha = find_optimum(cal.model, kPaperFrequency);

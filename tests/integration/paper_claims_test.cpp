@@ -81,7 +81,7 @@ TEST(PaperClaims, CalibrationConsistentAcrossBothMethods) {
   // The Wallace rows appear in Table 1 (full split) and can also be
   // calibrated optimum-only (the Table-3/4 method) from the same LL data;
   // both must infer the same parameters.
-  const Table1Row& row = *find_table1_row("Wallace");
+  const Table1Row row = *find_table1_row("Wallace");
   const CalibratedModel full = calibrate_from_table1_row(row, stm_cmos09_ll());
   WallaceFlavorRow opt_only{row.name, row.vdd_opt, row.vth_opt, row.ptot, row.ptot_eq13,
                             row.eq13_err_pct};
