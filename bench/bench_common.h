@@ -8,13 +8,36 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "arch/paper_data.h"
+#include "exec/exec.h"
 #include "tech/linearization.h"
 #include "util/format.h"
 
 namespace optpower::bench {
+
+/// Env-overridable bench constant: returns the integer in $`name` when set
+/// to a positive value, else `fallback`.  The CI bench-smoke step shrinks
+/// the problem sizes this way (e.g. OPTPOWER_BENCH_SURFACE_N=128) while the
+/// regression-gate job and local runs use the defaults.
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed <= 0) return fallback;
+  return static_cast<int>(parsed);
+}
+
+/// Shared parallel context for the *Parallel bench variants: sized from
+/// OPTPOWER_THREADS (unset = all cores).  One pool per process, spun up on
+/// first use, shared by every copy.
+inline const ExecContext& parallel_context() {
+  static const ExecContext ctx = ExecContext::from_env();
+  return ctx;
+}
 
 /// The paper's published Eq. 7 fit for the LL flavor (A = 0.671, B = 0.347
 /// on 0.3-1.0 V); used wherever the paper's own Eq. 13 numbers are compared.

@@ -62,6 +62,12 @@ void print_figure1() {
   std::fputs(csv.to_string().c_str(), stdout);
 }
 
+// Env-overridable problem sizes: the CI bench-smoke step shrinks these to
+// stay fast; the regression-gate job and the committed BENCH_*.json use the
+// defaults.
+const int kSurfaceN = bench::env_int("OPTPOWER_BENCH_SURFACE_N", 512);
+const int kFig1Samples = bench::env_int("OPTPOWER_BENCH_FIG1_SAMPLES", 160);
+
 void BM_ConstraintCurve(benchmark::State& state) {
   const PowerModel model = rca_model();
   for (auto _ : state) {
@@ -71,23 +77,48 @@ void BM_ConstraintCurve(benchmark::State& state) {
 }
 BENCHMARK(BM_ConstraintCurve)->Arg(40)->Arg(160)->Arg(640);
 
-void BM_Figure1FullSweep(benchmark::State& state) {
+void BM_Figure1FullSweepSerial(benchmark::State& state) {
   const PowerModel model = rca_model();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        figure1_curves(model, kPaperFrequency, {1.0, 0.5, 0.25, 0.125}, 0.33, 1.1, 160));
+    benchmark::DoNotOptimize(figure1_curves(model, kPaperFrequency, {1.0, 0.5, 0.25, 0.125},
+                                            0.33, 1.1, kFig1Samples));
   }
 }
-BENCHMARK(BM_Figure1FullSweep)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Figure1FullSweepSerial)->Unit(benchmark::kMillisecond);
 
-void BM_PowerSurface2d(benchmark::State& state) {
+void BM_Figure1FullSweepParallel(benchmark::State& state) {
   const PowerModel model = rca_model();
+  const ExecContext& ctx = bench::parallel_context();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        power_surface(model, kPaperFrequency, 0.2, 1.2, 64, 0.0, 0.5, 64));
+    benchmark::DoNotOptimize(figure1_curves(model, kPaperFrequency, {1.0, 0.5, 0.25, 0.125},
+                                            0.33, 1.1, kFig1Samples, ctx));
+  }
+  state.counters["threads"] = static_cast<double>(ctx.threads());
+}
+BENCHMARK(BM_Figure1FullSweepParallel)->Unit(benchmark::kMillisecond);
+
+// The headline sweep of the regression gate: a dense (Vdd, Vth) power
+// surface, serial vs fanned out over the pool.  Identical cells either way.
+void BM_PowerSurfaceSerial(benchmark::State& state) {
+  const PowerModel model = rca_model();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(power_surface(model, kPaperFrequency, 0.2, 1.2, n, 0.0, 0.5, n));
   }
 }
-BENCHMARK(BM_PowerSurface2d);
+BENCHMARK(BM_PowerSurfaceSerial)->Arg(64)->Arg(kSurfaceN)->Unit(benchmark::kMillisecond);
+
+void BM_PowerSurfaceParallel(benchmark::State& state) {
+  const PowerModel model = rca_model();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const ExecContext& ctx = bench::parallel_context();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        power_surface(model, kPaperFrequency, 0.2, 1.2, n, 0.0, 0.5, n, ctx));
+  }
+  state.counters["threads"] = static_cast<double>(ctx.threads());
+}
+BENCHMARK(BM_PowerSurfaceParallel)->Arg(64)->Arg(kSurfaceN)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace optpower

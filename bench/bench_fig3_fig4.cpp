@@ -58,6 +58,11 @@ void BM_BuildDiagonalPipe(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildDiagonalPipe)->Arg(2)->Arg(4);
 
+// Env-overridable sizes: the CI bench-smoke step shrinks these to stay fast;
+// the regression-gate job uses the defaults (see bench_common.h).
+const int kActivityVectors = bench::env_int("OPTPOWER_BENCH_ACTIVITY_VECTORS", 128);
+const int kActivityStreams = bench::env_int("OPTPOWER_BENCH_ACTIVITY_STREAMS", 8);
+
 void BM_ActivitySimulation(benchmark::State& state) {
   const Netlist nl = array_multiplier_dpipe(8, 2);
   ActivityOptions opt;
@@ -66,7 +71,32 @@ void BM_ActivitySimulation(benchmark::State& state) {
     benchmark::DoNotOptimize(measure_activity(nl, opt));
   }
 }
-BENCHMARK(BM_ActivitySimulation)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ActivitySimulation)->Arg(32)->Arg(kActivityVectors)->Unit(benchmark::kMillisecond);
+
+// Multi-testbench extraction (kActivityStreams independent RNG streams over
+// the same netlist), serial vs fanned out - the paper's multi-vector
+// activity numbers, produced stream-parallel.
+void BM_ActivityMultiSerial(benchmark::State& state) {
+  const Netlist nl = array_multiplier_dpipe(8, 2);
+  ActivityOptions opt;
+  opt.num_vectors = kActivityVectors;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure_activity_sharded(nl, opt, kActivityStreams));
+  }
+}
+BENCHMARK(BM_ActivityMultiSerial)->Unit(benchmark::kMillisecond);
+
+void BM_ActivityMultiParallel(benchmark::State& state) {
+  const Netlist nl = array_multiplier_dpipe(8, 2);
+  ActivityOptions opt;
+  opt.num_vectors = kActivityVectors;
+  const ExecContext& ctx = bench::parallel_context();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure_activity_sharded(nl, opt, kActivityStreams, ctx));
+  }
+  state.counters["threads"] = static_cast<double>(ctx.threads());
+}
+BENCHMARK(BM_ActivityMultiParallel)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace optpower

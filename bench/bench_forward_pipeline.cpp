@@ -60,9 +60,13 @@ void print_forward() {
               find("RCA parallel").optimum.ptot < find("RCA").optimum.ptot ? "YES" : "NO");
 }
 
+// Env-overridable: the CI bench-smoke step shrinks the simulation window;
+// the regression-gate job uses the default.
+const int kForwardVectors = bench::env_int("OPTPOWER_BENCH_FWD_VECTORS", 32);
+
 void BM_ForwardFlowOneArch(benchmark::State& state) {
   ForwardFlowOptions opt;
-  opt.activity_vectors = 32;
+  opt.activity_vectors = kForwardVectors;
   const std::string name = multiplier_names()[static_cast<std::size_t>(state.range(0))];
   for (auto _ : state) {
     benchmark::DoNotOptimize(run_forward_flow(name, stm_cmos09_ll(), kPaperFrequency, opt));
@@ -70,6 +74,28 @@ void BM_ForwardFlowOneArch(benchmark::State& state) {
   state.SetLabel(name);
 }
 BENCHMARK(BM_ForwardFlowOneArch)->DenseRange(0, 12)->Unit(benchmark::kMillisecond);
+
+// All 13 architectures end-to-end, serial vs one-task-per-architecture - the
+// architecture-exploration sweep the examples run.
+void BM_ForwardFlowAllSerial(benchmark::State& state) {
+  ForwardFlowOptions opt;
+  opt.activity_vectors = kForwardVectors;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_forward_flow_all(stm_cmos09_ll(), kPaperFrequency, opt));
+  }
+}
+BENCHMARK(BM_ForwardFlowAllSerial)->Unit(benchmark::kMillisecond);
+
+void BM_ForwardFlowAllParallel(benchmark::State& state) {
+  ForwardFlowOptions opt;
+  opt.activity_vectors = kForwardVectors;
+  const ExecContext& ctx = bench::parallel_context();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_forward_flow_all(stm_cmos09_ll(), kPaperFrequency, opt, ctx));
+  }
+  state.counters["threads"] = static_cast<double>(ctx.threads());
+}
+BENCHMARK(BM_ForwardFlowAllParallel)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace optpower

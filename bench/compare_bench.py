@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate for the optpower bench suite.
+
+Compares google-benchmark JSON results (``--benchmark_format=json`` /
+``--benchmark_out``) against the checked-in baseline and fails when any
+benchmark regressed by more than the threshold (default: 25% slower on
+real_time).
+
+Usage:
+  # Gate (CI): exit 1 on regression
+  python3 bench/compare_bench.py --baseline bench/baseline.json BENCH_*.json
+
+  # Refresh the baseline from fresh results
+  python3 bench/compare_bench.py --baseline bench/baseline.json --update BENCH_*.json
+
+Conventions:
+  * Each result file is keyed by its benchmark binary, taken from the
+    "executable" field of the google-benchmark context (basename, so the
+    same baseline works for any build directory).
+  * Benchmarks present in the results but not in the baseline are reported
+    as NEW and do not fail the gate (refresh the baseline to adopt them).
+  * Baseline entries with no current measurement are reported as MISSING
+    and do not fail the gate (CI may legitimately run a subset).
+  * ``*Serial`` / ``*Parallel`` benchmark pairs additionally get a speedup
+    line (serial real_time / parallel real_time) in the summary.
+
+The baseline must be recorded on the same runner class the gate runs on;
+absolute times do not transfer between machines.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def real_time_ns(bench):
+    return float(bench["real_time"]) * TIME_UNIT_NS[bench.get("time_unit", "ns")]
+
+
+def load_results(path):
+    """Map 'binary/benchmark_name' -> real_time in ns for one JSON file."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    executable = os.path.basename(doc.get("context", {}).get("executable", ""))
+    if not executable:
+        # Fall back to the file name (BENCH_bench_fig1.json -> bench_fig1).
+        executable = os.path.splitext(os.path.basename(path))[0]
+        executable = executable[len("BENCH_"):] if executable.startswith("BENCH_") else executable
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[f"{executable}/{bench['name']}"] = real_time_ns(bench)
+    return out
+
+
+def load_all_results(paths):
+    merged = {}
+    for path in paths:
+        for key, value in load_results(path).items():
+            merged[key] = value
+    return merged
+
+
+def update_baseline(baseline_path, results, note):
+    baseline = {
+        "_meta": {
+            "note": note,
+            "format": "name -> real_time_ns (google-benchmark real_time, ns)",
+        },
+        "benchmarks": {name: results[name] for name in sorted(results)},
+    }
+    with open(baseline_path, "w") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"baseline updated: {baseline_path} ({len(results)} benchmarks)")
+
+
+def print_speedups(results):
+    pairs = []
+    for name in sorted(results):
+        if "Serial" not in name:
+            continue
+        partner = name.replace("Serial", "Parallel")
+        if partner in results and results[partner] > 0.0:
+            pairs.append((name, partner, results[name] / results[partner]))
+    if pairs:
+        print("\nSerial vs parallel speedups (real_time):")
+        for serial, parallel, speedup in pairs:
+            print(f"  {speedup:5.2f}x  {parallel}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", nargs="+", help="google-benchmark JSON result files")
+    parser.add_argument("--baseline", required=True, help="checked-in baseline JSON")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed slowdown fraction before failing (default 0.25 = +25%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the results instead of gating")
+    parser.add_argument("--note", default="refreshed by compare_bench.py --update",
+                        help="note stored in the baseline _meta on --update")
+    args = parser.parse_args()
+
+    results = load_all_results(args.results)
+    if not results:
+        print("error: no benchmark entries found in the result files", file=sys.stderr)
+        return 2
+
+    if args.update:
+        update_baseline(args.baseline, results, args.note)
+        print_speedups(results)
+        return 0
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)["benchmarks"]
+
+    regressions = []
+    improved = 0
+    compared = 0
+    for name in sorted(results):
+        if name not in baseline:
+            print(f"  NEW      {name} (not in baseline)")
+            continue
+        compared += 1
+        base, cur = baseline[name], results[name]
+        ratio = cur / base if base > 0.0 else float("inf")
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, base, cur, ratio))
+            print(f"  REGRESSED {name}: {base:.0f} ns -> {cur:.0f} ns ({ratio:.2f}x)")
+        elif ratio < 1.0:
+            improved += 1
+    for name in sorted(baseline):
+        if name not in results:
+            print(f"  MISSING  {name} (in baseline, not measured)")
+
+    print(f"\n{compared} compared, {improved} improved, {len(regressions)} regressed "
+          f"(threshold +{args.threshold * 100:.0f}%)")
+    print_speedups(results)
+
+    if regressions:
+        print("\nFAIL: benchmark regression gate", file=sys.stderr)
+        return 1
+    print("OK: no benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,16 +13,22 @@ int main() {
 
   const std::vector<std::string> candidates = {"RCA", "RCA hor.pipe4", "Wallace",
                                                "Wallace parallel", "Sequential"};
-  std::printf("Characterizing %zu architectures (build + simulate + STA)...\n\n",
-              candidates.size());
+  // The exploration sweep is the hot path: each candidate's characterization
+  // (netlist build + event simulation + STA) is independent, so fan them out
+  // over OPTPOWER_THREADS workers (unset = all cores; results are identical
+  // to the serial loop either way).
+  const ExecContext exec = ExecContext::from_env();
+  std::printf("Characterizing %zu architectures (build + simulate + STA, %d thread%s)...\n\n",
+              candidates.size(), exec.threads(), exec.threads() == 1 ? "" : "s");
 
   // Characterize once; the aggregates don't depend on frequency.
   ForwardFlowOptions opt;
   opt.activity_vectors = 64;
-  std::vector<ForwardCharacterization> chars;
-  for (const auto& name : candidates) {
-    chars.push_back(characterize_multiplier(build_multiplier(name), opt));
-    const auto& c = chars.back();
+  const std::vector<ForwardCharacterization> chars =
+      parallel_map<ForwardCharacterization>(exec, candidates.size(), [&](std::size_t k) {
+        return characterize_multiplier(build_multiplier(candidates[k]), opt);
+      });
+  for (const auto& c : chars) {
     std::printf("  %-18s N = %5.0f  a = %.3f  LDeff = %6.1f  C = %.1f fF\n", c.name.c_str(),
                 c.arch.n_cells, c.arch.activity, c.arch.logic_depth, c.arch.cell_cap * 1e15);
   }
@@ -34,23 +40,36 @@ int main() {
   for (const auto& c : chars) std::printf(" %16s", c.name.c_str());
   std::printf("   winner\n");
 
-  for (const double f_mhz : {2.0, 8.0, 31.25, 125.0, 350.0}) {
-    std::printf("%-12.2f", f_mhz);
+  const std::vector<double> f_mhz = {2.0, 8.0, 31.25, 125.0, 350.0};
+  std::vector<double> frequencies;
+  frequencies.reserve(f_mhz.size());
+  for (const double f : f_mhz) frequencies.push_back(f * 1e6);
+
+  // One per-configuration sweep per candidate, fanned out across the
+  // frequency axis; infeasible operating points come back flagged instead
+  // of throwing.
+  std::vector<std::vector<OptimumSweepPoint>> sweeps;
+  sweeps.reserve(chars.size());
+  for (const auto& c : chars) {
+    const PowerModel model(tech, c.arch);
+    sweeps.push_back(optimum_sweep(model, frequencies, {}, exec));
+  }
+
+  for (std::size_t fi = 0; fi < frequencies.size(); ++fi) {
+    std::printf("%-12.2f", f_mhz[fi]);
     std::string winner;
     double best = 1e9;
-    for (const auto& c : chars) {
-      const PowerModel model(tech, c.arch);
-      double ptot_uw;
-      try {
-        ptot_uw = find_optimum(model, f_mhz * 1e6).point.ptot * 1e6;
-      } catch (const Error&) {
+    for (std::size_t k = 0; k < chars.size(); ++k) {
+      const OptimumSweepPoint& point = sweeps[k][fi];
+      if (!point.feasible) {
         std::printf(" %16s", "infeasible");
         continue;
       }
+      const double ptot_uw = point.result.point.ptot * 1e6;
       std::printf(" %13.1fuW", ptot_uw);
       if (ptot_uw < best) {
         best = ptot_uw;
-        winner = c.name;
+        winner = chars[k].name;
       }
     }
     std::printf("   %s\n", winner.c_str());

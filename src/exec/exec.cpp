@@ -1,0 +1,64 @@
+#include "exec/exec.h"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/error.h"
+
+namespace optpower {
+
+ExecContext::ExecContext(int threads) {
+  require(threads >= 1, "ExecContext: need >= 1 thread");
+  if (threads > 1) pool_ = std::make_shared<ThreadPool>(threads);
+}
+
+ExecContext ExecContext::from_env(const char* var) {
+  int threads = 0;
+  if (const char* value = std::getenv(var); value != nullptr && *value != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    require(end != value && *end == '\0' && parsed >= 0,
+            std::string("ExecContext::from_env: bad thread count in $") + var);
+    threads = static_cast<int>(parsed);
+  }
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return ExecContext(threads);
+}
+
+namespace detail {
+
+void run_chunks(ThreadPool& pool, std::size_t chunks,
+                const std::function<void(std::size_t)>& chunk_body) {
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t remaining = chunks;
+  std::vector<std::exception_ptr> errors(chunks);
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    pool.submit([&, c] {
+      try {
+        chunk_body(c);
+      } catch (...) {
+        errors[c] = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      if (--remaining == 0) done.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(mutex);
+  done.wait(lock, [&] { return remaining == 0; });
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace optpower

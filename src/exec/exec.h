@@ -1,0 +1,103 @@
+// Parallel sweep engine: ExecContext + deterministic parallel_for/parallel_map.
+//
+// The paper's hot paths - dense (Vdd, Vth) power surfaces, constraint-curve
+// sampling, per-configuration optimizer sweeps, and multi-vector activity
+// extraction - are embarrassingly parallel: every grid cell / curve / seed is
+// independent.  This header provides the one mechanism they all share:
+//
+//   * ExecContext: a copyable handle on a fixed ThreadPool.  Default-built it
+//     is SERIAL (no pool, no threads), so every existing call site keeps its
+//     exact behavior; ExecContext(n) spins an n-worker pool; from_env() reads
+//     OPTPOWER_THREADS (0/unset = hardware concurrency).
+//   * parallel_for(ctx, n, body): runs body(0..n-1), split into one
+//     contiguous chunk per worker.  Each index must write only its own
+//     output slot; under that contract the result is BIT-IDENTICAL to the
+//     serial loop for any thread count, because every body(i) performs the
+//     same floating-point operations on the same inputs and there is no
+//     reduction whose order could vary.  The first exception (lowest chunk)
+//     thrown by a body is rethrown on the calling thread.
+//   * parallel_map(ctx, n, fn): the indexed-map convenience on top.
+//
+// Both are templates on the callable: the per-index inner loop stays fully
+// inlinable, and type erasure happens once per CHUNK (worker task), never
+// per index.
+//
+// Nesting: do not call parallel_for from inside a parallel_for body with the
+// same context - pass a serial (default) context to inner calls instead.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace optpower {
+
+/// Execution policy handle threaded through the sweep APIs.  Copies share the
+/// underlying pool.  A default-constructed context is serial.
+class ExecContext {
+ public:
+  /// Serial context: no pool, parallel_for degenerates to a plain loop.
+  ExecContext() = default;
+
+  /// Context with `threads` workers (>= 1; 1 stays serial, no pool).
+  explicit ExecContext(int threads);
+
+  /// Context sized from the environment: OPTPOWER_THREADS workers, where
+  /// unset, empty, or "0" means std::thread::hardware_concurrency().
+  [[nodiscard]] static ExecContext from_env(const char* var = "OPTPOWER_THREADS");
+
+  /// Worker count this context fans out to (1 when serial).
+  [[nodiscard]] int threads() const noexcept { return pool_ ? pool_->size() : 1; }
+
+  [[nodiscard]] bool is_parallel() const noexcept { return threads() > 1; }
+
+  /// Underlying pool; nullptr when serial.
+  [[nodiscard]] ThreadPool* pool() const noexcept { return pool_.get(); }
+
+ private:
+  std::shared_ptr<ThreadPool> pool_;
+};
+
+namespace detail {
+
+/// Fan chunk_body(0..chunks-1) out over the pool, wait for all chunks, and
+/// rethrow the lowest-chunk exception (if any) on the calling thread.
+void run_chunks(ThreadPool& pool, std::size_t chunks,
+                const std::function<void(std::size_t)>& chunk_body);
+
+}  // namespace detail
+
+/// Run body(i) for i in [0, n), fanned out over ctx's workers in contiguous
+/// chunks.  Serial fallback when ctx is serial or n <= 1.  Rethrows the
+/// lowest-chunk exception after all chunks finish.
+template <typename Body>
+void parallel_for(const ExecContext& ctx, std::size_t n, Body&& body) {
+  if (n == 0) return;
+  ThreadPool* pool = ctx.pool();
+  const std::size_t chunks =
+      pool != nullptr ? std::min(n, static_cast<std::size_t>(pool->size())) : 1;
+  if (pool == nullptr || chunks <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  detail::run_chunks(*pool, chunks, [&](std::size_t c) {
+    const std::size_t lo = n * c / chunks;
+    const std::size_t hi = n * (c + 1) / chunks;
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+/// Indexed map: out[i] = fn(i), each slot written exactly once by one worker.
+/// T must be default-constructible.
+template <typename T, typename Fn>
+[[nodiscard]] std::vector<T> parallel_map(const ExecContext& ctx, std::size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  parallel_for(ctx, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace optpower

@@ -1,0 +1,46 @@
+// Fixed-size worker pool used by the parallel sweep engine (exec/exec.h).
+//
+// Deliberately minimal: a bounded set of workers draining a FIFO task queue.
+// The pool never grows or shrinks after construction; destruction drains the
+// queue (already-submitted tasks still run) and joins every worker.  Tasks
+// must not throw - the higher-level parallel_for wrapper catches exceptions
+// per chunk and rethrows them on the calling thread.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace optpower {
+
+class ThreadPool {
+ public:
+  /// Spin up `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue (pending tasks still execute) and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue one task.  The task must not throw.
+  void submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace optpower

@@ -113,14 +113,26 @@ MinimizeResult brent_minimize(const std::function<double(double)>& f, double lo,
 
 MinimizeResult scan_then_refine(const std::function<double(double)>& f, double lo, double hi,
                                 int samples, const MinimizeOptions& options) {
+  return scan_then_refine(f, lo, hi, samples, options, ExecContext());
+}
+
+MinimizeResult scan_then_refine(const std::function<double(double)>& f, double lo, double hi,
+                                int samples, const MinimizeOptions& options,
+                                const ExecContext& ctx) {
   require(lo < hi, "scan_then_refine: lo must be < hi");
   require(samples >= 3, "scan_then_refine: need at least 3 samples");
+  const std::size_t n = static_cast<std::size_t>(samples);
+  std::vector<double> values(n);
+  parallel_for(ctx, n, [&](std::size_t i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / (samples - 1);
+    values[i] = f(x);
+  });
   double best_x = lo;
   double best_f = std::numeric_limits<double>::infinity();
   int best_i = 0;
   for (int i = 0; i < samples; ++i) {
     const double x = lo + (hi - lo) * static_cast<double>(i) / (samples - 1);
-    const double fx = f(x);
+    const double fx = values[static_cast<std::size_t>(i)];
     if (std::isfinite(fx) && fx < best_f) {
       best_f = fx;
       best_x = x;
@@ -143,21 +155,43 @@ MinimizeResult scan_then_refine(const std::function<double(double)>& f, double l
 
 GridMinimum grid_minimize_2d(const std::function<double(double, double)>& f, double xlo,
                              double xhi, std::size_t nx, double ylo, double yhi, std::size_t ny) {
+  return grid_minimize_2d(f, xlo, xhi, nx, ylo, yhi, ny, ExecContext());
+}
+
+GridMinimum grid_minimize_2d(const std::function<double(double, double)>& f, double xlo,
+                             double xhi, std::size_t nx, double ylo, double yhi, std::size_t ny,
+                             const ExecContext& ctx) {
   require(xlo < xhi && ylo < yhi, "grid_minimize_2d: bad bounds");
   require(nx >= 2 && ny >= 2, "grid_minimize_2d: need at least a 2x2 grid");
+  // Per-row minima in parallel (strict `<` keeps the first/lowest-j winner),
+  // then a serial ascending-row merge with the same strict `<`: the winning
+  // cell matches the serial i-major/j-minor scan exactly, ties included.
+  struct RowBest {
+    double y = 0.0;
+    double f = std::numeric_limits<double>::infinity();
+    std::size_t j = 0;
+    bool found = false;
+  };
+  std::vector<RowBest> rows(nx);
+  parallel_for(ctx, nx, [&](std::size_t i) {
+    const double x = xlo + (xhi - xlo) * static_cast<double>(i) / static_cast<double>(nx - 1);
+    RowBest& row = rows[i];
+    for (std::size_t j = 0; j < ny; ++j) {
+      const double y = ylo + (yhi - ylo) * static_cast<double>(j) / static_cast<double>(ny - 1);
+      const double v = f(x, y);
+      if (std::isfinite(v) && v < row.f) {
+        row = {y, v, j, true};
+      }
+    }
+  });
   GridMinimum best;
   best.f = std::numeric_limits<double>::infinity();
   bool found = false;
   for (std::size_t i = 0; i < nx; ++i) {
+    if (!rows[i].found || rows[i].f >= best.f) continue;
     const double x = xlo + (xhi - xlo) * static_cast<double>(i) / static_cast<double>(nx - 1);
-    for (std::size_t j = 0; j < ny; ++j) {
-      const double y = ylo + (yhi - ylo) * static_cast<double>(j) / static_cast<double>(ny - 1);
-      const double v = f(x, y);
-      if (std::isfinite(v) && v < best.f) {
-        best = {x, y, v, i, j};
-        found = true;
-      }
-    }
+    best = {x, rows[i].y, rows[i].f, i, rows[i].j};
+    found = true;
   }
   if (!found) throw NumericalError("grid_minimize_2d: no feasible grid point");
   return best;

@@ -10,6 +10,8 @@
 #include <functional>
 #include <vector>
 
+#include "exec/exec.h"
+
 namespace optpower {
 
 /// Options for the 1-D minimizers.
@@ -41,6 +43,15 @@ struct MinimizeResult {
                                               double hi, int samples = 200,
                                               const MinimizeOptions& options = {});
 
+/// Parallel overload: the coarse scan is evaluated across `ctx`'s workers
+/// (each sample writes its own slot; the argmin pick and the Brent
+/// refinement stay serial), so the result is bit-identical to the serial
+/// path.  `f` must be safe to call concurrently.
+[[nodiscard]] MinimizeResult scan_then_refine(const std::function<double(double)>& f, double lo,
+                                              double hi, int samples,
+                                              const MinimizeOptions& options,
+                                              const ExecContext& ctx);
+
 /// Result of a 2-D grid minimization.
 struct GridMinimum {
   double x = 0.0;
@@ -56,5 +67,14 @@ struct GridMinimum {
 [[nodiscard]] GridMinimum grid_minimize_2d(const std::function<double(double, double)>& f,
                                            double xlo, double xhi, std::size_t nx, double ylo,
                                            double yhi, std::size_t ny);
+
+/// Parallel overload: rows are scanned across `ctx`'s workers, each keeping
+/// its strictly-first row minimum; the cross-row merge walks rows in
+/// ascending order with the same strict `<`, so the selected cell (ties
+/// included) is identical to the serial scan.  `f` must be safe to call
+/// concurrently.
+[[nodiscard]] GridMinimum grid_minimize_2d(const std::function<double(double, double)>& f,
+                                           double xlo, double xhi, std::size_t nx, double ylo,
+                                           double yhi, std::size_t ny, const ExecContext& ctx);
 
 }  // namespace optpower

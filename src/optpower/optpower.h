@@ -8,12 +8,14 @@
 //   netlist/*, mult/*, sim/*, sta/*                      - EDA substrates
 //   spice/*                                              - mini circuit simulator
 //   report/forward_flow.h                                - end-to-end flow
+//   exec/exec.h                                          - parallel sweep engine
 #pragma once
 
 #include "arch/architecture.h"
 #include "arch/paper_data.h"
 #include "calib/calibrate.h"
 #include "calib/tech_extract.h"
+#include "exec/exec.h"
 #include "mult/factory.h"
 #include "netlist/builder.h"
 #include "netlist/netlist.h"

@@ -10,6 +10,11 @@ namespace optpower {
 
 OptimumResult find_optimum(const PowerModel& model, double frequency,
                            const OptimumOptions& options) {
+  return find_optimum(model, frequency, options, ExecContext());
+}
+
+OptimumResult find_optimum(const PowerModel& model, double frequency,
+                           const OptimumOptions& options, const ExecContext& ctx) {
   require(frequency > 0.0, "find_optimum: frequency must be positive");
   require(options.vdd_min > 0.0 && options.vdd_min < options.vdd_max,
           "find_optimum: bad vdd range");
@@ -22,8 +27,8 @@ OptimumResult find_optimum(const PowerModel& model, double frequency,
     return model.total_power(vdd, vth, frequency);
   };
 
-  const MinimizeResult best =
-      scan_then_refine(objective, options.vdd_min, options.vdd_max, options.scan_samples);
+  const MinimizeResult best = scan_then_refine(objective, options.vdd_min, options.vdd_max,
+                                               options.scan_samples, MinimizeOptions{}, ctx);
 
   OptimumResult result;
   result.frequency = frequency;
@@ -36,6 +41,11 @@ OptimumResult find_optimum(const PowerModel& model, double frequency,
 
 OptimumResult find_optimum_grid(const PowerModel& model, double frequency,
                                 const OptimumOptions& options) {
+  return find_optimum_grid(model, frequency, options, ExecContext());
+}
+
+OptimumResult find_optimum_grid(const PowerModel& model, double frequency,
+                                const OptimumOptions& options, const ExecContext& ctx) {
   require(frequency > 0.0, "find_optimum_grid: frequency must be positive");
 
   const auto objective = [&](double vdd, double vth) -> double {
@@ -48,7 +58,7 @@ OptimumResult find_optimum_grid(const PowerModel& model, double frequency,
 
   const GridMinimum grid =
       grid_minimize_2d(objective, options.vdd_min, options.vdd_max, options.grid_nx,
-                       options.vth_min, options.vth_max, options.grid_ny);
+                       options.vth_min, options.vth_max, options.grid_ny, ctx);
 
   OptimumResult result;
   result.frequency = frequency;
@@ -61,6 +71,24 @@ OptimumResult find_optimum_grid(const PowerModel& model, double frequency,
                              static_cast<double>(options.grid_ny - 1);
   result.converged = true;
   return result;
+}
+
+std::vector<OptimumSweepPoint> optimum_sweep(const PowerModel& model,
+                                             const std::vector<double>& frequencies,
+                                             const OptimumOptions& options,
+                                             const ExecContext& ctx) {
+  return parallel_map<OptimumSweepPoint>(ctx, frequencies.size(), [&](std::size_t k) {
+    OptimumSweepPoint point;
+    point.frequency = frequencies[k];
+    try {
+      // Inner search stays serial: the sweep itself is the parallel axis.
+      point.result = find_optimum(model, frequencies[k], options);
+      point.feasible = true;
+    } catch (const NumericalError&) {
+      point.feasible = false;
+    }
+    return point;
+  });
 }
 
 }  // namespace optpower

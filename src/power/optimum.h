@@ -13,6 +13,9 @@
 //                         reference.  Slower; used to cross-validate.
 #pragma once
 
+#include <vector>
+
+#include "exec/exec.h"
 #include "power/model.h"
 
 namespace optpower {
@@ -41,9 +44,39 @@ struct OptimumResult {
 [[nodiscard]] OptimumResult find_optimum(const PowerModel& model, double frequency,
                                          const OptimumOptions& options = {});
 
+/// Parallel overload: the coarse constraint-curve scan fans out over `ctx`;
+/// bit-identical to the serial search.
+[[nodiscard]] OptimumResult find_optimum(const PowerModel& model, double frequency,
+                                         const OptimumOptions& options, const ExecContext& ctx);
+
 /// 2-D exhaustive grid search (the paper's reference method).
 /// Infeasible cells (timing not met, or vth outside range) are skipped.
 [[nodiscard]] OptimumResult find_optimum_grid(const PowerModel& model, double frequency,
                                               const OptimumOptions& options = {});
+
+/// Parallel overload: Vdd rows of the grid fan out over `ctx`; the winning
+/// cell (ties included) is identical to the serial scan.
+[[nodiscard]] OptimumResult find_optimum_grid(const PowerModel& model, double frequency,
+                                              const OptimumOptions& options,
+                                              const ExecContext& ctx);
+
+/// One entry of a per-configuration sweep: the optimum at `frequency`, or
+/// feasible == false when no allowed (Vdd, Vth) meets timing there (the
+/// NumericalError the scalar search would throw is captured per point, so
+/// one infeasible configuration doesn't abort the whole sweep).
+struct OptimumSweepPoint {
+  double frequency = 0.0;
+  bool feasible = false;
+  OptimumResult result;
+};
+
+/// Sweep find_optimum over many frequency targets (the per-configuration
+/// loop behind the architecture-exploration and frequency-sweep workflows).
+/// Each configuration is independent, so they fan out over `ctx`; slot k of
+/// the result always belongs to frequencies[k].
+[[nodiscard]] std::vector<OptimumSweepPoint> optimum_sweep(const PowerModel& model,
+                                                           const std::vector<double>& frequencies,
+                                                           const OptimumOptions& options = {},
+                                                           const ExecContext& ctx = {});
 
 }  // namespace optpower

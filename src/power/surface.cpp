@@ -7,21 +7,37 @@ namespace optpower {
 std::vector<ConstraintSample> constraint_curve(const PowerModel& model, double frequency,
                                                double vdd_lo, double vdd_hi, int samples,
                                                double vth_floor) {
+  return constraint_curve(model, frequency, vdd_lo, vdd_hi, samples, vth_floor, ExecContext());
+}
+
+std::vector<ConstraintSample> constraint_curve(const PowerModel& model, double frequency,
+                                               double vdd_lo, double vdd_hi, int samples,
+                                               double vth_floor, const ExecContext& ctx) {
   require(vdd_lo > 0.0 && vdd_lo < vdd_hi, "constraint_curve: bad vdd range");
   require(samples >= 2, "constraint_curve: need >= 2 samples");
-  std::vector<ConstraintSample> out;
-  out.reserve(static_cast<std::size_t>(samples));
-  for (int i = 0; i < samples; ++i) {
-    const double vdd = vdd_lo + (vdd_hi - vdd_lo) * static_cast<double>(i) / (samples - 1);
+  const std::size_t n = static_cast<std::size_t>(samples);
+  // Evaluate every sample into its own slot, then compact the feasible ones
+  // in index order - the same samples survive, in the same order, as the
+  // serial skip-as-you-go loop.
+  std::vector<ConstraintSample> slots(n);
+  std::vector<char> keep(n, 0);
+  parallel_for(ctx, n, [&](std::size_t i) {
+    const double vdd =
+        vdd_lo + (vdd_hi - vdd_lo) * static_cast<double>(i) / static_cast<double>(samples - 1);
     const double vth = model.vth_on_constraint(vdd, frequency);
-    if (vth < vth_floor || vth >= vdd) continue;
-    ConstraintSample s;
+    if (vth < vth_floor || vth >= vdd) return;
+    ConstraintSample& s = slots[i];
     s.vdd = vdd;
     s.vth = vth;
     s.pdyn = model.dynamic_power(vdd, frequency);
     s.pstat = model.static_power(vdd, vth);
     s.ptot = s.pdyn + s.pstat;
-    out.push_back(s);
+    keep[i] = 1;
+  });
+  std::vector<ConstraintSample> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (keep[i]) out.push_back(slots[i]);
   }
   return out;
 }
@@ -29,13 +45,20 @@ std::vector<ConstraintSample> constraint_curve(const PowerModel& model, double f
 std::vector<ActivityCurve> figure1_curves(const PowerModel& base, double frequency,
                                           const std::vector<double>& activity_scales,
                                           double vdd_lo, double vdd_hi, int samples) {
+  return figure1_curves(base, frequency, activity_scales, vdd_lo, vdd_hi, samples, ExecContext());
+}
+
+std::vector<ActivityCurve> figure1_curves(const PowerModel& base, double frequency,
+                                          const std::vector<double>& activity_scales,
+                                          double vdd_lo, double vdd_hi, int samples,
+                                          const ExecContext& ctx) {
   require(!activity_scales.empty(), "figure1_curves: no activity scales given");
-  std::vector<ActivityCurve> out;
-  out.reserve(activity_scales.size());
   for (const double scale : activity_scales) {
     require(scale > 0.0, "figure1_curves: activity scales must be positive");
+  }
+  return parallel_map<ActivityCurve>(ctx, activity_scales.size(), [&](std::size_t k) {
     ArchitectureParams arch = base.arch();
-    arch.activity *= scale;
+    arch.activity *= activity_scales[k];
     const PowerModel model(base.tech(), arch);
     ActivityCurve curve;
     curve.activity = arch.activity;
@@ -43,29 +66,34 @@ std::vector<ActivityCurve> figure1_curves(const PowerModel& base, double frequen
     const OptimumResult opt = find_optimum(model, frequency);
     curve.optimum = opt.point;
     curve.dyn_stat_ratio = opt.point.dyn_stat_ratio();
-    out.push_back(std::move(curve));
-  }
-  return out;
+    return curve;
+  });
 }
 
 std::vector<SurfaceCell> power_surface(const PowerModel& model, double frequency, double vdd_lo,
                                        double vdd_hi, std::size_t nx, double vth_lo,
                                        double vth_hi, std::size_t ny) {
+  return power_surface(model, frequency, vdd_lo, vdd_hi, nx, vth_lo, vth_hi, ny, ExecContext());
+}
+
+std::vector<SurfaceCell> power_surface(const PowerModel& model, double frequency, double vdd_lo,
+                                       double vdd_hi, std::size_t nx, double vth_lo,
+                                       double vth_hi, std::size_t ny, const ExecContext& ctx) {
   require(nx >= 2 && ny >= 2, "power_surface: need at least a 2x2 grid");
-  std::vector<SurfaceCell> cells;
-  cells.reserve(nx * ny);
-  for (std::size_t i = 0; i < nx; ++i) {
-    const double vdd = vdd_lo + (vdd_hi - vdd_lo) * static_cast<double>(i) / static_cast<double>(nx - 1);
+  std::vector<SurfaceCell> cells(nx * ny);
+  parallel_for(ctx, nx, [&](std::size_t i) {
+    const double vdd =
+        vdd_lo + (vdd_hi - vdd_lo) * static_cast<double>(i) / static_cast<double>(nx - 1);
     for (std::size_t j = 0; j < ny; ++j) {
-      const double vth = vth_lo + (vth_hi - vth_lo) * static_cast<double>(j) / static_cast<double>(ny - 1);
-      SurfaceCell c;
+      const double vth =
+          vth_lo + (vth_hi - vth_lo) * static_cast<double>(j) / static_cast<double>(ny - 1);
+      SurfaceCell& c = cells[i * ny + j];
       c.vdd = vdd;
       c.vth = vth;
       c.ptot = model.total_power(vdd, vth, frequency);
       c.feasible = vth < vdd && model.meets_timing(vdd, vth, frequency);
-      cells.push_back(c);
     }
-  }
+  });
   return cells;
 }
 

@@ -2,10 +2,17 @@
 // ("Total power consumption ... for different circuit activities; the
 // optimal working points are marked, and the dynamic over static power
 // ratio at this point is given").
+//
+// Every sweep here is embarrassingly parallel (independent samples/cells),
+// so each entry point has an ExecContext overload that fans the loop out
+// over a thread pool; results are bit-identical to the serial path for any
+// thread count (each index writes only its own slot, no reductions).  The
+// short overloads stay serial so existing call sites are unchanged.
 #pragma once
 
 #include <vector>
 
+#include "exec/exec.h"
 #include "power/model.h"
 #include "power/optimum.h"
 
@@ -27,6 +34,13 @@ struct ConstraintSample {
                                                              double vdd_hi, int samples = 200,
                                                              double vth_floor = -0.3);
 
+/// Parallel overload: samples are evaluated across `ctx`'s workers.
+[[nodiscard]] std::vector<ConstraintSample> constraint_curve(const PowerModel& model,
+                                                             double frequency, double vdd_lo,
+                                                             double vdd_hi, int samples,
+                                                             double vth_floor,
+                                                             const ExecContext& ctx);
+
 /// One activity's curve plus its optimum (a full Figure-1 series).
 struct ActivityCurve {
   double activity = 0.0;
@@ -42,6 +56,12 @@ struct ActivityCurve {
                                                         double vdd_lo = 0.15, double vdd_hi = 1.2,
                                                         int samples = 240);
 
+/// Parallel overload: one task per activity scale (curve + optimum search).
+[[nodiscard]] std::vector<ActivityCurve> figure1_curves(const PowerModel& base, double frequency,
+                                                        const std::vector<double>& activity_scales,
+                                                        double vdd_lo, double vdd_hi, int samples,
+                                                        const ExecContext& ctx);
+
 /// Dense 2-D map of Ptot(Vdd, Vth) with a feasibility flag per cell; used by
 /// the grid cross-check visualizations and tests.
 struct SurfaceCell {
@@ -53,5 +73,13 @@ struct SurfaceCell {
 [[nodiscard]] std::vector<SurfaceCell> power_surface(const PowerModel& model, double frequency,
                                                      double vdd_lo, double vdd_hi, std::size_t nx,
                                                      double vth_lo, double vth_hi, std::size_t ny);
+
+/// Parallel overload: Vdd rows are distributed across `ctx`'s workers; the
+/// returned cells are in the same row-major order and bit-identical to the
+/// serial result.
+[[nodiscard]] std::vector<SurfaceCell> power_surface(const PowerModel& model, double frequency,
+                                                     double vdd_lo, double vdd_hi, std::size_t nx,
+                                                     double vth_lo, double vth_hi, std::size_t ny,
+                                                     const ExecContext& ctx);
 
 }  // namespace optpower

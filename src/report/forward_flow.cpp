@@ -52,12 +52,16 @@ ForwardResult run_forward_flow(const std::string& arch_name, const Technology& t
 
 std::vector<ForwardResult> run_forward_flow_all(const Technology& tech, double frequency,
                                                 const ForwardFlowOptions& options) {
-  std::vector<ForwardResult> all;
-  all.reserve(multiplier_names().size());
-  for (const auto& name : multiplier_names()) {
-    all.push_back(run_forward_flow(name, tech, frequency, options));
-  }
-  return all;
+  return run_forward_flow_all(tech, frequency, options, ExecContext());
+}
+
+std::vector<ForwardResult> run_forward_flow_all(const Technology& tech, double frequency,
+                                                const ForwardFlowOptions& options,
+                                                const ExecContext& ctx) {
+  const std::vector<std::string>& names = multiplier_names();
+  return parallel_map<ForwardResult>(ctx, names.size(), [&](std::size_t k) {
+    return run_forward_flow(names[k], tech, frequency, options);
+  });
 }
 
 }  // namespace optpower

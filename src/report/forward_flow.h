@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "arch/architecture.h"
+#include "exec/exec.h"
 #include "mult/factory.h"
 #include "power/closed_form.h"
 #include "power/optimum.h"
@@ -64,5 +65,13 @@ struct ForwardResult {
 [[nodiscard]] std::vector<ForwardResult> run_forward_flow_all(const Technology& tech,
                                                               double frequency,
                                                               const ForwardFlowOptions& options = {});
+
+/// Parallel overload: one architecture (netlist build + simulation + STA +
+/// optimization, all private state) per task, fanned out over `ctx`.  Row
+/// order and every number match the serial flow exactly.
+[[nodiscard]] std::vector<ForwardResult> run_forward_flow_all(const Technology& tech,
+                                                              double frequency,
+                                                              const ForwardFlowOptions& options,
+                                                              const ExecContext& ctx);
 
 }  // namespace optpower

@@ -49,4 +49,48 @@ ActivityMeasurement measure_activity(const Netlist& netlist, const ActivityOptio
   return m;
 }
 
+std::vector<ActivityMeasurement> measure_activity_multi(const Netlist& netlist,
+                                                        const std::vector<ActivityOptions>& runs,
+                                                        const ExecContext& ctx) {
+  // Warm the lazily-built fanout cache while still single-threaded; every
+  // EventSimulator in the fan-out then only reads the shared netlist.
+  (void)netlist.fanout();
+  return parallel_map<ActivityMeasurement>(
+      ctx, runs.size(), [&](std::size_t k) { return measure_activity(netlist, runs[k]); });
+}
+
+ActivityMeasurement measure_activity_sharded(const Netlist& netlist, const ActivityOptions& total,
+                                             int streams, const ExecContext& ctx) {
+  require(streams >= 1, "measure_activity_sharded: need >= 1 stream");
+  require(total.num_vectors >= streams,
+          "measure_activity_sharded: need >= 1 vector per stream");
+  std::vector<ActivityOptions> runs(static_cast<std::size_t>(streams), total);
+  const int base = total.num_vectors / streams;
+  const int remainder = total.num_vectors % streams;
+  for (int s = 0; s < streams; ++s) {
+    runs[static_cast<std::size_t>(s)].num_vectors = base + (s < remainder ? 1 : 0);
+    runs[static_cast<std::size_t>(s)].seed = total.seed + static_cast<std::uint64_t>(s);
+  }
+  return merge_activity(netlist, measure_activity_multi(netlist, runs, ctx));
+}
+
+ActivityMeasurement merge_activity(const Netlist& netlist,
+                                   const std::vector<ActivityMeasurement>& parts) {
+  require(!parts.empty(), "merge_activity: nothing to merge");
+  ActivityMeasurement m;
+  for (const ActivityMeasurement& part : parts) {
+    m.transitions += part.transitions;
+    m.glitches += part.glitches;
+    m.data_periods += part.data_periods;
+    m.clock_cycles += part.clock_cycles;
+  }
+  const NetlistStats nstats = netlist.stats();
+  const double denom = static_cast<double>(nstats.num_cells) * static_cast<double>(m.data_periods);
+  m.activity = denom > 0.0 ? 0.5 * static_cast<double>(m.transitions) / denom : 0.0;
+  m.glitch_fraction = m.transitions > 0
+                          ? static_cast<double>(m.glitches) / static_cast<double>(m.transitions)
+                          : 0.0;
+  return m;
+}
+
 }  // namespace optpower

@@ -4,7 +4,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "exec/exec.h"
 #include "netlist/netlist.h"
 #include "sim/event_sim.h"
 
@@ -39,5 +41,29 @@ struct ActivityMeasurement {
 /// data period, held for cycles_per_vector clocks) and measure activity.
 [[nodiscard]] ActivityMeasurement measure_activity(const Netlist& netlist,
                                                    const ActivityOptions& options = {});
+
+/// Multi-testbench extraction: one independent testbench (own simulator, own
+/// RNG stream) per entry of `runs`, fanned out over `ctx`'s workers.  Slot k
+/// of the result always belongs to runs[k], so the output is bit-identical
+/// for any thread count.  The netlist's lazy fanout cache is warmed before
+/// the fan-out, which keeps the shared `netlist` strictly read-only inside
+/// the parallel region.
+[[nodiscard]] std::vector<ActivityMeasurement> measure_activity_multi(
+    const Netlist& netlist, const std::vector<ActivityOptions>& runs, const ExecContext& ctx = {});
+
+/// Convenience for variance reduction: `streams` testbenches that split
+/// `total.num_vectors` evenly (remainder to the first streams), each seeded
+/// with total.seed + stream index, merged into one pooled measurement.
+/// Deterministic for a fixed stream count regardless of thread count.
+[[nodiscard]] ActivityMeasurement measure_activity_sharded(const Netlist& netlist,
+                                                           const ActivityOptions& total,
+                                                           int streams,
+                                                           const ExecContext& ctx = {});
+
+/// Pool independent measurements of the SAME netlist into one: counters are
+/// summed and the ratios recomputed (requires num_cells > 0 measurements to
+/// have come from the same design, which the callers above guarantee).
+[[nodiscard]] ActivityMeasurement merge_activity(const Netlist& netlist,
+                                                 const std::vector<ActivityMeasurement>& parts);
 
 }  // namespace optpower

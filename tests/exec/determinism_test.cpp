@@ -1,0 +1,168 @@
+// Parallel == serial, element for element: the sweep engine's contract is
+// that fanning a sweep out over a pool changes wall-clock time and nothing
+// else.  Every comparison here is EXACT (==, not near): each index performs
+// the same floating-point operations on the same inputs regardless of the
+// thread count, so even the last ulp must match.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arch/paper_data.h"
+#include "calib/calibrate.h"
+#include "exec/exec.h"
+#include "mult/array.h"
+#include "power/optimum.h"
+#include "power/surface.h"
+#include "sim/activity.h"
+#include "tech/stm_cmos09.h"
+
+namespace optpower {
+namespace {
+
+PowerModel rca_model() {
+  // The Figure-1 circuit: the calibrated 16-bit RCA multiplier.
+  return calibrate_from_table1_row(*find_table1_row("RCA"), stm_cmos09_ll()).model;
+}
+
+// Thread counts chosen to produce uneven chunking on the sizes below.
+const std::vector<int> kThreadCounts = {2, 3, 5};
+
+TEST(ParallelDeterminismTest, PowerSurfaceMatchesSerialElementForElement) {
+  const PowerModel m = rca_model();
+  const auto serial = power_surface(m, kPaperFrequency, 0.2, 1.2, 37, 0.0, 0.5, 41);
+  for (const int threads : kThreadCounts) {
+    const ExecContext ctx(threads);
+    const auto parallel = power_surface(m, kPaperFrequency, 0.2, 1.2, 37, 0.0, 0.5, 41, ctx);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(parallel[i].vdd, serial[i].vdd) << "cell " << i << ", threads " << threads;
+      ASSERT_EQ(parallel[i].vth, serial[i].vth) << "cell " << i << ", threads " << threads;
+      ASSERT_EQ(parallel[i].ptot, serial[i].ptot) << "cell " << i << ", threads " << threads;
+      ASSERT_EQ(parallel[i].feasible, serial[i].feasible)
+          << "cell " << i << ", threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, ConstraintCurveMatchesSerialIncludingSkips) {
+  const PowerModel m = rca_model();
+  // The wide range makes some samples infeasible, exercising the compaction.
+  const auto serial = constraint_curve(m, kPaperFrequency, 0.15, 1.3, 173, -0.3);
+  for (const int threads : kThreadCounts) {
+    const auto parallel =
+        constraint_curve(m, kPaperFrequency, 0.15, 1.3, 173, -0.3, ExecContext(threads));
+    ASSERT_EQ(parallel.size(), serial.size()) << "threads " << threads;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(parallel[i].vdd, serial[i].vdd);
+      ASSERT_EQ(parallel[i].vth, serial[i].vth);
+      ASSERT_EQ(parallel[i].pdyn, serial[i].pdyn);
+      ASSERT_EQ(parallel[i].pstat, serial[i].pstat);
+      ASSERT_EQ(parallel[i].ptot, serial[i].ptot);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, Figure1CurvesMatchSerial) {
+  const PowerModel m = rca_model();
+  const std::vector<double> scales = {1.0, 0.5, 0.25, 0.125};
+  const auto serial = figure1_curves(m, kPaperFrequency, scales, 0.33, 1.1, 96);
+  for (const int threads : kThreadCounts) {
+    const auto parallel =
+        figure1_curves(m, kPaperFrequency, scales, 0.33, 1.1, 96, ExecContext(threads));
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t k = 0; k < serial.size(); ++k) {
+      ASSERT_EQ(parallel[k].activity, serial[k].activity);
+      ASSERT_EQ(parallel[k].dyn_stat_ratio, serial[k].dyn_stat_ratio);
+      ASSERT_EQ(parallel[k].optimum.vdd, serial[k].optimum.vdd);
+      ASSERT_EQ(parallel[k].optimum.vth, serial[k].optimum.vth);
+      ASSERT_EQ(parallel[k].optimum.ptot, serial[k].optimum.ptot);
+      ASSERT_EQ(parallel[k].samples.size(), serial[k].samples.size());
+      for (std::size_t i = 0; i < serial[k].samples.size(); ++i) {
+        ASSERT_EQ(parallel[k].samples[i].ptot, serial[k].samples[i].ptot)
+            << "curve " << k << " sample " << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, FindOptimumAndGridMatchSerial) {
+  const PowerModel m = rca_model();
+  OptimumOptions opt;
+  opt.grid_nx = 61;  // keep the cross-check grid quick
+  opt.grid_ny = 71;
+  const OptimumResult serial_1d = find_optimum(m, kPaperFrequency, opt);
+  const OptimumResult serial_grid = find_optimum_grid(m, kPaperFrequency, opt);
+  for (const int threads : kThreadCounts) {
+    const ExecContext ctx(threads);
+    const OptimumResult par_1d = find_optimum(m, kPaperFrequency, opt, ctx);
+    EXPECT_EQ(par_1d.point.vdd, serial_1d.point.vdd);
+    EXPECT_EQ(par_1d.point.vth, serial_1d.point.vth);
+    EXPECT_EQ(par_1d.point.ptot, serial_1d.point.ptot);
+    const OptimumResult par_grid = find_optimum_grid(m, kPaperFrequency, opt, ctx);
+    EXPECT_EQ(par_grid.point.vdd, serial_grid.point.vdd);
+    EXPECT_EQ(par_grid.point.vth, serial_grid.point.vth);
+    EXPECT_EQ(par_grid.point.ptot, serial_grid.point.ptot);
+    EXPECT_EQ(par_grid.on_constraint, serial_grid.on_constraint);
+  }
+}
+
+TEST(ParallelDeterminismTest, OptimumSweepMatchesSerialAndFlagsInfeasible) {
+  const PowerModel m = rca_model();
+  // 10 GHz is beyond the RCA's reach at any allowed supply -> infeasible.
+  const std::vector<double> freqs = {1e6, 31.25e6, 125e6, 1e10};
+  const auto serial = optimum_sweep(m, freqs);
+  ASSERT_EQ(serial.size(), freqs.size());
+  EXPECT_TRUE(serial[1].feasible);
+  EXPECT_FALSE(serial[3].feasible);
+  for (const int threads : kThreadCounts) {
+    const auto parallel = optimum_sweep(m, freqs, {}, ExecContext(threads));
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(parallel[i].feasible, serial[i].feasible);
+      ASSERT_EQ(parallel[i].frequency, serial[i].frequency);
+      if (serial[i].feasible) {
+        ASSERT_EQ(parallel[i].result.point.vdd, serial[i].result.point.vdd);
+        ASSERT_EQ(parallel[i].result.point.ptot, serial[i].result.point.ptot);
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, ActivityMultiMatchesSerialPerStream) {
+  const Netlist nl = array_multiplier_dpipe(8, 2);
+  std::vector<ActivityOptions> runs(4);
+  for (std::size_t s = 0; s < runs.size(); ++s) {
+    runs[s].num_vectors = 24;
+    runs[s].seed = 0x5eed0001 + s;
+  }
+  const auto serial = measure_activity_multi(nl, runs);
+  for (const int threads : kThreadCounts) {
+    const auto parallel = measure_activity_multi(nl, runs, ExecContext(threads));
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t s = 0; s < serial.size(); ++s) {
+      ASSERT_EQ(parallel[s].transitions, serial[s].transitions) << "stream " << s;
+      ASSERT_EQ(parallel[s].glitches, serial[s].glitches) << "stream " << s;
+      ASSERT_EQ(parallel[s].activity, serial[s].activity) << "stream " << s;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, ShardedActivityPoolsAllStreams) {
+  const Netlist nl = array_multiplier_dpipe(8, 2);
+  ActivityOptions total;
+  total.num_vectors = 26;  // uneven split over 4 streams: 7+7+6+6
+  const ActivityMeasurement serial = measure_activity_sharded(nl, total, 4);
+  EXPECT_EQ(serial.data_periods, 26u);
+  EXPECT_GT(serial.activity, 0.0);
+  for (const int threads : kThreadCounts) {
+    const ActivityMeasurement parallel =
+        measure_activity_sharded(nl, total, 4, ExecContext(threads));
+    EXPECT_EQ(parallel.transitions, serial.transitions);
+    EXPECT_EQ(parallel.glitches, serial.glitches);
+    EXPECT_EQ(parallel.activity, serial.activity);
+    EXPECT_EQ(parallel.data_periods, serial.data_periods);
+  }
+}
+
+}  // namespace
+}  // namespace optpower

@@ -1,0 +1,205 @@
+// Tests for the parallel sweep engine: pool lifecycle, parallel_for /
+// parallel_map contracts, exception propagation, ExecContext env sizing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "exec/exec.h"
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+TEST(ThreadPoolTest, StartsAndStopsCleanly) {
+  for (const int workers : {1, 2, 4, 8}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(pool.size(), workers);
+  }  // destructor joins; nothing to assert beyond not hanging/crashing
+}
+
+TEST(ThreadPoolTest, RepeatedConstructionIsStable) {
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3);
+  }
+}
+
+TEST(ThreadPoolTest, DrainsPendingTasksOnDestruction) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&executed] { executed.fetch_add(1); });
+    }
+  }  // destructor must run all 64 before joining
+  EXPECT_EQ(executed.load(), 64);
+}
+
+TEST(ThreadPoolTest, RejectsNonPositiveWorkerCount) {
+  EXPECT_THROW(ThreadPool(0), InvalidArgument);
+  EXPECT_THROW(ThreadPool(-2), InvalidArgument);
+}
+
+TEST(ExecContextTest, DefaultIsSerial) {
+  const ExecContext ctx;
+  EXPECT_EQ(ctx.threads(), 1);
+  EXPECT_FALSE(ctx.is_parallel());
+  EXPECT_EQ(ctx.pool(), nullptr);
+}
+
+TEST(ExecContextTest, SingleThreadStaysSerial) {
+  const ExecContext ctx(1);
+  EXPECT_EQ(ctx.threads(), 1);
+  EXPECT_EQ(ctx.pool(), nullptr);
+}
+
+TEST(ExecContextTest, MultiThreadSpinsPool) {
+  const ExecContext ctx(4);
+  EXPECT_EQ(ctx.threads(), 4);
+  EXPECT_TRUE(ctx.is_parallel());
+  ASSERT_NE(ctx.pool(), nullptr);
+  EXPECT_EQ(ctx.pool()->size(), 4);
+}
+
+TEST(ExecContextTest, CopiesShareThePool) {
+  const ExecContext ctx(2);
+  const ExecContext copy = ctx;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(copy.pool(), ctx.pool());
+}
+
+TEST(ExecContextTest, RejectsNonPositiveThreadCount) {
+  EXPECT_THROW(ExecContext(0), InvalidArgument);
+  EXPECT_THROW(ExecContext(-1), InvalidArgument);
+}
+
+TEST(ExecContextTest, FromEnvHonorsVariable) {
+  ASSERT_EQ(setenv("OPTPOWER_TEST_THREADS", "3", 1), 0);
+  const ExecContext ctx = ExecContext::from_env("OPTPOWER_TEST_THREADS");
+  EXPECT_EQ(ctx.threads(), 3);
+  unsetenv("OPTPOWER_TEST_THREADS");
+}
+
+TEST(ExecContextTest, FromEnvZeroOrUnsetMeansHardware) {
+  unsetenv("OPTPOWER_TEST_THREADS");
+  const ExecContext unset = ExecContext::from_env("OPTPOWER_TEST_THREADS");
+  EXPECT_GE(unset.threads(), 1);
+
+  ASSERT_EQ(setenv("OPTPOWER_TEST_THREADS", "0", 1), 0);
+  const ExecContext zero = ExecContext::from_env("OPTPOWER_TEST_THREADS");
+  EXPECT_EQ(zero.threads(), unset.threads());
+  unsetenv("OPTPOWER_TEST_THREADS");
+}
+
+TEST(ExecContextTest, FromEnvRejectsGarbage) {
+  ASSERT_EQ(setenv("OPTPOWER_TEST_THREADS", "lots", 1), 0);
+  EXPECT_THROW(ExecContext::from_env("OPTPOWER_TEST_THREADS"), InvalidArgument);
+  unsetenv("OPTPOWER_TEST_THREADS");
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  for (const int workers : {1, 2, 4, 7}) {
+    const ExecContext ctx(workers);
+    const std::size_t n = 1013;  // prime: uneven chunks
+    std::vector<std::atomic<int>> visits(n);
+    parallel_for(ctx, n, [&](std::size_t i) { visits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "index " << i << " with " << workers << " workers";
+    }
+  }
+}
+
+TEST(ParallelForTest, HandlesEmptyAndTinyRanges) {
+  const ExecContext ctx(4);
+  int calls = 0;
+  parallel_for(ctx, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(ctx, 1, [&](std::size_t) { ++calls; });  // serial fast path
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, MoreWorkersThanWork) {
+  const ExecContext ctx(8);
+  std::vector<std::atomic<int>> visits(3);
+  parallel_for(ctx, 3, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelForTest, PropagatesExceptionFromBody) {
+  const ExecContext ctx(4);
+  const auto boom = [](std::size_t i) {
+    if (i == 617) throw NumericalError("boom at 617");
+  };
+  try {
+    parallel_for(ctx, 1000, boom);
+    FAIL() << "expected NumericalError";
+  } catch (const NumericalError& e) {
+    EXPECT_STREQ(e.what(), "boom at 617");
+  }
+}
+
+TEST(ParallelForTest, PropagatesExceptionSerially) {
+  const ExecContext serial;
+  EXPECT_THROW(parallel_for(serial, 10,
+                            [](std::size_t i) {
+                              if (i == 7) throw InvalidArgument("serial boom");
+                            }),
+               InvalidArgument);
+}
+
+TEST(ParallelForTest, AllChunksFinishEvenWhenOneThrows) {
+  // A throw abandons the REST OF ITS OWN CHUNK only; every other index still
+  // runs exactly once, and parallel_for waits for all chunks before
+  // rethrowing.  Throwing at the last index means no other index shares the
+  // tail of the throwing chunk.
+  const ExecContext ctx(4);
+  const std::size_t n = 800;
+  std::vector<std::atomic<int>> visits(n);
+  EXPECT_THROW(parallel_for(ctx, n,
+                            [&](std::size_t i) {
+                              if (i == n - 1) throw NumericalError("last chunk dies");
+                              visits[i].fetch_add(1);
+                            }),
+               NumericalError);
+  for (std::size_t i = 0; i + 1 < n; ++i) ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelForTest, PoolSurvivesAfterBodyThrows) {
+  const ExecContext ctx(2);
+  EXPECT_THROW(parallel_for(ctx, 100, [](std::size_t) { throw NumericalError("die"); }),
+               NumericalError);
+  // Same pool keeps working afterwards.
+  std::atomic<int> count{0};
+  parallel_for(ctx, 100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelMapTest, MapsIndicesToSlots) {
+  const ExecContext ctx(4);
+  const std::vector<double> out =
+      parallel_map<double>(ctx, 257, [](std::size_t i) { return 3.0 * static_cast<double>(i); });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], 3.0 * static_cast<double>(i));
+  }
+}
+
+TEST(ParallelMapTest, MatchesSerialExactly) {
+  const auto fn = [](std::size_t i) {
+    // Mildly nontrivial float math: must be bitwise-stable across policies.
+    return std::exp(std::sin(static_cast<double>(i) * 0.37)) / (static_cast<double>(i) + 1.0);
+  };
+  const std::vector<double> serial = parallel_map<double>(ExecContext(), 500, fn);
+  const std::vector<double> parallel = parallel_map<double>(ExecContext(5), 500, fn);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i], parallel[i]);  // exact, not near
+  }
+}
+
+}  // namespace
+}  // namespace optpower
