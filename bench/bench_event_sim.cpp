@@ -1,0 +1,127 @@
+// Scheduler microbenchmarks: the timing-wheel EventSimulator against the
+// reference heap scheduler it replaced, plus the multi-stream activity
+// extraction that dominates the forward-flow profiles.  The printed table
+// doubles as a visible equivalence check: both schedulers must report the
+// same transition counts before the timings mean anything.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.h"
+#include "mult/factory.h"
+#include "sim/activity.h"
+#include "sim/event_sim.h"
+#include "sim/reference_sim.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace optpower {
+namespace {
+
+// Env-overridable (see docs/PERF.md): CI smoke shrinks these.
+const int kSimWidth = bench::env_int("OPTPOWER_BENCH_SIM_WIDTH", 16);
+const int kSimCycles = bench::env_int("OPTPOWER_BENCH_SIM_CYCLES", 256);
+const int kActivityVectors = bench::env_int("OPTPOWER_BENCH_ACTIVITY_VECTORS", 128);
+const int kActivityStreams = bench::env_int("OPTPOWER_BENCH_ACTIVITY_STREAMS", 8);
+
+const Netlist& rca_netlist() {
+  static const GeneratedMultiplier gen = build_multiplier("RCA", kSimWidth);
+  return gen.netlist;
+}
+
+template <typename Simulator>
+std::uint64_t run_cycles(Simulator& sim, const Netlist& nl, int cycles, Pcg32& rng) {
+  const std::size_t num_inputs = nl.primary_inputs().size();
+  std::vector<bool> vec(num_inputs);
+  for (int c = 0; c < cycles; ++c) {
+    for (std::size_t i = 0; i < num_inputs; ++i) vec[i] = rng.next_bool();
+    sim.set_inputs(vec);
+    sim.step_cycle();
+  }
+  return sim.stats().total_transitions;
+}
+
+void print_scheduler_check() {
+  bench::print_header(
+      "Event scheduler: timing wheel vs reference heap (identical stats required)\n"
+      "(activity substrate for Table 1's 'a' column; see docs/PERF.md)");
+  const Netlist& nl = rca_netlist();
+  Table t({"Delay mode", "wheel transitions", "heap transitions", "match"});
+  for (const SimDelayMode mode :
+       {SimDelayMode::kUnit, SimDelayMode::kCellDepth, SimDelayMode::kZero}) {
+    EventSimulator wheel(nl, mode);
+    ReferenceSimulator heap(nl, mode);
+    Pcg32 rng_w(0x5eedbe9c), rng_h(0x5eedbe9c);
+    const std::uint64_t tw = run_cycles(wheel, nl, 64, rng_w);
+    const std::uint64_t th = run_cycles(heap, nl, 64, rng_h);
+    const char* name = mode == SimDelayMode::kUnit     ? "kUnit"
+                       : mode == SimDelayMode::kCellDepth ? "kCellDepth"
+                                                          : "kZero";
+    t.add_row({name, strprintf("%llu", static_cast<unsigned long long>(tw)),
+               strprintf("%llu", static_cast<unsigned long long>(th)),
+               tw == th ? "YES" : "NO  <-- BUG"});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+}
+
+void BM_TimingWheelScheduler(benchmark::State& state) {
+  const Netlist& nl = rca_netlist();
+  EventSimulator sim(nl);
+  Pcg32 rng(0x5eed1234);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_cycles(sim, nl, kSimCycles, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.stats().cycles));
+  state.counters["transitions"] =
+      benchmark::Counter(static_cast<double>(sim.stats().total_transitions),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TimingWheelScheduler)->Unit(benchmark::kMillisecond);
+
+void BM_ReferenceHeapScheduler(benchmark::State& state) {
+  const Netlist& nl = rca_netlist();
+  ReferenceSimulator sim(nl);
+  Pcg32 rng(0x5eed1234);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_cycles(sim, nl, kSimCycles, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.stats().cycles));
+  state.counters["transitions"] =
+      benchmark::Counter(static_cast<double>(sim.stats().total_transitions),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReferenceHeapScheduler)->Unit(benchmark::kMillisecond);
+
+// The forward-flow hot path: sharded multi-stream activity extraction,
+// serial vs fanned out over the shared pool.
+void BM_ActivityShardedSerial(benchmark::State& state) {
+  const Netlist& nl = rca_netlist();
+  ActivityOptions total;
+  total.num_vectors = kActivityVectors;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure_activity_sharded(nl, total, kActivityStreams));
+  }
+}
+BENCHMARK(BM_ActivityShardedSerial)->Unit(benchmark::kMillisecond);
+
+void BM_ActivityShardedParallel(benchmark::State& state) {
+  const Netlist& nl = rca_netlist();
+  ActivityOptions total;
+  total.num_vectors = kActivityVectors;
+  const ExecContext& ctx = bench::parallel_context();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure_activity_sharded(nl, total, kActivityStreams, ctx));
+  }
+  state.counters["threads"] = static_cast<double>(ctx.threads());
+}
+BENCHMARK(BM_ActivityShardedParallel)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace optpower
+
+int main(int argc, char** argv) {
+  optpower::print_scheduler_check();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

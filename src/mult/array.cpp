@@ -48,11 +48,11 @@ Netlist array_multiplier(int width) {
     for (int j = 0; j < width; ++j) {
       std::vector<NetId> outs;
       if (carry == kNoNet) {
-        outs = nl.add_cell(CellType::kHalfAdder,
-                           {operand[static_cast<std::size_t>(j)], addend[static_cast<std::size_t>(j)]});
+        outs = nl.add_cell(CellType::kHalfAdder, {operand[static_cast<std::size_t>(j)],
+                                                  addend[static_cast<std::size_t>(j)]});
       } else {
-        outs = nl.add_cell(CellType::kFullAdder,
-                           {operand[static_cast<std::size_t>(j)], addend[static_cast<std::size_t>(j)], carry});
+        outs = nl.add_cell(CellType::kFullAdder, {operand[static_cast<std::size_t>(j)],
+                                                  addend[static_cast<std::size_t>(j)], carry});
       }
       nl.tag_last_cell(i, j);
       sum.push_back(outs[0]);

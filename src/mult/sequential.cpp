@@ -85,7 +85,8 @@ Bus append_sequential_core(Netlist& nl, const Bus& a_in, const Bus& b_in, int bi
   Bus b_low_used;  // the bits_per_cycle multiplier bits consumed this cycle
   for (int j = 0; j < bits_per_cycle; ++j) {
     b_low_used.push_back(nl.add_gate(
-        CellType::kMux2, {b_reg.q[static_cast<std::size_t>(j)], b_in[static_cast<std::size_t>(j)], load}));
+        CellType::kMux2,
+        {b_reg.q[static_cast<std::size_t>(j)], b_in[static_cast<std::size_t>(j)], load}));
   }
   const Bus p_used = gate_with_not(nl, p_reg.q, load);
 
@@ -128,8 +129,9 @@ Bus append_sequential_core(Netlist& nl, const Bus& a_in, const Bus& b_in, int bi
   connect_reg_bank(nl, p_reg, p_next);
   Bus b_next;
   for (int i = 0; i < width - bits_per_cycle; ++i) {
-    b_next.push_back(nl.add_gate(CellType::kMux2, {b_reg.q[static_cast<std::size_t>(i + bits_per_cycle)],
-                                                   b_in[static_cast<std::size_t>(i + bits_per_cycle)], load}));
+    b_next.push_back(
+        nl.add_gate(CellType::kMux2, {b_reg.q[static_cast<std::size_t>(i + bits_per_cycle)],
+                                      b_in[static_cast<std::size_t>(i + bits_per_cycle)], load}));
   }
   for (int j = 0; j < bits_per_cycle; ++j) b_next.push_back(sum[static_cast<std::size_t>(j)]);
   connect_reg_bank(nl, b_reg, b_next);

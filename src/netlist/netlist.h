@@ -85,8 +85,12 @@ class Netlist {
 
   [[nodiscard]] const std::vector<NetId>& primary_inputs() const noexcept { return inputs_; }
   [[nodiscard]] const std::vector<NetId>& primary_outputs() const noexcept { return outputs_; }
-  [[nodiscard]] const std::vector<std::string>& input_names() const noexcept { return input_names_; }
-  [[nodiscard]] const std::vector<std::string>& output_names() const noexcept { return output_names_; }
+  [[nodiscard]] const std::vector<std::string>& input_names() const noexcept {
+    return input_names_;
+  }
+  [[nodiscard]] const std::vector<std::string>& output_names() const noexcept {
+    return output_names_;
+  }
 
   /// Driving cell of a net, or kNoCell for primary inputs.
   static constexpr CellId kNoCell = 0xffffffffu;

@@ -72,7 +72,9 @@ LineFit fit_line_minimax(const std::function<double(double)>& f, double lo, doub
   const double fl = f(lo), fh = f(hi);
   const double slope = (fh - fl) / (hi - lo);
   // Find the parallel-tangent point by maximizing |f(x) - slope*x|.
-  const auto deviation = [&](double x) { return -(std::fabs(f(x) - slope * x - (fl - slope * lo))); };
+  const auto deviation = [&](double x) {
+    return -(std::fabs(f(x) - slope * x - (fl - slope * lo)));
+  };
   const MinimizeResult tangent = scan_then_refine(deviation, lo, hi, samples);
   const double xt = tangent.x;
   const double chord_intercept = fl - slope * lo;

@@ -85,7 +85,8 @@ std::vector<OdeSample> integrate_rkf45(const OdeFunction& f, double t0, double t
     for (std::size_t i = 0; i < y.size(); ++i) {
       const double y4 = y[i] + h * (c1 * k1[i] + c3 * k3[i] + c4 * k4[i] + c5 * k5[i]);
       y5[i] = y[i] + h * (d1 * k1[i] + d3 * k3[i] + d4 * k4[i] + d5 * k5[i] + d6 * k6[i]);
-      const double scale = options.abs_tol + options.rel_tol * std::max(std::fabs(y[i]), std::fabs(y5[i]));
+      const double scale =
+          options.abs_tol + options.rel_tol * std::max(std::fabs(y[i]), std::fabs(y5[i]));
       err = std::max(err, std::fabs(y5[i] - y4) / scale);
     }
     if (err <= 1.0) {

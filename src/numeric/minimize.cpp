@@ -1,5 +1,6 @@
 #include "numeric/minimize.h"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -111,28 +112,27 @@ MinimizeResult brent_minimize(const std::function<double(double)>& f, double lo,
   return result;
 }
 
-MinimizeResult scan_then_refine(const std::function<double(double)>& f, double lo, double hi,
-                                int samples, const MinimizeOptions& options) {
-  return scan_then_refine(f, lo, hi, samples, options, ExecContext());
+namespace {
+
+/// Position of coarse-scan sample `i`; shared by every scan/refine path so
+/// they all evaluate the objective at bit-identical abscissae.
+double scan_position(double lo, double hi, int samples, int i) {
+  return lo + (hi - lo) * static_cast<double>(i) / (samples - 1);
 }
 
-MinimizeResult scan_then_refine(const std::function<double(double)>& f, double lo, double hi,
-                                int samples, const MinimizeOptions& options,
-                                const ExecContext& ctx) {
-  require(lo < hi, "scan_then_refine: lo must be < hi");
-  require(samples >= 3, "scan_then_refine: need at least 3 samples");
-  const std::size_t n = static_cast<std::size_t>(samples);
-  std::vector<double> values(n);
-  parallel_for(ctx, n, [&](std::size_t i) {
-    const double x = lo + (hi - lo) * static_cast<double>(i) / (samples - 1);
-    values[i] = f(x);
-  });
+/// Argmin over pre-computed scan values (read at `values[offset + i]`) plus
+/// the local Brent refinement; factored out so scan_then_refine and
+/// scan_then_refine_batch make identical floating-point decisions.  Throws
+/// NumericalError when every sample is non-finite.
+MinimizeResult refine_from_scan(const std::function<double(double)>& f, double lo, double hi,
+                                int samples, const std::vector<double>& values,
+                                std::size_t offset, const MinimizeOptions& options) {
   double best_x = lo;
   double best_f = std::numeric_limits<double>::infinity();
   int best_i = 0;
   for (int i = 0; i < samples; ++i) {
-    const double x = lo + (hi - lo) * static_cast<double>(i) / (samples - 1);
-    const double fx = values[static_cast<std::size_t>(i)];
+    const double x = scan_position(lo, hi, samples, i);
+    const double fx = values[offset + static_cast<std::size_t>(i)];
     if (std::isfinite(fx) && fx < best_f) {
       best_f = fx;
       best_x = x;
@@ -151,6 +151,69 @@ MinimizeResult scan_then_refine(const std::function<double(double)>& f, double l
     refined.f = best_f;
   }
   return refined;
+}
+
+}  // namespace
+
+MinimizeResult scan_then_refine(const std::function<double(double)>& f, double lo, double hi,
+                                int samples, const MinimizeOptions& options) {
+  return scan_then_refine(f, lo, hi, samples, options, ExecContext());
+}
+
+MinimizeResult scan_then_refine(const std::function<double(double)>& f, double lo, double hi,
+                                int samples, const MinimizeOptions& options,
+                                const ExecContext& ctx) {
+  require(lo < hi, "scan_then_refine: lo must be < hi");
+  require(samples >= 3, "scan_then_refine: need at least 3 samples");
+  const std::size_t n = static_cast<std::size_t>(samples);
+  std::vector<double> values(n);
+  parallel_for(ctx, n, [&](std::size_t i) {
+    values[i] = f(scan_position(lo, hi, samples, static_cast<int>(i)));
+  });
+  return refine_from_scan(f, lo, hi, samples, values, 0, options);
+}
+
+std::vector<BatchMinimizeResult> scan_then_refine_batch(
+    const std::vector<std::function<double(double)>>& fs, double lo, double hi, int samples,
+    const MinimizeOptions& options, const ExecContext& ctx) {
+  require(lo < hi, "scan_then_refine_batch: lo must be < hi");
+  require(samples >= 3, "scan_then_refine_batch: need at least 3 samples");
+  const std::size_t n_curves = fs.size();
+  const std::size_t n_samples = static_cast<std::size_t>(samples);
+  if (n_curves == 0) return {};
+
+  // Epoch 1: every curve's coarse-scan samples, one flat index space.  A
+  // curve whose objective throws NumericalError is marked infeasible (the
+  // per-curve scan_then_refine would have propagated the throw); the flag is
+  // atomic because one curve's samples may straddle two worker chunks.
+  std::vector<double> values(n_curves * n_samples);
+  std::vector<std::atomic<bool>> threw(n_curves);
+  for (auto& flag : threw) flag.store(false, std::memory_order_relaxed);
+  parallel_for(ctx, n_curves * n_samples, [&](std::size_t idx) {
+    const std::size_t k = idx / n_samples;
+    const int i = static_cast<int>(idx % n_samples);
+    try {
+      values[idx] = fs[k](scan_position(lo, hi, samples, i));
+    } catch (const NumericalError&) {
+      threw[k].store(true, std::memory_order_relaxed);
+      values[idx] = std::numeric_limits<double>::quiet_NaN();
+    }
+  });
+
+  // Epoch 2: one serial Brent refinement per surviving curve, fanned out a
+  // curve per task.  Bit-identical to the per-curve serial path because the
+  // argmin/bracket/refine logic is the shared refine_from_scan.
+  return parallel_map<BatchMinimizeResult>(ctx, n_curves, [&](std::size_t k) {
+    BatchMinimizeResult out;
+    if (threw[k].load(std::memory_order_relaxed)) return out;
+    try {
+      out.result = refine_from_scan(fs[k], lo, hi, samples, values, k * n_samples, options);
+      out.feasible = true;
+    } catch (const NumericalError&) {
+      out.feasible = false;
+    }
+    return out;
+  });
 }
 
 GridMinimum grid_minimize_2d(const std::function<double(double, double)>& f, double xlo,

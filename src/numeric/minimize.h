@@ -52,6 +52,28 @@ struct MinimizeResult {
                                               const MinimizeOptions& options,
                                               const ExecContext& ctx);
 
+/// One curve's outcome from scan_then_refine_batch.  `feasible` is false when
+/// the per-curve scan_then_refine would have thrown NumericalError (objective
+/// non-finite over the whole range, or threw NumericalError itself).
+struct BatchMinimizeResult {
+  bool feasible = false;
+  MinimizeResult result;
+};
+
+/// Batched scan-then-refine over many independent curves sharing one [lo, hi]
+/// bracket (the per-configuration optimizer sweeps): ALL curves' coarse-scan
+/// samples are evaluated in a single flattened parallel epoch over `ctx` -
+/// curves x samples tasks instead of one task per curve, so the fan-out stays
+/// balanced even when there are fewer curves than workers - and the
+/// serial-per-curve Brent refinement round then fans out one task per curve.
+/// Slot k is bit-identical to scan_then_refine(fs[k], lo, hi, samples,
+/// options) run serially, with NumericalError captured per curve as
+/// feasible == false instead of aborting the batch.  Every fs[k] must be
+/// safe to call concurrently.
+[[nodiscard]] std::vector<BatchMinimizeResult> scan_then_refine_batch(
+    const std::vector<std::function<double(double)>>& fs, double lo, double hi, int samples,
+    const MinimizeOptions& options = {}, const ExecContext& ctx = {});
+
 /// Result of a 2-D grid minimization.
 struct GridMinimum {
   double x = 0.0;

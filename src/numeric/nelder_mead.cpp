@@ -49,7 +49,8 @@ NelderMeadResult nelder_mead(const std::function<double(const std::vector<double
     const double spread = std::fabs(values[worst] - values[best]);
     // Require BOTH a tiny function spread and a collapsed simplex: a simplex
     // straddling a minimum symmetrically has zero spread at finite diameter.
-    if ((std::isfinite(values[worst]) && spread <= options.f_tol && diameter <= 1e3 * options.x_tol) ||
+    if ((std::isfinite(values[worst]) && spread <= options.f_tol &&
+         diameter <= 1e3 * options.x_tol) ||
         diameter <= options.x_tol) {
       result.converged = true;
       result.x = simplex[best];

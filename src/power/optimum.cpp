@@ -13,23 +13,25 @@ OptimumResult find_optimum(const PowerModel& model, double frequency,
   return find_optimum(model, frequency, options, ExecContext());
 }
 
-OptimumResult find_optimum(const PowerModel& model, double frequency,
-                           const OptimumOptions& options, const ExecContext& ctx) {
-  require(frequency > 0.0, "find_optimum: frequency must be positive");
-  require(options.vdd_min > 0.0 && options.vdd_min < options.vdd_max,
-          "find_optimum: bad vdd range");
+namespace {
 
-  const auto objective = [&](double vdd) -> double {
+/// Ptot(Vdd) restricted to the timing-constraint curve - the 1-D objective
+/// shared by find_optimum and the batched optimum_sweep.
+std::function<double(double)> constraint_objective(const PowerModel& model, double frequency,
+                                                   const OptimumOptions& options) {
+  return [&model, frequency, options](double vdd) -> double {
     const double vth = model.vth_on_constraint(vdd, frequency);
     if (vth < options.vth_min || vth >= vdd) {
       return std::numeric_limits<double>::infinity();
     }
     return model.total_power(vdd, vth, frequency);
   };
+}
 
-  const MinimizeResult best = scan_then_refine(objective, options.vdd_min, options.vdd_max,
-                                               options.scan_samples, MinimizeOptions{}, ctx);
-
+/// Assemble the OptimumResult for a refined constraint-curve minimum; shared
+/// so the sweep reports exactly what find_optimum would.
+OptimumResult optimum_from_refined(const PowerModel& model, double frequency,
+                                   const MinimizeResult& best) {
   OptimumResult result;
   result.frequency = frequency;
   const double vth = model.vth_on_constraint(best.x, frequency);
@@ -37,6 +39,20 @@ OptimumResult find_optimum(const PowerModel& model, double frequency,
   result.on_constraint = true;
   result.converged = best.converged || std::isfinite(best.f);
   return result;
+}
+
+}  // namespace
+
+OptimumResult find_optimum(const PowerModel& model, double frequency,
+                           const OptimumOptions& options, const ExecContext& ctx) {
+  require(frequency > 0.0, "find_optimum: frequency must be positive");
+  require(options.vdd_min > 0.0 && options.vdd_min < options.vdd_max,
+          "find_optimum: bad vdd range");
+
+  const MinimizeResult best =
+      scan_then_refine(constraint_objective(model, frequency, options), options.vdd_min,
+                       options.vdd_max, options.scan_samples, MinimizeOptions{}, ctx);
+  return optimum_from_refined(model, frequency, best);
 }
 
 OptimumResult find_optimum_grid(const PowerModel& model, double frequency,
@@ -77,18 +93,36 @@ std::vector<OptimumSweepPoint> optimum_sweep(const PowerModel& model,
                                              const std::vector<double>& frequencies,
                                              const OptimumOptions& options,
                                              const ExecContext& ctx) {
-  return parallel_map<OptimumSweepPoint>(ctx, frequencies.size(), [&](std::size_t k) {
-    OptimumSweepPoint point;
-    point.frequency = frequencies[k];
+  // Batched search: instead of one opaque task per frequency (which starves
+  // the pool when sweeping fewer configurations than workers), all
+  // constraint-curve scans run as ONE flattened parallel epoch and the
+  // per-curve Brent refinements as a second round.  scan_then_refine_batch
+  // guarantees slot k bit-identical to the serial find_optimum at
+  // frequencies[k], with per-curve NumericalError mapped to feasible=false.
+  require(options.vdd_min > 0.0 && options.vdd_min < options.vdd_max,
+          "find_optimum: bad vdd range");
+  std::vector<std::function<double(double)>> objectives;
+  objectives.reserve(frequencies.size());
+  for (const double frequency : frequencies) {
+    require(frequency > 0.0, "find_optimum: frequency must be positive");
+    objectives.push_back(constraint_objective(model, frequency, options));
+  }
+
+  const std::vector<BatchMinimizeResult> refined = scan_then_refine_batch(
+      objectives, options.vdd_min, options.vdd_max, options.scan_samples, MinimizeOptions{}, ctx);
+
+  std::vector<OptimumSweepPoint> points(frequencies.size());
+  for (std::size_t k = 0; k < frequencies.size(); ++k) {
+    points[k].frequency = frequencies[k];
+    if (!refined[k].feasible) continue;
     try {
-      // Inner search stays serial: the sweep itself is the parallel axis.
-      point.result = find_optimum(model, frequencies[k], options);
-      point.feasible = true;
+      points[k].result = optimum_from_refined(model, frequencies[k], refined[k].result);
+      points[k].feasible = true;
     } catch (const NumericalError&) {
-      point.feasible = false;
+      points[k].feasible = false;  // constraint solve failed at the refined point
     }
-    return point;
-  });
+  }
+  return points;
 }
 
 }  // namespace optpower

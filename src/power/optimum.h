@@ -72,8 +72,12 @@ struct OptimumSweepPoint {
 
 /// Sweep find_optimum over many frequency targets (the per-configuration
 /// loop behind the architecture-exploration and frequency-sweep workflows).
-/// Each configuration is independent, so they fan out over `ctx`; slot k of
-/// the result always belongs to frequencies[k].
+/// The search is batched (numeric/minimize.h scan_then_refine_batch): every
+/// configuration's constraint-curve scan runs in one flattened parallel
+/// epoch over `ctx`, then one Brent-refinement round fans out per curve -
+/// balanced even when sweeping fewer configurations than workers.  Slot k of
+/// the result always belongs to frequencies[k] and is bit-identical to the
+/// serial find_optimum there.
 [[nodiscard]] std::vector<OptimumSweepPoint> optimum_sweep(const PowerModel& model,
                                                            const std::vector<double>& frequencies,
                                                            const OptimumOptions& options = {},

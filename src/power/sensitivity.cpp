@@ -36,7 +36,8 @@ PowerModel perturbed_model(const PowerModel& model, ModelParameter p, double fac
     case ModelParameter::kAlpha: tech.alpha *= factor; break;
     case ModelParameter::kSlopeN: tech.n *= factor; break;
     case ModelParameter::kFrequency:
-      throw InvalidArgument("perturbed_model: frequency is not a model member; scale it at the call site");
+      throw InvalidArgument(
+          "perturbed_model: frequency is not a model member; scale it at the call site");
   }
   return {tech, arch};
 }

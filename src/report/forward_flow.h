@@ -53,8 +53,8 @@ struct ForwardResult {
 };
 
 /// Characterize one generated multiplier (no optimization).
-[[nodiscard]] ForwardCharacterization characterize_multiplier(const GeneratedMultiplier& gen,
-                                                              const ForwardFlowOptions& options = {});
+[[nodiscard]] ForwardCharacterization characterize_multiplier(
+    const GeneratedMultiplier& gen, const ForwardFlowOptions& options = {});
 
 /// Full flow for one architecture name on a technology at `frequency`.
 [[nodiscard]] ForwardResult run_forward_flow(const std::string& arch_name, const Technology& tech,
@@ -62,9 +62,8 @@ struct ForwardResult {
                                              const ForwardFlowOptions& options = {});
 
 /// Full flow for all thirteen architectures.
-[[nodiscard]] std::vector<ForwardResult> run_forward_flow_all(const Technology& tech,
-                                                              double frequency,
-                                                              const ForwardFlowOptions& options = {});
+[[nodiscard]] std::vector<ForwardResult> run_forward_flow_all(
+    const Technology& tech, double frequency, const ForwardFlowOptions& options = {});
 
 /// Parallel overload: one architecture (netlist build + simulation + STA +
 /// optimization, all private state) per task, fanned out over `ctx`.  Row

@@ -20,8 +20,8 @@ struct ActivityOptions {
                                   ///< parallelization is already 1: the wrapper
                                   ///< consumes one input per clock)
   int warmup_vectors = 8;         ///< periods excluded from the statistics
-  std::uint64_t seed = 0x5eed0001;
-  SimDelayMode delay_mode = SimDelayMode::kCellDepth;
+  std::uint64_t seed = 0x5eed0001;  ///< PCG32 stimulus seed
+  SimDelayMode delay_mode = SimDelayMode::kCellDepth;  ///< kCellDepth = glitch-accurate
 };
 
 /// Activity result in the paper's normalization.
@@ -31,10 +31,10 @@ struct ActivityMeasurement {
                                     ///< from the supply only on 0->1 edges, so a
                                     ///< counts transitions/2 (edges alternate).
   double glitch_fraction = 0.0;     ///< glitch transitions / total transitions
-  std::uint64_t transitions = 0;
-  std::uint64_t glitches = 0;
-  std::uint64_t data_periods = 0;
-  std::uint64_t clock_cycles = 0;
+  std::uint64_t transitions = 0;    ///< raw net value changes, glitches included
+  std::uint64_t glitches = 0;       ///< transitions beyond the per-net functional minimum
+  std::uint64_t data_periods = 0;   ///< measured input vectors (excl. warmup)
+  std::uint64_t clock_cycles = 0;   ///< simulated clock cycles (excl. warmup)
 };
 
 /// Drive `netlist` with uniform random input vectors (one fresh vector per

@@ -1,21 +1,47 @@
 #include "sim/event_sim.h"
 
 #include <cmath>
-#include <queue>
 
 #include "netlist/cell.h"
 #include "util/error.h"
 
 namespace optpower {
 
-EventSimulator::EventSimulator(const Netlist& netlist, SimDelayMode mode)
-    : netlist_(netlist), mode_(mode) {
+namespace {
+// Oscillation guard: identical bound (and message) to the reference
+// scheduler, so throwing runs stay equivalent too.
+constexpr std::int64_t kMaxTicks = 1 << 22;
+// Events consumed per tick before the zero-delay FIFO declares an
+// oscillation (the reference scheduler would spin forever here).
+constexpr std::size_t kZeroDelayEventLimit = 1u << 26;
+}  // namespace
+
+EventSimulator::EventSimulator(const Netlist& netlist, SimDelayMode mode, int wheel_bits)
+    : netlist_(netlist), mode_(mode), wheel_bits_(wheel_bits) {
+  require(wheel_bits_ >= 1 && wheel_bits_ <= 20, "EventSimulator: wheel_bits must be in [1, 20]");
   netlist_.verify();
   topo_ = netlist_.topo_order();
   values_.assign(netlist_.num_nets(), 0);
   dff_next_.assign(netlist_.num_cells(), 0);
   pending_serial_.assign(netlist_.num_nets(), 0);
+  eval_stamp_.assign(netlist_.num_cells(), 0);
   stats_.cell_transitions.assign(netlist_.num_cells(), 0);
+  // Per-cell delays are mode-constant: precompute once instead of paying the
+  // lround() in every evaluation like the reference scheduler did.
+  delay_ticks_.resize(netlist_.num_cells());
+  for (std::size_t c = 0; c < netlist_.num_cells(); ++c) {
+    switch (mode_) {
+      case SimDelayMode::kUnit: delay_ticks_[c] = 1; break;
+      case SimDelayMode::kZero: delay_ticks_[c] = 0; break;
+      case SimDelayMode::kCellDepth:
+        delay_ticks_[c] = std::max(
+            1, static_cast<int>(std::lround(
+                   cell_spec(netlist_.cell(static_cast<CellId>(c)).type).depth_units * 10.0)));
+        break;
+    }
+  }
+  wheel_mask_ = (std::int64_t{1} << wheel_bits_) - 1;
+  slots_.resize(std::size_t{1} << wheel_bits_);
   reset_state();
 }
 
@@ -25,6 +51,16 @@ void EventSimulator::reset_stats() {
 }
 
 void EventSimulator::reset_state() {
+  // An aborted settle() (oscillation throw) leaves events parked in the
+  // wheel and stale pending serials; the heap scheduler's queue was
+  // settle-local so it recovered for free - drop everything here so a full
+  // state reset means what it says.  No-ops at clean cycle boundaries.
+  for (auto& slot : slots_) slot.clear();
+  overflow_.clear();
+  ring_count_ = 0;
+  overflow_count_ = 0;
+  std::fill(pending_serial_.begin(), pending_serial_.end(), 0);
+
   std::fill(values_.begin(), values_.end(), 0);
   std::fill(dff_next_.begin(), dff_next_.end(), 0);
   // Constants and the combinational image of the all-zero state must be
@@ -60,49 +96,110 @@ void EventSimulator::set_inputs(const std::vector<bool>& values) {
   }
 }
 
-int EventSimulator::cell_delay_ticks(CellId c) const {
-  switch (mode_) {
-    case SimDelayMode::kUnit: return 1;
-    case SimDelayMode::kZero: return 0;
-    case SimDelayMode::kCellDepth:
-      return std::max(1, static_cast<int>(std::lround(
-                             cell_spec(netlist_.cell(c).type).depth_units * 10.0)));
+void EventSimulator::schedule_cell(CellId c, std::int64_t now) {
+  const CellInstance& cell = netlist_.cell(c);
+  if (cell_spec(cell.type).is_sequential) return;
+  std::uint8_t in = 0;
+  for (std::size_t i = 0; i < cell.inputs.size(); ++i) {
+    in |= static_cast<std::uint8_t>((values_[cell.inputs[i]] ? 1u : 0u) << i);
   }
-  return 1;
+  const std::uint8_t outv = eval_cell(cell.type, in);
+  const std::int64_t when = now + delay_ticks_[c];
+  for (std::size_t k = 0; k < cell.outputs.size(); ++k) {
+    const char nv = static_cast<char>((outv >> k) & 1u);
+    const NetId net = cell.outputs[k];
+    // Inertial: the newest scheduled value supersedes older pendings.
+    const Event ev{when, ++next_serial_, net, nv};
+    pending_serial_[net] = ev.serial;
+    if (when - rev_base_ <= wheel_mask_) {
+      // Within the ring's current revolution: straight into its slot.  Slot
+      // append order is serial order because every earlier event in this slot
+      // was scheduled earlier (time only moves forward within a revolution).
+      slots_[static_cast<std::size_t>(when & wheel_mask_)].push_back(ev);
+      ++ring_count_;
+    } else {
+      // Far future: park in the event's revolution bucket; poured into the
+      // ring (in serial order, before any same-revolution direct insert can
+      // exist) when that revolution begins.
+      overflow_[when >> wheel_bits_].push_back(ev);
+      ++overflow_count_;
+    }
+  }
 }
 
-void EventSimulator::settle() {
-  // Seed: evaluate every combinational cell whose output is stale w.r.t. the
-  // (possibly changed) primary inputs and DFF outputs.  Using a timed event
-  // wheel from t = 0 reproduces glitching under the chosen delay model.
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> wheel;
+void EventSimulator::pour_overflow_revolution(std::int64_t revolution) {
+  const auto it = overflow_.find(revolution);
+  if (it == overflow_.end()) return;
+  for (const Event& ev : it->second) {
+    slots_[static_cast<std::size_t>(ev.time & wheel_mask_)].push_back(ev);
+  }
+  ring_count_ += it->second.size();
+  overflow_count_ -= it->second.size();
+  overflow_.erase(it);
+}
+
+void EventSimulator::process_tick(std::int64_t tick) {
+  std::vector<Event>& slot = slots_[static_cast<std::size_t>(tick & wheel_mask_)];
+  if (slot.empty()) return;
   const auto& fanout = netlist_.fanout();
 
-  const auto schedule_cell = [&](CellId c, std::int64_t now) {
-    const CellInstance& cell = netlist_.cell(c);
-    if (cell_spec(cell.type).is_sequential) return;
-    std::uint8_t in = 0;
-    for (std::size_t i = 0; i < cell.inputs.size(); ++i) {
-      in |= static_cast<std::uint8_t>((values_[cell.inputs[i]] ? 1u : 0u) << i);
+  if (mode_ == SimDelayMode::kZero) {
+    // Zero-delay cascades re-enter THIS slot, and a mid-tick re-evaluation
+    // must supersede later events already queued in it (e.g. a stale seed
+    // event for a downstream net) before they apply.  Batching would apply
+    // those stale events, so this mode keeps the reference scheduler's
+    // strict FIFO: apply one event, evaluate its readers immediately.
+    // Iterate by index - schedule_cell appends to (and may reallocate) the
+    // very slot being drained.
+    for (std::size_t i = 0; i < slot.size(); ++i) {
+      if (i > kZeroDelayEventLimit) {
+        // A zero-delay combinational loop never drains; verify() rejects
+        // cycles, so only post-construction rewiring can get here.
+        throw NumericalError("EventSimulator: circuit failed to settle (oscillation?)");
+      }
+      const Event ev = slot[i];  // copy: the append below may reallocate
+      --ring_count_;
+      if (ev.serial != pending_serial_[ev.net]) continue;  // superseded (inertial cancel)
+      pending_serial_[ev.net] = 0;
+      if (values_[ev.net] == ev.value) continue;  // no change
+      values_[ev.net] = ev.value;
+      ++stats_.total_transitions;
+      const CellId drv = netlist_.driver_of(ev.net);
+      if (drv != Netlist::kNoCell) ++stats_.cell_transitions[drv];
+      for (const CellId reader : fanout[ev.net]) schedule_cell(reader, tick);
     }
-    const std::uint8_t outv = eval_cell(cell.type, in);
-    const std::int64_t when = now + cell_delay_ticks(c);
-    for (std::size_t k = 0; k < cell.outputs.size(); ++k) {
-      const char nv = static_cast<char>((outv >> k) & 1u);
-      const NetId net = cell.outputs[k];
-      // Inertial: the newest scheduled value supersedes older pendings.
-      wheel.push({when, ++next_serial_, net, nv});
-      pending_serial_[net] = next_serial_;
-    }
-  };
+    slot.clear();
+    return;
+  }
 
-  for (const CellId c : topo_) schedule_cell(c, 0);
-
-  constexpr std::int64_t kMaxTicks = 1 << 22;  // oscillation guard
-  while (!wheel.empty()) {
-    const Event ev = wheel.top();
-    wheel.pop();
+  // Delay >= 1 (kUnit/kCellDepth): everything a tick-t evaluation schedules
+  // lands at t+1 or later, so the slot's content is fixed for the whole tick
+  // and can be processed as one levelized wave with deferred, deduplicated
+  // cell evaluations.  Two details keep this bit-identical to the heap
+  // scheduler's interleaved pop-and-evaluate:
+  //  * An event whose driver was already re-triggered by an earlier change
+  //    in THIS tick must be skipped: the heap scheduler evaluated that
+  //    driver immediately, and the fresh schedule superseded the event
+  //    before it popped (e.g. a stale seed event of a deeper cell sharing
+  //    the tick with its fan-in's seed event).
+  //  * Deferred evaluations run in LAST-trigger order - the order of the
+  //    heap scheduler's surviving (final) evaluation per cell - so the
+  //    serial order inside every downstream slot matches too.
+  wave_scratch_.clear();
+  wave_scratch_.swap(slot);
+  ring_count_ -= wave_scratch_.size();
+  triggers_scratch_.clear();
+  // Phase 1: apply every surviving event of the wave.  Slot order is serial
+  // order, so inertial-cancellation decisions match the heap scheduler.
+  const std::uint64_t trigger_mark = ++wave_stamp_;
+  for (const Event& ev : wave_scratch_) {
     if (ev.serial != pending_serial_[ev.net]) continue;  // superseded (inertial cancel)
+    const CellId drv = netlist_.driver_of(ev.net);
+    if (drv != Netlist::kNoCell && eval_stamp_[drv] == trigger_mark) {
+      // The deferred re-evaluation of `drv` supersedes this event (the heap
+      // scheduler's eval-on-trigger already would have).
+      continue;
+    }
     pending_serial_[ev.net] = 0;
     if (ev.time > kMaxTicks) {
       throw NumericalError("EventSimulator: circuit failed to settle (oscillation?)");
@@ -110,9 +207,47 @@ void EventSimulator::settle() {
     if (values_[ev.net] == ev.value) continue;  // no change
     values_[ev.net] = ev.value;
     ++stats_.total_transitions;
-    const CellId drv = netlist_.driver_of(ev.net);
     if (drv != Netlist::kNoCell) ++stats_.cell_transitions[drv];
-    for (const CellId reader : fanout[ev.net]) schedule_cell(reader, ev.time);
+    for (const CellId reader : fanout[ev.net]) {
+      eval_stamp_[reader] = trigger_mark;
+      triggers_scratch_.push_back(reader);
+    }
+  }
+  // Phase 2: evaluate each triggered cell exactly once.  A reverse scan
+  // keeps only each cell's LAST trigger, then evaluation runs forward in
+  // that order; every evaluation sees all of the tick's value changes,
+  // which is exactly what the heap scheduler's final evaluation per cell
+  // saw (intermediate evaluations were always superseded).
+  const std::uint64_t eval_mark = ++wave_stamp_;
+  last_evals_.clear();
+  for (auto it = triggers_scratch_.rbegin(); it != triggers_scratch_.rend(); ++it) {
+    if (eval_stamp_[*it] == eval_mark) continue;
+    eval_stamp_[*it] = eval_mark;
+    last_evals_.push_back(*it);
+  }
+  for (auto it = last_evals_.rbegin(); it != last_evals_.rend(); ++it) {
+    schedule_cell(*it, tick);
+  }
+}
+
+void EventSimulator::settle() {
+  // Seed: evaluate every combinational cell against the (possibly changed)
+  // primary inputs and DFF outputs; running the schedule from t = 0
+  // reproduces glitching under the chosen delay model.
+  rev_base_ = 0;
+  for (const CellId c : topo_) schedule_cell(c, 0);
+
+  while (ring_count_ + overflow_count_ > 0) {
+    if (ring_count_ == 0) {
+      // Ring drained: skip empty revolutions, straight to the next populated
+      // overflow bucket.
+      rev_base_ = overflow_.begin()->first << wheel_bits_;
+    }
+    pour_overflow_revolution(rev_base_ >> wheel_bits_);
+    for (std::int64_t offset = 0; offset <= wheel_mask_ && ring_count_ > 0; ++offset) {
+      process_tick(rev_base_ + offset);
+    }
+    rev_base_ += wheel_mask_ + 1;
   }
 }
 
@@ -122,7 +257,7 @@ void EventSimulator::step_cycle() {
   // one transition; anything beyond that (and any transition on a net that
   // returns to its start value) is glitch power.
   const std::uint64_t transitions_before = stats_.total_transitions;
-  std::vector<char> start_values = values_;
+  start_scratch_ = values_;
 
   // Pre-edge settle: propagate this cycle's inputs (and last edge's Q
   // changes, already settled) through the combinational logic.
@@ -159,7 +294,7 @@ void EventSimulator::step_cycle() {
 
   std::uint64_t functional = 0;
   for (std::size_t n = 0; n < values_.size(); ++n) {
-    if (values_[n] != start_values[n]) ++functional;
+    if (values_[n] != start_scratch_[n]) ++functional;
   }
   const std::uint64_t cycle_transitions = stats_.total_transitions - transitions_before;
   stats_.glitch_transitions += cycle_transitions - std::min(cycle_transitions, functional);

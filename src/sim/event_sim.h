@@ -4,7 +4,7 @@
 // This is the ModelSIM stand-in: the paper derives its activity numbers "a"
 // from timing-annotated gate-level simulation, where unequal path delays
 // create glitches that count as real switched capacitance.  The simulator
-// therefore runs each clock cycle as a timed event wheel (cell delays in
+// therefore runs each clock cycle as a timed event schedule (cell delays in
 // integer femtosecond-free "delay units" from the cell library), counts
 // every net transition - including glitches - and samples DFFs at the end of
 // the cycle.
@@ -15,9 +15,28 @@
 //    evaluation replaces it (pulses shorter than the cell delay vanish).
 //  * DFF/DFFE sample their D (and EN) after combinational settling; their Q
 //    changes appear at time 0 of the next cycle.
+//
+// Scheduler: a hierarchical timing wheel (calendar queue) replaced the
+// original binary-heap scheduler (kept as sim/reference_sim.h, the test
+// oracle).  Level 0 is a power-of-two ring of per-tick event slots covering
+// one "revolution" of simulated time; events beyond the current revolution
+// park in per-revolution overflow buckets that are poured into the ring when
+// their revolution begins.  Scheduling and popping are O(1) amortized
+// (vs. O(log n) heap pushes), and under delay >= 1 modes each tick is
+// processed in two levelized phases: first every surviving event is applied
+// (transition counting), then each affected fanout cell is evaluated exactly
+// ONCE per wave - the heap scheduler re-evaluated a cell once per changed
+// input net.  kZero keeps the reference's strict FIFO within the (single)
+// tick, because zero-delay re-evaluations must supersede later events
+// already queued in the same slot.  All of it preserves the event
+// application order (slot order is serial order) and the
+// inertial-cancellation decisions, so SimStats and every net value are
+// bit-identical to the reference scheduler; see
+// tests/sim/scheduler_equivalence_test.cpp.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "netlist/netlist.h"
@@ -26,22 +45,40 @@ namespace optpower {
 
 /// Per-cycle and cumulative switching statistics.
 struct SimStats {
-  std::uint64_t cycles = 0;
+  std::uint64_t cycles = 0;                 ///< clock cycles simulated
   std::uint64_t total_transitions = 0;      ///< net value changes incl. glitches
   std::uint64_t glitch_transitions = 0;     ///< changes beyond the per-net final-value minimum
   std::vector<std::uint64_t> cell_transitions;  ///< output transitions per cell
 };
 
-/// Delay model choice for the event wheel.
+/// Delay model choice for the event scheduler.
 enum class SimDelayMode {
   kUnit,       ///< every cell = 1 delay unit (fast functional checks)
   kCellDepth,  ///< CellSpec::depth_units scaled x10 to integer ticks (glitch-accurate)
   kZero,       ///< pure levelized evaluation, no glitches counted
 };
 
+/// Timing-annotated gate-level event simulator over a verified Netlist.
+///
+/// One instance owns all mutable simulation state (net values, DFF samples,
+/// the timing wheel, statistics) and only reads the shared netlist, so
+/// independent instances over the same netlist may run on different threads
+/// (warm the netlist's fanout cache first; measure_activity_multi does).
 class EventSimulator {
  public:
-  explicit EventSimulator(const Netlist& netlist, SimDelayMode mode = SimDelayMode::kCellDepth);
+  /// Level-0 ring size as log2(slots).  One revolution covers 2^bits ticks;
+  /// under kCellDepth one tick is a tenth of an inverter delay, so the
+  /// default 256-tick revolution holds ~6 typical cell hops.  Smaller rings
+  /// push more traffic through the overflow buckets (the equivalence suite
+  /// runs bits=2 to stress that path); larger rings trade memory for fewer
+  /// revolution boundaries.
+  static constexpr int kDefaultWheelBits = 8;
+
+  /// Build a simulator over `netlist` (verify()-checked here) using `mode`
+  /// delays.  `wheel_bits` sizes the level-0 ring; results never depend on
+  /// it (it is a perf/test knob only).
+  explicit EventSimulator(const Netlist& netlist, SimDelayMode mode = SimDelayMode::kCellDepth,
+                          int wheel_bits = kDefaultWheelBits);
 
   /// Set a primary input for the upcoming cycle (stable for the whole cycle).
   void set_input(NetId net, bool value);
@@ -61,36 +98,60 @@ class EventSimulator {
   /// Primary outputs packed LSB-first into a word.
   [[nodiscard]] std::uint64_t outputs_word() const;
 
+  /// Cumulative statistics since construction or the last reset_stats().
   [[nodiscard]] const SimStats& stats() const noexcept { return stats_; }
+  /// Zero all counters (cycle count included); simulation state is kept.
   void reset_stats();
 
   /// Full state reset: all nets to 0 (constants re-propagated), stats kept.
+  /// Also drops any events left parked in the wheel, so it recovers a
+  /// simulator whose step_cycle() threw (oscillation guard) just like the
+  /// reference scheduler's settle-local queue did.
   void reset_state();
 
  private:
+  /// One scheduled output change.  `serial` is a global monotonically
+  /// increasing id: the newest schedule for a net supersedes older pendings
+  /// (inertial delay), and slot insertion order == serial order, which is
+  /// what makes the wheel reproduce the heap scheduler exactly.
+  struct Event {
+    std::int64_t time;
+    std::uint64_t serial;
+    NetId net;
+    char value;
+  };
+
   void settle();
-  int cell_delay_ticks(CellId c) const;
-  void evaluate_cell(CellId c, std::int64_t now);
+  void schedule_cell(CellId c, std::int64_t now);
+  void pour_overflow_revolution(std::int64_t revolution);
+  void process_tick(std::int64_t tick);
 
   const Netlist& netlist_;
   SimDelayMode mode_;
   std::vector<CellId> topo_;
   std::vector<char> values_;             // per net
   std::vector<char> dff_next_;           // sampled D per cell (sequential only)
+  std::vector<int> delay_ticks_;         // per cell, precomputed for mode_
   SimStats stats_;
 
-  // Event wheel: (time, serial, net, value); lazy-invalidated by serial.
-  struct Event {
-    std::int64_t time;
-    std::uint64_t serial;
-    NetId net;
-    char value;
-    bool operator>(const Event& rhs) const {
-      return time != rhs.time ? time > rhs.time : serial > rhs.serial;
-    }
-  };
-  std::vector<std::uint64_t> pending_serial_;  // latest serial per net
+  // --- timing wheel ---------------------------------------------------------
+  int wheel_bits_;
+  std::int64_t wheel_mask_;                       // 2^bits - 1
+  std::vector<std::vector<Event>> slots_;         // level 0: one ring revolution
+  std::map<std::int64_t, std::vector<Event>> overflow_;  // revolution -> events
+  std::int64_t rev_base_ = 0;                     // first tick of the ring's revolution
+  std::size_t ring_count_ = 0;                    // events currently in slots_
+  std::size_t overflow_count_ = 0;                // events currently in overflow_
+
+  // --- inertial cancellation + two-phase evaluation -------------------------
+  std::vector<std::uint64_t> pending_serial_;  // latest scheduled serial per net
   std::uint64_t next_serial_ = 0;
+  std::vector<std::uint64_t> eval_stamp_;  // per cell: trigger/eval mark of the current tick
+  std::uint64_t wave_stamp_ = 0;
+  std::vector<Event> wave_scratch_;        // current wave being applied
+  std::vector<CellId> triggers_scratch_;   // fanout trigger sequence of the tick (with dups)
+  std::vector<CellId> last_evals_;         // deduped cells in reverse last-trigger order
+  std::vector<char> start_scratch_;        // per-cycle start values (glitch accounting)
 };
 
 }  // namespace optpower

@@ -1,0 +1,185 @@
+#include "sim/reference_sim.h"
+
+#include <cmath>
+#include <queue>
+
+#include "netlist/cell.h"
+#include "util/error.h"
+
+namespace optpower {
+
+ReferenceSimulator::ReferenceSimulator(const Netlist& netlist, SimDelayMode mode)
+    : netlist_(netlist), mode_(mode) {
+  netlist_.verify();
+  topo_ = netlist_.topo_order();
+  values_.assign(netlist_.num_nets(), 0);
+  dff_next_.assign(netlist_.num_cells(), 0);
+  pending_serial_.assign(netlist_.num_nets(), 0);
+  stats_.cell_transitions.assign(netlist_.num_cells(), 0);
+  reset_state();
+}
+
+void ReferenceSimulator::reset_stats() {
+  stats_ = SimStats{};
+  stats_.cell_transitions.assign(netlist_.num_cells(), 0);
+}
+
+void ReferenceSimulator::reset_state() {
+  std::fill(values_.begin(), values_.end(), 0);
+  std::fill(dff_next_.begin(), dff_next_.end(), 0);
+  // Constants and the combinational image of the all-zero state must be
+  // established without counting transitions.
+  const SimStats saved = stats_;
+  for (const CellId c : topo_) {
+    const CellInstance& cell = netlist_.cell(c);
+    if (cell_spec(cell.type).is_sequential) continue;
+    std::uint8_t in = 0;
+    for (std::size_t i = 0; i < cell.inputs.size(); ++i) {
+      in |= static_cast<std::uint8_t>((values_[cell.inputs[i]] ? 1u : 0u) << i);
+    }
+    const std::uint8_t outv = eval_cell(cell.type, in);
+    for (std::size_t k = 0; k < cell.outputs.size(); ++k) {
+      values_[cell.outputs[k]] = static_cast<char>((outv >> k) & 1u);
+    }
+  }
+  stats_ = saved;
+}
+
+void ReferenceSimulator::set_input(NetId net, bool value) {
+  require(net < values_.size(), "ReferenceSimulator::set_input: unknown net");
+  require(netlist_.driver_of(net) == Netlist::kNoCell,
+          "ReferenceSimulator::set_input: net is not a primary input");
+  values_[net] = value ? 1 : 0;
+}
+
+void ReferenceSimulator::set_inputs(const std::vector<bool>& values) {
+  require(values.size() == netlist_.primary_inputs().size(),
+          "ReferenceSimulator::set_inputs: input count mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values_[netlist_.primary_inputs()[i]] = values[i] ? 1 : 0;
+  }
+}
+
+int ReferenceSimulator::cell_delay_ticks(CellId c) const {
+  switch (mode_) {
+    case SimDelayMode::kUnit: return 1;
+    case SimDelayMode::kZero: return 0;
+    case SimDelayMode::kCellDepth:
+      return std::max(1, static_cast<int>(std::lround(
+                             cell_spec(netlist_.cell(c).type).depth_units * 10.0)));
+  }
+  return 1;
+}
+
+void ReferenceSimulator::settle() {
+  // Seed: evaluate every combinational cell whose output is stale w.r.t. the
+  // (possibly changed) primary inputs and DFF outputs.  Using a timed event
+  // wheel from t = 0 reproduces glitching under the chosen delay model.
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> wheel;
+  const auto& fanout = netlist_.fanout();
+
+  const auto schedule_cell = [&](CellId c, std::int64_t now) {
+    const CellInstance& cell = netlist_.cell(c);
+    if (cell_spec(cell.type).is_sequential) return;
+    std::uint8_t in = 0;
+    for (std::size_t i = 0; i < cell.inputs.size(); ++i) {
+      in |= static_cast<std::uint8_t>((values_[cell.inputs[i]] ? 1u : 0u) << i);
+    }
+    const std::uint8_t outv = eval_cell(cell.type, in);
+    const std::int64_t when = now + cell_delay_ticks(c);
+    for (std::size_t k = 0; k < cell.outputs.size(); ++k) {
+      const char nv = static_cast<char>((outv >> k) & 1u);
+      const NetId net = cell.outputs[k];
+      // Inertial: the newest scheduled value supersedes older pendings.
+      wheel.push({when, ++next_serial_, net, nv});
+      pending_serial_[net] = next_serial_;
+    }
+  };
+
+  for (const CellId c : topo_) schedule_cell(c, 0);
+
+  constexpr std::int64_t kMaxTicks = 1 << 22;  // oscillation guard
+  while (!wheel.empty()) {
+    const Event ev = wheel.top();
+    wheel.pop();
+    if (ev.serial != pending_serial_[ev.net]) continue;  // superseded (inertial cancel)
+    pending_serial_[ev.net] = 0;
+    if (ev.time > kMaxTicks) {
+      throw NumericalError("ReferenceSimulator: circuit failed to settle (oscillation?)");
+    }
+    if (values_[ev.net] == ev.value) continue;  // no change
+    values_[ev.net] = ev.value;
+    ++stats_.total_transitions;
+    const CellId drv = netlist_.driver_of(ev.net);
+    if (drv != Netlist::kNoCell) ++stats_.cell_transitions[drv];
+    for (const CellId reader : fanout[ev.net]) schedule_cell(reader, ev.time);
+  }
+}
+
+void ReferenceSimulator::step_cycle() {
+  // Track per-net transition counts to separate functional toggles from
+  // glitches: a net that ends the cycle at a different value needs exactly
+  // one transition; anything beyond that (and any transition on a net that
+  // returns to its start value) is glitch power.
+  const std::uint64_t transitions_before = stats_.total_transitions;
+  std::vector<char> start_values = values_;
+
+  // Pre-edge settle: propagate this cycle's inputs (and last edge's Q
+  // changes, already settled) through the combinational logic.
+  settle();
+
+  // Clock edge: sample D (and EN), then apply Q updates; count Q toggles.
+  for (const CellId c : topo_) {
+    const CellInstance& cell = netlist_.cell(c);
+    if (!cell_spec(cell.type).is_sequential) continue;
+    const bool d = values_[cell.inputs[0]];
+    if (cell.type == CellType::kDffEnable) {
+      const bool en = values_[cell.inputs[1]];
+      dff_next_[c] = en ? (d ? 1 : 0) : values_[cell.outputs[0]];
+    } else {
+      dff_next_[c] = d ? 1 : 0;
+    }
+  }
+  for (const CellId c : topo_) {
+    const CellInstance& cell = netlist_.cell(c);
+    if (!cell_spec(cell.type).is_sequential) continue;
+    const NetId q = cell.outputs[0];
+    if (values_[q] != dff_next_[c]) {
+      values_[q] = dff_next_[c];
+      ++stats_.total_transitions;
+      ++stats_.cell_transitions[c];
+    }
+  }
+
+  // Post-edge settle: propagate the new Q values so that value()/outputs()
+  // observe the state "during the next cycle" - combinational and registered
+  // output paths then agree on latency (a 2-stage pipeline shows its result
+  // exactly pipeline_latency() steps after the operands were applied).
+  settle();
+
+  std::uint64_t functional = 0;
+  for (std::size_t n = 0; n < values_.size(); ++n) {
+    if (values_[n] != start_values[n]) ++functional;
+  }
+  const std::uint64_t cycle_transitions = stats_.total_transitions - transitions_before;
+  stats_.glitch_transitions += cycle_transitions - std::min(cycle_transitions, functional);
+  ++stats_.cycles;
+}
+
+std::vector<bool> ReferenceSimulator::outputs() const {
+  std::vector<bool> out;
+  out.reserve(netlist_.primary_outputs().size());
+  for (const NetId net : netlist_.primary_outputs()) out.push_back(values_[net] != 0);
+  return out;
+}
+
+std::uint64_t ReferenceSimulator::outputs_word() const {
+  std::uint64_t w = 0;
+  const auto& pos = netlist_.primary_outputs();
+  for (std::size_t i = 0; i < pos.size() && i < 64; ++i) {
+    if (values_[pos[i]]) w |= (1ULL << i);
+  }
+  return w;
+}
+
+}  // namespace optpower

@@ -1,0 +1,82 @@
+// Reference event scheduler: the original priority-queue (binary-heap)
+// implementation of EventSimulator, kept verbatim as the correctness oracle
+// for the timing-wheel scheduler that replaced it in the hot path.
+//
+// The production EventSimulator (sim/event_sim.h) is required to produce
+// bit-identical SimStats and net values for every netlist, delay mode, and
+// stimulus sequence.  tests/sim/scheduler_equivalence_test.cpp drives both
+// side by side; keep the two semantics documents (inertial delay, two settle
+// passes per cycle, glitch accounting) in sync if either ever changes.
+//
+// This class is NOT a performance path: scheduling is O(log n) per event and
+// every fanout cell is re-evaluated once per changed input.  Use it only from
+// tests and ablation benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/event_sim.h"
+
+namespace optpower {
+
+/// Heap-scheduler twin of EventSimulator (same public surface, same
+/// semantics); see the file comment for why it exists.
+class ReferenceSimulator {
+ public:
+  /// Build a simulator over `netlist` (verified, topo-ordered) using `mode`
+  /// for per-cell delays.
+  explicit ReferenceSimulator(const Netlist& netlist, SimDelayMode mode = SimDelayMode::kCellDepth);
+
+  /// Set a primary input for the upcoming cycle (stable for the whole cycle).
+  void set_input(NetId net, bool value);
+  /// Set all primary inputs from an LSB-first packed word per declaration
+  /// order.
+  void set_inputs(const std::vector<bool>& values);
+
+  /// Run one clock cycle: propagate events to quiescence, record stats, then
+  /// clock all DFFs.  Throws NumericalError if the circuit fails to settle.
+  void step_cycle();
+
+  /// Current value of a net (post-settling).
+  [[nodiscard]] bool value(NetId net) const { return values_[net]; }
+  /// Current primary-output values in declaration order.
+  [[nodiscard]] std::vector<bool> outputs() const;
+  /// Primary outputs packed LSB-first into a word.
+  [[nodiscard]] std::uint64_t outputs_word() const;
+
+  /// Cumulative statistics since construction or the last reset_stats().
+  [[nodiscard]] const SimStats& stats() const noexcept { return stats_; }
+  /// Zero all counters (cycle count included).
+  void reset_stats();
+
+  /// Full state reset: all nets to 0 (constants re-propagated), stats kept.
+  void reset_state();
+
+ private:
+  void settle();
+  int cell_delay_ticks(CellId c) const;
+
+  const Netlist& netlist_;
+  SimDelayMode mode_;
+  std::vector<CellId> topo_;
+  std::vector<char> values_;    // per net
+  std::vector<char> dff_next_;  // sampled D per cell (sequential only)
+  SimStats stats_;
+
+  // Event heap entry: (time, serial, net, value); lazy-invalidated by serial.
+  struct Event {
+    std::int64_t time;
+    std::uint64_t serial;
+    NetId net;
+    char value;
+    bool operator>(const Event& rhs) const {
+      return time != rhs.time ? time > rhs.time : serial > rhs.serial;
+    }
+  };
+  std::vector<std::uint64_t> pending_serial_;  // latest serial per net
+  std::uint64_t next_serial_ = 0;
+};
+
+}  // namespace optpower

@@ -38,13 +38,15 @@ void Circuit::add_dc_source(NodeId node, double volts) {
 }
 
 void Circuit::add_capacitor(NodeId a, NodeId b, double farads) {
-  require(a >= 0 && a < num_nodes() && b >= 0 && b < num_nodes(), "Circuit::add_capacitor: bad node");
+  require(a >= 0 && a < num_nodes() && b >= 0 && b < num_nodes(),
+          "Circuit::add_capacitor: bad node");
   require(farads > 0.0, "Circuit::add_capacitor: capacitance must be positive");
   caps_.push_back({a, b, farads});
 }
 
 void Circuit::add_resistor(NodeId a, NodeId b, double ohms) {
-  require(a >= 0 && a < num_nodes() && b >= 0 && b < num_nodes(), "Circuit::add_resistor: bad node");
+  require(a >= 0 && a < num_nodes() && b >= 0 && b < num_nodes(),
+          "Circuit::add_resistor: bad node");
   require(ohms > 0.0, "Circuit::add_resistor: resistance must be positive");
   resistors_.push_back({a, b, ohms});
 }

@@ -44,7 +44,9 @@ class Circuit {
   void add_pmos(NodeId drain, NodeId gate, NodeId source, MosfetParams params);
 
   [[nodiscard]] int num_nodes() const noexcept { return static_cast<int>(node_names_.size()); }
-  [[nodiscard]] const std::string& node_name(NodeId n) const { return node_names_[static_cast<std::size_t>(n)]; }
+  [[nodiscard]] const std::string& node_name(NodeId n) const {
+    return node_names_[static_cast<std::size_t>(n)];
+  }
 
   // --- analysis -------------------------------------------------------------
 

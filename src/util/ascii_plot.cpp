@@ -51,7 +51,8 @@ std::string AsciiPlot::render() const {
 
   const int w = options_.width;
   const int h = options_.height;
-  std::vector<std::string> canvas(static_cast<std::size_t>(h), std::string(static_cast<std::size_t>(w), ' '));
+  std::vector<std::string> canvas(static_cast<std::size_t>(h),
+                                  std::string(static_cast<std::size_t>(w), ' '));
 
   const auto to_col = [&](double x) {
     return static_cast<int>(std::lround((x - xmin) / (xmax - xmin) * (w - 1)));
@@ -85,7 +86,8 @@ std::string AsciiPlot::render() const {
     out += prefix + canvas[static_cast<std::size_t>(r)] + "\n";
   }
   out += std::string(11, ' ') + "+" + repeat('-', static_cast<std::size_t>(w)) + "\n";
-  out += std::string(12, ' ') + pad_right(strprintf("%.4g", xmin), static_cast<std::size_t>(w) - 8) +
+  out += std::string(12, ' ') +
+         pad_right(strprintf("%.4g", xmin), static_cast<std::size_t>(w) - 8) +
          pad_left(strprintf("%.4g", xmax), 8) + "\n";
   if (!options_.x_label.empty()) {
     out += std::string(12, ' ') + options_.x_label + "\n";

@@ -21,7 +21,8 @@ inline constexpr double kEuler = 2.718281828459045235;
 inline constexpr double kDefaultTemperatureK = 300.0;
 
 /// Thermal voltage Ut = kT/q [V] at temperature `temperature_k`.
-[[nodiscard]] constexpr double thermal_voltage(double temperature_k = kDefaultTemperatureK) noexcept {
+[[nodiscard]] constexpr double thermal_voltage(
+    double temperature_k = kDefaultTemperatureK) noexcept {
   return kBoltzmann * temperature_k / kElementaryCharge;
 }
 

@@ -128,6 +128,26 @@ TEST(ParallelDeterminismTest, OptimumSweepMatchesSerialAndFlagsInfeasible) {
   }
 }
 
+TEST(ParallelDeterminismTest, BatchedSweepMatchesPerPointFindOptimum) {
+  // optimum_sweep batches all constraint-curve scans into one epoch and the
+  // Brent refinements into a second round; every feasible slot must still be
+  // bit-identical to an independent serial find_optimum at that frequency.
+  const PowerModel m = rca_model();
+  const std::vector<double> freqs = {2e6, 8e6, 31.25e6, 62.5e6, 125e6};
+  for (const int threads : kThreadCounts) {
+    const auto sweep = optimum_sweep(m, freqs, {}, ExecContext(threads));
+    ASSERT_EQ(sweep.size(), freqs.size());
+    for (std::size_t k = 0; k < freqs.size(); ++k) {
+      const OptimumResult solo = find_optimum(m, freqs[k]);
+      ASSERT_TRUE(sweep[k].feasible) << "frequency " << freqs[k];
+      ASSERT_EQ(sweep[k].result.point.vdd, solo.point.vdd) << "threads " << threads;
+      ASSERT_EQ(sweep[k].result.point.vth, solo.point.vth) << "threads " << threads;
+      ASSERT_EQ(sweep[k].result.point.ptot, solo.point.ptot) << "threads " << threads;
+      ASSERT_EQ(sweep[k].result.converged, solo.converged) << "threads " << threads;
+    }
+  }
+}
+
 TEST(ParallelDeterminismTest, ActivityMultiMatchesSerialPerStream) {
   const Netlist nl = array_multiplier_dpipe(8, 2);
   std::vector<ActivityOptions> runs(4);

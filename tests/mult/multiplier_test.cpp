@@ -128,8 +128,10 @@ TEST(MultiplierStructure, WallaceShorterThanRca) {
 
 TEST(MultiplierStructure, PipeliningShortensLogicDepth) {
   const double base = analyze_timing(build_multiplier("RCA", 16).netlist).critical_path_units;
-  const double h2 = analyze_timing(build_multiplier("RCA hor.pipe2", 16).netlist).critical_path_units;
-  const double h4 = analyze_timing(build_multiplier("RCA hor.pipe4", 16).netlist).critical_path_units;
+  const double h2 =
+      analyze_timing(build_multiplier("RCA hor.pipe2", 16).netlist).critical_path_units;
+  const double h4 =
+      analyze_timing(build_multiplier("RCA hor.pipe4", 16).netlist).critical_path_units;
   EXPECT_LT(h2, base);
   EXPECT_LT(h4, h2);
   // "although not exactly divided by 2 or 4" - check it is a partial cut.
@@ -138,8 +140,10 @@ TEST(MultiplierStructure, PipeliningShortensLogicDepth) {
 
 TEST(MultiplierStructure, DiagonalCutsDeeperThanHorizontal) {
   // Figure 3 vs Figure 4: the diagonal cut yields a shorter per-stage path.
-  const double h2 = analyze_timing(build_multiplier("RCA hor.pipe2", 16).netlist).critical_path_units;
-  const double d2 = analyze_timing(build_multiplier("RCA diagpipe2", 16).netlist).critical_path_units;
+  const double h2 =
+      analyze_timing(build_multiplier("RCA hor.pipe2", 16).netlist).critical_path_units;
+  const double d2 =
+      analyze_timing(build_multiplier("RCA diagpipe2", 16).netlist).critical_path_units;
   EXPECT_LE(d2, h2);
 }
 

@@ -24,9 +24,11 @@ Netlist tagged_adder() {
   for (int i = 0; i < 4; ++i) {
     std::vector<NetId> outs;
     if (carry == kNoNet) {
-      outs = nl.add_cell(CellType::kHalfAdder, {a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]});
+      outs = nl.add_cell(CellType::kHalfAdder,
+                         {a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)]});
     } else {
-      outs = nl.add_cell(CellType::kFullAdder, {a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], carry});
+      outs = nl.add_cell(CellType::kFullAdder,
+                         {a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], carry});
     }
     nl.tag_last_cell(i, 0);
     sum.push_back(outs[0]);

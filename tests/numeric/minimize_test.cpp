@@ -89,6 +89,47 @@ TEST(GridMinimize2d, ThrowsWhenAllInfeasible) {
   EXPECT_THROW((void)grid_minimize_2d(f, 0.0, 1.0, 5, 0.0, 1.0, 5), NumericalError);
 }
 
+TEST(ScanThenRefineBatch, SlotsMatchPerCurveSerialExactly) {
+  // The batch contract: slot k == scan_then_refine(fs[k], ...) bit for bit.
+  std::vector<std::function<double(double)>> fs;
+  for (const double center : {-1.5, 0.0, 0.4, 2.25}) {
+    fs.push_back([center](double x) { return std::cosh(x - center) + 0.1 * x; });
+  }
+  const auto batch = scan_then_refine_batch(fs, -4.0, 4.0, 97);
+  ASSERT_EQ(batch.size(), fs.size());
+  for (std::size_t k = 0; k < fs.size(); ++k) {
+    const MinimizeResult solo = scan_then_refine(fs[k], -4.0, 4.0, 97);
+    ASSERT_TRUE(batch[k].feasible) << "curve " << k;
+    EXPECT_EQ(batch[k].result.x, solo.x) << "curve " << k;
+    EXPECT_EQ(batch[k].result.f, solo.f) << "curve " << k;
+    EXPECT_EQ(batch[k].result.iterations, solo.iterations) << "curve " << k;
+    EXPECT_EQ(batch[k].result.converged, solo.converged) << "curve " << k;
+  }
+}
+
+TEST(ScanThenRefineBatch, FlagsInfeasibleAndThrowingCurves) {
+  std::vector<std::function<double(double)>> fs;
+  fs.push_back([](double x) { return x * x; });
+  fs.push_back([](double) { return std::numeric_limits<double>::infinity(); });
+  fs.push_back([](double x) -> double {
+    if (x > 0.0) throw NumericalError("model blew up");
+    return x * x;
+  });
+  const auto batch = scan_then_refine_batch(fs, -1.0, 1.0, 33);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_TRUE(batch[0].feasible);
+  EXPECT_NEAR(batch[0].result.x, 0.0, 1e-8);
+  EXPECT_FALSE(batch[1].feasible);  // non-finite everywhere
+  EXPECT_FALSE(batch[2].feasible);  // objective threw mid-scan
+}
+
+TEST(ScanThenRefineBatch, EmptyBatchAndBadArgs) {
+  EXPECT_TRUE(scan_then_refine_batch({}, 0.0, 1.0, 11).empty());
+  std::vector<std::function<double(double)>> fs{[](double x) { return x; }};
+  EXPECT_THROW((void)scan_then_refine_batch(fs, 1.0, 0.0, 11), InvalidArgument);
+  EXPECT_THROW((void)scan_then_refine_batch(fs, 0.0, 1.0, 2), InvalidArgument);
+}
+
 class UnimodalSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(UnimodalSweep, GoldenAndBrentAgree) {
