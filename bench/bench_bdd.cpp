@@ -1,0 +1,139 @@
+// BDD/BMD subsystem benchmarks: exact-activity extraction vs the
+// Monte-Carlo testbench, symbolic netlist compilation across widths, and
+// formal multiplier equivalence (bit-level case-split fan-out - the
+// Serial/Parallel pair - plus the word-level backward-substitution prover
+// that carries the 16x16 proofs).
+//
+// Reproduction table: exact vs simulated activity per architecture (the
+// BDD cross-check of the paper's "a" column), then the proof timings.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bdd/equiv.h"
+#include "bdd/symbolic.h"
+#include "bench_common.h"
+#include "mult/array.h"
+#include "mult/wallace.h"
+#include "sim/activity.h"
+
+namespace optpower {
+namespace {
+
+using bench::env_int;
+
+int activity_width() { return env_int("OPTPOWER_BENCH_BDD_ACT_WIDTH", 8); }
+int equiv_width() { return env_int("OPTPOWER_BENCH_BDD_EQUIV_WIDTH", 10); }
+int equiv_split() { return env_int("OPTPOWER_BENCH_BDD_EQUIV_SPLIT", 3); }
+
+void print_reproduction_table() {
+  bench::print_header("Exact (BDD) vs simulated switching activity - zero-delay cross-check");
+  std::printf("%-12s %10s %14s %14s %10s\n", "netlist", "cells", "a (exact)", "a (MC funct.)",
+              "BDD nodes");
+  for (const bool wallace : {false, true}) {
+    const int w = activity_width();
+    const Netlist nl = wallace ? wallace_multiplier(w) : array_multiplier(w);
+    const ExactActivity exact = exact_activity(nl);
+    ActivityOptions mc;
+    mc.num_vectors = 2048;
+    mc.delay_mode = SimDelayMode::kZero;
+    const ActivityMeasurement measured = measure_activity_sharded(nl, mc, 4);
+    std::printf("%-12s %10zu %14.5f %14.5f %10zu\n", wallace ? "Wallace" : "RCA",
+                nl.stats().num_cells, exact.activity,
+                measured.activity * (1.0 - measured.glitch_fraction), exact.bdd_nodes);
+  }
+  std::printf("\nWord-level proofs (BMD backward substitution), width 16:\n");
+  for (const bool wallace : {false, true}) {
+    const Netlist nl = wallace ? wallace_multiplier(16) : array_multiplier(16);
+    const EquivResult r = check_multiplier_word_level(nl, 16);
+    std::printf("  %-8s equivalent=%d proven=%d regions=%zu nodes=%zu\n",
+                wallace ? "Wallace" : "RCA", r.equivalent ? 1 : 0, r.proven ? 1 : 0,
+                r.collapsed_regions, r.bdd_nodes);
+  }
+}
+
+void BM_BddCompile(benchmark::State& state) {
+  const Netlist nl = array_multiplier(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    SymbolicSimulator sym(nl);
+    sym.inject_fresh_inputs();
+    sym.settle();
+    benchmark::DoNotOptimize(sym.outputs());
+    state.counters["nodes"] = static_cast<double>(sym.manager().node_count());
+  }
+}
+BENCHMARK(BM_BddCompile)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_ExactActivity(benchmark::State& state) {
+  const Netlist nl = array_multiplier(activity_width());
+  for (auto _ : state) {
+    const ExactActivity exact = exact_activity(nl);
+    benchmark::DoNotOptimize(exact.activity);
+  }
+}
+BENCHMARK(BM_ExactActivity)->Unit(benchmark::kMillisecond);
+
+void BM_MonteCarloActivityBaseline(benchmark::State& state) {
+  // The simulation-based estimate the exact path replaces (same netlist,
+  // enough vectors that the estimate is within ~2% of exact).
+  const Netlist nl = array_multiplier(activity_width());
+  ActivityOptions mc;
+  mc.num_vectors = 2048;
+  mc.delay_mode = SimDelayMode::kZero;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure_activity(nl, mc).activity);
+  }
+}
+BENCHMARK(BM_MonteCarloActivityBaseline)->Unit(benchmark::kMillisecond);
+
+void BM_WordLevelProofRca16(benchmark::State& state) {
+  const Netlist nl = array_multiplier(16);
+  for (auto _ : state) {
+    const EquivResult r = check_multiplier_word_level(nl, 16);
+    benchmark::DoNotOptimize(r.equivalent);
+  }
+}
+BENCHMARK(BM_WordLevelProofRca16)->Unit(benchmark::kMillisecond);
+
+void BM_WordLevelProofWallace16(benchmark::State& state) {
+  const Netlist nl = wallace_multiplier(16);
+  for (auto _ : state) {
+    const EquivResult r = check_multiplier_word_level(nl, 16);
+    benchmark::DoNotOptimize(r.equivalent);
+  }
+}
+BENCHMARK(BM_WordLevelProofWallace16)->Unit(benchmark::kMillisecond);
+
+void BM_BitLevelEquivSerial(benchmark::State& state) {
+  const Netlist nl = array_multiplier(equiv_width());
+  EquivOptions options;
+  options.case_split_bits = equiv_split();
+  for (auto _ : state) {
+    const EquivResult r = check_multiplier_against_spec(nl, equiv_width(), options);
+    benchmark::DoNotOptimize(r.equivalent);
+  }
+}
+BENCHMARK(BM_BitLevelEquivSerial)->Unit(benchmark::kMillisecond);
+
+void BM_BitLevelEquivParallel(benchmark::State& state) {
+  const Netlist nl = array_multiplier(equiv_width());
+  (void)nl.fanout();
+  EquivOptions options;
+  options.case_split_bits = equiv_split();
+  for (auto _ : state) {
+    const EquivResult r =
+        check_multiplier_against_spec(nl, equiv_width(), options, bench::parallel_context());
+    benchmark::DoNotOptimize(r.equivalent);
+  }
+}
+BENCHMARK(BM_BitLevelEquivParallel)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace optpower
+
+int main(int argc, char** argv) {
+  optpower::print_reproduction_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

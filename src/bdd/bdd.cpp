@@ -1,0 +1,193 @@
+#include "bdd/bdd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+#include "util/format.h"
+
+namespace optpower {
+namespace {
+
+constexpr double kUnknownProb = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+BddManager::BddManager(int num_vars, const BddOptions& options) : options_(options) {
+  require(num_vars >= 0, "BddManager: num_vars must be >= 0");
+  require(options_.ite_cache_bits >= 4 && options_.ite_cache_bits <= 26,
+          "BddManager: ite_cache_bits must lie in [4, 26]");
+  require(options_.max_nodes >= 16, "BddManager: max_nodes must be >= 16");
+  nodes_.reserve(1024);
+  nodes_.push_back({kTerminalLevel, kBddFalse, kBddFalse});  // 0 = false
+  nodes_.push_back({kTerminalLevel, kBddTrue, kBddTrue});    // 1 = true
+  prob_cache_.assign(2, kUnknownProb);
+  prob_cache_[kBddFalse] = 0.0;
+  prob_cache_[kBddTrue] = 1.0;
+  rehash_unique(1024);
+  ite_cache_.assign(std::size_t{1} << options_.ite_cache_bits, IteKey{});
+  ite_cache_mask_ = ite_cache_.size() - 1;
+  for (int i = 0; i < num_vars; ++i) (void)add_var();
+}
+
+int BddManager::add_var() {
+  const auto index = static_cast<std::uint32_t>(var_refs_.size());
+  var_refs_.push_back(unique(index, kBddFalse, kBddTrue));
+  var_prob_.push_back(0.5);
+  return static_cast<int>(index);
+}
+
+BddRef BddManager::var(int i) const {
+  require(i >= 0 && i < num_vars(), "BddManager::var: index out of range");
+  return var_refs_[static_cast<std::size_t>(i)];
+}
+
+BddRef BddManager::nvar(int i) { return bdd_not(var(i)); }
+
+std::uint64_t BddManager::hash_triple(std::uint32_t a, std::uint32_t b,
+                                      std::uint32_t c) noexcept {
+  // splitmix64-style finalization of the packed triple; empirically uniform
+  // enough that the open-addressing tables stay short-probed at 0.7 load.
+  std::uint64_t x = (static_cast<std::uint64_t>(a) << 32) ^ (static_cast<std::uint64_t>(b) << 16) ^
+                    c ^ 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+void BddManager::rehash_unique(std::size_t new_capacity) {
+  unique_table_.assign(new_capacity, kBddFalse);
+  unique_mask_ = new_capacity - 1;
+  for (BddRef n = 2; n < nodes_.size(); ++n) {
+    std::size_t slot = hash_triple(nodes_[n].var, nodes_[n].lo, nodes_[n].hi) & unique_mask_;
+    while (unique_table_[slot] != kBddFalse) slot = (slot + 1) & unique_mask_;
+    unique_table_[slot] = n;
+  }
+}
+
+BddRef BddManager::unique(std::uint32_t var, BddRef lo, BddRef hi) {
+  // Reduction rule: both children equal -> the node is redundant.
+  if (lo == hi) return lo;
+  std::size_t slot = hash_triple(var, lo, hi) & unique_mask_;
+  while (unique_table_[slot] != kBddFalse) {
+    const Node& cand = nodes_[unique_table_[slot]];
+    if (cand.var == var && cand.lo == lo && cand.hi == hi) return unique_table_[slot];
+    slot = (slot + 1) & unique_mask_;
+  }
+  if (node_count() >= options_.max_nodes) {
+    throw NumericalError(strprintf(
+        "BddManager: node budget exceeded (%zu nodes); raise BddOptions::max_nodes or use "
+        "case splitting (bdd/equiv.h EquivOptions::case_split_bits)",
+        node_count()));
+  }
+  const auto id = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back({var, lo, hi});
+  prob_cache_.push_back(kUnknownProb);
+  unique_table_[slot] = id;
+  // Resize at ~0.7 load; rehash invalidates `slot`, so insert before growing.
+  if (nodes_.size() * 10 >= unique_table_.size() * 7) rehash_unique(unique_table_.size() * 2);
+  return id;
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  // Terminal rules.
+  if (f == kBddTrue) return g;
+  if (f == kBddFalse) return h;
+  if (g == h) return g;
+  if (g == kBddTrue && h == kBddFalse) return f;
+
+  const std::size_t slot = hash_triple(f, g, h ^ 0xa5a5a5a5u) & ite_cache_mask_;
+  IteKey& entry = ite_cache_[slot];
+  if (entry.valid && entry.f == f && entry.g == g && entry.h == h) return entry.result;
+
+  const std::uint32_t top =
+      std::min(nodes_[f].var, std::min(nodes_[g].var, nodes_[h].var));
+  const auto cofactor = [&](BddRef r, bool high_branch) {
+    const Node& n = nodes_[r];
+    if (n.var != top) return r;
+    return high_branch ? n.hi : n.lo;
+  };
+  const BddRef lo = ite(cofactor(f, false), cofactor(g, false), cofactor(h, false));
+  const BddRef hi = ite(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+  const BddRef result = unique(top, lo, hi);
+
+  // Direct-mapped, lossy: overwriting on collision only costs recomputation.
+  ite_cache_[slot] = IteKey{f, g, h, result, true};
+  return result;
+}
+
+BddManager::BitSum BddManager::full_add(BddRef a, BddRef b, BddRef cin) {
+  const BddRef ab = bdd_xor(a, b);
+  BitSum s;
+  s.sum = bdd_xor(ab, cin);
+  // carry = ab ? cin : a  (majority via the xor rail, one ITE).
+  s.carry = ite(ab, cin, a);
+  return s;
+}
+
+bool BddManager::eval(BddRef f, const std::vector<char>& assignment) const {
+  while (f > kBddTrue) {
+    const Node& n = nodes_[f];
+    const bool value = n.var < assignment.size() && assignment[n.var] != 0;
+    f = value ? n.hi : n.lo;
+  }
+  return f == kBddTrue;
+}
+
+double BddManager::probability(BddRef f) {
+  const double cached = prob_cache_[f];
+  if (!std::isnan(cached)) return cached;
+  const Node& n = nodes_[f];
+  const double p = var_prob_[n.var];
+  const double result = (1.0 - p) * probability(n.lo) + p * probability(n.hi);
+  prob_cache_[f] = result;
+  return result;
+}
+
+void BddManager::set_var_probability(int i, double p) {
+  require(i >= 0 && i < num_vars(), "BddManager::set_var_probability: index out of range");
+  require(p >= 0.0 && p <= 1.0, "BddManager::set_var_probability: p must lie in [0, 1]");
+  var_prob_[static_cast<std::size_t>(i)] = p;
+  std::fill(prob_cache_.begin() + 2, prob_cache_.end(), kUnknownProb);
+}
+
+std::vector<char> BddManager::find_sat(BddRef f) const {
+  require(f != kBddFalse, "BddManager::find_sat: function is unsatisfiable");
+  std::vector<char> assignment(static_cast<std::size_t>(num_vars()), 0);
+  while (f > kBddTrue) {
+    const Node& n = nodes_[f];
+    // In a reduced diagram every non-false ref reaches the true terminal, so
+    // "lo != false" means the 0-branch is satisfiable: prefer it.
+    if (n.lo != kBddFalse) {
+      f = n.lo;
+    } else {
+      assignment[n.var] = 1;
+      f = n.hi;
+    }
+  }
+  return assignment;
+}
+
+std::size_t BddManager::dag_size(BddRef f) const {
+  if (f <= kBddTrue) return 0;
+  std::vector<BddRef> stack{f};
+  // Dense visited bitmap: dag_size is a diagnostic, clarity over memory.
+  std::vector<char> seen(nodes_.size(), 0);
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const BddRef r = stack.back();
+    stack.pop_back();
+    if (r <= kBddTrue || seen[r]) continue;
+    seen[r] = 1;
+    ++count;
+    stack.push_back(nodes_[r].lo);
+    stack.push_back(nodes_[r].hi);
+  }
+  return count;
+}
+
+}  // namespace optpower

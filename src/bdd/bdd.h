@@ -1,0 +1,155 @@
+// Reduced-ordered binary decision diagrams: the symbolic-analysis substrate
+// behind exact switching-activity extraction and formal multiplier
+// equivalence checking (bdd/symbolic.h, bdd/equiv.h).
+//
+// Engine shape (after the classic Brace/Rudell/Bryant package, and the
+// related Cloud-BDD engine): arena-allocated nodes addressed by dense 32-bit
+// refs, a hash-consed unique table that makes every function canonical
+// (equality test == ref compare), and a memoized if-then-else on which all
+// two-operand applies are built.  Complement edges are intentionally left
+// out: they halve node counts but double the invariants, and the canonical
+// no-complement form keeps the determinism story trivial (same op sequence
+// -> bit-identical arena layout, asserted in tests/bdd/).
+//
+// There is no garbage collector: nodes live as long as the manager.  The
+// intended lifetime is one manager per analysis (or per case-split
+// subproblem), guarded by BddOptions::max_nodes - the engine throws
+// NumericalError instead of thrashing when a function family (like the
+// middle bits of wide multipliers, the textbook exponential case) blows up.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace optpower {
+
+/// Handle of a BDD function inside one manager.  Dense index into the node
+/// arena; 0/1 are the constant functions.  Refs from different managers must
+/// never be mixed (unchecked for speed).
+using BddRef = std::uint32_t;
+
+inline constexpr BddRef kBddFalse = 0;
+inline constexpr BddRef kBddTrue = 1;
+
+/// Engine tuning knobs.
+struct BddOptions {
+  /// Hard ceiling on unique nodes before the manager throws NumericalError.
+  /// 1M nodes is ~12 MB of arena and far beyond anything the activity and
+  /// (case-split) equivalence clients legitimately need; raise it only for
+  /// deliberate monolithic experiments.
+  std::size_t max_nodes = 1u << 20;
+  /// log2 of the lossy direct-mapped ITE memo cache (entries overwrite on
+  /// collision; only speed, never results, depends on this).
+  int ite_cache_bits = 16;
+};
+
+/// One ROBDD manager: variable order fixed at var-creation order, all nodes
+/// interned in the unique table.  Not thread-safe; use one manager per
+/// thread (they are cheap - the parallel equivalence checker builds one per
+/// case-split subproblem).
+class BddManager {
+ public:
+  explicit BddManager(int num_vars = 0, const BddOptions& options = {});
+
+  // --- variables -----------------------------------------------------------
+
+  /// Number of variables currently declared.
+  [[nodiscard]] int num_vars() const noexcept { return static_cast<int>(var_refs_.size()); }
+
+  /// Append one fresh variable (last in the order); returns its index.
+  int add_var();
+
+  /// The function "variable i" (i in [0, num_vars)).
+  [[nodiscard]] BddRef var(int i) const;
+
+  /// The function "NOT variable i".
+  [[nodiscard]] BddRef nvar(int i);
+
+  // --- operations ----------------------------------------------------------
+
+  [[nodiscard]] static constexpr BddRef constant(bool value) noexcept {
+    return value ? kBddTrue : kBddFalse;
+  }
+
+  /// Memoized Shannon if-then-else: f ? g : h.  The universal connective -
+  /// every other operation below is a fixed ITE pattern.
+  [[nodiscard]] BddRef ite(BddRef f, BddRef g, BddRef h);
+
+  [[nodiscard]] BddRef bdd_not(BddRef f) { return ite(f, kBddFalse, kBddTrue); }
+  [[nodiscard]] BddRef bdd_and(BddRef f, BddRef g) { return ite(f, g, kBddFalse); }
+  [[nodiscard]] BddRef bdd_or(BddRef f, BddRef g) { return ite(f, kBddTrue, g); }
+  [[nodiscard]] BddRef bdd_xor(BddRef f, BddRef g) { return ite(f, bdd_not(g), g); }
+  [[nodiscard]] BddRef bdd_xnor(BddRef f, BddRef g) { return ite(f, g, bdd_not(g)); }
+  [[nodiscard]] BddRef bdd_nand(BddRef f, BddRef g) { return bdd_not(bdd_and(f, g)); }
+  [[nodiscard]] BddRef bdd_nor(BddRef f, BddRef g) { return bdd_not(bdd_or(f, g)); }
+
+  /// Full-adder pair on single bits: {sum, carry}.
+  struct BitSum {
+    BddRef sum;
+    BddRef carry;
+  };
+  [[nodiscard]] BitSum full_add(BddRef a, BddRef b, BddRef cin);
+
+  // --- inspection ----------------------------------------------------------
+
+  /// Evaluate under a complete assignment (assignment[i] != 0 means var i
+  /// is true; entries beyond the vector default to false).
+  [[nodiscard]] bool eval(BddRef f, const std::vector<char>& assignment) const;
+
+  /// P(f = 1) under independent per-variable probabilities (default 0.5
+  /// each).  Cached per node; the cache survives until a probability is
+  /// changed, so sweeping many functions of a compiled netlist is
+  /// incremental.
+  [[nodiscard]] double probability(BddRef f);
+
+  /// Set P(var i = 1); invalidates the probability cache.
+  void set_var_probability(int i, double p);
+
+  /// One satisfying assignment of f (f != kBddFalse; checked).  Greedy
+  /// lowest-assignment walk: prefers var = 0 whenever the 0-branch is
+  /// satisfiable, so the result is deterministic.  Unconstrained variables
+  /// come back 0.
+  [[nodiscard]] std::vector<char> find_sat(BddRef f) const;
+
+  /// Unique internal (non-terminal) nodes reachable from f.
+  [[nodiscard]] std::size_t dag_size(BddRef f) const;
+
+  /// Internal nodes interned so far (terminals and dead nodes included -
+  /// there is no GC; this is the figure max_nodes guards).
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size() - 2; }
+
+  /// Level (variable index) of a ref; terminals report kTerminalLevel.
+  static constexpr std::uint32_t kTerminalLevel = 0xffffffffu;
+  [[nodiscard]] std::uint32_t level(BddRef f) const noexcept { return nodes_[f].var; }
+  [[nodiscard]] BddRef low(BddRef f) const noexcept { return nodes_[f].lo; }
+  [[nodiscard]] BddRef high(BddRef f) const noexcept { return nodes_[f].hi; }
+
+ private:
+  struct Node {
+    std::uint32_t var;  // kTerminalLevel for the two terminals
+    BddRef lo;
+    BddRef hi;
+  };
+  struct IteKey {
+    BddRef f = kBddFalse, g = kBddFalse, h = kBddFalse;
+    BddRef result = kBddFalse;
+    bool valid = false;
+  };
+
+  [[nodiscard]] BddRef unique(std::uint32_t var, BddRef lo, BddRef hi);
+  void rehash_unique(std::size_t new_capacity);
+  [[nodiscard]] static std::uint64_t hash_triple(std::uint32_t a, std::uint32_t b,
+                                                 std::uint32_t c) noexcept;
+
+  BddOptions options_;
+  std::vector<Node> nodes_;          // arena; [0]=false, [1]=true
+  std::vector<BddRef> unique_table_;  // open addressing; kBddFalse = empty slot
+  std::size_t unique_mask_ = 0;
+  std::vector<IteKey> ite_cache_;    // direct-mapped, lossy
+  std::size_t ite_cache_mask_ = 0;
+  std::vector<BddRef> var_refs_;
+  std::vector<double> var_prob_;
+  std::vector<double> prob_cache_;   // aligned with nodes_; NaN = unknown
+};
+
+}  // namespace optpower

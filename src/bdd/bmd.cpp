@@ -1,0 +1,281 @@
+#include "bdd/bmd.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/format.h"
+
+namespace optpower {
+namespace {
+
+constexpr BmdRef kNoRef = 0xffffffffu;
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t hash_internal(std::uint32_t var, BmdRef m0, BmdRef m1) noexcept {
+  return mix64((static_cast<std::uint64_t>(var) << 40) ^ (static_cast<std::uint64_t>(m0) << 20) ^
+               m1 ^ 0x517cc1b727220a95ULL);
+}
+
+std::uint64_t hash_terminal(std::int64_t value) noexcept {
+  return mix64(static_cast<std::uint64_t>(value) ^ 0x2545f4914f6cdd1dULL);
+}
+
+std::uint64_t hash_pair(BmdRef a, BmdRef b) noexcept {
+  return mix64((static_cast<std::uint64_t>(a) << 32) | b);
+}
+
+}  // namespace
+
+BmdManager::BmdManager(int num_vars, const BmdOptions& options) : options_(options) {
+  require(num_vars >= 0, "BmdManager: num_vars must be >= 0");
+  require(options_.cache_bits >= 4 && options_.cache_bits <= 26,
+          "BmdManager: cache_bits must lie in [4, 26]");
+  nodes_.reserve(1024);
+  rehash(1024);
+  const std::size_t cache_size = std::size_t{1} << options_.cache_bits;
+  add_cache_.assign(cache_size, CacheEntry{});
+  mul_cache_.assign(cache_size, CacheEntry{});
+  subst_cache_.assign(cache_size, CacheEntry{});
+  cache_mask_ = cache_size - 1;
+  zero_ = intern_terminal(0);
+  one_ = intern_terminal(1);
+  num_vars_ = num_vars;
+}
+
+int BmdManager::add_var() { return num_vars_++; }
+
+std::int64_t BmdManager::checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_add_overflow(a, b, &r)) {
+    throw NumericalError("BmdManager: terminal overflow in addition");
+  }
+  return r;
+}
+
+std::int64_t BmdManager::checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_mul_overflow(a, b, &r)) {
+    throw NumericalError("BmdManager: terminal overflow in multiplication");
+  }
+  return r;
+}
+
+void BmdManager::check_budget() const {
+  if (nodes_.size() >= options_.max_nodes) {
+    throw NumericalError(strprintf(
+        "BmdManager: node budget exceeded (%zu nodes); raise BmdOptions::max_nodes",
+        nodes_.size()));
+  }
+}
+
+void BmdManager::rehash(std::size_t new_capacity) {
+  table_.assign(new_capacity, kNoRef);
+  table_mask_ = new_capacity - 1;
+  for (BmdRef n = 0; n < nodes_.size(); ++n) {
+    const Node& node = nodes_[n];
+    std::size_t slot = (node.var == kTerminal ? hash_terminal(node.value)
+                                              : hash_internal(node.var, node.m0, node.m1)) &
+                       table_mask_;
+    while (table_[slot] != kNoRef) slot = (slot + 1) & table_mask_;
+    table_[slot] = n;
+  }
+}
+
+BmdRef BmdManager::intern(std::uint32_t var, BmdRef m0, BmdRef m1, std::int64_t value) {
+  const std::uint64_t h = var == kTerminal ? hash_terminal(value) : hash_internal(var, m0, m1);
+  std::size_t slot = h & table_mask_;
+  while (table_[slot] != kNoRef) {
+    const Node& cand = nodes_[table_[slot]];
+    if (cand.var == var &&
+        (var == kTerminal ? cand.value == value : (cand.m0 == m0 && cand.m1 == m1))) {
+      return table_[slot];
+    }
+    slot = (slot + 1) & table_mask_;
+  }
+  check_budget();
+  const auto id = static_cast<BmdRef>(nodes_.size());
+  nodes_.push_back({var, m0, m1, value});
+  table_[slot] = id;
+  if (nodes_.size() * 10 >= table_.size() * 7) rehash(table_.size() * 2);
+  return id;
+}
+
+BmdRef BmdManager::intern_terminal(std::int64_t value) {
+  return intern(kTerminal, 0, 0, value);
+}
+
+BmdRef BmdManager::make(std::uint32_t var, BmdRef m0, BmdRef m1) {
+  if (m1 == zero_) return m0;  // reduction: no linear dependence on var
+  return intern(var, m0, m1, 0);
+}
+
+BmdRef BmdManager::constant(std::int64_t value) { return intern_terminal(value); }
+
+BmdRef BmdManager::var(int i) {
+  require(i >= 0 && i < num_vars_, "BmdManager::var: index out of range");
+  return make(static_cast<std::uint32_t>(i), zero_, one_);
+}
+
+BmdRef BmdManager::add(BmdRef f, BmdRef g) {
+  if (f == zero_) return g;
+  if (g == zero_) return f;
+  const Node& nf = nodes_[f];
+  const Node& ng = nodes_[g];
+  if (nf.var == kTerminal && ng.var == kTerminal) {
+    return intern_terminal(checked_add(nf.value, ng.value));
+  }
+  if (f > g) std::swap(f, g);  // commutative: canonical operand order
+  CacheEntry& entry = add_cache_[hash_pair(f, g) & cache_mask_];
+  if (entry.generation != 0 && entry.a == f && entry.b == g) return entry.result;
+
+  const std::uint32_t top = std::min(nodes_[f].var, nodes_[g].var);
+  const Node& rf = nodes_[f];
+  const Node& rg = nodes_[g];
+  const BmdRef f0 = rf.var == top ? rf.m0 : f;
+  const BmdRef f1 = rf.var == top ? rf.m1 : zero_;
+  const BmdRef g0 = rg.var == top ? rg.m0 : g;
+  const BmdRef g1 = rg.var == top ? rg.m1 : zero_;
+  const BmdRef result = make(top, add(f0, g0), add(f1, g1));
+  entry = CacheEntry{f, g, result, 1};
+  return result;
+}
+
+BmdRef BmdManager::mul_const(BmdRef f, std::int64_t c) { return mul(f, constant(c)); }
+
+BmdRef BmdManager::sub(BmdRef f, BmdRef g) { return add(f, mul_const(g, -1)); }
+
+BmdRef BmdManager::mul(BmdRef f, BmdRef g) {
+  if (f == zero_ || g == zero_) return zero_;
+  if (f == one_) return g;
+  if (g == one_) return f;
+  const Node& nf = nodes_[f];
+  const Node& ng = nodes_[g];
+  if (nf.var == kTerminal && ng.var == kTerminal) {
+    return intern_terminal(checked_mul(nf.value, ng.value));
+  }
+  if (f > g) std::swap(f, g);
+  CacheEntry& entry = mul_cache_[hash_pair(f, g) & cache_mask_];
+  if (entry.generation != 0 && entry.a == f && entry.b == g) return entry.result;
+
+  const std::uint32_t top = std::min(nodes_[f].var, nodes_[g].var);
+  const Node& rf = nodes_[f];
+  const Node& rg = nodes_[g];
+  const BmdRef f0 = rf.var == top ? rf.m0 : f;
+  const BmdRef f1 = rf.var == top ? rf.m1 : zero_;
+  const BmdRef g0 = rg.var == top ? rg.m0 : g;
+  const BmdRef g1 = rg.var == top ? rg.m1 : zero_;
+  // (f0 + x f1)(g0 + x g1) with x^2 = x:
+  //   f0 g0  +  x (f0 g1 + f1 g0 + f1 g1)
+  const BmdRef r0 = mul(f0, g0);
+  const BmdRef r1 = add(add(mul(f0, g1), mul(f1, g0)), mul(f1, g1));
+  const BmdRef result = make(top, r0, r1);
+  entry = CacheEntry{f, g, result, 1};
+  return result;
+}
+
+BmdRef BmdManager::substitute(BmdRef f, int v, BmdRef h) {
+  require(v >= 0 && v < num_vars_, "BmdManager::substitute: variable out of range");
+  if (subst_var_ != v || subst_h_ != h) {
+    // New (v, h) context: the cache keys only mention f, so invalidate - in
+    // O(1) via the generation counter (a flush per eliminated variable would
+    // walk the whole cache once per netlist cell).
+    if (++subst_generation_ == 0) {
+      subst_cache_.assign(subst_cache_.size(), CacheEntry{});  // u32 wrapped
+      subst_generation_ = 1;
+    }
+    subst_var_ = v;
+    subst_h_ = h;
+  }
+  const auto uv = static_cast<std::uint32_t>(v);
+  // Copy the node out: add/mul/make below may grow (reallocate) the arena.
+  const Node nf = nodes_[f];
+  if (nf.var > uv) return f;  // v is above every variable of f: absent
+  if (nf.var == uv) {
+    const BmdRef scaled = mul(h, nf.m1);
+    return add(nf.m0, scaled);
+  }
+  const CacheEntry probe = subst_cache_[hash_pair(f, 0x9e37u) & cache_mask_];
+  if (probe.generation == subst_generation_ && probe.a == f) return probe.result;
+  const BmdRef s0 = substitute(nf.m0, v, h);
+  const BmdRef s1 = substitute(nf.m1, v, h);
+  const BmdRef result = make(nf.var, s0, s1);
+  // The recursive calls cannot have changed the context: it is fixed here.
+  subst_cache_[hash_pair(f, 0x9e37u) & cache_mask_] =
+      CacheEntry{f, 0, result, subst_generation_};
+  return result;
+}
+
+std::int64_t BmdManager::eval(BmdRef f, const std::vector<char>& assignment) const {
+  // Memoized over the sub-DAG (plain recursion would be exponential).
+  std::vector<std::int64_t> memo(nodes_.size(), 0);
+  std::vector<char> known(nodes_.size(), 0);
+  struct Frame {
+    BmdRef ref;
+    bool expanded;
+  };
+  std::vector<Frame> stack{{f, false}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[frame.ref];
+    if (known[frame.ref]) continue;
+    if (n.var == kTerminal) {
+      memo[frame.ref] = n.value;
+      known[frame.ref] = 1;
+      continue;
+    }
+    if (!frame.expanded) {
+      stack.push_back({frame.ref, true});
+      stack.push_back({n.m0, false});
+      stack.push_back({n.m1, false});
+      continue;
+    }
+    const bool x = n.var < assignment.size() && assignment[n.var] != 0;
+    memo[frame.ref] =
+        x ? checked_add(memo[n.m0], memo[n.m1]) : memo[n.m0];
+    known[frame.ref] = 1;
+  }
+  return memo[f];
+}
+
+std::vector<char> BmdManager::find_nonzero(BmdRef f) const {
+  require(f != zero_, "BmdManager::find_nonzero: function is identically zero");
+  std::vector<char> assignment(static_cast<std::size_t>(num_vars_), 0);
+  while (nodes_[f].var != kTerminal) {
+    const Node& n = nodes_[f];
+    if (n.m0 != zero_) {
+      f = n.m0;  // f|x=0 = m0, a nonzero function: prefer the 0 branch
+    } else {
+      assignment[n.var] = 1;  // f|x=1 = m0 + m1 = m1, nonzero by reduction
+      f = n.m1;
+    }
+  }
+  return assignment;
+}
+
+std::size_t BmdManager::dag_size(BmdRef f) const {
+  std::vector<BmdRef> stack{f};
+  std::vector<char> seen(nodes_.size(), 0);
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const BmdRef r = stack.back();
+    stack.pop_back();
+    if (seen[r]) continue;
+    seen[r] = 1;
+    if (nodes_[r].var == kTerminal) continue;
+    ++count;
+    stack.push_back(nodes_[r].m0);
+    stack.push_back(nodes_[r].m1);
+  }
+  return count;
+}
+
+}  // namespace optpower

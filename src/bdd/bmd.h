@@ -1,0 +1,125 @@
+// Binary moment diagrams (BMDs): the word-level companion of the BDD
+// engine, and the piece that makes 16x16 multiplier equivalence tractable.
+//
+// A BMD represents an integer-valued pseudo-boolean function by its moment
+// decomposition  f = m0 + x * m1  (m0 = f|x=0, the constant moment;
+// m1 = f|x=1 - f|x=0, the linear moment), with integer terminals and the
+// reduction rule "drop nodes whose linear moment is the zero function".
+// Like BDDs they are canonical for a fixed variable order - but where the
+// *bit-level* functions of a multiplier explode exponentially (the c6288
+// phenomenon the case-split checker in bdd/equiv.h works around), the
+// *word-level* function  a * b = (sum 2^i a_i) * (sum 2^j b_j)  is
+// polynomial-size as a BMD.
+//
+// The intended client is Hamaguchi-style backward substitution
+// (check_multiplier_word_level in bdd/equiv.h): encode the output word
+// sum 2^j out_j over fresh per-net variables, then eliminate net variables
+// in reverse topological order by substituting each gate's moment
+// polynomial, until only primary-input variables remain; canonicity turns
+// the final compare against the spec polynomial into a ref equality.
+//
+// Same engineering shape as bdd/bdd.h: arena nodes, hash-consed unique
+// table, lossy direct-mapped operation caches, a node budget that throws
+// NumericalError instead of thrashing, and no GC (one manager per proof).
+// Terminal values are int64 with overflow checks: 16x16 proofs stay far
+// below the guard, and a genuine overflow must fail loudly, not wrap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace optpower {
+
+/// Handle of a BMD function inside one BmdManager (dense arena index).
+using BmdRef = std::uint32_t;
+
+/// Tuning knobs (mirrors BddOptions).
+struct BmdOptions {
+  std::size_t max_nodes = 4u << 20;
+  int cache_bits = 16;  ///< log2 entries of each lossy operation cache
+};
+
+/// One BMD manager: fixed variable order (creation order), canonical nodes.
+/// Not thread-safe; use one per proof / per thread.
+class BmdManager {
+ public:
+  explicit BmdManager(int num_vars = 0, const BmdOptions& options = {});
+
+  [[nodiscard]] int num_vars() const noexcept { return num_vars_; }
+  int add_var();
+
+  /// Integer constant as a BMD.
+  [[nodiscard]] BmdRef constant(std::int64_t value);
+  /// The 0/1 function "variable i".
+  [[nodiscard]] BmdRef var(int i);
+
+  [[nodiscard]] BmdRef add(BmdRef f, BmdRef g);
+  [[nodiscard]] BmdRef sub(BmdRef f, BmdRef g);
+  [[nodiscard]] BmdRef mul(BmdRef f, BmdRef g);          ///< boolean vars: x*x = x
+  [[nodiscard]] BmdRef mul_const(BmdRef f, std::int64_t c);
+
+  /// Boolean connectives as moment polynomials over 0/1-valued operands.
+  [[nodiscard]] BmdRef b_not(BmdRef f) { return sub(constant(1), f); }
+  [[nodiscard]] BmdRef b_and(BmdRef f, BmdRef g) { return mul(f, g); }
+  [[nodiscard]] BmdRef b_or(BmdRef f, BmdRef g) { return sub(add(f, g), mul(f, g)); }
+  [[nodiscard]] BmdRef b_xor(BmdRef f, BmdRef g) {
+    return sub(add(f, g), mul_const(mul(f, g), 2));
+  }
+
+  /// Substitute variable `v` (which must be at or above every variable of
+  /// `h` in the order... formally: h must not depend on v) by the function
+  /// `h` inside `f`:  f[v := h].  Used by backward substitution, where v is
+  /// a net variable and h the driving gate's moment polynomial.
+  [[nodiscard]] BmdRef substitute(BmdRef f, int v, BmdRef h);
+
+  /// Evaluate under a 0/1 assignment (entries beyond the vector are 0).
+  [[nodiscard]] std::int64_t eval(BmdRef f, const std::vector<char>& assignment) const;
+
+  /// An assignment on which f evaluates to a nonzero value (f must not be
+  /// the zero function; checked).  Greedy deterministic walk.
+  [[nodiscard]] std::vector<char> find_nonzero(BmdRef f) const;
+
+  [[nodiscard]] bool is_zero(BmdRef f) const noexcept { return f == zero_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t dag_size(BmdRef f) const;
+
+  static constexpr std::uint32_t kTerminal = 0xffffffffu;
+  [[nodiscard]] std::uint32_t level(BmdRef f) const noexcept { return nodes_[f].var; }
+
+ private:
+  struct Node {
+    std::uint32_t var;   // kTerminal for constants
+    BmdRef m0;           // constant moment (or unused for terminals)
+    BmdRef m1;           // linear moment (never the zero function)
+    std::int64_t value;  // terminal value (0 for internal nodes)
+  };
+  struct CacheEntry {
+    BmdRef a = 0, b = 0, result = 0;
+    std::uint32_t generation = 0;  // entry valid iff == the active generation
+  };
+
+  [[nodiscard]] BmdRef make(std::uint32_t var, BmdRef m0, BmdRef m1);
+  [[nodiscard]] BmdRef intern_terminal(std::int64_t value);
+  [[nodiscard]] BmdRef intern(std::uint32_t var, BmdRef m0, BmdRef m1, std::int64_t value);
+  void rehash(std::size_t new_capacity);
+  void check_budget() const;
+  [[nodiscard]] static std::int64_t checked_add(std::int64_t a, std::int64_t b);
+  [[nodiscard]] static std::int64_t checked_mul(std::int64_t a, std::int64_t b);
+
+  BmdOptions options_;
+  int num_vars_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<BmdRef> table_;  // open addressing; sentinel = kNoRef
+  std::size_t table_mask_ = 0;
+  std::vector<CacheEntry> add_cache_;
+  std::vector<CacheEntry> mul_cache_;
+  std::vector<CacheEntry> subst_cache_;
+  std::size_t cache_mask_ = 0;
+  int subst_var_ = -1;     // active substitute() context; a change bumps the
+  BmdRef subst_h_ = 0;     // generation below, invalidating subst_cache_ in O(1)
+  std::uint32_t subst_generation_ = 1;
+  BmdRef zero_ = 0;
+  BmdRef one_ = 0;
+};
+
+}  // namespace optpower

@@ -1,0 +1,461 @@
+#include "bdd/equiv.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+
+#include "netlist/cell.h"
+#include "sim/event_sim.h"
+#include "util/error.h"
+#include "util/format.h"
+#include "bdd/equiv_detail.h"
+#include "util/random.h"
+
+namespace optpower {
+namespace equiv_detail {
+
+bool netlist_has_sequential(const Netlist& netlist) {
+  for (const auto& cell : netlist.cells()) {
+    if (cell_spec(cell.type).is_sequential) return true;
+  }
+  return false;
+}
+
+/// Primary-input indices of bus `prefix`, ordered by bit index.  Throws when
+/// any of the `width` bits is missing.
+std::vector<std::size_t> parse_bus(const Netlist& netlist, const std::string& prefix, int width) {
+  std::vector<std::size_t> pins(static_cast<std::size_t>(width), SIZE_MAX);
+  const auto& names = netlist.input_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string& name = names[i];
+    if (name.size() < prefix.size() + 3 || name.compare(0, prefix.size(), prefix) != 0 ||
+        name[prefix.size()] != '[' || name.back() != ']') {
+      continue;
+    }
+    const int bit = std::atoi(name.c_str() + prefix.size() + 1);
+    if (bit >= 0 && bit < width) pins[static_cast<std::size_t>(bit)] = i;
+  }
+  for (int bit = 0; bit < width; ++bit) {
+    if (pins[static_cast<std::size_t>(bit)] == SIZE_MAX) {
+      throw InvalidArgument(strprintf("bdd/equiv: netlist '%s' has no input %s[%d]",
+                                      netlist.name().c_str(), prefix.c_str(), bit));
+    }
+  }
+  return pins;
+}
+
+std::uint64_t word_from_bits(const std::vector<bool>& inputs,
+                             const std::vector<std::size_t>& pins) {
+  std::uint64_t w = 0;
+  for (std::size_t bit = 0; bit < pins.size() && bit < 64; ++bit) {
+    if (inputs[pins[bit]]) w |= (std::uint64_t{1} << bit);
+  }
+  return w;
+}
+
+/// Gate-level replay: apply `inputs`, run `cycles` clock cycles, return the
+/// output word.  kUnit delays - the settled values per cycle are delay-mode
+/// independent, and unit mode is the fastest.
+std::uint64_t replay_event_sim(const Netlist& netlist, const std::vector<bool>& inputs,
+                               int cycles) {
+  EventSimulator sim(netlist, SimDelayMode::kUnit);
+  sim.set_inputs(inputs);
+  for (int c = 0; c < cycles; ++c) sim.step_cycle();
+  return sim.outputs_word();
+}
+
+}  // namespace equiv_detail
+
+using namespace equiv_detail;
+
+namespace {
+
+
+
+/// Word-level golden spec as BDDs: p = a * b truncated to out_width bits,
+/// built shift-and-add with symbolic full adders.  Constant b bits (case
+/// splitting) collapse their rows for free.
+std::vector<BddRef> spec_product(BddManager& m, const std::vector<BddRef>& a_bits,
+                                 const std::vector<BddRef>& b_bits, std::size_t out_width) {
+  std::vector<BddRef> acc(out_width, kBddFalse);
+  for (std::size_t i = 0; i < b_bits.size(); ++i) {
+    if (b_bits[i] == kBddFalse) continue;
+    BddRef carry = kBddFalse;
+    for (std::size_t j = 0; i + j < out_width; ++j) {
+      const BddRef pp = j < a_bits.size() ? m.bdd_and(a_bits[j], b_bits[i]) : kBddFalse;
+      if (pp == kBddFalse && carry == kBddFalse) break;
+      const BddManager::BitSum s = m.full_add(acc[i + j], pp, carry);
+      acc[i + j] = s.sum;
+      carry = s.carry;
+    }
+  }
+  return acc;
+}
+
+
+std::uint64_t eval_word(BddManager& m, const std::vector<BddRef>& bits,
+                        const std::vector<char>& assignment) {
+  std::uint64_t w = 0;
+  for (std::size_t j = 0; j < bits.size() && j < 64; ++j) {
+    if (m.eval(bits[j], assignment)) w |= (std::uint64_t{1} << j);
+  }
+  return w;
+}
+
+
+/// Per-case verdict (default-constructible for parallel_map).
+struct CaseOutcome {
+  bool ok = false;
+  bool proven = false;
+  std::size_t nodes = 0;
+  int matched_at = 0;
+  bool has_cx = false;
+  EquivCounterexample cx;
+};
+
+std::uint64_t hash_state(const std::vector<BddRef>& values) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over the ref words
+  for (const BddRef v : values) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Assignment -> concrete input vector (fixed pins from the case pattern,
+/// symbolic pins from the sat assignment).
+std::vector<bool> inputs_from_assignment(const SymbolicSimulator& sym,
+                                         const std::vector<int>& fixed,
+                                         const std::vector<char>& assignment) {
+  std::vector<bool> inputs(fixed.size(), false);
+  for (std::size_t i = 0; i < fixed.size(); ++i) {
+    if (fixed[i] != kSymbolicInput) {
+      inputs[i] = fixed[i] != 0;
+    } else {
+      const int v = sym.input_var(i);
+      inputs[i] = v >= 0 && static_cast<std::size_t>(v) < assignment.size() &&
+                  assignment[static_cast<std::size_t>(v)] != 0;
+    }
+  }
+  return inputs;
+}
+
+CaseOutcome run_spec_case(const Netlist& netlist, int width,
+                          const std::vector<std::size_t>& a_pins,
+                          const std::vector<std::size_t>& b_pins, const EquivOptions& options,
+                          std::uint64_t case_bits) {
+  const int split = options.case_split_bits;
+  std::vector<int> fixed(netlist.primary_inputs().size(), kSymbolicInput);
+  for (int j = 0; j < split; ++j) {
+    fixed[b_pins[static_cast<std::size_t>(width - split + j)]] =
+        static_cast<int>((case_bits >> j) & 1u);
+  }
+
+  SymbolicSimulator sym(netlist, fixed, options.symbolic);
+  sym.inject_fresh_inputs();
+  BddManager& m = sym.manager();
+
+  const auto bus_values = [&](const std::vector<std::size_t>& pins) {
+    std::vector<BddRef> bits;
+    bits.reserve(pins.size());
+    for (const std::size_t pin : pins) {
+      bits.push_back(sym.value(netlist.primary_inputs()[pin]));
+    }
+    return bits;
+  };
+  const std::size_t out_width = netlist.primary_outputs().size();
+  const std::vector<BddRef> spec = spec_product(m, bus_values(a_pins), bus_values(b_pins),
+                                                out_width);
+
+  CaseOutcome outcome;
+  const auto fill_cx = [&](const std::vector<BddRef>& outs, int cycle) {
+    BddRef miter = kBddFalse;
+    for (std::size_t j = 0; j < out_width; ++j) {
+      miter = m.bdd_or(miter, m.bdd_xor(outs[j], spec[j]));
+    }
+    const std::vector<char> assignment = m.find_sat(miter);
+    EquivCounterexample cx;
+    cx.inputs = inputs_from_assignment(sym, fixed, assignment);
+    cx.a = word_from_bits(cx.inputs, a_pins);
+    cx.b = word_from_bits(cx.inputs, b_pins);
+    cx.expected = eval_word(m, spec, assignment);
+    cx.predicted = eval_word(m, outs, assignment);
+    cx.cycle = cycle;
+    cx.simulated = replay_event_sim(netlist, cx.inputs, cycle);
+    cx.replay_confirms = cx.simulated == cx.predicted && cx.simulated != cx.expected;
+    outcome.has_cx = true;
+    outcome.cx = cx;
+  };
+
+  if (!netlist_has_sequential(netlist)) {
+    sym.settle();
+    const std::vector<BddRef> outs = sym.outputs();
+    outcome.proven = true;
+    outcome.ok = outs == spec;
+    outcome.matched_at = 1;
+    if (!outcome.ok) fill_cx(outs, 1);
+    outcome.nodes = m.node_count();
+    return outcome;
+  }
+
+  // Sequential: march the symbolic state until it revisits a previous state.
+  // The circuit is deterministic and the (symbolic) inputs are held, so the
+  // state sequence is eventually periodic; once state(t) == state(t'), the
+  // output sequence from t' on repeats with period t - t', and the verdict
+  // over cycles (t', t] is the verdict for all time.
+  const int max_cycles = options.max_cycles > 0 ? options.max_cycles : 8 * width + 16;
+  std::vector<std::vector<BddRef>> states;   // state after cycle k+1
+  std::vector<std::uint64_t> hashes;
+  std::vector<char> matched;                  // outputs == spec after cycle k+1
+  int loop_start = -1;                        // cycle t' with state(t') == state(t)
+  int t = 0;
+  for (t = 1; t <= max_cycles && loop_start < 0; ++t) {
+    sym.step_cycle();
+    const std::vector<BddRef>& state = sym.values();
+    const std::uint64_t h = hash_state(state);
+    for (std::size_t k = 0; k < states.size(); ++k) {
+      if (hashes[k] == h && states[k] == state) {
+        loop_start = static_cast<int>(k) + 1;
+        break;
+      }
+    }
+    if (loop_start >= 0) break;
+    states.push_back(state);
+    hashes.push_back(h);
+    matched.push_back(sym.outputs() == spec ? 1 : 0);
+  }
+  outcome.nodes = m.node_count();
+  if (loop_start < 0) {
+    outcome.proven = false;  // max_cycles exhausted before the orbit closed
+    return outcome;
+  }
+  outcome.proven = true;
+  // Steady state = cycles (loop_start, t - 1] plus the re-visited cycle
+  // loop_start; all of them must match.
+  bool all_matched = true;
+  int first_bad = -1;
+  for (int c = loop_start; c <= t - 1; ++c) {
+    if (!matched[static_cast<std::size_t>(c - 1)]) {
+      all_matched = false;
+      if (first_bad < 0) first_bad = c;
+    }
+  }
+  outcome.ok = all_matched;
+  if (all_matched) {
+    // Report the first cycle from which the outputs match through the loop.
+    int c0 = loop_start;
+    while (c0 > 1 && matched[static_cast<std::size_t>(c0 - 2)]) --c0;
+    outcome.matched_at = c0;
+  } else {
+    // Re-derive the mismatching cycle's outputs: replay symbolically from
+    // the recorded loop knowledge by stepping a fresh simulator (cheap
+    // relative to the search, and keeps the search loop allocation-light).
+    SymbolicSimulator replay_sym(netlist, fixed, options.symbolic);
+    replay_sym.inject_fresh_inputs();
+    const std::vector<BddRef> a_bits2 = [&] {
+      std::vector<BddRef> bits;
+      for (const std::size_t pin : a_pins) {
+        bits.push_back(replay_sym.value(netlist.primary_inputs()[pin]));
+      }
+      return bits;
+    }();
+    const std::vector<BddRef> b_bits2 = [&] {
+      std::vector<BddRef> bits;
+      for (const std::size_t pin : b_pins) {
+        bits.push_back(replay_sym.value(netlist.primary_inputs()[pin]));
+      }
+      return bits;
+    }();
+    BddManager& m2 = replay_sym.manager();
+    const std::vector<BddRef> spec2 = spec_product(m2, a_bits2, b_bits2, out_width);
+    for (int c = 0; c < first_bad; ++c) replay_sym.step_cycle();
+    const std::vector<BddRef> outs = replay_sym.outputs();
+    BddRef miter = kBddFalse;
+    for (std::size_t j = 0; j < out_width; ++j) {
+      miter = m2.bdd_or(miter, m2.bdd_xor(outs[j], spec2[j]));
+    }
+    const std::vector<char> assignment = m2.find_sat(miter);
+    EquivCounterexample cx;
+    cx.inputs = inputs_from_assignment(replay_sym, fixed, assignment);
+    cx.a = word_from_bits(cx.inputs, a_pins);
+    cx.b = word_from_bits(cx.inputs, b_pins);
+    cx.expected = eval_word(m2, spec2, assignment);
+    cx.predicted = eval_word(m2, outs, assignment);
+    cx.cycle = first_bad;
+    cx.simulated = replay_event_sim(netlist, cx.inputs, first_bad);
+    cx.replay_confirms = cx.simulated == cx.predicted && cx.simulated != cx.expected;
+    outcome.has_cx = true;
+    outcome.cx = cx;
+    outcome.nodes += m2.node_count();
+  }
+  return outcome;
+}
+
+EquivResult aggregate(std::vector<CaseOutcome> outcomes) {
+  EquivResult result;
+  result.cases = outcomes.size();
+  result.equivalent = true;
+  result.proven = true;
+  for (const CaseOutcome& o : outcomes) {
+    result.bdd_nodes += o.nodes;
+    result.matched_at_cycle = std::max(result.matched_at_cycle, o.matched_at);
+    if (!o.proven) result.proven = false;
+    if (!o.ok) result.equivalent = false;
+  }
+  if (!result.proven) result.equivalent = false;
+  // Deterministic counterexample: the lowest failing case, regardless of the
+  // thread count that ran the fan-out.
+  for (const CaseOutcome& o : outcomes) {
+    if (o.has_cx) {
+      result.counterexample = o.cx;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+EquivResult check_multiplier_against_spec(const Netlist& netlist, int width,
+                                          const EquivOptions& options, const ExecContext& ctx) {
+  require(width >= 1 && width <= 32, "check_multiplier_against_spec: width must lie in [1, 32]");
+  require(options.case_split_bits >= 0 && options.case_split_bits <= width,
+          "check_multiplier_against_spec: case_split_bits must lie in [0, width]");
+  require(netlist.primary_outputs().size() <= 64,
+          "check_multiplier_against_spec: more than 64 outputs");
+  const std::vector<std::size_t> a_pins = parse_bus(netlist, "a", width);
+  const std::vector<std::size_t> b_pins = parse_bus(netlist, "b", width);
+
+  const std::size_t cases = std::size_t{1} << options.case_split_bits;
+  std::vector<CaseOutcome> outcomes = parallel_map<CaseOutcome>(ctx, cases, [&](std::size_t k) {
+    return run_spec_case(netlist, width, a_pins, b_pins, options,
+                         static_cast<std::uint64_t>(k));
+  });
+  return aggregate(std::move(outcomes));
+}
+
+EquivResult check_combinational_equal(const Netlist& lhs, const Netlist& rhs,
+                                      const EquivOptions& options, const ExecContext& ctx) {
+  require(!netlist_has_sequential(lhs) && !netlist_has_sequential(rhs),
+          "check_combinational_equal: both netlists must be purely combinational");
+  // Port matching by name, in lhs declaration order.
+  std::unordered_map<std::string, std::size_t> rhs_inputs;
+  for (std::size_t j = 0; j < rhs.input_names().size(); ++j) {
+    rhs_inputs.emplace(rhs.input_names()[j], j);
+  }
+  require(rhs.input_names().size() == lhs.input_names().size(),
+          "check_combinational_equal: input counts differ");
+  std::vector<std::size_t> rhs_pin_of(lhs.input_names().size());
+  for (std::size_t i = 0; i < lhs.input_names().size(); ++i) {
+    const auto it = rhs_inputs.find(lhs.input_names()[i]);
+    require(it != rhs_inputs.end(),
+            "check_combinational_equal: input '" + lhs.input_names()[i] + "' missing in rhs");
+    rhs_pin_of[i] = it->second;
+  }
+  std::unordered_map<std::string, std::size_t> rhs_outputs;
+  for (std::size_t j = 0; j < rhs.output_names().size(); ++j) {
+    rhs_outputs.emplace(rhs.output_names()[j], j);
+  }
+  require(rhs.output_names().size() == lhs.output_names().size(),
+          "check_combinational_equal: output counts differ");
+  require(lhs.output_names().size() <= 64, "check_combinational_equal: more than 64 outputs");
+  std::vector<std::size_t> rhs_out_of(lhs.output_names().size());
+  for (std::size_t i = 0; i < lhs.output_names().size(); ++i) {
+    const auto it = rhs_outputs.find(lhs.output_names()[i]);
+    require(it != rhs_outputs.end(),
+            "check_combinational_equal: output '" + lhs.output_names()[i] + "' missing in rhs");
+    rhs_out_of[i] = it->second;
+  }
+
+  // Case splitting needs the operand buses; width from the b bus size.
+  std::vector<std::size_t> a_pins;
+  std::vector<std::size_t> b_pins;
+  const int split = options.case_split_bits;
+  if (split > 0) {
+    int width = 0;
+    for (const auto& name : lhs.input_names()) {
+      if (name.compare(0, 2, "b[") == 0) ++width;
+    }
+    require(split <= width, "check_combinational_equal: case_split_bits exceeds b-bus width");
+    a_pins = parse_bus(lhs, "a", width);
+    b_pins = parse_bus(lhs, "b", width);
+  }
+
+  const std::vector<int> order = bdd_variable_order(lhs, options.symbolic.order);
+  const std::size_t cases = std::size_t{1} << split;
+  std::vector<CaseOutcome> outcomes = parallel_map<CaseOutcome>(ctx, cases, [&](std::size_t k) {
+    std::vector<int> fixed(lhs.primary_inputs().size(), kSymbolicInput);
+    for (int j = 0; j < split; ++j) {
+      fixed[b_pins[b_pins.size() - static_cast<std::size_t>(split - j)]] =
+          static_cast<int>((k >> j) & 1u);
+    }
+    // Variables in heuristic order over the symbolic pins.
+    std::vector<std::size_t> by_position;
+    for (std::size_t i = 0; i < fixed.size(); ++i) {
+      if (fixed[i] == kSymbolicInput) by_position.push_back(i);
+    }
+    std::sort(by_position.begin(), by_position.end(),
+              [&](std::size_t x, std::size_t y) { return order[x] < order[y]; });
+    BddManager m(static_cast<int>(by_position.size()), options.symbolic.bdd);
+    std::vector<int> var_of(fixed.size(), -1);
+    std::vector<BddRef> lhs_values(fixed.size());
+    for (std::size_t rank = 0; rank < by_position.size(); ++rank) {
+      var_of[by_position[rank]] = static_cast<int>(rank);
+    }
+    for (std::size_t i = 0; i < fixed.size(); ++i) {
+      lhs_values[i] = fixed[i] == kSymbolicInput ? m.var(var_of[i])
+                                                 : BddManager::constant(fixed[i] != 0);
+    }
+    std::vector<BddRef> rhs_values(fixed.size());
+    for (std::size_t i = 0; i < fixed.size(); ++i) rhs_values[rhs_pin_of[i]] = lhs_values[i];
+
+    const std::vector<BddRef> louts = compile_combinational(m, lhs, lhs_values);
+    const std::vector<BddRef> routs_raw = compile_combinational(m, rhs, rhs_values);
+    std::vector<BddRef> routs(louts.size());
+    for (std::size_t i = 0; i < louts.size(); ++i) routs[i] = routs_raw[rhs_out_of[i]];
+
+    CaseOutcome outcome;
+    outcome.proven = true;
+    outcome.matched_at = 1;
+    outcome.ok = louts == routs;
+    outcome.nodes = m.node_count();
+    if (!outcome.ok) {
+      BddRef miter = kBddFalse;
+      for (std::size_t i = 0; i < louts.size(); ++i) {
+        miter = m.bdd_or(miter, m.bdd_xor(louts[i], routs[i]));
+      }
+      const std::vector<char> assignment = m.find_sat(miter);
+      EquivCounterexample cx;
+      cx.inputs.assign(fixed.size(), false);
+      for (std::size_t i = 0; i < fixed.size(); ++i) {
+        cx.inputs[i] = fixed[i] != kSymbolicInput
+                           ? fixed[i] != 0
+                           : assignment[static_cast<std::size_t>(var_of[i])] != 0;
+      }
+      if (!a_pins.empty()) {
+        cx.a = word_from_bits(cx.inputs, a_pins);
+        cx.b = word_from_bits(cx.inputs, b_pins);
+      }
+      cx.predicted = eval_word(m, louts, assignment);
+      cx.expected = eval_word(m, routs, assignment);
+      cx.cycle = 1;
+      cx.simulated = replay_event_sim(lhs, cx.inputs, 1);
+      std::vector<bool> rhs_in(fixed.size(), false);
+      for (std::size_t i = 0; i < fixed.size(); ++i) rhs_in[rhs_pin_of[i]] = cx.inputs[i];
+      const std::uint64_t rhs_sim_raw = replay_event_sim(rhs, rhs_in, 1);
+      std::uint64_t rhs_sim = 0;  // re-permute into lhs output order
+      for (std::size_t i = 0; i < louts.size(); ++i) {
+        if ((rhs_sim_raw >> rhs_out_of[i]) & 1u) rhs_sim |= (std::uint64_t{1} << i);
+      }
+      cx.replay_confirms =
+          cx.simulated == cx.predicted && rhs_sim == cx.expected && cx.predicted != cx.expected;
+      outcome.has_cx = true;
+      outcome.cx = cx;
+    }
+    return outcome;
+  });
+  return aggregate(std::move(outcomes));
+}
+
+}  // namespace optpower

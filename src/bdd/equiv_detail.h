@@ -1,0 +1,31 @@
+// Internal helpers shared by the bit-level (equiv.cpp) and word-level
+// (word_equiv.cpp) equivalence checkers.  Not part of the public API.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace optpower {
+namespace equiv_detail {
+
+[[nodiscard]] bool netlist_has_sequential(const Netlist& netlist);
+
+/// Primary-input indices of bus `prefix`, ordered by bit index.  Throws when
+/// any of the `width` bits is missing.
+[[nodiscard]] std::vector<std::size_t> parse_bus(const Netlist& netlist,
+                                                 const std::string& prefix, int width);
+
+[[nodiscard]] std::uint64_t word_from_bits(const std::vector<bool>& inputs,
+                                           const std::vector<std::size_t>& pins);
+
+/// Gate-level replay: apply `inputs`, run `cycles` clock cycles, return the
+/// output word.  kUnit delays - settled per-cycle values are delay-mode
+/// independent, and unit mode is the fastest.
+[[nodiscard]] std::uint64_t replay_event_sim(const Netlist& netlist,
+                                             const std::vector<bool>& inputs, int cycles);
+
+}  // namespace equiv_detail
+}  // namespace optpower

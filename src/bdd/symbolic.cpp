@@ -1,0 +1,382 @@
+#include "bdd/symbolic.h"
+
+#include <algorithm>
+#include <string>
+
+#include "netlist/cell.h"
+#include "util/error.h"
+
+namespace optpower {
+namespace {
+
+/// Bus prefix of a port name ("a[13]" -> "a"); names without an index are
+/// their own bus.
+std::string bus_prefix(const std::string& name) {
+  const std::size_t bracket = name.find('[');
+  return bracket == std::string::npos ? name : name.substr(0, bracket);
+}
+
+std::vector<int> interleaved_order(const Netlist& netlist) {
+  const auto& names = netlist.input_names();
+  std::vector<std::string> prefixes;
+  std::vector<std::vector<std::size_t>> groups;  // pi indices per bus
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string prefix = bus_prefix(names[i]);
+    const auto it = std::find(prefixes.begin(), prefixes.end(), prefix);
+    if (it == prefixes.end()) {
+      prefixes.push_back(prefix);
+      groups.push_back({i});
+    } else {
+      groups[static_cast<std::size_t>(it - prefixes.begin())].push_back(i);
+    }
+  }
+  std::vector<int> position(names.size(), 0);
+  int next = 0;
+  for (std::size_t round = 0;; ++round) {
+    bool any = false;
+    for (const auto& group : groups) {
+      if (round < group.size()) {
+        position[group[round]] = next++;
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  return position;
+}
+
+std::vector<int> topo_cone_order(const Netlist& netlist) {
+  // First-visit order of a depth-first walk from the primary outputs
+  // (declaration order), descending through each driver's input pins in pin
+  // order.  Inputs feeding the same shallow output cone (e.g. a[0], b[0]
+  // under p[0] of a multiplier) become adjacent variables, which is what
+  // keeps the array/Wallace BDDs in their polynomial-ish regime.
+  const std::size_t num_pis = netlist.primary_inputs().size();
+  std::vector<int> position(num_pis, -1);
+  std::vector<std::size_t> pi_of_net(netlist.num_nets(), num_pis);
+  for (std::size_t i = 0; i < num_pis; ++i) pi_of_net[netlist.primary_inputs()[i]] = i;
+
+  std::vector<char> seen(netlist.num_nets(), 0);
+  int next = 0;
+  std::vector<NetId> stack;
+  for (const NetId po : netlist.primary_outputs()) {
+    stack.push_back(po);
+    while (!stack.empty()) {
+      const NetId net = stack.back();
+      stack.pop_back();
+      if (seen[net]) continue;
+      seen[net] = 1;
+      if (pi_of_net[net] < num_pis) {
+        if (position[pi_of_net[net]] < 0) position[pi_of_net[net]] = next++;
+        continue;
+      }
+      const CellId drv = netlist.driver_of(net);
+      if (drv == Netlist::kNoCell) continue;
+      const auto& inputs = netlist.cell(drv).inputs;
+      // Reverse push so pin 0 is visited first.
+      for (auto it = inputs.rbegin(); it != inputs.rend(); ++it) stack.push_back(*it);
+    }
+  }
+  for (std::size_t i = 0; i < num_pis; ++i) {
+    if (position[i] < 0) position[i] = next++;  // dead inputs last
+  }
+  return position;
+}
+
+}  // namespace
+
+std::vector<int> bdd_variable_order(const Netlist& netlist, VarOrderHeuristic heuristic) {
+  switch (heuristic) {
+    case VarOrderHeuristic::kDeclaration: {
+      std::vector<int> position(netlist.primary_inputs().size());
+      for (std::size_t i = 0; i < position.size(); ++i) position[i] = static_cast<int>(i);
+      return position;
+    }
+    case VarOrderHeuristic::kInterleaved: return interleaved_order(netlist);
+    case VarOrderHeuristic::kTopoCone: return topo_cone_order(netlist);
+  }
+  throw InvalidArgument("bdd_variable_order: unknown heuristic");
+}
+
+SymbolicSimulator::SymbolicSimulator(const Netlist& netlist, const SymbolicOptions& options)
+    : SymbolicSimulator(netlist,
+                        std::vector<int>(netlist.primary_inputs().size(), kSymbolicInput),
+                        options) {}
+
+SymbolicSimulator::SymbolicSimulator(const Netlist& netlist, const std::vector<int>& fixed,
+                                     const SymbolicOptions& options)
+    : netlist_(netlist), options_(options), manager_(0, options.bdd), fixed_(fixed) {
+  require(fixed_.size() == netlist_.primary_inputs().size(),
+          "SymbolicSimulator: fixed-input vector must have one entry per primary input");
+  netlist_.verify();
+  topo_ = netlist_.topo_order();
+  order_ = bdd_variable_order(netlist_, options_.order);
+  values_.assign(netlist_.num_nets(), kBddFalse);
+  dff_next_.assign(netlist_.num_cells(), kBddFalse);
+  input_var_.assign(fixed_.size(), -1);
+  cell_nets_.reserve(netlist_.num_nets());
+  for (NetId n = 0; n < netlist_.num_nets(); ++n) {
+    if (netlist_.driver_of(n) != Netlist::kNoCell) cell_nets_.push_back(n);
+  }
+  // Fixed pins hold their constant from the start; symbolic pins begin at 0
+  // like EventSimulator's reset state, until the first injection.
+  for (std::size_t i = 0; i < fixed_.size(); ++i) {
+    if (fixed_[i] != kSymbolicInput) {
+      values_[netlist_.primary_inputs()[i]] = BddManager::constant(fixed_[i] != 0);
+    }
+  }
+  settle();  // combinational image of the all-zero state (constants included)
+}
+
+void SymbolicSimulator::inject_fresh_inputs() {
+  // Allocate this period's variables in heuristic order: pin with batch
+  // position 0 first.  Batches stack period after period, so within every
+  // period the relative order is identical.
+  std::vector<std::size_t> by_position;
+  by_position.reserve(fixed_.size());
+  for (std::size_t i = 0; i < fixed_.size(); ++i) {
+    if (fixed_[i] == kSymbolicInput) by_position.push_back(i);
+  }
+  std::sort(by_position.begin(), by_position.end(),
+            [&](std::size_t a, std::size_t b) { return order_[a] < order_[b]; });
+  for (const std::size_t pi : by_position) {
+    const int v = manager_.add_var();
+    input_var_[pi] = v;
+    values_[netlist_.primary_inputs()[pi]] = manager_.var(v);
+  }
+}
+
+namespace {
+
+/// Shared combinational cell semantics over BDD values (the symbolic
+/// eval_cell); writes the cell's output nets into `values`.
+void eval_cell_bdd(BddManager& m, const CellInstance& cell, std::vector<BddRef>& values) {
+  const auto in = [&](std::size_t pin) { return values[cell.inputs[pin]]; };
+  switch (cell.type) {
+    case CellType::kConst0: values[cell.outputs[0]] = kBddFalse; return;
+    case CellType::kConst1: values[cell.outputs[0]] = kBddTrue; return;
+    case CellType::kBuf: values[cell.outputs[0]] = in(0); return;
+    case CellType::kInv: values[cell.outputs[0]] = m.bdd_not(in(0)); return;
+    case CellType::kAnd2: values[cell.outputs[0]] = m.bdd_and(in(0), in(1)); return;
+    case CellType::kOr2: values[cell.outputs[0]] = m.bdd_or(in(0), in(1)); return;
+    case CellType::kNand2: values[cell.outputs[0]] = m.bdd_nand(in(0), in(1)); return;
+    case CellType::kNor2: values[cell.outputs[0]] = m.bdd_nor(in(0), in(1)); return;
+    case CellType::kXor2: values[cell.outputs[0]] = m.bdd_xor(in(0), in(1)); return;
+    case CellType::kXnor2: values[cell.outputs[0]] = m.bdd_xnor(in(0), in(1)); return;
+    case CellType::kMux2:
+      // inputs {a, b, sel} -> sel ? b : a
+      values[cell.outputs[0]] = m.ite(in(2), in(1), in(0));
+      return;
+    case CellType::kHalfAdder:
+      values[cell.outputs[0]] = m.bdd_xor(in(0), in(1));
+      values[cell.outputs[1]] = m.bdd_and(in(0), in(1));
+      return;
+    case CellType::kFullAdder: {
+      const BddManager::BitSum s = m.full_add(in(0), in(1), in(2));
+      values[cell.outputs[0]] = s.sum;
+      values[cell.outputs[1]] = s.carry;
+      return;
+    }
+    case CellType::kDff:
+    case CellType::kDffEnable: return;  // sequential: handled by clock_edge()
+  }
+}
+
+}  // namespace
+
+void SymbolicSimulator::eval_comb_cell(const CellInstance& cell) {
+  eval_cell_bdd(manager_, cell, values_);
+}
+
+std::vector<BddRef> compile_combinational(BddManager& manager, const Netlist& netlist,
+                                          const std::vector<BddRef>& input_values) {
+  require(input_values.size() == netlist.primary_inputs().size(),
+          "compile_combinational: one input value per primary input required");
+  std::vector<BddRef> values(netlist.num_nets(), kBddFalse);
+  for (std::size_t i = 0; i < input_values.size(); ++i) {
+    values[netlist.primary_inputs()[i]] = input_values[i];
+  }
+  for (const CellId c : netlist.topo_order()) {
+    const CellInstance& cell = netlist.cell(c);
+    if (cell_spec(cell.type).is_sequential) {
+      throw NetlistError("compile_combinational: netlist '" + netlist.name() +
+                         "' contains sequential cells; use SymbolicSimulator");
+    }
+    eval_cell_bdd(manager, cell, values);
+  }
+  std::vector<BddRef> out;
+  out.reserve(netlist.primary_outputs().size());
+  for (const NetId net : netlist.primary_outputs()) out.push_back(values[net]);
+  return out;
+}
+
+void SymbolicSimulator::settle() {
+  for (const CellId c : topo_) {
+    const CellInstance& cell = netlist_.cell(c);
+    if (cell_spec(cell.type).is_sequential) continue;
+    eval_comb_cell(cell);
+  }
+}
+
+void SymbolicSimulator::clock_edge() {
+  // Sample everything first, then update: a DFF reading another DFF's Q must
+  // see the pre-edge value (same two-pass shape as EventSimulator).
+  for (const CellId c : topo_) {
+    const CellInstance& cell = netlist_.cell(c);
+    if (!cell_spec(cell.type).is_sequential) continue;
+    const BddRef d = values_[cell.inputs[0]];
+    if (cell.type == CellType::kDffEnable) {
+      const BddRef en = values_[cell.inputs[1]];
+      dff_next_[c] = manager_.ite(en, d, values_[cell.outputs[0]]);
+    } else {
+      dff_next_[c] = d;
+    }
+  }
+  for (const CellId c : topo_) {
+    const CellInstance& cell = netlist_.cell(c);
+    if (!cell_spec(cell.type).is_sequential) continue;
+    values_[cell.outputs[0]] = dff_next_[c];
+  }
+}
+
+void SymbolicSimulator::step_cycle() {
+  settle();
+  clock_edge();
+  settle();
+}
+
+std::vector<BddRef> SymbolicSimulator::outputs() const {
+  std::vector<BddRef> out;
+  out.reserve(netlist_.primary_outputs().size());
+  for (const NetId net : netlist_.primary_outputs()) out.push_back(values_[net]);
+  return out;
+}
+
+namespace {
+
+bool has_sequential(const Netlist& netlist) {
+  for (const auto& cell : netlist.cells()) {
+    if (cell_spec(cell.type).is_sequential) return true;
+  }
+  return false;
+}
+
+/// Sum of P(before[n] != after[n]) over `nets`; optionally records the
+/// per-net contribution.
+double expected_toggles(BddManager& m, const std::vector<BddRef>& before,
+                        const std::vector<BddRef>& after, const std::vector<NetId>& nets,
+                        std::vector<double>* per_net) {
+  double sum = 0.0;
+  for (const NetId n : nets) {
+    if (before[n] == after[n]) continue;  // canonicity: equal refs never toggle
+    const double p = m.probability(m.bdd_xor(before[n], after[n]));
+    sum += p;
+    if (per_net != nullptr) (*per_net)[n] += p;
+  }
+  return sum;
+}
+
+}  // namespace
+
+ExactActivity exact_activity(const Netlist& netlist, const ExactActivityOptions& options) {
+  require(options.num_vectors >= 1, "exact_activity: need >= 1 vectors");
+  require(options.cycles_per_vector >= 1, "exact_activity: cycles_per_vector must be >= 1");
+  require(options.warmup_vectors >= 0, "exact_activity: warmup must be >= 0");
+
+  const NetlistStats stats = netlist.stats();
+  const double n_cells = static_cast<double>(stats.num_cells);
+
+  ExactActivity result;
+  result.data_periods = static_cast<std::uint64_t>(options.num_vectors);
+  result.net_probability.assign(netlist.num_nets(), 0.0);
+  result.net_toggle.assign(netlist.num_nets(), 0.0);
+
+  if (!has_sequential(netlist)) {
+    // Closed form: consecutive data vectors are independent, so every
+    // cell-driven net toggles with probability 2 p (1 - p) per data period
+    // (and holds for the remaining cycles_per_vector - 1 clocks).
+    result.combinational = true;
+    SymbolicSimulator sym(netlist, options.symbolic);
+    sym.inject_fresh_inputs();
+    sym.settle();
+    BddManager& m = sym.manager();
+    double per_period = 0.0;
+    for (NetId n = 0; n < netlist.num_nets(); ++n) {
+      const double p = m.probability(sym.value(n));
+      result.net_probability[n] = p;
+    }
+    for (const NetId n : sym.cell_driven_nets()) {
+      const double toggle = 2.0 * result.net_probability[n] * (1.0 - result.net_probability[n]);
+      result.net_toggle[n] = toggle;
+      per_period += toggle;
+    }
+    result.expected_transitions = per_period * static_cast<double>(options.num_vectors);
+    result.expected_functional = result.expected_transitions;
+    result.activity = n_cells > 0.0 ? 0.5 * per_period / n_cells : 0.0;
+    result.glitch_fraction = 0.0;
+    result.clock_cycles = static_cast<std::uint64_t>(options.num_vectors) *
+                          static_cast<std::uint64_t>(options.cycles_per_vector);
+    result.bdd_nodes = m.node_count();
+    return result;
+  }
+
+  // Sequential: symbolically replay the exact testbench schedule (fresh
+  // variables per data period, held for cycles_per_vector clocks), counting
+  // expected toggles per phase of every measured cycle - the phases mirror
+  // EventSimulator::step_cycle so the expectation matches the zero-delay
+  // Monte-Carlo estimator term for term.
+  SymbolicSimulator sym(netlist, options.symbolic);
+  BddManager& m = sym.manager();
+  const std::vector<NetId>& cell_nets = sym.cell_driven_nets();
+  std::vector<NetId> comb_nets;
+  std::vector<NetId> dff_nets;
+  for (const NetId n : cell_nets) {
+    if (cell_spec(netlist.cell(netlist.driver_of(n)).type).is_sequential) {
+      dff_nets.push_back(n);
+    } else {
+      comb_nets.push_back(n);
+    }
+  }
+
+  const int total_periods = options.warmup_vectors + options.num_vectors;
+  double transitions = 0.0;
+  double functional = 0.0;
+  std::vector<BddRef> start;
+  std::vector<BddRef> before;
+  for (int period = 0; period < total_periods; ++period) {
+    const bool measured = period >= options.warmup_vectors;
+    const bool last_period = period == total_periods - 1;
+    sym.inject_fresh_inputs();
+    for (int cycle = 0; cycle < options.cycles_per_vector; ++cycle) {
+      if (!measured) {
+        sym.step_cycle();
+        continue;
+      }
+      std::vector<double>* per_net = last_period ? &result.net_toggle : nullptr;
+      start = sym.values();
+      sym.settle();
+      transitions += expected_toggles(m, start, sym.values(), comb_nets, per_net);
+      before = sym.values();
+      sym.clock_edge();
+      transitions += expected_toggles(m, before, sym.values(), dff_nets, per_net);
+      before = sym.values();
+      sym.settle();
+      transitions += expected_toggles(m, before, sym.values(), comb_nets, per_net);
+      functional += expected_toggles(m, start, sym.values(), cell_nets, nullptr);
+      ++result.clock_cycles;
+    }
+  }
+  for (NetId n = 0; n < netlist.num_nets(); ++n) {
+    result.net_probability[n] = m.probability(sym.value(n));
+  }
+  result.expected_transitions = transitions;
+  result.expected_functional = functional;
+  const double denom = n_cells * static_cast<double>(options.num_vectors);
+  result.activity = denom > 0.0 ? 0.5 * transitions / denom : 0.0;
+  result.glitch_fraction =
+      transitions > 0.0 ? std::max(0.0, transitions - functional) / transitions : 0.0;
+  result.bdd_nodes = m.node_count();
+  return result;
+}
+
+}  // namespace optpower

@@ -1,0 +1,171 @@
+// Symbolic netlist interpretation over BDDs: compile a gate-level Netlist
+// into per-net boolean functions, step it through symbolic clock cycles, and
+// derive EXACT zero-delay switching statistics.
+//
+// This is the analytical cross-check for the Monte-Carlo testbenches in
+// sim/activity.h: signal-probability propagation through BDDs computes the
+// expectation of the event simulator's zero-delay activity estimator in
+// closed form - no stimulus, no variance.  The SymbolicSimulator mirrors
+// EventSimulator's cycle semantics exactly (pre-edge settle, DFF sample and
+// update, post-edge settle; two-valued logic; everything resets to 0), so
+// exact_activity() with the same warmup/measure schedule equals
+// E[measure_activity(...)  with delay_mode = kZero] over the stimulus
+// distribution, which the tolerance tests in tests/bdd/ exploit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "netlist/netlist.h"
+
+namespace optpower {
+
+/// Variable-order strategy for the primary inputs.  BDD sizes are extremely
+/// order-sensitive (the multiplier families here span orders of magnitude
+/// between the best and worst of these), but *results* never are.
+enum class VarOrderHeuristic {
+  kDeclaration,  ///< declaration order (a[0..w), then b[0..w), ...)
+  kInterleaved,  ///< round-robin across the name-prefix buses (a[0], b[0], a[1], ...)
+  kTopoCone,     ///< first-visit order of a DFS through the output fanin cones,
+                 ///< outputs in declaration order: inputs that feed the same
+                 ///< shallow logic end up adjacent (the netlist-topology
+                 ///< heuristic; equals interleaving on the multiplier arrays)
+};
+
+/// Positions of the primary inputs in the BDD variable order:
+/// result[pi_index] = variable index (0 = first in the order).
+[[nodiscard]] std::vector<int> bdd_variable_order(const Netlist& netlist,
+                                                  VarOrderHeuristic heuristic);
+
+/// Knobs shared by the symbolic clients.
+struct SymbolicOptions {
+  VarOrderHeuristic order = VarOrderHeuristic::kTopoCone;
+  BddOptions bdd;
+};
+
+/// Pin value for SymbolicSimulator's fixed-input vector: keep the pin
+/// symbolic (fresh variable) or tie it to a constant (case splitting).
+inline constexpr int kSymbolicInput = -1;
+
+/// Zero-delay symbolic twin of EventSimulator: per-net BddRef instead of
+/// per-net bit.  Construction settles the all-zero state (like
+/// EventSimulator's reset); inject_fresh_inputs() starts a new data period
+/// by binding every non-fixed primary input to a fresh variable.
+class SymbolicSimulator {
+ public:
+  /// All primary inputs symbolic.
+  explicit SymbolicSimulator(const Netlist& netlist, const SymbolicOptions& options = {});
+
+  /// `fixed[i]` pins primary input i to 0/1; kSymbolicInput keeps it
+  /// symbolic.  Must have one entry per primary input.
+  SymbolicSimulator(const Netlist& netlist, const std::vector<int>& fixed,
+                    const SymbolicOptions& options = {});
+
+  [[nodiscard]] BddManager& manager() noexcept { return manager_; }
+  [[nodiscard]] const Netlist& netlist() const noexcept { return netlist_; }
+
+  /// Bind fresh variables (constants for fixed pins) to the primary inputs -
+  /// the symbolic analogue of applying one new random vector.  Variables are
+  /// appended batch-by-batch, each batch internally permuted by the chosen
+  /// order heuristic.
+  void inject_fresh_inputs();
+
+  /// Zero-delay combinational propagation of the current input/state values.
+  void settle();
+
+  /// Clock edge: every DFF samples (kDffEnable holds when en = 0), then all
+  /// Q outputs update.  Call settle() afterwards, or use step_cycle().
+  void clock_edge();
+
+  /// One full clock cycle exactly like EventSimulator::step_cycle():
+  /// pre-edge settle, clock edge, post-edge settle.
+  void step_cycle();
+
+  /// Current function of a net.
+  [[nodiscard]] BddRef value(NetId net) const { return values_[net]; }
+  [[nodiscard]] const std::vector<BddRef>& values() const noexcept { return values_; }
+  /// Primary outputs in declaration order.
+  [[nodiscard]] std::vector<BddRef> outputs() const;
+
+  /// Variable index bound to primary input `pi` by the LAST injection
+  /// (-1 when the pin is fixed or no injection happened yet).  Used to map
+  /// find_sat() assignments back to input vectors.
+  [[nodiscard]] int input_var(std::size_t pi) const { return input_var_[pi]; }
+
+  /// Nets driven by a cell (what the activity statistics count), in net-id
+  /// order.
+  [[nodiscard]] const std::vector<NetId>& cell_driven_nets() const noexcept {
+    return cell_nets_;
+  }
+
+ private:
+  void eval_comb_cell(const CellInstance& cell);
+
+  const Netlist& netlist_;
+  SymbolicOptions options_;
+  BddManager manager_;
+  std::vector<CellId> topo_;
+  std::vector<BddRef> values_;     // per net
+  std::vector<BddRef> dff_next_;   // per sequential cell id (others unused)
+  std::vector<int> fixed_;         // per PI: kSymbolicInput / 0 / 1
+  std::vector<int> order_;         // per PI: position within one injection batch
+  std::vector<int> input_var_;     // per PI: var of the last injection (-1 = fixed)
+  std::vector<NetId> cell_nets_;   // nets with a driving cell, ascending
+};
+
+/// One-shot combinational compile into a caller-owned manager: the
+/// primary-output functions of `netlist` under caller-provided per-input
+/// values (one BddRef per primary input, constants allowed).  This is how
+/// two netlists get compiled against the SAME variables for cross-netlist
+/// equivalence (bdd/equiv.h).  Throws NetlistError if `netlist` contains
+/// sequential cells.
+[[nodiscard]] std::vector<BddRef> compile_combinational(BddManager& manager,
+                                                        const Netlist& netlist,
+                                                        const std::vector<BddRef>& input_values);
+
+/// Configuration of the exact-activity computation.  Mirror the
+/// ActivityOptions of the Monte-Carlo run being cross-checked: the symbolic
+/// result is the exact expectation of that testbench's estimator (same
+/// warmup, same measured-period count), so any schedule mismatch shows up as
+/// transient bias on sequential netlists.
+struct ExactActivityOptions {
+  int num_vectors = 8;       ///< measured data periods
+  int cycles_per_vector = 1; ///< clock cycles per data period
+  int warmup_vectors = 8;    ///< periods stepped before measurement starts
+  SymbolicOptions symbolic;
+};
+
+/// Exact zero-delay switching statistics.
+struct ExactActivity {
+  /// The paper's "a" (charging transitions per cell per data period):
+  /// 0.5 * E[transitions] / (N * data_periods), the exact expectation of
+  /// ActivityMeasurement::activity under delay_mode = kZero.
+  double activity = 0.0;
+  /// Expected transitions beyond the per-net functional minimum, as a
+  /// fraction of expected transitions.  Zero for combinational netlists;
+  /// for sequential ones this is the E[transitions] - E[functional] proxy
+  /// (the simulator's per-cycle clamp makes the true expectation of its
+  /// glitch counter sit at or below this).
+  double glitch_fraction = 0.0;
+  double expected_transitions = 0.0;  ///< over the whole measured window
+  double expected_functional = 0.0;   ///< expected per-net start != end counts
+  std::vector<double> net_probability;  ///< last measured period: P(net = 1)
+  std::vector<double> net_toggle;       ///< last measured period: E[toggles] per net
+  std::uint64_t data_periods = 0;
+  std::uint64_t clock_cycles = 0;
+  std::size_t bdd_nodes = 0;   ///< manager arena size after the run
+  bool combinational = false;  ///< closed-form single-compile path was used
+};
+
+/// Compute exact zero-delay activity of `netlist` under uniform independent
+/// input bits.  Combinational netlists take a closed-form path (one compile;
+/// per-period expected transitions = sum over nets of 2 p (1 - p), since
+/// consecutive data vectors are independent); sequential netlists are
+/// stepped symbolically through warmup + measured periods with fresh
+/// variables per period.  Throws NumericalError when the BDD node budget is
+/// exceeded (symbolic.bdd.max_nodes).
+[[nodiscard]] ExactActivity exact_activity(const Netlist& netlist,
+                                           const ExactActivityOptions& options = {});
+
+}  // namespace optpower

@@ -1,0 +1,1309 @@
+// Word-level multiplier equivalence: Hamaguchi-style backward substitution
+// over binary moment diagrams, plus an adder-region collapse pre-pass that
+// makes carry-select structures tractable.
+//
+// Plain backward substitution telescopes beautifully through ripple/array
+// structures (carries enter the output word linearly and cancel), but a
+// carry-select adder multiplies whole speculative sums by data-dependent
+// mux selects - the select booleans then materialize as moment polynomials,
+// which is exponential.  The collapse pass restores the telescoping shape:
+// it finds the maximal fanout-closed {FA, HA, MUX2, BUF} regions around
+// every data-selected mux, derives bit positions by structural offset
+// propagation, PROVES with bit-level BDDs (linear-sized for adder logic)
+// that each region computes the bits of its weighted input sum, and then
+// rewrites the region into an equivalent FA/HA compressor network before
+// the BMD substitution runs.  The rewrite is sound because it only happens
+// after the region's sum identity has been verified for all cut values.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "bdd/equiv.h"
+#include "bdd/equiv_detail.h"
+#include "netlist/cell.h"
+#include "sim/event_sim.h"
+#include "util/error.h"
+#include "util/format.h"
+#include "util/random.h"
+
+namespace optpower {
+
+using namespace equiv_detail;
+
+// ---------------------------------------------------------------------------
+// Word-level proof (BMD backward substitution)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Variable bookkeeping + reverse-topological elimination over one purely
+/// combinational netlist.  Net variables are ordered deepest-first (the
+/// variable being eliminated is always at or near the top of the diagram,
+/// so substitution touches only shallow structure), primary inputs last,
+/// interleaved a[0], b[0], a[1], ... for the final spec compare.
+class BackwardSubstitution {
+ public:
+  BackwardSubstitution(const Netlist& netlist, const BmdOptions& options)
+      : netlist_(netlist), topo_(netlist.topo_order()), mgr_(0, options) {
+    net_var_.assign(netlist.num_nets(), -1);
+    for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+      for (const NetId out : netlist.cell(*it).outputs) net_var_[out] = mgr_.add_var();
+    }
+    const std::vector<int> order = bdd_variable_order(netlist, VarOrderHeuristic::kInterleaved);
+    std::vector<std::size_t> by_position(netlist.primary_inputs().size());
+    for (std::size_t i = 0; i < by_position.size(); ++i) by_position[i] = i;
+    std::sort(by_position.begin(), by_position.end(),
+              [&](std::size_t a, std::size_t b) { return order[a] < order[b]; });
+    pi_var_.assign(by_position.size(), -1);
+    for (const std::size_t pi : by_position) {
+      const int v = mgr_.add_var();
+      pi_var_[pi] = v;
+      net_var_[netlist.primary_inputs()[pi]] = v;
+    }
+  }
+
+  [[nodiscard]] BmdManager& manager() noexcept { return mgr_; }
+  [[nodiscard]] int pi_var(std::size_t pi) const { return pi_var_[pi]; }
+
+  /// sum of weight * net over the given probes.
+  [[nodiscard]] BmdRef word(const std::vector<std::pair<NetId, std::int64_t>>& probes) {
+    BmdRef g = mgr_.constant(0);
+    for (const auto& [net, weight] : probes) {
+      g = mgr_.add(g, mgr_.mul_const(mgr_.var(net_var_[net]), weight));
+    }
+    return g;
+  }
+
+  /// Weighted word of an input bus (over primary-input variables).
+  [[nodiscard]] BmdRef input_word(const std::vector<std::size_t>& pins) {
+    BmdRef g = mgr_.constant(0);
+    for (std::size_t bit = 0; bit < pins.size(); ++bit) {
+      g = mgr_.add(g, mgr_.mul_const(mgr_.var(pi_var_[pins[bit]]),
+                                     std::int64_t{1} << bit));
+    }
+    return g;
+  }
+
+  /// Eliminate every net variable from `g` (reverse topological order).
+  [[nodiscard]] BmdRef reduce(BmdRef g) {
+    for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+      const CellInstance& cell = netlist_.cell(*it);
+      for (std::size_t pin = cell.outputs.size(); pin-- > 0;) {
+        const int v = net_var_[cell.outputs[pin]];
+        if (mgr_.level(g) > static_cast<std::uint32_t>(v)) continue;  // absent
+        g = mgr_.substitute(g, v, moment(cell, pin));
+      }
+    }
+    return g;
+  }
+
+ private:
+  /// The gate's moment polynomial for one output pin, over its input nets'
+  /// variables.
+  [[nodiscard]] BmdRef moment(const CellInstance& cell, std::size_t pin) {
+    BmdManager& m = mgr_;
+    const auto in = [&](std::size_t k) { return m.var(net_var_[cell.inputs[k]]); };
+    switch (cell.type) {
+      case CellType::kConst0: return m.constant(0);
+      case CellType::kConst1: return m.constant(1);
+      case CellType::kBuf: return in(0);
+      case CellType::kInv: return m.b_not(in(0));
+      case CellType::kAnd2: return m.b_and(in(0), in(1));
+      case CellType::kOr2: return m.b_or(in(0), in(1));
+      case CellType::kNand2: return m.b_not(m.b_and(in(0), in(1)));
+      case CellType::kNor2: return m.b_not(m.b_or(in(0), in(1)));
+      case CellType::kXor2: return m.b_xor(in(0), in(1));
+      case CellType::kXnor2: return m.b_not(m.b_xor(in(0), in(1)));
+      case CellType::kMux2:
+        // a + s * (b - a)
+        return m.add(in(0), m.mul(in(2), m.sub(in(1), in(0))));
+      case CellType::kHalfAdder:
+        return pin == 0 ? m.b_xor(in(0), in(1)) : m.b_and(in(0), in(1));
+      case CellType::kFullAdder: {
+        if (pin == 0) return m.b_xor(m.b_xor(in(0), in(1)), in(2));
+        // majority = xy + xc + yc - 2xyc
+        const BmdRef xy = m.mul(in(0), in(1));
+        const BmdRef pairs = m.add(m.add(xy, m.mul(in(0), in(2))), m.mul(in(1), in(2)));
+        return m.sub(pairs, m.mul_const(m.mul(xy, in(2)), 2));
+      }
+      case CellType::kDff:
+      case CellType::kDffEnable: break;
+    }
+    throw NetlistError("BackwardSubstitution: sequential cell in combinational cone");
+  }
+
+  const Netlist& netlist_;
+  std::vector<CellId> topo_;
+  BmdManager mgr_;
+  std::vector<int> net_var_;
+  std::vector<int> pi_var_;
+};
+
+// ---------------------------------------------------------------------------
+// Adder-region collapse
+// ---------------------------------------------------------------------------
+
+/// Union-find over nets with integer position offsets:
+/// pos(net) = pos(parent) + offset.
+class PositionUf {
+ public:
+  std::pair<NetId, std::int64_t> find(NetId n) {
+    auto it = entries_.find(n);
+    if (it == entries_.end()) {
+      entries_.emplace(n, Entry{n, 0});
+      return {n, 0};
+    }
+    if (it->second.parent == n) return {n, it->second.offset};
+    const auto [root, parent_off] = find(it->second.parent);
+    it = entries_.find(n);  // re-find: the recursion may rehash
+    it->second.parent = root;
+    it->second.offset += parent_off;
+    return {root, it->second.offset};
+  }
+
+  /// Impose pos(a) = pos(b) + delta.  Returns false on contradiction.
+  bool merge(NetId a, NetId b, std::int64_t delta) {
+    const auto [ra, oa] = find(a);
+    const auto [rb, ob] = find(b);
+    if (ra == rb) return oa == ob + delta;
+    entries_[ra] = Entry{rb, ob + delta - oa};
+    return true;
+  }
+
+ private:
+  struct Entry {
+    NetId parent;
+    std::int64_t offset;
+  };
+  std::unordered_map<NetId, Entry> entries_;
+};
+
+constexpr std::int64_t kNoPos = INT64_MIN;
+
+/// One fanout-closed region of {FA, HA, MUX2, BUF} cells around
+/// data-selected muxes, with solved bit positions.
+struct Region {
+  std::vector<CellId> cells;  // topological order
+  std::vector<NetId> inputs;  // external non-constant inputs (cut)
+  std::vector<NetId> outputs;  // internal nets read outside / POs
+  bool has_data_mux = false;   // contains a mux with a PI-dependent select
+  /// Concrete output bits at the all-zero cut assignment: the region's
+  /// additive constant C, read off as sum 2^output_pos[j] * out_zero[j].
+  /// Tie-cell inputs must NOT enter the spec sum directly - a carry-select
+  /// adder's speculative one-chain has a const1 carry-in that contributes
+  /// only when its rail is selected, which nets out to zero.  The BDD proof
+  /// rejects the region if C does not capture the region's true constant behavior.
+  std::vector<char> out_zero;
+  std::vector<std::int64_t> input_pos;
+  std::vector<std::int64_t> output_pos;
+};
+
+/// Weighted-bit compressor: reduce the per-position buckets with 3:2 / 2:2
+/// steps until one entry per position remains.  Shared by the BDD sum PROOF
+/// and the netlist REWRITE so the two sides always build the identical
+/// reduction schedule; `full_add(a,b,c)` / `half_add(a,b)` return
+/// {sum, carry}.
+template <typename Bit, typename FullAdd, typename HalfAdd>
+std::vector<Bit> compress_sum_bits(std::vector<std::vector<Bit>> buckets, Bit empty,
+                                   FullAdd&& full_add, HalfAdd&& half_add) {
+  for (std::size_t p = 0; p < buckets.size(); ++p) {
+    while (buckets[p].size() > 1) {
+      if (p + 1 >= buckets.size()) buckets.emplace_back();
+      if (buckets[p].size() >= 3) {
+        const Bit a = buckets[p][buckets[p].size() - 3];
+        const Bit b = buckets[p][buckets[p].size() - 2];
+        const Bit c = buckets[p][buckets[p].size() - 1];
+        buckets[p].resize(buckets[p].size() - 3);
+        const auto [sum, carry] = full_add(a, b, c);
+        buckets[p].push_back(sum);
+        buckets[p + 1].push_back(carry);
+      } else {
+        const Bit a = buckets[p][0];
+        const Bit b = buckets[p][1];
+        buckets[p].clear();
+        const auto [sum, carry] = half_add(a, b);
+        buckets[p].push_back(sum);
+        buckets[p + 1].push_back(carry);
+      }
+    }
+  }
+  std::vector<Bit> bits(buckets.size(), empty);
+  for (std::size_t p = 0; p < buckets.size(); ++p) {
+    if (!buckets[p].empty()) bits[p] = buckets[p][0];
+  }
+  return bits;
+}
+
+std::vector<BddRef> bdd_sum_bits(BddManager& m, std::vector<std::vector<BddRef>> buckets) {
+  return compress_sum_bits<BddRef>(
+      std::move(buckets), kBddFalse,
+      [&](BddRef a, BddRef b, BddRef c) {
+        const BddManager::BitSum s = m.full_add(a, b, c);
+        return std::pair<BddRef, BddRef>{s.sum, s.carry};
+      },
+      [&](BddRef a, BddRef b) {
+        return std::pair<BddRef, BddRef>{m.bdd_xor(a, b), m.bdd_and(a, b)};
+      });
+}
+
+/// The netlist twin of bdd_sum_bits: synthesizes the FA/HA network a proven
+/// region is replaced with.
+std::vector<NetId> synthesize_sum_bits(Netlist& nl, std::vector<std::vector<NetId>> buckets) {
+  return compress_sum_bits<NetId>(
+      std::move(buckets), kNoNet,
+      [&](NetId a, NetId b, NetId c) {
+        const auto outs = nl.add_cell(CellType::kFullAdder, {a, b, c});
+        return std::pair<NetId, NetId>{outs[0], outs[1]};
+      },
+      [&](NetId a, NetId b) {
+        const auto outs = nl.add_cell(CellType::kHalfAdder, {a, b});
+        return std::pair<NetId, NetId>{outs[0], outs[1]};
+      });
+}
+
+/// Detect the collapse regions of a combinational netlist and solve their
+/// positions.  Returns false when a region is structurally not a positioned
+/// adder (the caller bails out of the collapse).
+bool find_regions(const Netlist& src, const std::vector<char>& blacklist,
+                  std::vector<Region>* regions_out, std::vector<char>* in_region_out) {
+  const std::size_t num_cells = src.num_cells();
+  const auto& fanout = src.fanout();
+
+  // Data dependence: does a net's cone reach a primary input?
+  std::vector<char> pi_dep(src.num_nets(), 0);
+  for (const NetId pi : src.primary_inputs()) pi_dep[pi] = 1;
+  for (const CellId c : src.topo_order()) {
+    const CellInstance& cell = src.cell(c);
+    char dep = 0;
+    for (const NetId in : cell.inputs) dep |= pi_dep[in];
+    for (const NetId out : cell.outputs) pi_dep[out] = dep;
+  }
+  std::vector<char> is_po(src.num_nets(), 0);
+  for (const NetId po : src.primary_outputs()) is_po[po] = 1;
+
+  const auto const_value_of = [&](NetId n) -> int {  // -1: not a tie net
+    const CellId drv = src.driver_of(n);
+    if (drv == Netlist::kNoCell) return -1;
+    if (src.cell(drv).type == CellType::kConst0) return 0;
+    if (src.cell(drv).type == CellType::kConst1) return 1;
+    return -1;
+  };
+
+  // Seed: muxes with data-dependent selects - the structure that breaks
+  // word-level backward substitution - plus tie-selected muxes (a
+  // carry-select adder's first block has a const0 carry-in select); the
+  // latter keep a region from cutting through the middle of a speculative
+  // block.  A region without any data-selected mux that fails its sum proof
+  // is simply left uncollapsed (substitution handles constant selects), so
+  // over-seeding cannot turn a provable netlist into an unproven one.
+  std::vector<char>& in_region = *in_region_out;
+  in_region.assign(num_cells, 0);
+  bool any_data = false;
+  for (CellId c = 0; c < num_cells; ++c) {
+    const CellInstance& cell = src.cell(c);
+    if (blacklist[c] || cell.type != CellType::kMux2) continue;
+    if (pi_dep[cell.inputs[2]]) {
+      in_region[c] = 1;
+      any_data = true;
+    } else if (const_value_of(cell.inputs[2]) >= 0) {
+      in_region[c] = 1;
+    }
+  }
+  if (!any_data) {
+    in_region.assign(num_cells, 0);
+    return true;  // no data muxes: caller keeps the source netlist
+  }
+
+  // Grow: absorb sum-preserving cells whose entire fanout lies inside the
+  // region and whose outputs are not primary outputs.  Muxes are only
+  // absorbed when their select is data-dependent or constant - a
+  // control-selected hold mux must stay outside (it becomes a cut input).
+  const auto absorbable = [&](CellId c) {
+    if (blacklist[c]) return false;
+    const CellInstance& cell = src.cell(c);
+    switch (cell.type) {
+      case CellType::kFullAdder:
+      case CellType::kHalfAdder:
+      case CellType::kBuf: break;
+      case CellType::kMux2:
+        if (!pi_dep[cell.inputs[2]] && const_value_of(cell.inputs[2]) < 0) return false;
+        break;
+      default: return false;
+    }
+    for (const NetId out : cell.outputs) {
+      if (is_po[out]) return false;
+      for (const CellId reader : fanout[out]) {
+        if (!in_region[reader]) return false;
+      }
+    }
+    return true;
+  };
+  // Downstream absorption: a mux whose select is data-dependent or constant
+  // and whose data rails both come from region cells belongs to the region
+  // too - a carry-select first block's sum muxes have a const0 select and
+  // drive primary outputs, so the upstream rule alone would leave the
+  // contradictory speculative rails exposed as region outputs.
+  const auto absorbs_downstream = [&](CellId c) {
+    if (blacklist[c]) return false;
+    const CellInstance& cell = src.cell(c);
+    if (cell.type != CellType::kMux2) return false;
+    if (!pi_dep[cell.inputs[2]] && const_value_of(cell.inputs[2]) < 0) return false;
+    for (int pin = 0; pin < 2; ++pin) {
+      const CellId drv = src.driver_of(cell.inputs[static_cast<std::size_t>(pin)]);
+      if (drv == Netlist::kNoCell || !in_region[drv]) return false;
+    }
+    return true;
+  };
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (CellId c = num_cells; c-- > 0;) {
+      if (!in_region[c] && (absorbable(c) || absorbs_downstream(c))) {
+        in_region[c] = 1;
+        grew = true;
+      }
+    }
+  }
+
+  // Connected components along DIRECT region-cell -> region-cell edges.
+  // Merging via arbitrary shared nets would fuse regions that only share a
+  // tie net or an external operand - and worse, in an unrolled sequential
+  // netlist it fuses consecutive cycles' adders into one component that has
+  // plain cells both upstream and downstream (a cycle once the region is
+  // contracted to a single scheduling unit).
+  std::vector<int> comp_of_cell(num_cells, -1);
+  int num_comps = 0;
+  for (CellId seed = 0; seed < num_cells; ++seed) {
+    if (!in_region[seed] || comp_of_cell[seed] >= 0) continue;
+    const int comp = num_comps++;
+    std::vector<CellId> stack{seed};
+    comp_of_cell[seed] = comp;
+    while (!stack.empty()) {
+      const CellId c = stack.back();
+      stack.pop_back();
+      const CellInstance& cell = src.cell(c);
+      for (const NetId n : cell.inputs) {
+        const CellId drv = src.driver_of(n);
+        if (drv != Netlist::kNoCell && in_region[drv] && comp_of_cell[drv] < 0) {
+          comp_of_cell[drv] = comp;
+          stack.push_back(drv);
+        }
+      }
+      for (const NetId n : cell.outputs) {
+        for (const CellId reader : fanout[n]) {
+          if (in_region[reader] && comp_of_cell[reader] < 0) {
+            comp_of_cell[reader] = comp;
+            stack.push_back(reader);
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<Region>& regions = *regions_out;
+  regions.assign(static_cast<std::size_t>(num_comps), Region{});
+  for (const CellId c : src.topo_order()) {
+    if (in_region[c]) regions[static_cast<std::size_t>(comp_of_cell[c])].cells.push_back(c);
+  }
+
+  for (Region& region : regions) {
+    PositionUf uf;
+    std::vector<char> internal(src.num_nets(), 0);
+    for (const CellId c : region.cells) {
+      for (const NetId out : src.cell(c).outputs) internal[out] = 1;
+    }
+    // Offset propagation, anchored at each cell's first output (cell outputs
+    // are never tie nets).  Constant inputs are NOT merged: one shared tie
+    // net may sit at many positions (the const0 carry-in of every
+    // carry-select block), so constants get per-USE positions later.
+    std::vector<std::pair<NetId, NetId>> select_edges;  // (select, mux output)
+    std::vector<std::pair<NetId, NetId>> external_selects;  // (select, mux output)
+    for (const CellId c : region.cells) {
+      const CellInstance& cell = src.cell(c);
+      const NetId anchor = cell.outputs[0];
+      const auto merge_in = [&](std::size_t pin, std::int64_t delta) {
+        if (const_value_of(cell.inputs[pin]) >= 0) return true;  // per-use later
+        return uf.merge(cell.inputs[pin], anchor, delta);
+      };
+      bool consistent = true;
+      switch (cell.type) {
+        case CellType::kFullAdder:
+          consistent = merge_in(0, 0) && merge_in(1, 0) && merge_in(2, 0) &&
+                       uf.merge(cell.outputs[1], anchor, 1);
+          break;
+        case CellType::kHalfAdder:
+          consistent = merge_in(0, 0) && merge_in(1, 0) && uf.merge(cell.outputs[1], anchor, 1);
+          break;
+        case CellType::kMux2: {
+          consistent = merge_in(0, 0) && merge_in(1, 0);
+          // Internal selects stitch position islands (soft, below).  An
+          // external non-constant select is a legitimate cut input: a
+          // correct selection bank satisfies word(out) = A + sel * 2^base,
+          // so the select acts as one more input bit at the bank's lowest
+          // mux position.  The BDD sum proof validates that reading.
+          const NetId sel = cell.inputs[2];
+          if (internal[sel]) {
+            select_edges.emplace_back(sel, cell.outputs[0]);
+          } else if (const_value_of(sel) < 0) {
+            external_selects.emplace_back(sel, cell.outputs[0]);
+          }
+          if (pi_dep[sel]) region.has_data_mux = true;
+          break;
+        }
+        case CellType::kBuf: consistent = merge_in(0, 0); break;
+        default: return false;
+      }
+      if (!consistent) {
+        if (std::getenv("OPTPOWER_DEBUG_COLLAPSE") != nullptr)
+          std::fprintf(stderr, "collapse: inconsistent positions at cell %u type %d\n", c,
+                       (int)cell.type);
+        return false;
+      }
+    }
+    // Soft stitching across mux boundaries: a sum-selection mux's select is
+    // the carry INTO its bit, i.e. pos(select) == pos(output).  That links
+    // the per-block position islands of a carry-select adder (blocks touch
+    // each other only through select pins).  It is deliberately soft - the
+    // block-boundary carry-chain mux violates it (its select is the carry
+    // into the block base, its output the carry out of the block top), so
+    // contradictions are simply skipped.  A wrong stitch cannot produce a
+    // wrong verdict: the BDD sum proof below rejects any mislabeled region.
+    for (const auto& [sel, out] : select_edges) (void)uf.merge(sel, out, 0);
+
+    // Classify external inputs (cut nets) and collect read-outside outputs.
+    std::vector<char> seen(src.num_nets(), 0);
+    for (const CellId c : region.cells) {
+      const CellInstance& cell = src.cell(c);
+      for (std::size_t pin = 0; pin < cell.inputs.size(); ++pin) {
+        const NetId n = cell.inputs[pin];
+        if (internal[n] || seen[n]) continue;
+        if (cell.type == CellType::kMux2 && pin == 2) continue;  // constant select
+        if (const_value_of(n) >= 0) continue;  // collected per use below
+        seen[n] = 1;
+        region.inputs.push_back(n);
+      }
+    }
+    for (const CellId c : region.cells) {
+      for (const NetId out : src.cell(c).outputs) {
+        bool read_outside = is_po[out] != 0;
+        for (const CellId reader : fanout[out]) {
+          // A reader in a DIFFERENT region is outside this one.
+          if (!in_region[reader] || comp_of_cell[reader] != comp_of_cell[c]) {
+            read_outside = true;
+          }
+        }
+        if (read_outside) region.outputs.push_back(out);
+      }
+    }
+    if (region.outputs.empty()) {
+      // Dead logic (nothing observable reads the region): collapse to
+      // nothing.  The proof and the synthesis both trivially accept it.
+      region.inputs.clear();
+      continue;
+    }
+
+    // Resolve positions; every positioned net must share one frame (anchor
+    // on the cut when there is one, else on the outputs - an input-free
+    // region computes a constant).
+    const NetId ref_root =
+        uf.find(region.inputs.empty() ? region.outputs[0] : region.inputs[0]).first;
+    const auto pos_of = [&](NetId n) -> std::int64_t {
+      const auto [root, off] = uf.find(n);
+      return root == ref_root ? off : kNoPos;
+    };
+    std::int64_t min_pos = INT64_MAX;
+    const auto collect = [&](const NetId n, std::vector<std::int64_t>& into) {
+      const std::int64_t p = pos_of(n);
+      into.push_back(p);
+      if (p != kNoPos) min_pos = std::min(min_pos, p);
+      return p != kNoPos;
+    };
+    for (const NetId n : region.inputs) {
+      if (!collect(n, region.input_pos)) {
+        if (std::getenv("OPTPOWER_DEBUG_COLLAPSE") != nullptr) {
+          std::fprintf(stderr,
+                       "collapse: input net %u off-frame (region %zu cells, %zu in, %zu out)\n",
+                       n, region.cells.size(), region.inputs.size(), region.outputs.size());
+        }
+        return false;
+      }
+    }
+    for (const NetId n : region.outputs) {
+      if (!collect(n, region.output_pos)) {
+        if (std::getenv("OPTPOWER_DEBUG_COLLAPSE") != nullptr)
+          std::fprintf(stderr, "collapse: output net %u off-frame\n", n);
+        return false;
+      }
+    }
+    // External selects become cut inputs at the minimum position of their
+    // mux banks (word(bank) = A + sel * 2^base for a correct selection
+    // bank; the sum proof validates the reading).
+    {
+      std::unordered_map<NetId, std::int64_t> sel_pos;
+      for (const auto& [sel, anchor] : external_selects) {
+        const std::int64_t p = pos_of(anchor);
+        if (p == kNoPos) return false;
+        const auto it = sel_pos.find(sel);
+        if (it == sel_pos.end()) {
+          sel_pos.emplace(sel, p);
+        } else {
+          it->second = std::min(it->second, p);
+        }
+      }
+      for (const auto& [sel, p] : sel_pos) {
+        if (std::find(region.inputs.begin(), region.inputs.end(), sel) !=
+            region.inputs.end()) {
+          continue;  // already a positioned operand; the proof arbitrates
+        }
+        region.inputs.push_back(sel);
+        region.input_pos.push_back(p);
+        min_pos = std::min(min_pos, p);
+      }
+    }
+    const auto normalize = [&](std::vector<std::int64_t>& ps) {
+      for (auto& p : ps) {
+        p -= min_pos;
+        if (p < 0 || p > 62) return false;
+      }
+      return true;
+    };
+    if (!normalize(region.input_pos) || !normalize(region.output_pos)) return false;
+
+    // The region's additive constant, observed concretely at the all-zero
+    // cut assignment (tie inputs at their tied values).
+    std::vector<char> values(src.num_nets(), 0);
+    for (const CellId c : region.cells) {
+      for (const NetId in : src.cell(c).inputs) {
+        if (const_value_of(in) == 1) values[in] = 1;
+      }
+    }
+    for (const CellId c : region.cells) {
+      const CellInstance& cell = src.cell(c);
+      std::uint8_t packed = 0;
+      for (std::size_t pin = 0; pin < cell.inputs.size(); ++pin) {
+        packed |= static_cast<std::uint8_t>((values[cell.inputs[pin]] ? 1u : 0u) << pin);
+      }
+      const std::uint8_t out = eval_cell(cell.type, packed);
+      for (std::size_t k = 0; k < cell.outputs.size(); ++k) {
+        values[cell.outputs[k]] = static_cast<char>((out >> k) & 1u);
+      }
+    }
+    for (const NetId out : region.outputs) region.out_zero.push_back(values[out]);
+  }
+  return true;
+}
+
+/// Bit-level BDD proof: for every cut assignment, region output j equals
+/// bit output_pos[j] of (sum 2^input_pos[i] x_i + sum 2^const_pos[k] c_k).
+bool prove_region_is_adder(const Netlist& src, const Region& region,
+                           const BddOptions& proof_options, std::size_t* nodes) {
+  BddManager m(static_cast<int>(region.inputs.size()), proof_options);
+  std::vector<BddRef> values(src.num_nets(), kBddFalse);
+  // Position-major variable order keeps the carry profile narrow.
+  std::vector<std::size_t> order(region.inputs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return region.input_pos[a] != region.input_pos[b] ? region.input_pos[a] < region.input_pos[b]
+                                                      : a < b;
+  });
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    values[region.inputs[order[rank]]] = m.var(static_cast<int>(rank));
+  }
+  // Tie nets (operands and constant selects alike) take their constant.
+  for (const CellId c : region.cells) {
+    for (const NetId in : src.cell(c).inputs) {
+      const CellId drv = src.driver_of(in);
+      if (drv == Netlist::kNoCell) continue;
+      if (src.cell(drv).type == CellType::kConst0) values[in] = kBddFalse;
+      if (src.cell(drv).type == CellType::kConst1) values[in] = kBddTrue;
+    }
+  }
+  for (const CellId c : region.cells) {
+    const CellInstance& cell = src.cell(c);
+    switch (cell.type) {
+      case CellType::kBuf: values[cell.outputs[0]] = values[cell.inputs[0]]; break;
+      case CellType::kMux2:
+        values[cell.outputs[0]] =
+            m.ite(values[cell.inputs[2]], values[cell.inputs[1]], values[cell.inputs[0]]);
+        break;
+      case CellType::kHalfAdder:
+        values[cell.outputs[0]] = m.bdd_xor(values[cell.inputs[0]], values[cell.inputs[1]]);
+        values[cell.outputs[1]] = m.bdd_and(values[cell.inputs[0]], values[cell.inputs[1]]);
+        break;
+      case CellType::kFullAdder: {
+        const BddManager::BitSum s =
+            m.full_add(values[cell.inputs[0]], values[cell.inputs[1]], values[cell.inputs[2]]);
+        values[cell.outputs[0]] = s.sum;
+        values[cell.outputs[1]] = s.carry;
+        break;
+      }
+      default: return false;
+    }
+  }
+  std::vector<std::vector<BddRef>> buckets;
+  const auto bucket_push = [&](std::int64_t pos, BddRef ref) {
+    if (static_cast<std::size_t>(pos) >= buckets.size()) {
+      buckets.resize(static_cast<std::size_t>(pos) + 1);
+    }
+    buckets[static_cast<std::size_t>(pos)].push_back(ref);
+  };
+  for (std::size_t i = 0; i < region.inputs.size(); ++i) {
+    bucket_push(region.input_pos[i], values[region.inputs[i]]);
+  }
+  for (std::size_t j = 0; j < region.outputs.size(); ++j) {
+    if (region.out_zero[j]) bucket_push(region.output_pos[j], kBddTrue);
+  }
+  const std::vector<BddRef> bits = bdd_sum_bits(m, std::move(buckets));
+  for (std::size_t j = 0; j < region.outputs.size(); ++j) {
+    const auto p = static_cast<std::size_t>(region.output_pos[j]);
+    const BddRef expected = p < bits.size() ? bits[p] : kBddFalse;
+    if (values[region.outputs[j]] != expected) {
+      if (std::getenv("OPTPOWER_DEBUG_COLLAPSE") != nullptr) {
+        std::fprintf(stderr, "collapse: sum proof failed at output %zu (pos %zu, %zu cells)\n",
+                     j, p, region.cells.size());
+      }
+      return false;
+    }
+  }
+  *nodes += m.node_count();
+  return true;
+}
+
+struct CollapseResult {
+  Netlist netlist{"collapsed"};
+  std::vector<NetId> net_map;  ///< source net -> rewritten net (kNoNet = region-internal)
+  bool changed = false;        ///< false: no data-selected mux; use the source netlist
+  bool ok = true;              ///< false: some region failed its adder proof
+  std::size_t regions = 0;
+  std::size_t proof_nodes = 0;
+};
+
+CollapseResult collapse_adder_regions(const Netlist& src, const BddOptions& proof_options) {
+  CollapseResult result;
+  std::vector<Region> regions;
+  std::vector<char> in_region;
+  std::vector<char> blacklist(src.num_cells(), 0);
+  // Over-seeded regions (constant selects only) that fail their sum proof
+  // are blacklisted and the analysis repeats, so region boundaries and cut
+  // classification always describe the final kept set.  Monotone blacklist
+  // growth bounds the loop.
+  for (;;) {
+    regions.clear();
+    if (!find_regions(src, blacklist, &regions, &in_region)) {
+      result.ok = false;
+      return result;
+    }
+    if (regions.empty()) return result;
+    bool dropped = false;
+    for (Region& region : regions) {
+      if (prove_region_is_adder(src, region, proof_options, &result.proof_nodes)) continue;
+      if (region.has_data_mux) {
+        // A data-selected mux structure that is not a provable adder: the
+        // BMD substitution would blow up on it, so the whole proof bails.
+        result.ok = false;
+        return result;
+      }
+      // Tie-select-only region: substitution handles it exactly; retry
+      // without it.
+      for (const CellId c : region.cells) blacklist[c] = 1;
+      dropped = true;
+    }
+    if (!dropped) break;
+  }
+  result.changed = true;
+  result.regions = regions.size();
+
+  // Rebuild with each region contracted to one supernode, in unit-topological
+  // order (regions may interleave with their readers in the flat cell order).
+  result.netlist = Netlist(src.name() + "_collapsed");
+  result.net_map.assign(src.num_nets(), kNoNet);
+  for (std::size_t i = 0; i < src.primary_inputs().size(); ++i) {
+    result.net_map[src.primary_inputs()[i]] = result.netlist.add_input(src.input_names()[i]);
+  }
+
+  const std::size_t num_cells = src.num_cells();
+  std::vector<int> comp_of_cell(num_cells, -1);
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    for (const CellId c : regions[r].cells) comp_of_cell[c] = static_cast<int>(r);
+  }
+  const std::size_t num_units = num_cells + regions.size();
+  const auto unit_of_cell = [&](CellId c) -> std::size_t {
+    return comp_of_cell[c] < 0 ? c : num_cells + static_cast<std::size_t>(comp_of_cell[c]);
+  };
+  std::vector<std::vector<std::size_t>> unit_readers(num_units);
+  std::vector<int> pending(num_units, 0);
+  const auto& fanout = src.fanout();
+  for (NetId n = 0; n < src.num_nets(); ++n) {
+    const CellId drv = src.driver_of(n);
+    if (drv == Netlist::kNoCell) continue;
+    const std::size_t producer = unit_of_cell(drv);
+    for (const CellId reader : fanout[n]) {
+      const std::size_t consumer = unit_of_cell(reader);
+      if (consumer == producer) continue;
+      unit_readers[producer].push_back(consumer);
+      ++pending[consumer];
+    }
+  }
+
+  const auto emit_cell = [&](CellId c) {
+    const CellInstance& cell = src.cell(c);
+    if (cell.type == CellType::kConst0) {
+      result.net_map[cell.outputs[0]] = result.netlist.const0();
+      return;
+    }
+    if (cell.type == CellType::kConst1) {
+      result.net_map[cell.outputs[0]] = result.netlist.const1();
+      return;
+    }
+    std::vector<NetId> ins;
+    ins.reserve(cell.inputs.size());
+    for (const NetId in : cell.inputs) ins.push_back(result.net_map[in]);
+    const auto outs = result.netlist.add_cell(cell.type, ins);
+    for (std::size_t k = 0; k < outs.size(); ++k) result.net_map[cell.outputs[k]] = outs[k];
+  };
+  const auto emit_region = [&](const Region& region) {
+    std::vector<std::vector<NetId>> buckets;
+    const auto bucket_push = [&](std::int64_t pos, NetId net) {
+      if (static_cast<std::size_t>(pos) >= buckets.size()) {
+        buckets.resize(static_cast<std::size_t>(pos) + 1);
+      }
+      buckets[static_cast<std::size_t>(pos)].push_back(net);
+    };
+    for (std::size_t i = 0; i < region.inputs.size(); ++i) {
+      bucket_push(region.input_pos[i], result.net_map[region.inputs[i]]);
+    }
+    for (std::size_t j = 0; j < region.outputs.size(); ++j) {
+      if (region.out_zero[j]) bucket_push(region.output_pos[j], result.netlist.const1());
+    }
+    const std::vector<NetId> bits = synthesize_sum_bits(result.netlist, std::move(buckets));
+    for (std::size_t j = 0; j < region.outputs.size(); ++j) {
+      const auto p = static_cast<std::size_t>(region.output_pos[j]);
+      result.net_map[region.outputs[j]] =
+          p < bits.size() && bits[p] != kNoNet ? bits[p] : result.netlist.const0();
+    }
+  };
+
+  // Kahn over units, smallest-id first for a deterministic rebuild.
+  std::vector<std::size_t> ready;
+  for (std::size_t u = 0; u < num_units; ++u) {
+    if (pending[u] == 0) ready.push_back(u);
+  }
+  std::make_heap(ready.begin(), ready.end(), std::greater<>());
+  std::size_t emitted = 0;
+  while (!ready.empty()) {
+    std::pop_heap(ready.begin(), ready.end(), std::greater<>());
+    const std::size_t u = ready.back();
+    ready.pop_back();
+    if (u < num_cells) {
+      // Region members keep their (edge-free) unit ids; their region's unit
+      // does the emitting.
+      if (comp_of_cell[static_cast<CellId>(u)] < 0) emit_cell(static_cast<CellId>(u));
+    } else {
+      emit_region(regions[u - num_cells]);
+    }
+    ++emitted;
+    for (const std::size_t reader : unit_readers[u]) {
+      if (--pending[reader] == 0) {
+        ready.push_back(reader);
+        std::push_heap(ready.begin(), ready.end(), std::greater<>());
+      }
+    }
+  }
+  if (emitted != num_units) {
+    // A region is not convex (a path leaves it and re-enters through plain
+    // cells), so the contracted unit graph has a cycle.  Bail honestly.
+    result.ok = false;
+    return result;
+  }
+  for (std::size_t i = 0; i < src.primary_outputs().size(); ++i) {
+    const NetId mapped = result.net_map[src.primary_outputs()[i]];
+    require(mapped != kNoNet, "collapse_adder_regions: unmapped primary output");
+    result.netlist.add_output(src.output_names()[i], mapped);
+  }
+  result.netlist.verify();
+  return result;
+}
+
+/// Concrete orbit probe: drive one fixed pseudo-random vector, return the
+/// first (T0, P) with state(T0) == state(T0 + P).
+struct OrbitGuess {
+  int t0 = 0;
+  int period = 0;
+  bool found = false;
+};
+
+OrbitGuess concrete_orbit(const Netlist& netlist, int max_cycles) {
+  EventSimulator sim(netlist, SimDelayMode::kUnit);
+  Pcg32 rng(0x0b5e55ed5eedULL);
+  std::vector<bool> inputs(netlist.primary_inputs().size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) inputs[i] = rng.next_bool();
+  sim.set_inputs(inputs);
+  std::vector<CellId> seq_cells;
+  for (CellId c = 0; c < netlist.num_cells(); ++c) {
+    if (cell_spec(netlist.cell(c).type).is_sequential) seq_cells.push_back(c);
+  }
+  std::vector<std::vector<char>> history;
+  OrbitGuess guess;
+  for (int t = 1; t <= max_cycles; ++t) {
+    sim.step_cycle();
+    std::vector<char> state;
+    state.reserve(seq_cells.size());
+    for (const CellId c : seq_cells) {
+      state.push_back(sim.value(netlist.cell(c).outputs[0]) ? 1 : 0);
+    }
+    for (std::size_t k = 0; k < history.size(); ++k) {
+      if (history[k] == state) {
+        guess.t0 = static_cast<int>(k) + 1;
+        guess.period = t - guess.t0;
+        guess.found = true;
+        return guess;
+      }
+    }
+    history.push_back(std::move(state));
+  }
+  return guess;
+}
+
+/// Register-dependency analysis: is the register graph acyclic (a pure
+/// feed-forward pipeline), and how deep is the longest register chain?
+/// With held inputs an acyclic-register netlist settles structurally: a
+/// depth-k register holds its final value from cycle k on, so state closure
+/// needs no symbolic proof and a single output probe at depth+1 suffices.
+struct RegisterGraph {
+  bool acyclic = false;
+  int depth = 0;  ///< longest register chain (0 = combinational)
+};
+
+RegisterGraph analyze_registers(const Netlist& netlist) {
+  std::vector<CellId> seq_cells;
+  std::vector<int> seq_index(netlist.num_cells(), -1);
+  for (CellId c = 0; c < netlist.num_cells(); ++c) {
+    if (cell_spec(netlist.cell(c).type).is_sequential) {
+      seq_index[c] = static_cast<int>(seq_cells.size());
+      seq_cells.push_back(c);
+    }
+  }
+  RegisterGraph rg;
+  if (seq_cells.empty()) {
+    rg.acyclic = true;
+    return rg;
+  }
+  // deps[i] = registers whose Q is in the combinational cone of i's inputs.
+  // A kDffEnable holds its own value (q' = en ? d : q): that is a self-edge.
+  std::vector<std::vector<int>> deps(seq_cells.size());
+  for (std::size_t i = 0; i < seq_cells.size(); ++i) {
+    const CellInstance& cell = netlist.cell(seq_cells[i]);
+    if (cell.type == CellType::kDffEnable) {
+      deps[i].push_back(static_cast<int>(i));
+      continue;  // self-loop: cyclic regardless of the cone
+    }
+    std::vector<char> seen(netlist.num_nets(), 0);
+    std::vector<NetId> stack(cell.inputs.begin(), cell.inputs.end());
+    while (!stack.empty()) {
+      const NetId n = stack.back();
+      stack.pop_back();
+      if (seen[n]) continue;
+      seen[n] = 1;
+      const CellId drv = netlist.driver_of(n);
+      if (drv == Netlist::kNoCell) continue;
+      if (seq_index[drv] >= 0) {
+        deps[i].push_back(seq_index[drv]);
+        continue;
+      }
+      for (const NetId in : netlist.cell(drv).inputs) stack.push_back(in);
+    }
+  }
+  // Longest-path DP over a Kahn order; a leftover node means a cycle.
+  std::vector<int> pending(seq_cells.size(), 0);
+  std::vector<std::vector<int>> readers(seq_cells.size());
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    for (const int j : deps[i]) {
+      readers[static_cast<std::size_t>(j)].push_back(static_cast<int>(i));
+      ++pending[i];
+    }
+  }
+  std::vector<int> depth(seq_cells.size(), 1);
+  std::vector<int> ready;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (pending[i] == 0) ready.push_back(static_cast<int>(i));
+  }
+  std::size_t processed = 0;
+  while (!ready.empty()) {
+    const int i = ready.back();
+    ready.pop_back();
+    ++processed;
+    for (const int r : readers[static_cast<std::size_t>(i)]) {
+      depth[static_cast<std::size_t>(r)] =
+          std::max(depth[static_cast<std::size_t>(r)], depth[static_cast<std::size_t>(i)] + 1);
+      if (--pending[static_cast<std::size_t>(r)] == 0) ready.push_back(r);
+    }
+  }
+  if (processed != seq_cells.size()) return rg;  // cyclic
+  rg.acyclic = true;
+  rg.depth = *std::max_element(depth.begin(), depth.end());
+  return rg;
+}
+
+/// Unrolled combinational image of a sequential netlist, with probe nets.
+struct Unrolled {
+  Netlist netlist{"unrolled"};
+  /// Probe output nets, appended as primary outputs in this order: for each
+  /// steady-window cycle t in (T0, T0+P] the PO image of cycle t, then the
+  /// state bits after cycle T0, then the state bits after cycle T0 + P.
+  std::vector<std::vector<NetId>> out_at;  // per steady cycle
+  std::vector<NetId> state_t0;
+  std::vector<NetId> state_t1;
+};
+
+Unrolled unroll_netlist(const Netlist& source, int t0, int period) {
+  Unrolled u;
+  u.netlist = Netlist(source.name() + "_unroll");
+  std::vector<NetId> pi_map;
+  pi_map.reserve(source.primary_inputs().size());
+  for (const auto& name : source.input_names()) pi_map.push_back(u.netlist.add_input(name));
+
+  std::vector<CellId> seq_cells;
+  for (CellId c = 0; c < source.num_cells(); ++c) {
+    if (cell_spec(source.cell(c).type).is_sequential) seq_cells.push_back(c);
+  }
+  const std::vector<CellId> topo = source.topo_order();
+
+  // Q values per sequential cell, currently s_{c-1}; reset state is zero.
+  std::unordered_map<CellId, NetId> q_value;
+  for (const CellId c : seq_cells) q_value[c] = u.netlist.const0();
+
+  // Constant folding: control logic (counters, decoders, load/phase
+  // signals) is input-independent, so from the zero reset state it
+  // evaluates to tie nets at build time.  Without this fold, the hold
+  // muxes of enable registers stay symbolic in the control variables and
+  // mix every cycle's register contents into the probe polynomials - the
+  // word-level proof then blows up on functions that are really constants.
+  const NetId u_c0 = u.netlist.const0();
+  const NetId u_c1 = u.netlist.const1();
+  const auto const_of = [&](NetId u_net) -> int {
+    if (u_net == u_c0) return 0;
+    if (u_net == u_c1) return 1;
+    return -1;
+  };
+
+  const int total = t0 + period + 1;  // copy c computes the image over s_{c-1}
+  for (int c = 1; c <= total; ++c) {
+    // Combinational image over (s_{c-1}, x).
+    std::unordered_map<NetId, NetId> net_map;
+    for (std::size_t i = 0; i < pi_map.size(); ++i) {
+      net_map[source.primary_inputs()[i]] = pi_map[i];
+    }
+    for (const CellId sc : seq_cells) net_map[source.cell(sc).outputs[0]] = q_value[sc];
+    for (const CellId cc : topo) {
+      const CellInstance& cell = source.cell(cc);
+      if (cell_spec(cell.type).is_sequential) continue;
+      if (cell.type == CellType::kConst0) {
+        net_map[cell.outputs[0]] = u_c0;
+        continue;
+      }
+      if (cell.type == CellType::kConst1) {
+        net_map[cell.outputs[0]] = u_c1;
+        continue;
+      }
+      std::vector<NetId> ins;
+      ins.reserve(cell.inputs.size());
+      bool all_const = true;
+      std::uint8_t packed = 0;
+      for (std::size_t pin = 0; pin < cell.inputs.size(); ++pin) {
+        const NetId mapped_in = net_map.at(cell.inputs[pin]);
+        ins.push_back(mapped_in);
+        const int cv = const_of(mapped_in);
+        if (cv < 0) {
+          all_const = false;
+        } else {
+          packed |= static_cast<std::uint8_t>(static_cast<std::uint8_t>(cv) << pin);
+        }
+      }
+      if (all_const) {
+        const std::uint8_t out = eval_cell(cell.type, packed);
+        for (std::size_t k = 0; k < cell.outputs.size(); ++k) {
+          net_map[cell.outputs[k]] = ((out >> k) & 1u) ? u_c1 : u_c0;
+        }
+        continue;
+      }
+      // Partial constant folding.  This is not just an optimization: an
+      // AND(x, const0) left standing keeps x's word polynomial alive in the
+      // backward substitution until the control cone reduces - long enough
+      // for a dead accumulator pass to blow the node budget.
+      const auto alias = [&](NetId out, NetId to) { net_map[out] = to; };
+      const int c0v = const_of(ins[0]);
+      const int c1v = cell.inputs.size() > 1 ? const_of(ins[1]) : -1;
+      const int known01 = c0v >= 0 ? c0v : c1v;
+      bool folded = true;
+      switch (cell.type) {
+        // Only constant-RESULT folds for the two-input gates: identity
+        // folds (AND with const1 aliasing its operand through) would
+        // dissolve the gate barrier between consecutive cycles' adder
+        // regions and fuse them into a non-convex blob.
+        case CellType::kAnd2:
+          if (known01 == 0) alias(cell.outputs[0], u_c0);
+          else folded = false;
+          break;
+        case CellType::kOr2:
+          if (known01 == 1) alias(cell.outputs[0], u_c1);
+          else folded = false;
+          break;
+        case CellType::kNand2:
+          if (known01 == 0) alias(cell.outputs[0], u_c1);
+          else folded = false;
+          break;
+        case CellType::kNor2:
+          if (known01 == 1) alias(cell.outputs[0], u_c0);
+          else folded = false;
+          break;
+        case CellType::kXor2:
+        case CellType::kXnor2:
+          folded = false;
+          break;
+        case CellType::kMux2:
+          if (const_of(ins[2]) >= 0) {
+            alias(cell.outputs[0], const_of(ins[2]) == 1 ? ins[1] : ins[0]);
+          } else if (ins[0] == ins[1]) {
+            alias(cell.outputs[0], ins[0]);
+          } else {
+            folded = false;
+          }
+          break;
+        // FA/HA stay un-folded even with constant inputs: folding them into
+        // XNOR/OR/INV gates would turn a carry-select adder's speculative
+        // rails into non-absorbable logic and break the region collapse
+        // (the sum proof handles their constant pins exactly anyway).
+        default: folded = false; break;
+      }
+      if (folded) continue;
+      const auto outs = u.netlist.add_cell(cell.type, ins);
+      for (std::size_t k = 0; k < outs.size(); ++k) net_map[cell.outputs[k]] = outs[k];
+    }
+    // OUT(t) is observed after cycle t's edge, i.e. in copy t+1's image.
+    const int t_observed = c - 1;
+    if (t_observed > t0 && t_observed <= t0 + period) {
+      std::vector<NetId> outs;
+      outs.reserve(source.primary_outputs().size());
+      for (const NetId po : source.primary_outputs()) outs.push_back(net_map.at(po));
+      u.out_at.push_back(std::move(outs));
+    }
+    // Clock edge c: s_c from the image (kDffEnable holds via a mux, folded
+    // when its enable is a build-time constant).
+    std::unordered_map<CellId, NetId> next_q;
+    for (const CellId sc : seq_cells) {
+      const CellInstance& cell = source.cell(sc);
+      const NetId d = net_map.at(cell.inputs[0]);
+      if (cell.type == CellType::kDffEnable) {
+        const NetId en = net_map.at(cell.inputs[1]);
+        const int env = const_of(en);
+        if (env >= 0) {
+          next_q[sc] = env == 1 ? d : q_value[sc];
+        } else {
+          next_q[sc] = u.netlist.add_gate(CellType::kMux2, {q_value[sc], d, en});
+        }
+      } else {
+        next_q[sc] = d;
+      }
+    }
+    q_value = std::move(next_q);
+    if (c == t0) {
+      for (const CellId sc : seq_cells) u.state_t0.push_back(q_value[sc]);
+    }
+    if (c == t0 + period) {
+      for (const CellId sc : seq_cells) u.state_t1.push_back(q_value[sc]);
+    }
+  }
+  // Expose every probe net as a primary output (gives them stable handles
+  // and keeps verify() happy about dangling logic).
+  int tag = 0;
+  for (const auto& outs : u.out_at) {
+    for (std::size_t j = 0; j < outs.size(); ++j) {
+      u.netlist.add_output(strprintf("probe_t%d[%zu]", tag, j), outs[j]);
+    }
+    ++tag;
+  }
+  for (std::size_t j = 0; j < u.state_t0.size(); ++j) {
+    u.netlist.add_output(strprintf("state0[%zu]", j), u.state_t0[j]);
+  }
+  for (std::size_t j = 0; j < u.state_t1.size(); ++j) {
+    u.netlist.add_output(strprintf("state1[%zu]", j), u.state_t1[j]);
+  }
+  u.netlist.verify();
+  return u;
+}
+
+}  // namespace
+
+EquivResult check_multiplier_word_level(const Netlist& netlist, int width,
+                                        const WordEquivOptions& options) {
+  require(width >= 1 && width <= 31, "check_multiplier_word_level: width must lie in [1, 31]");
+  require(netlist.primary_outputs().size() <= 62,
+          "check_multiplier_word_level: more than 62 outputs");
+  const std::vector<std::size_t> a_pins = parse_bus(netlist, "a", width);
+  const std::vector<std::size_t> b_pins = parse_bus(netlist, "b", width);
+  const std::size_t out_width = netlist.primary_outputs().size();
+
+  EquivResult result;
+  result.cases = 1;
+
+  const auto make_cx = [&](BackwardSubstitution& bs, BmdRef got, BmdRef spec, int cycle,
+                           const Netlist& replay_netlist) {
+    BmdManager& m = bs.manager();
+    const BmdRef diff = m.sub(got, spec);
+    const std::vector<char> assignment = m.find_nonzero(diff);
+    EquivCounterexample cx;
+    cx.inputs.assign(netlist.primary_inputs().size(), false);
+    for (std::size_t i = 0; i < cx.inputs.size(); ++i) {
+      const int v = bs.pi_var(i);
+      cx.inputs[i] =
+          v >= 0 && static_cast<std::size_t>(v) < assignment.size() && assignment[v] != 0;
+    }
+    cx.a = word_from_bits(cx.inputs, a_pins);
+    cx.b = word_from_bits(cx.inputs, b_pins);
+    cx.expected = static_cast<std::uint64_t>(m.eval(spec, assignment));
+    cx.predicted = static_cast<std::uint64_t>(m.eval(got, assignment));
+    cx.cycle = cycle;
+    cx.simulated = replay_event_sim(replay_netlist, cx.inputs, cycle);
+    cx.replay_confirms = cx.simulated == cx.predicted && cx.simulated != cx.expected;
+    result.counterexample = cx;
+  };
+
+  if (!netlist_has_sequential(netlist)) {
+    const CollapseResult collapsed = collapse_adder_regions(netlist, options.region_proof);
+    if (!collapsed.ok) {
+      result.proven = false;  // a mux region is not a provable adder
+      return result;
+    }
+    const Netlist& target = collapsed.changed ? collapsed.netlist : netlist;
+    result.collapsed_regions = collapsed.regions;
+    result.bdd_nodes = collapsed.proof_nodes;
+    BackwardSubstitution bs(target, options.bmd);
+    std::vector<std::pair<NetId, std::int64_t>> probes;
+    for (std::size_t j = 0; j < out_width; ++j) {
+      probes.emplace_back(target.primary_outputs()[j], std::int64_t{1} << j);
+    }
+    const BmdRef got = bs.reduce(bs.word(probes));
+    const BmdRef spec = bs.manager().mul(bs.input_word(parse_bus(target, "a", width)),
+                                         bs.input_word(parse_bus(target, "b", width)));
+    result.proven = true;
+    result.equivalent = got == spec;
+    result.matched_at_cycle = 1;
+    result.bdd_nodes += bs.manager().node_count();
+    if (!result.equivalent) make_cx(bs, got, spec, 1, netlist);
+    return result;
+  }
+
+  // Feed-forward pipelines settle structurally (depth-k registers hold their
+  // final value from cycle k on): probe one steady cycle, no closure proof.
+  // Cyclic register graphs (counters, accumulators, enable holds) go through
+  // the concrete orbit probe + symbolic state-closure route.
+  const RegisterGraph rg = analyze_registers(netlist);
+  OrbitGuess guess;
+  if (rg.acyclic) {
+    guess.t0 = rg.depth;
+    guess.period = 1;
+    guess.found = true;
+  } else {
+    const int max_cycles = options.max_cycles > 0 ? options.max_cycles : 8 * width + 16;
+    guess = concrete_orbit(netlist, max_cycles);
+  }
+  if (!guess.found) {
+    result.proven = false;
+    return result;
+  }
+  // One steady-window check over `u`: collapse, substitute, compare every
+  // probed output word against the spec polynomial.  `check_closure` adds
+  // the state(t0) == state(t0+P) induction step that extends the verdict to
+  // all time; it throws NumericalError when the state words are word-level
+  // intractable (the bounded fallback below catches that).
+  const auto run_window = [&](const Unrolled& u, int t0, bool check_closure,
+                              bool* closed) -> bool {
+    const CollapseResult collapsed = collapse_adder_regions(u.netlist, options.region_proof);
+    if (!collapsed.ok) {
+      result.proven = false;  // a mux region is not a provable adder
+      *closed = true;         // do not retry: this will not improve
+      return true;
+    }
+    const Netlist& target = collapsed.changed ? collapsed.netlist : u.netlist;
+    const auto mapped = [&](NetId n) { return collapsed.changed ? collapsed.net_map[n] : n; };
+    result.collapsed_regions = collapsed.regions;
+    result.bdd_nodes = collapsed.proof_nodes;
+    BackwardSubstitution bs(target, options.bmd);
+    BmdManager& m = bs.manager();
+
+    // State closure: state(t0) == state(t0 + P), word-chunked (equality of
+    // the packed words of 0/1 bits is bitwise equality by uniqueness of
+    // binary representation; 32-bit chunks keep intermediate moment
+    // coefficients far from the int64 overflow guard).
+    *closed = true;
+    constexpr std::size_t kChunk = 32;
+    for (std::size_t base = 0; check_closure && base < u.state_t0.size() && *closed;
+         base += kChunk) {
+      std::vector<std::pair<NetId, std::int64_t>> p0;
+      std::vector<std::pair<NetId, std::int64_t>> p1;
+      for (std::size_t j = base; j < std::min(base + kChunk, u.state_t0.size()); ++j) {
+        p0.emplace_back(mapped(u.state_t0[j]), std::int64_t{1} << (j - base));
+        p1.emplace_back(mapped(u.state_t1[j]), std::int64_t{1} << (j - base));
+      }
+      if (std::getenv("OPTPOWER_DEBUG_COLLAPSE") != nullptr)
+        std::fprintf(stderr, "word: closure chunk %zu (nodes %zu)\n", base, m.node_count());
+      *closed = bs.reduce(bs.word(p0)) == bs.reduce(bs.word(p1));
+    }
+    if (!*closed) return false;  // transient longer than probed: retry later t0
+
+    const BmdRef spec = m.mul(bs.input_word(parse_bus(target, "a", width)),
+                              bs.input_word(parse_bus(target, "b", width)));
+    result.proven = true;
+    result.equivalent = true;
+    result.matched_at_cycle = t0 + 1;
+    for (std::size_t w = 0; w < u.out_at.size(); ++w) {
+      std::vector<std::pair<NetId, std::int64_t>> probes;
+      for (std::size_t j = 0; j < out_width; ++j) {
+        probes.emplace_back(mapped(u.out_at[w][j]), std::int64_t{1} << j);
+      }
+      if (std::getenv("OPTPOWER_DEBUG_COLLAPSE") != nullptr)
+        std::fprintf(stderr, "word: out probe %zu (nodes %zu)\n", w, m.node_count());
+      const BmdRef got = bs.reduce(bs.word(probes));
+      if (got != spec) {
+        result.equivalent = false;
+        make_cx(bs, got, spec, t0 + 1 + static_cast<int>(w), netlist);
+        break;
+      }
+    }
+    result.bdd_nodes += m.node_count();
+    return true;
+  };
+
+  bool closure_intractable = false;
+  for (int attempt = 0; attempt <= options.orbit_retries && !closure_intractable; ++attempt) {
+    const int t0 = guess.t0 + attempt * guess.period;
+    const Unrolled u = unroll_netlist(netlist, t0, guess.period);
+    bool closed = false;
+    try {
+      if (run_window(u, t0, /*check_closure=*/!rg.acyclic, &closed)) return result;
+    } catch (const NumericalError&) {
+      // The state words have no tractable moment encoding (e.g. a shift
+      // register holding bit-reversed product bits): closure cannot be
+      // proven word-level.  Fall back to the bounded-window theorem.
+      closure_intractable = true;
+    }
+  }
+
+  // Bounded fallback: prove, for ALL operand values, that every steady
+  // cycle of the first `closure_window` periods shows a * b.  Universally
+  // quantified over inputs but time-bounded; EquivResult::bounded says so.
+  const int window = std::max(1, options.closure_window);
+  const Unrolled u = unroll_netlist(netlist, guess.t0, window * guess.period);
+  bool closed = false;
+  result.bounded = true;
+  (void)run_window(u, guess.t0, /*check_closure=*/false, &closed);
+  return result;
+}
+
+}  // namespace optpower

@@ -5,6 +5,25 @@
 #include "util/format.h"
 
 namespace optpower {
+namespace {
+
+/// Width-mismatch diagnostic with enough context to map an equivalence
+/// counterexample (or any failing construction) back to its source: the
+/// function, the offending operand widths, the netlist, and the cell id the
+/// next instantiation would have received.
+void require_same_width(const Netlist& nl, const char* who, std::size_t a_width,
+                        std::size_t b_width) {
+  if (a_width == b_width && a_width != 0) return;
+  if (a_width == b_width) {
+    throw NetlistError(strprintf("%s: empty bus in netlist '%s' at cell %zu", who,
+                                 nl.name().c_str(), nl.num_cells()));
+  }
+  throw NetlistError(strprintf(
+      "%s: bus width mismatch (a = %zu bits, b = %zu bits) in netlist '%s' at cell %zu",
+      who, a_width, b_width, nl.name().c_str(), nl.num_cells()));
+}
+
+}  // namespace
 
 Bus add_input_bus(Netlist& nl, const std::string& prefix, int width) {
   require(width > 0, "add_input_bus: width must be positive");
@@ -40,7 +59,7 @@ Bus and_with_bit(Netlist& nl, const Bus& bus, NetId bit) {
 }
 
 AdderResult ripple_adder(Netlist& nl, const Bus& a, const Bus& b, NetId carry_in) {
-  require(a.size() == b.size() && !a.empty(), "ripple_adder: width mismatch or empty");
+  require_same_width(nl, "ripple_adder", a.size(), b.size());
   AdderResult r;
   r.sum.reserve(a.size());
   NetId carry = carry_in;
@@ -61,7 +80,7 @@ AdderResult ripple_adder(Netlist& nl, const Bus& a, const Bus& b, NetId carry_in
 
 AdderResult carry_select_adder(Netlist& nl, const Bus& a, const Bus& b, NetId carry_in,
                                int block) {
-  require(a.size() == b.size() && !a.empty(), "carry_select_adder: width mismatch or empty");
+  require_same_width(nl, "carry_select_adder", a.size(), b.size());
   require(block >= 1, "carry_select_adder: block must be >= 1");
   AdderResult total;
   total.sum.reserve(a.size());
@@ -83,8 +102,8 @@ AdderResult carry_select_adder(Netlist& nl, const Bus& a, const Bus& b, NetId ca
 }
 
 CarrySaveRow carry_save_row(Netlist& nl, const Bus& a, const Bus& b, const Bus& c) {
-  require(a.size() == b.size() && b.size() == c.size() && !a.empty(),
-          "carry_save_row: width mismatch or empty");
+  require_same_width(nl, "carry_save_row", a.size(), b.size());
+  require_same_width(nl, "carry_save_row", b.size(), c.size());
   CarrySaveRow row;
   row.sum.reserve(a.size());
   row.carry.reserve(a.size());
@@ -97,7 +116,7 @@ CarrySaveRow carry_save_row(Netlist& nl, const Bus& a, const Bus& b, const Bus& 
 }
 
 Bus mux_bus(Netlist& nl, NetId sel, const Bus& a, const Bus& b) {
-  require(a.size() == b.size(), "mux_bus: width mismatch");
+  require_same_width(nl, "mux_bus", a.size(), b.size());
   Bus out;
   out.reserve(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) {

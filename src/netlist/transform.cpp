@@ -196,4 +196,47 @@ Netlist parallelize_netlist(const Netlist& core, int ways) {
   return out;
 }
 
+Netlist replace_cell_type(const Netlist& source, CellId target, CellType new_type) {
+  require(target < source.num_cells(), "replace_cell_type: unknown cell");
+  const CellSpec& old_spec = cell_spec(source.cell(target).type);
+  const CellSpec& new_spec = cell_spec(new_type);
+  if (old_spec.num_inputs != new_spec.num_inputs ||
+      old_spec.num_outputs != new_spec.num_outputs) {
+    throw NetlistError(std::string("replace_cell_type: ") + old_spec.name + " -> " +
+                       new_spec.name + " changes the pin counts");
+  }
+  source.verify();
+
+  Netlist out(source.name() + "_mut");
+  std::unordered_map<NetId, NetId> net_map;
+  for (std::size_t i = 0; i < source.primary_inputs().size(); ++i) {
+    net_map[source.primary_inputs()[i]] = out.add_input(source.input_names()[i]);
+  }
+  require(!source.primary_inputs().empty(),
+          "replace_cell_type: source must have at least one primary input");
+  // Two passes keep creation order (and therefore every id) identical even
+  // through rewired sequential feedback: first instantiate every cell with
+  // placeholder inputs, then point each pin at its mapped net.
+  const NetId placeholder = out.primary_inputs()[0];
+  for (CellId c = 0; c < source.num_cells(); ++c) {
+    const CellInstance& cell = source.cell(c);
+    const CellType type = (c == target) ? new_type : cell.type;
+    const std::vector<NetId> ins(cell.inputs.size(), placeholder);
+    const std::vector<NetId> outs = out.add_cell(type, ins);
+    if (cell.tag_row >= 0 || cell.tag_col >= 0) out.tag_last_cell(cell.tag_row, cell.tag_col);
+    for (std::size_t k = 0; k < outs.size(); ++k) net_map[cell.outputs[k]] = outs[k];
+  }
+  for (CellId c = 0; c < source.num_cells(); ++c) {
+    const CellInstance& cell = source.cell(c);
+    for (std::size_t pin = 0; pin < cell.inputs.size(); ++pin) {
+      out.rewire_input(c, static_cast<int>(pin), net_map.at(cell.inputs[pin]));
+    }
+  }
+  for (std::size_t i = 0; i < source.primary_outputs().size(); ++i) {
+    out.add_output(source.output_names()[i], net_map.at(source.primary_outputs()[i]));
+  }
+  out.verify();
+  return out;
+}
+
 }  // namespace optpower

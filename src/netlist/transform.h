@@ -51,4 +51,12 @@ using StageFunction = std::function<int(const Netlist&, CellId)>;
 [[nodiscard]] int pipeline_latency(int stages) noexcept;
 [[nodiscard]] int parallel_latency(int ways) noexcept;
 
+/// Structure-preserving copy with cell `target`'s type swapped for
+/// `new_type` (which must have the same pin counts, e.g. XOR2 -> XNOR2,
+/// AND2 -> OR2).  Cell and net ids are preserved one-for-one.  This is fault
+/// injection for validating checkers: a mutated multiplier is the
+/// known-buggy input the BDD equivalence checker must refute with a
+/// counterexample (tests/bdd/equiv_test.cpp).
+[[nodiscard]] Netlist replace_cell_type(const Netlist& source, CellId target, CellType new_type);
+
 }  // namespace optpower

@@ -6,6 +6,7 @@
 //   tech/*, arch/*                                       - parameter vectors
 //   calib/*                                              - calibration & extraction
 //   netlist/*, mult/*, sim/*, sta/*                      - EDA substrates
+//   bdd/*                                                - exact activity & equivalence
 //   spice/*                                              - mini circuit simulator
 //   report/forward_flow.h                                - end-to-end flow
 //   exec/exec.h                                          - parallel sweep engine
@@ -13,6 +14,10 @@
 
 #include "arch/architecture.h"
 #include "arch/paper_data.h"
+#include "bdd/bdd.h"
+#include "bdd/bmd.h"
+#include "bdd/equiv.h"
+#include "bdd/symbolic.h"
 #include "calib/calibrate.h"
 #include "calib/tech_extract.h"
 #include "exec/exec.h"

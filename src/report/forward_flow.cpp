@@ -1,5 +1,6 @@
 #include "report/forward_flow.h"
 
+#include "bdd/symbolic.h"
 #include "sta/sta.h"
 #include "util/error.h"
 
@@ -16,12 +17,25 @@ ForwardCharacterization characterize_multiplier(const GeneratedMultiplier& gen,
   const TimingReport timing = analyze_timing(gen.netlist);
   c.ld_per_cycle = timing.critical_path_units;
 
-  ActivityOptions act;
-  act.num_vectors = options.activity_vectors;
-  act.cycles_per_vector = gen.cycles_per_result;
-  act.seed = options.seed;
-  act.delay_mode = options.delay_mode;
-  c.activity = measure_activity(gen.netlist, act);
+  if (options.activity_source == ActivitySource::kBddExact) {
+    // Exact zero-delay expectation of the same testbench schedule (one
+    // symbolic vector per data period, held cycles_per_result clocks).
+    ExactActivityOptions exact;
+    exact.num_vectors = options.activity_vectors;
+    exact.cycles_per_vector = gen.cycles_per_result;
+    const ExactActivity ea = exact_activity(gen.netlist, exact);
+    c.activity.activity = ea.activity;
+    c.activity.glitch_fraction = ea.glitch_fraction;
+    c.activity.data_periods = ea.data_periods;
+    c.activity.clock_cycles = ea.clock_cycles;
+  } else {
+    ActivityOptions act;
+    act.num_vectors = options.activity_vectors;
+    act.cycles_per_vector = gen.cycles_per_result;
+    act.seed = options.seed;
+    act.delay_mode = options.delay_mode;
+    c.activity = measure_activity(gen.netlist, act);
+  }
 
   c.arch.name = gen.name;
   c.arch.n_cells = static_cast<double>(stats.num_cells);

@@ -21,12 +21,27 @@
 
 namespace optpower {
 
+/// Where the switching-activity factor "a" comes from.
+enum class ActivitySource {
+  /// Random-stimulus event simulation (sim/activity.h): the paper's
+  /// ModelSIM-style path, glitch-accurate under kCellDepth delays.
+  kEventSim,
+  /// Exact zero-delay signal-probability propagation through BDDs
+  /// (bdd/symbolic.h): no stimulus, no variance, no glitch power.  Keep the
+  /// width small (<= ~10): per-net BDDs of wide multipliers are the textbook
+  /// exponential case and the node budget will throw.
+  kBddExact,
+};
+
 /// Knobs of the forward flow.
 struct ForwardFlowOptions {
   int width = 16;
   int activity_vectors = 96;
   std::uint64_t seed = 0x5eed0001;
   SimDelayMode delay_mode = SimDelayMode::kCellDepth;
+  /// Activity extraction path; kBddExact ignores `seed`/`delay_mode` and
+  /// computes the exact zero-delay expectation instead.
+  ActivitySource activity_source = ActivitySource::kEventSim;
   /// Effective per-cell off-current scale: our average cell leaks this many
   /// reference-transistor Io's (wide/stacked cells leak more than the unit
   /// inverter; the Table-1 calibration infers ~15-20x for the ST library).

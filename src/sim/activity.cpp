@@ -1,16 +1,30 @@
 #include "sim/activity.h"
 
+#include <algorithm>
+#include <optional>
+
 #include "util/error.h"
 #include "util/random.h"
 
 namespace optpower {
 
 ActivityMeasurement measure_activity(const Netlist& netlist, const ActivityOptions& options) {
+  EventSimulator sim(netlist, options.delay_mode);
+  return measure_activity_with(sim, options);
+}
+
+ActivityMeasurement measure_activity_with(EventSimulator& sim, const ActivityOptions& options) {
   require(options.num_vectors >= 1, "measure_activity: need >= 1 vectors");
   require(options.cycles_per_vector >= 1, "measure_activity: cycles_per_vector must be >= 1");
   require(options.warmup_vectors >= 0, "measure_activity: warmup must be >= 0");
+  require(sim.delay_mode() == options.delay_mode,
+          "measure_activity_with: simulator delay mode does not match the options");
 
-  EventSimulator sim(netlist, options.delay_mode);
+  const Netlist& netlist = sim.netlist();
+  // Bit-identical to a freshly constructed simulator: reset_state() restores
+  // the all-zero settled image (and drops any parked events).
+  sim.reset_state();
+  sim.reset_stats();
   Pcg32 rng(options.seed);
   const std::size_t num_inputs = netlist.primary_inputs().size();
 
@@ -55,8 +69,30 @@ std::vector<ActivityMeasurement> measure_activity_multi(const Netlist& netlist,
   // Warm the lazily-built fanout cache while still single-threaded; every
   // EventSimulator in the fan-out then only reads the shared netlist.
   (void)netlist.fanout();
-  return parallel_map<ActivityMeasurement>(
-      ctx, runs.size(), [&](std::size_t k) { return measure_activity(netlist, runs[k]); });
+  const std::size_t n = runs.size();
+  std::vector<ActivityMeasurement> out(n);
+  // One simulator per worker chunk, reset between repetitions, instead of a
+  // fresh construction (verify + topo sort + wheel setup) per run -
+  // construction is a visible fraction of short sweep repetitions.  Results
+  // stay bit-identical for any thread count because reset_state() +
+  // reset_stats() restore the exact post-construction state, making every
+  // run independent of which simulator instance hosts it (asserted in
+  // tests/exec/determinism_test.cpp).
+  ThreadPool* pool = ctx.pool();
+  const std::size_t chunks =
+      pool != nullptr ? std::min(n, static_cast<std::size_t>(pool->size())) : 1;
+  parallel_for(ctx, chunks, [&](std::size_t c) {
+    const std::size_t lo = n * c / chunks;
+    const std::size_t hi = n * (c + 1) / chunks;
+    std::optional<EventSimulator> sim;
+    for (std::size_t k = lo; k < hi; ++k) {
+      if (!sim.has_value() || sim->delay_mode() != runs[k].delay_mode) {
+        sim.emplace(netlist, runs[k].delay_mode);
+      }
+      out[k] = measure_activity_with(*sim, runs[k]);
+    }
+  });
+  return out;
 }
 
 ActivityMeasurement measure_activity_sharded(const Netlist& netlist, const ActivityOptions& total,

@@ -42,6 +42,15 @@ struct ActivityMeasurement {
 [[nodiscard]] ActivityMeasurement measure_activity(const Netlist& netlist,
                                                    const ActivityOptions& options = {});
 
+/// Same testbench on a caller-owned simulator: resets `sim`'s state and
+/// statistics, then runs the schedule.  Because reset_state() restores the
+/// exact post-construction state, the result is bit-identical to a fresh
+/// measure_activity() with the same options - which is what lets sweep
+/// drivers amortize simulator construction (verify + topo + wheel setup)
+/// across repetitions.  `options.delay_mode` must match the simulator's.
+[[nodiscard]] ActivityMeasurement measure_activity_with(EventSimulator& sim,
+                                                        const ActivityOptions& options = {});
+
 /// Multi-testbench extraction: one independent testbench (own simulator, own
 /// RNG stream) per entry of `runs`, fanned out over `ctx`'s workers.  Slot k
 /// of the result always belongs to runs[k], so the output is bit-identical

@@ -80,6 +80,11 @@ class EventSimulator {
   explicit EventSimulator(const Netlist& netlist, SimDelayMode mode = SimDelayMode::kCellDepth,
                           int wheel_bits = kDefaultWheelBits);
 
+  /// The netlist this simulator runs (testbench reuse helpers need it).
+  [[nodiscard]] const Netlist& netlist() const noexcept { return netlist_; }
+  /// The delay model this simulator was built with.
+  [[nodiscard]] SimDelayMode delay_mode() const noexcept { return mode_; }
+
   /// Set a primary input for the upcoming cycle (stable for the whole cycle).
   void set_input(NetId net, bool value);
   /// Set all primary inputs from an LSB-first packed word per declaration

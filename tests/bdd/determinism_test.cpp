@@ -1,0 +1,138 @@
+// BDD determinism: same netlist + same variable order -> bit-identical node
+// counts, probabilities, and verdicts across repeated runs AND across thread
+// counts (the equivalence checker's case fan-out).  Extends the
+// tests/exec/determinism_test.cpp pattern into the bdd/ subsystem; the
+// "Parallel" suite name keeps these under the TSan CI job's filter.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bdd/equiv.h"
+#include "bdd/symbolic.h"
+#include "exec/exec.h"
+#include "mult/array.h"
+#include "mult/sequential.h"
+#include "mult/wallace.h"
+#include "netlist/cell.h"
+#include "netlist/transform.h"
+
+namespace optpower {
+namespace {
+
+const std::vector<int> kThreadCounts = {2, 3, 5};
+
+TEST(BddParallelDeterminismTest, CompileIsBitIdenticalAcrossRuns) {
+  const Netlist nl = wallace_multiplier(6);
+  std::vector<std::size_t> node_counts;
+  std::vector<BddRef> first_output;
+  std::vector<double> probabilities;
+  for (int run = 0; run < 3; ++run) {
+    SymbolicSimulator sym(nl);
+    sym.inject_fresh_inputs();
+    sym.settle();
+    node_counts.push_back(sym.manager().node_count());
+    first_output.push_back(sym.outputs()[0]);
+    probabilities.push_back(sym.manager().probability(sym.outputs()[5]));
+  }
+  // Same op sequence -> same arena layout: even the REF VALUES must repeat.
+  EXPECT_EQ(node_counts[0], node_counts[1]);
+  EXPECT_EQ(node_counts[0], node_counts[2]);
+  EXPECT_EQ(first_output[0], first_output[1]);
+  EXPECT_EQ(first_output[0], first_output[2]);
+  EXPECT_EQ(probabilities[0], probabilities[1]);
+  EXPECT_EQ(probabilities[0], probabilities[2]);
+}
+
+TEST(BddParallelDeterminismTest, CompilesAreIndependentAcrossWorkerThreads) {
+  // One private manager per task: compiling the same netlist on N workers
+  // must give N bit-identical results for any thread count.
+  const Netlist nl = array_multiplier(6);
+  (void)nl.fanout();  // warm the shared cache before the fan-out
+  struct Fingerprint {
+    std::size_t nodes = 0;
+    BddRef root = kBddFalse;
+    double probability = 0.0;
+  };
+  Fingerprint serial;
+  {
+    SymbolicSimulator sym(nl);
+    sym.inject_fresh_inputs();
+    sym.settle();
+    serial = {sym.manager().node_count(), sym.outputs()[7],
+              sym.manager().probability(sym.outputs()[7])};
+  }
+  for (const int threads : kThreadCounts) {
+    const ExecContext ctx(threads);
+    const auto prints = parallel_map<Fingerprint>(ctx, 8, [&](std::size_t) {
+      SymbolicSimulator sym(nl);
+      sym.inject_fresh_inputs();
+      sym.settle();
+      return Fingerprint{sym.manager().node_count(), sym.outputs()[7],
+                         sym.manager().probability(sym.outputs()[7])};
+    });
+    for (const Fingerprint& fp : prints) {
+      EXPECT_EQ(fp.nodes, serial.nodes) << "threads " << threads;
+      EXPECT_EQ(fp.root, serial.root) << "threads " << threads;
+      EXPECT_EQ(fp.probability, serial.probability) << "threads " << threads;
+    }
+  }
+}
+
+TEST(BddParallelDeterminismTest, ExactActivityIsBitIdenticalAcrossRuns) {
+  const Netlist nl = sequential_multiplier(4);
+  ExactActivityOptions opts;
+  opts.num_vectors = 3;
+  opts.cycles_per_vector = 4;
+  opts.warmup_vectors = 1;
+  const ExactActivity first = exact_activity(nl, opts);
+  const ExactActivity second = exact_activity(nl, opts);
+  EXPECT_EQ(first.activity, second.activity);
+  EXPECT_EQ(first.expected_transitions, second.expected_transitions);
+  EXPECT_EQ(first.bdd_nodes, second.bdd_nodes);
+  ASSERT_EQ(first.net_toggle.size(), second.net_toggle.size());
+  for (std::size_t n = 0; n < first.net_toggle.size(); ++n) {
+    EXPECT_EQ(first.net_toggle[n], second.net_toggle[n]) << "net " << n;
+  }
+}
+
+TEST(BddParallelDeterminismTest, EquivalenceVerdictIdenticalForAnyThreadCount) {
+  const Netlist nl = array_multiplier(8);
+  EquivOptions options;
+  options.case_split_bits = 3;
+  const EquivResult serial = check_multiplier_against_spec(nl, 8, options);
+  EXPECT_TRUE(serial.equivalent);
+  for (const int threads : kThreadCounts) {
+    const EquivResult parallel =
+        check_multiplier_against_spec(nl, 8, options, ExecContext(threads));
+    EXPECT_EQ(parallel.equivalent, serial.equivalent) << "threads " << threads;
+    EXPECT_EQ(parallel.cases, serial.cases);
+    EXPECT_EQ(parallel.bdd_nodes, serial.bdd_nodes);
+    EXPECT_EQ(parallel.matched_at_cycle, serial.matched_at_cycle);
+  }
+}
+
+TEST(BddParallelDeterminismTest, CounterexampleIdenticalForAnyThreadCount) {
+  // The lowest failing case wins regardless of which worker finds what.
+  const Netlist good = array_multiplier(6);
+  CellId and_cell = Netlist::kNoCell;
+  for (CellId c = 0; c < good.num_cells(); ++c) {
+    if (good.cell(c).type == CellType::kAnd2) and_cell = c;
+  }
+  ASSERT_NE(and_cell, Netlist::kNoCell);
+  const Netlist mutant = replace_cell_type(good, and_cell, CellType::kOr2);
+  EquivOptions options;
+  options.case_split_bits = 3;
+  const EquivResult serial = check_multiplier_against_spec(mutant, 6, options);
+  ASSERT_TRUE(serial.counterexample.has_value());
+  for (const int threads : kThreadCounts) {
+    const EquivResult parallel =
+        check_multiplier_against_spec(mutant, 6, options, ExecContext(threads));
+    ASSERT_TRUE(parallel.counterexample.has_value()) << "threads " << threads;
+    EXPECT_EQ(parallel.counterexample->a, serial.counterexample->a);
+    EXPECT_EQ(parallel.counterexample->b, serial.counterexample->b);
+    EXPECT_EQ(parallel.counterexample->inputs, serial.counterexample->inputs);
+  }
+}
+
+}  // namespace
+}  // namespace optpower

@@ -1,0 +1,219 @@
+// Core engine checks: canonicity (hash-consing), operator semantics against
+// exhaustive truth tables, probability propagation against enumeration,
+// satisfying-assignment extraction, node budgets, and the BMD word engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "bdd/bmd.h"
+#include "util/error.h"
+#include "util/random.h"
+
+namespace optpower {
+namespace {
+
+TEST(BddEngineTest, TerminalsAndVariables) {
+  BddManager m(3);
+  EXPECT_EQ(BddManager::constant(false), kBddFalse);
+  EXPECT_EQ(BddManager::constant(true), kBddTrue);
+  EXPECT_EQ(m.num_vars(), 3);
+  EXPECT_NE(m.var(0), m.var(1));
+  EXPECT_EQ(m.var(2), m.var(2));  // interned
+  EXPECT_EQ(m.bdd_not(m.bdd_not(m.var(1))), m.var(1));
+}
+
+TEST(BddEngineTest, IteMatchesTruthTableExhaustively) {
+  // All 256 three-input functions, built as ITE trees over minterms, must
+  // evaluate exactly like their defining table.
+  BddManager m(3);
+  for (int truth = 0; truth < 256; ++truth) {
+    BddRef f = kBddFalse;
+    for (int row = 0; row < 8; ++row) {
+      if (((truth >> row) & 1) == 0) continue;
+      BddRef minterm = kBddTrue;
+      for (int v = 0; v < 3; ++v) {
+        minterm = m.bdd_and(minterm, ((row >> v) & 1) != 0 ? m.var(v) : m.nvar(v));
+      }
+      f = m.bdd_or(f, minterm);
+    }
+    for (int row = 0; row < 8; ++row) {
+      std::vector<char> assignment = {static_cast<char>(row & 1),
+                                      static_cast<char>((row >> 1) & 1),
+                                      static_cast<char>((row >> 2) & 1)};
+      EXPECT_EQ(m.eval(f, assignment), ((truth >> row) & 1) != 0)
+          << "truth " << truth << " row " << row;
+    }
+  }
+}
+
+TEST(BddEngineTest, CanonicityMakesEqualityARefCompare) {
+  BddManager m(4);
+  // (a & b) | (a & c)  ==  a & (b | c)
+  const BddRef lhs = m.bdd_or(m.bdd_and(m.var(0), m.var(1)), m.bdd_and(m.var(0), m.var(2)));
+  const BddRef rhs = m.bdd_and(m.var(0), m.bdd_or(m.var(1), m.var(2)));
+  EXPECT_EQ(lhs, rhs);
+  // XOR via two different formulations.
+  const BddRef x1 = m.bdd_xor(m.var(2), m.var(3));
+  const BddRef x2 = m.bdd_or(m.bdd_and(m.var(2), m.bdd_not(m.var(3))),
+                             m.bdd_and(m.bdd_not(m.var(2)), m.var(3)));
+  EXPECT_EQ(x1, x2);
+  EXPECT_EQ(m.ite(m.var(0), lhs, lhs), lhs);  // redundant test collapses
+}
+
+TEST(BddEngineTest, FullAddMatchesArithmetic) {
+  BddManager m(3);
+  const BddManager::BitSum s = m.full_add(m.var(0), m.var(1), m.var(2));
+  for (int row = 0; row < 8; ++row) {
+    std::vector<char> assignment = {static_cast<char>(row & 1),
+                                    static_cast<char>((row >> 1) & 1),
+                                    static_cast<char>((row >> 2) & 1)};
+    const int total = (row & 1) + ((row >> 1) & 1) + ((row >> 2) & 1);
+    EXPECT_EQ(m.eval(s.sum, assignment), (total & 1) != 0);
+    EXPECT_EQ(m.eval(s.carry, assignment), total >= 2);
+  }
+}
+
+TEST(BddEngineTest, ProbabilityMatchesEnumeration) {
+  BddManager m(4);
+  m.set_var_probability(0, 0.5);
+  m.set_var_probability(1, 0.25);
+  m.set_var_probability(2, 0.75);
+  m.set_var_probability(3, 0.1);
+  const double p[] = {0.5, 0.25, 0.75, 0.1};
+  // f = (v0 & v1) ^ (v2 | ~v3)
+  const BddRef f =
+      m.bdd_xor(m.bdd_and(m.var(0), m.var(1)), m.bdd_or(m.var(2), m.bdd_not(m.var(3))));
+  double expected = 0.0;
+  for (int row = 0; row < 16; ++row) {
+    std::vector<char> assignment(4);
+    double weight = 1.0;
+    for (int v = 0; v < 4; ++v) {
+      assignment[v] = static_cast<char>((row >> v) & 1);
+      weight *= assignment[v] != 0 ? p[v] : (1.0 - p[v]);
+    }
+    if (m.eval(f, assignment)) expected += weight;
+  }
+  EXPECT_NEAR(m.probability(f), expected, 1e-12);
+  // The cache must survive repeated queries bit-identically.
+  EXPECT_EQ(m.probability(f), m.probability(f));
+}
+
+TEST(BddEngineTest, FindSatReturnsASatisfyingAssignment) {
+  BddManager m(5);
+  BddRef f = kBddTrue;
+  // v0 & ~v2 & v4
+  f = m.bdd_and(f, m.var(0));
+  f = m.bdd_and(f, m.nvar(2));
+  f = m.bdd_and(f, m.var(4));
+  const std::vector<char> assignment = m.find_sat(f);
+  EXPECT_TRUE(m.eval(f, assignment));
+  EXPECT_EQ(assignment[0], 1);
+  EXPECT_EQ(assignment[2], 0);
+  EXPECT_EQ(assignment[4], 1);
+  EXPECT_THROW((void)m.find_sat(kBddFalse), InvalidArgument);
+}
+
+TEST(BddEngineTest, DagSizeCountsSharedStructureOnce) {
+  BddManager m(3);
+  const BddRef x = m.bdd_xor(m.var(0), m.var(1));
+  // x xor x collapses to false; (x & v2) | (x & ~v2) collapses to x.
+  EXPECT_EQ(m.bdd_xor(x, x), kBddFalse);
+  EXPECT_EQ(m.bdd_or(m.bdd_and(x, m.var(2)), m.bdd_and(x, m.nvar(2))), x);
+  EXPECT_EQ(m.dag_size(kBddTrue), 0u);
+  EXPECT_EQ(m.dag_size(m.var(0)), 1u);
+  EXPECT_EQ(m.dag_size(x), 3u);  // top node + one node per phase of v1
+}
+
+TEST(BddEngineTest, NodeBudgetThrowsInsteadOfThrashing) {
+  BddOptions options;
+  options.max_nodes = 64;
+  BddManager m(24, options);
+  const auto blow_up = [&] {
+    BddRef parity = kBddFalse;
+    for (int v = 0; v < 24; ++v) parity = m.bdd_xor(parity, m.var(v));
+    // Parity is linear, so force a product ladder instead.
+    BddRef f = kBddFalse;
+    for (int v = 0; v + 1 < 24; v += 2) {
+      f = m.bdd_or(f, m.bdd_and(m.var(v), m.var(v + 1)));
+    }
+    return f;
+  };
+  EXPECT_THROW((void)blow_up(), NumericalError);
+}
+
+// --- BMD (word-level) engine -----------------------------------------------
+
+TEST(BmdEngineTest, ConstantsAndVariablesEvaluate) {
+  BmdManager m(3);
+  EXPECT_EQ(m.eval(m.constant(42), {}), 42);
+  EXPECT_TRUE(m.is_zero(m.constant(0)));
+  const BmdRef f = m.add(m.mul_const(m.var(0), 3), m.mul_const(m.var(2), -5));
+  EXPECT_EQ(m.eval(f, {1, 0, 0}), 3);
+  EXPECT_EQ(m.eval(f, {1, 0, 1}), -2);
+  EXPECT_EQ(m.eval(f, {0, 0, 1}), -5);
+}
+
+TEST(BmdEngineTest, MulIsIdempotentOnBooleanVars) {
+  BmdManager m(2);
+  EXPECT_EQ(m.mul(m.var(0), m.var(0)), m.var(0));  // x * x = x
+  const BmdRef prod = m.mul(m.var(0), m.var(1));
+  EXPECT_EQ(m.eval(prod, {1, 1}), 1);
+  EXPECT_EQ(m.eval(prod, {1, 0}), 0);
+}
+
+TEST(BmdEngineTest, WordProductMatchesIntegerMultiply) {
+  // (sum 2^i a_i) * (sum 2^j b_j) evaluated on random assignments equals
+  // integer multiplication - the golden spec the equivalence checker uses.
+  const int w = 6;
+  BmdManager m(2 * w);
+  BmdRef aw = m.constant(0);
+  BmdRef bw = m.constant(0);
+  for (int i = 0; i < w; ++i) {
+    aw = m.add(aw, m.mul_const(m.var(i), std::int64_t{1} << i));
+    bw = m.add(bw, m.mul_const(m.var(w + i), std::int64_t{1} << i));
+  }
+  const BmdRef prod = m.mul(aw, bw);
+  Pcg32 rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t a = rng.next_bits(w);
+    const std::uint64_t b = rng.next_bits(w);
+    std::vector<char> assignment(2 * static_cast<std::size_t>(w));
+    for (int i = 0; i < w; ++i) {
+      assignment[static_cast<std::size_t>(i)] = static_cast<char>((a >> i) & 1);
+      assignment[static_cast<std::size_t>(w + i)] = static_cast<char>((b >> i) & 1);
+    }
+    EXPECT_EQ(m.eval(prod, assignment), static_cast<std::int64_t>(a * b));
+  }
+}
+
+TEST(BmdEngineTest, SubstituteEliminatesAVariable) {
+  BmdManager m(3);
+  // f = 4*y + x*y with y := x0 xor x2 (boolean moment polynomial).
+  const int y = m.add_var();
+  const BmdRef f = m.add(m.mul_const(m.var(y), 4), m.mul(m.var(0), m.var(y)));
+  const BmdRef h = m.b_xor(m.var(0), m.var(2));
+  const BmdRef g = m.substitute(f, y, h);
+  for (int row = 0; row < 8; ++row) {
+    std::vector<char> assignment = {static_cast<char>(row & 1),
+                                    static_cast<char>((row >> 1) & 1),
+                                    static_cast<char>((row >> 2) & 1), 0};
+    const std::int64_t yv = (assignment[0] != 0) ^ (assignment[2] != 0) ? 1 : 0;
+    EXPECT_EQ(m.eval(g, assignment), 4 * yv + (assignment[0] != 0 ? 1 : 0) * yv);
+  }
+}
+
+TEST(BmdEngineTest, FindNonzeroAndOverflowGuard) {
+  BmdManager m(2);
+  const BmdRef f = m.sub(m.var(0), m.var(1));  // zero iff x0 == x1
+  const std::vector<char> assignment = m.find_nonzero(f);
+  EXPECT_NE(m.eval(f, assignment), 0);
+  EXPECT_THROW((void)m.find_nonzero(m.constant(0)), InvalidArgument);
+  const BmdRef big = m.constant(INT64_MAX);
+  EXPECT_THROW((void)m.add(big, m.constant(1)), NumericalError);
+}
+
+}  // namespace
+}  // namespace optpower

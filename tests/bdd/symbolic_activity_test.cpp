@@ -1,0 +1,223 @@
+// Exact switching activity via BDD signal probabilities, validated three
+// ways: against brute-force enumeration (small netlists, exact equality up
+// to rounding), against the Monte-Carlo event-simulator testbench (the
+// statistical-tolerance acceptance check on RCA/Wallace), and through the
+// power stack (ActivitySource::kBddExact feeding find_optimum /
+// power_surface).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bdd/symbolic.h"
+#include "mult/array.h"
+#include "mult/sequential.h"
+#include "mult/wallace.h"
+#include "netlist/builder.h"
+#include "netlist/cell.h"
+#include "power/optimum.h"
+#include "power/surface.h"
+#include "report/forward_flow.h"
+#include "sim/activity.h"
+#include "tech/stm_cmos09.h"
+#include "util/random.h"
+
+namespace optpower {
+namespace {
+
+/// Brute-force E[zero-delay activity]: enumerate all (previous, current)
+/// input pairs, count cell-driven net value changes, normalize like
+/// ActivityMeasurement::activity.
+double brute_force_activity(const Netlist& nl) {
+  const std::size_t num_inputs = nl.primary_inputs().size();
+  const std::size_t combos = std::size_t{1} << num_inputs;
+  EXPECT_LE(num_inputs, 12u);
+
+  const auto settled = [&](std::size_t word) {
+    std::vector<char> values(nl.num_nets(), 0);
+    for (std::size_t i = 0; i < num_inputs; ++i) {
+      values[nl.primary_inputs()[i]] = static_cast<char>((word >> i) & 1u);
+    }
+    for (const CellId c : nl.topo_order()) {
+      const CellInstance& cell = nl.cell(c);
+      std::uint8_t in = 0;
+      for (std::size_t pin = 0; pin < cell.inputs.size(); ++pin) {
+        in |= static_cast<std::uint8_t>((values[cell.inputs[pin]] ? 1u : 0u) << pin);
+      }
+      const std::uint8_t out = eval_cell(cell.type, in);
+      for (std::size_t k = 0; k < cell.outputs.size(); ++k) {
+        values[cell.outputs[k]] = static_cast<char>((out >> k) & 1u);
+      }
+    }
+    return values;
+  };
+
+  std::vector<std::vector<char>> images;
+  images.reserve(combos);
+  for (std::size_t w = 0; w < combos; ++w) images.push_back(settled(w));
+
+  double transitions = 0.0;
+  for (std::size_t prev = 0; prev < combos; ++prev) {
+    for (std::size_t cur = 0; cur < combos; ++cur) {
+      for (NetId n = 0; n < nl.num_nets(); ++n) {
+        if (nl.driver_of(n) == Netlist::kNoCell) continue;
+        if (images[prev][n] != images[cur][n]) transitions += 1.0;
+      }
+    }
+  }
+  transitions /= static_cast<double>(combos) * static_cast<double>(combos);
+  const double n_cells = static_cast<double>(nl.stats().num_cells);
+  return 0.5 * transitions / n_cells;
+}
+
+TEST(ExactActivityTest, MatchesBruteForceOnSmallAdder) {
+  Netlist nl("adder4");
+  const Bus a = add_input_bus(nl, "a", 4);
+  const Bus b = add_input_bus(nl, "b", 4);
+  const AdderResult r = ripple_adder(nl, a, b);
+  add_output_bus(nl, "s", r.sum);
+  nl.add_output("cout", r.carry_out);
+
+  const ExactActivity exact = exact_activity(nl);
+  EXPECT_TRUE(exact.combinational);
+  EXPECT_NEAR(exact.activity, brute_force_activity(nl), 1e-12);
+  EXPECT_EQ(exact.glitch_fraction, 0.0);
+}
+
+TEST(ExactActivityTest, MatchesBruteForceOnTinyMultiplier) {
+  const Netlist nl = array_multiplier(4);
+  const ExactActivity exact = exact_activity(nl);
+  EXPECT_NEAR(exact.activity, brute_force_activity(nl), 1e-12);
+}
+
+TEST(ExactActivityTest, NetProbabilitiesAreProbabilities) {
+  const Netlist nl = wallace_multiplier(6);
+  const ExactActivity exact = exact_activity(nl);
+  ASSERT_EQ(exact.net_probability.size(), nl.num_nets());
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    EXPECT_GE(exact.net_probability[n], 0.0);
+    EXPECT_LE(exact.net_probability[n], 1.0);
+  }
+  // Primary inputs are unbiased coins.
+  for (const NetId pi : nl.primary_inputs()) {
+    EXPECT_DOUBLE_EQ(exact.net_probability[pi], 0.5);
+  }
+  EXPECT_GT(exact.bdd_nodes, 0u);
+}
+
+// The acceptance check: exact BDD signal probabilities agree with the
+// Monte-Carlo zero-delay activity within statistical tolerance on the
+// RCA and Wallace netlists.
+TEST(ExactActivityTest, AgreesWithMonteCarloOnRcaAndWallace) {
+  for (const bool wallace : {false, true}) {
+    const Netlist nl = wallace ? wallace_multiplier(8) : array_multiplier(8);
+    const ExactActivity exact = exact_activity(nl);
+
+    ActivityOptions mc;
+    mc.num_vectors = 8192;
+    mc.delay_mode = SimDelayMode::kZero;
+    const ActivityMeasurement measured = measure_activity_sharded(nl, mc, 8);
+
+    // The delta-cycle zero-delay scheduler still produces functional
+    // hazards (counted in glitch_fraction); the exact model is the
+    // hazard-free levelized component, i.e. the simulator's FUNCTIONAL
+    // activity.  ~1e6 pooled net-transitions put the estimator's sigma far
+    // below the 3% gate.
+    const double functional = measured.activity * (1.0 - measured.glitch_fraction);
+    EXPECT_NEAR(functional, exact.activity, 0.03 * exact.activity)
+        << (wallace ? "wallace" : "rca");
+  }
+}
+
+TEST(ExactActivityTest, SequentialScheduleMatchesMonteCarloMean) {
+  // For a DFF netlist the symbolic run replays the exact testbench schedule,
+  // so it equals the EXPECTATION of the Monte-Carlo estimator over seeds.
+  const Netlist nl = sequential_multiplier(4);
+
+  ExactActivityOptions opts;
+  opts.num_vectors = 6;
+  opts.cycles_per_vector = 4;
+  opts.warmup_vectors = 2;
+  const ExactActivity exact = exact_activity(nl, opts);
+  EXPECT_FALSE(exact.combinational);
+  EXPECT_GT(exact.activity, 0.0);
+
+  std::vector<ActivityOptions> runs(64);
+  for (std::size_t s = 0; s < runs.size(); ++s) {
+    runs[s].num_vectors = opts.num_vectors;
+    runs[s].cycles_per_vector = opts.cycles_per_vector;
+    runs[s].warmup_vectors = opts.warmup_vectors;
+    runs[s].delay_mode = SimDelayMode::kZero;
+    runs[s].seed = 0x5eed0001 + 7919 * s;
+  }
+  const std::vector<ActivityMeasurement> measurements = measure_activity_multi(nl, runs);
+  double mean = 0.0;
+  for (const ActivityMeasurement& m : measurements) {
+    mean += m.activity * (1.0 - m.glitch_fraction);  // hazard-free component
+  }
+  mean /= static_cast<double>(measurements.size());
+  EXPECT_NEAR(mean, exact.activity, 0.10 * exact.activity);
+}
+
+TEST(ExactActivityTest, PipelineStagesKeepExactnessPerPeriod) {
+  // Pipelined netlists: every net consumes exactly one data vector, so the
+  // closed-form 2p(1-p) path does not apply (DFFs present) but the temporal
+  // path must still agree with Monte-Carlo.
+  const Netlist nl = array_multiplier_dpipe(6, 2);
+  ExactActivityOptions opts;
+  opts.num_vectors = 4;
+  opts.warmup_vectors = 4;
+  const ExactActivity exact = exact_activity(nl, opts);
+
+  std::vector<ActivityOptions> runs(48);
+  for (std::size_t s = 0; s < runs.size(); ++s) {
+    runs[s].num_vectors = opts.num_vectors;
+    runs[s].warmup_vectors = opts.warmup_vectors;
+    runs[s].delay_mode = SimDelayMode::kZero;
+    runs[s].seed = 0xfeed + 104729 * s;
+  }
+  const std::vector<ActivityMeasurement> measurements = measure_activity_multi(nl, runs);
+  double mean = 0.0;
+  for (const ActivityMeasurement& m : measurements) {
+    mean += m.activity * (1.0 - m.glitch_fraction);
+  }
+  mean /= static_cast<double>(measurements.size());
+  EXPECT_NEAR(mean, exact.activity, 0.10 * exact.activity);
+}
+
+// ActivitySource::kBddExact must flow through characterization into the
+// power model, and the optimum it produces must sit near the Monte-Carlo
+// one (same netlist, exact vs estimated "a").
+TEST(ExactActivityTest, BddActivitySourceFeedsPowerOptimum) {
+  const Technology tech = stm_cmos09_ll();
+  const double frequency = 31.25e6;
+
+  ForwardFlowOptions exact_opts;
+  exact_opts.width = 6;
+  exact_opts.activity_vectors = 16;
+  exact_opts.activity_source = ActivitySource::kBddExact;
+  const ForwardResult exact = run_forward_flow("RCA", tech, frequency, exact_opts);
+
+  ForwardFlowOptions mc_opts = exact_opts;
+  mc_opts.activity_source = ActivitySource::kEventSim;
+  mc_opts.delay_mode = SimDelayMode::kZero;
+  mc_opts.activity_vectors = 4096;
+  const ForwardResult mc = run_forward_flow("RCA", tech, frequency, mc_opts);
+
+  // Exact = hazard-free zero-delay switching: a LOWER bound on the
+  // hazard-ful estimate, in the same ballpark.
+  EXPECT_LE(exact.character.arch.activity, 1.05 * mc.character.arch.activity);
+  EXPECT_GE(exact.character.arch.activity, 0.5 * mc.character.arch.activity);
+  EXPECT_NEAR(exact.optimum.vdd, mc.optimum.vdd, 0.05);
+  EXPECT_GT(exact.optimum.ptot, 0.0);
+
+  // And the exact-activity model drives a power surface without surprises.
+  const PowerModel model(tech, exact.character.arch);
+  const auto surface = power_surface(model, frequency, 0.2, 1.2, 9, 0.0, 0.5, 9);
+  ASSERT_EQ(surface.size(), 81u);
+  const OptimumResult opt = find_optimum(model, frequency);
+  EXPECT_TRUE(opt.converged);
+}
+
+}  // namespace
+}  // namespace optpower

@@ -167,6 +167,57 @@ TEST(ParallelDeterminismTest, ActivityMultiMatchesSerialPerStream) {
   }
 }
 
+TEST(ParallelDeterminismTest, ReusedSimulatorMatchesFreshConstruction) {
+  // measure_activity_multi reuses one EventSimulator per worker chunk,
+  // resetting between repetitions.  Every run must stay bit-identical to a
+  // fresh per-run simulator (the chunk partition depends on the thread
+  // count, so anything less would break thread-count invariance).
+  const Netlist nl = array_multiplier_dpipe(8, 2);
+  std::vector<ActivityOptions> runs(6);
+  for (std::size_t s = 0; s < runs.size(); ++s) {
+    runs[s].num_vectors = 17 + static_cast<int>(s);  // uneven on purpose
+    runs[s].seed = 0xfeedf00d + 31 * s;
+    // Mixed delay modes force mid-chunk simulator re-construction.
+    runs[s].delay_mode = (s % 3 == 2) ? SimDelayMode::kUnit : SimDelayMode::kCellDepth;
+  }
+  std::vector<ActivityMeasurement> fresh;
+  fresh.reserve(runs.size());
+  for (const ActivityOptions& options : runs) {
+    fresh.push_back(measure_activity(nl, options));  // one simulator per run
+  }
+  for (const int threads : {1, 2, 3, 5}) {
+    const auto reused = threads == 1 ? measure_activity_multi(nl, runs)
+                                     : measure_activity_multi(nl, runs, ExecContext(threads));
+    ASSERT_EQ(reused.size(), fresh.size());
+    for (std::size_t s = 0; s < fresh.size(); ++s) {
+      ASSERT_EQ(reused[s].transitions, fresh[s].transitions)
+          << "run " << s << ", threads " << threads;
+      ASSERT_EQ(reused[s].glitches, fresh[s].glitches) << "run " << s;
+      ASSERT_EQ(reused[s].activity, fresh[s].activity) << "run " << s;
+      ASSERT_EQ(reused[s].clock_cycles, fresh[s].clock_cycles) << "run " << s;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, MeasureActivityWithResetsToFreshState) {
+  // Explicit contract of measure_activity_with: reset + rerun on a dirty
+  // simulator reproduces a fresh construction bit for bit.
+  const Netlist nl = array_multiplier(6);
+  ActivityOptions options;
+  options.num_vectors = 33;
+  EventSimulator sim(nl, options.delay_mode);
+  // Dirty the simulator with an unrelated schedule first.
+  ActivityOptions scramble = options;
+  scramble.seed = 0xdeadbeef;
+  scramble.num_vectors = 7;
+  (void)measure_activity_with(sim, scramble);
+  const ActivityMeasurement reused = measure_activity_with(sim, options);
+  const ActivityMeasurement fresh = measure_activity(nl, options);
+  EXPECT_EQ(reused.transitions, fresh.transitions);
+  EXPECT_EQ(reused.glitches, fresh.glitches);
+  EXPECT_EQ(reused.activity, fresh.activity);
+}
+
 TEST(ParallelDeterminismTest, ShardedActivityPoolsAllStreams) {
   const Netlist nl = array_multiplier_dpipe(8, 2);
   ActivityOptions total;

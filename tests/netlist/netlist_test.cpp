@@ -146,12 +146,33 @@ TEST(Builder, RippleAdderCellCount) {
 }
 
 TEST(Builder, RejectsWidthMismatches) {
-  Netlist nl;
+  Netlist nl("mismatch_demo");
   const Bus a = add_input_bus(nl, "a", 4);
   const Bus b = add_input_bus(nl, "b", 3);
-  EXPECT_THROW((void)ripple_adder(nl, a, b), InvalidArgument);
-  EXPECT_THROW((void)mux_bus(nl, a[0], a, b), InvalidArgument);
-  EXPECT_THROW((void)carry_save_row(nl, a, a, b), InvalidArgument);
+  EXPECT_THROW((void)ripple_adder(nl, a, b), NetlistError);
+  EXPECT_THROW((void)mux_bus(nl, a[0], a, b), NetlistError);
+  EXPECT_THROW((void)carry_save_row(nl, a, a, b), NetlistError);
+  EXPECT_THROW((void)carry_select_adder(nl, a, b), NetlistError);
+}
+
+TEST(Builder, WidthMismatchNamesTheOffendingSite) {
+  // The diagnostic must carry enough context to map an equivalence-checker
+  // counterexample (or any failing construction) back to its source: the
+  // helper, both widths, the netlist name, and the next cell id.
+  Netlist nl("seq_mult16");
+  const Bus a = add_input_bus(nl, "a", 4);
+  const Bus b = add_input_bus(nl, "b", 3);
+  try {
+    (void)ripple_adder(nl, a, b);
+    FAIL() << "expected NetlistError";
+  } catch (const NetlistError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ripple_adder"), std::string::npos) << what;
+    EXPECT_NE(what.find("a = 4 bits"), std::string::npos) << what;
+    EXPECT_NE(what.find("b = 3 bits"), std::string::npos) << what;
+    EXPECT_NE(what.find("seq_mult16"), std::string::npos) << what;
+    EXPECT_NE(what.find("cell 0"), std::string::npos) << what;
+  }
 }
 
 }  // namespace
