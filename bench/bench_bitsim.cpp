@@ -1,0 +1,161 @@
+// Bit-parallel activity-engine benchmarks: the 64-lane levelized simulator
+// against the scalar kZero event path it widens and the glitch-accurate
+// kCellDepth path it complements.
+//
+// Reproduction table: Monte-Carlo activity throughput (vectors/sec) per
+// engine across the RCA / Wallace / Sequential families at widths 8/16/32 -
+// the visible record of the >= 10x bit-parallel speedup target - with the
+// measured "a" printed per engine as a live cross-check (bit-parallel must
+// track scalar kZero; kCellDepth sits above both by the glitch power).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "mult/factory.h"
+#include "sim/activity.h"
+#include "util/table.h"
+
+namespace optpower {
+namespace {
+
+using bench::env_int;
+
+// Env-overridable (see docs/PERF.md): CI smoke shrinks these.
+const int kTableVectors = env_int("OPTPOWER_BENCH_BITSIM_TABLE_VECTORS", 512);
+const int kTableMaxWidth = env_int("OPTPOWER_BENCH_BITSIM_TABLE_MAXWIDTH", 32);
+const int kBitsimWidth = env_int("OPTPOWER_BENCH_BITSIM_WIDTH", 16);
+const int kBitsimVectors = env_int("OPTPOWER_BENCH_BITSIM_VECTORS", 2048);
+const int kActivityStreams = env_int("OPTPOWER_BENCH_ACTIVITY_STREAMS", 8);
+
+const Netlist& bitsim_netlist() {
+  static const GeneratedMultiplier gen = build_multiplier("RCA", kBitsimWidth);
+  return gen.netlist;
+}
+
+struct EngineRun {
+  double vectors_per_sec = 0.0;
+  double activity = 0.0;
+};
+
+EngineRun timed_run(const Netlist& nl, const ActivityOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const ActivityMeasurement m = measure_activity(nl, options);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  return {seconds > 0.0 ? static_cast<double>(options.num_vectors) / seconds : 0.0, m.activity};
+}
+
+void print_throughput_table() {
+  bench::print_header(
+      "Monte-Carlo activity throughput: bit-parallel vs scalar kZero vs kCellDepth\n"
+      "(vectors/sec; bit-parallel packs 64 testbench streams per word)");
+  Table t({"Arch", "w", "bit-par vec/s", "kZero vec/s", "kCellDepth vec/s", "speedup vs kZero",
+           "a bit-par", "a kZero"});
+  for (const char* arch : {"RCA", "Wallace", "Sequential"}) {
+    for (const int w : {8, 16, 32}) {
+      if (w > kTableMaxWidth) continue;
+      const GeneratedMultiplier gen = build_multiplier(arch, w);
+      ActivityOptions opt;
+      opt.num_vectors = kTableVectors;
+      opt.cycles_per_vector = gen.cycles_per_result;
+      opt.delay_mode = SimDelayMode::kZero;
+
+      ActivityOptions bp = opt;
+      bp.engine = ActivityEngine::kBitParallel;
+      const EngineRun bit = timed_run(gen.netlist, bp);
+      const EngineRun zero = timed_run(gen.netlist, opt);
+      ActivityOptions timed = opt;
+      timed.delay_mode = SimDelayMode::kCellDepth;
+      const EngineRun depth = timed_run(gen.netlist, timed);
+
+      t.add_row({arch, strprintf("%d", w), strprintf("%.0f", bit.vectors_per_sec),
+                 strprintf("%.0f", zero.vectors_per_sec),
+                 strprintf("%.0f", depth.vectors_per_sec),
+                 strprintf("%.1fx", zero.vectors_per_sec > 0.0
+                                        ? bit.vectors_per_sec / zero.vectors_per_sec
+                                        : 0.0),
+                 strprintf("%.5f", bit.activity), strprintf("%.5f", zero.activity)});
+    }
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+}
+
+void BM_BitParallelActivity(benchmark::State& state) {
+  const Netlist& nl = bitsim_netlist();
+  ActivityOptions opt;
+  opt.num_vectors = kBitsimVectors;
+  opt.delay_mode = SimDelayMode::kZero;
+  opt.engine = ActivityEngine::kBitParallel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure_activity(nl, opt).transitions);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBitsimVectors));
+}
+BENCHMARK(BM_BitParallelActivity)->Unit(benchmark::kMillisecond);
+
+void BM_ScalarKZeroActivity(benchmark::State& state) {
+  const Netlist& nl = bitsim_netlist();
+  ActivityOptions opt;
+  opt.num_vectors = kBitsimVectors;
+  opt.delay_mode = SimDelayMode::kZero;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure_activity(nl, opt).transitions);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBitsimVectors));
+}
+BENCHMARK(BM_ScalarKZeroActivity)->Unit(benchmark::kMillisecond);
+
+void BM_CellDepthActivity(benchmark::State& state) {
+  // The glitch-accurate reference point (the default forward-flow engine).
+  const Netlist& nl = bitsim_netlist();
+  ActivityOptions opt;
+  opt.num_vectors = kBitsimVectors;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure_activity(nl, opt).transitions);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBitsimVectors));
+}
+BENCHMARK(BM_CellDepthActivity)->Unit(benchmark::kMillisecond);
+
+// Sharding whole 64-lane words over the pool: the bit-parallel analogue of
+// bench_event_sim's BM_ActivitySharded pair.
+void BM_BitParallelShardedSerial(benchmark::State& state) {
+  const Netlist& nl = bitsim_netlist();
+  ActivityOptions total;
+  total.num_vectors = kBitsimVectors;
+  total.delay_mode = SimDelayMode::kZero;
+  total.engine = ActivityEngine::kBitParallel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure_activity_sharded(nl, total, kActivityStreams));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBitsimVectors));
+}
+BENCHMARK(BM_BitParallelShardedSerial)->Unit(benchmark::kMillisecond);
+
+void BM_BitParallelShardedParallel(benchmark::State& state) {
+  const Netlist& nl = bitsim_netlist();
+  (void)nl.fanout();
+  ActivityOptions total;
+  total.num_vectors = kBitsimVectors;
+  total.delay_mode = SimDelayMode::kZero;
+  total.engine = ActivityEngine::kBitParallel;
+  const ExecContext& ctx = bench::parallel_context();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure_activity_sharded(nl, total, kActivityStreams, ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBitsimVectors));
+  state.counters["threads"] = static_cast<double>(ctx.threads());
+}
+BENCHMARK(BM_BitParallelShardedParallel)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace optpower
+
+int main(int argc, char** argv) {
+  optpower::print_throughput_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

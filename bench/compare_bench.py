@@ -18,7 +18,9 @@ Conventions:
     "executable" field of the google-benchmark context (basename, so the
     same baseline works for any build directory).
   * Benchmarks present in the results but not in the baseline are reported
-    as NEW and do not fail the gate (refresh the baseline to adopt them).
+    as NEW warnings and NEVER fail the gate: a PR that adds a bench binary
+    stays green without a same-PR baseline refresh (adopt the new entries
+    with ``--update`` when re-recording on the gate's runner class).
   * Baseline entries with no current measurement are reported as MISSING
     and do not fail the gate (CI may legitimately run a subset).
   * ``*Serial`` / ``*Parallel`` benchmark pairs additionally get a speedup
@@ -121,9 +123,11 @@ def main():
     regressions = []
     improved = 0
     compared = 0
+    new = 0
     for name in sorted(results):
         if name not in baseline:
-            print(f"  NEW      {name} (not in baseline)")
+            new += 1
+            print(f"  NEW      {name} (warn only, not in baseline; adopt via --update)")
             continue
         compared += 1
         base, cur = baseline[name], results[name]
@@ -137,8 +141,8 @@ def main():
         if name not in results:
             print(f"  MISSING  {name} (in baseline, not measured)")
 
-    print(f"\n{compared} compared, {improved} improved, {len(regressions)} regressed "
-          f"(threshold +{args.threshold * 100:.0f}%)")
+    print(f"\n{compared} compared, {improved} improved, {new} new (warn only), "
+          f"{len(regressions)} regressed (threshold +{args.threshold * 100:.0f}%)")
     print_speedups(results)
 
     if regressions:

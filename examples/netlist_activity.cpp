@@ -50,6 +50,14 @@ int main() {
   std::printf("Glitch overhead: %.1f%% extra switched capacitance\n",
               (timed.activity / zero_delay.activity - 1.0) * 100.0);
 
+  // Same zero-delay estimate through the 64-lane bit-parallel engine: one
+  // word-level pass simulates 64 testbench streams at once.
+  opt.engine = ActivityEngine::kBitParallel;
+  const ActivityMeasurement bit_parallel = measure_activity(nl, opt);
+  std::printf("Activity, bit-parallel:    a = %.3f (64 zero-delay lanes per pass)\n",
+              bit_parallel.activity);
+  opt.engine = ActivityEngine::kScalarEvent;
+
   // Compare against the horizontal cut of Figure 3.
   const GeneratedMultiplier hor = build_multiplier("RCA hor.pipe2", 8);
   opt.delay_mode = SimDelayMode::kCellDepth;

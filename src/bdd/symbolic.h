@@ -7,10 +7,15 @@
 // expectation of the event simulator's zero-delay activity estimator in
 // closed form - no stimulus, no variance.  The SymbolicSimulator mirrors
 // EventSimulator's cycle semantics exactly (pre-edge settle, DFF sample and
-// update, post-edge settle; two-valued logic; everything resets to 0), so
+// update, post-edge settle; two-valued logic; everything resets to 0), and
+// since the kZero scheduler became truly levelized the match is EXACT term
+// for term: each settle changes every net at most once, precisely the
+// indicator whose expectation the XOR-probability computes.  So
 // exact_activity() with the same warmup/measure schedule equals
-// E[measure_activity(...)  with delay_mode = kZero] over the stimulus
-// distribution, which the tolerance tests in tests/bdd/ exploit.
+// E[measure_activity(...) with delay_mode = kZero] (and equals the average
+// of the pairwise-enumerated simulator runs to rounding), with no hazard
+// reconciliation factor - tests/bdd/symbolic_activity_test.cpp asserts the
+// strict equality.
 #pragma once
 
 #include <cstdint>
@@ -139,14 +144,17 @@ struct ExactActivityOptions {
 /// Exact zero-delay switching statistics.
 struct ExactActivity {
   /// The paper's "a" (charging transitions per cell per data period):
-  /// 0.5 * E[transitions] / (N * data_periods), the exact expectation of
-  /// ActivityMeasurement::activity under delay_mode = kZero.
+  /// 0.5 * E[transitions] / (N * data_periods), EXACTLY the expectation of
+  /// ActivityMeasurement::activity under delay_mode = kZero (the levelized
+  /// scheduler counts one transition per net per settled change - the very
+  /// indicator this propagates).
   double activity = 0.0;
   /// Expected transitions beyond the per-net functional minimum, as a
-  /// fraction of expected transitions.  Zero for combinational netlists;
-  /// for sequential ones this is the E[transitions] - E[functional] proxy
-  /// (the simulator's per-cycle clamp makes the true expectation of its
-  /// glitch counter sit at or below this).
+  /// fraction of expected transitions.  Zero for combinational netlists
+  /// (levelized settles cannot hazard); for sequential ones this counts
+  /// pre-vs-post-edge double toggles over CELL nets, a slight upper proxy
+  /// of the simulator's glitch counter (whose per-cycle functional floor
+  /// also credits primary-input toggles).
   double glitch_fraction = 0.0;
   double expected_transitions = 0.0;  ///< over the whole measured window
   double expected_functional = 0.0;   ///< expected per-net start != end counts

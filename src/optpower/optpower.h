@@ -32,6 +32,7 @@
 #include "power/surface.h"
 #include "report/forward_flow.h"
 #include "sim/activity.h"
+#include "sim/bitsim.h"
 #include "sim/event_sim.h"
 #include "spice/testbench.h"
 #include "sta/sta.h"

@@ -1,6 +1,5 @@
 #include "report/forward_flow.h"
 
-#include "bdd/symbolic.h"
 #include "sta/sta.h"
 #include "util/error.h"
 
@@ -17,25 +16,26 @@ ForwardCharacterization characterize_multiplier(const GeneratedMultiplier& gen,
   const TimingReport timing = analyze_timing(gen.netlist);
   c.ld_per_cycle = timing.critical_path_units;
 
-  if (options.activity_source == ActivitySource::kBddExact) {
-    // Exact zero-delay expectation of the same testbench schedule (one
-    // symbolic vector per data period, held cycles_per_result clocks).
-    ExactActivityOptions exact;
-    exact.num_vectors = options.activity_vectors;
-    exact.cycles_per_vector = gen.cycles_per_result;
-    const ExactActivity ea = exact_activity(gen.netlist, exact);
-    c.activity.activity = ea.activity;
-    c.activity.glitch_fraction = ea.glitch_fraction;
-    c.activity.data_periods = ea.data_periods;
-    c.activity.clock_cycles = ea.clock_cycles;
-  } else {
-    ActivityOptions act;
-    act.num_vectors = options.activity_vectors;
-    act.cycles_per_vector = gen.cycles_per_result;
-    act.seed = options.seed;
-    act.delay_mode = options.delay_mode;
-    c.activity = measure_activity(gen.netlist, act);
+  // Every source runs through the ActivityEngine seam: same schedule, same
+  // ActivityMeasurement, different extraction engine.
+  ActivityOptions act;
+  act.num_vectors = options.activity_vectors;
+  act.cycles_per_vector = gen.cycles_per_result;
+  act.seed = options.seed;
+  act.delay_mode = options.delay_mode;
+  switch (options.activity_source) {
+    case ActivitySource::kEventSim:
+      act.engine = ActivityEngine::kScalarEvent;
+      break;
+    case ActivitySource::kBitParallel:
+      act.engine = ActivityEngine::kBitParallel;
+      act.delay_mode = SimDelayMode::kZero;  // the engine is zero-delay only
+      break;
+    case ActivitySource::kBddExact:
+      act.engine = ActivityEngine::kBddExact;  // seed/delay_mode ignored
+      break;
   }
+  c.activity = measure_activity(gen.netlist, act);
 
   c.arch.name = gen.name;
   c.arch.n_cells = static_cast<double>(stats.num_cells);

@@ -21,11 +21,17 @@
 
 namespace optpower {
 
-/// Where the switching-activity factor "a" comes from.
+/// Where the switching-activity factor "a" comes from.  Each source maps
+/// onto one ActivityEngine of the sim/activity.h seam.
 enum class ActivitySource {
   /// Random-stimulus event simulation (sim/activity.h): the paper's
   /// ModelSIM-style path, glitch-accurate under kCellDepth delays.
   kEventSim,
+  /// 64-lane bit-parallel Monte-Carlo (sim/bitsim.h): the same stimulus
+  /// distribution evaluated 64 vectors per pass, zero-delay levelized.
+  /// Ignores `delay_mode` (implies kZero); the fastest way to drive the
+  /// power model when glitch power is not wanted in "a".
+  kBitParallel,
   /// Exact zero-delay signal-probability propagation through BDDs
   /// (bdd/symbolic.h): no stimulus, no variance, no glitch power.  Keep the
   /// width small (<= ~10): per-net BDDs of wide multipliers are the textbook
@@ -39,8 +45,9 @@ struct ForwardFlowOptions {
   int activity_vectors = 96;
   std::uint64_t seed = 0x5eed0001;
   SimDelayMode delay_mode = SimDelayMode::kCellDepth;
-  /// Activity extraction path; kBddExact ignores `seed`/`delay_mode` and
-  /// computes the exact zero-delay expectation instead.
+  /// Activity extraction path; kBitParallel overrides `delay_mode` with
+  /// kZero, and kBddExact ignores `seed`/`delay_mode` entirely (it computes
+  /// the exact zero-delay expectation).
   ActivitySource activity_source = ActivitySource::kEventSim;
   /// Effective per-cell off-current scale: our average cell leaks this many
   /// reference-transistor Io's (wide/stacked cells leak more than the unit

@@ -3,20 +3,75 @@
 #include <algorithm>
 #include <optional>
 
+#include "bdd/symbolic.h"
+#include "sim/bitsim.h"
 #include "util/error.h"
 #include "util/random.h"
 
 namespace optpower {
 
-ActivityMeasurement measure_activity(const Netlist& netlist, const ActivityOptions& options) {
-  EventSimulator sim(netlist, options.delay_mode);
-  return measure_activity_with(sim, options);
-}
+namespace {
 
-ActivityMeasurement measure_activity_with(EventSimulator& sim, const ActivityOptions& options) {
+void validate_schedule(const ActivityOptions& options) {
   require(options.num_vectors >= 1, "measure_activity: need >= 1 vectors");
   require(options.cycles_per_vector >= 1, "measure_activity: cycles_per_vector must be >= 1");
   require(options.warmup_vectors >= 0, "measure_activity: warmup must be >= 0");
+}
+
+/// Recompute the paper-normalized ratios from the raw counters.  Charging-
+/// edge convention: on a rail-to-rail net, rising and falling transitions
+/// alternate, so 0->1 edges = transitions/2.  Zero denominators (no cells,
+/// no periods, no transitions) yield well-defined zeros, never NaN.
+void recompute_ratios(ActivityMeasurement& m, std::size_t num_cells) {
+  const double denom = static_cast<double>(num_cells) * static_cast<double>(m.data_periods);
+  m.activity = denom > 0.0 ? 0.5 * static_cast<double>(m.transitions) / denom : 0.0;
+  m.glitch_fraction = m.transitions > 0
+                          ? static_cast<double>(m.glitches) / static_cast<double>(m.transitions)
+                          : 0.0;
+}
+
+/// kBddExact: the exact zero-delay expectation of the same testbench
+/// schedule (bdd/symbolic.h).  The integer counters stay 0 - the result is
+/// an expectation, not a tally - so only the ratio fields are populated.
+ActivityMeasurement measure_activity_exact(const Netlist& netlist,
+                                           const ActivityOptions& options) {
+  ExactActivityOptions exact;
+  exact.num_vectors = options.num_vectors;
+  exact.cycles_per_vector = options.cycles_per_vector;
+  exact.warmup_vectors = options.warmup_vectors;
+  const ExactActivity ea = exact_activity(netlist, exact);
+  ActivityMeasurement m;
+  m.activity = ea.activity;
+  m.glitch_fraction = ea.glitch_fraction;
+  m.data_periods = ea.data_periods;
+  m.clock_cycles = ea.clock_cycles;
+  return m;
+}
+
+}  // namespace
+
+ActivityMeasurement measure_activity(const Netlist& netlist, const ActivityOptions& options) {
+  switch (options.engine) {
+    case ActivityEngine::kScalarEvent: {
+      EventSimulator sim(netlist, options.delay_mode);
+      return measure_activity_with(sim, options);
+    }
+    case ActivityEngine::kBitParallel: {
+      BitSimulator sim(netlist);
+      return merge_activity(netlist, measure_activity_lanes_with(sim, options));
+    }
+    case ActivityEngine::kBddExact: {
+      validate_schedule(options);
+      return measure_activity_exact(netlist, options);
+    }
+  }
+  throw InvalidArgument("measure_activity: unknown engine");
+}
+
+ActivityMeasurement measure_activity_with(EventSimulator& sim, const ActivityOptions& options) {
+  validate_schedule(options);
+  require(options.engine == ActivityEngine::kScalarEvent,
+          "measure_activity_with: an EventSimulator testbench is the scalar engine");
   require(sim.delay_mode() == options.delay_mode,
           "measure_activity_with: simulator delay mode does not match the options");
 
@@ -46,38 +101,113 @@ ActivityMeasurement measure_activity_with(EventSimulator& sim, const ActivityOpt
   }
 
   const SimStats& stats = sim.stats();
-  const NetlistStats nstats = netlist.stats();
-
   ActivityMeasurement m;
   m.transitions = stats.total_transitions;
   m.glitches = stats.glitch_transitions;
   m.data_periods = static_cast<std::uint64_t>(options.num_vectors);
   m.clock_cycles = stats.cycles;
-  const double denom = static_cast<double>(nstats.num_cells) * static_cast<double>(m.data_periods);
-  // Charging-edge convention: on a rail-to-rail net, rising and falling
-  // transitions alternate, so 0->1 edges = transitions/2.
-  m.activity = denom > 0.0 ? 0.5 * static_cast<double>(m.transitions) / denom : 0.0;
-  m.glitch_fraction = m.transitions > 0
-                          ? static_cast<double>(m.glitches) / static_cast<double>(m.transitions)
-                          : 0.0;
+  recompute_ratios(m, netlist.stats().num_cells);
   return m;
+}
+
+std::vector<ActivityMeasurement> measure_activity_lanes(const Netlist& netlist,
+                                                        const ActivityOptions& options) {
+  BitSimulator sim(netlist);
+  return measure_activity_lanes_with(sim, options);
+}
+
+std::vector<ActivityMeasurement> measure_activity_lanes_with(BitSimulator& sim,
+                                                             const ActivityOptions& options) {
+  validate_schedule(options);
+  require(options.engine == ActivityEngine::kBitParallel,
+          "measure_activity_lanes: a BitSimulator testbench is the bit-parallel engine");
+  require(options.delay_mode == SimDelayMode::kZero,
+          "measure_activity_lanes: the bit-parallel engine is zero-delay only "
+          "(set delay_mode = kZero; use kScalarEvent for glitch-accurate delays)");
+
+  const Netlist& netlist = sim.netlist();
+  const std::size_t num_cells = netlist.stats().num_cells;
+  const int lanes = std::min(BitSimulator::kLanes, options.num_vectors);
+  const int base = options.num_vectors / lanes;
+  const int rem = options.num_vectors % lanes;
+  const std::uint64_t full_mask =
+      lanes == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << lanes) - 1);
+
+  sim.reset_state();
+  sim.reset_stats();
+  sim.set_active_mask(full_mask);
+
+  // Lane l is the stream a scalar kZero run would execute with seed
+  // options.seed + l: its RNG draws one bit per primary input per fresh
+  // vector, in input-declaration order.
+  std::vector<Pcg32> rngs;
+  rngs.reserve(static_cast<std::size_t>(lanes));
+  for (int l = 0; l < lanes; ++l) {
+    rngs.emplace_back(options.seed + static_cast<std::uint64_t>(l));
+  }
+  const std::size_t num_inputs = netlist.primary_inputs().size();
+  std::vector<std::uint64_t> words(num_inputs, 0);
+
+  const auto apply_random_vectors = [&](std::uint64_t draw_mask) {
+    // Lanes outside draw_mask hold their previous vector (their streams are
+    // exhausted; their statistics are frozen by the active mask).
+    for (std::size_t i = 0; i < num_inputs; ++i) {
+      std::uint64_t w = words[i];
+      for (std::uint64_t m = draw_mask; m != 0; m &= m - 1) {
+        const int l = __builtin_ctzll(m);
+        const std::uint64_t bit = std::uint64_t{1} << l;
+        w = rngs[static_cast<std::size_t>(l)].next_bool() ? (w | bit) : (w & ~bit);
+      }
+      words[i] = w;
+    }
+    sim.set_inputs(words);
+  };
+
+  for (int v = 0; v < options.warmup_vectors; ++v) {
+    apply_random_vectors(full_mask);
+    for (int c = 0; c < options.cycles_per_vector; ++c) sim.step_cycle();
+  }
+  sim.reset_stats();
+
+  // Vectors split like measure_activity_sharded: base per lane, remainder to
+  // the lowest lanes.  The final partial step keeps only those rem lanes
+  // active.
+  const int max_count = base + (rem > 0 ? 1 : 0);
+  for (int v = 0; v < max_count; ++v) {
+    const std::uint64_t mask = v < base ? full_mask : (std::uint64_t{1} << rem) - 1;
+    apply_random_vectors(mask);
+    sim.set_active_mask(mask);
+    for (int c = 0; c < options.cycles_per_vector; ++c) sim.step_cycle();
+  }
+  sim.set_active_mask(full_mask);
+
+  std::vector<ActivityMeasurement> out(static_cast<std::size_t>(lanes));
+  for (int l = 0; l < lanes; ++l) {
+    ActivityMeasurement& m = out[static_cast<std::size_t>(l)];
+    m.transitions = sim.transitions(l);
+    m.glitches = sim.glitches(l);
+    m.data_periods = static_cast<std::uint64_t>(base + (l < rem ? 1 : 0));
+    m.clock_cycles = sim.cycles(l);
+    recompute_ratios(m, num_cells);
+  }
+  return out;
 }
 
 std::vector<ActivityMeasurement> measure_activity_multi(const Netlist& netlist,
                                                         const std::vector<ActivityOptions>& runs,
                                                         const ExecContext& ctx) {
   // Warm the lazily-built fanout cache while still single-threaded; every
-  // EventSimulator in the fan-out then only reads the shared netlist.
+  // simulator in the fan-out then only reads the shared netlist.
   (void)netlist.fanout();
   const std::size_t n = runs.size();
   std::vector<ActivityMeasurement> out(n);
-  // One simulator per worker chunk, reset between repetitions, instead of a
-  // fresh construction (verify + topo sort + wheel setup) per run -
-  // construction is a visible fraction of short sweep repetitions.  Results
-  // stay bit-identical for any thread count because reset_state() +
+  // One simulator per worker chunk (per engine), reset between repetitions,
+  // instead of a fresh construction (verify + topo sort + wheel setup) per
+  // run - construction is a visible fraction of short sweep repetitions.
+  // Results stay bit-identical for any thread count because reset_state() +
   // reset_stats() restore the exact post-construction state, making every
   // run independent of which simulator instance hosts it (asserted in
-  // tests/exec/determinism_test.cpp).
+  // tests/exec/determinism_test.cpp and tests/sim/bitsim_test.cpp).
   ThreadPool* pool = ctx.pool();
   const std::size_t chunks =
       pool != nullptr ? std::min(n, static_cast<std::size_t>(pool->size())) : 1;
@@ -85,11 +215,24 @@ std::vector<ActivityMeasurement> measure_activity_multi(const Netlist& netlist,
     const std::size_t lo = n * c / chunks;
     const std::size_t hi = n * (c + 1) / chunks;
     std::optional<EventSimulator> sim;
+    std::optional<BitSimulator> bitsim;
     for (std::size_t k = lo; k < hi; ++k) {
-      if (!sim.has_value() || sim->delay_mode() != runs[k].delay_mode) {
-        sim.emplace(netlist, runs[k].delay_mode);
+      switch (runs[k].engine) {
+        case ActivityEngine::kScalarEvent:
+          if (!sim.has_value() || sim->delay_mode() != runs[k].delay_mode) {
+            sim.emplace(netlist, runs[k].delay_mode);
+          }
+          out[k] = measure_activity_with(*sim, runs[k]);
+          break;
+        case ActivityEngine::kBitParallel:
+          if (!bitsim.has_value()) bitsim.emplace(netlist);
+          out[k] = merge_activity(netlist, measure_activity_lanes_with(*bitsim, runs[k]));
+          break;
+        case ActivityEngine::kBddExact:
+          // One BddManager per run by design (no reusable state).
+          out[k] = measure_activity(netlist, runs[k]);
+          break;
       }
-      out[k] = measure_activity_with(*sim, runs[k]);
     }
   });
   return out;
@@ -98,14 +241,23 @@ std::vector<ActivityMeasurement> measure_activity_multi(const Netlist& netlist,
 ActivityMeasurement measure_activity_sharded(const Netlist& netlist, const ActivityOptions& total,
                                              int streams, const ExecContext& ctx) {
   require(streams >= 1, "measure_activity_sharded: need >= 1 stream");
+  if (total.engine == ActivityEngine::kBddExact) {
+    // Exact expectation: zero variance, nothing to shard.
+    return measure_activity(netlist, total);
+  }
   require(total.num_vectors >= streams,
           "measure_activity_sharded: need >= 1 vector per stream");
   std::vector<ActivityOptions> runs(static_cast<std::size_t>(streams), total);
   const int base = total.num_vectors / streams;
   const int remainder = total.num_vectors % streams;
+  // Bit-parallel streams are whole words whose lanes consume seeds
+  // [seed + 64s, seed + 64s + lanes); spacing the words 64 seeds apart keeps
+  // every stimulus stream in the pool globally distinct.
+  const std::uint64_t seed_stride = total.engine == ActivityEngine::kBitParallel ? 64 : 1;
   for (int s = 0; s < streams; ++s) {
     runs[static_cast<std::size_t>(s)].num_vectors = base + (s < remainder ? 1 : 0);
-    runs[static_cast<std::size_t>(s)].seed = total.seed + static_cast<std::uint64_t>(s);
+    runs[static_cast<std::size_t>(s)].seed =
+        total.seed + seed_stride * static_cast<std::uint64_t>(s);
   }
   return merge_activity(netlist, measure_activity_multi(netlist, runs, ctx));
 }
@@ -120,12 +272,9 @@ ActivityMeasurement merge_activity(const Netlist& netlist,
     m.data_periods += part.data_periods;
     m.clock_cycles += part.clock_cycles;
   }
-  const NetlistStats nstats = netlist.stats();
-  const double denom = static_cast<double>(nstats.num_cells) * static_cast<double>(m.data_periods);
-  m.activity = denom > 0.0 ? 0.5 * static_cast<double>(m.transitions) / denom : 0.0;
-  m.glitch_fraction = m.transitions > 0
-                          ? static_cast<double>(m.glitches) / static_cast<double>(m.transitions)
-                          : 0.0;
+  require(m.data_periods > 0,
+          "merge_activity: pooled measurement has zero data periods (empty shards?)");
+  recompute_ratios(m, netlist.stats().num_cells);
   return m;
 }
 

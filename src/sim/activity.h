@@ -1,6 +1,9 @@
-// Switching-activity measurement: random-stimulus testbench around
-// EventSimulator producing the paper's "a" (switching cells per throughput
-// cycle over total cells, glitches included).
+// Switching-activity measurement: random-stimulus testbenches producing the
+// paper's "a" (switching cells per throughput cycle over total cells,
+// glitches included), unified behind the ActivityEngine seam - the same
+// options and the same ActivityMeasurement whether the extraction runs the
+// scalar event simulator, the 64-lane bit-parallel engine, or the exact
+// BDD model.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +15,29 @@
 
 namespace optpower {
 
+class BitSimulator;
+
+/// Which engine extracts the switching activity.  All three produce an
+/// ActivityMeasurement through the same measure_activity* entry points.
+enum class ActivityEngine {
+  /// Event-driven EventSimulator testbench, one vector at a time: the only
+  /// engine that honors every SimDelayMode (kCellDepth = glitch-accurate).
+  kScalarEvent,
+  /// 64-lane bit-parallel levelized engine (sim/bitsim.h): packs up to 64
+  /// independent testbench streams into one word per net and evaluates each
+  /// gate once per level.  Zero-delay only (`delay_mode` must be kZero);
+  /// stream l is bit-identical to a scalar kZero run seeded `seed + l`, so
+  /// the pooled result equals measure_activity_sharded() of the scalar
+  /// engine with min(64, num_vectors) streams, counter for counter.
+  kBitParallel,
+  /// Exact zero-delay expectation via BDD signal probabilities
+  /// (bdd/symbolic.h): no stimulus, no variance.  `seed` and `delay_mode`
+  /// are ignored; the integer transition counters stay 0 (the result is an
+  /// expectation, not a tally).  Keep widths small (<= ~10): per-net BDDs
+  /// of wide multipliers are the textbook exponential case.
+  kBddExact,
+};
+
 /// Testbench configuration.
 struct ActivityOptions {
   int num_vectors = 256;          ///< data periods to simulate
@@ -22,6 +48,7 @@ struct ActivityOptions {
   int warmup_vectors = 8;         ///< periods excluded from the statistics
   std::uint64_t seed = 0x5eed0001;  ///< PCG32 stimulus seed
   SimDelayMode delay_mode = SimDelayMode::kCellDepth;  ///< kCellDepth = glitch-accurate
+  ActivityEngine engine = ActivityEngine::kScalarEvent;  ///< extraction engine
 };
 
 /// Activity result in the paper's normalization.
@@ -38,7 +65,10 @@ struct ActivityMeasurement {
 };
 
 /// Drive `netlist` with uniform random input vectors (one fresh vector per
-/// data period, held for cycles_per_vector clocks) and measure activity.
+/// data period, held for cycles_per_vector clocks) and measure activity
+/// with the selected engine.  kBitParallel splits the vectors over up to 64
+/// lanes (seeded seed + lane) and pools them; kBddExact computes the exact
+/// expectation of the same schedule.
 [[nodiscard]] ActivityMeasurement measure_activity(const Netlist& netlist,
                                                    const ActivityOptions& options = {});
 
@@ -47,23 +77,48 @@ struct ActivityMeasurement {
 /// exact post-construction state, the result is bit-identical to a fresh
 /// measure_activity() with the same options - which is what lets sweep
 /// drivers amortize simulator construction (verify + topo + wheel setup)
-/// across repetitions.  `options.delay_mode` must match the simulator's.
+/// across repetitions.  `options.delay_mode` must match the simulator's
+/// (`options.engine` is implied: kScalarEvent).
 [[nodiscard]] ActivityMeasurement measure_activity_with(EventSimulator& sim,
                                                         const ActivityOptions& options = {});
+
+/// The bit-parallel testbench, one ActivityMeasurement per lane: lane l runs
+/// an independent stimulus stream seeded `options.seed + l` over
+/// `options.num_vectors` split evenly across min(64, num_vectors) lanes
+/// (remainder to the lowest lanes, like measure_activity_sharded), each with
+/// its own warmup.  Lane l's measurement is bit-identical to a scalar kZero
+/// measure_activity() of that stream; merge_activity() of the result is what
+/// measure_activity() with engine = kBitParallel returns.  Requires
+/// delay_mode = kZero.
+[[nodiscard]] std::vector<ActivityMeasurement> measure_activity_lanes(
+    const Netlist& netlist, const ActivityOptions& options = {});
+
+/// Lane testbench on a caller-owned bit simulator (reset + rerun, exactly
+/// like measure_activity_with): bit-identical to a fresh
+/// measure_activity_lanes() with the same options.
+[[nodiscard]] std::vector<ActivityMeasurement> measure_activity_lanes_with(
+    BitSimulator& sim, const ActivityOptions& options = {});
 
 /// Multi-testbench extraction: one independent testbench (own simulator, own
 /// RNG stream) per entry of `runs`, fanned out over `ctx`'s workers.  Slot k
 /// of the result always belongs to runs[k], so the output is bit-identical
-/// for any thread count.  The netlist's lazy fanout cache is warmed before
-/// the fan-out, which keeps the shared `netlist` strictly read-only inside
-/// the parallel region.
+/// for any thread count.  Engines may differ per run; scalar and bit-parallel
+/// simulators are reused across same-chunk repetitions.  The netlist's lazy
+/// fanout cache is warmed before the fan-out, which keeps the shared
+/// `netlist` strictly read-only inside the parallel region.
 [[nodiscard]] std::vector<ActivityMeasurement> measure_activity_multi(
     const Netlist& netlist, const std::vector<ActivityOptions>& runs, const ExecContext& ctx = {});
 
 /// Convenience for variance reduction: `streams` testbenches that split
-/// `total.num_vectors` evenly (remainder to the first streams), each seeded
-/// with total.seed + stream index, merged into one pooled measurement.
-/// Deterministic for a fixed stream count regardless of thread count.
+/// `total.num_vectors` evenly (remainder to the first streams), merged into
+/// one pooled measurement.  Deterministic for a fixed stream count
+/// regardless of thread count.  Stream seeds are engine-dependent:
+///  * kScalarEvent: stream s runs scalar with seed total.seed + s.
+///  * kBitParallel: stream s is one 64-lane WORD with lane seeds
+///    total.seed + 64*s + l (globally distinct streams), so the words shard
+///    over `ctx` with slot-stable determinism.
+///  * kBddExact: sharding cannot reduce the variance of an exact
+///    expectation, so this returns measure_activity(netlist, total) as-is.
 [[nodiscard]] ActivityMeasurement measure_activity_sharded(const Netlist& netlist,
                                                            const ActivityOptions& total,
                                                            int streams,
@@ -72,6 +127,8 @@ struct ActivityMeasurement {
 /// Pool independent measurements of the SAME netlist into one: counters are
 /// summed and the ratios recomputed (requires num_cells > 0 measurements to
 /// have come from the same design, which the callers above guarantee).
+/// Throws InvalidArgument when `parts` is empty or pools to zero data
+/// periods (e.g. all-empty shards) - the ratios would be 0/0.
 [[nodiscard]] ActivityMeasurement merge_activity(const Netlist& netlist,
                                                  const std::vector<ActivityMeasurement>& parts);
 

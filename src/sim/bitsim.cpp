@@ -1,0 +1,183 @@
+#include "sim/bitsim.h"
+
+#include <algorithm>
+
+#include "netlist/cell.h"
+#include "util/error.h"
+
+namespace optpower {
+
+namespace {
+
+/// eval_cell lifted to 64-lane words: the cell's truth table expressed as
+/// bitwise ops (the FA carry is the 3-input majority compressor form).
+/// `in` holds one word per input pin, `out` receives one word per output.
+inline void eval_cell_words(CellType type, const std::uint64_t* in, std::uint64_t* out) {
+  switch (type) {
+    case CellType::kConst0: out[0] = 0; return;
+    case CellType::kConst1: out[0] = ~std::uint64_t{0}; return;
+    case CellType::kBuf: out[0] = in[0]; return;
+    case CellType::kInv: out[0] = ~in[0]; return;
+    case CellType::kAnd2: out[0] = in[0] & in[1]; return;
+    case CellType::kOr2: out[0] = in[0] | in[1]; return;
+    case CellType::kNand2: out[0] = ~(in[0] & in[1]); return;
+    case CellType::kNor2: out[0] = ~(in[0] | in[1]); return;
+    case CellType::kXor2: out[0] = in[0] ^ in[1]; return;
+    case CellType::kXnor2: out[0] = ~(in[0] ^ in[1]); return;
+    case CellType::kMux2:
+      // inputs {a, b, sel} -> sel ? b : a
+      out[0] = (in[2] & in[1]) | (~in[2] & in[0]);
+      return;
+    case CellType::kHalfAdder:
+      out[0] = in[0] ^ in[1];
+      out[1] = in[0] & in[1];
+      return;
+    case CellType::kFullAdder: {
+      const std::uint64_t ab = in[0] ^ in[1];
+      out[0] = ab ^ in[2];
+      out[1] = (in[0] & in[1]) | (in[2] & ab);
+      return;
+    }
+    case CellType::kDff:
+    case CellType::kDffEnable:
+      // Sequential data path (what Q becomes on the next edge); settle()
+      // skips these - step_cycle handles them explicitly.
+      out[0] = in[0];
+      return;
+  }
+}
+
+}  // namespace
+
+BitSimulator::BitSimulator(const Netlist& netlist) : netlist_(netlist) {
+  netlist_.verify();
+  // Per-cycle events per lane are bounded by one toggle per net per settle
+  // (x2 settles) plus one per DFF; the carry-save accumulator must never
+  // ripple past its top plane.
+  require(2 * netlist_.num_nets() + netlist_.num_cells() <
+              (std::size_t{1} << LaneAccumulator::kPlanes),
+          "BitSimulator: netlist too large for the per-cycle lane accumulators");
+  topo_ = netlist_.topo_order();
+  words_.assign(netlist_.num_nets(), 0);
+  dff_next_.assign(netlist_.num_cells(), 0);
+  start_scratch_.assign(netlist_.num_nets(), 0);
+  reset_state();
+}
+
+void BitSimulator::reset_stats() {
+  transitions_.fill(0);
+  glitches_.fill(0);
+  cycles_.fill(0);
+}
+
+void BitSimulator::reset_state() {
+  std::fill(words_.begin(), words_.end(), 0);
+  std::fill(dff_next_.begin(), dff_next_.end(), 0);
+  // Constants and the combinational image of the all-zero state are
+  // established without counting transitions, like EventSimulator's reset:
+  // an all-masked settle evaluates every cell but tallies nothing.
+  const std::uint64_t saved_mask = active_mask_;
+  active_mask_ = 0;
+  settle();
+  active_mask_ = saved_mask;
+}
+
+void BitSimulator::set_input_word(NetId net, std::uint64_t word) {
+  require(net < words_.size(), "BitSimulator::set_input_word: unknown net");
+  require(netlist_.driver_of(net) == Netlist::kNoCell,
+          "BitSimulator::set_input_word: net is not a primary input");
+  words_[net] = word;
+}
+
+void BitSimulator::set_inputs(const std::vector<std::uint64_t>& words) {
+  require(words.size() == netlist_.primary_inputs().size(),
+          "BitSimulator::set_inputs: input count mismatch");
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    words_[netlist_.primary_inputs()[i]] = words[i];
+  }
+}
+
+void BitSimulator::settle() {
+  // One topological pass, every cell exactly once - the word-level image of
+  // EventSimulator::settle_levelized().  Per changed net, the set bits of
+  // old^new (masked to the active lanes) are exactly the lanes whose scalar
+  // twin counts one transition here; they tally into the carry-save
+  // accumulator, flushed per cycle.
+  std::uint64_t scratch[2];
+  std::uint64_t ins[3];
+  for (const CellId c : topo_) {
+    const CellInstance& cell = netlist_.cell(c);
+    if (cell_spec(cell.type).is_sequential) continue;
+    for (std::size_t i = 0; i < cell.inputs.size(); ++i) ins[i] = words_[cell.inputs[i]];
+    eval_cell_words(cell.type, ins, scratch);
+    for (std::size_t k = 0; k < cell.outputs.size(); ++k) {
+      const NetId net = cell.outputs[k];
+      const std::uint64_t nv = scratch[k];
+      const std::uint64_t diff = (words_[net] ^ nv) & active_mask_;
+      words_[net] = nv;
+      if (diff != 0) trans_acc_.add(diff);
+    }
+  }
+}
+
+void BitSimulator::step_cycle() {
+  trans_acc_.clear();
+  func_acc_.clear();
+  start_scratch_ = words_;
+
+  // Pre-edge settle: propagate this cycle's inputs (and last edge's Q
+  // changes, already settled) through the combinational logic.
+  settle();
+
+  // Clock edge: sample D (and EN) in every lane, then apply Q updates.
+  for (const CellId c : topo_) {
+    const CellInstance& cell = netlist_.cell(c);
+    if (!cell_spec(cell.type).is_sequential) continue;
+    const std::uint64_t d = words_[cell.inputs[0]];
+    if (cell.type == CellType::kDffEnable) {
+      const std::uint64_t en = words_[cell.inputs[1]];
+      dff_next_[c] = (en & d) | (~en & words_[cell.outputs[0]]);
+    } else {
+      dff_next_[c] = d;
+    }
+  }
+  for (const CellId c : topo_) {
+    const CellInstance& cell = netlist_.cell(c);
+    if (!cell_spec(cell.type).is_sequential) continue;
+    const NetId q = cell.outputs[0];
+    const std::uint64_t diff = (words_[q] ^ dff_next_[c]) & active_mask_;
+    words_[q] = dff_next_[c];
+    if (diff != 0) trans_acc_.add(diff);
+  }
+
+  // Post-edge settle: propagate the new Q values (combinational and
+  // registered output paths agree on latency, like the scalar simulator).
+  settle();
+
+  // Per-lane glitch accounting, scalar formula per lane: transitions this
+  // cycle beyond the per-net start-vs-end minimum (functional counts EVERY
+  // net, primary inputs included, exactly like EventSimulator).
+  for (std::size_t n = 0; n < words_.size(); ++n) {
+    const std::uint64_t fdiff = (words_[n] ^ start_scratch_[n]) & active_mask_;
+    if (fdiff != 0) func_acc_.add(fdiff);
+  }
+  std::uint64_t mask = active_mask_;
+  for (; mask != 0; mask &= mask - 1) {
+    const int lane = __builtin_ctzll(mask);
+    const std::uint64_t ct = trans_acc_.lane(lane);
+    transitions_[static_cast<std::size_t>(lane)] += ct;
+    glitches_[static_cast<std::size_t>(lane)] += ct - std::min(ct, func_acc_.lane(lane));
+    ++cycles_[static_cast<std::size_t>(lane)];
+  }
+}
+
+std::uint64_t BitSimulator::outputs_word(int lane) const {
+  std::uint64_t w = 0;
+  const auto& pos = netlist_.primary_outputs();
+  for (std::size_t i = 0; i < pos.size() && i < 64; ++i) {
+    if (value(pos[i], lane)) w |= (std::uint64_t{1} << i);
+  }
+  return w;
+}
+
+}  // namespace optpower

@@ -1,0 +1,145 @@
+// Bit-parallel levelized zero-delay logic simulator: 64 independent input
+// vectors packed into one uint64_t lane word per net, every gate evaluated
+// once per topological level with plain bitwise word operations.
+//
+// This is the wide twin of EventSimulator's (truly levelized) kZero mode:
+// lane k of a BitSimulator is bit-identical - every net value after every
+// cycle, and the per-lane transition/glitch statistics - to a scalar kZero
+// EventSimulator driven with lane k's stimulus (tests/sim/bitsim_test.cpp
+// asserts this for every lane of every word).  One word-level pass evaluates
+// what the scalar path needs 64 full simulations for, which is what makes
+// the Monte-Carlo activity testbenches ~64x wider per settle; the
+// ActivityEngine seam in sim/activity.h packs testbench streams into lanes
+// and pools the per-lane counters into the usual ActivityMeasurement.
+//
+// Semantics (shared with EventSimulator kZero):
+//  * Two-valued logic; every net starts at 0 in all lanes, DFFs reset to 0.
+//  * settle() = ONE topological evaluation: each cell sees its inputs' final
+//    values, so each net changes at most once per settle - no delta-cycle
+//    hazards, which is exactly the estimator bdd/symbolic.h exact_activity()
+//    computes in closed form.
+//  * step_cycle() = pre-edge settle, DFF sample + Q update, post-edge
+//    settle, then per-lane glitch accounting identical to the scalar
+//    formula (cycle transitions beyond the per-net start-vs-end minimum).
+//
+// The active-lane mask freezes STATISTICS per lane (values keep evolving):
+// a testbench whose streams consume different vector counts masks a lane
+// out once its stream is exhausted, leaving that lane's counters exactly
+// where the equivalent scalar run stopped.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace optpower {
+
+/// 64-lane word-level zero-delay simulator over a verified Netlist.  One
+/// instance owns all mutable state and only reads the shared netlist, so
+/// independent instances may run on different threads (warm the netlist's
+/// fanout cache first if any other simulator shares the netlist).
+class BitSimulator {
+ public:
+  /// Lanes per word: one uint64_t bit per independent simulation.
+  static constexpr int kLanes = 64;
+
+  /// Build a simulator over `netlist` (verify()-checked here).
+  explicit BitSimulator(const Netlist& netlist);
+
+  /// The netlist this simulator runs.
+  [[nodiscard]] const Netlist& netlist() const noexcept { return netlist_; }
+
+  /// Set a primary input's 64-lane word for the upcoming cycle (bit l =
+  /// lane l's value, stable for the whole cycle).
+  void set_input_word(NetId net, std::uint64_t word);
+  /// Set all primary inputs from one word per input, declaration order.
+  void set_inputs(const std::vector<std::uint64_t>& words);
+
+  /// Lanes whose statistics accumulate (default: all 64).  Masked-out lanes
+  /// keep simulating but their transition/glitch/cycle counters freeze -
+  /// the testbench hook for streams of unequal length.
+  void set_active_mask(std::uint64_t mask) noexcept { active_mask_ = mask; }
+  [[nodiscard]] std::uint64_t active_mask() const noexcept { return active_mask_; }
+
+  /// Run one clock cycle for all lanes: settle, clock all DFFs, settle.
+  void step_cycle();
+
+  /// Current 64-lane word of a net (post-settling).
+  [[nodiscard]] std::uint64_t word(NetId net) const { return words_[net]; }
+  /// Current value of a net in one lane.
+  [[nodiscard]] bool value(NetId net, int lane) const {
+    return ((words_[net] >> lane) & 1u) != 0;
+  }
+  /// Primary outputs of one lane packed LSB-first (EventSimulator::
+  /// outputs_word() of that lane's scalar twin).
+  [[nodiscard]] std::uint64_t outputs_word(int lane) const;
+
+  /// Per-lane counters since construction or the last reset_stats();
+  /// lane k matches the scalar kZero SimStats of lane k's stimulus.
+  [[nodiscard]] std::uint64_t cycles(int lane) const {
+    return cycles_[static_cast<std::size_t>(lane)];
+  }
+  [[nodiscard]] std::uint64_t transitions(int lane) const {
+    return transitions_[static_cast<std::size_t>(lane)];
+  }
+  [[nodiscard]] std::uint64_t glitches(int lane) const {
+    return glitches_[static_cast<std::size_t>(lane)];
+  }
+
+  /// Zero all per-lane counters; simulation state (and the mask) is kept.
+  void reset_stats();
+
+  /// Full state reset: all nets to 0 in every lane (constants
+  /// re-propagated), stats and mask kept - mirrors EventSimulator.
+  void reset_state();
+
+ private:
+  void settle();
+
+  const Netlist& netlist_;
+  std::vector<CellId> topo_;
+  std::vector<std::uint64_t> words_;     // per net: 64 lanes
+  std::vector<std::uint64_t> dff_next_;  // sampled D word per cell (sequential only)
+  std::uint64_t active_mask_ = ~std::uint64_t{0};
+
+  /// Carry-save vertical counter: 64 per-lane tallies kept bit-sliced
+  /// (plane p holds bit p of every lane's count), so adding one 0/1 event
+  /// word for all 64 lanes is an amortized ~2 word ops ripple instead of a
+  /// per-set-bit scalar increment.  Flushed into the scalar per-lane
+  /// counters once per cycle.
+  struct LaneAccumulator {
+    static constexpr std::size_t kPlanes = 26;  // 2^26 events/lane/cycle headroom
+    std::array<std::uint64_t, kPlanes> planes{};
+    std::size_t used = 0;  // highest touched plane + 1 (bounds clear/read)
+
+    void add(std::uint64_t bits) noexcept {
+      std::uint64_t carry = bits;
+      for (std::size_t p = 0; carry != 0; ++p) {
+        const std::uint64_t t = planes[p];
+        planes[p] = t ^ carry;
+        carry = t & carry;
+        if (p >= used) used = p + 1;
+      }
+    }
+    [[nodiscard]] std::uint64_t lane(int l) const noexcept {
+      std::uint64_t v = 0;
+      for (std::size_t p = 0; p < used; ++p) v |= ((planes[p] >> l) & 1u) << p;
+      return v;
+    }
+    void clear() noexcept {
+      for (std::size_t p = 0; p < used; ++p) planes[p] = 0;
+      used = 0;
+    }
+  };
+
+  std::array<std::uint64_t, kLanes> transitions_{};
+  std::array<std::uint64_t, kLanes> glitches_{};
+  std::array<std::uint64_t, kLanes> cycles_{};
+  LaneAccumulator trans_acc_;                 // per-cycle transition events
+  LaneAccumulator func_acc_;                  // per-cycle functional toggles
+  std::vector<std::uint64_t> start_scratch_;  // per-cycle start words
+};
+
+}  // namespace optpower

@@ -11,9 +11,6 @@ namespace {
 // Oscillation guard: identical bound (and message) to the reference
 // scheduler, so throwing runs stay equivalent too.
 constexpr std::int64_t kMaxTicks = 1 << 22;
-// Events consumed per tick before the zero-delay FIFO declares an
-// oscillation (the reference scheduler would spin forever here).
-constexpr std::size_t kZeroDelayEventLimit = 1u << 26;
 }  // namespace
 
 EventSimulator::EventSimulator(const Netlist& netlist, SimDelayMode mode, int wheel_bits)
@@ -64,20 +61,10 @@ void EventSimulator::reset_state() {
   std::fill(values_.begin(), values_.end(), 0);
   std::fill(dff_next_.begin(), dff_next_.end(), 0);
   // Constants and the combinational image of the all-zero state must be
-  // established without counting transitions.
+  // established without counting transitions: one levelized topo pass (the
+  // image is delay-independent) under a stats save/restore.
   const SimStats saved = stats_;
-  for (const CellId c : topo_) {
-    const CellInstance& cell = netlist_.cell(c);
-    if (cell_spec(cell.type).is_sequential) continue;
-    std::uint8_t in = 0;
-    for (std::size_t i = 0; i < cell.inputs.size(); ++i) {
-      in |= static_cast<std::uint8_t>((values_[cell.inputs[i]] ? 1u : 0u) << i);
-    }
-    const std::uint8_t outv = eval_cell(cell.type, in);
-    for (std::size_t k = 0; k < cell.outputs.size(); ++k) {
-      values_[cell.outputs[k]] = static_cast<char>((outv >> k) & 1u);
-    }
-  }
+  settle_levelized();
   stats_ = saved;
 }
 
@@ -143,35 +130,6 @@ void EventSimulator::process_tick(std::int64_t tick) {
   if (slot.empty()) return;
   const auto& fanout = netlist_.fanout();
 
-  if (mode_ == SimDelayMode::kZero) {
-    // Zero-delay cascades re-enter THIS slot, and a mid-tick re-evaluation
-    // must supersede later events already queued in it (e.g. a stale seed
-    // event for a downstream net) before they apply.  Batching would apply
-    // those stale events, so this mode keeps the reference scheduler's
-    // strict FIFO: apply one event, evaluate its readers immediately.
-    // Iterate by index - schedule_cell appends to (and may reallocate) the
-    // very slot being drained.
-    for (std::size_t i = 0; i < slot.size(); ++i) {
-      if (i > kZeroDelayEventLimit) {
-        // A zero-delay combinational loop never drains; verify() rejects
-        // cycles, so only post-construction rewiring can get here.
-        throw NumericalError("EventSimulator: circuit failed to settle (oscillation?)");
-      }
-      const Event ev = slot[i];  // copy: the append below may reallocate
-      --ring_count_;
-      if (ev.serial != pending_serial_[ev.net]) continue;  // superseded (inertial cancel)
-      pending_serial_[ev.net] = 0;
-      if (values_[ev.net] == ev.value) continue;  // no change
-      values_[ev.net] = ev.value;
-      ++stats_.total_transitions;
-      const CellId drv = netlist_.driver_of(ev.net);
-      if (drv != Netlist::kNoCell) ++stats_.cell_transitions[drv];
-      for (const CellId reader : fanout[ev.net]) schedule_cell(reader, tick);
-    }
-    slot.clear();
-    return;
-  }
-
   // Delay >= 1 (kUnit/kCellDepth): everything a tick-t evaluation schedules
   // lands at t+1 or later, so the slot's content is fixed for the whole tick
   // and can be processed as one levelized wave with deferred, deduplicated
@@ -230,7 +188,36 @@ void EventSimulator::process_tick(std::int64_t tick) {
   }
 }
 
+void EventSimulator::settle_levelized() {
+  // kZero: one topological evaluation per settle.  Every cell sees its
+  // inputs' FINAL values (PIs and DFF outputs are sources of the topo
+  // order), so each net changes at most once per settle and no delta-cycle
+  // hazards exist - the transition count is exactly the per-net
+  // start-vs-settled indicator the BDD exact-activity model computes.
+  for (const CellId c : topo_) {
+    const CellInstance& cell = netlist_.cell(c);
+    if (cell_spec(cell.type).is_sequential) continue;
+    std::uint8_t in = 0;
+    for (std::size_t i = 0; i < cell.inputs.size(); ++i) {
+      in |= static_cast<std::uint8_t>((values_[cell.inputs[i]] ? 1u : 0u) << i);
+    }
+    const std::uint8_t outv = eval_cell(cell.type, in);
+    for (std::size_t k = 0; k < cell.outputs.size(); ++k) {
+      const char nv = static_cast<char>((outv >> k) & 1u);
+      const NetId net = cell.outputs[k];
+      if (values_[net] == nv) continue;
+      values_[net] = nv;
+      ++stats_.total_transitions;
+      ++stats_.cell_transitions[c];
+    }
+  }
+}
+
 void EventSimulator::settle() {
+  if (mode_ == SimDelayMode::kZero) {
+    settle_levelized();
+    return;
+  }
   // Seed: evaluate every combinational cell against the (possibly changed)
   // primary inputs and DFF outputs; running the schedule from t = 0
   // reproduces glitching under the chosen delay model.

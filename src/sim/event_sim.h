@@ -26,13 +26,20 @@
 // processed in two levelized phases: first every surviving event is applied
 // (transition counting), then each affected fanout cell is evaluated exactly
 // ONCE per wave - the heap scheduler re-evaluated a cell once per changed
-// input net.  kZero keeps the reference's strict FIFO within the (single)
-// tick, because zero-delay re-evaluations must supersede later events
-// already queued in the same slot.  All of it preserves the event
-// application order (slot order is serial order) and the
-// inertial-cancellation decisions, so SimStats and every net value are
-// bit-identical to the reference scheduler; see
+// input net.  All of it preserves the event application order (slot order is
+// serial order) and the inertial-cancellation decisions, so SimStats and
+// every net value are bit-identical to the reference scheduler; see
 // tests/sim/scheduler_equivalence_test.cpp.
+//
+// kZero bypasses the wheel entirely: it is a TRULY levelized settle - one
+// topological evaluation per settle pass, every cell seeing its inputs'
+// final values - so each net changes at most once per pass and the
+// delta-cycle functional hazards the old FIFO produced on reconvergent
+// paths are gone.  This makes the simulated zero-delay activity agree
+// EXACTLY with bdd/symbolic.h's exact_activity() expectation, and it is the
+// scalar twin of the 64-lane bit-parallel engine in sim/bitsim.h (lane k of
+// a BitSimulator is bit-identical to a kZero EventSimulator on the same
+// stimulus; see tests/sim/bitsim_test.cpp).
 #pragma once
 
 #include <cstdint>
@@ -55,7 +62,8 @@ struct SimStats {
 enum class SimDelayMode {
   kUnit,       ///< every cell = 1 delay unit (fast functional checks)
   kCellDepth,  ///< CellSpec::depth_units scaled x10 to integer ticks (glitch-accurate)
-  kZero,       ///< pure levelized evaluation, no glitches counted
+  kZero,       ///< truly levelized zero-delay evaluation (one topological
+               ///< pass per settle, hazard-free; matches exact_activity())
 };
 
 /// Timing-annotated gate-level event simulator over a verified Netlist.
@@ -127,6 +135,7 @@ class EventSimulator {
   };
 
   void settle();
+  void settle_levelized();
   void schedule_cell(CellId c, std::int64_t now);
   void pour_overflow_revolution(std::int64_t revolution);
   void process_tick(std::int64_t tick);

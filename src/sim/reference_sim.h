@@ -8,6 +8,11 @@
 // side by side; keep the two semantics documents (inertial delay, two settle
 // passes per cycle, glitch accounting) in sync if either ever changes.
 //
+// kZero is levelized on both sides (since the truly-levelized rewrite): the
+// production simulator does one topological pass per settle, while this
+// oracle runs full topological sweeps to a fixpoint - independent
+// formulations of the same hazard-free semantics.
+//
 // This class is NOT a performance path: scheduling is O(log n) per event and
 // every fanout cell is re-evaluated once per changed input.  Use it only from
 // tests and ablation benches.

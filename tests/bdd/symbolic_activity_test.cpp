@@ -105,9 +105,63 @@ TEST(ExactActivityTest, NetProbabilitiesAreProbabilities) {
   EXPECT_GT(exact.bdd_nodes, 0u);
 }
 
-// The acceptance check: exact BDD signal probabilities agree with the
-// Monte-Carlo zero-delay activity within statistical tolerance on the
-// RCA and Wallace netlists.
+// The strict-equality check, no estimator in between: enumerate EVERY
+// ordered (previous, current) input pair, run the real kZero EventSimulator
+// on each transition, and average.  That average IS the expectation the BDD
+// computes, so levelized kZero must match it to rounding - the delta-cycle
+// scheduler this replaced failed here on reconvergent paths (its hazards
+// inflated the count by the old a*(1-glitch_fraction) reconciliation gap).
+TEST(ExactActivityTest, PairwiseEnumerationEqualsSimulatorExactly) {
+  const auto simulated_expectation = [](const Netlist& nl) {
+    const std::size_t num_inputs = nl.primary_inputs().size();
+    EXPECT_LE(num_inputs, 10u);
+    const std::size_t combos = std::size_t{1} << num_inputs;
+    EventSimulator sim(nl, SimDelayMode::kZero);
+    std::vector<bool> vec(num_inputs);
+    const auto apply = [&](std::size_t word) {
+      for (std::size_t i = 0; i < num_inputs; ++i) vec[i] = ((word >> i) & 1u) != 0;
+      sim.set_inputs(vec);
+      sim.step_cycle();
+    };
+    std::uint64_t transitions = 0;
+    std::uint64_t glitches = 0;
+    for (std::size_t prev = 0; prev < combos; ++prev) {
+      for (std::size_t cur = 0; cur < combos; ++cur) {
+        apply(prev);
+        sim.reset_stats();
+        apply(cur);
+        transitions += sim.stats().total_transitions;
+        glitches += sim.stats().glitch_transitions;
+      }
+    }
+    EXPECT_EQ(glitches, 0u);  // levelized zero-delay cannot hazard
+    const double per_period =
+        static_cast<double>(transitions) / (static_cast<double>(combos) * combos);
+    return 0.5 * per_period / static_cast<double>(nl.stats().num_cells);
+  };
+
+  {
+    const Netlist nl = array_multiplier(4);
+    EXPECT_NEAR(simulated_expectation(nl), exact_activity(nl).activity, 1e-12);
+  }
+  {
+    // Carry-select reconvergence: exactly where the delta-cycle kZero used
+    // to hazard.
+    Netlist nl("csel4");
+    const Bus a = add_input_bus(nl, "a", 4);
+    const Bus b = add_input_bus(nl, "b", 4);
+    const AdderResult r = carry_select_adder(nl, a, b, kNoNet, 2);
+    Bus out = r.sum;
+    out.push_back(r.carry_out);
+    add_output_bus(nl, "s", out);
+    EXPECT_NEAR(simulated_expectation(nl), exact_activity(nl).activity, 1e-12);
+  }
+}
+
+// The statistical check at the acceptance widths: exact BDD signal
+// probabilities against the RAW Monte-Carlo zero-delay activity - same
+// estimand now, no a*(1-glitch_fraction) reconciliation, and the levelized
+// simulator must report exactly zero glitches on combinational netlists.
 TEST(ExactActivityTest, AgreesWithMonteCarloOnRcaAndWallace) {
   for (const bool wallace : {false, true}) {
     const Netlist nl = wallace ? wallace_multiplier(8) : array_multiplier(8);
@@ -118,15 +172,25 @@ TEST(ExactActivityTest, AgreesWithMonteCarloOnRcaAndWallace) {
     mc.delay_mode = SimDelayMode::kZero;
     const ActivityMeasurement measured = measure_activity_sharded(nl, mc, 8);
 
-    // The delta-cycle zero-delay scheduler still produces functional
-    // hazards (counted in glitch_fraction); the exact model is the
-    // hazard-free levelized component, i.e. the simulator's FUNCTIONAL
-    // activity.  ~1e6 pooled net-transitions put the estimator's sigma far
-    // below the 3% gate.
-    const double functional = measured.activity * (1.0 - measured.glitch_fraction);
-    EXPECT_NEAR(functional, exact.activity, 0.03 * exact.activity)
+    // ~1e6 pooled net-transitions put the estimator's sigma far below the
+    // 3% gate.
+    EXPECT_EQ(measured.glitches, 0u) << (wallace ? "wallace" : "rca");
+    EXPECT_NEAR(measured.activity, exact.activity, 0.03 * exact.activity)
         << (wallace ? "wallace" : "rca");
   }
+}
+
+// And through the bit-parallel engine: same expectation, 64 lanes per pass.
+TEST(ExactActivityTest, AgreesWithBitParallelMonteCarlo) {
+  const Netlist nl = array_multiplier(8);
+  const ExactActivity exact = exact_activity(nl);
+  ActivityOptions mc;
+  mc.num_vectors = 8192;
+  mc.delay_mode = SimDelayMode::kZero;
+  mc.engine = ActivityEngine::kBitParallel;
+  const ActivityMeasurement measured = measure_activity(nl, mc);
+  EXPECT_EQ(measured.glitches, 0u);
+  EXPECT_NEAR(measured.activity, exact.activity, 0.03 * exact.activity);
 }
 
 TEST(ExactActivityTest, SequentialScheduleMatchesMonteCarloMean) {
@@ -152,9 +216,9 @@ TEST(ExactActivityTest, SequentialScheduleMatchesMonteCarloMean) {
   }
   const std::vector<ActivityMeasurement> measurements = measure_activity_multi(nl, runs);
   double mean = 0.0;
-  for (const ActivityMeasurement& m : measurements) {
-    mean += m.activity * (1.0 - m.glitch_fraction);  // hazard-free component
-  }
+  // Raw activity, no hazard reconciliation: levelized kZero estimates the
+  // symbolic expectation directly.
+  for (const ActivityMeasurement& m : measurements) mean += m.activity;
   mean /= static_cast<double>(measurements.size());
   EXPECT_NEAR(mean, exact.activity, 0.10 * exact.activity);
 }
@@ -178,9 +242,7 @@ TEST(ExactActivityTest, PipelineStagesKeepExactnessPerPeriod) {
   }
   const std::vector<ActivityMeasurement> measurements = measure_activity_multi(nl, runs);
   double mean = 0.0;
-  for (const ActivityMeasurement& m : measurements) {
-    mean += m.activity * (1.0 - m.glitch_fraction);
-  }
+  for (const ActivityMeasurement& m : measurements) mean += m.activity;
   mean /= static_cast<double>(measurements.size());
   EXPECT_NEAR(mean, exact.activity, 0.10 * exact.activity);
 }
@@ -204,10 +266,10 @@ TEST(ExactActivityTest, BddActivitySourceFeedsPowerOptimum) {
   mc_opts.activity_vectors = 4096;
   const ForwardResult mc = run_forward_flow("RCA", tech, frequency, mc_opts);
 
-  // Exact = hazard-free zero-delay switching: a LOWER bound on the
-  // hazard-ful estimate, in the same ballpark.
-  EXPECT_LE(exact.character.arch.activity, 1.05 * mc.character.arch.activity);
-  EXPECT_GE(exact.character.arch.activity, 0.5 * mc.character.arch.activity);
+  // Same estimand since kZero went levelized: the exact value sits inside
+  // the Monte-Carlo estimator's (tight, 4096-vector) statistical band.
+  EXPECT_NEAR(exact.character.arch.activity, mc.character.arch.activity,
+              0.03 * mc.character.arch.activity);
   EXPECT_NEAR(exact.optimum.vdd, mc.optimum.vdd, 0.05);
   EXPECT_GT(exact.optimum.ptot, 0.0);
 

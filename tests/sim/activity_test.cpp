@@ -103,5 +103,47 @@ TEST(Activity, RejectsBadOptions) {
   EXPECT_THROW((void)measure_activity(nl, opt), InvalidArgument);
 }
 
+TEST(Activity, MergeGuardsAgainstEmptyAndZeroPeriodPools) {
+  // Pooling nothing, or pooling shards that measured zero data periods,
+  // must throw instead of recomputing 0/0 ratios into silent NaN/zero.
+  const Netlist nl = array_multiplier(4);
+  EXPECT_THROW((void)merge_activity(nl, {}), InvalidArgument);
+  std::vector<ActivityMeasurement> empty_shards(3);  // all counters zero
+  EXPECT_THROW((void)merge_activity(nl, empty_shards), InvalidArgument);
+
+  // Zero transitions with real data periods is a valid (quiet) pool: the
+  // ratios must come back as well-defined zeros.
+  ActivityMeasurement quiet;
+  quiet.data_periods = 16;
+  quiet.clock_cycles = 16;
+  const ActivityMeasurement merged = merge_activity(nl, {quiet, quiet});
+  EXPECT_EQ(merged.data_periods, 32u);
+  EXPECT_EQ(merged.activity, 0.0);
+  EXPECT_EQ(merged.glitch_fraction, 0.0);
+}
+
+TEST(Activity, BddExactEngineThroughTheSeam) {
+  // engine = kBddExact returns the exact expectation as an
+  // ActivityMeasurement: ratio fields populated, integer counters zero (it
+  // is not a tally), independent of seed.
+  const Netlist nl = array_multiplier(4);
+  ActivityOptions opt;
+  opt.num_vectors = 16;
+  opt.engine = ActivityEngine::kBddExact;
+  const ActivityMeasurement exact = measure_activity(nl, opt);
+  EXPECT_GT(exact.activity, 0.0);
+  EXPECT_EQ(exact.transitions, 0u);
+  EXPECT_EQ(exact.data_periods, 16u);
+  opt.seed = 0xdeadbeef;  // ignored by the exact engine
+  const ActivityMeasurement reseeded = measure_activity(nl, opt);
+  EXPECT_DOUBLE_EQ(reseeded.activity, exact.activity);
+
+  // Sharding an exact expectation is a no-op: same result, never merged by
+  // (zero) counters.
+  const ActivityMeasurement sharded = measure_activity_sharded(nl, opt, 8);
+  EXPECT_DOUBLE_EQ(sharded.activity, exact.activity);
+  EXPECT_EQ(sharded.data_periods, exact.data_periods);
+}
+
 }  // namespace
 }  // namespace optpower

@@ -1,0 +1,298 @@
+// The bit-parallel engine's lane-equivalence property: every lane of a
+// BitSimulator - net values after every cycle, outputs, and the per-lane
+// transition/glitch statistics - must be bit-identical to a fresh scalar
+// kZero EventSimulator driven with that lane's stimulus.  On top of the raw
+// simulator, the ActivityEngine seam must make the pooled bit-parallel
+// measurement equal the scalar sharded measurement counter for counter, and
+// the whole thing must stay bit-identical for any thread count
+// (BitsimParallelDeterminism, run under the TSan CI filter).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mult/array.h"
+#include "mult/factory.h"
+#include "mult/wallace.h"
+#include "netlist/builder.h"
+#include "netlist/cell.h"
+#include "sim/activity.h"
+#include "sim/bitsim.h"
+#include "sim/event_sim.h"
+#include "util/error.h"
+#include "util/random.h"
+
+namespace optpower {
+namespace {
+
+/// Drive a BitSimulator and one scalar kZero EventSimulator per lane with
+/// identical stimulus (lane l's RNG == scalar l's RNG) for `cycles` cycles,
+/// asserting full per-lane state and statistics equality after every cycle.
+void expect_lockstep_lanes(const Netlist& nl, int lanes, int cycles, std::uint64_t seed,
+                           int reset_every = 0) {
+  ASSERT_GE(lanes, 1);
+  ASSERT_LE(lanes, BitSimulator::kLanes);
+  BitSimulator bit(nl);
+  bit.set_active_mask(lanes == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << lanes) - 1));
+
+  std::vector<EventSimulator> scalars;
+  std::vector<Pcg32> rngs;
+  scalars.reserve(static_cast<std::size_t>(lanes));
+  for (int l = 0; l < lanes; ++l) {
+    scalars.emplace_back(nl, SimDelayMode::kZero);
+    rngs.emplace_back(seed + static_cast<std::uint64_t>(l));
+  }
+
+  const std::size_t num_inputs = nl.primary_inputs().size();
+  std::vector<std::uint64_t> words(num_inputs);
+  std::vector<bool> vec(num_inputs);
+  for (int c = 0; c < cycles; ++c) {
+    for (std::size_t i = 0; i < num_inputs; ++i) words[i] = 0;
+    for (int l = 0; l < lanes; ++l) {
+      for (std::size_t i = 0; i < num_inputs; ++i) {
+        vec[i] = rngs[static_cast<std::size_t>(l)].next_bool();
+        if (vec[i]) words[i] |= std::uint64_t{1} << l;
+      }
+      scalars[static_cast<std::size_t>(l)].set_inputs(vec);
+      scalars[static_cast<std::size_t>(l)].step_cycle();
+    }
+    bit.set_inputs(words);
+    bit.step_cycle();
+
+    for (int l = 0; l < lanes; ++l) {
+      const EventSimulator& sc = scalars[static_cast<std::size_t>(l)];
+      ASSERT_EQ(bit.outputs_word(l), sc.outputs_word()) << "lane " << l << " cycle " << c;
+      ASSERT_EQ(bit.transitions(l), sc.stats().total_transitions)
+          << "lane " << l << " cycle " << c;
+      ASSERT_EQ(bit.glitches(l), sc.stats().glitch_transitions) << "lane " << l << " cycle " << c;
+      ASSERT_EQ(bit.cycles(l), sc.stats().cycles) << "lane " << l << " cycle " << c;
+      for (NetId n = 0; n < nl.num_nets(); ++n) {
+        ASSERT_EQ(bit.value(n, l), sc.value(n) != 0) << "net " << n << " lane " << l
+                                                     << " cycle " << c;
+      }
+    }
+
+    if (reset_every > 0 && (c + 1) % reset_every == 0) {
+      if ((c / reset_every) % 2 == 0) {
+        bit.reset_state();
+        for (auto& sc : scalars) sc.reset_state();
+      } else {
+        bit.reset_stats();
+        for (auto& sc : scalars) sc.reset_stats();
+      }
+    }
+  }
+}
+
+TEST(BitsimLaneEquivalence, CombinationalAdderAllLanes) {
+  Netlist nl;
+  const Bus a = add_input_bus(nl, "a", 8);
+  const Bus b = add_input_bus(nl, "b", 8);
+  const AdderResult r = carry_select_adder(nl, a, b, kNoNet, 3);
+  Bus out = r.sum;
+  out.push_back(r.carry_out);
+  add_output_bus(nl, "s", out);
+  expect_lockstep_lanes(nl, 64, 24, 0xb17b17b1);
+}
+
+TEST(BitsimLaneEquivalence, SequentialCounterDecoder) {
+  Netlist nl;
+  const Bus cnt = add_counter(nl, 4);
+  const Bus dec = add_decoder(nl, cnt);
+  const NetId en = nl.add_input("en");
+  const Bus held = register_bus(nl, dec, en);
+  add_output_bus(nl, "d", held);
+  expect_lockstep_lanes(nl, 64, 32, 0xb17c2);
+}
+
+TEST(BitsimLaneEquivalence, PartialWordsAndMidRunResets) {
+  const Netlist nl = array_multiplier(6);
+  for (const int lanes : {1, 3, 17, 64}) {
+    expect_lockstep_lanes(nl, lanes, 12, 0xb17 + static_cast<std::uint64_t>(lanes),
+                          /*reset_every=*/5);
+  }
+}
+
+TEST(BitsimLaneEquivalence, MultipleSeeds) {
+  const Netlist nl = wallace_multiplier(6);
+  for (const std::uint64_t seed : {0x1ULL, 0xdeadbeefULL, 0x5eed0001ULL}) {
+    expect_lockstep_lanes(nl, 32, 10, seed);
+  }
+}
+
+TEST(BitsimLaneEquivalence, AllMultiplierFamiliesAtWidth8) {
+  // Every generator family the forward flow characterizes, through the
+  // testbench layer: the pooled bit-parallel measurement must equal the
+  // scalar kZero sharded measurement COUNTER FOR COUNTER (same lane split,
+  // same seeds - the strongest cross-engine statement short of per-net
+  // lockstep, which the suites above cover on representative netlists).
+  for (const std::string& name : multiplier_names()) {
+    const GeneratedMultiplier gen = build_multiplier(name, 8);
+    ActivityOptions opt;
+    opt.num_vectors = 96;
+    opt.cycles_per_vector = gen.cycles_per_result;
+    opt.warmup_vectors = 4;
+    opt.delay_mode = SimDelayMode::kZero;
+    opt.engine = ActivityEngine::kBitParallel;
+    const ActivityMeasurement pooled = measure_activity(gen.netlist, opt);
+
+    ActivityOptions scalar = opt;
+    scalar.engine = ActivityEngine::kScalarEvent;
+    const ActivityMeasurement sharded = measure_activity_sharded(gen.netlist, scalar, 64);
+
+    EXPECT_EQ(pooled.transitions, sharded.transitions) << name;
+    EXPECT_EQ(pooled.glitches, sharded.glitches) << name;
+    EXPECT_EQ(pooled.data_periods, sharded.data_periods) << name;
+    EXPECT_EQ(pooled.clock_cycles, sharded.clock_cycles) << name;
+    EXPECT_DOUBLE_EQ(pooled.activity, sharded.activity) << name;
+    EXPECT_DOUBLE_EQ(pooled.glitch_fraction, sharded.glitch_fraction) << name;
+  }
+}
+
+TEST(BitsimLaneEquivalence, LaneMeasurementsMatchScalarRuns) {
+  // measure_activity_lanes: lane l is EXACTLY a scalar kZero run with seed
+  // seed + l and that lane's vector share - including a partial final word
+  // (100 = 64 + 36, so lanes 0-35 run 2 vectors and lanes 36-63 run 1).
+  const Netlist nl = array_multiplier(8);
+  ActivityOptions opt;
+  opt.num_vectors = 100;
+  opt.warmup_vectors = 3;
+  opt.delay_mode = SimDelayMode::kZero;
+  opt.engine = ActivityEngine::kBitParallel;
+  const std::vector<ActivityMeasurement> lanes = measure_activity_lanes(nl, opt);
+  ASSERT_EQ(lanes.size(), 64u);
+
+  for (const int l : {0, 1, 35, 36, 63}) {
+    ActivityOptions scalar;
+    scalar.num_vectors = l < 36 ? 2 : 1;
+    scalar.warmup_vectors = opt.warmup_vectors;
+    scalar.seed = opt.seed + static_cast<std::uint64_t>(l);
+    scalar.delay_mode = SimDelayMode::kZero;
+    const ActivityMeasurement m = measure_activity(nl, scalar);
+    EXPECT_EQ(lanes[static_cast<std::size_t>(l)].transitions, m.transitions) << "lane " << l;
+    EXPECT_EQ(lanes[static_cast<std::size_t>(l)].glitches, m.glitches) << "lane " << l;
+    EXPECT_EQ(lanes[static_cast<std::size_t>(l)].data_periods, m.data_periods) << "lane " << l;
+    EXPECT_EQ(lanes[static_cast<std::size_t>(l)].clock_cycles, m.clock_cycles) << "lane " << l;
+    EXPECT_DOUBLE_EQ(lanes[static_cast<std::size_t>(l)].activity, m.activity) << "lane " << l;
+  }
+}
+
+TEST(BitsimLaneEquivalence, FewerVectorsThanLanes) {
+  // 7 vectors -> 7 lanes, one vector each; pooled == 7-stream scalar shard.
+  const Netlist nl = wallace_multiplier(6);
+  ActivityOptions opt;
+  opt.num_vectors = 7;
+  opt.delay_mode = SimDelayMode::kZero;
+  opt.engine = ActivityEngine::kBitParallel;
+  const ActivityMeasurement pooled = measure_activity(nl, opt);
+
+  ActivityOptions scalar = opt;
+  scalar.engine = ActivityEngine::kScalarEvent;
+  const ActivityMeasurement sharded = measure_activity_sharded(nl, scalar, 7);
+  EXPECT_EQ(pooled.transitions, sharded.transitions);
+  EXPECT_EQ(pooled.glitches, sharded.glitches);
+  EXPECT_EQ(pooled.data_periods, sharded.data_periods);
+  EXPECT_EQ(pooled.clock_cycles, sharded.clock_cycles);
+}
+
+TEST(BitsimLaneEquivalence, RejectsNonZeroDelayModes) {
+  const Netlist nl = array_multiplier(4);
+  ActivityOptions opt;
+  opt.engine = ActivityEngine::kBitParallel;
+  opt.delay_mode = SimDelayMode::kCellDepth;
+  EXPECT_THROW((void)measure_activity(nl, opt), InvalidArgument);
+  opt.delay_mode = SimDelayMode::kUnit;
+  EXPECT_THROW((void)measure_activity_lanes(nl, opt), InvalidArgument);
+}
+
+// --- thread-count determinism (runs under the TSan CI filter) --------------
+
+TEST(BitsimParallelDeterminism, ShardedBitParallelMatchesSerialExactly) {
+  const Netlist nl = array_multiplier(8);
+  ActivityOptions total;
+  total.num_vectors = 512;
+  total.delay_mode = SimDelayMode::kZero;
+  total.engine = ActivityEngine::kBitParallel;
+  const ActivityMeasurement serial = measure_activity_sharded(nl, total, 6);
+  for (const int threads : {2, 3, 5}) {
+    const ActivityMeasurement parallel =
+        measure_activity_sharded(nl, total, 6, ExecContext(threads));
+    EXPECT_EQ(parallel.transitions, serial.transitions) << "threads " << threads;
+    EXPECT_EQ(parallel.glitches, serial.glitches) << "threads " << threads;
+    EXPECT_EQ(parallel.data_periods, serial.data_periods) << "threads " << threads;
+    EXPECT_EQ(parallel.clock_cycles, serial.clock_cycles) << "threads " << threads;
+    EXPECT_EQ(parallel.activity, serial.activity) << "threads " << threads;
+    EXPECT_EQ(parallel.glitch_fraction, serial.glitch_fraction) << "threads " << threads;
+  }
+}
+
+TEST(BitsimParallelDeterminism, MixedEngineMultiMatchesSerialSlotForSlot) {
+  // Scalar, bit-parallel, and exact runs in ONE fan-out: slot k must belong
+  // to runs[k] bit-identically for any thread count (the per-chunk simulator
+  // reuse must not leak state across engines or repetitions).
+  const Netlist nl = array_multiplier(6);
+  std::vector<ActivityOptions> runs(9);
+  for (std::size_t k = 0; k < runs.size(); ++k) {
+    runs[k].num_vectors = 32 + static_cast<int>(k);
+    runs[k].seed = 0x5eed + 101 * k;
+    switch (k % 3) {
+      case 0:
+        runs[k].engine = ActivityEngine::kScalarEvent;
+        runs[k].delay_mode = SimDelayMode::kCellDepth;
+        break;
+      case 1:
+        runs[k].engine = ActivityEngine::kBitParallel;
+        runs[k].delay_mode = SimDelayMode::kZero;
+        break;
+      case 2:
+        runs[k].engine = ActivityEngine::kBddExact;
+        runs[k].num_vectors = 4;  // keep the symbolic runs cheap
+        break;
+    }
+  }
+  const std::vector<ActivityMeasurement> serial = measure_activity_multi(nl, runs);
+  for (const int threads : {2, 3, 5}) {
+    const std::vector<ActivityMeasurement> parallel =
+        measure_activity_multi(nl, runs, ExecContext(threads));
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t k = 0; k < serial.size(); ++k) {
+      EXPECT_EQ(parallel[k].transitions, serial[k].transitions)
+          << "slot " << k << " threads " << threads;
+      EXPECT_EQ(parallel[k].glitches, serial[k].glitches)
+          << "slot " << k << " threads " << threads;
+      EXPECT_EQ(parallel[k].activity, serial[k].activity)
+          << "slot " << k << " threads " << threads;
+      EXPECT_EQ(parallel[k].glitch_fraction, serial[k].glitch_fraction)
+          << "slot " << k << " threads " << threads;
+    }
+  }
+}
+
+TEST(BitsimParallelDeterminism, ReusedBitSimulatorMatchesFreshConstruction) {
+  // The per-chunk BitSimulator reuse contract: reset + rerun on one instance
+  // == fresh instance per run (same invariant measure_activity_with has for
+  // the scalar engine).
+  const Netlist nl = wallace_multiplier(8);
+  (void)nl.fanout();
+  ActivityOptions opt;
+  opt.num_vectors = 40;
+  opt.delay_mode = SimDelayMode::kZero;
+  opt.engine = ActivityEngine::kBitParallel;
+
+  BitSimulator reused(nl);
+  for (int rep = 0; rep < 3; ++rep) {
+    opt.seed = 0x1000 + static_cast<std::uint64_t>(rep);
+    const std::vector<ActivityMeasurement> with_reuse =
+        measure_activity_lanes_with(reused, opt);
+    const std::vector<ActivityMeasurement> fresh = measure_activity_lanes(nl, opt);
+    ASSERT_EQ(with_reuse.size(), fresh.size());
+    for (std::size_t l = 0; l < fresh.size(); ++l) {
+      EXPECT_EQ(with_reuse[l].transitions, fresh[l].transitions) << "lane " << l;
+      EXPECT_EQ(with_reuse[l].glitches, fresh[l].glitches) << "lane " << l;
+      EXPECT_EQ(with_reuse[l].clock_cycles, fresh[l].clock_cycles) << "lane " << l;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace optpower

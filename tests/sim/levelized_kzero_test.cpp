@@ -1,0 +1,130 @@
+// Levelized-semantics regression for SimDelayMode::kZero: replays the
+// scheduler-equivalence netlists (the PR-3 suite's circuits) through the
+// truly levelized kZero scheduler and pins the resulting transition counts.
+//
+// GOLDEN-UPDATE NOTE: these counts were INTENTIONALLY changed when kZero was
+// rewritten from the delta-cycle FIFO (which produced functional hazards on
+// reconvergent paths) to a single topological evaluation per settle.  They
+// are the hazard-free semantics the BDD exact-activity model predicts; any
+// future change to them is a semantics change, not a perf change - update
+// the goldens only together with sim/reference_sim.cpp, sim/bitsim.cpp, and
+// the exact-activity equality suite in tests/bdd/symbolic_activity_test.cpp,
+// and re-derive the values from a fresh EventSimulator run (never by
+// hand-editing to whatever a broken build prints).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mult/factory.h"
+#include "netlist/builder.h"
+#include "netlist/cell.h"
+#include "sim/event_sim.h"
+#include "util/random.h"
+
+namespace optpower {
+namespace {
+
+// Same circuits as tests/sim/scheduler_equivalence_test.cpp (kept in sync by
+// name): reconvergent carry-select paths are exactly where the delta-cycle
+// scheduler hazarded.
+Netlist glitchy_adder_netlist() {
+  Netlist nl;
+  const Bus a = add_input_bus(nl, "a", 8);
+  const Bus b = add_input_bus(nl, "b", 8);
+  const AdderResult r = carry_select_adder(nl, a, b, kNoNet, 3);
+  Bus out = r.sum;
+  out.push_back(r.carry_out);
+  NetId x = a[0];
+  for (int i = 0; i < 5; ++i) x = nl.add_gate(CellType::kInv, {x});
+  out.push_back(nl.add_gate(CellType::kXor2, {a[0], x}));
+  add_output_bus(nl, "s", out);
+  return nl;
+}
+
+Netlist sequential_netlist() {
+  Netlist nl;
+  const Bus cnt = add_counter(nl, 4);
+  const Bus dec = add_decoder(nl, cnt);
+  const NetId en = nl.add_input("en");
+  const Bus held = register_bus(nl, dec, en);
+  add_output_bus(nl, "d", held);
+  return nl;
+}
+
+struct KZeroGolden {
+  const char* name;
+  int cycles;
+  std::uint64_t seed;
+  std::uint64_t transitions;
+  std::uint64_t glitches;
+};
+
+void expect_golden(const Netlist& nl, const KZeroGolden& g) {
+  EventSimulator sim(nl, SimDelayMode::kZero);
+  Pcg32 rng(g.seed);
+  const std::size_t num_inputs = nl.primary_inputs().size();
+  std::vector<bool> vec(num_inputs);
+  for (int c = 0; c < g.cycles; ++c) {
+    for (std::size_t i = 0; i < num_inputs; ++i) vec[i] = rng.next_bool();
+    sim.set_inputs(vec);
+    sim.step_cycle();
+  }
+  EXPECT_EQ(sim.stats().total_transitions, g.transitions) << g.name;
+  EXPECT_EQ(sim.stats().glitch_transitions, g.glitches) << g.name;
+  EXPECT_EQ(sim.stats().cycles, static_cast<std::uint64_t>(g.cycles)) << g.name;
+}
+
+TEST(LevelizedKZero, GoldenTransitionCountsPinned) {
+  expect_golden(glitchy_adder_netlist(),
+                {"glitchy_adder", 64, 0xc0ffee01ULL, 1466u, 0u});
+  expect_golden(sequential_netlist(), {"sequential", 64, 0xc0ffee02ULL, 1455u, 0u});
+  for (const KZeroGolden& g :
+       {KZeroGolden{"RCA", 24, 0x5eed0001ULL, 1645u, 0u},
+        KZeroGolden{"Wallace", 24, 0x5eed0001ULL, 2334u, 0u},
+        KZeroGolden{"RCA hor.pipe4", 24, 0x5eed0001ULL, 2361u, 0u}}) {
+    const GeneratedMultiplier gen = build_multiplier(g.name, 8);
+    expect_golden(gen.netlist, g);
+  }
+  const GeneratedMultiplier seq = build_multiplier("Sequential", 8);
+  ASSERT_EQ(8 * seq.cycles_per_result, 64);
+  expect_golden(seq.netlist, {"Sequential", 64, 0x5eed0003ULL, 2906u, 136u});
+}
+
+TEST(LevelizedKZero, CombinationalNetlistsAreHazardFree) {
+  // A truly levelized settle changes each net at most once per pass, and a
+  // purely combinational cycle runs exactly one effective pass - so kZero
+  // glitch counts must be exactly zero whatever the stimulus.  (Sequential
+  // netlists may still double-toggle a comb net across the pre- and
+  // post-edge settles: the Sequential golden above pins 136 of those.)
+  const Netlist nl = glitchy_adder_netlist();
+  EventSimulator sim(nl, SimDelayMode::kZero);
+  Pcg32 rng(0xfee1900d);
+  std::vector<bool> vec(nl.primary_inputs().size());
+  for (int c = 0; c < 200; ++c) {
+    for (std::size_t i = 0; i < vec.size(); ++i) vec[i] = rng.next_bool();
+    sim.set_inputs(vec);
+    sim.step_cycle();
+  }
+  EXPECT_GT(sim.stats().total_transitions, 0u);
+  EXPECT_EQ(sim.stats().glitch_transitions, 0u);
+}
+
+TEST(LevelizedKZero, TimedModesUnchangedByTheRewrite) {
+  // The levelized rewrite is kZero-only: under kCellDepth the same stimulus
+  // must still produce glitch traffic (the reconvergent carry-select paths
+  // exist precisely to glitch under unequal delays).
+  const Netlist nl = glitchy_adder_netlist();
+  EventSimulator sim(nl, SimDelayMode::kCellDepth);
+  Pcg32 rng(0xc0ffee01);
+  std::vector<bool> vec(nl.primary_inputs().size());
+  for (int c = 0; c < 64; ++c) {
+    for (std::size_t i = 0; i < vec.size(); ++i) vec[i] = rng.next_bool();
+    sim.set_inputs(vec);
+    sim.step_cycle();
+  }
+  EXPECT_GT(sim.stats().glitch_transitions, 0u);
+}
+
+}  // namespace
+}  // namespace optpower
