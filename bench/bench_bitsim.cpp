@@ -1,20 +1,29 @@
-// Bit-parallel activity-engine benchmarks: the 64-lane levelized simulator
-// against the scalar kZero event path it widens and the glitch-accurate
-// kCellDepth path it complements.
+// Bit-parallel activity-engine benchmarks: the 512-lane SIMD levelized
+// simulator against the scalar kZero event path it widens and the
+// glitch-accurate kCellDepth path it complements.
 //
 // Reproduction table: Monte-Carlo activity throughput (vectors/sec) per
 // engine across the RCA / Wallace / Sequential families at widths 8/16/32 -
-// the visible record of the >= 10x bit-parallel speedup target - with the
-// measured "a" printed per engine as a live cross-check (bit-parallel must
-// track scalar kZero; kCellDepth sits above both by the glitch power).
+// the visible record of the bit-parallel speedup target - with the measured
+// "a" printed per engine as a live cross-check (bit-parallel must track
+// scalar kZero; kCellDepth sits above both by the glitch power).
+//
+// The default-named benchmarks (BM_BitParallelActivity & co) run on the
+// process default SIMD backend (cpuid, or OPTPOWER_SIMD); main()
+// additionally registers one BM_BitParallelActivityBackend/<name> variant
+// per backend the machine supports, so one run records the scalar / AVX2 /
+// AVX-512 ladder side by side.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
 #include "mult/factory.h"
 #include "sim/activity.h"
+#include "sim/bitsim.h"
+#include "simd/simd.h"
 #include "util/table.h"
 
 namespace optpower {
@@ -50,7 +59,13 @@ EngineRun timed_run(const Netlist& nl, const ActivityOptions& options) {
 void print_throughput_table() {
   bench::print_header(
       "Monte-Carlo activity throughput: bit-parallel vs scalar kZero vs kCellDepth\n"
-      "(vectors/sec; bit-parallel packs 64 testbench streams per word)");
+      "(vectors/sec; bit-parallel packs 512 testbench streams per lane block)");
+  std::printf("simd backend: %s (supported:",
+              simd::backend_name(simd::default_backend()));
+  for (const simd::Backend b : simd::supported_backends()) {
+    std::printf(" %s", simd::backend_name(b));
+  }
+  std::printf(")\n\n");
   Table t({"Arch", "w", "bit-par vec/s", "kZero vec/s", "kCellDepth vec/s", "speedup vs kZero",
            "a bit-par", "a kZero"});
   for (const char* arch : {"RCA", "Wallace", "Sequential"}) {
@@ -92,8 +107,24 @@ void BM_BitParallelActivity(benchmark::State& state) {
     benchmark::DoNotOptimize(measure_activity(nl, opt).transitions);
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBitsimVectors));
+  state.SetLabel(simd::backend_name(simd::default_backend()));
 }
 BENCHMARK(BM_BitParallelActivity)->Unit(benchmark::kMillisecond);
+
+// One registration per supported backend (see main): the same measurement
+// as BM_BitParallelActivity, pinned to an explicit kernel backend.
+void BM_BitParallelActivityBackend(benchmark::State& state, simd::Backend backend) {
+  const Netlist& nl = bitsim_netlist();
+  ActivityOptions opt;
+  opt.num_vectors = kBitsimVectors;
+  opt.delay_mode = SimDelayMode::kZero;
+  opt.engine = ActivityEngine::kBitParallel;
+  BitSimulator sim(nl, backend);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure_activity_lanes_with(sim, opt).size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBitsimVectors));
+}
 
 void BM_ScalarKZeroActivity(benchmark::State& state) {
   const Netlist& nl = bitsim_netlist();
@@ -119,8 +150,8 @@ void BM_CellDepthActivity(benchmark::State& state) {
 }
 BENCHMARK(BM_CellDepthActivity)->Unit(benchmark::kMillisecond);
 
-// Sharding whole 64-lane words over the pool: the bit-parallel analogue of
-// bench_event_sim's BM_ActivitySharded pair.
+// Sharding whole 512-lane blocks over the pool: the bit-parallel analogue
+// of bench_event_sim's BM_ActivitySharded pair.
 void BM_BitParallelShardedSerial(benchmark::State& state) {
   const Netlist& nl = bitsim_netlist();
   ActivityOptions total;
@@ -155,6 +186,14 @@ BENCHMARK(BM_BitParallelShardedParallel)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   optpower::print_throughput_table();
+  for (const optpower::simd::Backend b : optpower::simd::supported_backends()) {
+    benchmark::RegisterBenchmark(
+        ("BM_BitParallelActivityBackend/" +
+         std::string(optpower::simd::backend_name(b)))
+            .c_str(),
+        optpower::BM_BitParallelActivityBackend, b)
+        ->Unit(benchmark::kMillisecond);
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

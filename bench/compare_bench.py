@@ -13,14 +13,24 @@ Usage:
   # Refresh the baseline from fresh results
   python3 bench/compare_bench.py --baseline bench/baseline.json --update BENCH_*.json
 
+  # Gate, then adopt any NEW entries into the baseline (existing entries
+  # keep their recorded times and still gate normally)
+  python3 bench/compare_bench.py --baseline bench/baseline.json --adopt-new BENCH_*.json
+
 Conventions:
   * Each result file is keyed by its benchmark binary, taken from the
     "executable" field of the google-benchmark context (basename, so the
     same baseline works for any build directory).
   * Benchmarks present in the results but not in the baseline are reported
-    as NEW warnings and NEVER fail the gate: a PR that adds a bench binary
-    stays green without a same-PR baseline refresh (adopt the new entries
-    with ``--update`` when re-recording on the gate's runner class).
+    as NEW warnings and do not fail the gate on first sight: a PR that adds
+    a bench binary stays green without a same-PR baseline refresh.  Pass
+    ``--new-seen state.json`` (a scratch file CI caches between runs) to
+    keep NEW from becoming a permanent blind spot: an entry that is STILL
+    new on the next gated run fails the gate until someone either adopts it
+    (``--adopt-new`` / ``--update``) or deletes the benchmark.
+  * ``--adopt-new`` merges the new entries' measured times into the
+    baseline after gating; existing entries are left untouched (unlike
+    ``--update``, which rewrites every entry).
   * Baseline entries with no current measurement are reported as MISSING
     and do not fail the gate (CI may legitimately run a subset).
   * ``*Serial`` / ``*Parallel`` benchmark pairs additionally get a speedup
@@ -67,6 +77,27 @@ def load_all_results(paths):
     return merged
 
 
+def load_baseline(path):
+    """The baseline's name -> real_time_ns map (and its _meta note)."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    return doc.get("benchmarks", {}), doc.get("_meta", {})
+
+
+def read_new_seen(path):
+    """Names reported NEW by the previous gated run (empty when absent)."""
+    if not os.path.exists(path):
+        return set()
+    with open(path) as fh:
+        return set(json.load(fh))
+
+
+def write_new_seen(path, names):
+    with open(path, "w") as fh:
+        json.dump(sorted(names), fh, indent=2)
+        fh.write("\n")
+
+
 def update_baseline(baseline_path, results, note):
     baseline = {
         "_meta": {
@@ -95,7 +126,7 @@ def print_speedups(results):
             print(f"  {speedup:5.2f}x  {parallel}")
 
 
-def main():
+def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("results", nargs="+", help="google-benchmark JSON result files")
     parser.add_argument("--baseline", required=True, help="checked-in baseline JSON")
@@ -103,9 +134,15 @@ def main():
                         help="allowed slowdown fraction before failing (default 0.25 = +25%%)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the results instead of gating")
+    parser.add_argument("--adopt-new", action="store_true",
+                        help="after gating, merge NEW entries into the baseline "
+                             "(existing entries keep their recorded times)")
+    parser.add_argument("--new-seen", metavar="STATE",
+                        help="scratch file tracking NEW entries across runs; an entry "
+                             "still NEW on the next run fails the gate")
     parser.add_argument("--note", default="refreshed by compare_bench.py --update",
-                        help="note stored in the baseline _meta on --update")
-    args = parser.parse_args()
+                        help="note stored in the baseline _meta on --update/--adopt-new")
+    args = parser.parse_args(argv)
 
     results = load_all_results(args.results)
     if not results:
@@ -117,17 +154,16 @@ def main():
         print_speedups(results)
         return 0
 
-    with open(args.baseline) as fh:
-        baseline = json.load(fh)["benchmarks"]
+    baseline, _ = load_baseline(args.baseline)
 
     regressions = []
     improved = 0
     compared = 0
-    new = 0
+    new_names = []
     for name in sorted(results):
         if name not in baseline:
-            new += 1
-            print(f"  NEW      {name} (warn only, not in baseline; adopt via --update)")
+            new_names.append(name)
+            print(f"  NEW      {name} (not in baseline; adopt via --adopt-new or --update)")
             continue
         compared += 1
         base, cur = baseline[name], results[name]
@@ -141,12 +177,31 @@ def main():
         if name not in results:
             print(f"  MISSING  {name} (in baseline, not measured)")
 
-    print(f"\n{compared} compared, {improved} improved, {new} new (warn only), "
+    print(f"\n{compared} compared, {improved} improved, {len(new_names)} new, "
           f"{len(regressions)} regressed (threshold +{args.threshold * 100:.0f}%)")
     print_speedups(results)
 
+    if args.adopt_new and new_names:
+        merged = dict(baseline)
+        merged.update({name: results[name] for name in new_names})
+        update_baseline(args.baseline, merged, args.note)
+        print(f"adopted {len(new_names)} new entries into the baseline")
+        new_names = []
+
+    stale = []
+    if args.new_seen:
+        stale = sorted(set(new_names) & read_new_seen(args.new_seen))
+        write_new_seen(args.new_seen, new_names)
+        for name in stale:
+            print(f"  STALE-NEW {name} (still not in baseline since the previous run)")
+
     if regressions:
         print("\nFAIL: benchmark regression gate", file=sys.stderr)
+        return 1
+    if stale:
+        print("\nFAIL: NEW benchmarks persisted across runs without baseline adoption "
+              "(run compare_bench.py --adopt-new on the gate's runner class)",
+              file=sys.stderr)
         return 1
     print("OK: no benchmark regressions")
     return 0

@@ -1,0 +1,172 @@
+"""Unit tests for the benchmark-regression gate (stdlib unittest only).
+
+Run from the repo root with:
+  python3 -m unittest discover -s bench -p "test_*.py" -v
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import compare_bench
+
+
+def result_doc(executable, benches):
+    """A google-benchmark JSON document with {name: (time, unit)} entries."""
+    return {
+        "context": {"executable": f"/some/build/dir/{executable}"},
+        "benchmarks": [
+            {"name": name, "run_type": "iteration", "real_time": time, "time_unit": unit}
+            for name, (time, unit) in benches.items()
+        ],
+    }
+
+
+class CompareBenchBase(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self._tmp.cleanup)
+        self.dir = self._tmp.name
+
+    def write_json(self, name, doc):
+        path = os.path.join(self.dir, name)
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        return path
+
+    def write_results(self, name, executable, benches):
+        return self.write_json(name, result_doc(executable, benches))
+
+    def write_baseline(self, benchmarks):
+        return self.write_json("baseline.json", {"_meta": {}, "benchmarks": benchmarks})
+
+    def run_main(self, argv):
+        out, err = io.StringIO(), io.StringIO()
+        with redirect_stdout(out), redirect_stderr(err):
+            code = compare_bench.main(argv)
+        return code, out.getvalue(), err.getvalue()
+
+
+class LoadResultsTest(CompareBenchBase):
+    def test_keys_by_executable_basename_and_normalizes_units(self):
+        path = self.write_results(
+            "BENCH_bench_x.json", "bench_x",
+            {"BM_Fast": (2.0, "us"), "BM_Slow": (3.0, "ms")})
+        results = compare_bench.load_results(path)
+        self.assertEqual(results, {"bench_x/BM_Fast": 2000.0, "bench_x/BM_Slow": 3e6})
+
+    def test_skips_aggregate_rows(self):
+        doc = result_doc("bench_x", {"BM_A": (1.0, "ns")})
+        doc["benchmarks"].append(
+            {"name": "BM_A_mean", "run_type": "aggregate", "real_time": 9.0, "time_unit": "ns"})
+        results = compare_bench.load_results(self.write_json("r.json", doc))
+        self.assertEqual(list(results), ["bench_x/BM_A"])
+
+    def test_falls_back_to_file_name_without_executable(self):
+        doc = result_doc("", {"BM_A": (1.0, "ns")})
+        doc["context"] = {}
+        results = compare_bench.load_results(self.write_json("BENCH_bench_y.json", doc))
+        self.assertEqual(list(results), ["bench_y/BM_A"])
+
+
+class GateTest(CompareBenchBase):
+    def test_regression_beyond_threshold_fails(self):
+        baseline = self.write_baseline({"bench_x/BM_A": 1000.0})
+        results = self.write_results("r.json", "bench_x", {"BM_A": (1400.0, "ns")})
+        code, out, err = self.run_main([results, "--baseline", baseline])
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSED", out)
+        self.assertIn("FAIL", err)
+
+    def test_within_threshold_passes(self):
+        baseline = self.write_baseline({"bench_x/BM_A": 1000.0})
+        results = self.write_results("r.json", "bench_x", {"BM_A": (1200.0, "ns")})
+        code, out, _ = self.run_main([results, "--baseline", baseline])
+        self.assertEqual(code, 0)
+        self.assertIn("OK", out)
+
+    def test_missing_entries_warn_but_pass(self):
+        baseline = self.write_baseline({"bench_x/BM_A": 1000.0, "bench_x/BM_Gone": 5.0})
+        results = self.write_results("r.json", "bench_x", {"BM_A": (900.0, "ns")})
+        code, out, _ = self.run_main([results, "--baseline", baseline])
+        self.assertEqual(code, 0)
+        self.assertIn("MISSING", out)
+
+    def test_new_entries_warn_only_on_first_sight(self):
+        baseline = self.write_baseline({"bench_x/BM_A": 1000.0})
+        results = self.write_results(
+            "r.json", "bench_x", {"BM_A": (1000.0, "ns"), "BM_New": (7.0, "ns")})
+        code, out, _ = self.run_main([results, "--baseline", baseline])
+        self.assertEqual(code, 0)
+        self.assertIn("NEW", out)
+
+    def test_update_rewrites_baseline(self):
+        baseline = self.write_baseline({"bench_x/BM_Old": 1.0})
+        results = self.write_results("r.json", "bench_x", {"BM_A": (42.0, "ns")})
+        code, _, _ = self.run_main([results, "--baseline", baseline, "--update"])
+        self.assertEqual(code, 0)
+        entries, _ = compare_bench.load_baseline(baseline)
+        self.assertEqual(entries, {"bench_x/BM_A": 42.0})
+
+
+class AdoptNewTest(CompareBenchBase):
+    def test_adopts_only_new_entries(self):
+        baseline = self.write_baseline({"bench_x/BM_A": 1000.0})
+        results = self.write_results(
+            "r.json", "bench_x", {"BM_A": (1100.0, "ns"), "BM_New": (7.0, "ns")})
+        code, out, _ = self.run_main([results, "--baseline", baseline, "--adopt-new"])
+        self.assertEqual(code, 0)
+        self.assertIn("adopted 1 new", out)
+        entries, _ = compare_bench.load_baseline(baseline)
+        # The existing entry keeps its recorded time; only BM_New is added.
+        self.assertEqual(entries, {"bench_x/BM_A": 1000.0, "bench_x/BM_New": 7.0})
+
+    def test_adoption_still_gates_existing_entries(self):
+        baseline = self.write_baseline({"bench_x/BM_A": 1000.0})
+        results = self.write_results(
+            "r.json", "bench_x", {"BM_A": (2000.0, "ns"), "BM_New": (7.0, "ns")})
+        code, _, err = self.run_main([results, "--baseline", baseline, "--adopt-new"])
+        self.assertEqual(code, 1)
+        self.assertIn("FAIL", err)
+
+
+class NewSeenTest(CompareBenchBase):
+    def setUp(self):
+        super().setUp()
+        self.baseline = self.write_baseline({"bench_x/BM_A": 1000.0})
+        self.results = self.write_results(
+            "r.json", "bench_x", {"BM_A": (1000.0, "ns"), "BM_New": (7.0, "ns")})
+        self.state = os.path.join(self.dir, "new_seen.json")
+
+    def test_first_sight_passes_and_records_state(self):
+        code, _, _ = self.run_main(
+            [self.results, "--baseline", self.baseline, "--new-seen", self.state])
+        self.assertEqual(code, 0)
+        self.assertEqual(compare_bench.read_new_seen(self.state), {"bench_x/BM_New"})
+
+    def test_persisting_new_entry_fails_second_run(self):
+        args = [self.results, "--baseline", self.baseline, "--new-seen", self.state]
+        self.assertEqual(self.run_main(args)[0], 0)
+        code, out, err = self.run_main(args)
+        self.assertEqual(code, 1)
+        self.assertIn("STALE-NEW", out)
+        self.assertIn("FAIL", err)
+
+    def test_adoption_clears_the_state(self):
+        args = [self.results, "--baseline", self.baseline, "--new-seen", self.state]
+        self.assertEqual(self.run_main(args)[0], 0)
+        code, _, _ = self.run_main(args + ["--adopt-new"])
+        self.assertEqual(code, 0)
+        self.assertEqual(compare_bench.read_new_seen(self.state), set())
+        # And the run after that is clean: the entry is in the baseline now.
+        self.assertEqual(self.run_main(args)[0], 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "numeric/roots.h"
+#include "simd/simd.h"
 #include "util/constants.h"
 #include "util/error.h"
 
@@ -24,6 +25,18 @@ double PowerModel::static_power(double vdd, double vth) const noexcept {
 
 double PowerModel::total_power(double vdd, double vth, double frequency) const noexcept {
   return dynamic_power(vdd, frequency) + static_power(vdd, vth);
+}
+
+void PowerModel::total_power_row(double vdd, double frequency, const double* vth, double* out,
+                                 std::size_t n) const {
+  simd::PowRowArgs args;
+  args.vth = vth;
+  args.out = out;
+  args.n = n;
+  args.pdyn = dynamic_power(vdd, frequency);
+  args.stat_coeff = arch_.n_cells * vdd * tech_.io;
+  args.neg_inv_nut = -1.0 / tech_.n_ut();
+  simd::kernels(simd::default_backend()).total_power_row(args);
 }
 
 OperatingPoint PowerModel::operating_point(double vdd, double vth, double frequency) const {

@@ -8,6 +8,8 @@
 // between the effective Vth and the zero-bias Vth0.
 #pragma once
 
+#include <cstddef>
+
 #include "arch/architecture.h"
 #include "tech/technology.h"
 
@@ -62,6 +64,14 @@ class PowerModel {
 
   /// Ptot = Pdyn + Pstat  [W].
   [[nodiscard]] double total_power(double vdd, double vth, double frequency) const noexcept;
+
+  /// Vectorized row: out[i] = total_power(vdd, vth[i], frequency) for a whole
+  /// vth sweep at a fixed supply, dispatched to the simd/ backend's
+  /// polynomial-exp kernel.  Bit-identical on every backend (the kernels
+  /// share one mul/add-only exp), and within ~1e-13 relative of the scalar
+  /// std::exp path - the surface/report sweeps absorb that.
+  void total_power_row(double vdd, double frequency, const double* vth, double* out,
+                       std::size_t n) const;
 
   /// Assemble a full OperatingPoint record at (vdd, vth, f).
   [[nodiscard]] OperatingPoint operating_point(double vdd, double vth, double frequency) const;

@@ -84,14 +84,20 @@ std::vector<SurfaceCell> power_surface(const PowerModel& model, double frequency
   parallel_for(ctx, nx, [&](std::size_t i) {
     const double vdd =
         vdd_lo + (vdd_hi - vdd_lo) * static_cast<double>(i) / static_cast<double>(nx - 1);
+    // Whole vth row at once through the SIMD power kernel; feasibility stays
+    // a scalar per-cell check (timing is not on the row kernel's fast path).
+    std::vector<double> vths(ny);
+    std::vector<double> ptots(ny);
     for (std::size_t j = 0; j < ny; ++j) {
-      const double vth =
-          vth_lo + (vth_hi - vth_lo) * static_cast<double>(j) / static_cast<double>(ny - 1);
+      vths[j] = vth_lo + (vth_hi - vth_lo) * static_cast<double>(j) / static_cast<double>(ny - 1);
+    }
+    model.total_power_row(vdd, frequency, vths.data(), ptots.data(), ny);
+    for (std::size_t j = 0; j < ny; ++j) {
       SurfaceCell& c = cells[i * ny + j];
       c.vdd = vdd;
-      c.vth = vth;
-      c.ptot = model.total_power(vdd, vth, frequency);
-      c.feasible = vth < vdd && model.meets_timing(vdd, vth, frequency);
+      c.vth = vths[j];
+      c.ptot = ptots[j];
+      c.feasible = vths[j] < vdd && model.meets_timing(vdd, vths[j], frequency);
     }
   });
   return cells;

@@ -5,6 +5,7 @@
 
 #include "bdd/symbolic.h"
 #include "sim/bitsim.h"
+#include "simd/simd.h"
 #include "util/error.h"
 #include "util/random.h"
 
@@ -130,8 +131,7 @@ std::vector<ActivityMeasurement> measure_activity_lanes_with(BitSimulator& sim,
   const int lanes = std::min(BitSimulator::kLanes, options.num_vectors);
   const int base = options.num_vectors / lanes;
   const int rem = options.num_vectors % lanes;
-  const std::uint64_t full_mask =
-      lanes == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << lanes) - 1);
+  const BitSimulator::LaneMask full_mask = BitSimulator::lane_mask(lanes);
 
   sim.reset_state();
   sim.reset_stats();
@@ -139,33 +139,46 @@ std::vector<ActivityMeasurement> measure_activity_lanes_with(BitSimulator& sim,
 
   // Lane l is the stream a scalar kZero run would execute with seed
   // options.seed + l: its RNG draws one bit per primary input per fresh
-  // vector, in input-declaration order.
-  std::vector<Pcg32> rngs;
-  rngs.reserve(static_cast<std::size_t>(lanes));
+  // vector, in input-declaration order.  The draws themselves run in the
+  // backend's stimulus kernel - many PCG32 registers advanced in lockstep,
+  // draw-for-draw identical to Pcg32::next_bool() (every backend's kernel
+  // replicates the exact arithmetic; tests/simd asserts the streams match).
+  std::vector<std::uint64_t> rng_state(simd::kLanesPerBlock, 0);
+  std::vector<std::uint64_t> rng_inc(simd::kLanesPerBlock, 1);
   for (int l = 0; l < lanes; ++l) {
-    rngs.emplace_back(options.seed + static_cast<std::uint64_t>(l));
+    const Pcg32::State st =
+        Pcg32(options.seed + static_cast<std::uint64_t>(l)).internal_state();
+    rng_state[static_cast<std::size_t>(l)] = st.state;
+    rng_inc[static_cast<std::size_t>(l)] = st.inc;
   }
   const std::size_t num_inputs = netlist.primary_inputs().size();
-  std::vector<std::uint64_t> words(num_inputs, 0);
+  std::vector<std::uint64_t> blocks(num_inputs * simd::kWordsPerBlock, 0);
+  const simd::Kernels& kern = simd::kernels(sim.backend());
 
-  const auto apply_random_vectors = [&](std::uint64_t draw_mask) {
+  const auto apply_random_vectors = [&](const BitSimulator::LaneMask& draw_mask) {
     // Lanes outside draw_mask hold their previous vector (their streams are
     // exhausted; their statistics are frozen by the active mask).
-    for (std::size_t i = 0; i < num_inputs; ++i) {
-      std::uint64_t w = words[i];
-      for (std::uint64_t m = draw_mask; m != 0; m &= m - 1) {
-        const int l = __builtin_ctzll(m);
-        const std::uint64_t bit = std::uint64_t{1} << l;
-        w = rngs[static_cast<std::size_t>(l)].next_bool() ? (w | bit) : (w & ~bit);
-      }
-      words[i] = w;
-    }
-    sim.set_inputs(words);
+    simd::StimCtx sc;
+    sc.state = rng_state.data();
+    sc.inc = rng_inc.data();
+    sc.blocks = blocks.data();
+    sc.n_inputs = num_inputs;
+    sc.draw_mask = draw_mask.data();
+    kern.draw_bools(sc);
+    sim.set_inputs(blocks);
   };
 
-  for (int v = 0; v < options.warmup_vectors; ++v) {
-    apply_random_vectors(full_mask);
-    for (int c = 0; c < options.cycles_per_vector; ++c) sim.step_cycle();
+  // Warmup statistics are discarded by the reset below, so freeze every
+  // lane's counters for the duration: the kernels skip all accounting work
+  // for frozen lanes, making warmup cycles nearly as cheap as held-input
+  // cycles.  Values still evolve normally (the mask gates stats only).
+  if (options.warmup_vectors > 0) {
+    sim.set_active_mask(BitSimulator::lane_mask(0));
+    for (int v = 0; v < options.warmup_vectors; ++v) {
+      apply_random_vectors(full_mask);
+      for (int c = 0; c < options.cycles_per_vector; ++c) sim.step_cycle();
+    }
+    sim.set_active_mask(full_mask);
   }
   sim.reset_stats();
 
@@ -174,7 +187,7 @@ std::vector<ActivityMeasurement> measure_activity_lanes_with(BitSimulator& sim,
   // active.
   const int max_count = base + (rem > 0 ? 1 : 0);
   for (int v = 0; v < max_count; ++v) {
-    const std::uint64_t mask = v < base ? full_mask : (std::uint64_t{1} << rem) - 1;
+    const BitSimulator::LaneMask mask = v < base ? full_mask : BitSimulator::lane_mask(rem);
     apply_random_vectors(mask);
     sim.set_active_mask(mask);
     for (int c = 0; c < options.cycles_per_vector; ++c) sim.step_cycle();
@@ -250,10 +263,13 @@ ActivityMeasurement measure_activity_sharded(const Netlist& netlist, const Activ
   std::vector<ActivityOptions> runs(static_cast<std::size_t>(streams), total);
   const int base = total.num_vectors / streams;
   const int remainder = total.num_vectors % streams;
-  // Bit-parallel streams are whole words whose lanes consume seeds
-  // [seed + 64s, seed + 64s + lanes); spacing the words 64 seeds apart keeps
-  // every stimulus stream in the pool globally distinct.
-  const std::uint64_t seed_stride = total.engine == ActivityEngine::kBitParallel ? 64 : 1;
+  // Bit-parallel streams are whole lane blocks whose lanes consume seeds
+  // [seed + kLanes*s, seed + kLanes*s + lanes); spacing the blocks kLanes
+  // seeds apart keeps every stimulus stream in the pool globally distinct.
+  const std::uint64_t seed_stride =
+      total.engine == ActivityEngine::kBitParallel
+          ? static_cast<std::uint64_t>(BitSimulator::kLanes)
+          : 1;
   for (int s = 0; s < streams; ++s) {
     runs[static_cast<std::size_t>(s)].num_vectors = base + (s < remainder ? 1 : 0);
     runs[static_cast<std::size_t>(s)].seed =

@@ -2,7 +2,7 @@
 // paper's "a" (switching cells per throughput cycle over total cells,
 // glitches included), unified behind the ActivityEngine seam - the same
 // options and the same ActivityMeasurement whether the extraction runs the
-// scalar event simulator, the 64-lane bit-parallel engine, or the exact
+// scalar event simulator, the 512-lane bit-parallel engine, or the exact
 // BDD model.
 #pragma once
 
@@ -23,12 +23,13 @@ enum class ActivityEngine {
   /// Event-driven EventSimulator testbench, one vector at a time: the only
   /// engine that honors every SimDelayMode (kCellDepth = glitch-accurate).
   kScalarEvent,
-  /// 64-lane bit-parallel levelized engine (sim/bitsim.h): packs up to 64
-  /// independent testbench streams into one word per net and evaluates each
-  /// gate once per level.  Zero-delay only (`delay_mode` must be kZero);
-  /// stream l is bit-identical to a scalar kZero run seeded `seed + l`, so
-  /// the pooled result equals measure_activity_sharded() of the scalar
-  /// engine with min(64, num_vectors) streams, counter for counter.
+  /// 512-lane bit-parallel levelized engine (sim/bitsim.h): packs up to
+  /// BitSimulator::kLanes independent testbench streams into one lane block
+  /// per net and evaluates each gate once per level on the runtime-selected
+  /// SIMD backend.  Zero-delay only (`delay_mode` must be kZero); stream l
+  /// is bit-identical to a scalar kZero run seeded `seed + l`, so the pooled
+  /// result equals measure_activity_sharded() of the scalar engine with
+  /// min(kLanes, num_vectors) streams, counter for counter.
   kBitParallel,
   /// Exact zero-delay expectation via BDD signal probabilities
   /// (bdd/symbolic.h): no stimulus, no variance.  `seed` and `delay_mode`
@@ -66,9 +67,9 @@ struct ActivityMeasurement {
 
 /// Drive `netlist` with uniform random input vectors (one fresh vector per
 /// data period, held for cycles_per_vector clocks) and measure activity
-/// with the selected engine.  kBitParallel splits the vectors over up to 64
-/// lanes (seeded seed + lane) and pools them; kBddExact computes the exact
-/// expectation of the same schedule.
+/// with the selected engine.  kBitParallel splits the vectors over up to
+/// BitSimulator::kLanes lanes (seeded seed + lane) and pools them; kBddExact
+/// computes the exact expectation of the same schedule.
 [[nodiscard]] ActivityMeasurement measure_activity(const Netlist& netlist,
                                                    const ActivityOptions& options = {});
 
@@ -84,9 +85,9 @@ struct ActivityMeasurement {
 
 /// The bit-parallel testbench, one ActivityMeasurement per lane: lane l runs
 /// an independent stimulus stream seeded `options.seed + l` over
-/// `options.num_vectors` split evenly across min(64, num_vectors) lanes
-/// (remainder to the lowest lanes, like measure_activity_sharded), each with
-/// its own warmup.  Lane l's measurement is bit-identical to a scalar kZero
+/// `options.num_vectors` split evenly across min(BitSimulator::kLanes,
+/// num_vectors) lanes (remainder to the lowest lanes, like
+/// measure_activity_sharded), each with its own warmup.  Lane l's measurement is bit-identical to a scalar kZero
 /// measure_activity() of that stream; merge_activity() of the result is what
 /// measure_activity() with engine = kBitParallel returns.  Requires
 /// delay_mode = kZero.
@@ -114,9 +115,9 @@ struct ActivityMeasurement {
 /// one pooled measurement.  Deterministic for a fixed stream count
 /// regardless of thread count.  Stream seeds are engine-dependent:
 ///  * kScalarEvent: stream s runs scalar with seed total.seed + s.
-///  * kBitParallel: stream s is one 64-lane WORD with lane seeds
-///    total.seed + 64*s + l (globally distinct streams), so the words shard
-///    over `ctx` with slot-stable determinism.
+///  * kBitParallel: stream s is one whole LANE BLOCK with lane seeds
+///    total.seed + kLanes*s + l (globally distinct streams), so the blocks
+///    shard over `ctx` with slot-stable determinism.
 ///  * kBddExact: sharding cannot reduce the variance of an exact
 ///    expectation, so this returns measure_activity(netlist, total) as-is.
 [[nodiscard]] ActivityMeasurement measure_activity_sharded(const Netlist& netlist,

@@ -1,6 +1,7 @@
 #include "sim/bitsim.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "netlist/cell.h"
 #include "util/error.h"
@@ -8,65 +9,104 @@
 namespace optpower {
 
 namespace {
-
-/// eval_cell lifted to 64-lane words: the cell's truth table expressed as
-/// bitwise ops (the FA carry is the 3-input majority compressor form).
-/// `in` holds one word per input pin, `out` receives one word per output.
-inline void eval_cell_words(CellType type, const std::uint64_t* in, std::uint64_t* out) {
-  switch (type) {
-    case CellType::kConst0: out[0] = 0; return;
-    case CellType::kConst1: out[0] = ~std::uint64_t{0}; return;
-    case CellType::kBuf: out[0] = in[0]; return;
-    case CellType::kInv: out[0] = ~in[0]; return;
-    case CellType::kAnd2: out[0] = in[0] & in[1]; return;
-    case CellType::kOr2: out[0] = in[0] | in[1]; return;
-    case CellType::kNand2: out[0] = ~(in[0] & in[1]); return;
-    case CellType::kNor2: out[0] = ~(in[0] | in[1]); return;
-    case CellType::kXor2: out[0] = in[0] ^ in[1]; return;
-    case CellType::kXnor2: out[0] = ~(in[0] ^ in[1]); return;
-    case CellType::kMux2:
-      // inputs {a, b, sel} -> sel ? b : a
-      out[0] = (in[2] & in[1]) | (~in[2] & in[0]);
-      return;
-    case CellType::kHalfAdder:
-      out[0] = in[0] ^ in[1];
-      out[1] = in[0] & in[1];
-      return;
-    case CellType::kFullAdder: {
-      const std::uint64_t ab = in[0] ^ in[1];
-      out[0] = ab ^ in[2];
-      out[1] = (in[0] & in[1]) | (in[2] & ab);
-      return;
-    }
-    case CellType::kDff:
-    case CellType::kDffEnable:
-      // Sequential data path (what Q becomes on the next edge); settle()
-      // skips these - step_cycle handles them explicitly.
-      out[0] = in[0];
-      return;
-  }
-}
-
+constexpr std::size_t kW = simd::kWordsPerBlock;
+constexpr std::size_t kPlaneWords = simd::kAccPlanes * kW;
 }  // namespace
 
-BitSimulator::BitSimulator(const Netlist& netlist) : netlist_(netlist) {
+BitSimulator::LaneMask BitSimulator::lane_mask(int lanes) {
+  require(lanes >= 0 && lanes <= kLanes, "BitSimulator::lane_mask: lane count out of range");
+  LaneMask m{};
+  for (int w = 0; w < kWords; ++w) {
+    const int lo = w * 64;
+    if (lanes >= lo + 64) m[static_cast<std::size_t>(w)] = ~std::uint64_t{0};
+    else if (lanes > lo) m[static_cast<std::size_t>(w)] = (std::uint64_t{1} << (lanes - lo)) - 1;
+  }
+  return m;
+}
+
+BitSimulator::BitSimulator(const Netlist& netlist, simd::Backend backend)
+    : netlist_(netlist), backend_(backend), kernels_(&simd::kernels(backend)) {
   netlist_.verify();
-  // Per-cycle events per lane are bounded by one toggle per net per settle
-  // (x2 settles) plus one per DFF; the carry-save accumulator must never
-  // ripple past its top plane.
-  require(2 * netlist_.num_nets() + netlist_.num_cells() <
-              (std::size_t{1} << LaneAccumulator::kPlanes),
-          "BitSimulator: netlist too large for the per-cycle lane accumulators");
-  topo_ = netlist_.topo_order();
-  words_.assign(netlist_.num_nets(), 0);
-  dff_next_.assign(netlist_.num_cells(), 0);
-  start_scratch_.assign(netlist_.num_nets(), 0);
+  const std::size_t nets = netlist_.num_nets();
+
+  // Flatten the combinational cells in topological order for the settle
+  // kernel, padding unused input pins so the dirty-cone check is branchless,
+  // and collect the sequential cells for the clock-edge kernel.
+  for (const CellId c : netlist_.topo_order()) {
+    const CellInstance& cell = netlist_.cell(c);
+    if (cell_spec(cell.type).is_sequential) {
+      simd::SeqCell s{};
+      s.d = cell.inputs[0];
+      s.en = cell.type == CellType::kDffEnable ? cell.inputs[1] : kNoNet;
+      s.q = cell.outputs[0];
+      seq_cells_.push_back(s);
+      continue;
+    }
+    simd::FlatCell f{};
+    f.type = cell.type;
+    f.num_outputs = static_cast<std::uint8_t>(cell.outputs.size());
+    const NetId pad = cell.inputs.empty() ? cell.outputs[0] : cell.inputs[0];
+    for (int p = 0; p < 3; ++p) {
+      f.in[p] = static_cast<std::size_t>(p) < cell.inputs.size() ? cell.inputs[p] : pad;
+    }
+    f.out[0] = cell.outputs[0];
+    f.out[1] = cell.outputs.size() > 1 ? cell.outputs[1] : cell.outputs[0];
+    comb_cells_.push_back(f);
+  }
+
+  words_.assign(nets * kW, 0);
+  dff_next_.assign(seq_cells_.size() * kW, 0);
+  mask_ = all_lanes();
+  dirty_.assign(nets, 0);
+  dirty_list_.assign(nets, 0);
+  touched_.assign(nets, 0);
+  touched_list_.assign(nets, 0);
+  start_words_.assign(nets * kW, 0);
+  trans_planes_.assign(kPlaneWords, 0);
+  func_planes_.assign(kPlaneWords, 0);
+  cycle_planes_.assign(kPlaneWords, 0);
+
+  // Overflow guard for the deferred carry-save tallies: one flush window
+  // must stay below 2^31 events per lane.  Per cycle a lane sees at most
+  // one transition per net per settle (x2), one per DFF commit, one
+  // functional toggle per net, and one cycle tick.
+  const std::uint64_t per_cycle = 3 * static_cast<std::uint64_t>(nets) + seq_cells_.size() + 1;
+  flush_every_ = std::max<std::uint64_t>(1, (std::uint64_t{1} << 31) / per_cycle);
+
+  ctx_.mask_full = true;
+  // Purely combinational designs settle in one levelized pass per cycle, so
+  // every net changes at most once and functional toggles == transitions
+  // (glitches identically zero); the kernel skips the start-vs-end pass and
+  // flush_stats folds the transition planes into both counters.
+  ctx_.count_func = !seq_cells_.empty();
+  ctx_.cells = comb_cells_.data();
+  ctx_.num_cells = comb_cells_.size();
+  ctx_.seq = seq_cells_.data();
+  ctx_.num_seq = seq_cells_.size();
+  ctx_.num_nets = nets;
+  ctx_.words = words_.data();
+  ctx_.dff_next = dff_next_.data();
+  ctx_.mask = mask_.data();
+  ctx_.dirty = dirty_.data();
+  ctx_.dirty_list = dirty_list_.data();
+  ctx_.touched = touched_.data();
+  ctx_.touched_list = touched_list_.data();
+  ctx_.start_words = start_words_.data();
+  ctx_.trans_planes = trans_planes_.data();
+  ctx_.func_planes = func_planes_.data();
+  ctx_.cycle_planes = cycle_planes_.data();
+
   reset_state();
 }
 
 void BitSimulator::reset_stats() {
+  std::fill(trans_planes_.begin(), trans_planes_.begin() + ctx_.trans_used * kW, 0);
+  std::fill(func_planes_.begin(), func_planes_.begin() + ctx_.func_used * kW, 0);
+  std::fill(cycle_planes_.begin(), cycle_planes_.begin() + ctx_.cycle_used * kW, 0);
+  ctx_.trans_used = ctx_.func_used = ctx_.cycle_used = 0;
+  pending_cycles_ = 0;
   transitions_.fill(0);
-  glitches_.fill(0);
+  functional_.fill(0);
   cycles_.fill(0);
 }
 
@@ -74,101 +114,94 @@ void BitSimulator::reset_state() {
   std::fill(words_.begin(), words_.end(), 0);
   std::fill(dff_next_.begin(), dff_next_.end(), 0);
   // Constants and the combinational image of the all-zero state are
-  // established without counting transitions, like EventSimulator's reset:
-  // an all-masked settle evaluates every cell but tallies nothing.
-  const std::uint64_t saved_mask = active_mask_;
-  active_mask_ = 0;
-  settle();
-  active_mask_ = saved_mask;
+  // established without counting transitions, like EventSimulator's reset.
+  kernels_->settle_full(ctx_);
 }
 
-void BitSimulator::set_input_word(NetId net, std::uint64_t word) {
-  require(net < words_.size(), "BitSimulator::set_input_word: unknown net");
+void BitSimulator::set_input_word(NetId net, int word, std::uint64_t bits) {
+  require(net < netlist_.num_nets(), "BitSimulator::set_input_word: unknown net");
   require(netlist_.driver_of(net) == Netlist::kNoCell,
           "BitSimulator::set_input_word: net is not a primary input");
-  words_[net] = word;
-}
-
-void BitSimulator::set_inputs(const std::vector<std::uint64_t>& words) {
-  require(words.size() == netlist_.primary_inputs().size(),
-          "BitSimulator::set_inputs: input count mismatch");
-  for (std::size_t i = 0; i < words.size(); ++i) {
-    words_[netlist_.primary_inputs()[i]] = words[i];
+  require(word >= 0 && word < kWords, "BitSimulator::set_input_word: word index out of range");
+  std::uint64_t& w = words_[static_cast<std::size_t>(net) * kW + static_cast<std::size_t>(word)];
+  if (w == bits) return;
+  w = bits;
+  if (!dirty_[net]) {
+    dirty_[net] = 1;
+    dirty_list_[ctx_.dirty_count++] = net;
   }
 }
 
-void BitSimulator::settle() {
-  // One topological pass, every cell exactly once - the word-level image of
-  // EventSimulator::settle_levelized().  Per changed net, the set bits of
-  // old^new (masked to the active lanes) are exactly the lanes whose scalar
-  // twin counts one transition here; they tally into the carry-save
-  // accumulator, flushed per cycle.
-  std::uint64_t scratch[2];
-  std::uint64_t ins[3];
-  for (const CellId c : topo_) {
-    const CellInstance& cell = netlist_.cell(c);
-    if (cell_spec(cell.type).is_sequential) continue;
-    for (std::size_t i = 0; i < cell.inputs.size(); ++i) ins[i] = words_[cell.inputs[i]];
-    eval_cell_words(cell.type, ins, scratch);
-    for (std::size_t k = 0; k < cell.outputs.size(); ++k) {
-      const NetId net = cell.outputs[k];
-      const std::uint64_t nv = scratch[k];
-      const std::uint64_t diff = (words_[net] ^ nv) & active_mask_;
-      words_[net] = nv;
-      if (diff != 0) trans_acc_.add(diff);
-    }
+void BitSimulator::set_input_block(NetId net, const std::uint64_t* block) {
+  require(net < netlist_.num_nets(), "BitSimulator::set_input_block: unknown net");
+  require(netlist_.driver_of(net) == Netlist::kNoCell,
+          "BitSimulator::set_input_block: net is not a primary input");
+  std::uint64_t* w = words_.data() + static_cast<std::size_t>(net) * kW;
+  if (std::memcmp(w, block, kW * sizeof(std::uint64_t)) == 0) return;
+  std::memcpy(w, block, kW * sizeof(std::uint64_t));
+  if (!dirty_[net]) {
+    dirty_[net] = 1;
+    dirty_list_[ctx_.dirty_count++] = net;
   }
+}
+
+void BitSimulator::set_inputs(const std::vector<std::uint64_t>& blocks) {
+  require(blocks.size() == netlist_.primary_inputs().size() * kW,
+          "BitSimulator::set_inputs: expected kWords words per primary input");
+  const auto& pis = netlist_.primary_inputs();
+  for (std::size_t i = 0; i < pis.size(); ++i) set_input_block(pis[i], blocks.data() + i * kW);
 }
 
 void BitSimulator::step_cycle() {
-  trans_acc_.clear();
-  func_acc_.clear();
-  start_scratch_ = words_;
+  if (pending_cycles_ >= flush_every_) flush_stats();
+  ++pending_cycles_;
+  kernels_->step_cycle(ctx_);
+}
 
-  // Pre-edge settle: propagate this cycle's inputs (and last edge's Q
-  // changes, already settled) through the combinational logic.
-  settle();
-
-  // Clock edge: sample D (and EN) in every lane, then apply Q updates.
-  for (const CellId c : topo_) {
-    const CellInstance& cell = netlist_.cell(c);
-    if (!cell_spec(cell.type).is_sequential) continue;
-    const std::uint64_t d = words_[cell.inputs[0]];
-    if (cell.type == CellType::kDffEnable) {
-      const std::uint64_t en = words_[cell.inputs[1]];
-      dff_next_[c] = (en & d) | (~en & words_[cell.outputs[0]]);
-    } else {
-      dff_next_[c] = d;
+void BitSimulator::flush_stats() const {
+  for (int l = 0; l < kLanes; ++l) {
+    const std::size_t w = static_cast<std::size_t>(l) >> 6;
+    const int sh = l & 63;
+    std::uint64_t t = 0;
+    for (std::size_t p = 0; p < ctx_.trans_used; ++p) {
+      t |= ((trans_planes_[p * kW + w] >> sh) & 1u) << p;
     }
+    std::uint64_t f = 0;
+    for (std::size_t p = 0; p < ctx_.func_used; ++p) {
+      f |= ((func_planes_[p * kW + w] >> sh) & 1u) << p;
+    }
+    std::uint64_t c = 0;
+    for (std::size_t p = 0; p < ctx_.cycle_used; ++p) {
+      c |= ((cycle_planes_[p * kW + w] >> sh) & 1u) << p;
+    }
+    transitions_[static_cast<std::size_t>(l)] += t;
+    functional_[static_cast<std::size_t>(l)] += ctx_.count_func ? f : t;
+    cycles_[static_cast<std::size_t>(l)] += c;
   }
-  for (const CellId c : topo_) {
-    const CellInstance& cell = netlist_.cell(c);
-    if (!cell_spec(cell.type).is_sequential) continue;
-    const NetId q = cell.outputs[0];
-    const std::uint64_t diff = (words_[q] ^ dff_next_[c]) & active_mask_;
-    words_[q] = dff_next_[c];
-    if (diff != 0) trans_acc_.add(diff);
-  }
+  std::fill(trans_planes_.begin(), trans_planes_.begin() + ctx_.trans_used * kW, 0);
+  std::fill(func_planes_.begin(), func_planes_.begin() + ctx_.func_used * kW, 0);
+  std::fill(cycle_planes_.begin(), cycle_planes_.begin() + ctx_.cycle_used * kW, 0);
+  ctx_.trans_used = ctx_.func_used = ctx_.cycle_used = 0;
+  pending_cycles_ = 0;
+}
 
-  // Post-edge settle: propagate the new Q values (combinational and
-  // registered output paths agree on latency, like the scalar simulator).
-  settle();
+std::uint64_t BitSimulator::cycles(int lane) const {
+  if (pending_cycles_ != 0) flush_stats();
+  return cycles_[static_cast<std::size_t>(lane)];
+}
 
-  // Per-lane glitch accounting, scalar formula per lane: transitions this
-  // cycle beyond the per-net start-vs-end minimum (functional counts EVERY
-  // net, primary inputs included, exactly like EventSimulator).
-  for (std::size_t n = 0; n < words_.size(); ++n) {
-    const std::uint64_t fdiff = (words_[n] ^ start_scratch_[n]) & active_mask_;
-    if (fdiff != 0) func_acc_.add(fdiff);
-  }
-  std::uint64_t mask = active_mask_;
-  for (; mask != 0; mask &= mask - 1) {
-    const int lane = __builtin_ctzll(mask);
-    const std::uint64_t ct = trans_acc_.lane(lane);
-    transitions_[static_cast<std::size_t>(lane)] += ct;
-    glitches_[static_cast<std::size_t>(lane)] += ct - std::min(ct, func_acc_.lane(lane));
-    ++cycles_[static_cast<std::size_t>(lane)];
-  }
+std::uint64_t BitSimulator::transitions(int lane) const {
+  if (pending_cycles_ != 0) flush_stats();
+  return transitions_[static_cast<std::size_t>(lane)];
+}
+
+std::uint64_t BitSimulator::glitches(int lane) const {
+  // Per cycle and lane, transitions >= functional toggles (a net whose end
+  // value differs from its start value changed at least once), so the scalar
+  // per-cycle formula  sum(ct - min(ct, func))  telescopes to the difference
+  // of the totals.
+  if (pending_cycles_ != 0) flush_stats();
+  return transitions_[static_cast<std::size_t>(lane)] - functional_[static_cast<std::size_t>(lane)];
 }
 
 std::uint64_t BitSimulator::outputs_word(int lane) const {

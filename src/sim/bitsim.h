@@ -1,26 +1,34 @@
-// Bit-parallel levelized zero-delay logic simulator: 64 independent input
-// vectors packed into one uint64_t lane word per net, every gate evaluated
-// once per topological level with plain bitwise word operations.
+// Bit-parallel levelized zero-delay logic simulator: 512 independent input
+// vectors packed into an 8-word lane block per net, every gate evaluated
+// once per topological level with bitwise block operations dispatched to a
+// runtime-selected SIMD backend (simd/simd.h: scalar, AVX2, or AVX-512).
 //
 // This is the wide twin of EventSimulator's (truly levelized) kZero mode:
 // lane k of a BitSimulator is bit-identical - every net value after every
 // cycle, and the per-lane transition/glitch statistics - to a scalar kZero
-// EventSimulator driven with lane k's stimulus (tests/sim/bitsim_test.cpp
-// asserts this for every lane of every word).  One word-level pass evaluates
-// what the scalar path needs 64 full simulations for, which is what makes
-// the Monte-Carlo activity testbenches ~64x wider per settle; the
+// EventSimulator driven with lane k's stimulus, on every backend
+// (tests/sim/bitsim_test.cpp asserts this per backend).  One block-level
+// pass evaluates what the scalar path needs 512 full simulations for; the
 // ActivityEngine seam in sim/activity.h packs testbench streams into lanes
 // and pools the per-lane counters into the usual ActivityMeasurement.
 //
 // Semantics (shared with EventSimulator kZero):
 //  * Two-valued logic; every net starts at 0 in all lanes, DFFs reset to 0.
-//  * settle() = ONE topological evaluation: each cell sees its inputs' final
+//  * settle = ONE topological evaluation: each cell sees its inputs' final
 //    values, so each net changes at most once per settle - no delta-cycle
 //    hazards, which is exactly the estimator bdd/symbolic.h exact_activity()
 //    computes in closed form.
 //  * step_cycle() = pre-edge settle, DFF sample + Q update, post-edge
 //    settle, then per-lane glitch accounting identical to the scalar
 //    formula (cycle transitions beyond the per-net start-vs-end minimum).
+//
+// Incremental (dirty-cone) mode, on by default: a settle skips every cell
+// none of whose inputs changed since the cell last settled.  Because one
+// levelized pass sees all changes of the cycle, clean fanin proves the
+// cell's output cannot change - the skip is EXACT, not approximate (a
+// dedicated test runs both modes in lockstep).  Testbenches that hold
+// inputs steady across cycles_per_vector clocks, and the post-edge settle
+// of combinational designs, skip nearly everything.
 //
 // The active-lane mask freezes STATISTICS per lane (values keep evolving):
 // a testbench whose streams consume different vector counts masks a lane
@@ -33,44 +41,76 @@
 #include <vector>
 
 #include "netlist/netlist.h"
+#include "simd/simd.h"
 
 namespace optpower {
 
-/// 64-lane word-level zero-delay simulator over a verified Netlist.  One
+/// 512-lane block-level zero-delay simulator over a verified Netlist.  One
 /// instance owns all mutable state and only reads the shared netlist, so
 /// independent instances may run on different threads (warm the netlist's
 /// fanout cache first if any other simulator shares the netlist).
 class BitSimulator {
  public:
-  /// Lanes per word: one uint64_t bit per independent simulation.
-  static constexpr int kLanes = 64;
+  /// 64-bit words per lane block.
+  static constexpr int kWords = static_cast<int>(simd::kWordsPerBlock);
+  /// Lanes per block: one bit per independent simulation.
+  static constexpr int kLanes = kWords * 64;
 
-  /// Build a simulator over `netlist` (verify()-checked here).
-  explicit BitSimulator(const Netlist& netlist);
+  /// One bit per lane, word w covering lanes [64w, 64w + 64).
+  using LaneMask = std::array<std::uint64_t, static_cast<std::size_t>(kWords)>;
+
+  /// Mask with the first `lanes` lanes set (0 <= lanes <= kLanes).
+  [[nodiscard]] static LaneMask lane_mask(int lanes);
+  /// All lanes set.
+  [[nodiscard]] static LaneMask all_lanes() { return lane_mask(kLanes); }
+
+  /// Build a simulator over `netlist` (verify()-checked here), running on
+  /// `backend` (default: the process-wide choice - cpuid, overridable with
+  /// OPTPOWER_SIMD).  All backends produce bit-identical results.
+  explicit BitSimulator(const Netlist& netlist,
+                        simd::Backend backend = simd::default_backend());
 
   /// The netlist this simulator runs.
   [[nodiscard]] const Netlist& netlist() const noexcept { return netlist_; }
 
-  /// Set a primary input's 64-lane word for the upcoming cycle (bit l =
-  /// lane l's value, stable for the whole cycle).
-  void set_input_word(NetId net, std::uint64_t word);
-  /// Set all primary inputs from one word per input, declaration order.
-  void set_inputs(const std::vector<std::uint64_t>& words);
+  /// The SIMD backend the kernels dispatch to.
+  [[nodiscard]] simd::Backend backend() const noexcept { return backend_; }
 
-  /// Lanes whose statistics accumulate (default: all 64).  Masked-out lanes
+  /// Set one 64-lane word (lanes [64w, 64w+64)) of a primary input's block
+  /// for the upcoming cycle (bit l = lane 64w+l's value, stable for the
+  /// whole cycle).
+  void set_input_word(NetId net, int word, std::uint64_t bits);
+  /// Set a primary input's whole lane block (kWords words).
+  void set_input_block(NetId net, const std::uint64_t* block);
+  /// Set all primary inputs from one block per input, declaration order
+  /// (kWords consecutive words per input).
+  void set_inputs(const std::vector<std::uint64_t>& blocks);
+
+  /// Lanes whose statistics accumulate (default: all).  Masked-out lanes
   /// keep simulating but their transition/glitch/cycle counters freeze -
   /// the testbench hook for streams of unequal length.
-  void set_active_mask(std::uint64_t mask) noexcept { active_mask_ = mask; }
-  [[nodiscard]] std::uint64_t active_mask() const noexcept { return active_mask_; }
+  void set_active_mask(const LaneMask& mask) noexcept {
+    mask_ = mask;
+    ctx_.mask_full = mask == all_lanes();
+  }
+  [[nodiscard]] const LaneMask& active_mask() const noexcept { return mask_; }
+
+  /// Dirty-cone incremental settling (default on).  Off = every settle
+  /// evaluates every cell; results are bit-identical either way.
+  void set_incremental(bool on) noexcept { ctx_.incremental = on; }
+  [[nodiscard]] bool incremental() const noexcept { return ctx_.incremental; }
 
   /// Run one clock cycle for all lanes: settle, clock all DFFs, settle.
   void step_cycle();
 
-  /// Current 64-lane word of a net (post-settling).
-  [[nodiscard]] std::uint64_t word(NetId net) const { return words_[net]; }
+  /// Current word w of a net's block (post-settling).
+  [[nodiscard]] std::uint64_t word(NetId net, int w) const {
+    return words_[static_cast<std::size_t>(net) * simd::kWordsPerBlock +
+                  static_cast<std::size_t>(w)];
+  }
   /// Current value of a net in one lane.
   [[nodiscard]] bool value(NetId net, int lane) const {
-    return ((words_[net] >> lane) & 1u) != 0;
+    return ((word(net, lane >> 6) >> (lane & 63)) & 1u) != 0;
   }
   /// Primary outputs of one lane packed LSB-first (EventSimulator::
   /// outputs_word() of that lane's scalar twin).
@@ -78,15 +118,9 @@ class BitSimulator {
 
   /// Per-lane counters since construction or the last reset_stats();
   /// lane k matches the scalar kZero SimStats of lane k's stimulus.
-  [[nodiscard]] std::uint64_t cycles(int lane) const {
-    return cycles_[static_cast<std::size_t>(lane)];
-  }
-  [[nodiscard]] std::uint64_t transitions(int lane) const {
-    return transitions_[static_cast<std::size_t>(lane)];
-  }
-  [[nodiscard]] std::uint64_t glitches(int lane) const {
-    return glitches_[static_cast<std::size_t>(lane)];
-  }
+  [[nodiscard]] std::uint64_t cycles(int lane) const;
+  [[nodiscard]] std::uint64_t transitions(int lane) const;
+  [[nodiscard]] std::uint64_t glitches(int lane) const;
 
   /// Zero all per-lane counters; simulation state (and the mask) is kept.
   void reset_stats();
@@ -96,50 +130,38 @@ class BitSimulator {
   void reset_state();
 
  private:
-  void settle();
+  /// Fold the pending carry-save planes into the per-lane counters.  The
+  /// planes give every event window 2^31 headroom per lane; step_cycle
+  /// auto-flushes long before a window can overflow.
+  void flush_stats() const;
 
   const Netlist& netlist_;
-  std::vector<CellId> topo_;
-  std::vector<std::uint64_t> words_;     // per net: 64 lanes
-  std::vector<std::uint64_t> dff_next_;  // sampled D word per cell (sequential only)
-  std::uint64_t active_mask_ = ~std::uint64_t{0};
+  simd::Backend backend_;
+  const simd::Kernels* kernels_;
+  std::vector<simd::FlatCell> comb_cells_;  // topo order
+  std::vector<simd::SeqCell> seq_cells_;
+  std::vector<std::uint64_t> words_;        // per net: one lane block
+  std::vector<std::uint64_t> dff_next_;     // per seq cell: sampled D block
+  LaneMask mask_;
+  std::vector<std::uint8_t> dirty_;
+  std::vector<std::uint32_t> dirty_list_;
+  std::vector<std::uint8_t> touched_;
+  std::vector<std::uint32_t> touched_list_;
+  std::vector<std::uint64_t> start_words_;  // cycle-start snapshots (touched nets)
 
-  /// Carry-save vertical counter: 64 per-lane tallies kept bit-sliced
-  /// (plane p holds bit p of every lane's count), so adding one 0/1 event
-  /// word for all 64 lanes is an amortized ~2 word ops ripple instead of a
-  /// per-set-bit scalar increment.  Flushed into the scalar per-lane
-  /// counters once per cycle.
-  struct LaneAccumulator {
-    static constexpr std::size_t kPlanes = 26;  // 2^26 events/lane/cycle headroom
-    std::array<std::uint64_t, kPlanes> planes{};
-    std::size_t used = 0;  // highest touched plane + 1 (bounds clear/read)
+  // Deferred statistics: bit-sliced carry-save planes accumulate events
+  // across cycles; the scalar per-lane counters are only updated on flush
+  // (counter reads, resets, and the periodic overflow guard).
+  mutable std::vector<std::uint64_t> trans_planes_;
+  mutable std::vector<std::uint64_t> func_planes_;
+  mutable std::vector<std::uint64_t> cycle_planes_;
+  mutable std::array<std::uint64_t, kLanes> transitions_{};
+  mutable std::array<std::uint64_t, kLanes> functional_{};
+  mutable std::array<std::uint64_t, kLanes> cycles_{};
+  mutable std::uint64_t pending_cycles_ = 0;
+  std::uint64_t flush_every_ = 1;  // cycles per flush window (overflow guard)
 
-    void add(std::uint64_t bits) noexcept {
-      std::uint64_t carry = bits;
-      for (std::size_t p = 0; carry != 0; ++p) {
-        const std::uint64_t t = planes[p];
-        planes[p] = t ^ carry;
-        carry = t & carry;
-        if (p >= used) used = p + 1;
-      }
-    }
-    [[nodiscard]] std::uint64_t lane(int l) const noexcept {
-      std::uint64_t v = 0;
-      for (std::size_t p = 0; p < used; ++p) v |= ((planes[p] >> l) & 1u) << p;
-      return v;
-    }
-    void clear() noexcept {
-      for (std::size_t p = 0; p < used; ++p) planes[p] = 0;
-      used = 0;
-    }
-  };
-
-  std::array<std::uint64_t, kLanes> transitions_{};
-  std::array<std::uint64_t, kLanes> glitches_{};
-  std::array<std::uint64_t, kLanes> cycles_{};
-  LaneAccumulator trans_acc_;                 // per-cycle transition events
-  LaneAccumulator func_acc_;                  // per-cycle functional toggles
-  std::vector<std::uint64_t> start_scratch_;  // per-cycle start words
+  mutable simd::BitsimCtx ctx_;  // stable pointer view handed to the kernels
 };
 
 }  // namespace optpower

@@ -1,0 +1,494 @@
+// Shared implementation of every SIMD kernel, templated over a backend ops
+// policy.  Included ONLY by the kernels_<backend>.cpp TUs (which are the only
+// sources compiled with ISA flags); everything here must therefore stay
+// header-only and free of non-inline definitions.
+//
+// An integer ops policy describes one vector register of Ops::kVecWords
+// uint64_t lanes with load/store and the bitwise ops the gate kernels need;
+// the kernels loop a whole kWordsPerBlock net block in NV = 8/kVecWords
+// register steps.  Because every operation is a lane-wise 64-bit integer op,
+// all backends are bit-identical by construction.
+//
+// The double ops policy powers total_power_row.  Its exp is a fixed
+// polynomial evaluated with plain mul/add (never fma - the TUs compile with
+// -ffp-contract=off), so the scalar tail and every vector width agree to the
+// last bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "netlist/cell.h"
+#include "simd/simd.h"
+
+namespace optpower::simd {
+
+// ---------------------------------------------------------------------------
+// PCG32 constants (util/random.h Pcg32, replicated bit-for-bit).  A fair-coin
+// draw advances the state twice; folding both steps gives the single affine
+// map s' = s * kPcgMult^2 + inc * (kPcgMult + 1) mod 2^64 - identical to two
+// chained advances, at half the 64-bit multiplies.
+inline constexpr std::uint64_t kPcgMult = 6364136223846793005ULL;
+inline constexpr std::uint64_t kPcgMult2 = kPcgMult * kPcgMult;  // mod 2^64
+inline constexpr std::uint64_t kPcgMultP1 = kPcgMult + 1;
+
+// ---------------------------------------------------------------------------
+// Scalar double policy: shared by every TU both as the scalar backend and as
+// the vector backends' remainder tail, so tails match full vectors exactly.
+struct ScalarDOps {
+  using D = double;
+  static constexpr std::size_t kDoubles = 1;
+  static D load(const double* p) { return *p; }
+  static void store(double* p, D v) { *p = v; }
+  static D set1(double v) { return v; }
+  static D add(D a, D b) { return a + b; }
+  static D sub(D a, D b) { return a - b; }
+  static D mul(D a, D b) { return a * b; }
+  static D min(D a, D b) { return b < a ? b : a; }
+  static D max(D a, D b) { return b > a ? b : a; }
+  static D floor(D a) { return __builtin_floor(a); }
+  /// 2^k for an integral-valued k in [-1021, 1021]: exponent-field assembly.
+  static D pow2i(D k) {
+    const std::int64_t ki = static_cast<std::int64_t>(k);
+    const std::uint64_t bits = static_cast<std::uint64_t>(ki + 1023) << 52;
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// exp(x) as a fixed-degree Taylor polynomial around 0 after range reduction
+// x = k*ln2 + r, |r| <= ln2/2: exp(x) = 2^k * poly(r).  Max relative error
+// ~1e-14 on the clamp range (r^12/12! at |r| = 0.347), which the power tests
+// absorb (they compare against closed-form curves with far looser bands).
+// Every step is a plain IEEE mul/add on identical operands in every backend.
+template <class DO>
+inline typename DO::D exp_pd(typename DO::D x) {
+  using D = typename DO::D;
+  // Clamp keeps 2^k inside pow2i's exponent-assembly range; the power model
+  // only ever needs exp of -Vth/(n*Ut), comfortably within [-60, 0].
+  x = DO::min(DO::set1(700.0), DO::max(DO::set1(-700.0), x));
+  const D k = DO::floor(DO::add(DO::mul(x, DO::set1(1.4426950408889634074)), DO::set1(0.5)));
+  D r = DO::sub(x, DO::mul(k, DO::set1(6.93147180369123816490e-01)));   // ln2 high
+  r = DO::sub(r, DO::mul(k, DO::set1(1.90821492927058770002e-10)));     // ln2 low
+  D p = DO::set1(1.0 / 39916800.0);  // 1/11!
+  p = DO::add(DO::mul(p, r), DO::set1(1.0 / 3628800.0));
+  p = DO::add(DO::mul(p, r), DO::set1(1.0 / 362880.0));
+  p = DO::add(DO::mul(p, r), DO::set1(1.0 / 40320.0));
+  p = DO::add(DO::mul(p, r), DO::set1(1.0 / 5040.0));
+  p = DO::add(DO::mul(p, r), DO::set1(1.0 / 720.0));
+  p = DO::add(DO::mul(p, r), DO::set1(1.0 / 120.0));
+  p = DO::add(DO::mul(p, r), DO::set1(1.0 / 24.0));
+  p = DO::add(DO::mul(p, r), DO::set1(1.0 / 6.0));
+  p = DO::add(DO::mul(p, r), DO::set1(0.5));
+  p = DO::add(DO::mul(p, r), DO::set1(1.0));
+  p = DO::add(DO::mul(p, r), DO::set1(1.0));
+  return DO::mul(p, DO::pow2i(k));
+}
+
+/// out[i] = pdyn + stat_coeff * exp(vth[i] * neg_inv_nut), vector body plus
+/// a bit-identical scalar tail.
+template <class DO>
+inline void total_power_row_impl(const PowRowArgs& a) {
+  using D = typename DO::D;
+  std::size_t i = 0;
+  for (; i + DO::kDoubles <= a.n; i += DO::kDoubles) {
+    const D x = DO::mul(DO::load(a.vth + i), DO::set1(a.neg_inv_nut));
+    const D e = exp_pd<DO>(x);
+    DO::store(a.out + i, DO::add(DO::set1(a.pdyn), DO::mul(DO::set1(a.stat_coeff), e)));
+  }
+  for (; i < a.n; ++i) {
+    a.out[i] = a.pdyn + a.stat_coeff * exp_pd<ScalarDOps>(a.vth[i] * a.neg_inv_nut);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Integer kernels.
+template <class Ops>
+struct BitsimKernel {
+  using V = typename Ops::V;
+  static constexpr std::size_t W = Ops::kVecWords;
+  static constexpr std::size_t NV = kWordsPerBlock / W;
+  static_assert(NV * W == kWordsPerBlock, "vector width must divide the block");
+
+  /// Carry-save add of one event block of per-lane weight 2^base into the
+  /// bit-sliced planes (plane p occupies planes[p*kWordsPerBlock .. +8)).
+  /// The ripple runs until EVERY lane's carry dies, so adding single events
+  /// here directly costs ~log2(lanes) plane round trips - hot paths batch
+  /// events through a CsaAcc instead and only spill here.
+  static inline void acc_add(std::uint64_t* planes, std::size_t& used,
+                             const std::uint64_t* bits, std::size_t base = 0) {
+    for (std::size_t v = 0; v < NV; ++v) {
+      V carry = Ops::load(bits + v * W);
+      if (Ops::is_zero(carry)) continue;
+      std::size_t p = base;
+      do {
+        std::uint64_t* pp = planes + p * kWordsPerBlock + v * W;
+        const V t = Ops::load(pp);
+        Ops::store(pp, Ops::bxor(t, carry));
+        carry = Ops::band(t, carry);
+        ++p;
+      } while (!Ops::is_zero(carry));
+      if (p > used) used = p;
+    }
+  }
+
+  /// In-register Harley-Seal batcher in front of acc_add: events accumulate
+  /// into the ones/twos/fours blocks with three half-adder steps (six cheap
+  /// bitwise ops), and only every eighth per-lane event produces a carry
+  /// that touches the memory planes.  One accumulator lives on the stack for
+  /// the duration of a step_cycle and flushes into the planes at the end,
+  /// which keeps the planes' invariant (they hold the complete count between
+  /// kernel calls) while removing the per-event ripple latency.
+  struct CsaAcc {
+    alignas(64) std::uint64_t ones[kWordsPerBlock] = {};
+    alignas(64) std::uint64_t twos[kWordsPerBlock] = {};
+    alignas(64) std::uint64_t fours[kWordsPerBlock] = {};
+  };
+
+  static inline void csa_add(CsaAcc& acc, std::uint64_t* planes, std::size_t& used,
+                             const std::uint64_t* bits) {
+    alignas(64) std::uint64_t c8[kWordsPerBlock];
+    V any = Ops::zero();
+    for (std::size_t v = 0; v < NV; ++v) {
+      const V e = Ops::load(bits + v * W);
+      const V o = Ops::load(acc.ones + v * W);
+      const V c1 = Ops::band(o, e);
+      Ops::store(acc.ones + v * W, Ops::bxor(o, e));
+      const V t = Ops::load(acc.twos + v * W);
+      const V c2 = Ops::band(t, c1);
+      Ops::store(acc.twos + v * W, Ops::bxor(t, c1));
+      const V f = Ops::load(acc.fours + v * W);
+      const V c4 = Ops::band(f, c2);
+      Ops::store(acc.fours + v * W, Ops::bxor(f, c2));
+      Ops::store(c8 + v * W, c4);
+      any = Ops::bor(any, c4);
+    }
+    if (!Ops::is_zero(any)) acc_add(planes, used, c8, 3);
+  }
+
+  /// Spill an accumulator's residue (0..7 events per lane) into the planes.
+  static inline void csa_flush(CsaAcc& acc, std::uint64_t* planes, std::size_t& used) {
+    acc_add(planes, used, acc.ones, 0);
+    acc_add(planes, used, acc.twos, 1);
+    acc_add(planes, used, acc.fours, 2);
+  }
+
+  /// Evaluate one combinational cell's outputs into o0/o1 (stack blocks).
+  static inline void eval_cell(const BitsimCtx& ctx, const FlatCell& c, std::uint64_t* o0,
+                               std::uint64_t* o1) {
+    const std::uint64_t* a = ctx.words + std::size_t{c.in[0]} * kWordsPerBlock;
+    const std::uint64_t* b = ctx.words + std::size_t{c.in[1]} * kWordsPerBlock;
+    const std::uint64_t* s = ctx.words + std::size_t{c.in[2]} * kWordsPerBlock;
+    switch (c.type) {
+      case CellType::kConst0:
+        for (std::size_t v = 0; v < NV; ++v) Ops::store(o0 + v * W, Ops::zero());
+        return;
+      case CellType::kConst1:
+        for (std::size_t v = 0; v < NV; ++v) Ops::store(o0 + v * W, Ops::ones());
+        return;
+      case CellType::kBuf:
+        for (std::size_t v = 0; v < NV; ++v) Ops::store(o0 + v * W, Ops::load(a + v * W));
+        return;
+      case CellType::kInv:
+        for (std::size_t v = 0; v < NV; ++v) {
+          Ops::store(o0 + v * W, Ops::bnot(Ops::load(a + v * W)));
+        }
+        return;
+      case CellType::kAnd2:
+        for (std::size_t v = 0; v < NV; ++v) {
+          Ops::store(o0 + v * W, Ops::band(Ops::load(a + v * W), Ops::load(b + v * W)));
+        }
+        return;
+      case CellType::kOr2:
+        for (std::size_t v = 0; v < NV; ++v) {
+          Ops::store(o0 + v * W, Ops::bor(Ops::load(a + v * W), Ops::load(b + v * W)));
+        }
+        return;
+      case CellType::kNand2:
+        for (std::size_t v = 0; v < NV; ++v) {
+          Ops::store(o0 + v * W, Ops::bnot(Ops::band(Ops::load(a + v * W), Ops::load(b + v * W))));
+        }
+        return;
+      case CellType::kNor2:
+        for (std::size_t v = 0; v < NV; ++v) {
+          Ops::store(o0 + v * W, Ops::bnot(Ops::bor(Ops::load(a + v * W), Ops::load(b + v * W))));
+        }
+        return;
+      case CellType::kXor2:
+        for (std::size_t v = 0; v < NV; ++v) {
+          Ops::store(o0 + v * W, Ops::bxor(Ops::load(a + v * W), Ops::load(b + v * W)));
+        }
+        return;
+      case CellType::kXnor2:
+        for (std::size_t v = 0; v < NV; ++v) {
+          Ops::store(o0 + v * W, Ops::bnot(Ops::bxor(Ops::load(a + v * W), Ops::load(b + v * W))));
+        }
+        return;
+      case CellType::kMux2:
+        // inputs {a, b, sel} -> sel ? b : a
+        for (std::size_t v = 0; v < NV; ++v) {
+          const V vs = Ops::load(s + v * W);
+          Ops::store(o0 + v * W, Ops::bor(Ops::band(vs, Ops::load(b + v * W)),
+                                          Ops::band(Ops::bnot(vs), Ops::load(a + v * W))));
+        }
+        return;
+      case CellType::kHalfAdder:
+        for (std::size_t v = 0; v < NV; ++v) {
+          const V va = Ops::load(a + v * W);
+          const V vb = Ops::load(b + v * W);
+          Ops::store(o0 + v * W, Ops::bxor(va, vb));
+          Ops::store(o1 + v * W, Ops::band(va, vb));
+        }
+        return;
+      case CellType::kFullAdder:
+        for (std::size_t v = 0; v < NV; ++v) {
+          const V va = Ops::load(a + v * W);
+          const V vb = Ops::load(b + v * W);
+          const V vc = Ops::load(s + v * W);
+          const V ab = Ops::bxor(va, vb);
+          Ops::store(o0 + v * W, Ops::bxor(ab, vc));
+          Ops::store(o1 + v * W, Ops::bor(Ops::band(va, vb), Ops::band(vc, ab)));
+        }
+        return;
+      case CellType::kDff:
+      case CellType::kDffEnable:
+        // Sequential cells never appear in ctx.cells; keep the switch total.
+        for (std::size_t v = 0; v < NV; ++v) Ops::store(o0 + v * W, Ops::load(a + v * W));
+        return;
+    }
+  }
+
+  /// Commit one net's new block: diff against the current value, tally the
+  /// masked transitions (batched through the step's transition CsaAcc),
+  /// snapshot the cycle-start value on first touch, and mark the net dirty
+  /// for downstream consumers.  No-op when unchanged.
+  static inline void commit(BitsimCtx& ctx, CsaAcc& tacc, std::uint32_t net,
+                            const std::uint64_t* nv) {
+    std::uint64_t* cur = ctx.words + std::size_t{net} * kWordsPerBlock;
+    alignas(64) std::uint64_t diff[kWordsPerBlock];
+    V any = Ops::zero();
+    for (std::size_t v = 0; v < NV; ++v) {
+      const V d = Ops::bxor(Ops::load(cur + v * W), Ops::load(nv + v * W));
+      Ops::store(diff + v * W, d);
+      any = Ops::bor(any, d);
+    }
+    if (Ops::is_zero(any)) return;
+    if (ctx.count_func && !ctx.touched[net]) {
+      ctx.touched[net] = 1;
+      ctx.touched_list[ctx.touched_count++] = net;
+      std::memcpy(ctx.start_words + std::size_t{net} * kWordsPerBlock, cur,
+                  kWordsPerBlock * sizeof(std::uint64_t));
+    }
+    if (ctx.mask_full) {
+      csa_add(tacc, ctx.trans_planes, ctx.trans_used, diff);
+    } else {
+      alignas(64) std::uint64_t md[kWordsPerBlock];
+      V anym = Ops::zero();
+      for (std::size_t v = 0; v < NV; ++v) {
+        const V m = Ops::band(Ops::load(diff + v * W), Ops::load(ctx.mask + v * W));
+        Ops::store(md + v * W, m);
+        anym = Ops::bor(anym, m);
+      }
+      if (!Ops::is_zero(anym)) csa_add(tacc, ctx.trans_planes, ctx.trans_used, md);
+    }
+    for (std::size_t v = 0; v < NV; ++v) Ops::store(cur + v * W, Ops::load(nv + v * W));
+    if (!ctx.dirty[net]) {
+      ctx.dirty[net] = 1;
+      ctx.dirty_list[ctx.dirty_count++] = net;
+    }
+  }
+
+  /// One topological pass over the combinational cells.  In incremental mode
+  /// cells whose fanin carries no dirt are skipped - exact, because a single
+  /// levelized pass sees every change of the cycle, so clean fanin means the
+  /// cell's output cannot change.  All dirt is consumed at the end.
+  static void settle(BitsimCtx& ctx, CsaAcc& tacc) {
+    const bool inc = ctx.incremental;
+    // Nothing dirty means no cell can change: the whole pass collapses to
+    // this check (the post-edge settle of purely combinational designs).
+    if (inc && ctx.dirty_count == 0) return;
+    alignas(64) std::uint64_t o0[kWordsPerBlock] = {};
+    alignas(64) std::uint64_t o1[kWordsPerBlock] = {};
+    for (std::size_t i = 0; i < ctx.num_cells; ++i) {
+      const FlatCell& c = ctx.cells[i];
+      if (inc && (ctx.dirty[c.in[0]] | ctx.dirty[c.in[1]] | ctx.dirty[c.in[2]]) == 0) continue;
+      eval_cell(ctx, c, o0, o1);
+      commit(ctx, tacc, c.out[0], o0);
+      if (c.num_outputs == 2) commit(ctx, tacc, c.out[1], o1);
+    }
+    for (std::size_t i = 0; i < ctx.dirty_count; ++i) ctx.dirty[ctx.dirty_list[i]] = 0;
+    ctx.dirty_count = 0;
+  }
+
+  /// Full clock cycle (BitSimulator::step_cycle's kernel half).
+  static void step_cycle(BitsimCtx& ctx) {
+    CsaAcc tacc;  // batches this cycle's transition events
+    // Pre-edge settle: this cycle's input changes through the logic.
+    settle(ctx, tacc);
+
+    // Clock edge: sample every D (and EN) first, then apply all Q updates.
+    for (std::size_t s = 0; s < ctx.num_seq; ++s) {
+      const SeqCell& fc = ctx.seq[s];
+      const std::uint64_t* d = ctx.words + std::size_t{fc.d} * kWordsPerBlock;
+      std::uint64_t* nx = ctx.dff_next + s * kWordsPerBlock;
+      if (fc.en != 0xffffffffu) {
+        const std::uint64_t* en = ctx.words + std::size_t{fc.en} * kWordsPerBlock;
+        const std::uint64_t* q = ctx.words + std::size_t{fc.q} * kWordsPerBlock;
+        for (std::size_t v = 0; v < NV; ++v) {
+          const V ve = Ops::load(en + v * W);
+          Ops::store(nx + v * W, Ops::bor(Ops::band(ve, Ops::load(d + v * W)),
+                                          Ops::band(Ops::bnot(ve), Ops::load(q + v * W))));
+        }
+      } else {
+        for (std::size_t v = 0; v < NV; ++v) Ops::store(nx + v * W, Ops::load(d + v * W));
+      }
+    }
+    for (std::size_t s = 0; s < ctx.num_seq; ++s) {
+      commit(ctx, tacc, ctx.seq[s].q, ctx.dff_next + s * kWordsPerBlock);
+    }
+
+    // Post-edge settle: the new Q values through the logic (near-free for
+    // purely combinational designs - no Q changed, nothing is dirty).
+    settle(ctx, tacc);
+
+    // Functional accounting over the nets that changed this cycle: the
+    // masked start-vs-end toggles feed the func planes (glitches are
+    // transitions beyond them), then the per-cycle books close.  Purely
+    // combinational designs skip this entirely (count_func: functional ==
+    // transitions per cycle by construction).
+    if (ctx.count_func) {
+      CsaAcc facc;
+      alignas(64) std::uint64_t fd[kWordsPerBlock];
+      for (std::size_t i = 0; i < ctx.touched_count; ++i) {
+        const std::uint32_t net = ctx.touched_list[i];
+        ctx.touched[net] = 0;
+        const std::uint64_t* end = ctx.words + std::size_t{net} * kWordsPerBlock;
+        const std::uint64_t* start = ctx.start_words + std::size_t{net} * kWordsPerBlock;
+        V any = Ops::zero();
+        for (std::size_t v = 0; v < NV; ++v) {
+          V d = Ops::bxor(Ops::load(end + v * W), Ops::load(start + v * W));
+          if (!ctx.mask_full) d = Ops::band(d, Ops::load(ctx.mask + v * W));
+          Ops::store(fd + v * W, d);
+          any = Ops::bor(any, d);
+        }
+        if (!Ops::is_zero(any)) csa_add(facc, ctx.func_planes, ctx.func_used, fd);
+      }
+      ctx.touched_count = 0;
+      csa_flush(facc, ctx.func_planes, ctx.func_used);
+    }
+    csa_flush(tacc, ctx.trans_planes, ctx.trans_used);
+    acc_add(ctx.cycle_planes, ctx.cycle_used, ctx.mask);
+  }
+
+  /// Evaluate every combinational cell once, storing outputs directly with
+  /// no statistics or bookkeeping, then drop all dirty/touched state: the
+  /// reset_state path (establishes constants and the settled all-zero image).
+  static void settle_full(BitsimCtx& ctx) {
+    alignas(64) std::uint64_t o0[kWordsPerBlock] = {};
+    alignas(64) std::uint64_t o1[kWordsPerBlock] = {};
+    for (std::size_t i = 0; i < ctx.num_cells; ++i) {
+      const FlatCell& c = ctx.cells[i];
+      eval_cell(ctx, c, o0, o1);
+      std::memcpy(ctx.words + std::size_t{c.out[0]} * kWordsPerBlock, o0,
+                  kWordsPerBlock * sizeof(std::uint64_t));
+      if (c.num_outputs == 2) {
+        std::memcpy(ctx.words + std::size_t{c.out[1]} * kWordsPerBlock, o1,
+                    kWordsPerBlock * sizeof(std::uint64_t));
+      }
+    }
+    for (std::size_t i = 0; i < ctx.dirty_count; ++i) ctx.dirty[ctx.dirty_list[i]] = 0;
+    ctx.dirty_count = 0;
+    for (std::size_t i = 0; i < ctx.touched_count; ++i) ctx.touched[ctx.touched_list[i]] = 0;
+    ctx.touched_count = 0;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Vectorized PCG32 stimulus.
+//
+// One next_bool(0.5) draw consumes two next_u32 state advances; its value is
+// next_double() < 0.5, and because next_double scales a 53-bit integer by
+// 2^-53 (exact), that compare reduces to bit 52 of the integer - which is
+// bit 31 of the FIRST next_u32 output.  So per draw: advance the state
+// twice, extract one output bit of the first advance, invert it.
+//
+// The output bit: u32 = rotr32(xorshifted, rot) with xorshifted =
+// ((old >> 18) ^ old) >> 27 and rot = old >> 59, so bit 31 of u32 is bit
+// ((31 + rot) & 31) of xorshifted - always within the valid low 32 bits,
+// letting the kernel skip masking the 64-bit lane.
+//
+// An RngOps policy adds to the integer policy:
+//   fold_inc(inc)    inc * (kPcgMult + 1), the folded two-step increment -
+//                    computed once per lane group and reused for every input
+//   step2(st, inc2)  st * kPcgMult^2 + inc2, both advances in one multiply
+//   true_mask(st)    one bit per lane: the draw's outcome, extracted from
+//                    the PRE-advance state (PCG outputs the old state)
+// Scalar reference of the exact same arithmetic, shared by every TU for
+// partial vector groups (lane subsets of a group drawing on the final
+// partial step).
+inline bool draw_bool_scalar(std::uint64_t& state, std::uint64_t inc) {
+  const std::uint64_t old = state;
+  state = old * kPcgMult + inc;
+  state = state * kPcgMult + inc;
+  const std::uint64_t xs = ((old >> 18) ^ old) >> 27;
+  const std::uint64_t idx = ((old >> 59) + 31) & 31;
+  return ((xs >> idx) & 1u) == 0;
+}
+
+template <class RO>
+inline void draw_bools_impl(StimCtx& ctx) {
+  using V = typename RO::V;
+  constexpr std::size_t G = RO::kVecWords;  // lanes advancing per register
+  // Interleave NC independent generator registers per chunk: one step2 is a
+  // serial 64-bit multiply chain (~5 cycle latency against ~1/cycle
+  // throughput), so walking one register through all the inputs is latency
+  // bound.  Eight chains in flight keep the multiplier busy and assemble a
+  // whole bit-group of the input word per iteration.
+  constexpr std::size_t NC = 8;
+  constexpr std::size_t CL = NC * G;  // lanes per chunk
+  static_assert(64 % CL == 0, "chunk must tile a 64-lane word");
+  const std::uint64_t full = CL >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << CL) - 1);
+  for (std::size_t chunk = 0; chunk < kLanesPerBlock / CL; ++chunk) {
+    const std::size_t lane0 = chunk * CL;
+    const std::size_t w = lane0 / 64;
+    const std::size_t off = lane0 % 64;
+    const std::uint64_t cm = (ctx.draw_mask[w] >> off) & full;
+    if (cm == 0) continue;
+    if (cm == full) {
+      V st[NC];
+      V inc2[NC];
+      for (std::size_t k = 0; k < NC; ++k) {
+        st[k] = RO::load(ctx.state + lane0 + k * G);
+        inc2[k] = RO::fold_inc(RO::load(ctx.inc + lane0 + k * G));
+      }
+      for (std::size_t i = 0; i < ctx.n_inputs; ++i) {
+        std::uint64_t bits = 0;
+        for (std::size_t k = 0; k < NC; ++k) {
+          bits |= RO::true_mask(st[k]) << (k * G);
+          st[k] = RO::step2(st[k], inc2[k]);
+        }
+        std::uint64_t* word = ctx.blocks + i * kWordsPerBlock + w;
+        *word = (*word & ~(full << off)) | (bits << off);
+      }
+      for (std::size_t k = 0; k < NC; ++k) RO::store(ctx.state + lane0 + k * G, st[k]);
+    } else {
+      // Partial chunk (the boundary of a prefix draw mask): per-lane scalar
+      // replica of the identical arithmetic.
+      for (std::uint64_t m = cm; m != 0; m &= m - 1) {
+        const std::size_t l = lane0 + static_cast<std::size_t>(__builtin_ctzll(m));
+        std::uint64_t st = ctx.state[l];
+        const std::uint64_t bit = std::uint64_t{1} << (l % 64);
+        for (std::size_t i = 0; i < ctx.n_inputs; ++i) {
+          std::uint64_t* word = ctx.blocks + i * kWordsPerBlock + l / 64;
+          *word = draw_bool_scalar(st, ctx.inc[l]) ? (*word | bit) : (*word & ~bit);
+        }
+        ctx.state[l] = st;
+      }
+    }
+  }
+}
+
+}  // namespace optpower::simd

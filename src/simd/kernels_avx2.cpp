@@ -1,0 +1,111 @@
+// AVX2 kernel backend: 256-bit registers, two per 8-word net block.  This TU
+// (alone) is compiled with -mavx2; it is only entered through the kernel
+// table after a cpuid check, so no AVX2 instruction can fault elsewhere.
+#include "simd/bitsim_kernel.h"
+
+#ifdef __AVX2__
+#include <immintrin.h>
+
+namespace optpower::simd::detail {
+
+namespace {
+
+struct Avx2Ops {
+  using V = __m256i;
+  static constexpr std::size_t kVecWords = 4;
+  static V load(const std::uint64_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(std::uint64_t* p, V v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static V band(V a, V b) { return _mm256_and_si256(a, b); }
+  static V bor(V a, V b) { return _mm256_or_si256(a, b); }
+  static V bxor(V a, V b) { return _mm256_xor_si256(a, b); }
+  static V bnot(V a) { return _mm256_xor_si256(a, ones()); }
+  static bool is_zero(V a) { return _mm256_testz_si256(a, a) != 0; }
+  static V zero() { return _mm256_setzero_si256(); }
+  static V ones() { return _mm256_set1_epi64x(-1); }
+};
+
+struct Avx2RngOps {
+  using V = __m256i;
+  static constexpr std::size_t kVecWords = 4;
+  static V load(const std::uint64_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(std::uint64_t* p, V v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  /// a * b mod 2^64 per lane (AVX2 has no 64-bit mullo): three 32x32
+  /// partial products.
+  static V mul64(V a, V b) {
+    const V lolo = _mm256_mul_epu32(a, b);
+    const V ahi = _mm256_srli_epi64(a, 32);
+    const V bhi = _mm256_srli_epi64(b, 32);
+    const V mid = _mm256_add_epi64(_mm256_mul_epu32(ahi, b), _mm256_mul_epu32(a, bhi));
+    return _mm256_add_epi64(lolo, _mm256_slli_epi64(mid, 32));
+  }
+  static V fold_inc(V inc) {
+    return mul64(inc, _mm256_set1_epi64x(static_cast<long long>(kPcgMultP1)));
+  }
+  static V step2(V st, V inc2) {
+    return _mm256_add_epi64(mul64(st, _mm256_set1_epi64x(static_cast<long long>(kPcgMult2))),
+                            inc2);
+  }
+  static std::uint64_t true_mask(V st) {
+    const V xs = _mm256_srli_epi64(_mm256_xor_si256(_mm256_srli_epi64(st, 18), st), 27);
+    const V thirty_one = _mm256_set1_epi64x(31);
+    const V idx =
+        _mm256_and_si256(_mm256_add_epi64(_mm256_srli_epi64(st, 59), thirty_one), thirty_one);
+    const V bit = _mm256_and_si256(_mm256_srlv_epi64(xs, idx), _mm256_set1_epi64x(1));
+    // next_bool is TRUE where the output bit is 0: invert, move to the sign
+    // bit, movemask down to one bit per lane.
+    const V t = _mm256_slli_epi64(_mm256_xor_si256(bit, _mm256_set1_epi64x(1)), 63);
+    return static_cast<std::uint64_t>(
+        static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(t))));
+  }
+};
+
+struct Avx2DOps {
+  using D = __m256d;
+  static constexpr std::size_t kDoubles = 4;
+  static D load(const double* p) { return _mm256_loadu_pd(p); }
+  static void store(double* p, D v) { _mm256_storeu_pd(p, v); }
+  static D set1(double v) { return _mm256_set1_pd(v); }
+  static D add(D a, D b) { return _mm256_add_pd(a, b); }
+  static D sub(D a, D b) { return _mm256_sub_pd(a, b); }
+  static D mul(D a, D b) { return _mm256_mul_pd(a, b); }
+  static D min(D a, D b) { return _mm256_min_pd(a, b); }
+  static D max(D a, D b) { return _mm256_max_pd(a, b); }
+  static D floor(D a) { return _mm256_floor_pd(a); }
+  static D pow2i(D k) {
+    const __m128i k32 = _mm256_cvttpd_epi32(k);  // exact: k is integral, |k| < 2^31
+    const __m256i k64 = _mm256_cvtepi32_epi64(k32);
+    const __m256i bits =
+        _mm256_slli_epi64(_mm256_add_epi64(k64, _mm256_set1_epi64x(1023)), 52);
+    return _mm256_castsi256_pd(bits);
+  }
+};
+
+void draw_bools(StimCtx& ctx) { draw_bools_impl<Avx2RngOps>(ctx); }
+
+void total_power_row(const PowRowArgs& args) { total_power_row_impl<Avx2DOps>(args); }
+
+}  // namespace
+
+const Kernels* avx2_kernels() {
+  static const Kernels k{"avx2", &BitsimKernel<Avx2Ops>::step_cycle,
+                         &BitsimKernel<Avx2Ops>::settle_full, &draw_bools, &total_power_row};
+  return &k;
+}
+
+}  // namespace optpower::simd::detail
+
+#else  // !__AVX2__: TU built without the flag (unsupported compiler probe)
+
+namespace optpower::simd::detail {
+const Kernels* avx2_kernels() { return nullptr; }
+}  // namespace optpower::simd::detail
+
+#endif

@@ -1,0 +1,101 @@
+// AVX-512 kernel backend: one 512-bit register covers a whole net block.
+// Compiled with -mavx512f -mavx512dq (DQ only for vpmullq in the PCG32
+// advance); entered only through the kernel table after a cpuid check.
+#include "simd/bitsim_kernel.h"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+#include <immintrin.h>
+
+// GCC's avx512fintrin.h implements the unmasked intrinsics by passing an
+// _mm512_undefined_*() source to the masked builtin, which trips
+// -Wmaybe-uninitialized after inlining (GCC PR105593).  The values are dead
+// by construction; silence the false positive for this TU only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace optpower::simd::detail {
+
+namespace {
+
+struct Avx512Ops {
+  using V = __m512i;
+  static constexpr std::size_t kVecWords = 8;
+  static V load(const std::uint64_t* p) { return _mm512_loadu_si512(p); }
+  static void store(std::uint64_t* p, V v) { _mm512_storeu_si512(p, v); }
+  static V band(V a, V b) { return _mm512_and_epi64(a, b); }
+  static V bor(V a, V b) { return _mm512_or_epi64(a, b); }
+  static V bxor(V a, V b) { return _mm512_xor_epi64(a, b); }
+  static V bnot(V a) { return _mm512_xor_epi64(a, ones()); }
+  static bool is_zero(V a) { return _mm512_test_epi64_mask(a, a) == 0; }
+  static V zero() { return _mm512_setzero_si512(); }
+  static V ones() { return _mm512_set1_epi64(-1); }
+};
+
+struct Avx512RngOps {
+  using V = __m512i;
+  static constexpr std::size_t kVecWords = 8;
+  static V load(const std::uint64_t* p) { return _mm512_loadu_si512(p); }
+  static void store(std::uint64_t* p, V v) { _mm512_storeu_si512(p, v); }
+  static V fold_inc(V inc) {
+    return _mm512_mullo_epi64(inc, _mm512_set1_epi64(static_cast<long long>(kPcgMultP1)));
+  }
+  static V step2(V st, V inc2) {
+    return _mm512_add_epi64(
+        _mm512_mullo_epi64(st, _mm512_set1_epi64(static_cast<long long>(kPcgMult2))), inc2);
+  }
+  static std::uint64_t true_mask(V st) {
+    const V xs = _mm512_srli_epi64(_mm512_xor_epi64(_mm512_srli_epi64(st, 18), st), 27);
+    const V thirty_one = _mm512_set1_epi64(31);
+    const V idx =
+        _mm512_and_epi64(_mm512_add_epi64(_mm512_srli_epi64(st, 59), thirty_one), thirty_one);
+    const V bit = _mm512_srlv_epi64(xs, idx);
+    // next_bool is TRUE where the extracted bit is 0.
+    const __mmask8 zero_mask = _mm512_test_epi64_mask(bit, _mm512_set1_epi64(1));
+    return static_cast<std::uint64_t>(static_cast<std::uint8_t>(~zero_mask));
+  }
+};
+
+struct Avx512DOps {
+  using D = __m512d;
+  static constexpr std::size_t kDoubles = 8;
+  static D load(const double* p) { return _mm512_loadu_pd(p); }
+  static void store(double* p, D v) { _mm512_storeu_pd(p, v); }
+  static D set1(double v) { return _mm512_set1_pd(v); }
+  static D add(D a, D b) { return _mm512_add_pd(a, b); }
+  static D sub(D a, D b) { return _mm512_sub_pd(a, b); }
+  static D mul(D a, D b) { return _mm512_mul_pd(a, b); }
+  static D min(D a, D b) { return _mm512_min_pd(a, b); }
+  static D max(D a, D b) { return _mm512_max_pd(a, b); }
+  static D floor(D a) {
+    return _mm512_roundscale_pd(a, _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC);
+  }
+  static D pow2i(D k) {
+    const __m256i k32 = _mm512_cvttpd_epi32(k);  // exact: k is integral, |k| < 2^31
+    const __m512i k64 = _mm512_cvtepi32_epi64(k32);
+    const __m512i bits = _mm512_slli_epi64(_mm512_add_epi64(k64, _mm512_set1_epi64(1023)), 52);
+    return _mm512_castsi512_pd(bits);
+  }
+};
+
+void draw_bools(StimCtx& ctx) { draw_bools_impl<Avx512RngOps>(ctx); }
+
+void total_power_row(const PowRowArgs& args) { total_power_row_impl<Avx512DOps>(args); }
+
+}  // namespace
+
+const Kernels* avx512_kernels() {
+  static const Kernels k{"avx512", &BitsimKernel<Avx512Ops>::step_cycle,
+                         &BitsimKernel<Avx512Ops>::settle_full, &draw_bools, &total_power_row};
+  return &k;
+}
+
+}  // namespace optpower::simd::detail
+
+#else  // TU built without the flags (unsupported compiler probe)
+
+namespace optpower::simd::detail {
+const Kernels* avx512_kernels() { return nullptr; }
+}  // namespace optpower::simd::detail
+
+#endif

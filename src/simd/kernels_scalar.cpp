@@ -1,0 +1,50 @@
+// Scalar kernel backend: plain uint64_t loops over the 8-word block.  The
+// always-available reference every other backend must match bit-for-bit,
+// and the only TU of the three compiled without ISA flags.
+#include "simd/bitsim_kernel.h"
+
+namespace optpower::simd::detail {
+
+namespace {
+
+struct ScalarOps {
+  using V = std::uint64_t;
+  static constexpr std::size_t kVecWords = 1;
+  static V load(const std::uint64_t* p) { return *p; }
+  static void store(std::uint64_t* p, V v) { *p = v; }
+  static V band(V a, V b) { return a & b; }
+  static V bor(V a, V b) { return a | b; }
+  static V bxor(V a, V b) { return a ^ b; }
+  static V bnot(V a) { return ~a; }
+  static bool is_zero(V a) { return a == 0; }
+  static V zero() { return 0; }
+  static V ones() { return ~std::uint64_t{0}; }
+};
+
+struct ScalarRngOps {
+  using V = std::uint64_t;
+  static constexpr std::size_t kVecWords = 1;
+  static V load(const std::uint64_t* p) { return *p; }
+  static void store(std::uint64_t* p, V v) { *p = v; }
+  static V fold_inc(V inc) { return inc * kPcgMultP1; }
+  static V step2(V st, V inc2) { return st * kPcgMult2 + inc2; }
+  static std::uint64_t true_mask(V st) {
+    const std::uint64_t xs = ((st >> 18) ^ st) >> 27;
+    const std::uint64_t idx = ((st >> 59) + 31) & 31;
+    return ((xs >> idx) & 1u) ^ 1u;
+  }
+};
+
+void draw_bools(StimCtx& ctx) { draw_bools_impl<ScalarRngOps>(ctx); }
+
+void total_power_row(const PowRowArgs& args) { total_power_row_impl<ScalarDOps>(args); }
+
+}  // namespace
+
+const Kernels* scalar_kernels() {
+  static const Kernels k{"scalar", &BitsimKernel<ScalarOps>::step_cycle,
+                         &BitsimKernel<ScalarOps>::settle_full, &draw_bools, &total_power_row};
+  return &k;
+}
+
+}  // namespace optpower::simd::detail

@@ -1,0 +1,108 @@
+#include "simd/simd.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/error.h"
+
+namespace optpower::simd {
+
+namespace detail {
+// Defined in the kernels_<backend>.cpp TUs; a backend whose TU was built
+// without its ISA flags (compiler probe failed) returns nullptr.
+const Kernels* scalar_kernels();
+const Kernels* avx2_kernels();
+const Kernels* avx512_kernels();
+}  // namespace detail
+
+namespace {
+
+const Kernels* table_of(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kScalar: return detail::scalar_kernels();
+    case Backend::kAvx2: return detail::avx2_kernels();
+    case Backend::kAvx512: return detail::avx512_kernels();
+  }
+  return nullptr;
+}
+
+bool cpu_has(Backend backend) noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (backend) {
+    case Backend::kScalar: return true;
+    case Backend::kAvx2: return __builtin_cpu_supports("avx2") != 0;
+    case Backend::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0 && __builtin_cpu_supports("avx512dq") != 0;
+  }
+  return false;
+#else
+  return backend == Backend::kScalar;
+#endif
+}
+
+Backend resolve_default() {
+  const char* env = std::getenv("OPTPOWER_SIMD");
+  if (env != nullptr && env[0] != '\0') {
+    const std::string want(env);
+    Backend backend = Backend::kScalar;
+    if (want == "scalar") backend = Backend::kScalar;
+    else if (want == "avx2") backend = Backend::kAvx2;
+    else if (want == "avx512") backend = Backend::kAvx512;
+    else {
+      throw InvalidArgument("OPTPOWER_SIMD: unknown backend '" + want +
+                            "' (expected scalar|avx2|avx512)");
+    }
+    require(backend_supported(backend),
+            "OPTPOWER_SIMD: backend '" + want + "' is not supported on this machine");
+    return backend;
+  }
+  return detect_backend();
+}
+
+}  // namespace
+
+const char* backend_name(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kAvx2: return "avx2";
+    case Backend::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+bool backend_compiled(Backend backend) noexcept { return table_of(backend) != nullptr; }
+
+bool backend_supported(Backend backend) noexcept {
+  return backend_compiled(backend) && cpu_has(backend);
+}
+
+Backend detect_backend() noexcept {
+  static const Backend best = [] {
+    if (backend_supported(Backend::kAvx512)) return Backend::kAvx512;
+    if (backend_supported(Backend::kAvx2)) return Backend::kAvx2;
+    return Backend::kScalar;
+  }();
+  return best;
+}
+
+Backend default_backend() {
+  static const Backend resolved = resolve_default();
+  return resolved;
+}
+
+std::vector<Backend> supported_backends() {
+  std::vector<Backend> out;
+  for (const Backend b : {Backend::kScalar, Backend::kAvx2, Backend::kAvx512}) {
+    if (backend_supported(b)) out.push_back(b);
+  }
+  return out;
+}
+
+const Kernels& kernels(Backend backend) {
+  require(backend_supported(backend),
+          std::string("simd::kernels: backend '") + backend_name(backend) +
+              "' is not supported on this machine");
+  return *table_of(backend);
+}
+
+}  // namespace optpower::simd

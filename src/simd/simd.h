@@ -1,0 +1,185 @@
+// Runtime-dispatched SIMD kernel layer: one scalar / AVX2 / AVX-512 backend
+// behind a common kernel table, selected once per process from cpuid (widest
+// supported wins) and overridable with OPTPOWER_SIMD=scalar|avx2|avx512 for
+// testing every dispatch path on one machine.
+//
+// The contract that makes the dispatch safe to test: every backend computes
+// BIT-IDENTICAL results.  Integer kernels (the bit-parallel simulator and
+// its PCG32 stimulus generator) are pure 64-bit integer arithmetic evaluated
+// per lane, so width only changes how many lanes one instruction touches.
+// The double kernel (total_power_row) uses one shared polynomial exp
+// evaluated with plain IEEE mul/add (the kernel TUs compile with
+// -ffp-contract=off so no backend silently fuses into FMA), which again
+// makes scalar == AVX2 == AVX-512 to the last bit.
+//
+// Only the three kernels_<backend>.cpp TUs are compiled with ISA flags
+// (per-source -m options in src/CMakeLists.txt); this header and simd.cpp
+// stay ISA-clean so no illegal instruction can leak into generic code paths.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace optpower {
+enum class CellType : std::uint8_t;
+}
+
+namespace optpower::simd {
+
+/// 64-bit words per lane block: 8 x 64 = 512 independent lanes per pass.
+/// One AVX-512 op covers a whole block, AVX2 takes two, scalar eight.
+inline constexpr std::size_t kWordsPerBlock = 8;
+
+/// Lanes per block.
+inline constexpr std::size_t kLanesPerBlock = kWordsPerBlock * 64;
+
+/// Carry-save accumulator depth: per-lane event tallies are kept bit-sliced
+/// (plane p holds bit p of every lane's count), so a window of up to 2^32-1
+/// events per lane can accumulate between flushes.
+inline constexpr std::size_t kAccPlanes = 32;
+
+/// Instruction-set backend of a kernel table.
+enum class Backend {
+  kScalar = 0,  ///< plain uint64_t loops; always compiled, always supported
+  kAvx2 = 1,    ///< 256-bit blocks (needs AVX2)
+  kAvx512 = 2,  ///< 512-bit blocks (needs AVX-512 F+DQ)
+};
+
+inline constexpr int kNumBackends = 3;
+
+/// One combinational cell flattened for the settle kernel, topo order.
+/// Unused input pins are padded with in[0] (or the output net for tie
+/// cells) so the dirty-cone check can read all three unconditionally.
+struct FlatCell {
+  CellType type;
+  std::uint8_t num_outputs;
+  std::uint32_t in[3];
+  std::uint32_t out[2];
+};
+
+/// One sequential cell (kDff / kDffEnable) for the clock-edge kernel.
+/// `en` is 0xffffffff (kNoNet) for plain DFFs.
+struct SeqCell {
+  std::uint32_t d;
+  std::uint32_t en;
+  std::uint32_t q;
+};
+
+/// Mutable view of one BitSimulator's state, handed to the cycle kernels.
+/// All pointers alias the simulator's own vectors; sizes never change after
+/// construction.  Per-net blocks are `kWordsPerBlock` consecutive words.
+struct BitsimCtx {
+  const FlatCell* cells = nullptr;  ///< combinational cells, topo order
+  std::size_t num_cells = 0;
+  const SeqCell* seq = nullptr;  ///< sequential cells
+  std::size_t num_seq = 0;
+  std::size_t num_nets = 0;
+
+  std::uint64_t* words = nullptr;     ///< per net: one lane block
+  std::uint64_t* dff_next = nullptr;  ///< per seq cell: sampled D block
+  const std::uint64_t* mask = nullptr;  ///< active-lane mask block (stats only)
+  bool mask_full = true;  ///< every lane active: the mask-AND passes collapse
+
+  /// Functional (start-vs-end) accounting runs only when the design has
+  /// sequential cells.  A purely combinational design settles in ONE
+  /// levelized pass per cycle, so each net changes at most once and the
+  /// functional toggle count per cycle IS the transition count (glitches are
+  /// identically zero, matching the scalar kZero simulator); the simulator
+  /// then folds the transition planes into both counters on flush and the
+  /// kernel skips the touched-list snapshots and the whole end-of-cycle
+  /// start-vs-end pass.
+  bool count_func = true;
+
+  // Dirty-cone bookkeeping (net granularity).  `dirty` marks nets whose
+  // value changed since their consumers last settled; each settle consumes
+  // and clears the flags through `dirty_list`.
+  std::uint8_t* dirty = nullptr;
+  std::uint32_t* dirty_list = nullptr;
+  std::size_t dirty_count = 0;
+  bool incremental = true;  ///< false = evaluate every cell every settle
+
+  // Per-cycle functional bookkeeping: nets whose block changed this cycle,
+  // with their cycle-start value snapshotted on first touch.
+  std::uint8_t* touched = nullptr;
+  std::uint32_t* touched_list = nullptr;
+  std::size_t touched_count = 0;
+  std::uint64_t* start_words = nullptr;
+
+  // Carry-save planes (kAccPlanes x kWordsPerBlock each) and their used
+  // depth; flushed into per-lane scalar counters by the simulator.
+  std::uint64_t* trans_planes = nullptr;
+  std::size_t trans_used = 0;
+  std::uint64_t* func_planes = nullptr;
+  std::size_t func_used = 0;
+  std::uint64_t* cycle_planes = nullptr;
+  std::size_t cycle_used = 0;
+};
+
+/// Vectorized PCG32 stimulus drawing: advance the per-lane generators of
+/// every lane selected in `draw_mask` by one fair-coin draw per input, and
+/// deposit the outcome in bit `lane` of each input's block.  Lanes outside
+/// `draw_mask` keep their previous bit and their generator state untouched.
+/// The arithmetic replicates util/random.h Pcg32 (state update, xorshift-
+/// rotate output, next_double composition, < 0.5 compare) exactly, so lane
+/// l's stream is bit-identical to `Pcg32(seed + l).next_bool()` draws.
+struct StimCtx {
+  std::uint64_t* state = nullptr;      ///< per-lane PCG32 state, kLanesPerBlock
+  const std::uint64_t* inc = nullptr;  ///< per-lane PCG32 increment
+  std::uint64_t* blocks = nullptr;     ///< n_inputs input blocks, input-major
+  std::size_t n_inputs = 0;
+  const std::uint64_t* draw_mask = nullptr;  ///< lane block: lanes that draw
+};
+
+/// Arguments of the total_power row kernel:
+/// out[i] = pdyn + stat_coeff * exp(vth[i] * neg_inv_nut).
+struct PowRowArgs {
+  const double* vth = nullptr;
+  double* out = nullptr;
+  std::size_t n = 0;
+  double pdyn = 0.0;        ///< N * a * C * vdd^2 * f
+  double stat_coeff = 0.0;  ///< N * vdd * Io
+  double neg_inv_nut = 0.0; ///< -1 / (n * Ut)
+};
+
+/// One backend's kernel table.
+struct Kernels {
+  const char* name;  ///< "scalar" / "avx2" / "avx512"
+  /// Full clock cycle: pre-edge settle, DFF sample + Q commit, post-edge
+  /// settle, functional accounting over the touched list (which it clears).
+  void (*step_cycle)(BitsimCtx& ctx);
+  /// Evaluate every combinational cell once, storing outputs with no
+  /// statistics and no bookkeeping; clears all dirty/touched state (the
+  /// reset_state path).
+  void (*settle_full)(BitsimCtx& ctx);
+  /// Vectorized stimulus drawing (see StimCtx).
+  void (*draw_bools)(StimCtx& ctx);
+  /// SIMD total-power row (see PowRowArgs).
+  void (*total_power_row)(const PowRowArgs& args);
+};
+
+/// Backend display name ("scalar" / "avx2" / "avx512").
+[[nodiscard]] const char* backend_name(Backend backend) noexcept;
+
+/// Whether the backend's kernel TU was compiled into this binary.
+[[nodiscard]] bool backend_compiled(Backend backend) noexcept;
+
+/// Whether the backend can run here: compiled in AND the CPU reports the
+/// required ISA extensions (AVX2, or AVX-512 F+DQ).  kScalar is always true.
+[[nodiscard]] bool backend_supported(Backend backend) noexcept;
+
+/// Widest supported backend (cpuid probe, cached).
+[[nodiscard]] Backend detect_backend() noexcept;
+
+/// The process-wide default: $OPTPOWER_SIMD when set (throws InvalidArgument
+/// on an unknown value or an unsupported backend - tests probe first and
+/// skip), else detect_backend().  Resolved once and cached.
+[[nodiscard]] Backend default_backend();
+
+/// Every backend supported on this machine, scalar first.
+[[nodiscard]] std::vector<Backend> supported_backends();
+
+/// Kernel table of a backend; throws InvalidArgument when unsupported.
+[[nodiscard]] const Kernels& kernels(Backend backend);
+
+}  // namespace optpower::simd

@@ -60,6 +60,15 @@ class Pcg32 {
     return v & ((1ULL << n) - 1ULL);
   }
 
+  /// Raw generator registers, for engines that advance many PCG32 streams in
+  /// lockstep (the simd/ stimulus kernels) while staying draw-for-draw
+  /// identical to this class.
+  struct State {
+    std::uint64_t state;
+    std::uint64_t inc;
+  };
+  [[nodiscard]] State internal_state() const noexcept { return {state_, inc_}; }
+
  private:
   std::uint64_t state_;
   std::uint64_t inc_;

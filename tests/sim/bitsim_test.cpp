@@ -1,14 +1,20 @@
 // The bit-parallel engine's lane-equivalence property: every lane of a
 // BitSimulator - net values after every cycle, outputs, and the per-lane
 // transition/glitch statistics - must be bit-identical to a fresh scalar
-// kZero EventSimulator driven with that lane's stimulus.  On top of the raw
-// simulator, the ActivityEngine seam must make the pooled bit-parallel
-// measurement equal the scalar sharded measurement counter for counter, and
-// the whole thing must stay bit-identical for any thread count
-// (BitsimParallelDeterminism, run under the TSan CI filter).
+// kZero EventSimulator driven with that lane's stimulus, on EVERY SIMD
+// backend this machine supports (the suites below are parameterized over
+// simd::supported_backends(); CI's ISA-matrix leg additionally re-runs the
+// whole binary per backend via OPTPOWER_SIMD).  On top of the raw simulator,
+// the dirty-cone incremental mode must match full settling bit for bit, the
+// ActivityEngine seam must make the pooled bit-parallel measurement equal
+// the scalar sharded measurement counter for counter, and the whole thing
+// must stay bit-identical for any thread count (BitsimParallelDeterminism,
+// run under the TSan CI filter).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mult/array.h"
@@ -19,21 +25,31 @@
 #include "sim/activity.h"
 #include "sim/bitsim.h"
 #include "sim/event_sim.h"
+#include "simd/simd.h"
 #include "util/error.h"
 #include "util/random.h"
 
 namespace optpower {
 namespace {
 
+/// One test instantiation per backend supported on this machine.
+class BitsimBackend : public ::testing::TestWithParam<simd::Backend> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, BitsimBackend,
+                         ::testing::ValuesIn(simd::supported_backends()),
+                         [](const ::testing::TestParamInfo<simd::Backend>& info) {
+                           return std::string(simd::backend_name(info.param));
+                         });
+
 /// Drive a BitSimulator and one scalar kZero EventSimulator per lane with
 /// identical stimulus (lane l's RNG == scalar l's RNG) for `cycles` cycles,
 /// asserting full per-lane state and statistics equality after every cycle.
-void expect_lockstep_lanes(const Netlist& nl, int lanes, int cycles, std::uint64_t seed,
-                           int reset_every = 0) {
+void expect_lockstep_lanes(const Netlist& nl, simd::Backend backend, int lanes, int cycles,
+                           std::uint64_t seed, int reset_every = 0) {
   ASSERT_GE(lanes, 1);
   ASSERT_LE(lanes, BitSimulator::kLanes);
-  BitSimulator bit(nl);
-  bit.set_active_mask(lanes == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << lanes) - 1));
+  BitSimulator bit(nl, backend);
+  bit.set_active_mask(BitSimulator::lane_mask(lanes));
 
   std::vector<EventSimulator> scalars;
   std::vector<Pcg32> rngs;
@@ -44,19 +60,22 @@ void expect_lockstep_lanes(const Netlist& nl, int lanes, int cycles, std::uint64
   }
 
   const std::size_t num_inputs = nl.primary_inputs().size();
-  std::vector<std::uint64_t> words(num_inputs);
+  std::vector<std::uint64_t> blocks(num_inputs * static_cast<std::size_t>(BitSimulator::kWords));
   std::vector<bool> vec(num_inputs);
   for (int c = 0; c < cycles; ++c) {
-    for (std::size_t i = 0; i < num_inputs; ++i) words[i] = 0;
+    std::fill(blocks.begin(), blocks.end(), 0);
     for (int l = 0; l < lanes; ++l) {
       for (std::size_t i = 0; i < num_inputs; ++i) {
         vec[i] = rngs[static_cast<std::size_t>(l)].next_bool();
-        if (vec[i]) words[i] |= std::uint64_t{1} << l;
+        if (vec[i]) {
+          blocks[i * static_cast<std::size_t>(BitSimulator::kWords) +
+                 static_cast<std::size_t>(l >> 6)] |= std::uint64_t{1} << (l & 63);
+        }
       }
       scalars[static_cast<std::size_t>(l)].set_inputs(vec);
       scalars[static_cast<std::size_t>(l)].step_cycle();
     }
-    bit.set_inputs(words);
+    bit.set_inputs(blocks);
     bit.step_cycle();
 
     for (int l = 0; l < lanes; ++l) {
@@ -84,7 +103,7 @@ void expect_lockstep_lanes(const Netlist& nl, int lanes, int cycles, std::uint64
   }
 }
 
-TEST(BitsimLaneEquivalence, CombinationalAdderAllLanes) {
+TEST_P(BitsimBackend, CombinationalAdderAllLanes) {
   Netlist nl;
   const Bus a = add_input_bus(nl, "a", 8);
   const Bus b = add_input_bus(nl, "b", 8);
@@ -92,40 +111,98 @@ TEST(BitsimLaneEquivalence, CombinationalAdderAllLanes) {
   Bus out = r.sum;
   out.push_back(r.carry_out);
   add_output_bus(nl, "s", out);
-  expect_lockstep_lanes(nl, 64, 24, 0xb17b17b1);
+  expect_lockstep_lanes(nl, GetParam(), BitSimulator::kLanes, 8, 0xb17b17b1);
 }
 
-TEST(BitsimLaneEquivalence, SequentialCounterDecoder) {
+TEST_P(BitsimBackend, SequentialCounterDecoderAllLanes) {
   Netlist nl;
   const Bus cnt = add_counter(nl, 4);
   const Bus dec = add_decoder(nl, cnt);
   const NetId en = nl.add_input("en");
   const Bus held = register_bus(nl, dec, en);
   add_output_bus(nl, "d", held);
-  expect_lockstep_lanes(nl, 64, 32, 0xb17c2);
+  expect_lockstep_lanes(nl, GetParam(), BitSimulator::kLanes, 12, 0xb17c2);
 }
 
-TEST(BitsimLaneEquivalence, PartialWordsAndMidRunResets) {
+TEST_P(BitsimBackend, PartialBlocksAndMidRunResets) {
+  // Lane counts straddling word boundaries and the final partial block,
+  // with alternating state/stats resets mid-run.
   const Netlist nl = array_multiplier(6);
-  for (const int lanes : {1, 3, 17, 64}) {
-    expect_lockstep_lanes(nl, lanes, 12, 0xb17 + static_cast<std::uint64_t>(lanes),
-                          /*reset_every=*/5);
+  for (const int lanes : {1, 3, 17, 96, 511}) {
+    expect_lockstep_lanes(nl, GetParam(), lanes, 8, 0xb17 + static_cast<std::uint64_t>(lanes),
+                          /*reset_every=*/3);
   }
 }
 
-TEST(BitsimLaneEquivalence, MultipleSeeds) {
+TEST_P(BitsimBackend, MultiplierWidths8x16x32) {
+  // The acceptance widths: 8/16/32-bit multipliers, lockstep on every
+  // backend (few lanes at the big widths keep the scalar references cheap).
+  expect_lockstep_lanes(wallace_multiplier(8), GetParam(), 64, 6, 0x5eed08);
+  expect_lockstep_lanes(wallace_multiplier(16), GetParam(), 8, 4, 0x5eed10);
+  expect_lockstep_lanes(array_multiplier(32), GetParam(), 8, 3, 0x5eed20);
+}
+
+TEST_P(BitsimBackend, MultipleSeeds) {
   const Netlist nl = wallace_multiplier(6);
   for (const std::uint64_t seed : {0x1ULL, 0xdeadbeefULL, 0x5eed0001ULL}) {
-    expect_lockstep_lanes(nl, 32, 10, seed);
+    expect_lockstep_lanes(nl, GetParam(), 32, 10, seed);
+  }
+}
+
+TEST_P(BitsimBackend, DirtyConeMatchesFullSettle) {
+  // The incremental skip must be EXACT: a simulator with dirty-cone settling
+  // and one evaluating every cell every settle, fed identical stimulus, must
+  // agree on every net word, every output, and every counter after every
+  // cycle - including vectors held across several cycles (the case where
+  // the dirty cone skips nearly everything) and a mid-run state reset.
+  for (const Netlist& nl : {array_multiplier(8), [] {
+         Netlist n;
+         const Bus cnt = add_counter(n, 5);
+         const Bus dec = add_decoder(n, cnt);
+         add_output_bus(n, "d", dec);
+         return n;
+       }()}) {
+    BitSimulator inc(nl, GetParam());
+    BitSimulator full(nl, GetParam());
+    ASSERT_TRUE(inc.incremental());
+    full.set_incremental(false);
+
+    const std::size_t num_inputs = nl.primary_inputs().size();
+    std::vector<std::uint64_t> blocks(num_inputs *
+                                      static_cast<std::size_t>(BitSimulator::kWords));
+    Pcg32 rng(0xd1f7);
+    for (int c = 0; c < 24; ++c) {
+      if (c % 3 == 0) {  // hold each vector for 3 cycles
+        for (auto& w : blocks) w = rng.next_bits(64);
+        inc.set_inputs(blocks);
+        full.set_inputs(blocks);
+      }
+      inc.step_cycle();
+      full.step_cycle();
+      for (NetId n = 0; n < nl.num_nets(); ++n) {
+        for (int w = 0; w < BitSimulator::kWords; ++w) {
+          ASSERT_EQ(inc.word(n, w), full.word(n, w)) << "net " << n << " word " << w
+                                                     << " cycle " << c;
+        }
+      }
+      for (const int l : {0, 63, 64, 255, 511}) {
+        ASSERT_EQ(inc.transitions(l), full.transitions(l)) << "lane " << l << " cycle " << c;
+        ASSERT_EQ(inc.glitches(l), full.glitches(l)) << "lane " << l << " cycle " << c;
+      }
+      if (c == 11) {
+        inc.reset_state();
+        full.reset_state();
+      }
+    }
   }
 }
 
 TEST(BitsimLaneEquivalence, AllMultiplierFamiliesAtWidth8) {
   // Every generator family the forward flow characterizes, through the
   // testbench layer: the pooled bit-parallel measurement must equal the
-  // scalar kZero sharded measurement COUNTER FOR COUNTER (same lane split,
-  // same seeds - the strongest cross-engine statement short of per-net
-  // lockstep, which the suites above cover on representative netlists).
+  // scalar kZero sharded measurement COUNTER FOR COUNTER.  96 vectors pack
+  // into 96 lanes (one vector each), so the scalar twin is a 96-stream
+  // shard - same lane split, same seeds.
   for (const std::string& name : multiplier_names()) {
     const GeneratedMultiplier gen = build_multiplier(name, 8);
     ActivityOptions opt;
@@ -138,7 +215,7 @@ TEST(BitsimLaneEquivalence, AllMultiplierFamiliesAtWidth8) {
 
     ActivityOptions scalar = opt;
     scalar.engine = ActivityEngine::kScalarEvent;
-    const ActivityMeasurement sharded = measure_activity_sharded(gen.netlist, scalar, 64);
+    const ActivityMeasurement sharded = measure_activity_sharded(gen.netlist, scalar, 96);
 
     EXPECT_EQ(pooled.transitions, sharded.transitions) << name;
     EXPECT_EQ(pooled.glitches, sharded.glitches) << name;
@@ -151,20 +228,20 @@ TEST(BitsimLaneEquivalence, AllMultiplierFamiliesAtWidth8) {
 
 TEST(BitsimLaneEquivalence, LaneMeasurementsMatchScalarRuns) {
   // measure_activity_lanes: lane l is EXACTLY a scalar kZero run with seed
-  // seed + l and that lane's vector share - including a partial final word
-  // (100 = 64 + 36, so lanes 0-35 run 2 vectors and lanes 36-63 run 1).
+  // seed + l and that lane's vector share - including a partial final block
+  // (700 = 512 + 188, so lanes 0-187 run 2 vectors and lanes 188-511 run 1).
   const Netlist nl = array_multiplier(8);
   ActivityOptions opt;
-  opt.num_vectors = 100;
+  opt.num_vectors = 700;
   opt.warmup_vectors = 3;
   opt.delay_mode = SimDelayMode::kZero;
   opt.engine = ActivityEngine::kBitParallel;
   const std::vector<ActivityMeasurement> lanes = measure_activity_lanes(nl, opt);
-  ASSERT_EQ(lanes.size(), 64u);
+  ASSERT_EQ(lanes.size(), static_cast<std::size_t>(BitSimulator::kLanes));
 
-  for (const int l : {0, 1, 35, 36, 63}) {
+  for (const int l : {0, 1, 187, 188, 511}) {
     ActivityOptions scalar;
-    scalar.num_vectors = l < 36 ? 2 : 1;
+    scalar.num_vectors = l < 188 ? 2 : 1;
     scalar.warmup_vectors = opt.warmup_vectors;
     scalar.seed = opt.seed + static_cast<std::uint64_t>(l);
     scalar.delay_mode = SimDelayMode::kZero;

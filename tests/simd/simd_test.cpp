@@ -1,0 +1,225 @@
+// The simd/ dispatch layer's contract: backend discovery is consistent
+// (scalar always available, every advertised backend resolvable to a kernel
+// table, unsupported backends rejected), the vectorized PCG32 stimulus
+// kernel reproduces util/random.h Pcg32 streams draw for draw on every
+// backend, and the total_power_row double kernel is bit-identical across
+// backends (the -ffp-contract=off / shared-polynomial guarantee) while
+// staying within polynomial-exp accuracy of the closed-form power model.
+#include "simd/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "arch/architecture.h"
+#include "power/model.h"
+#include "tech/stm_cmos09.h"
+#include "util/error.h"
+#include "util/random.h"
+
+namespace optpower {
+namespace {
+
+const simd::Backend kAllBackends[] = {simd::Backend::kScalar, simd::Backend::kAvx2,
+                                      simd::Backend::kAvx512};
+
+TEST(SimdDispatch, ScalarAlwaysCompiledAndSupported) {
+  EXPECT_TRUE(simd::backend_compiled(simd::Backend::kScalar));
+  EXPECT_TRUE(simd::backend_supported(simd::Backend::kScalar));
+  EXPECT_STREQ(simd::backend_name(simd::Backend::kScalar), "scalar");
+  EXPECT_STREQ(simd::backend_name(simd::Backend::kAvx2), "avx2");
+  EXPECT_STREQ(simd::backend_name(simd::Backend::kAvx512), "avx512");
+}
+
+TEST(SimdDispatch, SupportedBackendsScalarFirstAndResolvable) {
+  const std::vector<simd::Backend> sup = simd::supported_backends();
+  ASSERT_FALSE(sup.empty());
+  EXPECT_EQ(sup.front(), simd::Backend::kScalar);
+  for (const simd::Backend b : sup) {
+    EXPECT_TRUE(simd::backend_supported(b));
+    EXPECT_TRUE(simd::backend_compiled(b));
+    EXPECT_STREQ(simd::kernels(b).name, simd::backend_name(b));
+  }
+}
+
+TEST(SimdDispatch, DetectedAndDefaultBackendsAreSupported) {
+  EXPECT_TRUE(simd::backend_supported(simd::detect_backend()));
+  // default_backend honors OPTPOWER_SIMD (the CI ISA matrix sets it); in
+  // every case the resolved backend must be runnable here.
+  EXPECT_TRUE(simd::backend_supported(simd::default_backend()));
+}
+
+TEST(SimdDispatch, UnsupportedBackendsThrow) {
+  for (const simd::Backend b : kAllBackends) {
+    if (simd::backend_supported(b)) continue;
+    EXPECT_THROW((void)simd::kernels(b), InvalidArgument) << simd::backend_name(b);
+  }
+}
+
+/// Per-backend kernel tests.
+class SimdKernels : public ::testing::TestWithParam<simd::Backend> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, SimdKernels,
+                         ::testing::ValuesIn(simd::supported_backends()),
+                         [](const ::testing::TestParamInfo<simd::Backend>& info) {
+                           return std::string(simd::backend_name(info.param));
+                         });
+
+TEST_P(SimdKernels, StimulusStreamsMatchScalarPcg32) {
+  // Lane l of the vectorized draw must be the exact Pcg32(seed + l)
+  // next_bool() stream, across inputs and vectors, in draw order.
+  const simd::Kernels& kern = simd::kernels(GetParam());
+  const std::uint64_t seed = 0x5eedcafe;
+  const std::size_t num_inputs = 5;
+  const int vectors = 40;
+
+  std::vector<std::uint64_t> state(simd::kLanesPerBlock);
+  std::vector<std::uint64_t> inc(simd::kLanesPerBlock);
+  std::vector<Pcg32> ref;
+  ref.reserve(simd::kLanesPerBlock);
+  for (std::size_t l = 0; l < simd::kLanesPerBlock; ++l) {
+    Pcg32 rng(seed + l);
+    const Pcg32::State st = rng.internal_state();
+    state[l] = st.state;
+    inc[l] = st.inc;
+    ref.emplace_back(seed + l);
+  }
+
+  std::vector<std::uint64_t> blocks(num_inputs * simd::kWordsPerBlock, 0);
+  std::vector<std::uint64_t> mask(simd::kWordsPerBlock, ~std::uint64_t{0});
+  simd::StimCtx sc;
+  sc.state = state.data();
+  sc.inc = inc.data();
+  sc.blocks = blocks.data();
+  sc.n_inputs = num_inputs;
+  sc.draw_mask = mask.data();
+
+  for (int v = 0; v < vectors; ++v) {
+    kern.draw_bools(sc);
+    for (std::size_t l = 0; l < simd::kLanesPerBlock; ++l) {
+      for (std::size_t i = 0; i < num_inputs; ++i) {
+        const bool expected = ref[l].next_bool();
+        const bool got =
+            ((blocks[i * simd::kWordsPerBlock + (l >> 6)] >> (l & 63)) & 1u) != 0;
+        ASSERT_EQ(got, expected) << "lane " << l << " input " << i << " vector " << v;
+      }
+    }
+  }
+}
+
+TEST_P(SimdKernels, MaskedLanesKeepStateAndBits) {
+  // Lanes outside draw_mask must not advance their generators and must keep
+  // their previous input bits (the partial-final-block contract).
+  const simd::Kernels& kern = simd::kernels(GetParam());
+  const int active = 37;  // deliberately not a multiple of any vector width
+  const std::size_t num_inputs = 3;
+
+  std::vector<std::uint64_t> state(simd::kLanesPerBlock);
+  std::vector<std::uint64_t> inc(simd::kLanesPerBlock);
+  for (std::size_t l = 0; l < simd::kLanesPerBlock; ++l) {
+    const Pcg32::State st = Pcg32(0xfeed + l).internal_state();
+    state[l] = st.state;
+    inc[l] = st.inc;
+  }
+  const std::vector<std::uint64_t> state_before = state;
+
+  // Sentinel pattern in every block; masked-out lanes must keep it.
+  std::vector<std::uint64_t> blocks(num_inputs * simd::kWordsPerBlock, 0xa5a5a5a5a5a5a5a5ULL);
+  const std::vector<std::uint64_t> blocks_before = blocks;
+  std::vector<std::uint64_t> mask(simd::kWordsPerBlock, 0);
+  mask[0] = (std::uint64_t{1} << active) - 1;
+
+  simd::StimCtx sc;
+  sc.state = state.data();
+  sc.inc = inc.data();
+  sc.blocks = blocks.data();
+  sc.n_inputs = num_inputs;
+  sc.draw_mask = mask.data();
+  kern.draw_bools(sc);
+
+  for (std::size_t l = 0; l < simd::kLanesPerBlock; ++l) {
+    if (l < static_cast<std::size_t>(active)) {
+      EXPECT_NE(state[l], state_before[l]) << "active lane " << l << " did not advance";
+    } else {
+      EXPECT_EQ(state[l], state_before[l]) << "masked lane " << l << " advanced";
+      for (std::size_t i = 0; i < num_inputs; ++i) {
+        const std::size_t w = i * simd::kWordsPerBlock + (l >> 6);
+        EXPECT_EQ((blocks[w] >> (l & 63)) & 1u, (blocks_before[w] >> (l & 63)) & 1u)
+            << "masked lane " << l << " input " << i << " bit changed";
+      }
+    }
+  }
+}
+
+simd::PowRowArgs row_args(const std::vector<double>& vth, std::vector<double>& out) {
+  simd::PowRowArgs a;
+  a.vth = vth.data();
+  a.out = out.data();
+  a.n = vth.size();
+  a.pdyn = 3.1e-6;
+  a.stat_coeff = 608 * 0.6 * 4.9e-9;
+  a.neg_inv_nut = -1.0 / (1.39 * 0.0259);
+  return a;
+}
+
+TEST_P(SimdKernels, TotalPowerRowBitIdenticalToScalarBackend) {
+  // 257 points: every vector width gets full vectors AND a ragged tail.
+  Pcg32 rng(0x505);
+  std::vector<double> vth(257);
+  for (double& v : vth) v = 0.05 + 0.45 * rng.next_double();
+  std::vector<double> got(vth.size()), want(vth.size());
+
+  std::vector<double> tmp = vth;
+  simd::PowRowArgs a = row_args(vth, got);
+  simd::kernels(GetParam()).total_power_row(a);
+  simd::PowRowArgs b = row_args(tmp, want);
+  simd::kernels(simd::Backend::kScalar).total_power_row(b);
+
+  EXPECT_EQ(std::memcmp(got.data(), want.data(), got.size() * sizeof(double)), 0)
+      << "backend " << simd::backend_name(GetParam())
+      << " diverges from the scalar double kernel";
+}
+
+TEST_P(SimdKernels, TotalPowerRowMatchesStdExp) {
+  Pcg32 rng(0xacc);
+  std::vector<double> vth(100);
+  for (double& v : vth) v = 0.05 + 0.45 * rng.next_double();
+  std::vector<double> out(vth.size());
+  const simd::PowRowArgs a = row_args(vth, out);
+  simd::kernels(GetParam()).total_power_row(a);
+  for (std::size_t i = 0; i < vth.size(); ++i) {
+    const double want = a.pdyn + a.stat_coeff * std::exp(vth[i] * a.neg_inv_nut);
+    EXPECT_NEAR(out[i], want, 1e-12 * want) << "i=" << i;
+  }
+}
+
+TEST(SimdPowerModel, RowMatchesPointEvaluations) {
+  // The PowerModel seam: one row call == n total_power() calls, within the
+  // polynomial exp's accuracy (the surface sweeps only need ~1e-6).
+  ArchitectureParams arch;
+  arch.name = "RCA";
+  arch.n_cells = 608;
+  arch.activity = 0.5056;
+  arch.logic_depth = 61;
+  arch.cell_cap = 70e-15;
+  const PowerModel m(stm_cmos09_ll(), arch);
+  const double vdd = 0.6, f = 31.25e6;
+
+  std::vector<double> vth(64);
+  for (std::size_t i = 0; i < vth.size(); ++i) {
+    vth[i] = 0.08 + 0.4 * static_cast<double>(i) / static_cast<double>(vth.size() - 1);
+  }
+  std::vector<double> row(vth.size());
+  m.total_power_row(vdd, f, vth.data(), row.data(), vth.size());
+  for (std::size_t i = 0; i < vth.size(); ++i) {
+    const double want = m.total_power(vdd, vth[i], f);
+    EXPECT_NEAR(row[i], want, 1e-12 * want) << "i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace optpower

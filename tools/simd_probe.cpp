@@ -1,0 +1,34 @@
+// CI helper: probe SIMD backend support on the current machine.
+//
+//   simd_probe            print detected default + per-backend support table
+//   simd_probe <backend>  exit 0 if <backend> is supported here, 1 otherwise
+//
+// The ISA-matrix CI leg uses the single-argument form to decide between
+// running the per-backend test suites and logging an explicit skip line.
+#include <cstdio>
+#include <cstring>
+
+#include "simd/simd.h"
+
+int main(int argc, char** argv) {
+  using optpower::simd::Backend;
+  const Backend all[] = {Backend::kScalar, Backend::kAvx2, Backend::kAvx512};
+  if (argc > 1) {
+    for (const Backend b : all) {
+      if (std::strcmp(argv[1], optpower::simd::backend_name(b)) == 0) {
+        const bool ok = optpower::simd::backend_supported(b);
+        std::printf("%s: %s\n", argv[1], ok ? "supported" : "unsupported");
+        return ok ? 0 : 1;
+      }
+    }
+    std::fprintf(stderr, "simd_probe: unknown backend '%s' (scalar|avx2|avx512)\n", argv[1]);
+    return 2;
+  }
+  std::printf("detected: %s\n", optpower::simd::backend_name(optpower::simd::detect_backend()));
+  for (const Backend b : all) {
+    std::printf("%-7s compiled=%d supported=%d\n", optpower::simd::backend_name(b),
+                optpower::simd::backend_compiled(b) ? 1 : 0,
+                optpower::simd::backend_supported(b) ? 1 : 0);
+  }
+  return 0;
+}
