@@ -1,0 +1,103 @@
+// Serving-layer benchmarks: the cache-hit vs steady-state-miss latency
+// asymmetry documented in docs/PERF.md (a hit is a hash lookup + LRU
+// splice; a miss dispatches a full activity-simulation + optimizer run to a
+// worker), plus the raw ResultCache lookup cost in isolation.
+//
+// Knobs: OPTPOWER_BENCH_SERVE_WORKERS (fleet size, default 2),
+// OPTPOWER_BENCH_SERVE_VECTORS (testbench size per query, default 32),
+// OPTPOWER_BENCH_SERVE_CACHE_KEYS (microbench key count, default 4096).
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/cache.h"
+#include "serve/client.h"
+#include "serve/controller.h"
+#include "tech/stm_cmos09.h"
+
+namespace optpower {
+namespace {
+
+serve::OptimumRequest bench_request() {
+  serve::OptimumRequest req =
+      serve::make_optimum_request("RCA", stm_cmos09_ull(), 10e6);
+  req.activity_vectors =
+      static_cast<std::uint32_t>(bench::env_int("OPTPOWER_BENCH_SERVE_VECTORS", 32));
+  return req;
+}
+
+serve::ControllerOptions bench_options() {
+  serve::ControllerOptions opts;
+  opts.num_workers = bench::env_int("OPTPOWER_BENCH_SERVE_WORKERS", 2);
+  return opts;
+}
+
+void BM_ServeCacheHit(benchmark::State& state) {
+  serve::Controller controller(bench_options());
+  controller.start();
+  const serve::OptimumRequest req = bench_request();
+  if (controller.handle_optimum(req).error != 0) {
+    state.SkipWithError("warm-up query failed");
+    controller.stop();
+    return;
+  }
+  for (auto _ : state) {
+    serve::OptimumResponse resp = controller.handle_optimum(req);
+    benchmark::DoNotOptimize(resp.point.ptot);
+  }
+  state.counters["cache_hits"] =
+      static_cast<double>(controller.stats_snapshot().cache.hits);
+  controller.stop();
+}
+BENCHMARK(BM_ServeCacheHit)->Unit(benchmark::kMicrosecond);
+
+void BM_ServeColdMiss(benchmark::State& state) {
+  // Steady-state miss: the cache is bypassed both ways, so every iteration
+  // pays a worker dispatch + activity simulation + optimizer search on a
+  // warm worker (resident netlist and simulator, as a live fleet sees after
+  // its first touch of a design).  The gap to BM_ServeCacheHit is the value
+  // of the cache; first-touch misses additionally pay netlist generation.
+  serve::Controller controller(bench_options());
+  controller.start();
+  serve::OptimumRequest req = bench_request();
+  req.flags = serve::kFlagNoCacheRead | serve::kFlagNoCacheStore;
+  if (controller.handle_optimum(req).error != 0) {
+    state.SkipWithError("warm-up query failed");
+    controller.stop();
+    return;
+  }
+  for (auto _ : state) {
+    serve::OptimumResponse resp = controller.handle_optimum(req);
+    benchmark::DoNotOptimize(resp.point.ptot);
+  }
+  state.counters["dispatches"] =
+      static_cast<double>(controller.stats_snapshot().worker_dispatches);
+  controller.stop();
+}
+BENCHMARK(BM_ServeColdMiss)->Unit(benchmark::kMillisecond);
+
+void BM_ResultCacheLookup(benchmark::State& state) {
+  const int keys = bench::env_int("OPTPOWER_BENCH_SERVE_CACHE_KEYS", 4096);
+  serve::ResultCache cache(static_cast<std::size_t>(keys));
+  std::vector<std::string> materials;
+  materials.reserve(static_cast<std::size_t>(keys));
+  for (int i = 0; i < keys; ++i) {
+    materials.push_back("opsv1:bench-key:" + std::to_string(i));
+    cache.insert(materials.back(), serve::OptimumResponse{});
+  }
+  std::size_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(materials[next]));
+    next = (next + 1) % materials.size();
+  }
+  state.counters["keys"] = static_cast<double>(keys);
+}
+BENCHMARK(BM_ResultCacheLookup);
+
+}  // namespace
+}  // namespace optpower
+
+BENCHMARK_MAIN();

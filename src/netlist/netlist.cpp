@@ -5,6 +5,7 @@
 
 #include "netlist/cell.h"
 #include "util/error.h"
+#include "util/hash.h"
 
 namespace optpower {
 
@@ -176,6 +177,26 @@ NetlistStats Netlist::stats() const {
   }
   s.avg_cell_cap_f = s.num_cells > 0 ? s.total_cap_f / static_cast<double>(s.num_cells) : 0.0;
   return s;
+}
+
+std::uint64_t content_hash(const Netlist& netlist) {
+  // Fixed field order; every variable-length list is count-prefixed so field
+  // boundaries cannot alias.  Names and placement tags are excluded on
+  // purpose (see the header): only behavior-bearing structure contributes.
+  Fnv1a64 h;
+  h.update_u32(static_cast<std::uint32_t>(netlist.primary_inputs().size()));
+  for (const NetId net : netlist.primary_inputs()) h.update_u32(net);
+  h.update_u32(static_cast<std::uint32_t>(netlist.num_cells()));
+  for (const CellInstance& cell : netlist.cells()) {
+    h.update_u8(static_cast<std::uint8_t>(cell.type));
+    h.update_u32(static_cast<std::uint32_t>(cell.inputs.size()));
+    for (const NetId net : cell.inputs) h.update_u32(net);
+    h.update_u32(static_cast<std::uint32_t>(cell.outputs.size()));
+    for (const NetId net : cell.outputs) h.update_u32(net);
+  }
+  h.update_u32(static_cast<std::uint32_t>(netlist.primary_outputs().size()));
+  for (const NetId net : netlist.primary_outputs()) h.update_u32(net);
+  return h.digest();
 }
 
 }  // namespace optpower

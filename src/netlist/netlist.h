@@ -127,4 +127,15 @@ class Netlist {
   mutable bool fanout_valid_ = false;
 };
 
+/// Stable 64-bit content hash of the netlist's *behavioral structure*: port
+/// lists, every cell's type and pin connectivity (net ids are deterministic
+/// functions of construction order), and tie-cell usage.  Identical across
+/// processes, runs, and machines (FNV-1a over explicit little-endian
+/// encodings - see util/hash.h), which is what lets the serving layer's
+/// content-addressed result cache key on it.  Deliberately EXCLUDED: the
+/// netlist name and the (row, col) placement tags - neither changes simulated
+/// behavior, so two netlists differing only there serve from the same cache
+/// entry.
+[[nodiscard]] std::uint64_t content_hash(const Netlist& netlist);
+
 }  // namespace optpower

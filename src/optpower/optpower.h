@@ -9,6 +9,7 @@
 //   bdd/*                                                - exact activity & equivalence
 //   spice/*                                              - mini circuit simulator
 //   report/forward_flow.h                                - end-to-end flow
+//   serve/*                                              - optimum-serving fleet (docs/SERVING.md)
 //   exec/exec.h                                          - parallel sweep engine
 #pragma once
 
@@ -31,6 +32,12 @@
 #include "power/sensitivity.h"
 #include "power/surface.h"
 #include "report/forward_flow.h"
+#include "serve/cache.h"
+#include "serve/client.h"
+#include "serve/controller.h"
+#include "serve/hashing.h"
+#include "serve/msg.h"
+#include "serve/worker.h"
 #include "sim/activity.h"
 #include "sim/bitsim.h"
 #include "sim/event_sim.h"

@@ -27,8 +27,8 @@ enum class ActivitySource {
   /// Random-stimulus event simulation (sim/activity.h): the paper's
   /// ModelSIM-style path, glitch-accurate under kCellDepth delays.
   kEventSim,
-  /// 64-lane bit-parallel Monte-Carlo (sim/bitsim.h): the same stimulus
-  /// distribution evaluated 64 vectors per pass, zero-delay levelized.
+  /// 512-lane bit-parallel Monte-Carlo (sim/bitsim.h): the same stimulus
+  /// distribution evaluated 512 vectors per pass, zero-delay levelized.
   /// Ignores `delay_mode` (implies kZero); the fastest way to drive the
   /// power model when glitch power is not wanted in "a".
   kBitParallel,

@@ -1,0 +1,67 @@
+// Content-addressed LRU result cache: canonical key material (serve/
+// hashing.h) -> cached OptimumResponse core.  Bounded by an entry-count
+// capacity with least-recently-used eviction; every lookup/insert updates
+// the hit/miss/eviction counters that responses and StatsResponse surface.
+// Thread-safe (one mutex - the critical sections are map operations, orders
+// of magnitude cheaper than the computes they shortcut).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "serve/msg.h"
+
+namespace optpower::serve {
+
+/// Counter snapshot (also the wire form, see CacheStatsWire).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t capacity = 0;
+
+  [[nodiscard]] CacheStatsWire to_wire() const noexcept {
+    return CacheStatsWire{hits, misses, evictions, entries, capacity};
+  }
+};
+
+/// LRU-bounded map from canonical key material to the cached result.  Only
+/// successful results belong in the cache (the controller enforces this);
+/// capacity 0 disables storage entirely (every lookup is a miss, inserts
+/// are dropped).
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Cached value for `key_material`, refreshing its recency; counts a hit
+  /// or a miss either way.
+  [[nodiscard]] std::optional<OptimumResponse> lookup(const std::string& key_material);
+
+  /// Insert or refresh an entry, evicting least-recently-used entries while
+  /// over capacity.
+  void insert(const std::string& key_material, const OptimumResponse& value);
+
+  [[nodiscard]] CacheStats stats() const;
+
+  /// Drop every entry (counters are kept - they are lifetime totals).
+  void clear();
+
+ private:
+  using LruList = std::list<std::pair<std::string, OptimumResponse>>;
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace optpower::serve

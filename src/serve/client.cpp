@@ -1,0 +1,152 @@
+#include "serve/client.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "report/forward_flow.h"
+
+namespace optpower::serve {
+
+ServeClient::~ServeClient() { close(); }
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(other.fd_), next_request_id_(other.next_request_id_) {
+  other.fd_ = -1;
+}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    next_request_id_ = other.next_request_id_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void ServeClient::connect_unix(const std::string& path) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw ServeError("connect_unix: socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw ServeError(std::string("socket: ") + std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw ServeError("connect " + path + ": " + why);
+  }
+  fd_ = fd;
+}
+
+void ServeClient::connect_tcp(std::uint16_t port) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw ServeError(std::string("socket: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw ServeError("connect 127.0.0.1:" + std::to_string(port) + ": " + why);
+  }
+  fd_ = fd;
+}
+
+void ServeClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Frame ServeClient::round_trip(const Frame& frame, MsgType expect, std::uint64_t request_id) {
+  if (fd_ < 0) throw ServeError("ServeClient: not connected");
+  write_frame(fd_, frame);
+  Frame reply;
+  if (read_frame(fd_, reply) != IoStatus::kOk) {
+    throw ServeError("ServeClient: server closed the connection");
+  }
+  if (reply.type == MsgType::kErrorResponse && expect != MsgType::kErrorResponse) {
+    const ErrorResponse err = decode_error_response(reply);
+    throw ServeError(std::string("server error (") + to_string(static_cast<ErrorCode>(err.error)) +
+                     "): " + err.text);
+  }
+  if (reply.type != expect) {
+    throw ServeError(std::string("ServeClient: expected ") + to_string(expect) + ", got " +
+                     to_string(reply.type));
+  }
+  (void)request_id;  // checked per message type by the callers below
+  return reply;
+}
+
+HelloResponse ServeClient::hello(const std::string& client_name) {
+  HelloRequest req;
+  req.request_id = next_request_id_++;
+  req.client_name = client_name;
+  const HelloResponse resp =
+      decode_hello_response(round_trip(encode(req), MsgType::kHelloResponse, req.request_id));
+  if (resp.version != kProtocolVersion) {
+    throw ServeError("server speaks protocol version " + std::to_string(int(resp.version)));
+  }
+  return resp;
+}
+
+OptimumResponse ServeClient::optimum(OptimumRequest req) {
+  req.request_id = next_request_id_++;
+  const OptimumResponse resp =
+      decode_optimum_response(round_trip(encode(req), MsgType::kOptimumResponse, req.request_id));
+  if (resp.request_id != req.request_id) {
+    throw ServeError("ServeClient: response id mismatch");
+  }
+  return resp;
+}
+
+StatsResponse ServeClient::stats() {
+  StatsRequest req;
+  req.request_id = next_request_id_++;
+  return decode_stats_response(round_trip(encode(req), MsgType::kStatsResponse, req.request_id));
+}
+
+DrainResponse ServeClient::drain() {
+  DrainRequest req;
+  req.request_id = next_request_id_++;
+  return decode_drain_response(round_trip(encode(req), MsgType::kDrainResponse, req.request_id));
+}
+
+ShutdownResponse ServeClient::shutdown() {
+  ShutdownRequest req;
+  req.request_id = next_request_id_++;
+  return decode_shutdown_response(
+      round_trip(encode(req), MsgType::kShutdownResponse, req.request_id));
+}
+
+OptimumRequest make_optimum_request(const std::string& arch_name, const Technology& tech,
+                                    double frequency) {
+  const ForwardFlowOptions defaults;  // single source of truth for the flow's knobs
+  OptimumRequest req;
+  req.arch_name = arch_name;
+  req.width = static_cast<std::uint32_t>(defaults.width);
+  req.tech = tech;
+  req.frequency = frequency;
+  req.activity_source = static_cast<std::uint8_t>(defaults.activity_source);
+  req.activity_vectors = static_cast<std::uint32_t>(defaults.activity_vectors);
+  req.seed = defaults.seed;
+  req.delay_mode = static_cast<std::uint8_t>(defaults.delay_mode);
+  req.io_per_cell_scale = defaults.io_per_cell_scale;
+  req.zeta_cell_scale = defaults.zeta_cell_scale;
+  return req;
+}
+
+}  // namespace optpower::serve

@@ -1,0 +1,66 @@
+// Blocking client for the serving protocol: connects to a controller over a
+// Unix-domain socket or TCP on localhost, performs the version handshake,
+// and exposes one method per request type.  Request ids are assigned
+// sequentially per connection and checked on every response.  All methods
+// throw ServeError on transport/protocol failures; request-level failures
+// stay data (OptimumResponse::error).  Not thread-safe: one ServeClient per
+// thread (the protocol is strictly request -> response per connection).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/msg.h"
+
+namespace optpower::serve {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+
+  /// Connect to a controller's Unix-domain socket.
+  void connect_unix(const std::string& path);
+
+  /// Connect to a controller on 127.0.0.1:`port`.
+  void connect_tcp(std::uint16_t port);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Version handshake; throws ServeError if the server rejects our version.
+  [[nodiscard]] HelloResponse hello(const std::string& client_name = "optpower-client");
+
+  /// One optimum query (the round trip the cache fronts).
+  [[nodiscard]] OptimumResponse optimum(OptimumRequest req);
+
+  [[nodiscard]] StatsResponse stats();
+
+  /// Graceful fleet drain; the controller keeps serving cache hits after.
+  [[nodiscard]] DrainResponse drain();
+
+  /// Stop the controller.  The connection is unusable afterwards.
+  [[nodiscard]] ShutdownResponse shutdown();
+
+  void close();
+
+ private:
+  /// Send `frame`, read the reply, and check it against `expect` /
+  /// `request_id`; a kErrorResponse reply is rethrown as ServeError.
+  [[nodiscard]] Frame round_trip(const Frame& frame, MsgType expect, std::uint64_t request_id);
+
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+};
+
+/// Convenience: an OptimumRequest pre-filled to mirror report/forward_flow.h
+/// ForwardFlowOptions defaults, so `fleet answer == run_forward_flow answer`
+/// holds field for field.
+[[nodiscard]] OptimumRequest make_optimum_request(const std::string& arch_name,
+                                                  const Technology& tech, double frequency);
+
+}  // namespace optpower::serve

@@ -1,0 +1,519 @@
+#include "serve/controller.h"
+
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "serve/worker.h"
+#include "tech/technology.h"
+#include "util/error.h"
+
+namespace optpower::serve {
+
+namespace {
+
+void close_quiet(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+[[nodiscard]] int make_socketpair(int out[2]) {
+  return ::socketpair(AF_UNIX, SOCK_STREAM, 0, out);
+}
+
+}  // namespace
+
+Controller::Controller(ControllerOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity) {
+  require(options_.num_workers >= 1, "Controller: num_workers must be >= 1");
+}
+
+Controller::~Controller() { stop(); }
+
+void Controller::spawn_worker(Worker& worker) {
+  int sv[2];
+  if (make_socketpair(sv) != 0) {
+    throw ServeError(std::string("socketpair: ") + std::strerror(errno));
+  }
+  if (options_.transport == WorkerTransport::kProcess) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(sv[0]);
+      ::close(sv[1]);
+      throw ServeError(std::string("fork: ") + std::strerror(errno));
+    }
+    if (pid == 0) {
+      // Worker child: sees only its channel.  Close inherited sibling
+      // channels so a dead controller reads as EOF everywhere, and _exit
+      // (not exit) so no parent atexit handlers or stream flushes run twice.
+      ::close(sv[0]);
+      for (const auto& sibling : workers_) {
+        if (sibling->fd >= 0) ::close(sibling->fd);
+      }
+      ::signal(SIGPIPE, SIG_IGN);
+      run_worker_loop(sv[1]);
+      ::close(sv[1]);
+      ::_exit(0);
+    }
+    ::close(sv[1]);
+    worker.fd = sv[0];
+    worker.pid = pid;
+  } else {
+    worker.fd = sv[0];
+    worker.thread = std::thread([fd = sv[1]] {
+      run_worker_loop(fd);
+      ::close(fd);
+    });
+  }
+  worker.alive = true;
+}
+
+void Controller::start() {
+  require(!started_.load(), "Controller::start: already started");
+  ::signal(SIGPIPE, SIG_IGN);  // belt and braces; sends also use MSG_NOSIGNAL
+  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->id = i;
+    spawn_worker(*worker);
+    workers_.push_back(std::move(worker));
+  }
+  started_.store(true);
+}
+
+void Controller::retire_worker(Worker& worker) {
+  if (!worker.alive.load()) return;
+  worker.alive.store(false);
+  worker_deaths_.fetch_add(1);
+  close_quiet(worker.fd);
+  if (options_.transport == WorkerTransport::kProcess && worker.pid > 0) {
+    ::kill(worker.pid, SIGKILL);
+    ::waitpid(worker.pid, nullptr, 0);
+    worker.pid = -1;
+  }
+  // Thread transport: the worker thread exits once its channel write fails;
+  // it is joined at stop().
+}
+
+bool Controller::dispatch(Worker& worker, const OptimumRequest& req, std::uint32_t timeout_ms,
+                          OptimumResponse& out) {
+  try {
+    write_frame(worker.fd, encode(req));
+    Frame frame;
+    const IoStatus status =
+        read_frame(worker.fd, frame, timeout_ms == 0 ? -1 : static_cast<int>(timeout_ms));
+    if (status == IoStatus::kTimeout) {
+      retire_worker(worker);
+      out.error = static_cast<std::uint16_t>(ErrorCode::kTimeout);
+      out.error_text = "worker dispatch timed out";
+      return false;
+    }
+    if (status == IoStatus::kEof || frame.type != MsgType::kOptimumResponse) {
+      retire_worker(worker);
+      out.error = static_cast<std::uint16_t>(ErrorCode::kWorkerLost);
+      out.error_text = "worker channel lost";
+      return false;
+    }
+    out = decode_optimum_response(frame);
+    ++worker.served;
+    return true;
+  } catch (const Error& e) {
+    retire_worker(worker);
+    out.error = static_cast<std::uint16_t>(ErrorCode::kWorkerLost);
+    out.error_text = std::string("worker channel error: ") + e.what();
+    return false;
+  }
+}
+
+int Controller::pick_worker(std::uint64_t digest, int attempt) {
+  const int n = static_cast<int>(workers_.size());
+  int start = 0;
+  if (options_.shard_mode == ShardMode::kByKeyHash) {
+    start = static_cast<int>(digest % static_cast<std::uint64_t>(n));
+  } else {
+    start = static_cast<int>(round_robin_.fetch_add(1) % static_cast<std::uint32_t>(n));
+  }
+  // Probe from the home shard (offset by the attempt so a retry moves on),
+  // skipping dead workers.  Races on `alive` are benign: a worker that dies
+  // between the check and the dispatch just costs one more retry.
+  for (int probe = 0; probe < n; ++probe) {
+    const int idx = (start + attempt + probe) % n;
+    if (workers_[static_cast<std::size_t>(idx)]->alive.load()) return idx;
+  }
+  return -1;
+}
+
+OptimumResponse Controller::handle_optimum(const OptimumRequest& req) {
+  requests_.fetch_add(1);
+  OptimumResponse resp;
+  resp.request_id = req.request_id;
+  resp.frequency = req.frequency;
+
+  const auto finish = [this, &resp]() -> OptimumResponse {
+    resp.cache = cache_.stats().to_wire();
+    return resp;
+  };
+  const auto fail = [&](ErrorCode code, const std::string& text) {
+    resp.error = static_cast<std::uint16_t>(code);
+    resp.error_text = text;
+    // `rejected` counts capacity refusals only (draining, no live workers) -
+    // not malformed or unknown-design requests.
+    if (code == ErrorCode::kDraining || code == ErrorCode::kWorkerLost) rejected_.fetch_add(1);
+    return finish();
+  };
+
+  // Key derivation (also the cheap front-line validation: unknown designs
+  // fail here without touching a worker).
+  CacheKey key;
+  try {
+    const std::uint64_t netlist_hash =
+        registry_.netlist_hash(req.arch_name, static_cast<int>(req.width));
+    key = derive_cache_key(req, netlist_hash, content_hash(req.tech));
+  } catch (const InvalidArgument& e) {
+    return fail(ErrorCode::kUnknownArchitecture, e.what());
+  } catch (const Error& e) {
+    return fail(ErrorCode::kInvalidRequest, e.what());
+  }
+  resp.cache_key = key.digest;
+
+  if ((req.flags & kFlagNoCacheRead) == 0) {
+    if (auto cached = cache_.lookup(key.material)) {
+      resp = *cached;
+      resp.request_id = req.request_id;
+      resp.served_from_cache = 1;
+      resp.worker_id = -1;
+      resp.retries = 0;
+      resp.cache_key = key.digest;
+      return finish();
+    }
+  }
+
+  if (draining_.load() || !started_.load()) {
+    return fail(ErrorCode::kDraining, "fleet drained: serving cache hits only");
+  }
+
+  const std::uint32_t timeout_ms =
+      req.timeout_ms != 0 ? req.timeout_ms : options_.default_timeout_ms;
+  const std::uint32_t max_attempts = options_.max_retries + 1;
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    const int idx = pick_worker(key.digest, static_cast<int>(attempt));
+    if (idx < 0) {
+      if (draining_.load()) {  // lost the fleet to a concurrent drain
+        return fail(ErrorCode::kDraining, "fleet drained: serving cache hits only");
+      }
+      if (resp.error == 0) {
+        return fail(ErrorCode::kWorkerLost, "no live workers");
+      }
+      rejected_.fetch_add(1);
+      return finish();
+    }
+    Worker& worker = *workers_[static_cast<std::size_t>(idx)];
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    if (!worker.alive.load()) {  // lost the race with another retirement
+      retries_.fetch_add(1);
+      resp.retries = attempt + 1;
+      continue;
+    }
+    worker_dispatches_.fetch_add(1);
+    if (dispatch(worker, req, timeout_ms, resp)) {
+      resp.request_id = req.request_id;
+      resp.served_from_cache = 0;
+      resp.worker_id = worker.id;
+      resp.retries = attempt;
+      resp.cache_key = key.digest;
+      if (resp.error == static_cast<std::uint16_t>(ErrorCode::kOk) &&
+          (req.flags & kFlagNoCacheStore) == 0) {
+        cache_.insert(key.material, resp);
+      }
+      return finish();
+    }
+    retries_.fetch_add(1);
+    resp.retries = attempt + 1;
+  }
+  if (draining_.load()) {  // retries burned racing a concurrent drain
+    return fail(ErrorCode::kDraining, "fleet drained: serving cache hits only");
+  }
+  if (resp.error == 0) {  // every attempt lost the alive-check race
+    return fail(ErrorCode::kWorkerLost, "no live workers");
+  }
+  // resp.error already carries kTimeout / kWorkerLost from the last attempt.
+  return finish();
+}
+
+StatsResponse Controller::handle_stats(const StatsRequest& req) {
+  const ControllerStats s = stats_snapshot();
+  StatsResponse resp;
+  resp.request_id = req.request_id;
+  resp.cache = s.cache.to_wire();
+  resp.requests = s.requests;
+  resp.worker_dispatches = s.worker_dispatches;
+  resp.retries = s.retries;
+  resp.worker_deaths = s.worker_deaths;
+  resp.rejected = s.rejected;
+  resp.draining = s.draining ? 1 : 0;
+  resp.workers = s.workers;
+  return resp;
+}
+
+ControllerStats Controller::stats_snapshot() {
+  ControllerStats s;
+  s.cache = cache_.stats();
+  s.requests = requests_.load();
+  s.worker_dispatches = worker_dispatches_.load();
+  s.retries = retries_.load();
+  s.worker_deaths = worker_deaths_.load();
+  s.rejected = rejected_.load();
+  s.draining = draining_.load();
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    WorkerStatsWire w;
+    w.worker_id = worker->id;
+    w.alive = worker->alive.load() ? 1 : 0;
+    w.served = worker->served;
+    s.workers.push_back(w);
+  }
+  return s;
+}
+
+std::vector<pid_t> Controller::worker_pids() {
+  std::vector<pid_t> pids;
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    if (worker->alive.load() && worker->pid > 0) pids.push_back(worker->pid);
+  }
+  return pids;
+}
+
+std::uint32_t Controller::drain() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+  draining_.store(true);
+  std::uint32_t stopped = 0;
+  for (const auto& worker : workers_) {
+    // Taking the channel mutex waits for the in-flight dispatch, if any - the
+    // "finish in-flight work" half of the drain contract.
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    if (!worker->alive.load()) continue;
+    try {
+      ShutdownRequest req;
+      write_frame(worker->fd, encode(req));
+      Frame frame;
+      (void)read_frame(worker->fd, frame, 5000);
+    } catch (const Error&) {
+      // Already gone; reaped below either way.
+    }
+    worker->alive.store(false);
+    close_quiet(worker->fd);
+    if (options_.transport == WorkerTransport::kProcess && worker->pid > 0) {
+      ::waitpid(worker->pid, nullptr, 0);
+      worker->pid = -1;
+    }
+    ++stopped;
+  }
+  return stopped;
+}
+
+// --- socket front-end ------------------------------------------------------
+
+void Controller::listen_unix(const std::string& path) {
+  require(listen_fd_ < 0, "Controller: already listening");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  require(path.size() < sizeof(addr.sun_path), "Controller: unix socket path too long");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw ServeError(std::string("socket: ") + std::strerror(errno));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw ServeError("bind/listen " + path + ": " + why);
+  }
+  listen_fd_ = fd;
+  unix_path_ = path;
+  accept_thread_ = std::thread([this] { run_accept_loop(); });
+}
+
+std::uint16_t Controller::listen_tcp(std::uint16_t port) {
+  require(listen_fd_ < 0, "Controller: already listening");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw ServeError(std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw ServeError("bind/listen 127.0.0.1: " + why);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  listen_fd_ = fd;
+  accept_thread_ = std::thread([this] { run_accept_loop(); });
+  return ntohs(addr.sin_port);
+}
+
+void Controller::run_accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by stop()
+    }
+    if (stop_requested_.load()) {
+      ::close(fd);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void Controller::serve_connection(int fd) {
+  try {
+    for (;;) {
+      Frame frame;
+      if (read_frame(fd, frame) != IoStatus::kOk) break;
+      try {
+        switch (frame.type) {
+          case MsgType::kHelloRequest: {
+            const HelloRequest req = decode_hello_request(frame);
+            if (req.version != kProtocolVersion) {
+              ErrorResponse err;
+              err.request_id = req.request_id;
+              err.error = static_cast<std::uint16_t>(ErrorCode::kUnsupportedVersion);
+              err.text = "server speaks protocol version " + std::to_string(kProtocolVersion);
+              write_frame(fd, encode(err));
+              break;
+            }
+            HelloResponse resp;
+            resp.request_id = req.request_id;
+            resp.num_workers = static_cast<std::uint32_t>(workers_.size());
+            resp.cache_capacity = options_.cache_capacity;
+            resp.server_name = options_.server_name;
+            write_frame(fd, encode(resp));
+            break;
+          }
+          case MsgType::kOptimumRequest:
+            write_frame(fd, encode(handle_optimum(decode_optimum_request(frame))));
+            break;
+          case MsgType::kStatsRequest:
+            write_frame(fd, encode(handle_stats(decode_stats_request(frame))));
+            break;
+          case MsgType::kDrainRequest: {
+            const DrainRequest req = decode_drain_request(frame);
+            DrainResponse resp;
+            resp.request_id = req.request_id;
+            resp.workers_stopped = drain();
+            resp.cache = cache_.stats().to_wire();
+            write_frame(fd, encode(resp));
+            break;
+          }
+          case MsgType::kShutdownRequest: {
+            const ShutdownRequest req = decode_shutdown_request(frame);
+            ShutdownResponse resp;
+            resp.request_id = req.request_id;
+            write_frame(fd, encode(resp));
+            request_stop();
+            ::shutdown(fd, SHUT_RDWR);
+            return;
+          }
+          default: {
+            ErrorResponse err;
+            err.error = static_cast<std::uint16_t>(ErrorCode::kUnknownMessageType);
+            err.text = std::string("unexpected frame ") + to_string(frame.type);
+            write_frame(fd, encode(err));
+            break;
+          }
+        }
+      } catch (const ServeError& e) {
+        // Undecodable payload: report and keep the connection.
+        ErrorResponse err;
+        err.error = static_cast<std::uint16_t>(ErrorCode::kMalformedFrame);
+        err.text = e.what();
+        write_frame(fd, encode(err));
+      }
+    }
+  } catch (const Error&) {
+    // Transport failure (client vanished mid-frame): just drop the
+    // connection.
+  }
+}
+
+void Controller::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);  // no lost wakeup vs wait()
+    stop_requested_.store(true);
+  }
+  // Unblock the accept loop; fully closing the listener is stop()'s job.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  stop_cv_.notify_all();
+}
+
+void Controller::wait() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  stop_cv_.wait(lock, [this] { return stop_requested_.load(); });
+}
+
+void Controller::stop() {
+  {
+    std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  request_stop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  close_quiet(listen_fd_);
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& thread : conn_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (int fd : conn_fds_) ::close(fd);
+    conn_fds_.clear();
+  }
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    if (worker->alive.load()) {
+      try {
+        ShutdownRequest req;
+        write_frame(worker->fd, encode(req));
+        Frame frame;
+        (void)read_frame(worker->fd, frame, 5000);
+      } catch (const Error&) {
+      }
+      worker->alive.store(false);
+    }
+    close_quiet(worker->fd);
+    if (options_.transport == WorkerTransport::kProcess && worker->pid > 0) {
+      ::kill(worker->pid, SIGKILL);  // no-op if it exited on shutdown
+      ::waitpid(worker->pid, nullptr, 0);
+      worker->pid = -1;
+    }
+  }
+  for (const auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+}  // namespace optpower::serve

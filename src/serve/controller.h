@@ -1,0 +1,190 @@
+// The serving controller: owns the worker fleet, the content-addressed
+// result cache, and the client-facing listener.
+//
+//   client --frame--> controller --(miss)--> worker[shard] --> response
+//                        |  \__ cache lookup/insert (serve/cache.h)
+//                        |______ cache hit: answered with no worker traffic
+//
+// Lifecycle (order matters): construct -> start() forks the worker
+// processes BEFORE any controller thread exists (fork-safety) -> listen_unix()
+// / listen_tcp() spawns the accept thread -> wait() parks the owner until a
+// client sends kShutdownRequest (or stop() is called) -> stop() joins every
+// thread and reaps every worker.  Tests may skip the listener entirely and
+// call handle_optimum() / handle_stats() / drain() in-process: the protocol
+// handlers are the public API, the socket layer is a thin shell around them.
+//
+// Robustness contract (docs/SERVING.md "Timeouts, retries, failover"):
+//  * every dispatch is bounded by the request's timeout_ms (0 = the
+//    controller default); on expiry the worker is killed and counted dead;
+//  * a dead worker (timeout or EOF) triggers a retry on the next live shard,
+//    up to max_retries, after which kTimeout / kWorkerLost is returned;
+//  * drain() finishes in-flight dispatches, stops every worker gracefully,
+//    and leaves the controller serving cache hits only (kDraining otherwise).
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.h"
+#include "serve/hashing.h"
+#include "serve/msg.h"
+
+namespace optpower::serve {
+
+/// How a cache miss picks its worker.
+enum class ShardMode : std::uint8_t {
+  /// worker = cache-key digest mod fleet size (skipping dead workers):
+  /// deterministic, so a given query always lands on the same shard and its
+  /// resident simulators stay warm.  The default.
+  kByKeyHash = 0,
+  /// Rotating counter: even load under many distinct queries.
+  kRoundRobin = 1,
+};
+
+/// How workers are hosted.
+enum class WorkerTransport : std::uint8_t {
+  /// fork()ed child processes over AF_UNIX socketpairs (the production
+  /// mode): crash isolation, killable on timeout.  start() must run before
+  /// any controller thread exists.
+  kProcess = 0,
+  /// std::thread per worker over the same socketpair protocol: no fork, so
+  /// usable under ThreadSanitizer; a timed-out thread worker cannot be
+  /// killed, only abandoned (its channel is closed and it is joined at
+  /// stop()).  Answers are identical - the worker loop is shared code.
+  kThread = 1,
+};
+
+struct ControllerOptions {
+  int num_workers = 2;
+  std::size_t cache_capacity = 256;       ///< entries; 0 disables the cache
+  ShardMode shard_mode = ShardMode::kByKeyHash;
+  WorkerTransport transport = WorkerTransport::kProcess;
+  std::uint32_t default_timeout_ms = 60000;  ///< per-dispatch budget when the
+                                             ///< request says timeout_ms = 0
+  std::uint32_t max_retries = 2;          ///< re-dispatches after death/timeout
+  std::string server_name = "optpower-serve";
+};
+
+/// Aggregate controller counters (the StatsResponse core).
+struct ControllerStats {
+  CacheStats cache;
+  std::uint64_t requests = 0;
+  std::uint64_t worker_dispatches = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t rejected = 0;
+  bool draining = false;
+  std::vector<WorkerStatsWire> workers;
+};
+
+class Controller {
+ public:
+  explicit Controller(ControllerOptions options = {});
+  ~Controller();
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// Spawn the worker fleet.  With the process transport this forks, so it
+  /// must be the first thing the controller does - before listen_*() and
+  /// before the embedding program starts threads of its own.
+  void start();
+
+  /// Bind + listen on a Unix-domain socket at `path` (unlinking any stale
+  /// file first) and spawn the accept thread.
+  void listen_unix(const std::string& path);
+
+  /// Bind + listen on 127.0.0.1:`port` (0 = ephemeral) and spawn the accept
+  /// thread.  Returns the actually bound port.
+  std::uint16_t listen_tcp(std::uint16_t port);
+
+  /// Block until a client requests shutdown or stop() is called.
+  void wait();
+
+  /// Full stop: close the listener, unblock and join every connection
+  /// thread, stop (or reap) every worker.  Idempotent.
+  void stop();
+
+  // --- protocol handlers (also the in-process test API) -------------------
+
+  /// Serve one optimum query: cache lookup, shard dispatch with timeout +
+  /// retry, cache fill.  Never throws; failures are encoded in the response.
+  [[nodiscard]] OptimumResponse handle_optimum(const OptimumRequest& req);
+
+  [[nodiscard]] StatsResponse handle_stats(const StatsRequest& req);
+
+  /// Graceful drain: waits for in-flight dispatches, shuts every worker
+  /// down, and flips the controller into cache-only mode.  Returns how many
+  /// workers were stopped by THIS call (0 when already drained).
+  std::uint32_t drain();
+
+  [[nodiscard]] ControllerStats stats_snapshot();
+
+  /// PIDs of live process-transport workers (test hook for the
+  /// worker-death/retry scenario).  Empty under the thread transport.
+  [[nodiscard]] std::vector<pid_t> worker_pids();
+
+  [[nodiscard]] const ControllerOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Worker {
+    int id = -1;
+    int fd = -1;           ///< controller end of the socketpair
+    pid_t pid = -1;        ///< process transport only
+    std::thread thread;    ///< thread transport only
+    std::atomic<bool> alive{false};  ///< read lock-free by pick_worker()
+    std::uint64_t served = 0;
+    std::mutex mutex;      ///< serializes request/response on this channel
+  };
+
+  void spawn_worker(Worker& worker);
+  /// Mark dead + kill/reap (process) or abandon (thread).  Caller holds
+  /// worker.mutex.
+  void retire_worker(Worker& worker);
+  /// Dispatch `req` to `worker`; returns false (and retires the worker) on
+  /// timeout or channel loss.  On success fills `out`.
+  bool dispatch(Worker& worker, const OptimumRequest& req, std::uint32_t timeout_ms,
+                OptimumResponse& out);
+  int pick_worker(std::uint64_t digest, int attempt);
+
+  void run_accept_loop();
+  void serve_connection(int fd);
+  void request_stop();
+
+  ControllerOptions options_;
+  ResultCache cache_;
+  ArchHashRegistry registry_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> worker_dispatches_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> worker_deaths_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint32_t> round_robin_{0};
+
+  std::mutex lifecycle_mutex_;  ///< guards drain()/stop() transitions
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+
+  int listen_fd_ = -1;
+  std::string unix_path_;
+  std::thread accept_thread_;
+  std::mutex conns_mutex_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  bool stopped_ = false;
+};
+
+}  // namespace optpower::serve

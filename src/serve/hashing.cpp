@@ -1,0 +1,83 @@
+#include "serve/hashing.h"
+
+#include <cstring>
+
+#include "mult/factory.h"
+#include "report/forward_flow.h"
+#include "sim/event_sim.h"
+#include "util/hash.h"
+
+namespace optpower::serve {
+
+namespace {
+
+/// Canonical little-endian appends (the material must be identical across
+/// processes and machines, so no raw struct memory and no host order).
+void put_u8(std::string& s, std::uint8_t v) { s.push_back(static_cast<char>(v)); }
+
+void put_u32(std::string& s, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) s.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void put_u64(std::string& s, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) s.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void put_f64(std::string& s, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(s, bits);
+}
+
+}  // namespace
+
+CacheKey derive_cache_key(const OptimumRequest& req, std::uint64_t netlist_hash,
+                          std::uint64_t tech_hash) {
+  // Canonicalize engine-ignored fields so requests with provably identical
+  // answers share one entry (mirrors characterize_multiplier's handling).
+  std::uint8_t delay_mode = req.delay_mode;
+  std::uint64_t seed = req.seed;
+  const auto source = static_cast<ActivitySource>(req.activity_source);
+  if (source == ActivitySource::kBitParallel) {
+    delay_mode = static_cast<std::uint8_t>(SimDelayMode::kZero);
+  } else if (source == ActivitySource::kBddExact) {
+    delay_mode = static_cast<std::uint8_t>(SimDelayMode::kZero);
+    seed = 0;
+  }
+
+  CacheKey key;
+  key.material.reserve(64);
+  key.material += "opsv1:";  // key-schema version, bumped when fields change
+  put_u64(key.material, netlist_hash);
+  put_u64(key.material, tech_hash);
+  put_u32(key.material, req.width);
+  put_f64(key.material, req.frequency);
+  put_u8(key.material, req.activity_source);
+  put_u32(key.material, req.activity_vectors);
+  put_u64(key.material, seed);
+  put_u8(key.material, delay_mode);
+  put_f64(key.material, req.io_per_cell_scale);
+  put_f64(key.material, req.zeta_cell_scale);
+
+  Fnv1a64 h;
+  h.update_bytes(key.material.data(), key.material.size());
+  key.digest = h.digest();
+  return key;
+}
+
+std::uint64_t ArchHashRegistry::netlist_hash(const std::string& arch_name, int width) {
+  const std::pair<std::string, int> id(arch_name, width);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = memo_.find(id);
+    if (it != memo_.end()) return it->second;
+  }
+  // Build outside the lock: generation is deterministic, so two threads
+  // racing on the same (family, width) insert the same value.
+  const std::uint64_t hash = content_hash(build_multiplier(arch_name, width).netlist);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return memo_.emplace(id, hash).first->second;
+}
+
+}  // namespace optpower::serve

@@ -1,0 +1,54 @@
+// Content-addressed cache-key derivation for the serving layer.
+//
+// A key is a canonical byte string ("material") built from the
+// content-bearing fields of an OptimumRequest plus the stable content hashes
+// of the referenced netlist and technology (netlist/netlist.h and
+// tech/technology.h content_hash()).  Two requests map to the same cache
+// entry exactly when the deterministic library path would compute
+// bit-identical answers for both - names, request ids, flags, and timeouts
+// are delivery metadata and never enter the key.  docs/SERVING.md documents
+// the derivation field by field.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "serve/msg.h"
+
+namespace optpower::serve {
+
+/// A derived cache key: the canonical material (map key) and its 64-bit
+/// FNV-1a digest (the compact form reported in responses/logs).
+struct CacheKey {
+  std::string material;
+  std::uint64_t digest = 0;
+};
+
+/// Derive the cache key for `req` given the content hashes of its netlist
+/// and technology.  Engine-ignored fields are canonicalized first so
+/// requests that cannot differ in their answer share an entry:
+///  * kBitParallel forces delay_mode = kZero (the engine is zero-delay only,
+///    exactly as report/forward_flow.h does);
+///  * kBddExact zeroes seed and delay_mode (the exact expectation ignores
+///    both).
+[[nodiscard]] CacheKey derive_cache_key(const OptimumRequest& req, std::uint64_t netlist_hash,
+                                        std::uint64_t tech_hash);
+
+/// Memoized (family, width) -> netlist content hash.  Generation is
+/// deterministic, so the hash is a pure function of the pair; the registry
+/// builds each requested design once (controller-side, at first sight) and
+/// serves every later key derivation from the map.  Thread-safe.  Throws
+/// whatever mult/factory build_multiplier throws for unknown names/widths.
+class ArchHashRegistry {
+ public:
+  [[nodiscard]] std::uint64_t netlist_hash(const std::string& arch_name, int width);
+
+ private:
+  std::mutex mutex_;
+  std::map<std::pair<std::string, int>, std::uint64_t> memo_;
+};
+
+}  // namespace optpower::serve

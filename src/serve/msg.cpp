@@ -1,0 +1,585 @@
+#include "serve/msg.h"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace optpower::serve {
+
+namespace {
+
+/// Flat little-endian payload writer.  Strings are u32-length-prefixed and
+/// bounded by kMaxPayloadBytes so a decoder can reject garbage lengths
+/// before allocating.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Strict payload reader: every decode must consume the payload exactly
+/// (done() asserted by decode_payload below), so trailing garbage is a
+/// malformed frame rather than silently ignored bytes.
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return buf_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) v |= static_cast<std::uint16_t>(buf_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (n > kMaxPayloadBytes) throw ServeError("serve: oversized string in payload");
+    need(n);
+    std::string s(reinterpret_cast<const char*>(buf_.data()) + pos_, n);
+    pos_ += n;
+    return s;
+  }
+  [[nodiscard]] bool done() const noexcept { return pos_ == buf_.size(); }
+
+ private:
+  void need(std::size_t n) {
+    if (buf_.size() - pos_ < n) throw ServeError("serve: truncated payload");
+  }
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+void put_tech(Writer& w, const Technology& tech) {
+  w.str(tech.name);
+  w.f64(tech.io);
+  w.f64(tech.n);
+  w.f64(tech.alpha);
+  w.f64(tech.zeta);
+  w.f64(tech.vdd_nom);
+  w.f64(tech.vth0_nom);
+  w.f64(tech.eta);
+  w.f64(tech.temperature_k);
+}
+
+Technology get_tech(Reader& r) {
+  Technology t;
+  t.name = r.str();
+  t.io = r.f64();
+  t.n = r.f64();
+  t.alpha = r.f64();
+  t.zeta = r.f64();
+  t.vdd_nom = r.f64();
+  t.vth0_nom = r.f64();
+  t.eta = r.f64();
+  t.temperature_k = r.f64();
+  return t;
+}
+
+void put_point(Writer& w, const OperatingPoint& p) {
+  w.f64(p.vdd);
+  w.f64(p.vth);
+  w.f64(p.vth0);
+  w.f64(p.pdyn);
+  w.f64(p.pstat);
+  w.f64(p.ptot);
+}
+
+OperatingPoint get_point(Reader& r) {
+  OperatingPoint p;
+  p.vdd = r.f64();
+  p.vth = r.f64();
+  p.vth0 = r.f64();
+  p.pdyn = r.f64();
+  p.pstat = r.f64();
+  p.ptot = r.f64();
+  return p;
+}
+
+void put_cache(Writer& w, const CacheStatsWire& c) {
+  w.u64(c.hits);
+  w.u64(c.misses);
+  w.u64(c.evictions);
+  w.u64(c.entries);
+  w.u64(c.capacity);
+}
+
+CacheStatsWire get_cache(Reader& r) {
+  CacheStatsWire c;
+  c.hits = r.u64();
+  c.misses = r.u64();
+  c.evictions = r.u64();
+  c.entries = r.u64();
+  c.capacity = r.u64();
+  return c;
+}
+
+Frame make_frame(MsgType type, Writer& w) {
+  Frame f;
+  f.type = type;
+  f.payload = w.take();
+  return f;
+}
+
+/// Common decode preamble: type check, then hand a strict Reader to `body`
+/// and require full consumption.
+template <typename T, typename Body>
+T decode_payload(const Frame& frame, MsgType expected, Body&& body) {
+  if (frame.type != expected) {
+    throw ServeError(std::string("serve: expected ") + to_string(expected) + " frame, got " +
+                     to_string(frame.type));
+  }
+  Reader r(frame.payload);
+  T msg = body(r);
+  if (!r.done()) throw ServeError("serve: trailing bytes in payload");
+  return msg;
+}
+
+}  // namespace
+
+const char* to_string(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::kHelloRequest: return "kHelloRequest";
+    case MsgType::kHelloResponse: return "kHelloResponse";
+    case MsgType::kOptimumRequest: return "kOptimumRequest";
+    case MsgType::kOptimumResponse: return "kOptimumResponse";
+    case MsgType::kStatsRequest: return "kStatsRequest";
+    case MsgType::kStatsResponse: return "kStatsResponse";
+    case MsgType::kDrainRequest: return "kDrainRequest";
+    case MsgType::kDrainResponse: return "kDrainResponse";
+    case MsgType::kShutdownRequest: return "kShutdownRequest";
+    case MsgType::kShutdownResponse: return "kShutdownResponse";
+    case MsgType::kErrorResponse: return "kErrorResponse";
+  }
+  return "unknown";
+}
+
+const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "kOk";
+    case ErrorCode::kUnsupportedVersion: return "kUnsupportedVersion";
+    case ErrorCode::kMalformedFrame: return "kMalformedFrame";
+    case ErrorCode::kUnknownMessageType: return "kUnknownMessageType";
+    case ErrorCode::kInvalidRequest: return "kInvalidRequest";
+    case ErrorCode::kUnknownArchitecture: return "kUnknownArchitecture";
+    case ErrorCode::kInfeasible: return "kInfeasible";
+    case ErrorCode::kTimeout: return "kTimeout";
+    case ErrorCode::kWorkerLost: return "kWorkerLost";
+    case ErrorCode::kDraining: return "kDraining";
+    case ErrorCode::kInternal: return "kInternal";
+  }
+  return "unknown";
+}
+
+Frame encode(const HelloRequest& msg) {
+  Writer w;
+  w.u64(msg.request_id);
+  w.u8(msg.version);
+  w.str(msg.client_name);
+  return make_frame(MsgType::kHelloRequest, w);
+}
+
+HelloRequest decode_hello_request(const Frame& frame) {
+  return decode_payload<HelloRequest>(frame, MsgType::kHelloRequest, [](Reader& r) {
+    HelloRequest m;
+    m.request_id = r.u64();
+    m.version = r.u8();
+    m.client_name = r.str();
+    return m;
+  });
+}
+
+Frame encode(const HelloResponse& msg) {
+  Writer w;
+  w.u64(msg.request_id);
+  w.u8(msg.version);
+  w.u32(msg.num_workers);
+  w.u64(msg.cache_capacity);
+  w.str(msg.server_name);
+  return make_frame(MsgType::kHelloResponse, w);
+}
+
+HelloResponse decode_hello_response(const Frame& frame) {
+  return decode_payload<HelloResponse>(frame, MsgType::kHelloResponse, [](Reader& r) {
+    HelloResponse m;
+    m.request_id = r.u64();
+    m.version = r.u8();
+    m.num_workers = r.u32();
+    m.cache_capacity = r.u64();
+    m.server_name = r.str();
+    return m;
+  });
+}
+
+Frame encode(const OptimumRequest& msg) {
+  Writer w;
+  w.u64(msg.request_id);
+  w.str(msg.arch_name);
+  w.u32(msg.width);
+  put_tech(w, msg.tech);
+  w.f64(msg.frequency);
+  w.u8(msg.activity_source);
+  w.u32(msg.activity_vectors);
+  w.u64(msg.seed);
+  w.u8(msg.delay_mode);
+  w.f64(msg.io_per_cell_scale);
+  w.f64(msg.zeta_cell_scale);
+  w.u32(msg.flags);
+  w.u32(msg.timeout_ms);
+  return make_frame(MsgType::kOptimumRequest, w);
+}
+
+OptimumRequest decode_optimum_request(const Frame& frame) {
+  return decode_payload<OptimumRequest>(frame, MsgType::kOptimumRequest, [](Reader& r) {
+    OptimumRequest m;
+    m.request_id = r.u64();
+    m.arch_name = r.str();
+    m.width = r.u32();
+    m.tech = get_tech(r);
+    m.frequency = r.f64();
+    m.activity_source = r.u8();
+    m.activity_vectors = r.u32();
+    m.seed = r.u64();
+    m.delay_mode = r.u8();
+    m.io_per_cell_scale = r.f64();
+    m.zeta_cell_scale = r.f64();
+    m.flags = r.u32();
+    m.timeout_ms = r.u32();
+    return m;
+  });
+}
+
+Frame encode(const OptimumResponse& msg) {
+  Writer w;
+  w.u64(msg.request_id);
+  w.u16(msg.error);
+  w.str(msg.error_text);
+  put_point(w, msg.point);
+  w.f64(msg.frequency);
+  w.u8(msg.on_constraint);
+  w.u8(msg.converged);
+  w.f64(msg.activity);
+  w.u64(msg.cache_key);
+  w.u8(msg.served_from_cache);
+  w.i32(msg.worker_id);
+  w.u32(msg.retries);
+  put_cache(w, msg.cache);
+  return make_frame(MsgType::kOptimumResponse, w);
+}
+
+OptimumResponse decode_optimum_response(const Frame& frame) {
+  return decode_payload<OptimumResponse>(frame, MsgType::kOptimumResponse, [](Reader& r) {
+    OptimumResponse m;
+    m.request_id = r.u64();
+    m.error = r.u16();
+    m.error_text = r.str();
+    m.point = get_point(r);
+    m.frequency = r.f64();
+    m.on_constraint = r.u8();
+    m.converged = r.u8();
+    m.activity = r.f64();
+    m.cache_key = r.u64();
+    m.served_from_cache = r.u8();
+    m.worker_id = r.i32();
+    m.retries = r.u32();
+    m.cache = get_cache(r);
+    return m;
+  });
+}
+
+Frame encode(const StatsRequest& msg) {
+  Writer w;
+  w.u64(msg.request_id);
+  return make_frame(MsgType::kStatsRequest, w);
+}
+
+StatsRequest decode_stats_request(const Frame& frame) {
+  return decode_payload<StatsRequest>(frame, MsgType::kStatsRequest, [](Reader& r) {
+    StatsRequest m;
+    m.request_id = r.u64();
+    return m;
+  });
+}
+
+Frame encode(const StatsResponse& msg) {
+  Writer w;
+  w.u64(msg.request_id);
+  put_cache(w, msg.cache);
+  w.u64(msg.requests);
+  w.u64(msg.worker_dispatches);
+  w.u64(msg.retries);
+  w.u64(msg.worker_deaths);
+  w.u64(msg.rejected);
+  w.u8(msg.draining);
+  w.u32(static_cast<std::uint32_t>(msg.workers.size()));
+  for (const WorkerStatsWire& ws : msg.workers) {
+    w.i32(ws.worker_id);
+    w.u8(ws.alive);
+    w.u64(ws.served);
+  }
+  return make_frame(MsgType::kStatsResponse, w);
+}
+
+StatsResponse decode_stats_response(const Frame& frame) {
+  return decode_payload<StatsResponse>(frame, MsgType::kStatsResponse, [](Reader& r) {
+    StatsResponse m;
+    m.request_id = r.u64();
+    m.cache = get_cache(r);
+    m.requests = r.u64();
+    m.worker_dispatches = r.u64();
+    m.retries = r.u64();
+    m.worker_deaths = r.u64();
+    m.rejected = r.u64();
+    m.draining = r.u8();
+    const std::uint32_t n = r.u32();
+    if (n > kMaxPayloadBytes / 13) throw ServeError("serve: oversized worker list");
+    m.workers.resize(n);
+    for (WorkerStatsWire& ws : m.workers) {
+      ws.worker_id = r.i32();
+      ws.alive = r.u8();
+      ws.served = r.u64();
+    }
+    return m;
+  });
+}
+
+Frame encode(const DrainRequest& msg) {
+  Writer w;
+  w.u64(msg.request_id);
+  return make_frame(MsgType::kDrainRequest, w);
+}
+
+DrainRequest decode_drain_request(const Frame& frame) {
+  return decode_payload<DrainRequest>(frame, MsgType::kDrainRequest, [](Reader& r) {
+    DrainRequest m;
+    m.request_id = r.u64();
+    return m;
+  });
+}
+
+Frame encode(const DrainResponse& msg) {
+  Writer w;
+  w.u64(msg.request_id);
+  w.u32(msg.workers_stopped);
+  put_cache(w, msg.cache);
+  return make_frame(MsgType::kDrainResponse, w);
+}
+
+DrainResponse decode_drain_response(const Frame& frame) {
+  return decode_payload<DrainResponse>(frame, MsgType::kDrainResponse, [](Reader& r) {
+    DrainResponse m;
+    m.request_id = r.u64();
+    m.workers_stopped = r.u32();
+    m.cache = get_cache(r);
+    return m;
+  });
+}
+
+Frame encode(const ShutdownRequest& msg) {
+  Writer w;
+  w.u64(msg.request_id);
+  return make_frame(MsgType::kShutdownRequest, w);
+}
+
+ShutdownRequest decode_shutdown_request(const Frame& frame) {
+  return decode_payload<ShutdownRequest>(frame, MsgType::kShutdownRequest, [](Reader& r) {
+    ShutdownRequest m;
+    m.request_id = r.u64();
+    return m;
+  });
+}
+
+Frame encode(const ShutdownResponse& msg) {
+  Writer w;
+  w.u64(msg.request_id);
+  return make_frame(MsgType::kShutdownResponse, w);
+}
+
+ShutdownResponse decode_shutdown_response(const Frame& frame) {
+  return decode_payload<ShutdownResponse>(frame, MsgType::kShutdownResponse, [](Reader& r) {
+    ShutdownResponse m;
+    m.request_id = r.u64();
+    return m;
+  });
+}
+
+Frame encode(const ErrorResponse& msg) {
+  Writer w;
+  w.u64(msg.request_id);
+  w.u16(msg.error);
+  w.str(msg.text);
+  return make_frame(MsgType::kErrorResponse, w);
+}
+
+ErrorResponse decode_error_response(const Frame& frame) {
+  return decode_payload<ErrorResponse>(frame, MsgType::kErrorResponse, [](Reader& r) {
+    ErrorResponse m;
+    m.request_id = r.u64();
+    m.error = r.u16();
+    m.text = r.str();
+    return m;
+  });
+}
+
+// --- blocking frame IO -----------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 12;
+
+void put_header(std::uint8_t* h, MsgType type, std::uint32_t payload_len) {
+  for (int i = 0; i < 4; ++i) h[i] = static_cast<std::uint8_t>(kFrameMagic >> (8 * i));
+  h[4] = kProtocolVersion;
+  h[5] = static_cast<std::uint8_t>(type);
+  h[6] = 0;
+  h[7] = 0;
+  for (int i = 0; i < 4; ++i) h[8 + i] = static_cast<std::uint8_t>(payload_len >> (8 * i));
+}
+
+/// Wait until `fd` is readable or `deadline` passes.  Returns false on
+/// timeout.  `timeout_ms` < 0 = no deadline.
+bool wait_readable(int fd, int timeout_ms) {
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = poll(&pfd, 1, timeout_ms < 0 ? -1 : timeout_ms);
+    if (rc > 0) return true;  // readable, error, or hangup: recv() reports which
+    if (rc == 0) return false;
+    if (errno != EINTR) throw ServeError(std::string("serve: poll: ") + std::strerror(errno));
+  }
+}
+
+struct ReadResult {
+  std::size_t got = 0;
+  bool timed_out = false;
+};
+
+/// Read exactly n bytes.  got == n on success; got < n with timed_out set
+/// when the deadline expired first, cleared when the peer closed (EOF).
+ReadResult read_exact(int fd, std::uint8_t* buf, std::size_t n, int timeout_ms) {
+  ReadResult r;
+  while (r.got < n) {
+    if (!wait_readable(fd, timeout_ms)) {
+      r.timed_out = true;
+      return r;
+    }
+    const ssize_t rc = recv(fd, buf + r.got, n - r.got, 0);
+    if (rc > 0) {
+      r.got += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) return r;  // EOF
+    if (errno == EINTR) continue;
+    throw ServeError(std::string("serve: recv: ") + std::strerror(errno));
+  }
+  return r;
+}
+
+}  // namespace
+
+void write_frame(int fd, const Frame& frame) {
+  if (frame.payload.size() > kMaxPayloadBytes) {
+    throw ServeError("serve: payload exceeds kMaxPayloadBytes");
+  }
+  std::uint8_t header[kHeaderBytes];
+  put_header(header, frame.type, static_cast<std::uint32_t>(frame.payload.size()));
+  std::vector<std::uint8_t> wire;
+  wire.reserve(kHeaderBytes + frame.payload.size());
+  wire.insert(wire.end(), header, header + kHeaderBytes);
+  wire.insert(wire.end(), frame.payload.begin(), frame.payload.end());
+
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t rc = send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    throw ServeError(std::string("serve: send: ") + std::strerror(errno));
+  }
+}
+
+IoStatus read_frame(int fd, Frame& out, int timeout_ms) {
+  std::uint8_t header[kHeaderBytes];
+  // A timeout mid-frame is indistinguishable from a stalled peer, so the
+  // deadline bounds every byte: the caller treats kTimeout as fatal for the
+  // connection/worker rather than retrying the read.
+  ReadResult rr = read_exact(fd, header, kHeaderBytes, timeout_ms);
+  if (rr.got < kHeaderBytes) {
+    if (rr.timed_out) return IoStatus::kTimeout;
+    if (rr.got == 0) return IoStatus::kEof;
+    throw ServeError("serve: EOF inside frame header");
+  }
+
+  std::uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i) magic |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  if (magic != kFrameMagic) throw ServeError("serve: bad frame magic");
+  if (header[4] != kProtocolVersion) {
+    throw ServeError("serve: protocol version mismatch (got " + std::to_string(header[4]) +
+                     ", speak " + std::to_string(kProtocolVersion) + ")");
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[8 + i]) << (8 * i);
+  if (len > kMaxPayloadBytes) throw ServeError("serve: oversized frame payload");
+
+  out.type = static_cast<MsgType>(header[5]);
+  out.payload.resize(len);
+  if (len > 0) {
+    rr = read_exact(fd, out.payload.data(), len, timeout_ms);
+    if (rr.got < len) {
+      if (rr.timed_out) return IoStatus::kTimeout;
+      throw ServeError("serve: EOF inside frame payload");
+    }
+  }
+  return IoStatus::kOk;
+}
+
+}  // namespace optpower::serve

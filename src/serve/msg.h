@@ -1,0 +1,252 @@
+// Wire protocol of the optimum-serving layer: versioned, length-prefixed
+// binary frames over a blocking byte stream (Unix-domain socket or TCP on
+// localhost).  The normative field-level specification lives in
+// docs/SERVING.md; tests/serve/msg_test.cpp cross-references the MsgType
+// enumerators below against that document so the two cannot drift apart.
+//
+// Framing (12-byte header, all integers little-endian):
+//
+//   u32 magic = kFrameMagic   u8 version   u8 type   u16 reserved (0)
+//   u32 payload_len           payload[payload_len]
+//
+// Payloads are flat little-endian encodings written by msg.cpp's
+// Writer/Reader - never raw struct memory (no padding bytes on the wire) -
+// and doubles travel as their IEEE-754 bit pattern, so a value decoded on
+// any peer is bit-identical to the value encoded.  That is what lets the
+// fleet tests assert fleet answers == the serial library path with `==`.
+//
+// Error handling convention: request-LEVEL failures (unknown architecture,
+// infeasible constraint, worker timeout, draining, ...) come back as an
+// OptimumResponse whose `error` field is a non-kOk ErrorCode; frame/
+// protocol-LEVEL failures (bad magic, unsupported version, undecodable
+// payload, unknown type) come back as a kErrorResponse frame.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "power/model.h"
+#include "tech/technology.h"
+#include "util/error.h"
+
+namespace optpower::serve {
+
+/// First four bytes of every frame: "OPS1" read as a little-endian u32.
+inline constexpr std::uint32_t kFrameMagic = 0x3153504fu;
+
+/// Protocol version this build speaks.  A peer announcing a different
+/// version is rejected with ErrorCode::kUnsupportedVersion.
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Upper bound on a frame payload; larger announced lengths are rejected as
+/// malformed before any allocation (garbage-length defense).
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+
+/// A protocol violation (framing, encoding, version) or transport failure.
+class ServeError : public Error {
+ public:
+  explicit ServeError(const std::string& what) : Error(what) {}
+};
+
+/// Every message type on the wire.  Requests flow client -> controller (and
+/// controller -> worker for kOptimumRequest / kShutdownRequest); responses
+/// flow back on the same connection.  docs/SERVING.md documents each one.
+enum class MsgType : std::uint8_t {
+  kHelloRequest = 1,      ///< version handshake + client name
+  kHelloResponse = 2,     ///< server version, fleet size, cache capacity
+  kOptimumRequest = 3,    ///< one optimum query (the payload the cache keys on)
+  kOptimumResponse = 4,   ///< optimum + provenance + cache-counter snapshot
+  kStatsRequest = 5,      ///< fleet/cache counters probe
+  kStatsResponse = 6,     ///< cache + per-worker counters
+  kDrainRequest = 7,      ///< graceful drain: finish in-flight, stop workers
+  kDrainResponse = 8,     ///< drain completed (cache-only mode from here on)
+  kShutdownRequest = 9,   ///< stop the controller (workers already drained or killed)
+  kShutdownResponse = 10, ///< acknowledged; connection closes after this
+  kErrorResponse = 11,    ///< protocol-level failure report
+};
+
+/// Request-level status codes (OptimumResponse::error / ErrorResponse::error).
+enum class ErrorCode : std::uint16_t {
+  kOk = 0,
+  kUnsupportedVersion = 1,  ///< peer version != kProtocolVersion
+  kMalformedFrame = 2,      ///< bad magic, bad length, undecodable payload
+  kUnknownMessageType = 3,  ///< type byte not in MsgType
+  kInvalidRequest = 4,      ///< field-level precondition violated
+  kUnknownArchitecture = 5, ///< arch_name/width not buildable by mult/factory
+  kInfeasible = 6,          ///< no (Vdd, Vth) meets the frequency constraint
+  kTimeout = 7,             ///< per-request timeout expired (worker killed)
+  kWorkerLost = 8,          ///< worker died; retries exhausted
+  kDraining = 9,            ///< fleet drained: cache hits only, no computes
+  kInternal = 10,           ///< unexpected server-side failure
+};
+
+[[nodiscard]] const char* to_string(MsgType type) noexcept;
+[[nodiscard]] const char* to_string(ErrorCode code) noexcept;
+
+/// One decoded frame: the type byte plus the raw payload bytes.
+struct Frame {
+  MsgType type = MsgType::kErrorResponse;
+  std::vector<std::uint8_t> payload;
+};
+
+// --- payload structs -------------------------------------------------------
+
+struct HelloRequest {
+  std::uint64_t request_id = 0;
+  std::uint8_t version = kProtocolVersion;
+  std::string client_name;
+};
+
+struct HelloResponse {
+  std::uint64_t request_id = 0;
+  std::uint8_t version = kProtocolVersion;
+  std::uint32_t num_workers = 0;
+  std::uint64_t cache_capacity = 0;
+  std::string server_name;
+};
+
+/// OptimumRequest::flags bits.
+inline constexpr std::uint32_t kFlagNoCacheRead = 1u << 0;   ///< force recompute
+inline constexpr std::uint32_t kFlagNoCacheStore = 1u << 1;  ///< don't cache result
+
+/// One optimum query: everything run_forward_flow() needs, by value.  The
+/// cache key derives from the content-bearing fields only (see
+/// serve/hashing.h); request_id, flags, and timeout_ms are delivery
+/// metadata.
+struct OptimumRequest {
+  std::uint64_t request_id = 0;
+  std::string arch_name;         ///< Table-1 family name ("RCA", "Wallace par4", ...)
+  std::uint32_t width = 16;
+  Technology tech;               ///< full parameter vector, by value
+  double frequency = 0.0;        ///< the timing constraint [Hz]
+  std::uint8_t activity_source = 0;  ///< report/forward_flow.h ActivitySource
+  std::uint32_t activity_vectors = 96;
+  std::uint64_t seed = 0x5eed0001;
+  std::uint8_t delay_mode = 0;   ///< sim/event_sim.h SimDelayMode
+  double io_per_cell_scale = 16.0;
+  double zeta_cell_scale = 1.0;
+  std::uint32_t flags = 0;       ///< kFlagNoCacheRead | kFlagNoCacheStore
+  std::uint32_t timeout_ms = 0;  ///< per-request budget; 0 = controller default
+};
+
+/// Cache-counter snapshot carried in responses.
+struct CacheStatsWire {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t capacity = 0;
+};
+
+struct OptimumResponse {
+  std::uint64_t request_id = 0;
+  std::uint16_t error = 0;       ///< ErrorCode; fields below valid when kOk
+  std::string error_text;        ///< diagnostic, empty when kOk
+  OperatingPoint point;          ///< the constrained optimum
+  double frequency = 0.0;        ///< echoed constraint
+  std::uint8_t on_constraint = 0;
+  std::uint8_t converged = 0;
+  double activity = 0.0;         ///< the measured switching factor "a"
+  std::uint64_t cache_key = 0;   ///< 64-bit digest of the derived cache key
+  std::uint8_t served_from_cache = 0;
+  std::int32_t worker_id = -1;   ///< computing worker; -1 = cache hit
+  std::uint32_t retries = 0;     ///< worker-death/timeout retries consumed
+  CacheStatsWire cache;          ///< counters after this request
+};
+
+struct StatsRequest {
+  std::uint64_t request_id = 0;
+};
+
+struct WorkerStatsWire {
+  std::int32_t worker_id = -1;
+  std::uint8_t alive = 0;
+  std::uint64_t served = 0;      ///< requests this worker computed
+};
+
+struct StatsResponse {
+  std::uint64_t request_id = 0;
+  CacheStatsWire cache;
+  std::uint64_t requests = 0;           ///< optimum requests accepted
+  std::uint64_t worker_dispatches = 0;  ///< simulator invocations (cache misses sent to workers)
+  std::uint64_t retries = 0;            ///< dispatch retries after death/timeout
+  std::uint64_t worker_deaths = 0;      ///< workers lost (EOF or killed on timeout)
+  std::uint64_t rejected = 0;           ///< requests refused (draining, no workers)
+  std::uint8_t draining = 0;
+  std::vector<WorkerStatsWire> workers;
+};
+
+struct DrainRequest {
+  std::uint64_t request_id = 0;
+};
+
+struct DrainResponse {
+  std::uint64_t request_id = 0;
+  std::uint32_t workers_stopped = 0;
+  CacheStatsWire cache;
+};
+
+struct ShutdownRequest {
+  std::uint64_t request_id = 0;
+};
+
+struct ShutdownResponse {
+  std::uint64_t request_id = 0;
+};
+
+struct ErrorResponse {
+  std::uint64_t request_id = 0;  ///< 0 when the offending frame had no id
+  std::uint16_t error = 0;       ///< ErrorCode
+  std::string text;
+};
+
+// --- encode / decode -------------------------------------------------------
+// decode_* throws ServeError when the frame has the wrong type or the
+// payload does not parse (truncated, trailing bytes, oversized string).
+
+[[nodiscard]] Frame encode(const HelloRequest& msg);
+[[nodiscard]] Frame encode(const HelloResponse& msg);
+[[nodiscard]] Frame encode(const OptimumRequest& msg);
+[[nodiscard]] Frame encode(const OptimumResponse& msg);
+[[nodiscard]] Frame encode(const StatsRequest& msg);
+[[nodiscard]] Frame encode(const StatsResponse& msg);
+[[nodiscard]] Frame encode(const DrainRequest& msg);
+[[nodiscard]] Frame encode(const DrainResponse& msg);
+[[nodiscard]] Frame encode(const ShutdownRequest& msg);
+[[nodiscard]] Frame encode(const ShutdownResponse& msg);
+[[nodiscard]] Frame encode(const ErrorResponse& msg);
+
+[[nodiscard]] HelloRequest decode_hello_request(const Frame& frame);
+[[nodiscard]] HelloResponse decode_hello_response(const Frame& frame);
+[[nodiscard]] OptimumRequest decode_optimum_request(const Frame& frame);
+[[nodiscard]] OptimumResponse decode_optimum_response(const Frame& frame);
+[[nodiscard]] StatsRequest decode_stats_request(const Frame& frame);
+[[nodiscard]] StatsResponse decode_stats_response(const Frame& frame);
+[[nodiscard]] DrainRequest decode_drain_request(const Frame& frame);
+[[nodiscard]] DrainResponse decode_drain_response(const Frame& frame);
+[[nodiscard]] ShutdownRequest decode_shutdown_request(const Frame& frame);
+[[nodiscard]] ShutdownResponse decode_shutdown_response(const Frame& frame);
+[[nodiscard]] ErrorResponse decode_error_response(const Frame& frame);
+
+// --- blocking frame IO -----------------------------------------------------
+
+/// Outcome of a read with a deadline.
+enum class IoStatus {
+  kOk,       ///< a complete frame was read
+  kEof,      ///< the peer closed the stream cleanly before a header byte
+  kTimeout,  ///< the deadline expired before a complete frame arrived
+};
+
+/// Write one frame (header + payload) to a blocking socket fd.  Throws
+/// ServeError on any transport error (EPIPE is reported, never raised as a
+/// signal: sends use MSG_NOSIGNAL).
+void write_frame(int fd, const Frame& frame);
+
+/// Read one complete frame.  Returns kEof on a clean close at a frame
+/// boundary; throws ServeError on transport errors, bad magic, version
+/// mismatch, oversized payload, or mid-frame EOF.  `timeout_ms` < 0 blocks
+/// indefinitely; >= 0 bounds the wait for EVERY byte of the frame.
+[[nodiscard]] IoStatus read_frame(int fd, Frame& out, int timeout_ms = -1);
+
+}  // namespace optpower::serve

@@ -1,0 +1,162 @@
+#include "serve/worker.h"
+
+#include "power/optimum.h"
+#include "report/forward_flow.h"
+#include "sim/activity.h"
+#include "util/error.h"
+
+namespace optpower::serve {
+
+WorkerEngine::WorkerEngine(ExecContext ctx) : ctx_(std::move(ctx)) {}
+
+WorkerEngine::Design& WorkerEngine::design_for(const std::string& arch_name, int width) {
+  const std::pair<std::string, int> id(arch_name, width);
+  const auto it = designs_.find(id);
+  if (it != designs_.end()) return it->second;
+  Design d;
+  d.gen = build_multiplier(arch_name, width);
+  d.stats = d.gen.netlist.stats();
+  d.timing = analyze_timing(d.gen.netlist);
+  return designs_.emplace(id, std::move(d)).first->second;
+}
+
+OptimumResponse WorkerEngine::compute(const OptimumRequest& req) {
+  OptimumResponse resp;
+  resp.request_id = req.request_id;
+  resp.frequency = req.frequency;
+
+  const auto fail = [&resp](ErrorCode code, const std::string& text) {
+    resp.error = static_cast<std::uint16_t>(code);
+    resp.error_text = text;
+    return resp;
+  };
+
+  if (req.frequency <= 0.0) return fail(ErrorCode::kInvalidRequest, "frequency must be positive");
+  if (req.width < 1 || req.width > 64) {
+    return fail(ErrorCode::kInvalidRequest, "width must lie in [1, 64]");
+  }
+  if (req.activity_vectors < 1) {
+    return fail(ErrorCode::kInvalidRequest, "activity_vectors must be >= 1");
+  }
+  const auto source = static_cast<ActivitySource>(req.activity_source);
+  if (source != ActivitySource::kEventSim && source != ActivitySource::kBitParallel &&
+      source != ActivitySource::kBddExact) {
+    return fail(ErrorCode::kInvalidRequest, "unknown activity source");
+  }
+  const auto delay_mode = static_cast<SimDelayMode>(req.delay_mode);
+  if (delay_mode != SimDelayMode::kUnit && delay_mode != SimDelayMode::kCellDepth &&
+      delay_mode != SimDelayMode::kZero) {
+    return fail(ErrorCode::kInvalidRequest, "unknown delay mode");
+  }
+  try {
+    validate(req.tech);
+  } catch (const InvalidArgument& e) {
+    return fail(ErrorCode::kInvalidRequest, e.what());
+  }
+
+  Design* design = nullptr;
+  try {
+    design = &design_for(req.arch_name, static_cast<int>(req.width));
+  } catch (const Error& e) {
+    return fail(ErrorCode::kUnknownArchitecture, e.what());
+  }
+
+  try {
+    // The characterize_multiplier schedule, evaluated on the resident
+    // simulators (bit-identical to fresh construction by the *_with
+    // contract) - every branch mirrors sim/activity.h measure_activity's
+    // engine dispatch exactly.
+    ActivityOptions act;
+    act.num_vectors = static_cast<int>(req.activity_vectors);
+    act.cycles_per_vector = design->gen.cycles_per_result;
+    act.seed = req.seed;
+    act.delay_mode = delay_mode;
+    ActivityMeasurement activity;
+    switch (source) {
+      case ActivitySource::kEventSim: {
+        act.engine = ActivityEngine::kScalarEvent;
+        if (!design->event_sim.has_value() || design->event_sim->delay_mode() != act.delay_mode) {
+          design->event_sim.emplace(design->gen.netlist, act.delay_mode);
+        }
+        activity = measure_activity_with(*design->event_sim, act);
+        break;
+      }
+      case ActivitySource::kBitParallel: {
+        act.engine = ActivityEngine::kBitParallel;
+        act.delay_mode = SimDelayMode::kZero;  // the engine is zero-delay only
+        if (!design->bit_sim.has_value()) design->bit_sim.emplace(design->gen.netlist);
+        activity = merge_activity(design->gen.netlist,
+                                  measure_activity_lanes_with(*design->bit_sim, act));
+        break;
+      }
+      case ActivitySource::kBddExact: {
+        act.engine = ActivityEngine::kBddExact;  // seed/delay_mode ignored
+        activity = measure_activity(design->gen.netlist, act);
+        break;
+      }
+    }
+
+    ArchitectureParams arch;
+    arch.name = design->gen.name;
+    arch.n_cells = static_cast<double>(design->stats.num_cells);
+    arch.activity = activity.activity;
+    arch.logic_depth = effective_logic_depth(design->timing.critical_path_units,
+                                             design->gen.cycles_per_result, design->gen.ways);
+    arch.cell_cap = design->stats.avg_cell_cap_f;
+    arch.area_um2 = design->stats.area_um2;
+    validate(arch);
+
+    Technology scaled = req.tech;
+    scaled.io = req.tech.io * req.io_per_cell_scale;
+    scaled.zeta = req.tech.zeta * req.zeta_cell_scale;
+    const PowerModel model(scaled, arch);
+    const OptimumResult opt = find_optimum(model, req.frequency, OptimumOptions{}, ctx_);
+
+    resp.point = opt.point;
+    resp.on_constraint = opt.on_constraint ? 1 : 0;
+    resp.converged = opt.converged ? 1 : 0;
+    resp.activity = activity.activity;
+    ++computed_;
+    return resp;
+  } catch (const NumericalError& e) {
+    return fail(ErrorCode::kInfeasible, e.what());
+  } catch (const Error& e) {
+    return fail(ErrorCode::kInternal, e.what());
+  }
+}
+
+void run_worker_loop(int fd) {
+  WorkerEngine engine;
+  try {
+    for (;;) {
+      Frame frame;
+      if (read_frame(fd, frame) != IoStatus::kOk) return;  // EOF: controller gone
+      switch (frame.type) {
+        case MsgType::kOptimumRequest: {
+          const OptimumRequest req = decode_optimum_request(frame);
+          write_frame(fd, encode(engine.compute(req)));
+          break;
+        }
+        case MsgType::kShutdownRequest: {
+          const ShutdownRequest req = decode_shutdown_request(frame);
+          ShutdownResponse resp;
+          resp.request_id = req.request_id;
+          write_frame(fd, encode(resp));
+          return;
+        }
+        default: {
+          ErrorResponse err;
+          err.error = static_cast<std::uint16_t>(ErrorCode::kUnknownMessageType);
+          err.text = std::string("worker: unexpected frame ") + to_string(frame.type);
+          write_frame(fd, encode(err));
+          break;
+        }
+      }
+    }
+  } catch (const Error&) {
+    // Transport or protocol failure: fall out; the controller observes EOF
+    // on this channel, marks the worker dead, and requeues in-flight work.
+  }
+}
+
+}  // namespace optpower::serve

@@ -1,0 +1,74 @@
+// Worker side of the serving fleet: a request evaluator that reproduces the
+// serial library path (report/forward_flow.h run_forward_flow) BIT-IDENTICALLY
+// while keeping per-design state resident - the generated netlist, its STA
+// report, and the EventSimulator / BitSimulator instances - so repeated
+// cache-missing queries against the same design skip construction (verify +
+// topo sort + wheel/lane setup).  Bit-identity is guaranteed by the
+// measure_activity_with / measure_activity_lanes_with contract: reset + rerun
+// equals a fresh simulator, counter for counter.
+//
+// One WorkerEngine per worker process (or per worker thread in the in-process
+// transport); it owns an exec/ thread pool sized from OPTPOWER_THREADS whose
+// parallel results are bit-identical to serial by the exec/ determinism
+// contract, so the fleet's answers never depend on worker thread counts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "exec/exec.h"
+#include "mult/factory.h"
+#include "serve/msg.h"
+#include "sim/bitsim.h"
+#include "sim/event_sim.h"
+#include "sta/sta.h"
+
+namespace optpower::serve {
+
+/// Deterministic optimum evaluator with resident per-design simulators.
+class WorkerEngine {
+ public:
+  /// `ctx` is the worker-owned pool every optimizer search fans out over
+  /// (default: OPTPOWER_THREADS workers via ExecContext::from_env()).
+  explicit WorkerEngine(ExecContext ctx = ExecContext::from_env());
+
+  /// Evaluate one query.  Request-level failures (unknown architecture,
+  /// infeasible constraint, invalid fields) come back as a response with a
+  /// non-kOk error code - compute() itself only throws on logic errors the
+  /// caller cannot map to a protocol reply.  A kOk response's OperatingPoint
+  /// is bit-identical to run_forward_flow(arch, tech, frequency, options)
+  /// with the matching ForwardFlowOptions.
+  [[nodiscard]] OptimumResponse compute(const OptimumRequest& req);
+
+  /// Requests evaluated (the per-worker "served" counter's local twin).
+  [[nodiscard]] std::uint64_t computed() const noexcept { return computed_; }
+
+ private:
+  struct Design {
+    GeneratedMultiplier gen;
+    NetlistStats stats;
+    TimingReport timing;
+    std::optional<EventSimulator> event_sim;  // re-built when delay mode changes
+    std::optional<BitSimulator> bit_sim;
+  };
+
+  Design& design_for(const std::string& arch_name, int width);
+
+  ExecContext ctx_;
+  std::map<std::pair<std::string, int>, Design> designs_;
+  std::uint64_t computed_ = 0;
+};
+
+/// Blocking worker service loop over a socket fd: answers kOptimumRequest
+/// frames with kOptimumResponse, acknowledges kShutdownRequest and returns,
+/// returns on EOF (controller died or closed the channel), and reports
+/// anything else as a protocol error frame.  Never throws across the loop -
+/// a transport failure just ends the loop (the controller sees EOF and
+/// requeues).  This is the whole worker: the process transport runs it in a
+/// forked child, the thread transport in a std::thread.
+void run_worker_loop(int fd);
+
+}  // namespace optpower::serve

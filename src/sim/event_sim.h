@@ -37,7 +37,7 @@
 // delta-cycle functional hazards the old FIFO produced on reconvergent
 // paths are gone.  This makes the simulated zero-delay activity agree
 // EXACTLY with bdd/symbolic.h's exact_activity() expectation, and it is the
-// scalar twin of the 64-lane bit-parallel engine in sim/bitsim.h (lane k of
+// scalar twin of the 512-lane bit-parallel engine in sim/bitsim.h (lane k of
 // a BitSimulator is bit-identical to a kZero EventSimulator on the same
 // stimulus; see tests/sim/bitsim_test.cpp).
 #pragma once

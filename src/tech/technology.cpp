@@ -1,6 +1,7 @@
 #include "tech/technology.h"
 
 #include "util/error.h"
+#include "util/hash.h"
 
 namespace optpower {
 
@@ -29,6 +30,19 @@ void validate(const Technology& tech) {
           "Technology '" + tech.name + "': eta must lie in [0, 0.5)");
   require(tech.temperature_k > 0.0,
           "Technology '" + tech.name + "': temperature must be positive");
+}
+
+std::uint64_t content_hash(const Technology& tech) {
+  Fnv1a64 h;
+  h.update_f64(tech.io);
+  h.update_f64(tech.n);
+  h.update_f64(tech.alpha);
+  h.update_f64(tech.zeta);
+  h.update_f64(tech.vdd_nom);
+  h.update_f64(tech.vth0_nom);
+  h.update_f64(tech.eta);
+  h.update_f64(tech.temperature_k);
+  return h.digest();
 }
 
 }  // namespace optpower

@@ -37,4 +37,11 @@ struct Technology {
 /// Throws InvalidArgument listing the first violated constraint.
 void validate(const Technology& tech);
 
+/// Stable 64-bit content hash of the *numeric* parameter vector (io, n,
+/// alpha, zeta, vdd_nom, vth0_nom, eta, temperature_k - IEEE bit patterns,
+/// see util/hash.h).  The name is metadata, not content: renaming a flavor
+/// does not change any computed result, so it does not change the hash and
+/// the serving layer's cache treats the two as the same technology.
+[[nodiscard]] std::uint64_t content_hash(const Technology& tech);
+
 }  // namespace optpower

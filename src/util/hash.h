@@ -1,0 +1,70 @@
+// Stable streaming content hash (FNV-1a, 64-bit).
+//
+// The serving layer's content-addressed result cache needs hashes that are
+// identical across processes, runs, and machines, so this is a fixed
+// byte-oriented algorithm over explicitly little-endian encodings - never
+// std::hash (unspecified, ASLR-seeded in some implementations) and never raw
+// struct memory (padding bytes).  Doubles hash their IEEE-754 bit pattern
+// verbatim: two parameter sets hash equal exactly when every field is
+// bit-equal, which is the same granularity at which the deterministic
+// library path reproduces results.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace optpower {
+
+/// Incremental FNV-1a (64-bit).  Feed fields in a fixed documented order;
+/// variable-length fields must be length-prefixed by the caller (update_str
+/// does this) so field boundaries cannot alias.
+class Fnv1a64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+  /// Raw bytes, in order.
+  void update_bytes(const void* data, std::size_t n) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= static_cast<std::uint64_t>(p[i]);
+      hash_ *= kPrime;
+    }
+  }
+
+  void update_u8(std::uint8_t v) noexcept { update_bytes(&v, 1); }
+
+  /// Fixed-width integers are hashed little-endian regardless of host order.
+  void update_u32(std::uint32_t v) noexcept {
+    unsigned char b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    update_bytes(b, sizeof(b));
+  }
+
+  void update_u64(std::uint64_t v) noexcept {
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    update_bytes(b, sizeof(b));
+  }
+
+  /// IEEE-754 bit pattern (bit-equal inputs <=> equal hash contribution).
+  void update_f64(double v) noexcept {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    update_u64(bits);
+  }
+
+  /// Length-prefixed string (so "ab","c" never collides with "a","bc").
+  void update_str(const std::string& s) noexcept {
+    update_u64(static_cast<std::uint64_t>(s.size()));
+    update_bytes(s.data(), s.size());
+  }
+
+  [[nodiscard]] std::uint64_t digest() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kOffsetBasis;
+};
+
+}  // namespace optpower

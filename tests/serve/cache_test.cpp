@@ -1,0 +1,87 @@
+// ResultCache tests: hit/miss/eviction accounting, LRU ordering under
+// recency refresh, the capacity-0 disabled mode, and counter persistence
+// across clear().
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/cache.h"
+
+namespace optpower::serve {
+namespace {
+
+OptimumResponse value(double vdd) {
+  OptimumResponse resp;
+  resp.point.vdd = vdd;
+  return resp;
+}
+
+TEST(ServeCacheTest, CountsHitsAndMisses) {
+  ResultCache cache(4);
+  EXPECT_FALSE(cache.lookup("a").has_value());
+  cache.insert("a", value(0.5));
+  const auto hit = cache.lookup("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->point.vdd, 0.5);
+  EXPECT_FALSE(cache.lookup("b").has_value());
+
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.capacity, 4u);
+}
+
+TEST(ServeCacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.insert("a", value(1.0));
+  cache.insert("b", value(2.0));
+  ASSERT_TRUE(cache.lookup("a").has_value());  // refresh "a": "b" is now LRU
+  cache.insert("c", value(3.0));               // evicts "b"
+
+  EXPECT_TRUE(cache.lookup("a").has_value());
+  EXPECT_FALSE(cache.lookup("b").has_value());
+  EXPECT_TRUE(cache.lookup("c").has_value());
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+}
+
+TEST(ServeCacheTest, ReinsertRefreshesInsteadOfDuplicating) {
+  ResultCache cache(2);
+  cache.insert("a", value(1.0));
+  cache.insert("b", value(2.0));
+  cache.insert("a", value(9.0));  // refresh + overwrite, no eviction
+  cache.insert("c", value(3.0));  // evicts "b", not "a"
+
+  const auto a = cache.lookup("a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->point.vdd, 9.0);
+  EXPECT_FALSE(cache.lookup("b").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ServeCacheTest, CapacityZeroDisablesStorage) {
+  ResultCache cache(0);
+  cache.insert("a", value(1.0));
+  EXPECT_FALSE(cache.lookup("a").has_value());
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(ServeCacheTest, ClearDropsEntriesButKeepsLifetimeCounters) {
+  ResultCache cache(4);
+  cache.insert("a", value(1.0));
+  ASSERT_TRUE(cache.lookup("a").has_value());
+  cache.clear();
+  EXPECT_FALSE(cache.lookup("a").has_value());
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.hits, 1u);    // lifetime totals survive the clear
+  EXPECT_EQ(s.misses, 1u);
+}
+
+}  // namespace
+}  // namespace optpower::serve

@@ -1,0 +1,159 @@
+// Cache-key derivation tests: stability (within a process, across forked
+// processes, across repeated netlist generation), sensitivity to every
+// content-bearing field, insensitivity to delivery metadata, and the
+// canonicalization rules that let provably identical requests share an
+// entry.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+
+#include "mult/factory.h"
+#include "netlist/netlist.h"
+#include "serve/client.h"
+#include "serve/hashing.h"
+#include "sim/event_sim.h"
+#include "report/forward_flow.h"
+#include "tech/stm_cmos09.h"
+
+namespace optpower::serve {
+namespace {
+
+OptimumRequest base_request() {
+  return make_optimum_request("RCA", stm_cmos09_ull(), 10e6);
+}
+
+CacheKey key_of(const OptimumRequest& req) {
+  ArchHashRegistry registry;
+  const std::uint64_t nh = registry.netlist_hash(req.arch_name, static_cast<int>(req.width));
+  return derive_cache_key(req, nh, content_hash(req.tech));
+}
+
+TEST(ServeHashingTest, NetlistContentHashIsStableAcrossRebuilds) {
+  const auto a = content_hash(build_multiplier("RCA", 16).netlist);
+  const auto b = content_hash(build_multiplier("RCA", 16).netlist);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, content_hash(build_multiplier("RCA", 8).netlist));
+  EXPECT_NE(a, content_hash(build_multiplier("Wallace", 16).netlist));
+}
+
+TEST(ServeHashingTest, TechnologyHashIgnoresNameOnly) {
+  Technology t = stm_cmos09_ull();
+  Technology renamed = t;
+  renamed.name = "same-numbers-different-label";
+  EXPECT_EQ(content_hash(t), content_hash(renamed));
+  Technology tweaked = t;
+  tweaked.io *= 1.0000001;
+  EXPECT_NE(content_hash(t), content_hash(tweaked));
+}
+
+TEST(ServeHashingTest, KeyIsDeterministicAndMetadataFree) {
+  const CacheKey a = key_of(base_request());
+  const CacheKey b = key_of(base_request());
+  EXPECT_EQ(a.material, b.material);
+  EXPECT_EQ(a.digest, b.digest);
+
+  // request_id / flags / timeout_ms are delivery metadata: same key.
+  OptimumRequest req = base_request();
+  req.request_id = 999;
+  req.flags = kFlagNoCacheRead | kFlagNoCacheStore;
+  req.timeout_ms = 12345;
+  EXPECT_EQ(key_of(req).digest, a.digest);
+}
+
+TEST(ServeHashingTest, KeyIsSensitiveToEveryContentField) {
+  const std::uint64_t base = key_of(base_request()).digest;
+  {
+    OptimumRequest r = base_request();
+    r.frequency *= 2.0;
+    EXPECT_NE(key_of(r).digest, base);
+  }
+  {
+    OptimumRequest r = base_request();
+    r.seed += 1;
+    EXPECT_NE(key_of(r).digest, base);
+  }
+  {
+    OptimumRequest r = base_request();
+    r.activity_vectors += 1;
+    EXPECT_NE(key_of(r).digest, base);
+  }
+  {
+    OptimumRequest r = base_request();
+    r.arch_name = "Wallace";
+    EXPECT_NE(key_of(r).digest, base);
+  }
+  {
+    OptimumRequest r = base_request();
+    r.tech.zeta *= 1.01;
+    EXPECT_NE(key_of(r).digest, base);
+  }
+  {
+    OptimumRequest r = base_request();
+    r.io_per_cell_scale = 17.0;
+    EXPECT_NE(key_of(r).digest, base);
+  }
+}
+
+TEST(ServeHashingTest, CanonicalizationMergesProvablyIdenticalRequests) {
+  // kBitParallel ignores delay_mode (the engine is zero-delay only).
+  OptimumRequest a = base_request();
+  a.activity_source = static_cast<std::uint8_t>(ActivitySource::kBitParallel);
+  a.delay_mode = static_cast<std::uint8_t>(SimDelayMode::kCellDepth);
+  OptimumRequest b = a;
+  b.delay_mode = static_cast<std::uint8_t>(SimDelayMode::kUnit);
+  EXPECT_EQ(key_of(a).digest, key_of(b).digest);
+
+  // kBddExact ignores the seed too (exact expectation).
+  OptimumRequest c = base_request();
+  c.activity_source = static_cast<std::uint8_t>(ActivitySource::kBddExact);
+  c.seed = 1;
+  OptimumRequest d = c;
+  d.seed = 2;
+  d.delay_mode = static_cast<std::uint8_t>(SimDelayMode::kUnit);
+  EXPECT_EQ(key_of(c).digest, key_of(d).digest);
+
+  // The event-sim source keeps both distinctions.
+  OptimumRequest e = base_request();
+  OptimumRequest f = e;
+  f.seed += 1;
+  EXPECT_NE(key_of(e).digest, key_of(f).digest);
+}
+
+TEST(ServeHashingTest, KeyDigestIsStableAcrossProcesses) {
+  // Fork a child that derives the same key and reports its digest through a
+  // pipe: catches any accidental dependence on ASLR, pointer values, or
+  // process-local state (e.g. std::hash) sneaking into the material.
+  const std::uint64_t parent_digest = key_of(base_request()).digest;
+  int pipefd[2];
+  ASSERT_EQ(::pipe(pipefd), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    const std::uint64_t child_digest = key_of(base_request()).digest;
+    (void)!::write(pipefd[1], &child_digest, sizeof(child_digest));
+    ::_exit(0);
+  }
+  ::close(pipefd[1]);
+  std::uint64_t child_digest = 0;
+  ASSERT_EQ(::read(pipefd[0], &child_digest, sizeof(child_digest)),
+            static_cast<ssize_t>(sizeof(child_digest)));
+  ::close(pipefd[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  EXPECT_EQ(child_digest, parent_digest);
+}
+
+TEST(ServeHashingTest, RegistryMemoizesAndRejectsUnknownDesigns) {
+  ArchHashRegistry registry;
+  const std::uint64_t h1 = registry.netlist_hash("RCA", 16);
+  const std::uint64_t h2 = registry.netlist_hash("RCA", 16);
+  EXPECT_EQ(h1, h2);
+  EXPECT_THROW((void)registry.netlist_hash("no-such-multiplier", 16), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace optpower::serve

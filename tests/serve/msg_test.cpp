@@ -1,0 +1,300 @@
+// Wire-protocol tests: every message type round-trips bit-identically,
+// malformed frames are rejected with ServeError (never UB, never a partial
+// decode), frame IO over a real socketpair honors EOF/timeout semantics, and
+// the MsgType enumerators in serve/msg.h are cross-referenced against
+// docs/SERVING.md so the spec cannot silently drift from the code.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/msg.h"
+#include "tech/stm_cmos09.h"
+
+namespace optpower::serve {
+namespace {
+
+OptimumRequest sample_request() {
+  OptimumRequest req;
+  req.request_id = 42;
+  req.arch_name = "Wallace par4";
+  req.width = 16;
+  req.tech = stm_cmos09_ull();
+  req.frequency = 12.5e6;
+  req.activity_source = 1;
+  req.activity_vectors = 96;
+  req.seed = 0x5eed0001;
+  req.delay_mode = 1;
+  req.io_per_cell_scale = 16.0;
+  req.zeta_cell_scale = 1.25;
+  req.flags = kFlagNoCacheStore;
+  req.timeout_ms = 1500;
+  return req;
+}
+
+OptimumResponse sample_response() {
+  OptimumResponse resp;
+  resp.request_id = 42;
+  resp.error = 0;
+  resp.point.vdd = 0.5591274328;
+  resp.point.vth = 0.2833461;
+  resp.point.vth0 = 0.3441;
+  resp.point.pdyn = 1.25e-5;
+  resp.point.pstat = 3.75e-6;
+  resp.point.ptot = 1.625e-5;
+  resp.frequency = 12.5e6;
+  resp.on_constraint = 1;
+  resp.converged = 1;
+  resp.activity = 0.10390625;
+  resp.cache_key = 0xdeadbeefcafef00dULL;
+  resp.served_from_cache = 1;
+  resp.worker_id = 3;
+  resp.retries = 2;
+  resp.cache = CacheStatsWire{10, 4, 1, 3, 256};
+  return resp;
+}
+
+TEST(ServeMsgTest, OptimumRequestRoundTripsBitIdentically) {
+  const OptimumRequest req = sample_request();
+  const OptimumRequest back = decode_optimum_request(encode(req));
+  EXPECT_EQ(back.request_id, req.request_id);
+  EXPECT_EQ(back.arch_name, req.arch_name);
+  EXPECT_EQ(back.width, req.width);
+  EXPECT_EQ(back.tech.name, req.tech.name);
+  EXPECT_EQ(back.tech.io, req.tech.io);          // doubles travel as bit patterns,
+  EXPECT_EQ(back.tech.zeta, req.tech.zeta);      // so == is exact
+  EXPECT_EQ(back.tech.vth0_nom, req.tech.vth0_nom);
+  EXPECT_EQ(back.frequency, req.frequency);
+  EXPECT_EQ(back.activity_source, req.activity_source);
+  EXPECT_EQ(back.activity_vectors, req.activity_vectors);
+  EXPECT_EQ(back.seed, req.seed);
+  EXPECT_EQ(back.delay_mode, req.delay_mode);
+  EXPECT_EQ(back.io_per_cell_scale, req.io_per_cell_scale);
+  EXPECT_EQ(back.zeta_cell_scale, req.zeta_cell_scale);
+  EXPECT_EQ(back.flags, req.flags);
+  EXPECT_EQ(back.timeout_ms, req.timeout_ms);
+}
+
+TEST(ServeMsgTest, OptimumResponseRoundTripsBitIdentically) {
+  const OptimumResponse resp = sample_response();
+  const OptimumResponse back = decode_optimum_response(encode(resp));
+  EXPECT_EQ(back.request_id, resp.request_id);
+  EXPECT_EQ(back.error, resp.error);
+  EXPECT_EQ(back.point.vdd, resp.point.vdd);
+  EXPECT_EQ(back.point.vth, resp.point.vth);
+  EXPECT_EQ(back.point.vth0, resp.point.vth0);
+  EXPECT_EQ(back.point.pdyn, resp.point.pdyn);
+  EXPECT_EQ(back.point.pstat, resp.point.pstat);
+  EXPECT_EQ(back.point.ptot, resp.point.ptot);
+  EXPECT_EQ(back.frequency, resp.frequency);
+  EXPECT_EQ(back.on_constraint, resp.on_constraint);
+  EXPECT_EQ(back.converged, resp.converged);
+  EXPECT_EQ(back.activity, resp.activity);
+  EXPECT_EQ(back.cache_key, resp.cache_key);
+  EXPECT_EQ(back.served_from_cache, resp.served_from_cache);
+  EXPECT_EQ(back.worker_id, resp.worker_id);
+  EXPECT_EQ(back.retries, resp.retries);
+  EXPECT_EQ(back.cache.hits, resp.cache.hits);
+  EXPECT_EQ(back.cache.misses, resp.cache.misses);
+  EXPECT_EQ(back.cache.evictions, resp.cache.evictions);
+  EXPECT_EQ(back.cache.entries, resp.cache.entries);
+  EXPECT_EQ(back.cache.capacity, resp.cache.capacity);
+}
+
+TEST(ServeMsgTest, EveryOtherMessageTypeRoundTrips) {
+  HelloRequest hq;
+  hq.request_id = 1;
+  hq.client_name = "tester";
+  EXPECT_EQ(decode_hello_request(encode(hq)).client_name, "tester");
+
+  HelloResponse hr;
+  hr.request_id = 1;
+  hr.num_workers = 4;
+  hr.cache_capacity = 512;
+  hr.server_name = "srv";
+  const HelloResponse hr2 = decode_hello_response(encode(hr));
+  EXPECT_EQ(hr2.num_workers, 4u);
+  EXPECT_EQ(hr2.cache_capacity, 512u);
+  EXPECT_EQ(hr2.server_name, "srv");
+
+  StatsRequest sq;
+  sq.request_id = 7;
+  EXPECT_EQ(decode_stats_request(encode(sq)).request_id, 7u);
+
+  StatsResponse sr;
+  sr.request_id = 7;
+  sr.cache = CacheStatsWire{1, 2, 3, 4, 5};
+  sr.requests = 9;
+  sr.worker_dispatches = 8;
+  sr.retries = 2;
+  sr.worker_deaths = 1;
+  sr.rejected = 3;
+  sr.draining = 1;
+  sr.workers.push_back(WorkerStatsWire{0, 1, 5});
+  sr.workers.push_back(WorkerStatsWire{1, 0, 3});
+  const StatsResponse sr2 = decode_stats_response(encode(sr));
+  EXPECT_EQ(sr2.cache.misses, 2u);
+  EXPECT_EQ(sr2.requests, 9u);
+  EXPECT_EQ(sr2.draining, 1);
+  ASSERT_EQ(sr2.workers.size(), 2u);
+  EXPECT_EQ(sr2.workers[1].worker_id, 1);
+  EXPECT_EQ(sr2.workers[1].served, 3u);
+
+  DrainRequest dq;
+  dq.request_id = 11;
+  EXPECT_EQ(decode_drain_request(encode(dq)).request_id, 11u);
+
+  DrainResponse dr;
+  dr.request_id = 11;
+  dr.workers_stopped = 2;
+  dr.cache = CacheStatsWire{0, 0, 0, 1, 256};
+  const DrainResponse dr2 = decode_drain_response(encode(dr));
+  EXPECT_EQ(dr2.workers_stopped, 2u);
+  EXPECT_EQ(dr2.cache.capacity, 256u);
+
+  ShutdownRequest xq;
+  xq.request_id = 13;
+  EXPECT_EQ(decode_shutdown_request(encode(xq)).request_id, 13u);
+  ShutdownResponse xr;
+  xr.request_id = 13;
+  EXPECT_EQ(decode_shutdown_response(encode(xr)).request_id, 13u);
+
+  ErrorResponse er;
+  er.request_id = 17;
+  er.error = static_cast<std::uint16_t>(ErrorCode::kMalformedFrame);
+  er.text = "boom";
+  const ErrorResponse er2 = decode_error_response(encode(er));
+  EXPECT_EQ(er2.error, static_cast<std::uint16_t>(ErrorCode::kMalformedFrame));
+  EXPECT_EQ(er2.text, "boom");
+}
+
+TEST(ServeMsgTest, DecodeRejectsWrongTypeTruncationAndTrailingBytes) {
+  const Frame good = encode(sample_request());
+  EXPECT_THROW((void)decode_stats_request(good), ServeError);  // wrong type
+
+  Frame truncated = good;
+  truncated.payload.resize(truncated.payload.size() / 2);
+  EXPECT_THROW((void)decode_optimum_request(truncated), ServeError);
+
+  Frame trailing = good;
+  trailing.payload.push_back(0);
+  EXPECT_THROW((void)decode_optimum_request(trailing), ServeError);
+
+  Frame empty;
+  empty.type = MsgType::kOptimumRequest;
+  EXPECT_THROW((void)decode_optimum_request(empty), ServeError);
+}
+
+TEST(ServeMsgTest, FrameIoRoundTripsOverSocketpair) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const Frame sent = encode(sample_response());
+  write_frame(sv[0], sent);
+  Frame got;
+  ASSERT_EQ(read_frame(sv[1], got), IoStatus::kOk);
+  EXPECT_EQ(got.type, MsgType::kOptimumResponse);
+  EXPECT_EQ(got.payload, sent.payload);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(ServeMsgTest, ReadFrameReportsEofOnCleanClose) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ::close(sv[0]);
+  Frame got;
+  EXPECT_EQ(read_frame(sv[1], got), IoStatus::kEof);
+  ::close(sv[1]);
+}
+
+TEST(ServeMsgTest, ReadFrameTimesOutOnSilence) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  Frame got;
+  EXPECT_EQ(read_frame(sv[1], got, 50), IoStatus::kTimeout);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(ServeMsgTest, ReadFrameRejectsBadMagicAndOversizedPayload) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const std::uint8_t garbage[12] = {0xff, 0xff, 0xff, 0xff, 1, 3, 0, 0, 0, 0, 0, 0};
+  ASSERT_EQ(::send(sv[0], garbage, sizeof(garbage), 0), static_cast<ssize_t>(sizeof(garbage)));
+  Frame got;
+  EXPECT_THROW((void)read_frame(sv[1], got), ServeError);
+  ::close(sv[0]);
+  ::close(sv[1]);
+
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  // Valid magic/version/type but an announced payload far over the cap.
+  std::uint8_t huge[12] = {0x4f, 0x50, 0x53, 0x31, 1, 3, 0, 0, 0xff, 0xff, 0xff, 0x7f};
+  ASSERT_EQ(::send(sv[0], huge, sizeof(huge), 0), static_cast<ssize_t>(sizeof(huge)));
+  EXPECT_THROW((void)read_frame(sv[1], got), ServeError);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+// --- spec cross-reference --------------------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ServeMsgTest, EveryMsgTypeInHeaderIsDocumentedInServingMd) {
+  const std::string header = slurp(std::string(OPTPOWER_SOURCE_DIR) + "/src/serve/msg.h");
+  const std::string doc = slurp(std::string(OPTPOWER_SOURCE_DIR) + "/docs/SERVING.md");
+
+  // Pull every `kName = N` enumerator out of the MsgType enum block.
+  const std::size_t begin = header.find("enum class MsgType");
+  const std::size_t end = header.find("};", begin);
+  ASSERT_NE(begin, std::string::npos);
+  ASSERT_NE(end, std::string::npos);
+  const std::string block = header.substr(begin, end - begin);
+  const std::regex entry(R"((k[A-Za-z]+)\s*=\s*(\d+))");
+  int found = 0;
+  for (auto it = std::sregex_iterator(block.begin(), block.end(), entry);
+       it != std::sregex_iterator(); ++it, ++found) {
+    const std::string name = (*it)[1];
+    const std::string value = (*it)[2];
+    // The spec table lists each message as `kName` with its numeric type id.
+    EXPECT_NE(doc.find("`" + name + "`"), std::string::npos)
+        << "MsgType::" << name << " is not documented in docs/SERVING.md";
+    EXPECT_NE(doc.find("| " + value + " "), std::string::npos)
+        << "type id " << value << " (" << name << ") missing from the SERVING.md table";
+  }
+  EXPECT_EQ(found, 11) << "MsgType enumerator count changed; update this test AND SERVING.md";
+}
+
+TEST(ServeMsgTest, EveryErrorCodeIsDocumentedInServingMd) {
+  const std::string header = slurp(std::string(OPTPOWER_SOURCE_DIR) + "/src/serve/msg.h");
+  const std::string doc = slurp(std::string(OPTPOWER_SOURCE_DIR) + "/docs/SERVING.md");
+  const std::size_t begin = header.find("enum class ErrorCode");
+  const std::size_t end = header.find("};", begin);
+  ASSERT_NE(begin, std::string::npos);
+  const std::string block = header.substr(begin, end - begin);
+  const std::regex entry(R"((k[A-Za-z]+)\s*=\s*(\d+))");
+  int found = 0;
+  for (auto it = std::sregex_iterator(block.begin(), block.end(), entry);
+       it != std::sregex_iterator(); ++it, ++found) {
+    const std::string name = (*it)[1];
+    EXPECT_NE(doc.find("`" + name + "`"), std::string::npos)
+        << "ErrorCode::" << name << " is not documented in docs/SERVING.md";
+  }
+  EXPECT_EQ(found, 11) << "ErrorCode enumerator count changed; update this test AND SERVING.md";
+}
+
+}  // namespace
+}  // namespace optpower::serve

@@ -1,0 +1,283 @@
+// Fleet control CLI for the optimum-serving layer (docs/SERVING.md has the
+// full walkthrough):
+//
+//   serve_ctl serve    --socket PATH [--workers N] [--cache N] [--timeout-ms T]
+//   serve_ctl query    --socket PATH --arch NAME [--freq HZ] [--source S]
+//                      [--vectors N] [--seed S] [--no-cache-read] [--no-cache-store]
+//   serve_ctl stats    --socket PATH
+//   serve_ctl drain    --socket PATH
+//   serve_ctl shutdown --socket PATH
+//   serve_ctl demo     [--workers N] [--arch NAME]
+//
+// `serve` runs a controller in the foreground until a client sends shutdown.
+// `demo` is the self-contained smoke the CI serve job runs: boot a fleet,
+// issue the same query twice, verify the repeat is a counter-verified cache
+// hit served with zero extra worker dispatches, cross-check the fleet answer
+// against the in-process library path, then drain and shut down.  It prints
+// greppable `demo: cache hits=H misses=M evictions=E` lines and exits
+// non-zero on any mismatch.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "report/forward_flow.h"
+#include "serve/client.h"
+#include "serve/controller.h"
+#include "tech/stm_cmos09.h"
+
+namespace {
+
+using namespace optpower;
+using namespace optpower::serve;
+
+struct Args {
+  std::string socket_path;
+  std::string arch = "RCA";
+  int workers = 2;
+  std::size_t cache = 256;
+  std::uint32_t timeout_ms = 0;
+  double frequency = 10e6;
+  std::string source = "event";
+  std::uint32_t vectors = 96;
+  std::uint64_t seed = 0x5eed0001;
+  bool no_cache_read = false;
+  bool no_cache_store = false;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: serve_ctl serve|query|stats|drain|shutdown|demo [options]\n"
+               "       see docs/SERVING.md for the option reference\n");
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (flag == "--no-cache-read") {
+      args.no_cache_read = true;
+    } else if (flag == "--no-cache-store") {
+      args.no_cache_store = true;
+    } else {
+      const char* v = value();
+      if (v == nullptr) {
+        std::fprintf(stderr, "serve_ctl: %s needs a value\n", flag.c_str());
+        return false;
+      }
+      if (flag == "--socket") args.socket_path = v;
+      else if (flag == "--arch") args.arch = v;
+      else if (flag == "--workers") args.workers = std::atoi(v);
+      else if (flag == "--cache") args.cache = static_cast<std::size_t>(std::atoll(v));
+      else if (flag == "--timeout-ms") args.timeout_ms = static_cast<std::uint32_t>(std::atoll(v));
+      else if (flag == "--freq") args.frequency = std::atof(v);
+      else if (flag == "--source") args.source = v;
+      else if (flag == "--vectors") args.vectors = static_cast<std::uint32_t>(std::atoll(v));
+      else if (flag == "--seed") args.seed = static_cast<std::uint64_t>(std::atoll(v));
+      else {
+        std::fprintf(stderr, "serve_ctl: unknown option %s\n", flag.c_str());
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool parse_source(const std::string& name, std::uint8_t& out) {
+  if (name == "event") out = static_cast<std::uint8_t>(ActivitySource::kEventSim);
+  else if (name == "bitsim") out = static_cast<std::uint8_t>(ActivitySource::kBitParallel);
+  else if (name == "bdd") out = static_cast<std::uint8_t>(ActivitySource::kBddExact);
+  else return false;
+  return true;
+}
+
+void print_response(const OptimumResponse& resp) {
+  if (resp.error != 0) {
+    std::printf("error=%s text=%s\n", to_string(static_cast<ErrorCode>(resp.error)),
+                resp.error_text.c_str());
+    return;
+  }
+  std::printf("vdd=%.6g vth=%.6g ptot=%.6g pdyn=%.6g pstat=%.6g activity=%.6g\n", resp.point.vdd,
+              resp.point.vth, resp.point.ptot, resp.point.pdyn, resp.point.pstat, resp.activity);
+  std::printf("cache_key=%016llx served_from_cache=%d worker=%d retries=%u\n",
+              static_cast<unsigned long long>(resp.cache_key), int(resp.served_from_cache),
+              int(resp.worker_id), resp.retries);
+  std::printf("cache hits=%llu misses=%llu evictions=%llu entries=%llu\n",
+              static_cast<unsigned long long>(resp.cache.hits),
+              static_cast<unsigned long long>(resp.cache.misses),
+              static_cast<unsigned long long>(resp.cache.evictions),
+              static_cast<unsigned long long>(resp.cache.entries));
+}
+
+int cmd_serve(const Args& args) {
+  ControllerOptions opts;
+  opts.num_workers = args.workers;
+  opts.cache_capacity = args.cache;
+  if (args.timeout_ms != 0) opts.default_timeout_ms = args.timeout_ms;
+  Controller controller(opts);
+  controller.start();  // fork workers before the accept thread exists
+  controller.listen_unix(args.socket_path);
+  std::printf("serve_ctl: serving on %s with %d workers (cache %zu entries)\n",
+              args.socket_path.c_str(), args.workers, args.cache);
+  std::fflush(stdout);
+  controller.wait();
+  controller.stop();
+  std::printf("serve_ctl: shut down\n");
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  OptimumRequest req = make_optimum_request(args.arch, stm_cmos09_ull(), args.frequency);
+  if (!parse_source(args.source, req.activity_source)) {
+    std::fprintf(stderr, "serve_ctl: unknown --source %s (event|bitsim|bdd)\n",
+                 args.source.c_str());
+    return 2;
+  }
+  req.activity_vectors = args.vectors;
+  req.seed = args.seed;
+  if (args.no_cache_read) req.flags |= kFlagNoCacheRead;
+  if (args.no_cache_store) req.flags |= kFlagNoCacheStore;
+  req.timeout_ms = args.timeout_ms;
+  ServeClient client;
+  client.connect_unix(args.socket_path);
+  (void)client.hello("serve_ctl");
+  print_response(client.optimum(req));
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  ServeClient client;
+  client.connect_unix(args.socket_path);
+  const StatsResponse s = client.stats();
+  std::printf("requests=%llu dispatches=%llu retries=%llu deaths=%llu rejected=%llu draining=%d\n",
+              static_cast<unsigned long long>(s.requests),
+              static_cast<unsigned long long>(s.worker_dispatches),
+              static_cast<unsigned long long>(s.retries),
+              static_cast<unsigned long long>(s.worker_deaths),
+              static_cast<unsigned long long>(s.rejected), int(s.draining));
+  std::printf("cache hits=%llu misses=%llu evictions=%llu entries=%llu capacity=%llu\n",
+              static_cast<unsigned long long>(s.cache.hits),
+              static_cast<unsigned long long>(s.cache.misses),
+              static_cast<unsigned long long>(s.cache.evictions),
+              static_cast<unsigned long long>(s.cache.entries),
+              static_cast<unsigned long long>(s.cache.capacity));
+  for (const WorkerStatsWire& w : s.workers) {
+    std::printf("worker %d alive=%d served=%llu\n", int(w.worker_id), int(w.alive),
+                static_cast<unsigned long long>(w.served));
+  }
+  return 0;
+}
+
+int cmd_drain(const Args& args) {
+  ServeClient client;
+  client.connect_unix(args.socket_path);
+  const DrainResponse resp = client.drain();
+  std::printf("drained: workers_stopped=%u cache entries=%llu\n", resp.workers_stopped,
+              static_cast<unsigned long long>(resp.cache.entries));
+  return 0;
+}
+
+int cmd_shutdown(const Args& args) {
+  ServeClient client;
+  client.connect_unix(args.socket_path);
+  (void)client.shutdown();
+  std::printf("shutdown acknowledged\n");
+  return 0;
+}
+
+int cmd_demo(const Args& args) {
+  const std::string path = "/tmp/optpower_serve_demo.sock";
+  ControllerOptions opts;
+  opts.num_workers = args.workers;
+  Controller controller(opts);
+  controller.start();
+  controller.listen_unix(path);
+  std::printf("demo: fleet up (%d workers) on %s\n", args.workers, path.c_str());
+
+  ServeClient client;
+  client.connect_unix(path);
+  const HelloResponse hello = client.hello("serve_ctl-demo");
+  std::printf("demo: hello ok, server=%s workers=%u\n", hello.server_name.c_str(),
+              hello.num_workers);
+
+  const Technology tech = stm_cmos09_ull();
+  const OptimumRequest req = make_optimum_request(args.arch, tech, args.frequency);
+
+  const OptimumResponse first = client.optimum(req);
+  if (first.error != 0) {
+    std::fprintf(stderr, "demo: FIRST QUERY FAILED: %s\n", first.error_text.c_str());
+    return 1;
+  }
+  std::printf("demo: cold miss served by worker %d: vdd=%.6g vth=%.6g ptot=%.6g\n",
+              int(first.worker_id), first.point.vdd, first.point.vth, first.point.ptot);
+
+  const OptimumResponse second = client.optimum(req);
+  const StatsResponse stats = client.stats();
+  std::printf("demo: cache hits=%llu misses=%llu evictions=%llu dispatches=%llu\n",
+              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.cache.misses),
+              static_cast<unsigned long long>(stats.cache.evictions),
+              static_cast<unsigned long long>(stats.worker_dispatches));
+  if (second.served_from_cache != 1 || stats.cache.hits < 1 || stats.worker_dispatches != 1) {
+    std::fprintf(stderr, "demo: REPEAT QUERY WAS NOT A PURE CACHE HIT\n");
+    return 1;
+  }
+  if (std::memcmp(&first.point, &second.point, sizeof(first.point)) != 0) {
+    std::fprintf(stderr, "demo: CACHED ANSWER DIFFERS FROM COMPUTED ANSWER\n");
+    return 1;
+  }
+
+  // Cross-check the fleet answer against the in-process library path.
+  ForwardFlowOptions flow;
+  const ForwardResult serial = run_forward_flow(args.arch, tech, args.frequency, flow);
+  if (serial.optimum.vdd != first.point.vdd || serial.optimum.ptot != first.point.ptot) {
+    std::fprintf(stderr, "demo: FLEET ANSWER != SERIAL LIBRARY ANSWER\n");
+    return 1;
+  }
+  std::printf("demo: fleet answer bit-identical to serial run_forward_flow\n");
+
+  const DrainResponse drained = client.drain();
+  std::printf("demo: drained %u workers\n", drained.workers_stopped);
+  const OptimumResponse after_drain = client.optimum(req);
+  if (after_drain.served_from_cache != 1) {
+    std::fprintf(stderr, "demo: CACHE HIT NOT SERVED AFTER DRAIN\n");
+    return 1;
+  }
+  std::printf("demo: cache hit still served after drain\n");
+  (void)client.shutdown();
+  controller.wait();
+  controller.stop();
+  std::printf("demo: PASS\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  Args args;
+  if (!parse_args(argc, argv, args)) return 2;
+  try {
+    if (cmd == "serve") {
+      if (args.socket_path.empty()) return usage();
+      return cmd_serve(args);
+    }
+    if (cmd == "query") {
+      if (args.socket_path.empty()) return usage();
+      return cmd_query(args);
+    }
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "drain") return cmd_drain(args);
+    if (cmd == "shutdown") return cmd_shutdown(args);
+    if (cmd == "demo") return cmd_demo(args);
+    return usage();
+  } catch (const optpower::Error& e) {
+    std::fprintf(stderr, "serve_ctl: %s\n", e.what());
+    return 1;
+  }
+}
