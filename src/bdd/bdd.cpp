@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/error.h"
 #include "util/format.h"
 
@@ -29,6 +30,23 @@ BddManager::BddManager(int num_vars, const BddOptions& options) : options_(optio
   ite_cache_.assign(std::size_t{1} << options_.ite_cache_bits, IteKey{});
   ite_cache_mask_ = ite_cache_.size() - 1;
   for (int i = 0; i < num_vars; ++i) (void)add_var();
+}
+
+BddManager::~BddManager() { publish_obs_metrics(); }
+
+void BddManager::publish_obs_metrics() {
+  if (!obs::metrics_enabled()) return;
+  // Deltas, so repeated mid-life publishes never double-count a call.
+  obs::registry().counter("bdd.ite_calls").add(ite_calls_ - published_calls_);
+  obs::registry().counter("bdd.ite_cache_hits").add(ite_hits_ - published_hits_);
+  published_calls_ = ite_calls_;
+  published_hits_ = ite_hits_;
+  obs::registry().gauge("bdd.unique_table_nodes").set(static_cast<std::int64_t>(node_count()));
+  const std::size_t used = node_count();
+  const std::int64_t headroom =
+      used >= options_.max_nodes ? 0
+                                 : static_cast<std::int64_t>(options_.max_nodes - used);
+  obs::registry().gauge("bdd.node_budget_headroom").set(headroom);
 }
 
 int BddManager::add_var() {
@@ -100,9 +118,13 @@ BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
   if (g == h) return g;
   if (g == kBddTrue && h == kBddFalse) return f;
 
+  ++ite_calls_;
   const std::size_t slot = hash_triple(f, g, h ^ 0xa5a5a5a5u) & ite_cache_mask_;
   IteKey& entry = ite_cache_[slot];
-  if (entry.valid && entry.f == f && entry.g == g && entry.h == h) return entry.result;
+  if (entry.valid && entry.f == f && entry.g == g && entry.h == h) {
+    ++ite_hits_;
+    return entry.result;
+  }
 
   const std::uint32_t top =
       std::min(nodes_[f].var, std::min(nodes_[g].var, nodes_[h].var));

@@ -51,6 +51,9 @@ class BddManager {
  public:
   explicit BddManager(int num_vars = 0, const BddOptions& options = {});
 
+  /// Publishes the manager's lifetime tallies (publish_obs_metrics).
+  ~BddManager();
+
   // --- variables -----------------------------------------------------------
 
   /// Number of variables currently declared.
@@ -118,6 +121,22 @@ class BddManager {
   /// there is no GC; this is the figure max_nodes guards).
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size() - 2; }
 
+  // --- observability -------------------------------------------------------
+  // A manager is single-threaded, so these are plain members bumped with
+  // ordinary increments inside ite() - zero atomic traffic on the recursion
+  // hot path - and folded into the process-wide obs registry on publish.
+
+  /// Memoized ite() invocations (terminal-rule short-circuits excluded).
+  [[nodiscard]] std::uint64_t ite_calls() const noexcept { return ite_calls_; }
+  /// ite() invocations answered by the direct-mapped cache.
+  [[nodiscard]] std::uint64_t ite_cache_hits() const noexcept { return ite_hits_; }
+
+  /// Fold ite_calls/hits deltas into the registry counters ("bdd.ite_calls",
+  /// "bdd.ite_cache_hits") and set the "bdd.unique_table_nodes" /
+  /// "bdd.node_budget_headroom" gauges from this manager's current state.
+  /// The destructor calls this; long-lived managers may call it mid-life.
+  void publish_obs_metrics();
+
   /// Level (variable index) of a ref; terminals report kTerminalLevel.
   static constexpr std::uint32_t kTerminalLevel = 0xffffffffu;
   [[nodiscard]] std::uint32_t level(BddRef f) const noexcept { return nodes_[f].var; }
@@ -150,6 +169,11 @@ class BddManager {
   std::vector<BddRef> var_refs_;
   std::vector<double> var_prob_;
   std::vector<double> prob_cache_;   // aligned with nodes_; NaN = unknown
+
+  std::uint64_t ite_calls_ = 0;      // memoized ite() entries (plain: single-threaded)
+  std::uint64_t ite_hits_ = 0;       // ...answered by the cache
+  std::uint64_t published_calls_ = 0;  // already folded into the registry
+  std::uint64_t published_hits_ = 0;
 };
 
 }  // namespace optpower

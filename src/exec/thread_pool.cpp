@@ -1,8 +1,25 @@
 #include "exec/thread_pool.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace optpower {
+
+namespace {
+
+// Resolved once; the per-task cost is one relaxed fetch_add each.
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g = obs::registry().gauge("exec.pool.queue_depth");
+  return g;
+}
+
+obs::Counter& tasks_counter() {
+  static obs::Counter& c = obs::registry().counter("exec.pool.tasks");
+  return c;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   require(num_threads >= 1, "ThreadPool: need >= 1 worker thread");
@@ -26,6 +43,7 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push(std::move(task));
   }
+  if (obs::metrics_enabled()) queue_depth_gauge().add();
   cv_.notify_one();
 }
 
@@ -39,7 +57,14 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    if (obs::metrics_enabled()) {
+      queue_depth_gauge().sub();
+      tasks_counter().add();
+    }
+    {
+      obs::Span span("exec.task", "exec");
+      task();
+    }
   }
 }
 

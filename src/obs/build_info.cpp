@@ -1,0 +1,22 @@
+#include "obs/build_info.h"
+
+#include "optpower_version.h"
+#include "simd/simd.h"
+
+namespace optpower::obs {
+
+const char* build_version() noexcept { return OPTPOWER_GIT_DESCRIBE; }
+
+const char* build_compiler() noexcept {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string active_simd_backend() { return simd::backend_name(simd::default_backend()); }
+
+}  // namespace optpower::obs

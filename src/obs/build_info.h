@@ -1,0 +1,22 @@
+// Build provenance: which binary produced this answer?  Fleet stats and
+// recorded bench results both carry these strings so a number can always be
+// traced back to a compiler, a git revision, and the SIMD backend that was
+// actually live at runtime (cpuid-resolved, not compile-time).
+#pragma once
+
+#include <string>
+
+namespace optpower::obs {
+
+/// `git describe --always --dirty --tags` captured at configure time via
+/// the generated version.h ("unknown" outside a git checkout).
+[[nodiscard]] const char* build_version() noexcept;
+
+/// Compiler id + version the library was built with, e.g. "GNU 13.2.0".
+[[nodiscard]] const char* build_compiler() noexcept;
+
+/// Name of the SIMD backend the runtime dispatcher selected on this
+/// machine ("scalar", "avx2", "avx512").
+[[nodiscard]] std::string active_simd_backend();
+
+}  // namespace optpower::obs

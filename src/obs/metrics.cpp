@@ -1,0 +1,159 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <tuple>
+
+namespace optpower::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{true};
+}  // namespace detail
+
+namespace {
+
+/// Static-init hook: OPTPOWER_METRICS=0 (or "off"/"false") disables the
+/// registry mirrors for the whole process.
+struct MetricsEnvInit {
+  MetricsEnvInit() {
+    const char* v = std::getenv("OPTPOWER_METRICS");
+    if (v != nullptr && (std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+                         std::strcmp(v, "false") == 0)) {
+      detail::g_metrics_enabled.store(false, std::memory_order_relaxed);
+    }
+  }
+};
+
+MetricsEnvInit g_metrics_env_init;
+
+}  // namespace
+
+void set_metrics_enabled(bool on) noexcept {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0;
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation, 1-based; quantile(0) is the first.
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(clamped * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    seen += buckets[static_cast<std::size_t>(b)];
+    if (seen >= rank) {
+      // Bucket b holds values in [2^b, 2^(b+1)) (bucket 0 also holds 0).
+      return b >= 63 ? ~std::uint64_t{0} : (std::uint64_t{2} << b) - 1;
+    }
+  }
+  return ~std::uint64_t{0};
+}
+
+template <typename T>
+T& MetricsRegistry::intern(std::deque<std::pair<std::string, T>>& store, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : store) {
+    if (entry.first == name) return entry.second;
+  }
+  // Deque: growth never moves existing elements, so handed-out references
+  // stay valid for the life of the process.  Piecewise construction because
+  // atomics are neither copyable nor movable.
+  store.emplace_back(std::piecewise_construct, std::forward_as_tuple(name),
+                     std::forward_as_tuple());
+  return store.back().second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) { return intern(counters_, name); }
+Gauge& MetricsRegistry::gauge(const std::string& name) { return intern(gauges_, name); }
+Histogram& MetricsRegistry::histogram(const std::string& name) { return intern(histograms_, name); }
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c.value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g.value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.count = h.count();
+    hs.sum = h.sum();
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      hs.buckets[static_cast<std::size_t>(b)] = h.bucket(b);
+    }
+    snap.histograms.emplace_back(name, hs);
+  }
+  return snap;
+}
+
+namespace {
+
+/// "serve.cache.hits" -> "optpower_serve_cache_hits".
+std::string exposition_name(const std::string& name) {
+  std::string out = "optpower_";
+  for (const char c : name) out.push_back(c == '.' ? '_' : c);
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::text_dump() const {
+  const MetricsSnapshot snap = snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string e = exposition_name(name);
+    out += "# TYPE " + e + " counter\n";
+    out += e + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string e = exposition_name(name);
+    out += "# TYPE " + e + " gauge\n";
+    out += e + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, hs] : snap.histograms) {
+    const std::string e = exposition_name(name);
+    out += "# TYPE " + e + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t n = hs.buckets[static_cast<std::size_t>(b)];
+      if (n == 0) continue;  // sparse dump; cumulative semantics are kept
+      cumulative += n;
+      const std::uint64_t le = b >= 63 ? ~std::uint64_t{0} : (std::uint64_t{2} << b) - 1;
+      out += e + "_bucket{le=\"" + std::to_string(le) + "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += e + "_bucket{le=\"+Inf\"} " + std::to_string(hs.count) + "\n";
+    out += e + "_sum " + std::to_string(hs.sum) + "\n";
+    out += e + "_count " + std::to_string(hs.count) + "\n";
+    out += e + "_p50 " + std::to_string(hs.p50()) + "\n";
+    out += e + "_p95 " + std::to_string(hs.p95()) + "\n";
+    out += e + "_p99 " + std::to_string(hs.p99()) + "\n";
+  }
+  return out;
+}
+
+void MetricsRegistry::reset_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) {
+    (void)name;
+    c.reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    (void)name;
+    g.set(0);
+  }
+  for (auto& [name, h] : histograms_) {
+    (void)name;
+    h.reset();
+  }
+}
+
+MetricsRegistry& registry() {
+  // Leaked singleton: instruments must outlive every static-destruction-time
+  // user (thread pools draining at exit, atexit trace flushes).
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+}  // namespace optpower::obs

@@ -1,0 +1,177 @@
+// Process-wide metrics: lock-free counters and gauges (relaxed atomics - the
+// instruments are safe to hammer from any thread and never serialize a hot
+// path), a log2-bucketed latency histogram with quantile estimates, and a
+// MetricsRegistry that interns instruments by name at first use.
+//
+// Usage pattern on hot paths: resolve the instrument ONCE (function-local
+// static or constructor-cached pointer), then touch only the atomic -
+//
+//   static obs::Counter& hits = obs::registry().counter("serve.cache.hits");
+//   hits.add();
+//
+// Registered instruments live for the whole process (the registry never
+// deletes - references stay valid forever), so counters are lifetime totals
+// across every client object that touched them.  Components that also need
+// per-instance counts (e.g. one ResultCache's wire-visible counters) own
+// standalone Counter members besides the registry's process totals.
+//
+// snapshot() is wait-free for writers; the text_dump() is a Prometheus-style
+// exposition (one `# TYPE` line per instrument, histogram as cumulative
+// `_bucket{le="..."}` series) served verbatim by the serving layer's
+// kMetricsRequest and `serve_ctl metrics`.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace optpower::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace detail
+
+/// Process-wide metrics kill switch (default on; OPTPOWER_METRICS=0 at
+/// process start disables).  The instruments themselves never check it -
+/// per-instance wire counters (cache stats, controller stats) must stay
+/// correct regardless - so hot paths gate their REGISTRY mirror updates and
+/// any clock reads on this flag explicitly:
+///
+///   if (obs::metrics_enabled()) metrics().hits.add();
+///
+/// One relaxed load and a branch when disabled, which is what keeps the
+/// serving hot path within noise of the uninstrumented build.
+[[nodiscard]] inline bool metrics_enabled() noexcept {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flip the kill switch programmatically (test hook).  Meant for process
+/// start: gauges maintained by gated add/sub pairs can go stale if the flag
+/// flips between the two touches.
+void set_metrics_enabled(bool on) noexcept;
+
+/// Monotonic event count.  add() is one relaxed fetch_add - no fences, no
+/// locks; readers see a value that is exact once writers quiesce.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  /// Test-isolation hook (MetricsRegistry::reset_all); never on serving paths.
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth, live workers, headroom).  Signed so a
+/// transient inc/dec imbalance reads as negative instead of wrapping.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n = 1) noexcept { value_.fetch_sub(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Log2-bucketed distribution: observe(v) lands in bucket floor(log2(v))
+/// (v = 0 shares bucket 0 with v = 1), so 64 buckets cover the whole u64
+/// range with <= 2x relative quantile error - plenty for "where did the
+/// milliseconds go" questions at zero per-sample allocation cost.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void observe(std::uint64_t v) noexcept {
+    const int b = v <= 1 ? 0 : 64 - __builtin_clzll(v) - 1;
+    buckets_[static_cast<std::size_t>(b)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t bucket(int b) const noexcept {
+    return buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Point-in-time copy of one histogram, with quantile estimation.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+
+  /// Upper bound (2^(b+1) - 1) of the bucket where the cumulative count
+  /// first reaches q * count; 0 when empty.  q in [0, 1].
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+  [[nodiscard]] std::uint64_t p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] std::uint64_t p95() const noexcept { return quantile(0.95); }
+  [[nodiscard]] std::uint64_t p99() const noexcept { return quantile(0.99); }
+};
+
+/// Everything the registry knows, copied at one instant (values are
+/// individually-relaxed loads: exact once writers quiesce, monotone always).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// Name-interned instrument store.  counter()/gauge()/histogram() register
+/// on first use (one mutex acquisition) and return a stable reference; the
+/// instruments themselves are lock-free.  Names are dotted lowercase paths
+/// ("serve.cache.hits"); the exposition dump maps '.' to '_'.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Prometheus-style text exposition: `# TYPE` headers, `optpower_`-prefixed
+  /// sanitized names, histograms as cumulative le-buckets plus _sum/_count
+  /// and p50/p95/p99 gauge lines.
+  [[nodiscard]] std::string text_dump() const;
+
+  /// Zero every registered instrument (references stay valid - instruments
+  /// are never deleted).  Test isolation hook; never used on serving paths.
+  void reset_all();
+
+ private:
+  template <typename T>
+  T& intern(std::deque<std::pair<std::string, T>>& store, const std::string& name);
+
+  mutable std::mutex mutex_;  // registration + enumeration only, never add()
+  std::deque<std::pair<std::string, Counter>> counters_;
+  std::deque<std::pair<std::string, Gauge>> gauges_;
+  std::deque<std::pair<std::string, Histogram>> histograms_;
+};
+
+/// The process-wide registry every layer reports into.
+[[nodiscard]] MetricsRegistry& registry();
+
+}  // namespace optpower::obs

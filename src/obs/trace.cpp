@@ -1,0 +1,334 @@
+#include "obs/trace.h"
+
+#include <fcntl.h>
+#include <pthread.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace optpower::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+/// One recorded span.  POD on purpose: ring slots are overwritten in place
+/// and the pointers reference string literals, never owned storage.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  const char* arg_keys[2] = {nullptr, nullptr};
+  std::uint64_t arg_vals[2] = {0, 0};
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint8_t nargs = 0;
+};
+
+constexpr std::uint64_t kDefaultRingCapacity = 16384;
+
+/// Per-thread event ring.  Only the owning thread writes events; the mutex
+/// serializes those writes against cross-thread flushes.  On wrap the ring
+/// overwrites its oldest slot, so a long-running thread keeps the tail of
+/// its history rather than the head.
+struct ThreadRing {
+  std::mutex mu;
+  std::vector<TraceEvent> slots;
+  std::uint64_t recorded = 0;  // events since last flush (can exceed capacity)
+  int tid = 0;                 // registration index, stable for thread life
+
+  void push(const TraceEvent& ev) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (slots.empty()) return;
+    slots[static_cast<std::size_t>(recorded % slots.size())] = ev;
+    ++recorded;
+  }
+};
+
+struct Global {
+  std::mutex mu;  // rings list, orphans, path, enabled transitions
+  std::vector<ThreadRing*> rings;
+  std::vector<std::pair<TraceEvent, int>> orphans;  // events of exited threads + their tid
+  std::string path;
+  std::uint64_t ring_capacity = kDefaultRingCapacity;
+  int next_tid = 1;
+};
+
+Global& global() {
+  static Global* g = new Global();  // leaked: outlives atexit flushes
+  return *g;
+}
+
+/// Thread-local ring handle.  The holder's destructor runs at thread exit
+/// and parks any unflushed events in the global orphan list so they still
+/// make the next flush.
+struct RingHolder {
+  ThreadRing* ring = nullptr;
+  ~RingHolder() {
+    if (ring == nullptr) return;
+    Global& g = global();
+    std::lock_guard<std::mutex> glock(g.mu);
+    {
+      std::lock_guard<std::mutex> rlock(ring->mu);
+      const std::uint64_t cap = ring->slots.size();
+      const std::uint64_t n = std::min(ring->recorded, cap);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t idx = (ring->recorded - n + i) % cap;
+        g.orphans.emplace_back(ring->slots[static_cast<std::size_t>(idx)], ring->tid);
+      }
+    }
+    g.rings.erase(std::remove(g.rings.begin(), g.rings.end(), ring), g.rings.end());
+    delete ring;
+  }
+};
+
+thread_local RingHolder t_holder;
+
+ThreadRing& thread_ring() {
+  if (t_holder.ring == nullptr) {
+    auto* ring = new ThreadRing();
+    Global& g = global();
+    std::lock_guard<std::mutex> lock(g.mu);
+    ring->slots.resize(static_cast<std::size_t>(g.ring_capacity));
+    ring->tid = g.next_tid++;
+    g.rings.push_back(ring);
+    t_holder.ring = ring;
+  }
+  return *t_holder.ring;
+}
+
+void append_json_event(std::string& out, const TraceEvent& ev, int pid, int tid) {
+  // Timestamps are CLOCK_MONOTONIC exported in microseconds with sub-us
+  // precision kept as a decimal fraction - comparable across the controller
+  // and its forked workers, which is what makes request-id correlation a
+  // single Perfetto timeline instead of an alignment exercise.
+  char buf[64];
+  out += "{\"name\":\"";
+  out += ev.name;
+  out += "\",\"cat\":\"";
+  out += ev.cat;
+  out += "\",\"ph\":\"X\",\"ts\":";
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ev.ts_ns / 1000),
+                static_cast<unsigned long long>(ev.ts_ns % 1000));
+  out += buf;
+  out += ",\"dur\":";
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ev.dur_ns / 1000),
+                static_cast<unsigned long long>(ev.dur_ns % 1000));
+  out += buf;
+  out += ",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(tid);
+  if (ev.nargs > 0) {
+    out += ",\"args\":{";
+    for (std::uint8_t i = 0; i < ev.nargs; ++i) {
+      if (i > 0) out += ",";
+      out += "\"";
+      out += ev.arg_keys[i];
+      out += "\":";
+      out += std::to_string(ev.arg_vals[i]);
+    }
+    out += "}";
+  }
+  out += "}";
+}
+
+/// Append `body` (comma-separated JSON events, no brackets) to the trace
+/// file under flock, keeping the invariant that the file is COMPLETE JSON
+/// after every flush: it always ends "\n]\n", so a new flush truncates
+/// those 3 bytes, joins with ",\n", and restores the tail.  This is how
+/// controller and worker processes interleave into one parseable file.
+void append_to_file(const std::string& path, const std::string& body) {
+  if (body.empty()) return;
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return;
+  if (::flock(fd, LOCK_EX) != 0) {
+    ::close(fd);
+    return;
+  }
+  struct stat st{};
+  std::string out;
+  if (::fstat(fd, &st) == 0 && st.st_size >= 3) {
+    (void)::ftruncate(fd, st.st_size - 3);  // drop "\n]\n"
+    (void)::lseek(fd, 0, SEEK_END);
+    out = ",\n";
+  } else {
+    (void)::ftruncate(fd, 0);
+    (void)::lseek(fd, 0, SEEK_SET);
+    out = "[\n";
+  }
+  out += body;
+  out += "\n]\n";
+  const char* p = out.data();
+  std::size_t left = out.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n <= 0) break;
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  ::flock(fd, LOCK_UN);
+  ::close(fd);
+}
+
+/// Drain every ring + the orphan list into the trace file.  Caller holds
+/// g.mu.
+void flush_locked(Global& g) {
+  if (g.path.empty()) return;
+  std::vector<std::pair<TraceEvent, int>> events;
+  for (ThreadRing* ring : g.rings) {
+    std::lock_guard<std::mutex> rlock(ring->mu);
+    const std::uint64_t cap = ring->slots.size();
+    if (cap == 0) continue;
+    const std::uint64_t n = std::min(ring->recorded, cap);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t idx = (ring->recorded - n + i) % cap;
+      events.emplace_back(ring->slots[static_cast<std::size_t>(idx)], ring->tid);
+    }
+    ring->recorded = 0;
+  }
+  for (auto& orphan : g.orphans) events.push_back(orphan);
+  g.orphans.clear();
+  if (events.empty()) return;
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) { return a.first.ts_ns < b.first.ts_ns; });
+  const int pid = static_cast<int>(::getpid());
+  std::string body;
+  body.reserve(events.size() * 96);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) body += ",\n";
+    append_json_event(body, events[i].first, pid, events[i].second);
+  }
+  append_to_file(g.path, body);
+}
+
+// ---- fork safety ------------------------------------------------------
+//
+// The serve controller forks workers while tracing.  Without intervention
+// the child would inherit full rings and re-emit the parent's spans under
+// its own pid.  prepare/parent bracket the fork with g.mu held so the
+// child's copy of the lock is in a known state; the child then drops every
+// ring except the forking thread's own (other threads do not exist in the
+// child, and their ring mutexes may have been copied mid-acquisition) and
+// clears what remains.
+
+void atfork_prepare() { global().mu.lock(); }
+void atfork_parent() { global().mu.unlock(); }
+
+void atfork_child() {
+  Global& g = global();
+  ThreadRing* mine = t_holder.ring;  // the forking thread cannot hold mine->mu here
+  g.rings.clear();
+  if (mine != nullptr) {
+    mine->recorded = 0;
+    g.rings.push_back(mine);
+  }
+  g.orphans.clear();
+  g.mu.unlock();
+}
+
+/// Static-init hook: pick up OPTPOWER_TRACE / OPTPOWER_TRACE_RING, register
+/// the fork handlers and an atexit flush.
+struct EnvInit {
+  EnvInit() {
+    ::pthread_atfork(&atfork_prepare, &atfork_parent, &atfork_child);
+    if (const char* cap = std::getenv("OPTPOWER_TRACE_RING")) {
+      const unsigned long long v = std::strtoull(cap, nullptr, 10);
+      if (v >= 16) global().ring_capacity = v;
+    }
+    if (const char* path = std::getenv("OPTPOWER_TRACE")) {
+      if (path[0] != '\0') trace_start(path);
+    }
+    std::atexit([] { trace_stop(); });
+  }
+};
+
+EnvInit g_env_init;
+
+}  // namespace
+
+bool trace_start(const char* path) {
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (detail::g_trace_enabled.load(std::memory_order_relaxed)) return true;
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  ::close(fd);
+  g.path = path;
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void trace_stop() {
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (!detail::g_trace_enabled.load(std::memory_order_relaxed)) return;
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+  flush_locked(g);
+  g.path.clear();
+}
+
+void trace_flush() {
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (!detail::g_trace_enabled.load(std::memory_order_relaxed)) return;
+  flush_locked(g);
+}
+
+void Span::begin(const char* name, const char* cat) noexcept {
+  name_ = name;
+  cat_ = cat;
+  start_ns_ = now_ns();
+  live_ = true;
+}
+
+void Span::end() noexcept {
+  TraceEvent ev;
+  ev.name = name_;
+  ev.cat = cat_;
+  ev.ts_ns = start_ns_;
+  const std::uint64_t now = now_ns();
+  ev.dur_ns = now > start_ns_ ? now - start_ns_ : 0;
+  ev.nargs = nargs_;
+  for (std::uint8_t i = 0; i < nargs_; ++i) {
+    ev.arg_keys[i] = arg_keys_[i];
+    ev.arg_vals[i] = arg_vals_[i];
+  }
+  thread_ring().push(ev);
+}
+
+namespace detail {
+
+std::uint64_t thread_events_recorded() noexcept {
+  ThreadRing& ring = thread_ring();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  return ring.recorded;
+}
+
+std::uint64_t ring_capacity() noexcept {
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.ring_capacity;
+}
+
+}  // namespace detail
+
+}  // namespace optpower::obs

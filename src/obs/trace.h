@@ -1,0 +1,102 @@
+// Chrome-trace spans: RAII `Span` objects recorded into per-thread ring
+// buffers and exported as Chrome `trace_event` JSON (open the file in
+// Perfetto or chrome://tracing).
+//
+// Cost model, which everything else here bends around:
+//   - tracing DISABLED (the default): constructing a Span is ONE relaxed
+//     atomic load and a branch.  No clock read, no TLS write, nothing.
+//   - tracing ENABLED: two clock_gettime(CLOCK_MONOTONIC) calls and one
+//     slot write into a thread-local ring.  No locks, no allocation.
+//
+// Names, categories, and arg keys must be STRING LITERALS (or otherwise
+// immortal storage): the ring stores the pointers, not copies.
+//
+// Enable by setting OPTPOWER_TRACE=<file> before process start (a static
+// initializer picks it up and registers an atexit flush), or
+// programmatically via trace_start()/trace_stop().  OPTPOWER_TRACE_RING
+// overrides the per-thread ring capacity (default 16384 events; the ring
+// overwrites its oldest events on wrap, so a long run keeps the tail).
+//
+// Multi-process fleets (the serve controller forks workers) share one trace
+// file: every flush appends under flock() and leaves the file as complete,
+// parseable JSON (`[ ... ]`), so controller and worker spans land in the
+// same Perfetto timeline, distinguished by pid and correlated by the
+// request-id span args.  Forked children start with cleared rings (a
+// pthread_atfork handler) so parent spans are never re-attributed to the
+// child's pid; workers that _exit() must call trace_flush() themselves
+// (the serve worker loop does).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace optpower::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+/// One relaxed load and a branch - the whole disabled-path cost of a Span.
+[[nodiscard]] inline bool trace_enabled() noexcept {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Start tracing to `path` (truncates).  Thread-safe; no-op if already
+/// tracing.  Returns false if the file cannot be opened.
+bool trace_start(const char* path);
+
+/// Flush all rings and stop tracing.  No-op if not tracing.
+void trace_stop();
+
+/// Flush every thread's ring to the trace file without stopping.  The file
+/// is valid JSON after every flush - this is what forked serve workers call
+/// before _exit().  No-op if not tracing.
+void trace_flush();
+
+/// RAII duration span ("ph":"X" complete event).  `name` and `cat` must be
+/// string literals.  Up to two u64 args (e.g. the wire request id) attach
+/// via arg() and appear under "args" in the JSON.
+class Span {
+ public:
+  explicit Span(const char* name, const char* cat = "optpower") noexcept {
+    if (trace_enabled()) begin(name, cat);
+  }
+  ~Span() {
+    if (live_) end();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach a u64 argument.  `key` must be a string literal.  At most two
+  /// args per span; extras are dropped.
+  void arg(const char* key, std::uint64_t value) noexcept {
+    if (live_ && nargs_ < 2) {
+      arg_keys_[nargs_] = key;
+      arg_vals_[nargs_] = value;
+      ++nargs_;
+    }
+  }
+
+ private:
+  void begin(const char* name, const char* cat) noexcept;
+  void end() noexcept;
+
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  const char* arg_keys_[2] = {nullptr, nullptr};
+  std::uint64_t arg_vals_[2] = {0, 0};
+  std::uint64_t start_ns_ = 0;
+  std::uint8_t nargs_ = 0;
+  bool live_ = false;
+};
+
+namespace detail {
+/// Events recorded by this thread since its ring was last flushed or
+/// wrapped (test hook for wrap/nesting assertions).
+[[nodiscard]] std::uint64_t thread_events_recorded() noexcept;
+/// Per-thread ring capacity currently in effect (test hook).
+[[nodiscard]] std::uint64_t ring_capacity() noexcept;
+}  // namespace detail
+
+}  // namespace optpower::obs

@@ -1,21 +1,50 @@
 #include "serve/cache.h"
 
+#include "obs/trace.h"
+
 namespace optpower::serve {
 
-std::optional<OptimumResponse> ResultCache::lookup(const std::string& key_material) {
+namespace {
+
+// Process-lifetime totals mirrored into the registry besides the
+// per-instance wire counters.
+struct CacheMetrics {
+  obs::Counter& hits = obs::registry().counter("serve.cache.hits");
+  obs::Counter& misses = obs::registry().counter("serve.cache.misses");
+  obs::Counter& evictions = obs::registry().counter("serve.cache.evictions");
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics* m = new CacheMetrics();
+  return *m;
+}
+
+}  // namespace
+
+std::optional<OptimumResponse> ResultCache::lookup(const std::string& key_material,
+                                                   std::uint64_t request_id) {
+  obs::Span span("serve.cache.lookup", "serve");
+  span.arg("request_id", request_id);
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key_material);
   if (it == index_.end()) {
     ++misses_;
+    if (obs::metrics_enabled()) cache_metrics().misses.add();
+    span.arg("hit", 0);
     return std::nullopt;
   }
   ++hits_;
+  if (obs::metrics_enabled()) cache_metrics().hits.add();
+  span.arg("hit", 1);
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
   return it->second->second;
 }
 
-void ResultCache::insert(const std::string& key_material, const OptimumResponse& value) {
+void ResultCache::insert(const std::string& key_material, const OptimumResponse& value,
+                         std::uint64_t request_id) {
   if (capacity_ == 0) return;
+  obs::Span span("serve.cache.store", "serve");
+  span.arg("request_id", request_id);
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key_material);
   if (it != index_.end()) {
@@ -29,6 +58,7 @@ void ResultCache::insert(const std::string& key_material, const OptimumResponse&
     index_.erase(lru_.back().first);
     lru_.pop_back();
     ++evictions_;
+    if (obs::metrics_enabled()) cache_metrics().evictions.add();
   }
 }
 

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "serve/msg.h"
 
 namespace optpower::serve {
@@ -40,12 +41,15 @@ class ResultCache {
   explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
 
   /// Cached value for `key_material`, refreshing its recency; counts a hit
-  /// or a miss either way.
-  [[nodiscard]] std::optional<OptimumResponse> lookup(const std::string& key_material);
+  /// or a miss either way.  `request_id` only labels the lookup's trace span
+  /// so cache activity correlates with the request that caused it.
+  [[nodiscard]] std::optional<OptimumResponse> lookup(const std::string& key_material,
+                                                      std::uint64_t request_id = 0);
 
   /// Insert or refresh an entry, evicting least-recently-used entries while
-  /// over capacity.
-  void insert(const std::string& key_material, const OptimumResponse& value);
+  /// over capacity.  `request_id` labels the trace span only.
+  void insert(const std::string& key_material, const OptimumResponse& value,
+              std::uint64_t request_id = 0);
 
   [[nodiscard]] CacheStats stats() const;
 
@@ -59,6 +63,11 @@ class ResultCache {
   std::size_t capacity_;
   LruList lru_;  // front = most recently used
   std::unordered_map<std::string, LruList::iterator> index_;
+  // Per-instance wire counters, always maintained (mutated and read under
+  // mutex_, so plain integers - zero extra cost on the lookup path).  The
+  // same events are mirrored into the registry's process totals
+  // ("serve.cache.hits"/"misses"/"evictions") for kMetrics, gated on
+  // obs::metrics_enabled().
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;

@@ -119,6 +119,13 @@ StatsResponse ServeClient::stats() {
   return decode_stats_response(round_trip(encode(req), MsgType::kStatsResponse, req.request_id));
 }
 
+MetricsResponse ServeClient::metrics() {
+  MetricsRequest req;
+  req.request_id = next_request_id_++;
+  return decode_metrics_response(
+      round_trip(encode(req), MsgType::kMetricsResponse, req.request_id));
+}
+
 DrainResponse ServeClient::drain() {
   DrainRequest req;
   req.request_id = next_request_id_++;

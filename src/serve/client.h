@@ -40,6 +40,9 @@ class ServeClient {
 
   [[nodiscard]] StatsResponse stats();
 
+  /// Prometheus-style text dump of the controller's metrics registry.
+  [[nodiscard]] MetricsResponse metrics();
+
   /// Graceful fleet drain; the controller keeps serving cache hits after.
   [[nodiscard]] DrainResponse drain();
 

@@ -8,9 +8,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
+#include "obs/build_info.h"
+#include "obs/trace.h"
 #include "serve/worker.h"
 #include "tech/technology.h"
 #include "util/error.h"
@@ -28,6 +31,24 @@ void close_quiet(int& fd) {
 
 [[nodiscard]] int make_socketpair(int out[2]) {
   return ::socketpair(AF_UNIX, SOCK_STREAM, 0, out);
+}
+
+// Process-lifetime fleet instruments for kMetrics / `serve_ctl metrics`;
+// resolved once, then each touch is a relaxed atomic op.
+struct FleetMetrics {
+  obs::Counter& requests = obs::registry().counter("serve.requests");
+  obs::Counter& dispatches = obs::registry().counter("serve.dispatches");
+  obs::Counter& retries = obs::registry().counter("serve.retries");
+  obs::Counter& worker_deaths = obs::registry().counter("serve.worker_deaths");
+  obs::Counter& rejected = obs::registry().counter("serve.rejected");
+  obs::Gauge& live_workers = obs::registry().gauge("serve.workers.live");
+  obs::Gauge& inflight = obs::registry().gauge("serve.inflight");
+  obs::Histogram& request_us = obs::registry().histogram("serve.request_micros");
+};
+
+FleetMetrics& fleet_metrics() {
+  static FleetMetrics* m = new FleetMetrics();
+  return *m;
 }
 
 }  // namespace
@@ -62,6 +83,10 @@ void Controller::spawn_worker(Worker& worker) {
       }
       ::signal(SIGPIPE, SIG_IGN);
       run_worker_loop(sv[1]);
+      // _exit skips atexit handlers, so the child must push its spans to the
+      // shared trace file itself (the flock append protocol interleaves them
+      // with the controller's).
+      obs::trace_flush();
       ::close(sv[1]);
       ::_exit(0);
     }
@@ -76,6 +101,7 @@ void Controller::spawn_worker(Worker& worker) {
     });
   }
   worker.alive = true;
+  if (obs::metrics_enabled()) fleet_metrics().live_workers.add();
 }
 
 void Controller::start() {
@@ -94,7 +120,11 @@ void Controller::start() {
 void Controller::retire_worker(Worker& worker) {
   if (!worker.alive.load()) return;
   worker.alive.store(false);
-  worker_deaths_.fetch_add(1);
+  worker_deaths_.add();
+  if (obs::metrics_enabled()) {
+    fleet_metrics().worker_deaths.add();
+    fleet_metrics().live_workers.sub();
+  }
   close_quiet(worker.fd);
   if (options_.transport == WorkerTransport::kProcess && worker.pid > 0) {
     ::kill(worker.pid, SIGKILL);
@@ -154,7 +184,34 @@ int Controller::pick_worker(std::uint64_t digest, int attempt) {
 }
 
 OptimumResponse Controller::handle_optimum(const OptimumRequest& req) {
-  requests_.fetch_add(1);
+  obs::Span span("serve.request", "serve");
+  span.arg("request_id", req.request_id);
+  FleetMetrics& fm = fleet_metrics();
+  // In-flight gauge + latency histogram maintained on every exit path.  The
+  // clock reads and registry touches are the priciest part of an otherwise
+  // cache-hit-fast request, so the whole scope keys off the metrics switch
+  // once (instance counters like requests_ stay unconditional - they are
+  // wire-visible stats, not telemetry).
+  struct RequestScope {
+    FleetMetrics& fm;
+    const bool on = obs::metrics_enabled();
+    std::chrono::steady_clock::time_point t0;
+    explicit RequestScope(FleetMetrics& metrics) : fm(metrics) {
+      if (on) {
+        t0 = std::chrono::steady_clock::now();
+        fm.inflight.add();
+      }
+    }
+    ~RequestScope() {
+      if (!on) return;
+      fm.inflight.sub();
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0);
+      fm.request_us.observe(static_cast<std::uint64_t>(us.count()));
+    }
+  } scope(fm);
+  requests_.add();
+  if (scope.on) fm.requests.add();
   OptimumResponse resp;
   resp.request_id = req.request_id;
   resp.frequency = req.frequency;
@@ -168,7 +225,10 @@ OptimumResponse Controller::handle_optimum(const OptimumRequest& req) {
     resp.error_text = text;
     // `rejected` counts capacity refusals only (draining, no live workers) -
     // not malformed or unknown-design requests.
-    if (code == ErrorCode::kDraining || code == ErrorCode::kWorkerLost) rejected_.fetch_add(1);
+    if (code == ErrorCode::kDraining || code == ErrorCode::kWorkerLost) {
+      rejected_.add();
+      if (obs::metrics_enabled()) fleet_metrics().rejected.add();
+    }
     return finish();
   };
 
@@ -187,7 +247,7 @@ OptimumResponse Controller::handle_optimum(const OptimumRequest& req) {
   resp.cache_key = key.digest;
 
   if ((req.flags & kFlagNoCacheRead) == 0) {
-    if (auto cached = cache_.lookup(key.material)) {
+    if (auto cached = cache_.lookup(key.material, req.request_id)) {
       resp = *cached;
       resp.request_id = req.request_id;
       resp.served_from_cache = 1;
@@ -214,18 +274,28 @@ OptimumResponse Controller::handle_optimum(const OptimumRequest& req) {
       if (resp.error == 0) {
         return fail(ErrorCode::kWorkerLost, "no live workers");
       }
-      rejected_.fetch_add(1);
+      rejected_.add();
+      if (scope.on) fm.rejected.add();
       return finish();
     }
     Worker& worker = *workers_[static_cast<std::size_t>(idx)];
     std::lock_guard<std::mutex> lock(worker.mutex);
     if (!worker.alive.load()) {  // lost the race with another retirement
-      retries_.fetch_add(1);
+      retries_.add();
+      if (scope.on) fm.retries.add();
       resp.retries = attempt + 1;
       continue;
     }
-    worker_dispatches_.fetch_add(1);
-    if (dispatch(worker, req, timeout_ms, resp)) {
+    worker_dispatches_.add();
+    if (scope.on) fm.dispatches.add();
+    bool dispatched = false;
+    {
+      obs::Span dispatch_span("serve.dispatch", "serve");
+      dispatch_span.arg("request_id", req.request_id);
+      dispatch_span.arg("worker", static_cast<std::uint64_t>(worker.id));
+      dispatched = dispatch(worker, req, timeout_ms, resp);
+    }
+    if (dispatched) {
       resp.request_id = req.request_id;
       resp.served_from_cache = 0;
       resp.worker_id = worker.id;
@@ -233,11 +303,12 @@ OptimumResponse Controller::handle_optimum(const OptimumRequest& req) {
       resp.cache_key = key.digest;
       if (resp.error == static_cast<std::uint16_t>(ErrorCode::kOk) &&
           (req.flags & kFlagNoCacheStore) == 0) {
-        cache_.insert(key.material, resp);
+        cache_.insert(key.material, resp, req.request_id);
       }
       return finish();
     }
-    retries_.fetch_add(1);
+    retries_.add();
+    if (scope.on) fm.retries.add();
     resp.retries = attempt + 1;
   }
   if (draining_.load()) {  // retries burned racing a concurrent drain
@@ -262,17 +333,20 @@ StatsResponse Controller::handle_stats(const StatsRequest& req) {
   resp.rejected = s.rejected;
   resp.draining = s.draining ? 1 : 0;
   resp.workers = s.workers;
+  resp.build_version = obs::build_version();
+  resp.build_compiler = obs::build_compiler();
+  resp.simd_backend = obs::active_simd_backend();
   return resp;
 }
 
 ControllerStats Controller::stats_snapshot() {
   ControllerStats s;
   s.cache = cache_.stats();
-  s.requests = requests_.load();
-  s.worker_dispatches = worker_dispatches_.load();
-  s.retries = retries_.load();
-  s.worker_deaths = worker_deaths_.load();
-  s.rejected = rejected_.load();
+  s.requests = requests_.value();
+  s.worker_dispatches = worker_dispatches_.value();
+  s.retries = retries_.value();
+  s.worker_deaths = worker_deaths_.value();
+  s.rejected = rejected_.value();
   s.draining = draining_.load();
   for (const auto& worker : workers_) {
     std::lock_guard<std::mutex> lock(worker->mutex);
@@ -312,6 +386,7 @@ std::uint32_t Controller::drain() {
       // Already gone; reaped below either way.
     }
     worker->alive.store(false);
+    if (obs::metrics_enabled()) fleet_metrics().live_workers.sub();
     close_quiet(worker->fd);
     if (options_.transport == WorkerTransport::kProcess && worker->pid > 0) {
       ::waitpid(worker->pid, nullptr, 0);
@@ -415,6 +490,14 @@ void Controller::serve_connection(int fd) {
           case MsgType::kStatsRequest:
             write_frame(fd, encode(handle_stats(decode_stats_request(frame))));
             break;
+          case MsgType::kMetricsRequest: {
+            const MetricsRequest req = decode_metrics_request(frame);
+            MetricsResponse resp;
+            resp.request_id = req.request_id;
+            resp.text = obs::registry().text_dump();
+            write_frame(fd, encode(resp));
+            break;
+          }
           case MsgType::kDrainRequest: {
             const DrainRequest req = decode_drain_request(frame);
             DrainResponse resp;
@@ -503,6 +586,7 @@ void Controller::stop() {
       } catch (const Error&) {
       }
       worker->alive.store(false);
+      if (obs::metrics_enabled()) fleet_metrics().live_workers.sub();
     }
     close_quiet(worker->fd);
     if (options_.transport == WorkerTransport::kProcess && worker->pid > 0) {

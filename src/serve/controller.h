@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/cache.h"
 #include "serve/hashing.h"
 #include "serve/msg.h"
@@ -167,11 +168,14 @@ class Controller {
   std::atomic<bool> started_{false};
   std::atomic<bool> draining_{false};
   std::atomic<bool> stop_requested_{false};
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> worker_dispatches_{0};
-  std::atomic<std::uint64_t> retries_{0};
-  std::atomic<std::uint64_t> worker_deaths_{0};
-  std::atomic<std::uint64_t> rejected_{0};
+  // Per-instance counters as obs::Counter: one accounting scheme for every
+  // reader (drain, stats, tests) instead of bespoke atomics.  The same
+  // events also bump the registry's process totals for kMetrics.
+  obs::Counter requests_;
+  obs::Counter worker_dispatches_;
+  obs::Counter retries_;
+  obs::Counter worker_deaths_;
+  obs::Counter rejected_;
   std::atomic<std::uint32_t> round_robin_{0};
 
   std::mutex lifecycle_mutex_;  ///< guards drain()/stop() transitions

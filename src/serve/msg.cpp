@@ -195,6 +195,8 @@ const char* to_string(MsgType type) noexcept {
     case MsgType::kShutdownRequest: return "kShutdownRequest";
     case MsgType::kShutdownResponse: return "kShutdownResponse";
     case MsgType::kErrorResponse: return "kErrorResponse";
+    case MsgType::kMetricsRequest: return "kMetricsRequest";
+    case MsgType::kMetricsResponse: return "kMetricsResponse";
   }
   return "unknown";
 }
@@ -362,6 +364,9 @@ Frame encode(const StatsResponse& msg) {
     w.u8(ws.alive);
     w.u64(ws.served);
   }
+  w.str(msg.build_version);
+  w.str(msg.build_compiler);
+  w.str(msg.simd_backend);
   return make_frame(MsgType::kStatsResponse, w);
 }
 
@@ -384,6 +389,9 @@ StatsResponse decode_stats_response(const Frame& frame) {
       ws.alive = r.u8();
       ws.served = r.u64();
     }
+    m.build_version = r.str();
+    m.build_compiler = r.str();
+    m.simd_backend = r.str();
     return m;
   });
 }
@@ -461,6 +469,36 @@ ErrorResponse decode_error_response(const Frame& frame) {
     ErrorResponse m;
     m.request_id = r.u64();
     m.error = r.u16();
+    m.text = r.str();
+    return m;
+  });
+}
+
+Frame encode(const MetricsRequest& msg) {
+  Writer w;
+  w.u64(msg.request_id);
+  return make_frame(MsgType::kMetricsRequest, w);
+}
+
+MetricsRequest decode_metrics_request(const Frame& frame) {
+  return decode_payload<MetricsRequest>(frame, MsgType::kMetricsRequest, [](Reader& r) {
+    MetricsRequest m;
+    m.request_id = r.u64();
+    return m;
+  });
+}
+
+Frame encode(const MetricsResponse& msg) {
+  Writer w;
+  w.u64(msg.request_id);
+  w.str(msg.text);
+  return make_frame(MsgType::kMetricsResponse, w);
+}
+
+MetricsResponse decode_metrics_response(const Frame& frame) {
+  return decode_payload<MetricsResponse>(frame, MsgType::kMetricsResponse, [](Reader& r) {
+    MetricsResponse m;
+    m.request_id = r.u64();
     m.text = r.str();
     return m;
   });

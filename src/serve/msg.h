@@ -64,6 +64,8 @@ enum class MsgType : std::uint8_t {
   kShutdownRequest = 9,   ///< stop the controller (workers already drained or killed)
   kShutdownResponse = 10, ///< acknowledged; connection closes after this
   kErrorResponse = 11,    ///< protocol-level failure report
+  kMetricsRequest = 12,   ///< obs registry probe
+  kMetricsResponse = 13,  ///< Prometheus-style text exposition of the registry
 };
 
 /// Request-level status codes (OptimumResponse::error / ErrorResponse::error).
@@ -175,6 +177,12 @@ struct StatsResponse {
   std::uint64_t rejected = 0;           ///< requests refused (draining, no workers)
   std::uint8_t draining = 0;
   std::vector<WorkerStatsWire> workers;
+  // Build provenance: which binary is answering?  Filled by the controller
+  // from obs/build_info.h so fleet answers and recorded benches stay
+  // attributable to a compiler + git revision + live SIMD backend.
+  std::string build_version;   ///< `git describe` baked in at configure time
+  std::string build_compiler;  ///< e.g. "gcc 13.2.0 ..."
+  std::string simd_backend;    ///< runtime-dispatched backend ("avx2", ...)
 };
 
 struct DrainRequest {
@@ -201,6 +209,15 @@ struct ErrorResponse {
   std::string text;
 };
 
+struct MetricsRequest {
+  std::uint64_t request_id = 0;
+};
+
+struct MetricsResponse {
+  std::uint64_t request_id = 0;
+  std::string text;  ///< MetricsRegistry::text_dump() of the controller process
+};
+
 // --- encode / decode -------------------------------------------------------
 // decode_* throws ServeError when the frame has the wrong type or the
 // payload does not parse (truncated, trailing bytes, oversized string).
@@ -216,6 +233,8 @@ struct ErrorResponse {
 [[nodiscard]] Frame encode(const ShutdownRequest& msg);
 [[nodiscard]] Frame encode(const ShutdownResponse& msg);
 [[nodiscard]] Frame encode(const ErrorResponse& msg);
+[[nodiscard]] Frame encode(const MetricsRequest& msg);
+[[nodiscard]] Frame encode(const MetricsResponse& msg);
 
 [[nodiscard]] HelloRequest decode_hello_request(const Frame& frame);
 [[nodiscard]] HelloResponse decode_hello_response(const Frame& frame);
@@ -228,6 +247,8 @@ struct ErrorResponse {
 [[nodiscard]] ShutdownRequest decode_shutdown_request(const Frame& frame);
 [[nodiscard]] ShutdownResponse decode_shutdown_response(const Frame& frame);
 [[nodiscard]] ErrorResponse decode_error_response(const Frame& frame);
+[[nodiscard]] MetricsRequest decode_metrics_request(const Frame& frame);
+[[nodiscard]] MetricsResponse decode_metrics_response(const Frame& frame);
 
 // --- blocking frame IO -----------------------------------------------------
 

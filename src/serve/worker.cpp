@@ -1,5 +1,7 @@
 #include "serve/worker.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "power/optimum.h"
 #include "report/forward_flow.h"
 #include "sim/activity.h"
@@ -21,6 +23,13 @@ WorkerEngine::Design& WorkerEngine::design_for(const std::string& arch_name, int
 }
 
 OptimumResponse WorkerEngine::compute(const OptimumRequest& req) {
+  // Worker-side request span: shares the wire request id with the
+  // controller's serve.request / serve.dispatch spans, which is what ties
+  // the two processes' timelines together in one trace.
+  obs::Span span("worker.compute", "serve");
+  span.arg("request_id", req.request_id);
+  static obs::Counter& computes = obs::registry().counter("worker.computes");
+  if (obs::metrics_enabled()) computes.add();
   OptimumResponse resp;
   resp.request_id = req.request_id;
   resp.frequency = req.frequency;
@@ -72,27 +81,32 @@ OptimumResponse WorkerEngine::compute(const OptimumRequest& req) {
     act.seed = req.seed;
     act.delay_mode = delay_mode;
     ActivityMeasurement activity;
-    switch (source) {
-      case ActivitySource::kEventSim: {
-        act.engine = ActivityEngine::kScalarEvent;
-        if (!design->event_sim.has_value() || design->event_sim->delay_mode() != act.delay_mode) {
-          design->event_sim.emplace(design->gen.netlist, act.delay_mode);
+    {
+      obs::Span activity_span("worker.activity", "serve");
+      activity_span.arg("request_id", req.request_id);
+      switch (source) {
+        case ActivitySource::kEventSim: {
+          act.engine = ActivityEngine::kScalarEvent;
+          if (!design->event_sim.has_value() ||
+              design->event_sim->delay_mode() != act.delay_mode) {
+            design->event_sim.emplace(design->gen.netlist, act.delay_mode);
+          }
+          activity = measure_activity_with(*design->event_sim, act);
+          break;
         }
-        activity = measure_activity_with(*design->event_sim, act);
-        break;
-      }
-      case ActivitySource::kBitParallel: {
-        act.engine = ActivityEngine::kBitParallel;
-        act.delay_mode = SimDelayMode::kZero;  // the engine is zero-delay only
-        if (!design->bit_sim.has_value()) design->bit_sim.emplace(design->gen.netlist);
-        activity = merge_activity(design->gen.netlist,
-                                  measure_activity_lanes_with(*design->bit_sim, act));
-        break;
-      }
-      case ActivitySource::kBddExact: {
-        act.engine = ActivityEngine::kBddExact;  // seed/delay_mode ignored
-        activity = measure_activity(design->gen.netlist, act);
-        break;
+        case ActivitySource::kBitParallel: {
+          act.engine = ActivityEngine::kBitParallel;
+          act.delay_mode = SimDelayMode::kZero;  // the engine is zero-delay only
+          if (!design->bit_sim.has_value()) design->bit_sim.emplace(design->gen.netlist);
+          activity = merge_activity(design->gen.netlist,
+                                    measure_activity_lanes_with(*design->bit_sim, act));
+          break;
+        }
+        case ActivitySource::kBddExact: {
+          act.engine = ActivityEngine::kBddExact;  // seed/delay_mode ignored
+          activity = measure_activity(design->gen.netlist, act);
+          break;
+        }
       }
     }
 
@@ -110,7 +124,11 @@ OptimumResponse WorkerEngine::compute(const OptimumRequest& req) {
     scaled.io = req.tech.io * req.io_per_cell_scale;
     scaled.zeta = req.tech.zeta * req.zeta_cell_scale;
     const PowerModel model(scaled, arch);
-    const OptimumResult opt = find_optimum(model, req.frequency, OptimumOptions{}, ctx_);
+    const OptimumResult opt = [&] {
+      obs::Span optimize_span("worker.optimize", "serve");
+      optimize_span.arg("request_id", req.request_id);
+      return find_optimum(model, req.frequency, OptimumOptions{}, ctx_);
+    }();
 
     resp.point = opt.point;
     resp.on_constraint = opt.on_constraint ? 1 : 0;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "netlist/cell.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace optpower {
@@ -11,6 +12,21 @@ namespace optpower {
 namespace {
 constexpr std::size_t kW = simd::kWordsPerBlock;
 constexpr std::size_t kPlaneWords = simd::kAccPlanes * kW;
+
+// Registry instruments resolved once; per-cycle cost is a handful of relaxed
+// adds against one kernel pass over the whole 512-lane block.
+struct BitsimMetrics {
+  obs::Counter& cycles = obs::registry().counter("sim.bitsim.cycles");
+  obs::Counter& lanes = obs::registry().counter("sim.bitsim.lanes_simulated");
+  obs::Counter& settle_passes = obs::registry().counter("sim.bitsim.settle_passes");
+  obs::Counter& cells_evaluated = obs::registry().counter("sim.bitsim.cells_evaluated");
+  obs::Counter& cells_skipped = obs::registry().counter("sim.bitsim.dirty_cone_skips");
+};
+
+BitsimMetrics& bitsim_metrics() {
+  static BitsimMetrics* m = new BitsimMetrics();
+  return *m;
+}
 }  // namespace
 
 BitSimulator::LaneMask BitSimulator::lane_mask(int lanes) {
@@ -156,6 +172,27 @@ void BitSimulator::step_cycle() {
   if (pending_cycles_ >= flush_every_) flush_stats();
   ++pending_cycles_;
   kernels_->step_cycle(ctx_);
+  // Drain the kernel's per-cycle tallies into the registry and re-zero them
+  // so each cycle publishes a delta (re-zeroed even when metrics are off so
+  // the plain-integer kernel tallies never overflow a delta's worth).
+  if (obs::metrics_enabled()) {
+    BitsimMetrics& m = bitsim_metrics();
+    m.cycles.add();
+    std::uint64_t active = kLanes;
+    if (!ctx_.mask_full) {
+      active = 0;
+      for (int w = 0; w < kWords; ++w) {
+        active +=
+            static_cast<std::uint64_t>(__builtin_popcountll(mask_[static_cast<std::size_t>(w)]));
+      }
+    }
+    m.lanes.add(active);
+    m.settle_passes.add(ctx_.settle_passes);
+    m.cells_evaluated.add(ctx_.cells_evaluated);
+    m.cells_skipped.add(ctx_.settle_passes * ctx_.num_cells - ctx_.cells_evaluated);
+  }
+  ctx_.settle_passes = 0;
+  ctx_.cells_evaluated = 0;
 }
 
 void BitSimulator::flush_stats() const {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "netlist/cell.h"
+#include "obs/metrics.h"
 #include "util/error.h"
 
 namespace optpower {
@@ -11,6 +12,11 @@ namespace {
 // Oscillation guard: identical bound (and message) to the reference
 // scheduler, so throwing runs stay equivalent too.
 constexpr std::int64_t kMaxTicks = 1 << 22;
+
+obs::Counter& settle_pass_counter() {
+  static obs::Counter& c = obs::registry().counter("sim.event.settle_passes");
+  return c;
+}
 }  // namespace
 
 EventSimulator::EventSimulator(const Netlist& netlist, SimDelayMode mode, int wheel_bits)
@@ -214,6 +220,7 @@ void EventSimulator::settle_levelized() {
 }
 
 void EventSimulator::settle() {
+  if (obs::metrics_enabled()) settle_pass_counter().add();
   if (mode_ == SimDelayMode::kZero) {
     settle_levelized();
     return;

@@ -307,18 +307,22 @@ struct BitsimKernel {
   /// cell's output cannot change.  All dirt is consumed at the end.
   static void settle(BitsimCtx& ctx, CsaAcc& tacc) {
     const bool inc = ctx.incremental;
+    ++ctx.settle_passes;
     // Nothing dirty means no cell can change: the whole pass collapses to
     // this check (the post-edge settle of purely combinational designs).
     if (inc && ctx.dirty_count == 0) return;
     alignas(64) std::uint64_t o0[kWordsPerBlock] = {};
     alignas(64) std::uint64_t o1[kWordsPerBlock] = {};
+    std::uint64_t evaluated = 0;  // local tally: no per-cell memory traffic
     for (std::size_t i = 0; i < ctx.num_cells; ++i) {
       const FlatCell& c = ctx.cells[i];
       if (inc && (ctx.dirty[c.in[0]] | ctx.dirty[c.in[1]] | ctx.dirty[c.in[2]]) == 0) continue;
+      ++evaluated;
       eval_cell(ctx, c, o0, o1);
       commit(ctx, tacc, c.out[0], o0);
       if (c.num_outputs == 2) commit(ctx, tacc, c.out[1], o1);
     }
+    ctx.cells_evaluated += evaluated;
     for (std::size_t i = 0; i < ctx.dirty_count; ++i) ctx.dirty[ctx.dirty_list[i]] = 0;
     ctx.dirty_count = 0;
   }

@@ -114,6 +114,13 @@ struct BitsimCtx {
   std::size_t func_used = 0;
   std::uint64_t* cycle_planes = nullptr;
   std::size_t cycle_used = 0;
+
+  // Observability tallies: bumped by the kernels with plain (non-atomic)
+  // adds - the ctx is single-owner - and drained into the metrics registry
+  // by BitSimulator after each cycle.  Dirty-cone skips are derivable as
+  // settle_passes * num_cells - cells_evaluated.
+  std::uint64_t settle_passes = 0;    ///< settle() invocations (collapsed ones included)
+  std::uint64_t cells_evaluated = 0;  ///< cells actually evaluated after dirty-cone skip
 };
 
 /// Vectorized PCG32 stimulus drawing: advance the per-lane generators of

@@ -1,0 +1,82 @@
+// Cross-layer trace correlation: one traced optimum query through a running
+// fleet must produce controller-side spans (serve.request, serve.dispatch,
+// serve.cache.lookup) AND worker-side spans (worker.compute) that all carry
+// the same wire request id - the property that turns a trace file into a
+// per-request timeline.  Thread transport keeps everything in-process so the
+// test can read one file without coordinating flushes across pids (the
+// forked-worker variant of the same assertion runs in CI against the
+// serve_ctl demo, via tools/check_trace.py).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "serve/client.h"
+#include "serve/controller.h"
+#include "tech/stm_cmos09.h"
+
+namespace optpower::serve {
+namespace {
+
+constexpr std::uint64_t kRequestId = 777;
+
+std::vector<std::string> event_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"name\":") != std::string::npos) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::size_t count_with_request_id(const std::vector<std::string>& lines, const std::string& name) {
+  const std::string name_token = "\"name\":\"" + name + "\"";
+  const std::string id_token = "\"request_id\":" + std::to_string(kRequestId);
+  std::size_t n = 0;
+  for (const std::string& line : lines) {
+    if (line.find(name_token) == std::string::npos) continue;
+    EXPECT_NE(line.find(id_token), std::string::npos)
+        << name << " span without the wire request id: " << line;
+    ++n;
+  }
+  return n;
+}
+
+TEST(ObsFleetTraceTest, ControllerAndWorkerSpansShareOneRequestId) {
+  const std::string path =
+      "/tmp/optpower_obs_fleet_trace_" + std::to_string(::getpid()) + ".json";
+  ASSERT_TRUE(obs::trace_start(path.c_str()));
+
+  ControllerOptions opts;
+  opts.num_workers = 2;
+  opts.transport = WorkerTransport::kThread;
+  Controller controller(opts);
+  controller.start();
+
+  OptimumRequest req = make_optimum_request("RCA", stm_cmos09_ull(), 10e6);
+  req.activity_vectors = 8;
+  req.request_id = kRequestId;
+  const OptimumResponse resp = controller.handle_optimum(req);
+  ASSERT_EQ(resp.error, 0) << resp.error_text;
+  controller.stop();  // worker threads exit; their rings park as orphans
+
+  obs::trace_stop();
+  const std::vector<std::string> lines = event_lines(path);
+  EXPECT_EQ(count_with_request_id(lines, "serve.request"), 1u);
+  EXPECT_EQ(count_with_request_id(lines, "serve.dispatch"), 1u);
+  EXPECT_EQ(count_with_request_id(lines, "serve.cache.lookup"), 1u);
+  EXPECT_EQ(count_with_request_id(lines, "serve.cache.store"), 1u);
+  EXPECT_EQ(count_with_request_id(lines, "worker.compute"), 1u);
+  EXPECT_EQ(count_with_request_id(lines, "worker.activity"), 1u);
+  EXPECT_EQ(count_with_request_id(lines, "worker.optimize"), 1u);
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace optpower::serve

@@ -1,0 +1,153 @@
+// Trace-layer tests: disabled-path inertness, ring-buffer wrap (the ring
+// keeps the newest `capacity` events), span nesting and argument capture,
+// and the trace-file JSON schema across multiple flushes (the file must be
+// complete, parseable JSON after every flush - that is the multi-process
+// append contract).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace optpower::obs {
+namespace {
+
+std::string temp_trace_path(const char* tag) {
+  return std::string("/tmp/optpower_obs_trace_test_") + tag + "_" +
+         std::to_string(::getpid()) + ".json";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::size_t count_occurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(ObsTraceTest, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(trace_enabled());
+  const std::uint64_t before = detail::thread_events_recorded();
+  {
+    Span span("trace_test.disabled", "test");
+    span.arg("request_id", 1);
+  }
+  EXPECT_EQ(detail::thread_events_recorded(), before);
+}
+
+TEST(ObsTraceTest, RingWrapKeepsTheNewestCapacityEvents) {
+  const std::string path = temp_trace_path("wrap");
+  ASSERT_TRUE(trace_start(path.c_str()));
+  const std::uint64_t cap = detail::ring_capacity();
+  ASSERT_GE(cap, 16u);
+
+  const std::uint64_t base = detail::thread_events_recorded();
+  const std::uint64_t total = cap + 100;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    Span span("trace_test.wrap", "test");
+    span.arg("i", i);
+  }
+  // `recorded` counts past the wrap; the ring itself holds only `cap` slots.
+  EXPECT_EQ(detail::thread_events_recorded(), base + total);
+
+  trace_stop();
+  const std::string text = slurp(path);
+  EXPECT_EQ(count_occurrences(text, "\"name\":\"trace_test.wrap\""), cap);
+  // The head of the history was overwritten: the oldest surviving event is
+  // number total - cap, not number 0.
+  EXPECT_EQ(text.find("\"i\":0}"), std::string::npos);
+  EXPECT_NE(text.find("\"i\":" + std::to_string(total - 1) + "}"), std::string::npos);
+  EXPECT_NE(text.find("\"i\":" + std::to_string(total - cap) + "}"), std::string::npos);
+  ::unlink(path.c_str());
+}
+
+TEST(ObsTraceTest, NestedSpansBothRecordWithArgsAndStartOrder) {
+  const std::string path = temp_trace_path("nest");
+  ASSERT_TRUE(trace_start(path.c_str()));
+  const std::uint64_t base = detail::thread_events_recorded();
+  {
+    Span outer("trace_test.outer", "test");
+    outer.arg("request_id", 777);
+    outer.arg("worker", 3);
+    outer.arg("dropped", 99);  // third arg: dropped by contract
+    {
+      Span inner("trace_test.inner", "test");
+      inner.arg("request_id", 777);
+    }
+  }
+  EXPECT_EQ(detail::thread_events_recorded(), base + 2);
+
+  trace_stop();
+  const std::string text = slurp(path);
+  const std::size_t outer_pos = text.find("\"name\":\"trace_test.outer\"");
+  const std::size_t inner_pos = text.find("\"name\":\"trace_test.inner\"");
+  ASSERT_NE(outer_pos, std::string::npos);
+  ASSERT_NE(inner_pos, std::string::npos);
+  // Events are sorted by start timestamp: the outer span opened first.
+  EXPECT_LT(outer_pos, inner_pos);
+  EXPECT_NE(text.find("\"args\":{\"request_id\":777,\"worker\":3}"), std::string::npos);
+  EXPECT_EQ(text.find("dropped"), std::string::npos);
+  ::unlink(path.c_str());
+}
+
+TEST(ObsTraceTest, TraceFileIsCompleteJsonAfterEveryFlush) {
+  const std::string path = temp_trace_path("schema");
+  ASSERT_TRUE(trace_start(path.c_str()));
+  {
+    Span span("trace_test.first", "test");
+    span.arg("request_id", 1);
+  }
+  trace_flush();
+  const std::string after_first = slurp(path);
+  // Complete JSON right now, not only at trace_stop: a concurrent reader (or
+  // a crashed process) always sees a parseable file.
+  EXPECT_EQ(after_first.rfind("[\n", 0), 0u);
+  EXPECT_EQ(after_first.substr(after_first.size() - 3), "\n]\n");
+  EXPECT_EQ(count_occurrences(after_first, "\"name\":\"trace_test.first\""), 1u);
+
+  {
+    Span span("trace_test.second", "test");
+    span.arg("request_id", 2);
+  }
+  trace_stop();  // second flush must splice, not restart or double-bracket
+  const std::string text = slurp(path);
+  EXPECT_EQ(text.rfind("[\n", 0), 0u);
+  EXPECT_EQ(text.substr(text.size() - 3), "\n]\n");
+  EXPECT_EQ(count_occurrences(text, "["), 1u);
+  EXPECT_EQ(count_occurrences(text, "]"), 1u);
+  EXPECT_EQ(count_occurrences(text, "\"name\":\"trace_test.first\""), 1u);
+  EXPECT_EQ(count_occurrences(text, "\"name\":\"trace_test.second\""), 1u);
+  // Chrome trace_event schema fields on every event line.
+  const std::size_t events = count_occurrences(text, "\"name\":");
+  EXPECT_EQ(count_occurrences(text, "\"ph\":\"X\""), events);
+  EXPECT_EQ(count_occurrences(text, "\"ts\":"), events);
+  EXPECT_EQ(count_occurrences(text, "\"dur\":"), events);
+  EXPECT_EQ(count_occurrences(text, "\"pid\":"), events);
+  EXPECT_EQ(count_occurrences(text, "\"tid\":"), events);
+  EXPECT_EQ(count_occurrences(text, "\"cat\":\"test\""), events);
+  ::unlink(path.c_str());
+}
+
+TEST(ObsTraceTest, StopWithoutStartAndFlushWhenDisabledAreNoOps) {
+  ASSERT_FALSE(trace_enabled());
+  trace_flush();
+  trace_stop();
+  EXPECT_FALSE(trace_enabled());
+}
+
+}  // namespace
+}  // namespace optpower::obs

@@ -140,6 +140,9 @@ TEST(ServeMsgTest, EveryOtherMessageTypeRoundTrips) {
   sr.draining = 1;
   sr.workers.push_back(WorkerStatsWire{0, 1, 5});
   sr.workers.push_back(WorkerStatsWire{1, 0, 3});
+  sr.build_version = "1.2.3-4-gabc";
+  sr.build_compiler = "gcc 12.2.0";
+  sr.simd_backend = "avx512";
   const StatsResponse sr2 = decode_stats_response(encode(sr));
   EXPECT_EQ(sr2.cache.misses, 2u);
   EXPECT_EQ(sr2.requests, 9u);
@@ -147,6 +150,20 @@ TEST(ServeMsgTest, EveryOtherMessageTypeRoundTrips) {
   ASSERT_EQ(sr2.workers.size(), 2u);
   EXPECT_EQ(sr2.workers[1].worker_id, 1);
   EXPECT_EQ(sr2.workers[1].served, 3u);
+  EXPECT_EQ(sr2.build_version, "1.2.3-4-gabc");
+  EXPECT_EQ(sr2.build_compiler, "gcc 12.2.0");
+  EXPECT_EQ(sr2.simd_backend, "avx512");
+
+  MetricsRequest mq;
+  mq.request_id = 19;
+  EXPECT_EQ(decode_metrics_request(encode(mq)).request_id, 19u);
+
+  MetricsResponse mr;
+  mr.request_id = 19;
+  mr.text = "# TYPE optpower_serve_requests counter\noptpower_serve_requests 9\n";
+  const MetricsResponse mr2 = decode_metrics_response(encode(mr));
+  EXPECT_EQ(mr2.request_id, 19u);
+  EXPECT_EQ(mr2.text, mr.text);
 
   DrainRequest dq;
   dq.request_id = 11;
@@ -275,7 +292,7 @@ TEST(ServeMsgTest, EveryMsgTypeInHeaderIsDocumentedInServingMd) {
     EXPECT_NE(doc.find("| " + value + " "), std::string::npos)
         << "type id " << value << " (" << name << ") missing from the SERVING.md table";
   }
-  EXPECT_EQ(found, 11) << "MsgType enumerator count changed; update this test AND SERVING.md";
+  EXPECT_EQ(found, 13) << "MsgType enumerator count changed; update this test AND SERVING.md";
 }
 
 TEST(ServeMsgTest, EveryErrorCodeIsDocumentedInServingMd) {

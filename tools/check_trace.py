@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by OPTPOWER_TRACE.
+
+Stdlib-only, so CI can run it on a bare runner.  Checks, in order:
+
+  1. The file parses as JSON and is a non-empty array of complete events.
+  2. Every event carries the trace_event schema fields we emit: name, cat,
+     ph == "X", and numeric ts / dur / pid / tid, all non-negative.
+  3. The required span names are present (a fleet demo must produce
+     controller-, cache-, and worker-side spans).
+  4. Per (pid, tid) the events appear in non-decreasing timestamp order --
+     each ring flush is sorted before it is appended, so a violation means
+     the append protocol interleaved or corrupted a flush.
+  5. At least one request id appears on BOTH a controller-side span
+     (serve.request) and a worker-side span (worker.compute), proving the
+     wire request id survives the hop between processes.
+
+Usage: check_trace.py <trace.json> [required-span-name ...]
+Exits 0 and prints a one-line summary on success; prints the first failure
+and exits 1 otherwise.
+"""
+
+import collections
+import json
+import sys
+
+DEFAULT_REQUIRED = ["serve.request", "serve.dispatch", "serve.cache.lookup", "worker.compute"]
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) < 2:
+        fail("usage: check_trace.py <trace.json> [required-span-name ...]")
+    path = argv[1]
+    required = argv[2:] or DEFAULT_REQUIRED
+
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            events = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable as JSON: {e}")
+
+    if not isinstance(events, list):
+        fail(f"{path}: top level is {type(events).__name__}, expected a JSON array")
+    if not events:
+        fail(f"{path}: trace is empty (did the demo run with OPTPOWER_TRACE set?)")
+
+    names = collections.Counter()
+    by_thread = collections.defaultdict(list)
+    request_ids = collections.defaultdict(set)  # name -> set of request ids
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i}: not an object")
+        for key in ("name", "cat", "ph", "ts", "dur", "pid", "tid"):
+            if key not in ev:
+                fail(f"event {i} ({ev.get('name', '?')}): missing field '{key}'")
+        if ev["ph"] != "X":
+            fail(f"event {i} ({ev['name']}): ph is {ev['ph']!r}, expected 'X' (complete event)")
+        for key in ("ts", "dur", "pid", "tid"):
+            value = ev[key]
+            if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+                fail(f"event {i} ({ev['name']}): field '{key}' is {value!r}, "
+                     "expected a non-negative number")
+        names[ev["name"]] += 1
+        by_thread[(ev["pid"], ev["tid"])].append(ev["ts"])
+        rid = ev.get("args", {}).get("request_id")
+        if rid is not None:
+            request_ids[ev["name"]].add(rid)
+
+    missing = [name for name in required if names[name] == 0]
+    if missing:
+        fail(f"required span name(s) absent: {', '.join(missing)}; "
+             f"present: {', '.join(sorted(names))}")
+
+    for (pid, tid), stamps in by_thread.items():
+        for prev, cur in zip(stamps, stamps[1:]):
+            if cur < prev:
+                fail(f"pid {pid} tid {tid}: timestamps go backwards ({prev} -> {cur}); "
+                     "a ring flush was interleaved or truncated")
+
+    correlated = request_ids["serve.request"] & request_ids["worker.compute"]
+    if "serve.request" in names and "worker.compute" in names and not correlated:
+        fail("no request id appears on both a serve.request and a worker.compute span; "
+             f"controller side saw {sorted(request_ids['serve.request'])}, "
+             f"worker side saw {sorted(request_ids['worker.compute'])}")
+
+    pids = sorted({pid for pid, _ in by_thread})
+    print(f"check_trace: OK: {len(events)} events, {len(names)} span names, "
+          f"{len(pids)} process(es), {len(correlated)} request id(s) correlated "
+          "controller<->worker")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,6 +5,7 @@
 //   serve_ctl query    --socket PATH --arch NAME [--freq HZ] [--source S]
 //                      [--vectors N] [--seed S] [--no-cache-read] [--no-cache-store]
 //   serve_ctl stats    --socket PATH
+//   serve_ctl metrics  --socket PATH
 //   serve_ctl drain    --socket PATH
 //   serve_ctl shutdown --socket PATH
 //   serve_ctl demo     [--workers N] [--arch NAME]
@@ -47,7 +48,7 @@ struct Args {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: serve_ctl serve|query|stats|drain|shutdown|demo [options]\n"
+               "usage: serve_ctl serve|query|stats|metrics|drain|shutdown|demo [options]\n"
                "       see docs/SERVING.md for the option reference\n");
   return 2;
 }
@@ -169,6 +170,16 @@ int cmd_stats(const Args& args) {
     std::printf("worker %d alive=%d served=%llu\n", int(w.worker_id), int(w.alive),
                 static_cast<unsigned long long>(w.served));
   }
+  std::printf("build version=%s compiler=\"%s\" simd=%s\n", s.build_version.c_str(),
+              s.build_compiler.c_str(), s.simd_backend.c_str());
+  return 0;
+}
+
+int cmd_metrics(const Args& args) {
+  ServeClient client;
+  client.connect_unix(args.socket_path);
+  const MetricsResponse resp = client.metrics();
+  std::fputs(resp.text.c_str(), stdout);
   return 0;
 }
 
@@ -230,6 +241,16 @@ int cmd_demo(const Args& args) {
     std::fprintf(stderr, "demo: CACHED ANSWER DIFFERS FROM COMPUTED ANSWER\n");
     return 1;
   }
+  std::printf("demo: build version=%s simd=%s\n", stats.build_version.c_str(),
+              stats.simd_backend.c_str());
+
+  const MetricsResponse metrics = client.metrics();
+  if (metrics.text.find("optpower_serve_requests") == std::string::npos ||
+      metrics.text.find("optpower_serve_cache_hits") == std::string::npos) {
+    std::fprintf(stderr, "demo: METRICS DUMP MISSING EXPECTED SERIES\n");
+    return 1;
+  }
+  std::printf("demo: metrics dump ok (%zu bytes)\n", metrics.text.size());
 
   // Cross-check the fleet answer against the in-process library path.
   ForwardFlowOptions flow;
@@ -272,6 +293,7 @@ int main(int argc, char** argv) {
       return cmd_query(args);
     }
     if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "metrics") return cmd_metrics(args);
     if (cmd == "drain") return cmd_drain(args);
     if (cmd == "shutdown") return cmd_shutdown(args);
     if (cmd == "demo") return cmd_demo(args);
