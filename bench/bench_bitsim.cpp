@@ -1,12 +1,15 @@
-// Bit-parallel activity-engine benchmarks: the 512-lane SIMD levelized
-// simulator against the scalar kZero event path it widens and the
-// glitch-accurate kCellDepth path it complements.
+// Bit-parallel activity-engine benchmarks: the 512-lane SIMD simulator
+// against the scalar event path it widens, in both its modes - levelized
+// kZero and the timed (kUnit/kCellDepth) slot-ring engine that reproduces
+// glitches exactly.
 //
 // Reproduction table: Monte-Carlo activity throughput (vectors/sec) per
-// engine across the RCA / Wallace / Sequential families at widths 8/16/32 -
-// the visible record of the bit-parallel speedup target - with the measured
-// "a" printed per engine as a live cross-check (bit-parallel must track
-// scalar kZero; kCellDepth sits above both by the glitch power).
+// engine and delay mode across the RCA / Wallace / Sequential families at
+// widths 8/16/32 - the visible record of the bit-parallel speedup targets -
+// with the measured "a" printed per mode as a live cross-check (bit-parallel
+// kZero must track scalar kZero; the kCellDepth pair sits above both by the
+// glitch power, and bit-parallel kCellDepth equals the scalar sharded
+// extraction counter for counter).
 //
 // The default-named benchmarks (BM_BitParallelActivity & co) run on the
 // process default SIMD backend (cpuid, or OPTPOWER_SIMD); main()
@@ -66,8 +69,11 @@ void print_throughput_table() {
     std::printf(" %s", simd::backend_name(b));
   }
   std::printf(")\n\n");
-  Table t({"Arch", "w", "bit-par vec/s", "kZero vec/s", "kCellDepth vec/s", "speedup vs kZero",
-           "a bit-par", "a kZero"});
+  Table t({"Arch", "w", "bp-kZ vec/s", "kZ vec/s", "kZ speedup", "bp-kCD vec/s", "kCD vec/s",
+           "kCD speedup", "a bp-kCD", "a kCD"});
+  const auto ratio = [](const EngineRun& fast, const EngineRun& slow) {
+    return slow.vectors_per_sec > 0.0 ? fast.vectors_per_sec / slow.vectors_per_sec : 0.0;
+  };
   for (const char* arch : {"RCA", "Wallace", "Sequential"}) {
     for (const int w : {8, 16, 32}) {
       if (w > kTableMaxWidth) continue;
@@ -81,17 +87,19 @@ void print_throughput_table() {
       bp.engine = ActivityEngine::kBitParallel;
       const EngineRun bit = timed_run(gen.netlist, bp);
       const EngineRun zero = timed_run(gen.netlist, opt);
-      ActivityOptions timed = opt;
-      timed.delay_mode = SimDelayMode::kCellDepth;
-      const EngineRun depth = timed_run(gen.netlist, timed);
+      ActivityOptions depth_scalar = opt;
+      depth_scalar.delay_mode = SimDelayMode::kCellDepth;
+      const EngineRun depth = timed_run(gen.netlist, depth_scalar);
+      ActivityOptions depth_bp = depth_scalar;
+      depth_bp.engine = ActivityEngine::kBitParallel;
+      const EngineRun bit_depth = timed_run(gen.netlist, depth_bp);
 
       t.add_row({arch, strprintf("%d", w), strprintf("%.0f", bit.vectors_per_sec),
-                 strprintf("%.0f", zero.vectors_per_sec),
+                 strprintf("%.0f", zero.vectors_per_sec), strprintf("%.1fx", ratio(bit, zero)),
+                 strprintf("%.0f", bit_depth.vectors_per_sec),
                  strprintf("%.0f", depth.vectors_per_sec),
-                 strprintf("%.1fx", zero.vectors_per_sec > 0.0
-                                        ? bit.vectors_per_sec / zero.vectors_per_sec
-                                        : 0.0),
-                 strprintf("%.5f", bit.activity), strprintf("%.5f", zero.activity)});
+                 strprintf("%.1fx", ratio(bit_depth, depth)),
+                 strprintf("%.5f", bit_depth.activity), strprintf("%.5f", depth.activity)});
     }
   }
   std::fputs(t.to_string().c_str(), stdout);
@@ -126,6 +134,43 @@ void BM_BitParallelActivityBackend(benchmark::State& state, simd::Backend backen
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBitsimVectors));
 }
 
+// Timed bit-parallel throughput: the same 512-stream packing running the
+// slot-ring engine.  Compare against BM_CellDepthActivity /
+// BM_UnitDelayActivity for the glitch-accurate speedup the issue targets.
+void BM_BitParallelTimedActivity(benchmark::State& state, SimDelayMode mode) {
+  const Netlist& nl = bitsim_netlist();
+  ActivityOptions opt;
+  opt.num_vectors = kBitsimVectors;
+  opt.delay_mode = mode;
+  opt.engine = ActivityEngine::kBitParallel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure_activity(nl, opt).transitions);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBitsimVectors));
+  state.SetLabel(simd::backend_name(simd::default_backend()));
+}
+BENCHMARK_CAPTURE(BM_BitParallelTimedActivity, kUnit, SimDelayMode::kUnit)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BitParallelTimedActivity, kCellDepth, SimDelayMode::kCellDepth)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BitParallelTimedShardedParallel(benchmark::State& state) {
+  // Whole lane blocks of the glitch-accurate engine over the pool.
+  const Netlist& nl = bitsim_netlist();
+  (void)nl.fanout();
+  ActivityOptions total;
+  total.num_vectors = kBitsimVectors;
+  total.delay_mode = SimDelayMode::kCellDepth;
+  total.engine = ActivityEngine::kBitParallel;
+  const ExecContext& ctx = bench::parallel_context();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure_activity_sharded(nl, total, kActivityStreams, ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBitsimVectors));
+  state.counters["threads"] = static_cast<double>(ctx.threads());
+}
+BENCHMARK(BM_BitParallelTimedShardedParallel)->Unit(benchmark::kMillisecond);
+
 void BM_ScalarKZeroActivity(benchmark::State& state) {
   const Netlist& nl = bitsim_netlist();
   ActivityOptions opt;
@@ -139,7 +184,8 @@ void BM_ScalarKZeroActivity(benchmark::State& state) {
 BENCHMARK(BM_ScalarKZeroActivity)->Unit(benchmark::kMillisecond);
 
 void BM_CellDepthActivity(benchmark::State& state) {
-  // The glitch-accurate reference point (the default forward-flow engine).
+  // The glitch-accurate scalar reference point (the default forward-flow
+  // delay mode) - the denominator of BM_BitParallelTimedActivity/kCellDepth.
   const Netlist& nl = bitsim_netlist();
   ActivityOptions opt;
   opt.num_vectors = kBitsimVectors;
@@ -149,6 +195,19 @@ void BM_CellDepthActivity(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBitsimVectors));
 }
 BENCHMARK(BM_CellDepthActivity)->Unit(benchmark::kMillisecond);
+
+void BM_UnitDelayActivity(benchmark::State& state) {
+  // Scalar kUnit - the denominator of BM_BitParallelTimedActivity/kUnit.
+  const Netlist& nl = bitsim_netlist();
+  ActivityOptions opt;
+  opt.num_vectors = kBitsimVectors;
+  opt.delay_mode = SimDelayMode::kUnit;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(measure_activity(nl, opt).transitions);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBitsimVectors));
+}
+BENCHMARK(BM_UnitDelayActivity)->Unit(benchmark::kMillisecond);
 
 // Sharding whole 512-lane blocks over the pool: the bit-parallel analogue
 // of bench_event_sim's BM_ActivitySharded pair.

@@ -29,7 +29,6 @@ ForwardCharacterization characterize_multiplier(const GeneratedMultiplier& gen,
       break;
     case ActivitySource::kBitParallel:
       act.engine = ActivityEngine::kBitParallel;
-      act.delay_mode = SimDelayMode::kZero;  // the engine is zero-delay only
       break;
     case ActivitySource::kBddExact:
       act.engine = ActivityEngine::kBddExact;  // seed/delay_mode ignored

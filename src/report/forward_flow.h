@@ -28,9 +28,8 @@ enum class ActivitySource {
   /// ModelSIM-style path, glitch-accurate under kCellDepth delays.
   kEventSim,
   /// 512-lane bit-parallel Monte-Carlo (sim/bitsim.h): the same stimulus
-  /// distribution evaluated 512 vectors per pass, zero-delay levelized.
-  /// Ignores `delay_mode` (implies kZero); the fastest way to drive the
-  /// power model when glitch power is not wanted in "a".
+  /// distribution evaluated 512 vectors per pass under any `delay_mode` -
+  /// glitch-accurate under kCellDepth, lane-for-lane identical to kEventSim.
   kBitParallel,
   /// Exact zero-delay signal-probability propagation through BDDs
   /// (bdd/symbolic.h): no stimulus, no variance, no glitch power.  Keep the
@@ -45,9 +44,9 @@ struct ForwardFlowOptions {
   int activity_vectors = 96;
   std::uint64_t seed = 0x5eed0001;
   SimDelayMode delay_mode = SimDelayMode::kCellDepth;
-  /// Activity extraction path; kBitParallel overrides `delay_mode` with
-  /// kZero, and kBddExact ignores `seed`/`delay_mode` entirely (it computes
-  /// the exact zero-delay expectation).
+  /// Activity extraction path; kEventSim and kBitParallel honor
+  /// `delay_mode`, kBddExact ignores `seed`/`delay_mode` entirely (it
+  /// computes the exact zero-delay expectation).
   ActivitySource activity_source = ActivitySource::kEventSim;
   /// Effective per-cell off-current scale: our average cell leaks this many
   /// reference-transistor Io's (wide/stacked cells leak more than the unit

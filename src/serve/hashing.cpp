@@ -39,16 +39,14 @@ CacheKey derive_cache_key(const OptimumRequest& req, std::uint64_t netlist_hash,
   std::uint8_t delay_mode = req.delay_mode;
   std::uint64_t seed = req.seed;
   const auto source = static_cast<ActivitySource>(req.activity_source);
-  if (source == ActivitySource::kBitParallel) {
-    delay_mode = static_cast<std::uint8_t>(SimDelayMode::kZero);
-  } else if (source == ActivitySource::kBddExact) {
+  if (source == ActivitySource::kBddExact) {
     delay_mode = static_cast<std::uint8_t>(SimDelayMode::kZero);
     seed = 0;
   }
 
   CacheKey key;
   key.material.reserve(64);
-  key.material += "opsv1:";  // key-schema version, bumped when fields change
+  key.material += "opsv2:";  // key-schema version, bumped when fields change
   put_u64(key.material, netlist_hash);
   put_u64(key.material, tech_hash);
   put_u32(key.material, req.width);

@@ -30,10 +30,10 @@ struct CacheKey {
 /// Derive the cache key for `req` given the content hashes of its netlist
 /// and technology.  Engine-ignored fields are canonicalized first so
 /// requests that cannot differ in their answer share an entry:
-///  * kBitParallel forces delay_mode = kZero (the engine is zero-delay only,
-///    exactly as report/forward_flow.h does);
 ///  * kBddExact zeroes seed and delay_mode (the exact expectation ignores
 ///    both).
+/// kEventSim and kBitParallel honor every field: the bit-parallel engine
+/// runs all delay modes, so delay_mode is key material for both.
 [[nodiscard]] CacheKey derive_cache_key(const OptimumRequest& req, std::uint64_t netlist_hash,
                                         std::uint64_t tech_hash);
 

@@ -96,8 +96,10 @@ OptimumResponse WorkerEngine::compute(const OptimumRequest& req) {
         }
         case ActivitySource::kBitParallel: {
           act.engine = ActivityEngine::kBitParallel;
-          act.delay_mode = SimDelayMode::kZero;  // the engine is zero-delay only
-          if (!design->bit_sim.has_value()) design->bit_sim.emplace(design->gen.netlist);
+          if (!design->bit_sim.has_value() ||
+              design->bit_sim->delay_mode() != act.delay_mode) {
+            design->bit_sim.emplace(design->gen.netlist, act.delay_mode);
+          }
           activity = merge_activity(design->gen.netlist,
                                     measure_activity_lanes_with(*design->bit_sim, act));
           break;

@@ -58,7 +58,7 @@ ActivityMeasurement measure_activity(const Netlist& netlist, const ActivityOptio
       return measure_activity_with(sim, options);
     }
     case ActivityEngine::kBitParallel: {
-      BitSimulator sim(netlist);
+      BitSimulator sim(netlist, options.delay_mode);
       return merge_activity(netlist, measure_activity_lanes_with(sim, options));
     }
     case ActivityEngine::kBddExact: {
@@ -113,7 +113,7 @@ ActivityMeasurement measure_activity_with(EventSimulator& sim, const ActivityOpt
 
 std::vector<ActivityMeasurement> measure_activity_lanes(const Netlist& netlist,
                                                         const ActivityOptions& options) {
-  BitSimulator sim(netlist);
+  BitSimulator sim(netlist, options.delay_mode);
   return measure_activity_lanes_with(sim, options);
 }
 
@@ -122,9 +122,8 @@ std::vector<ActivityMeasurement> measure_activity_lanes_with(BitSimulator& sim,
   validate_schedule(options);
   require(options.engine == ActivityEngine::kBitParallel,
           "measure_activity_lanes: a BitSimulator testbench is the bit-parallel engine");
-  require(options.delay_mode == SimDelayMode::kZero,
-          "measure_activity_lanes: the bit-parallel engine is zero-delay only "
-          "(set delay_mode = kZero; use kScalarEvent for glitch-accurate delays)");
+  require(sim.delay_mode() == options.delay_mode,
+          "measure_activity_lanes: simulator delay mode does not match the options");
 
   const Netlist& netlist = sim.netlist();
   const std::size_t num_cells = netlist.stats().num_cells;
@@ -238,7 +237,9 @@ std::vector<ActivityMeasurement> measure_activity_multi(const Netlist& netlist,
           out[k] = measure_activity_with(*sim, runs[k]);
           break;
         case ActivityEngine::kBitParallel:
-          if (!bitsim.has_value()) bitsim.emplace(netlist);
+          if (!bitsim.has_value() || bitsim->delay_mode() != runs[k].delay_mode) {
+            bitsim.emplace(netlist, runs[k].delay_mode);
+          }
           out[k] = merge_activity(netlist, measure_activity_lanes_with(*bitsim, runs[k]));
           break;
         case ActivityEngine::kBddExact:

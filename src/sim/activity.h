@@ -20,15 +20,17 @@ class BitSimulator;
 /// Which engine extracts the switching activity.  All three produce an
 /// ActivityMeasurement through the same measure_activity* entry points.
 enum class ActivityEngine {
-  /// Event-driven EventSimulator testbench, one vector at a time: the only
-  /// engine that honors every SimDelayMode (kCellDepth = glitch-accurate).
+  /// Event-driven EventSimulator testbench, one vector at a time: the
+  /// scalar reference for every SimDelayMode (kCellDepth = glitch-accurate).
   kScalarEvent,
-  /// 512-lane bit-parallel levelized engine (sim/bitsim.h): packs up to
+  /// 512-lane bit-parallel engine (sim/bitsim.h): packs up to
   /// BitSimulator::kLanes independent testbench streams into one lane block
-  /// per net and evaluates each gate once per level on the runtime-selected
-  /// SIMD backend.  Zero-delay only (`delay_mode` must be kZero); stream l
-  /// is bit-identical to a scalar kZero run seeded `seed + l`, so the pooled
-  /// result equals measure_activity_sharded() of the scalar engine with
+  /// per net and evaluates gates with block operations on the runtime-
+  /// selected SIMD backend.  Honors every SimDelayMode - kZero runs
+  /// levelized, kUnit/kCellDepth run the timed slot-ring engine with exact
+  /// glitch accounting.  Stream l is bit-identical to a scalar run of the
+  /// same delay mode seeded `seed + l`, so the pooled result equals
+  /// measure_activity_sharded() of the scalar engine with
   /// min(kLanes, num_vectors) streams, counter for counter.
   kBitParallel,
   /// Exact zero-delay expectation via BDD signal probabilities
@@ -87,10 +89,10 @@ struct ActivityMeasurement {
 /// an independent stimulus stream seeded `options.seed + l` over
 /// `options.num_vectors` split evenly across min(BitSimulator::kLanes,
 /// num_vectors) lanes (remainder to the lowest lanes, like
-/// measure_activity_sharded), each with its own warmup.  Lane l's measurement is bit-identical to a scalar kZero
-/// measure_activity() of that stream; merge_activity() of the result is what
-/// measure_activity() with engine = kBitParallel returns.  Requires
-/// delay_mode = kZero.
+/// measure_activity_sharded), each with its own warmup.  Lane l's
+/// measurement is bit-identical to a scalar measure_activity() of that
+/// stream under the same delay mode; merge_activity() of the result is what
+/// measure_activity() with engine = kBitParallel returns.
 [[nodiscard]] std::vector<ActivityMeasurement> measure_activity_lanes(
     const Netlist& netlist, const ActivityOptions& options = {});
 

@@ -1,6 +1,7 @@
 #include "sim/bitsim.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "netlist/cell.h"
@@ -13,6 +14,13 @@ namespace {
 constexpr std::size_t kW = simd::kWordsPerBlock;
 constexpr std::size_t kPlaneWords = simd::kAccPlanes * kW;
 
+// Timed-mode flush guard: fold the carry-save planes into the scalar
+// counters once this many plane event adds have accumulated.  The planes
+// hold < 2^32 per lane; one cycle's events are bounded far below the 2^31
+// slack (an acyclic settle ends within the maximum path delay in ticks, and
+// each net toggles at most once per tick).
+constexpr std::uint64_t kTimedFlushEvents = std::uint64_t{1} << 30;
+
 // Registry instruments resolved once; per-cycle cost is a handful of relaxed
 // adds against one kernel pass over the whole 512-lane block.
 struct BitsimMetrics {
@@ -21,6 +29,9 @@ struct BitsimMetrics {
   obs::Counter& settle_passes = obs::registry().counter("sim.bitsim.settle_passes");
   obs::Counter& cells_evaluated = obs::registry().counter("sim.bitsim.cells_evaluated");
   obs::Counter& cells_skipped = obs::registry().counter("sim.bitsim.dirty_cone_skips");
+  obs::Counter& timed_ticks = obs::registry().counter("sim.bitsim.timed_ticks");
+  obs::Counter& timed_scheduled = obs::registry().counter("sim.bitsim.timed_scheduled");
+  obs::Histogram& settle_ticks = obs::registry().histogram("sim.bitsim.settle_ticks_per_cycle");
 };
 
 BitsimMetrics& bitsim_metrics() {
@@ -40,14 +51,15 @@ BitSimulator::LaneMask BitSimulator::lane_mask(int lanes) {
   return m;
 }
 
-BitSimulator::BitSimulator(const Netlist& netlist, simd::Backend backend)
-    : netlist_(netlist), backend_(backend), kernels_(&simd::kernels(backend)) {
+BitSimulator::BitSimulator(const Netlist& netlist, SimDelayMode mode, simd::Backend backend)
+    : netlist_(netlist), mode_(mode), backend_(backend), kernels_(&simd::kernels(backend)) {
   netlist_.verify();
   const std::size_t nets = netlist_.num_nets();
 
   // Flatten the combinational cells in topological order for the settle
   // kernel, padding unused input pins so the dirty-cone check is branchless,
   // and collect the sequential cells for the clock-edge kernel.
+  std::vector<CellId> comb_ids;  // original ids, for the timed-mode build
   for (const CellId c : netlist_.topo_order()) {
     const CellInstance& cell = netlist_.cell(c);
     if (cell_spec(cell.type).is_sequential) {
@@ -68,6 +80,7 @@ BitSimulator::BitSimulator(const Netlist& netlist, simd::Backend backend)
     f.out[0] = cell.outputs[0];
     f.out[1] = cell.outputs.size() > 1 ? cell.outputs[1] : cell.outputs[0];
     comb_cells_.push_back(f);
+    comb_ids.push_back(c);
   }
 
   words_.assign(nets * kW, 0);
@@ -89,12 +102,90 @@ BitSimulator::BitSimulator(const Netlist& netlist, simd::Backend backend)
   const std::uint64_t per_cycle = 3 * static_cast<std::uint64_t>(nets) + seq_cells_.size() + 1;
   flush_every_ = std::max<std::uint64_t>(1, (std::uint64_t{1} << 31) / per_cycle);
 
+  const bool timed = mode_ != SimDelayMode::kZero;
+  if (timed) {
+    // Canonical order index per combinational output net: cells in topo
+    // order, output pins in declaration order.  Sorting raw order indices IS
+    // the canonical intra-tick event order of the scalar schedulers, which
+    // is what makes the slot-ring engine lane-identical to them.
+    delay_.resize(comb_cells_.size());
+    cell_order_base_.resize(comb_cells_.size());
+    for (std::size_t i = 0; i < comb_cells_.size(); ++i) {
+      const CellInstance& cell = netlist_.cell(comb_ids[i]);
+      const int d = mode_ == SimDelayMode::kUnit
+                        ? 1
+                        : std::max(1, static_cast<int>(
+                                          std::lround(cell_spec(cell.type).depth_units * 10.0)));
+      require(d < static_cast<int>(simd::kTimedSlots),
+              "BitSimulator: cell delay exceeds the timed slot ring");
+      delay_[i] = static_cast<std::uint8_t>(d);
+      cell_order_base_[i] = static_cast<std::uint32_t>(order_to_net_.size());
+      for (std::uint8_t k = 0; k < comb_cells_[i].num_outputs; ++k) {
+        order_to_net_.push_back(k == 0 ? comb_cells_[i].out[0] : comb_cells_[i].out[1]);
+        order_driver_.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    const std::size_t num_order = order_to_net_.size();
+
+    // Combinational-reader CSR per order index (primary-input and Q changes
+    // go through the dirty seed instead, so only comb outputs need fanout).
+    constexpr std::uint32_t kNoOrder = 0xffffffffu;
+    std::vector<std::uint32_t> net_order(nets, kNoOrder);
+    for (std::size_t oi = 0; oi < num_order; ++oi) {
+      net_order[order_to_net_[oi]] = static_cast<std::uint32_t>(oi);
+    }
+    fanout_offset_.assign(num_order + 1, 0);
+    for (const CellId c : comb_ids) {
+      for (const NetId in : netlist_.cell(c).inputs) {
+        if (net_order[in] != kNoOrder) ++fanout_offset_[net_order[in] + 1];
+      }
+    }
+    for (std::size_t oi = 0; oi < num_order; ++oi) fanout_offset_[oi + 1] += fanout_offset_[oi];
+    fanout_cells_.assign(fanout_offset_[num_order], 0);
+    std::vector<std::uint32_t> cursor(fanout_offset_.begin(), fanout_offset_.end() - 1);
+    for (std::size_t i = 0; i < comb_ids.size(); ++i) {
+      for (const NetId in : netlist_.cell(comb_ids[i]).inputs) {
+        const std::uint32_t oi = net_order[in];
+        if (oi != kNoOrder) fanout_cells_[cursor[oi]++] = static_cast<std::uint32_t>(i);
+      }
+    }
+
+    pend_val_.assign(num_order * kW, 0);
+    has_pend_.assign(num_order * kW, 0);
+    stamp_.assign(num_order * simd::kStampPlanes * kW, 0);
+    slot_entries_.assign(simd::kTimedSlots * num_order, 0);
+    slot_count_.assign(simd::kTimedSlots, 0);
+    slot_member_.assign(num_order, 0);
+    retrig_.assign(comb_cells_.size() * kW, 0);
+    trig_mark_.assign(comb_cells_.size(), 0);
+    trig_list_.assign(comb_cells_.size(), 0);
+
+    ctx_.timed = true;
+    ctx_.num_order = num_order;
+    ctx_.delay = delay_.data();
+    ctx_.cell_order_base = cell_order_base_.data();
+    ctx_.order_to_net = order_to_net_.data();
+    ctx_.order_driver = order_driver_.data();
+    ctx_.fanout_offset = fanout_offset_.data();
+    ctx_.fanout_cells = fanout_cells_.data();
+    ctx_.pend_val = pend_val_.data();
+    ctx_.has_pend = has_pend_.data();
+    ctx_.stamp = stamp_.data();
+    ctx_.slot_entries = slot_entries_.data();
+    ctx_.slot_count = slot_count_.data();
+    ctx_.slot_member = slot_member_.data();
+    ctx_.retrig = retrig_.data();
+    ctx_.trig_mark = trig_mark_.data();
+    ctx_.trig_list = trig_list_.data();
+  }
+
   ctx_.mask_full = true;
   // Purely combinational designs settle in one levelized pass per cycle, so
   // every net changes at most once and functional toggles == transitions
   // (glitches identically zero); the kernel skips the start-vs-end pass and
-  // flush_stats folds the transition planes into both counters.
-  ctx_.count_func = !seq_cells_.empty();
+  // flush_stats folds the transition planes into both counters.  Timed modes
+  // always need the functional pass - glitches exist without DFFs.
+  ctx_.count_func = timed || !seq_cells_.empty();
   ctx_.cells = comb_cells_.data();
   ctx_.num_cells = comb_cells_.size();
   ctx_.seq = seq_cells_.data();
@@ -121,6 +212,7 @@ void BitSimulator::reset_stats() {
   std::fill(cycle_planes_.begin(), cycle_planes_.begin() + ctx_.cycle_used * kW, 0);
   ctx_.trans_used = ctx_.func_used = ctx_.cycle_used = 0;
   pending_cycles_ = 0;
+  pending_events_ = 0;
   transitions_.fill(0);
   functional_.fill(0);
   cycles_.fill(0);
@@ -129,6 +221,17 @@ void BitSimulator::reset_stats() {
 void BitSimulator::reset_state() {
   std::fill(words_.begin(), words_.end(), 0);
   std::fill(dff_next_.begin(), dff_next_.end(), 0);
+  if (ctx_.timed) {
+    // Drop any pending events left by an oscillation abort (pend_val/stamp
+    // residue is harmless once has_pend and the slot membership are clear).
+    std::fill(has_pend_.begin(), has_pend_.end(), 0);
+    std::fill(slot_count_.begin(), slot_count_.end(), 0);
+    std::fill(slot_member_.begin(), slot_member_.end(), 0);
+    std::fill(retrig_.begin(), retrig_.end(), 0);
+    std::fill(trig_mark_.begin(), trig_mark_.end(), 0);
+    ctx_.slot_total = 0;
+    ctx_.oscillated = false;
+  }
   // Constants and the combinational image of the all-zero state are
   // established without counting transitions, like EventSimulator's reset.
   kernels_->settle_full(ctx_);
@@ -169,9 +272,20 @@ void BitSimulator::set_inputs(const std::vector<std::uint64_t>& blocks) {
 }
 
 void BitSimulator::step_cycle() {
-  if (pending_cycles_ >= flush_every_) flush_stats();
+  // Overflow guard for the deferred tallies: kZero flushes on a precomputed
+  // cycle budget; timed modes count actual plane event adds (a cycle's event
+  // volume depends on the stimulus, not just the design size).
+  if (ctx_.timed ? pending_events_ >= kTimedFlushEvents : pending_cycles_ >= flush_every_) {
+    flush_stats();
+  }
   ++pending_cycles_;
-  kernels_->step_cycle(ctx_);
+  if (ctx_.timed) {
+    kernels_->step_cycle_timed(ctx_);
+  } else {
+    kernels_->step_cycle(ctx_);
+  }
+  pending_events_ += ctx_.stat_events;
+  ctx_.stat_events = 0;
   // Drain the kernel's per-cycle tallies into the registry and re-zero them
   // so each cycle publishes a delta (re-zeroed even when metrics are off so
   // the plain-integer kernel tallies never overflow a delta's worth).
@@ -190,9 +304,19 @@ void BitSimulator::step_cycle() {
     m.settle_passes.add(ctx_.settle_passes);
     m.cells_evaluated.add(ctx_.cells_evaluated);
     m.cells_skipped.add(ctx_.settle_passes * ctx_.num_cells - ctx_.cells_evaluated);
+    if (ctx_.timed) {
+      m.timed_ticks.add(ctx_.timed_ticks);
+      m.timed_scheduled.add(ctx_.timed_scheduled);
+      m.settle_ticks.observe(ctx_.timed_ticks);
+    }
   }
   ctx_.settle_passes = 0;
   ctx_.cells_evaluated = 0;
+  ctx_.timed_ticks = 0;
+  ctx_.timed_scheduled = 0;
+  if (ctx_.oscillated) {
+    throw NumericalError("BitSimulator: circuit failed to settle (oscillation?)");
+  }
 }
 
 void BitSimulator::flush_stats() const {
@@ -220,6 +344,7 @@ void BitSimulator::flush_stats() const {
   std::fill(cycle_planes_.begin(), cycle_planes_.begin() + ctx_.cycle_used * kW, 0);
   ctx_.trans_used = ctx_.func_used = ctx_.cycle_used = 0;
   pending_cycles_ = 0;
+  pending_events_ = 0;
 }
 
 std::uint64_t BitSimulator::cycles(int lane) const {

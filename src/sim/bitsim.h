@@ -1,23 +1,37 @@
-// Bit-parallel levelized zero-delay logic simulator: 512 independent input
-// vectors packed into an 8-word lane block per net, every gate evaluated
-// once per topological level with bitwise block operations dispatched to a
-// runtime-selected SIMD backend (simd/simd.h: scalar, AVX2, or AVX-512).
+// Bit-parallel logic simulator: 512 independent input vectors packed into an
+// 8-word lane block per net, gates evaluated with bitwise block operations
+// dispatched to a runtime-selected SIMD backend (simd/simd.h: scalar, AVX2,
+// or AVX-512).  Supports every SimDelayMode:
 //
-// This is the wide twin of EventSimulator's (truly levelized) kZero mode:
-// lane k of a BitSimulator is bit-identical - every net value after every
-// cycle, and the per-lane transition/glitch statistics - to a scalar kZero
-// EventSimulator driven with lane k's stimulus, on every backend
-// (tests/sim/bitsim_test.cpp asserts this per backend).  One block-level
-// pass evaluates what the scalar path needs 512 full simulations for; the
-// ActivityEngine seam in sim/activity.h packs testbench streams into lanes
-// and pools the per-lane counters into the usual ActivityMeasurement.
+//  * kZero (default): levelized - every gate evaluated once per topological
+//    level, hazard-free; the wide twin of EventSimulator's kZero mode.
+//  * kUnit / kCellDepth (timed): each settle is a level-synchronized event
+//    propagation through a slot ring of per-net pending blocks - glitches
+//    from unequal path delays are reproduced exactly, at block speed.
 //
-// Semantics (shared with EventSimulator kZero):
+// In every mode, lane k of a BitSimulator is bit-identical - every net value
+// after every cycle, and the per-lane transition/glitch statistics - to a
+// scalar EventSimulator built with the same delay mode and driven with lane
+// k's stimulus, on every backend (tests/sim/bitsim_test.cpp asserts this per
+// backend and per mode).  The timed equivalence leans on the canonical
+// intra-tick event order being a pure function of the netlist (see
+// sim/event_sim.h): the block engine applies same-tick events in the same
+// (driver topo position, output pin) order and re-evaluates triggered cells
+// in the same topo order as the scalar schedulers, so inertial cancellation
+// and retrigger supersession resolve identically lane-for-lane.  One
+// block-level pass evaluates what the scalar path needs 512 full simulations
+// for; the ActivityEngine seam in sim/activity.h packs testbench streams
+// into lanes and pools the per-lane counters into ActivityMeasurement.
+//
+// Semantics (shared with EventSimulator):
 //  * Two-valued logic; every net starts at 0 in all lanes, DFFs reset to 0.
-//  * settle = ONE topological evaluation: each cell sees its inputs' final
-//    values, so each net changes at most once per settle - no delta-cycle
-//    hazards, which is exactly the estimator bdd/symbolic.h exact_activity()
-//    computes in closed form.
+//  * kZero settle = ONE topological evaluation: each cell sees its inputs'
+//    final values, so each net changes at most once per settle - no
+//    delta-cycle hazards, which is exactly the estimator bdd/symbolic.h
+//    exact_activity() computes in closed form.
+//  * Timed settle = seed every (dirty-reachable) cell at t = 0, then walk
+//    ticks applying pending output changes after each cell's delay, with
+//    inertial cancellation (a newer evaluation supersedes an older pending).
 //  * step_cycle() = pre-edge settle, DFF sample + Q update, post-edge
 //    settle, then per-lane glitch accounting identical to the scalar
 //    formula (cycle transitions beyond the per-net start-vs-end minimum).
@@ -41,11 +55,13 @@
 #include <vector>
 
 #include "netlist/netlist.h"
+#include "sim/event_sim.h"
 #include "simd/simd.h"
 
 namespace optpower {
 
-/// 512-lane block-level zero-delay simulator over a verified Netlist.  One
+/// 512-lane block-level simulator over a verified Netlist (any delay mode;
+/// see the file comment).  One
 /// instance owns all mutable state and only reads the shared netlist, so
 /// independent instances may run on different threads (warm the netlist's
 /// fanout cache first if any other simulator shares the netlist).
@@ -64,14 +80,23 @@ class BitSimulator {
   /// All lanes set.
   [[nodiscard]] static LaneMask all_lanes() { return lane_mask(kLanes); }
 
-  /// Build a simulator over `netlist` (verify()-checked here), running on
-  /// `backend` (default: the process-wide choice - cpuid, overridable with
-  /// OPTPOWER_SIMD).  All backends produce bit-identical results.
-  explicit BitSimulator(const Netlist& netlist,
+  /// Build a simulator over `netlist` (verify()-checked here) under `mode`
+  /// delays, running on `backend` (default: the process-wide choice - cpuid,
+  /// overridable with OPTPOWER_SIMD).  All backends produce bit-identical
+  /// results, and every lane matches a scalar EventSimulator of the same
+  /// mode.
+  explicit BitSimulator(const Netlist& netlist, SimDelayMode mode = SimDelayMode::kZero,
                         simd::Backend backend = simd::default_backend());
+
+  /// Backend-only convenience overload (kZero delays).
+  BitSimulator(const Netlist& netlist, simd::Backend backend)
+      : BitSimulator(netlist, SimDelayMode::kZero, backend) {}
 
   /// The netlist this simulator runs.
   [[nodiscard]] const Netlist& netlist() const noexcept { return netlist_; }
+
+  /// The delay model this simulator was built with.
+  [[nodiscard]] SimDelayMode delay_mode() const noexcept { return mode_; }
 
   /// The SIMD backend the kernels dispatch to.
   [[nodiscard]] simd::Backend backend() const noexcept { return backend_; }
@@ -101,6 +126,9 @@ class BitSimulator {
   [[nodiscard]] bool incremental() const noexcept { return ctx_.incremental; }
 
   /// Run one clock cycle for all lanes: settle, clock all DFFs, settle.
+  /// Timed modes throw NumericalError if the circuit fails to settle
+  /// (oscillation guard) - call reset_state() to recover, like the scalar
+  /// simulator.
   void step_cycle();
 
   /// Current word w of a net's block (post-settling).
@@ -116,8 +144,8 @@ class BitSimulator {
   /// outputs_word() of that lane's scalar twin).
   [[nodiscard]] std::uint64_t outputs_word(int lane) const;
 
-  /// Per-lane counters since construction or the last reset_stats();
-  /// lane k matches the scalar kZero SimStats of lane k's stimulus.
+  /// Per-lane counters since construction or the last reset_stats(); lane k
+  /// matches the scalar SimStats of lane k's stimulus under delay_mode().
   [[nodiscard]] std::uint64_t cycles(int lane) const;
   [[nodiscard]] std::uint64_t transitions(int lane) const;
   [[nodiscard]] std::uint64_t glitches(int lane) const;
@@ -136,6 +164,7 @@ class BitSimulator {
   void flush_stats() const;
 
   const Netlist& netlist_;
+  SimDelayMode mode_;
   simd::Backend backend_;
   const simd::Kernels* kernels_;
   std::vector<simd::FlatCell> comb_cells_;  // topo order
@@ -159,7 +188,26 @@ class BitSimulator {
   mutable std::array<std::uint64_t, kLanes> functional_{};
   mutable std::array<std::uint64_t, kLanes> cycles_{};
   mutable std::uint64_t pending_cycles_ = 0;
+  mutable std::uint64_t pending_events_ = 0;  // plane event adds this window (timed guard)
   std::uint64_t flush_every_ = 1;  // cycles per flush window (overflow guard)
+
+  // Timed-mode (kUnit / kCellDepth) state; empty under kZero.  See the
+  // BitsimCtx field docs in simd/simd.h for the layout.
+  std::vector<std::uint8_t> delay_;
+  std::vector<std::uint32_t> cell_order_base_;
+  std::vector<std::uint32_t> order_to_net_;
+  std::vector<std::uint32_t> order_driver_;
+  std::vector<std::uint32_t> fanout_offset_;
+  std::vector<std::uint32_t> fanout_cells_;
+  std::vector<std::uint64_t> pend_val_;
+  std::vector<std::uint64_t> has_pend_;
+  std::vector<std::uint64_t> stamp_;
+  std::vector<std::uint32_t> slot_entries_;
+  std::vector<std::uint32_t> slot_count_;
+  std::vector<std::uint32_t> slot_member_;
+  std::vector<std::uint64_t> retrig_;
+  std::vector<std::uint8_t> trig_mark_;
+  std::vector<std::uint32_t> trig_list_;
 
   mutable simd::BitsimCtx ctx_;  // stable pointer view handed to the kernels
 };

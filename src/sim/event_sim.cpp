@@ -1,5 +1,6 @@
 #include "sim/event_sim.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "netlist/cell.h"
@@ -24,6 +25,23 @@ EventSimulator::EventSimulator(const Netlist& netlist, SimDelayMode mode, int wh
   require(wheel_bits_ >= 1 && wheel_bits_ <= 20, "EventSimulator: wheel_bits must be in [1, 20]");
   netlist_.verify();
   topo_ = netlist_.topo_order();
+  // Canonical intra-tick order: same-tick events apply in (driver topo
+  // position, output pin) order, and triggered cells re-evaluate in topo
+  // order.  The rank is a pure function of the netlist - no scheduling
+  // history - which is what lets the 512-lane bit-parallel engine reproduce
+  // timed runs lane-for-lane (its dense per-net pendings have no serial
+  // numbers to order by).
+  cell_rank_.assign(netlist_.num_cells(), 0);
+  for (std::size_t i = 0; i < topo_.size(); ++i) {
+    cell_rank_[topo_[i]] = static_cast<std::uint32_t>(i);
+  }
+  net_rank_.assign(netlist_.num_nets(), 0);
+  for (const CellId c : topo_) {
+    const CellInstance& cell = netlist_.cell(c);
+    for (std::size_t k = 0; k < cell.outputs.size(); ++k) {
+      net_rank_[cell.outputs[k]] = cell_rank_[c] * 2 + static_cast<std::uint32_t>(k);
+    }
+  }
   values_.assign(netlist_.num_nets(), 0);
   dff_next_.assign(netlist_.num_cells(), 0);
   pending_serial_.assign(netlist_.num_nets(), 0);
@@ -139,29 +157,46 @@ void EventSimulator::process_tick(std::int64_t tick) {
   // Delay >= 1 (kUnit/kCellDepth): everything a tick-t evaluation schedules
   // lands at t+1 or later, so the slot's content is fixed for the whole tick
   // and can be processed as one levelized wave with deferred, deduplicated
-  // cell evaluations.  Two details keep this bit-identical to the heap
-  // scheduler's interleaved pop-and-evaluate:
+  // cell evaluations.  Canonical intra-tick order: surviving events apply in
+  // net-rank order (driver topo position, then output pin), and the
+  // triggered cells re-evaluate in topo order.  One tie-break rule makes the
+  // wave exact:
   //  * An event whose driver was already re-triggered by an earlier change
-  //    in THIS tick must be skipped: the heap scheduler evaluated that
-  //    driver immediately, and the fresh schedule superseded the event
-  //    before it popped (e.g. a stale seed event of a deeper cell sharing
-  //    the tick with its fan-in's seed event).
-  //  * Deferred evaluations run in LAST-trigger order - the order of the
-  //    heap scheduler's surviving (final) evaluation per cell - so the
-  //    serial order inside every downstream slot matches too.
+  //    in THIS tick must be skipped: the deferred re-evaluation of the
+  //    driver (which sees the whole tick's changes) supersedes it.  Topo
+  //    order guarantees the triggering change always ranks BEFORE the
+  //    superseded event, so the skip decision never depends on scheduling
+  //    history - only on the netlist.
+  // The heap oracle pops same-tick events in the same net-rank order and
+  // re-evaluates readers immediately; its last (surviving) evaluation per
+  // cell sees exactly the values our deferred evaluation sees, so SimStats
+  // and every net value remain bit-identical (scheduler_equivalence_test).
   wave_scratch_.clear();
   wave_scratch_.swap(slot);
   ring_count_ -= wave_scratch_.size();
+  // Pack (net rank << 32 | slot index) keys so the sort never gathers
+  // through net_rank_ per comparison; slot index rises with the scheduling
+  // serial, so the tie-break is the serial one.  Scheduling itself mostly
+  // runs in topo order, so the wave is usually already canonical - detect
+  // that while packing and skip the sort (the hot path of timed settles).
+  sort_keys_.clear();
+  bool wave_sorted = true;
+  for (std::size_t i = 0; i < wave_scratch_.size(); ++i) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(net_rank_[wave_scratch_[i].net]) << 32) | i;
+    if (!sort_keys_.empty() && key < sort_keys_.back()) wave_sorted = false;
+    sort_keys_.push_back(key);
+  }
+  if (!wave_sorted) std::sort(sort_keys_.begin(), sort_keys_.end());
   triggers_scratch_.clear();
-  // Phase 1: apply every surviving event of the wave.  Slot order is serial
-  // order, so inertial-cancellation decisions match the heap scheduler.
+  // Phase 1: apply every surviving event of the wave in canonical order.
   const std::uint64_t trigger_mark = ++wave_stamp_;
-  for (const Event& ev : wave_scratch_) {
+  for (const std::uint64_t key : sort_keys_) {
+    const Event& ev = wave_scratch_[key & 0xffffffffu];
     if (ev.serial != pending_serial_[ev.net]) continue;  // superseded (inertial cancel)
     const CellId drv = netlist_.driver_of(ev.net);
     if (drv != Netlist::kNoCell && eval_stamp_[drv] == trigger_mark) {
-      // The deferred re-evaluation of `drv` supersedes this event (the heap
-      // scheduler's eval-on-trigger already would have).
+      // The deferred re-evaluation of `drv` supersedes this event.
       continue;
     }
     pending_serial_[ev.net] = 0;
@@ -173,24 +208,24 @@ void EventSimulator::process_tick(std::int64_t tick) {
     ++stats_.total_transitions;
     if (drv != Netlist::kNoCell) ++stats_.cell_transitions[drv];
     for (const CellId reader : fanout[ev.net]) {
+      if (eval_stamp_[reader] == trigger_mark) continue;
       eval_stamp_[reader] = trigger_mark;
       triggers_scratch_.push_back(reader);
     }
   }
-  // Phase 2: evaluate each triggered cell exactly once.  A reverse scan
-  // keeps only each cell's LAST trigger, then evaluation runs forward in
-  // that order; every evaluation sees all of the tick's value changes,
-  // which is exactly what the heap scheduler's final evaluation per cell
-  // saw (intermediate evaluations were always superseded).
-  const std::uint64_t eval_mark = ++wave_stamp_;
-  last_evals_.clear();
-  for (auto it = triggers_scratch_.rbegin(); it != triggers_scratch_.rend(); ++it) {
-    if (eval_stamp_[*it] == eval_mark) continue;
-    eval_stamp_[*it] = eval_mark;
-    last_evals_.push_back(*it);
+  // Phase 2: evaluate each triggered cell exactly once, in topo order; every
+  // evaluation sees all of the tick's value changes.  Same packed-key trick:
+  // triggers arrive nearly topo-sorted, so the sort rarely runs.
+  sort_keys_.clear();
+  bool trig_sorted = true;
+  for (const CellId c : triggers_scratch_) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(cell_rank_[c]) << 32) | c;
+    if (!sort_keys_.empty() && key < sort_keys_.back()) trig_sorted = false;
+    sort_keys_.push_back(key);
   }
-  for (auto it = last_evals_.rbegin(); it != last_evals_.rend(); ++it) {
-    schedule_cell(*it, tick);
+  if (!trig_sorted) std::sort(sort_keys_.begin(), sort_keys_.end());
+  for (const std::uint64_t key : sort_keys_) {
+    schedule_cell(static_cast<CellId>(key & 0xffffffffu), tick);
   }
 }
 

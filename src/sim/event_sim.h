@@ -26,10 +26,18 @@
 // processed in two levelized phases: first every surviving event is applied
 // (transition counting), then each affected fanout cell is evaluated exactly
 // ONCE per wave - the heap scheduler re-evaluated a cell once per changed
-// input net.  All of it preserves the event application order (slot order is
-// serial order) and the inertial-cancellation decisions, so SimStats and
-// every net value are bit-identical to the reference scheduler; see
-// tests/sim/scheduler_equivalence_test.cpp.
+// input net.
+//
+// Intra-tick order is CANONICAL: same-tick events apply in (driver topo
+// position, output pin) order and triggered cells re-evaluate in topo order,
+// a pure function of the netlist rather than of scheduling history.  The
+// heap oracle orders its queue by the same key, so SimStats and every net
+// value stay bit-identical between the two schedulers
+// (tests/sim/scheduler_equivalence_test.cpp) - and, more importantly, the
+// canonical order is what the 512-lane bit-parallel engine (sim/bitsim.h)
+// reproduces lane-for-lane in its timed modes: lane k of a timed
+// BitSimulator is bit-identical to a kUnit/kCellDepth EventSimulator run on
+// lane k's stimulus (tests/sim/bitsim_test.cpp).
 //
 // kZero bypasses the wheel entirely: it is a TRULY levelized settle - one
 // topological evaluation per settle pass, every cell seeing its inputs'
@@ -37,9 +45,7 @@
 // delta-cycle functional hazards the old FIFO produced on reconvergent
 // paths are gone.  This makes the simulated zero-delay activity agree
 // EXACTLY with bdd/symbolic.h's exact_activity() expectation, and it is the
-// scalar twin of the 512-lane bit-parallel engine in sim/bitsim.h (lane k of
-// a BitSimulator is bit-identical to a kZero EventSimulator on the same
-// stimulus; see tests/sim/bitsim_test.cpp).
+// scalar twin of the bit-parallel engine's (levelized) kZero mode.
 #pragma once
 
 #include <cstdint>
@@ -125,8 +131,8 @@ class EventSimulator {
  private:
   /// One scheduled output change.  `serial` is a global monotonically
   /// increasing id: the newest schedule for a net supersedes older pendings
-  /// (inertial delay), and slot insertion order == serial order, which is
-  /// what makes the wheel reproduce the heap scheduler exactly.
+  /// (inertial delay).  Application order within a tick is canonical
+  /// (net_rank_, not serial), so results never depend on scheduling history.
   struct Event {
     std::int64_t time;
     std::uint64_t serial;
@@ -143,6 +149,8 @@ class EventSimulator {
   const Netlist& netlist_;
   SimDelayMode mode_;
   std::vector<CellId> topo_;
+  std::vector<std::uint32_t> cell_rank_;  // topo position per cell
+  std::vector<std::uint32_t> net_rank_;   // driver rank * 2 + output pin, per net
   std::vector<char> values_;             // per net
   std::vector<char> dff_next_;           // sampled D per cell (sequential only)
   std::vector<int> delay_ticks_;         // per cell, precomputed for mode_
@@ -163,8 +171,8 @@ class EventSimulator {
   std::vector<std::uint64_t> eval_stamp_;  // per cell: trigger/eval mark of the current tick
   std::uint64_t wave_stamp_ = 0;
   std::vector<Event> wave_scratch_;        // current wave being applied
-  std::vector<CellId> triggers_scratch_;   // fanout trigger sequence of the tick (with dups)
-  std::vector<CellId> last_evals_;         // deduped cells in reverse last-trigger order
+  std::vector<CellId> triggers_scratch_;   // cells triggered this tick (deduped)
+  std::vector<std::uint64_t> sort_keys_;   // packed canonical-order keys (rank<<32 | idx)
   std::vector<char> start_scratch_;        // per-cycle start values (glitch accounting)
 };
 

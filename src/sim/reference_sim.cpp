@@ -12,6 +12,13 @@ ReferenceSimulator::ReferenceSimulator(const Netlist& netlist, SimDelayMode mode
     : netlist_(netlist), mode_(mode) {
   netlist_.verify();
   topo_ = netlist_.topo_order();
+  net_rank_.assign(netlist_.num_nets(), 0);
+  for (std::size_t i = 0; i < topo_.size(); ++i) {
+    const CellInstance& cell = netlist_.cell(topo_[i]);
+    for (std::size_t k = 0; k < cell.outputs.size(); ++k) {
+      net_rank_[cell.outputs[k]] = static_cast<std::uint32_t>(i * 2 + k);
+    }
+  }
   values_.assign(netlist_.num_nets(), 0);
   dff_next_.assign(netlist_.num_cells(), 0);
   pending_serial_.assign(netlist_.num_nets(), 0);
@@ -125,7 +132,7 @@ void ReferenceSimulator::settle() {
       const char nv = static_cast<char>((outv >> k) & 1u);
       const NetId net = cell.outputs[k];
       // Inertial: the newest scheduled value supersedes older pendings.
-      wheel.push({when, ++next_serial_, net, nv});
+      wheel.push({when, net_rank_[net], ++next_serial_, net, nv});
       pending_serial_[net] = next_serial_;
     }
   };

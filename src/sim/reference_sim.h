@@ -5,8 +5,9 @@
 // The production EventSimulator (sim/event_sim.h) is required to produce
 // bit-identical SimStats and net values for every netlist, delay mode, and
 // stimulus sequence.  tests/sim/scheduler_equivalence_test.cpp drives both
-// side by side; keep the two semantics documents (inertial delay, two settle
-// passes per cycle, glitch accounting) in sync if either ever changes.
+// side by side; keep the two semantics documents (inertial delay, canonical
+// intra-tick order by driver topo rank, two settle passes per cycle, glitch
+// accounting) in sync if either ever changes.
 //
 // kZero is levelized on both sides (since the truly-levelized rewrite): the
 // production simulator does one topological pass per settle, while this
@@ -70,16 +71,23 @@ class ReferenceSimulator {
   std::vector<char> dff_next_;  // sampled D per cell (sequential only)
   SimStats stats_;
 
-  // Event heap entry: (time, serial, net, value); lazy-invalidated by serial.
+  // Event heap entry: ordered by (time, canonical net rank, serial) -
+  // same-tick events pop in (driver topo position, output pin) order, the
+  // canonical intra-tick order shared with the production wheel scheduler;
+  // lazy-invalidated by serial.
   struct Event {
     std::int64_t time;
+    std::uint32_t rank;
     std::uint64_t serial;
     NetId net;
     char value;
     bool operator>(const Event& rhs) const {
-      return time != rhs.time ? time > rhs.time : serial > rhs.serial;
+      if (time != rhs.time) return time > rhs.time;
+      if (rank != rhs.rank) return rank > rhs.rank;
+      return serial > rhs.serial;
     }
   };
+  std::vector<std::uint32_t> net_rank_;        // driver topo rank * 2 + output pin
   std::vector<std::uint64_t> pending_serial_;  // latest serial per net
   std::uint64_t next_serial_ = 0;
 };

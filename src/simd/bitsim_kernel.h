@@ -15,6 +15,7 @@
 // last bit.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -276,6 +277,7 @@ struct BitsimKernel {
       any = Ops::bor(any, d);
     }
     if (Ops::is_zero(any)) return;
+    ++ctx.stat_events;
     if (ctx.count_func && !ctx.touched[net]) {
       ctx.touched[net] = 1;
       ctx.touched_list[ctx.touched_count++] = net;
@@ -327,13 +329,9 @@ struct BitsimKernel {
     ctx.dirty_count = 0;
   }
 
-  /// Full clock cycle (BitSimulator::step_cycle's kernel half).
-  static void step_cycle(BitsimCtx& ctx) {
-    CsaAcc tacc;  // batches this cycle's transition events
-    // Pre-edge settle: this cycle's input changes through the logic.
-    settle(ctx, tacc);
-
-    // Clock edge: sample every D (and EN) first, then apply all Q updates.
+  /// Clock edge: sample every D (and EN) first, then apply all Q updates
+  /// (shared between the levelized and timed cycle kernels).
+  static inline void clock_edge(BitsimCtx& ctx, CsaAcc& tacc) {
     for (std::size_t s = 0; s < ctx.num_seq; ++s) {
       const SeqCell& fc = ctx.seq[s];
       const std::uint64_t* d = ctx.words + std::size_t{fc.d} * kWordsPerBlock;
@@ -353,16 +351,15 @@ struct BitsimKernel {
     for (std::size_t s = 0; s < ctx.num_seq; ++s) {
       commit(ctx, tacc, ctx.seq[s].q, ctx.dff_next + s * kWordsPerBlock);
     }
+  }
 
-    // Post-edge settle: the new Q values through the logic (near-free for
-    // purely combinational designs - no Q changed, nothing is dirty).
-    settle(ctx, tacc);
-
-    // Functional accounting over the nets that changed this cycle: the
-    // masked start-vs-end toggles feed the func planes (glitches are
-    // transitions beyond them), then the per-cycle books close.  Purely
-    // combinational designs skip this entirely (count_func: functional ==
-    // transitions per cycle by construction).
+  /// Close the cycle's books: functional accounting over the nets that
+  /// changed this cycle (the masked start-vs-end toggles feed the func
+  /// planes; glitches are transitions beyond them), then flush the step's
+  /// accumulator and count the cycle per active lane.  Purely combinational
+  /// zero-delay designs skip the functional pass entirely (count_func off:
+  /// functional == transitions per cycle by construction).
+  static inline void finish_cycle(BitsimCtx& ctx, CsaAcc& tacc) {
     if (ctx.count_func) {
       CsaAcc facc;
       alignas(64) std::uint64_t fd[kWordsPerBlock];
@@ -378,13 +375,245 @@ struct BitsimKernel {
           Ops::store(fd + v * W, d);
           any = Ops::bor(any, d);
         }
-        if (!Ops::is_zero(any)) csa_add(facc, ctx.func_planes, ctx.func_used, fd);
+        if (!Ops::is_zero(any)) {
+          ++ctx.stat_events;
+          csa_add(facc, ctx.func_planes, ctx.func_used, fd);
+        }
       }
       ctx.touched_count = 0;
       csa_flush(facc, ctx.func_planes, ctx.func_used);
     }
     csa_flush(tacc, ctx.trans_planes, ctx.trans_used);
+    ++ctx.stat_events;
     acc_add(ctx.cycle_planes, ctx.cycle_used, ctx.mask);
+  }
+
+  /// Full clock cycle (BitSimulator::step_cycle's kernel half).
+  static void step_cycle(BitsimCtx& ctx) {
+    CsaAcc tacc;  // batches this cycle's transition events
+    // Pre-edge settle: this cycle's input changes through the logic.
+    settle(ctx, tacc);
+    clock_edge(ctx, tacc);
+    // Post-edge settle: the new Q values through the logic (near-free for
+    // purely combinational designs - no Q changed, nothing is dirty).
+    settle(ctx, tacc);
+    finish_cycle(ctx, tacc);
+  }
+
+  // --- timed mode (kUnit / kCellDepth) --------------------------------------
+
+  /// Seed-time schedule: all lanes of order index `oi` get pending value
+  /// `val` with target slot `slot`.  Full-block writes are safe because the
+  /// previous settle drained every pending (has_pend == 0, membership == 0).
+  static inline void schedule_all(BitsimCtx& ctx, std::uint32_t oi, std::uint32_t slot,
+                                  const std::uint64_t* val) {
+    std::memcpy(ctx.pend_val + std::size_t{oi} * kWordsPerBlock, val,
+                kWordsPerBlock * sizeof(std::uint64_t));
+    std::uint64_t* hp = ctx.has_pend + std::size_t{oi} * kWordsPerBlock;
+    for (std::size_t v = 0; v < NV; ++v) Ops::store(hp + v * W, Ops::ones());
+    std::uint64_t* sp = ctx.stamp + std::size_t{oi} * kStampPlanes * kWordsPerBlock;
+    for (std::size_t p = 0; p < kStampPlanes; ++p) {
+      const V pv = ((slot >> p) & 1u) ? Ops::ones() : Ops::zero();
+      for (std::size_t v = 0; v < NV; ++v) Ops::store(sp + p * kWordsPerBlock + v * W, pv);
+    }
+    push_slot(ctx, oi, slot);
+  }
+
+  /// Masked re-schedule (phase 2): lanes in `m` get pending value `val` with
+  /// target slot `slot`; other lanes keep whatever they were holding.
+  static inline void schedule_masked(BitsimCtx& ctx, std::uint32_t oi, std::uint32_t slot,
+                                     const std::uint64_t* val, const std::uint64_t* m) {
+    std::uint64_t* pv = ctx.pend_val + std::size_t{oi} * kWordsPerBlock;
+    std::uint64_t* hp = ctx.has_pend + std::size_t{oi} * kWordsPerBlock;
+    for (std::size_t v = 0; v < NV; ++v) {
+      const V mm = Ops::load(m + v * W);
+      Ops::store(pv + v * W, Ops::bor(Ops::band(Ops::bnot(mm), Ops::load(pv + v * W)),
+                                      Ops::band(mm, Ops::load(val + v * W))));
+      Ops::store(hp + v * W, Ops::bor(Ops::load(hp + v * W), mm));
+    }
+    std::uint64_t* sp = ctx.stamp + std::size_t{oi} * kStampPlanes * kWordsPerBlock;
+    for (std::size_t p = 0; p < kStampPlanes; ++p) {
+      std::uint64_t* pp = sp + p * kWordsPerBlock;
+      if ((slot >> p) & 1u) {
+        for (std::size_t v = 0; v < NV; ++v) {
+          Ops::store(pp + v * W, Ops::bor(Ops::load(pp + v * W), Ops::load(m + v * W)));
+        }
+      } else {
+        for (std::size_t v = 0; v < NV; ++v) {
+          Ops::store(pp + v * W, Ops::band(Ops::load(pp + v * W), Ops::bnot(Ops::load(m + v * W))));
+        }
+      }
+    }
+    push_slot(ctx, oi, slot);
+  }
+
+  static inline void push_slot(BitsimCtx& ctx, std::uint32_t oi, std::uint32_t slot) {
+    if (ctx.slot_member[oi] & (1u << slot)) return;  // already queued for this slot
+    ctx.slot_member[oi] |= 1u << slot;
+    ctx.slot_entries[std::size_t{slot} * ctx.num_order + ctx.slot_count[slot]++] = oi;
+    ++ctx.slot_total;
+    ++ctx.timed_scheduled;
+  }
+
+  /// Timed settle: level-synchronized event propagation with per-net pending
+  /// blocks, lane-for-lane bit-identical to EventSimulator's canonical
+  /// intra-tick semantics (sim/event_sim.h).  Each tick runs two phases:
+  /// phase 1 applies the tick's surviving events in canonical net order
+  /// (ascending order index; a lane whose driver was already retriggered by
+  /// an earlier event this tick skips - the pending is superseded), phase 2
+  /// re-evaluates every triggered cell once, in topo order, scheduling its
+  /// outputs `delay` ticks ahead.  Inertial cancellation falls out of the
+  /// stamp overwrite: a newer schedule changes the lane's target tick, so
+  /// the stale slot entry misses on the stamp compare.
+  static void settle_timed(BitsimCtx& ctx, CsaAcc& tacc) {
+    ++ctx.settle_passes;
+    const bool inc = ctx.incremental;
+    // Nothing dirty means every cell output already equals its evaluation:
+    // the seed would schedule only no-op pendings (the post-edge settle of
+    // purely combinational designs collapses to this check).
+    if (inc && ctx.dirty_count == 0) return;
+    alignas(64) std::uint64_t o0[kWordsPerBlock] = {};
+    alignas(64) std::uint64_t o1[kWordsPerBlock] = {};
+
+    // Seed: evaluate every combinational cell with a dirty fanin against the
+    // current image and schedule its outputs at t = delay (the scalar seeds
+    // ALL cells, but a clean-fanin cell's pending is a no-op by the settle
+    // fixpoint invariant, so the dirty gate is exact).
+    std::uint64_t evaluated = 0;
+    for (std::size_t i = 0; i < ctx.num_cells; ++i) {
+      const FlatCell& c = ctx.cells[i];
+      if (inc && (ctx.dirty[c.in[0]] | ctx.dirty[c.in[1]] | ctx.dirty[c.in[2]]) == 0) continue;
+      ++evaluated;
+      eval_cell(ctx, c, o0, o1);
+      const std::uint32_t slot = ctx.delay[i];  // target tick of a schedule at t = 0
+      const std::uint32_t base = ctx.cell_order_base[i];
+      schedule_all(ctx, base, slot, o0);
+      if (c.num_outputs == 2) schedule_all(ctx, base + 1, slot, o1);
+    }
+    ctx.cells_evaluated += evaluated;
+    for (std::size_t i = 0; i < ctx.dirty_count; ++i) ctx.dirty[ctx.dirty_list[i]] = 0;
+    ctx.dirty_count = 0;
+
+    for (std::int64_t tick = 1; ctx.slot_total > 0; ++tick) {
+      if (tick > kMaxTimedTicks) {
+        ctx.oscillated = true;
+        return;
+      }
+      const std::uint32_t s = static_cast<std::uint32_t>(tick) & (kTimedSlots - 1);
+      const std::uint32_t n = ctx.slot_count[s];
+      if (n == 0) continue;
+      ++ctx.timed_ticks;
+      std::uint32_t* ent = ctx.slot_entries + std::size_t{s} * ctx.num_order;
+      ctx.slot_count[s] = 0;
+      ctx.slot_total -= n;
+      // Canonical intra-tick order IS ascending order index.
+      std::sort(ent, ent + n);
+      std::size_t n_trig = 0;
+
+      // Phase 1: apply surviving events, count transitions, mark triggers.
+      for (std::uint32_t e = 0; e < n; ++e) {
+        const std::uint32_t oi = ent[e];
+        ctx.slot_member[oi] &= ~(1u << s);
+        std::uint64_t* hp = ctx.has_pend + std::size_t{oi} * kWordsPerBlock;
+        const std::uint64_t* sp = ctx.stamp + std::size_t{oi} * kStampPlanes * kWordsPerBlock;
+        alignas(64) std::uint64_t valid[kWordsPerBlock];
+        V anyv = Ops::zero();
+        for (std::size_t v = 0; v < NV; ++v) {
+          V vv = Ops::load(hp + v * W);
+          for (std::size_t p = 0; p < kStampPlanes; ++p) {
+            const V pl = Ops::load(sp + p * kWordsPerBlock + v * W);
+            vv = Ops::band(vv, ((s >> p) & 1u) ? pl : Ops::bnot(pl));
+          }
+          Ops::store(valid + v * W, vv);
+          anyv = Ops::bor(anyv, vv);
+        }
+        if (Ops::is_zero(anyv)) continue;  // stale entry: superseded or consumed
+        const std::uint64_t* rt = ctx.retrig + std::size_t{ctx.order_driver[oi]} * kWordsPerBlock;
+        const std::uint32_t q = ctx.order_to_net[oi];
+        std::uint64_t* cur = ctx.words + std::size_t{q} * kWordsPerBlock;
+        const std::uint64_t* pv = ctx.pend_val + std::size_t{oi} * kWordsPerBlock;
+        alignas(64) std::uint64_t change[kWordsPerBlock];
+        V anyc = Ops::zero();
+        for (std::size_t v = 0; v < NV; ++v) {
+          const V vv = Ops::load(valid + v * W);
+          // Consume the pending for every valid lane, retriggered ones
+          // included - phase 2 re-establishes exactly those lanes, since a
+          // cell's retrig mask is also its re-schedule commit mask.
+          Ops::store(hp + v * W, Ops::band(Ops::load(hp + v * W), Ops::bnot(vv)));
+          const V apply = Ops::band(vv, Ops::bnot(Ops::load(rt + v * W)));
+          const V ch = Ops::band(apply, Ops::bxor(Ops::load(pv + v * W), Ops::load(cur + v * W)));
+          Ops::store(change + v * W, ch);
+          anyc = Ops::bor(anyc, ch);
+        }
+        if (Ops::is_zero(anyc)) continue;
+        if (!ctx.touched[q]) {  // count_func is always on in timed mode
+          ctx.touched[q] = 1;
+          ctx.touched_list[ctx.touched_count++] = q;
+          std::memcpy(ctx.start_words + std::size_t{q} * kWordsPerBlock, cur,
+                      kWordsPerBlock * sizeof(std::uint64_t));
+        }
+        for (std::size_t v = 0; v < NV; ++v) {
+          Ops::store(cur + v * W, Ops::bxor(Ops::load(cur + v * W), Ops::load(change + v * W)));
+        }
+        ++ctx.stat_events;
+        if (ctx.mask_full) {
+          csa_add(tacc, ctx.trans_planes, ctx.trans_used, change);
+        } else {
+          alignas(64) std::uint64_t md[kWordsPerBlock];
+          V anym = Ops::zero();
+          for (std::size_t v = 0; v < NV; ++v) {
+            const V m = Ops::band(Ops::load(change + v * W), Ops::load(ctx.mask + v * W));
+            Ops::store(md + v * W, m);
+            anym = Ops::bor(anym, m);
+          }
+          if (!Ops::is_zero(anym)) csa_add(tacc, ctx.trans_planes, ctx.trans_used, md);
+        }
+        for (std::uint32_t f = ctx.fanout_offset[oi]; f < ctx.fanout_offset[oi + 1]; ++f) {
+          const std::uint32_t r = ctx.fanout_cells[f];
+          std::uint64_t* rr = ctx.retrig + std::size_t{r} * kWordsPerBlock;
+          for (std::size_t v = 0; v < NV; ++v) {
+            Ops::store(rr + v * W, Ops::bor(Ops::load(rr + v * W), Ops::load(change + v * W)));
+          }
+          if (!ctx.trig_mark[r]) {
+            ctx.trig_mark[r] = 1;
+            ctx.trig_list[n_trig++] = r;
+          }
+        }
+      }
+      if (n_trig == 0) continue;
+
+      // Phase 2: triggered cells re-evaluate once, in topo order (flat comb
+      // cell indices already ARE topo order, so a plain sort suffices).
+      std::sort(ctx.trig_list, ctx.trig_list + n_trig);
+      ctx.cells_evaluated += n_trig;
+      for (std::size_t e = 0; e < n_trig; ++e) {
+        const std::uint32_t i = ctx.trig_list[e];
+        const FlatCell& c = ctx.cells[i];
+        eval_cell(ctx, c, o0, o1);
+        std::uint64_t* m = ctx.retrig + std::size_t{i} * kWordsPerBlock;
+        const std::uint32_t slot =
+            (static_cast<std::uint32_t>(tick) + ctx.delay[i]) & (kTimedSlots - 1);
+        const std::uint32_t base = ctx.cell_order_base[i];
+        schedule_masked(ctx, base, slot, o0, m);
+        if (c.num_outputs == 2) schedule_masked(ctx, base + 1, slot, o1, m);
+        ctx.trig_mark[i] = 0;
+        for (std::size_t v = 0; v < NV; ++v) Ops::store(m + v * W, Ops::zero());
+      }
+    }
+  }
+
+  /// Timed clock cycle: step_cycle with each settle replaced by the event
+  /// engine.  On oscillation the cycle aborts with ctx.oscillated set (this
+  /// cycle's batched stats are dropped; reset_state recovers, mirroring the
+  /// scalar simulator's throw).
+  static void step_cycle_timed(BitsimCtx& ctx) {
+    CsaAcc tacc;
+    settle_timed(ctx, tacc);
+    if (ctx.oscillated) return;
+    clock_edge(ctx, tacc);
+    settle_timed(ctx, tacc);
+    if (ctx.oscillated) return;
+    finish_cycle(ctx, tacc);
   }
 
   /// Evaluate every combinational cell once, storing outputs directly with

@@ -96,6 +96,7 @@ void total_power_row(const PowRowArgs& args) { total_power_row_impl<Avx2DOps>(ar
 
 const Kernels* avx2_kernels() {
   static const Kernels k{"avx2", &BitsimKernel<Avx2Ops>::step_cycle,
+                         &BitsimKernel<Avx2Ops>::step_cycle_timed,
                          &BitsimKernel<Avx2Ops>::settle_full, &draw_bools, &total_power_row};
   return &k;
 }

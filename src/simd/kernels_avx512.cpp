@@ -86,6 +86,7 @@ void total_power_row(const PowRowArgs& args) { total_power_row_impl<Avx512DOps>(
 
 const Kernels* avx512_kernels() {
   static const Kernels k{"avx512", &BitsimKernel<Avx512Ops>::step_cycle,
+                         &BitsimKernel<Avx512Ops>::step_cycle_timed,
                          &BitsimKernel<Avx512Ops>::settle_full, &draw_bools, &total_power_row};
   return &k;
 }

@@ -43,6 +43,7 @@ void total_power_row(const PowRowArgs& args) { total_power_row_impl<ScalarDOps>(
 
 const Kernels* scalar_kernels() {
   static const Kernels k{"scalar", &BitsimKernel<ScalarOps>::step_cycle,
+                         &BitsimKernel<ScalarOps>::step_cycle_timed,
                          &BitsimKernel<ScalarOps>::settle_full, &draw_bools, &total_power_row};
   return &k;
 }

@@ -39,6 +39,19 @@ inline constexpr std::size_t kLanesPerBlock = kWordsPerBlock * 64;
 /// events per lane can accumulate between flushes.
 inline constexpr std::size_t kAccPlanes = 32;
 
+/// Timed-mode slot ring size.  Every cell delay is required to be strictly
+/// below this, so a pending event's target tick mod kTimedSlots identifies
+/// its tick unambiguously within the live window (the slot was last visited
+/// more than one maximum delay ago).
+inline constexpr std::size_t kTimedSlots = 32;
+
+/// Bit-sliced planes holding a pending event's target tick mod kTimedSlots.
+inline constexpr std::size_t kStampPlanes = 5;
+static_assert(std::size_t{1} << kStampPlanes == kTimedSlots);
+
+/// Oscillation guard for timed settles, shared with the scalar schedulers.
+inline constexpr std::int64_t kMaxTimedTicks = std::int64_t{1} << 22;
+
 /// Instruction-set backend of a kernel table.
 enum class Backend {
   kScalar = 0,  ///< plain uint64_t loops; always compiled, always supported
@@ -121,6 +134,39 @@ struct BitsimCtx {
   // settle_passes * num_cells - cells_evaluated.
   std::uint64_t settle_passes = 0;    ///< settle() invocations (collapsed ones included)
   std::uint64_t cells_evaluated = 0;  ///< cells actually evaluated after dirty-cone skip
+
+  // --- timed mode (kUnit / kCellDepth): level-synchronized event engine ----
+  // Null / unused when `timed` is false.  An "order index" is the canonical
+  // rank of a combinational output net - cells in topo order, output pins in
+  // declaration order - so sorting raw order indices IS the canonical
+  // intra-tick event order the scalar schedulers apply (sim/event_sim.h).
+  // Pending events live per order index as a value block, a lanes-with-a-
+  // pending mask block, and kStampPlanes bit-sliced target-tick planes; the
+  // slot ring holds order indices keyed by target tick mod kTimedSlots, with
+  // a per-index membership bitmask for dedup (superseded schedules simply
+  // overwrite the stamp and let the stale entry miss on it).
+  bool timed = false;
+  std::size_t num_order = 0;                       ///< combinational output nets
+  const std::uint8_t* delay = nullptr;             ///< per comb cell: ticks, 1..kTimedSlots-1
+  const std::uint32_t* cell_order_base = nullptr;  ///< per comb cell: order idx of out[0]
+  const std::uint32_t* order_to_net = nullptr;     ///< order idx -> net
+  const std::uint32_t* order_driver = nullptr;     ///< order idx -> flat comb cell idx
+  const std::uint32_t* fanout_offset = nullptr;    ///< order idx -> comb-reader CSR range
+  const std::uint32_t* fanout_cells = nullptr;     ///< CSR payload: flat comb cell indices
+  std::uint64_t* pend_val = nullptr;   ///< per order idx: pending value block
+  std::uint64_t* has_pend = nullptr;   ///< per order idx: lanes holding a pending event
+  std::uint64_t* stamp = nullptr;      ///< per order idx: kStampPlanes target-tick planes
+  std::uint32_t* slot_entries = nullptr;  ///< kTimedSlots x num_order ring of order indices
+  std::uint32_t* slot_count = nullptr;    ///< per slot: live entry count
+  std::uint32_t* slot_member = nullptr;   ///< per order idx: slot membership bitmask
+  std::size_t slot_total = 0;             ///< entries across all slots (settle ends at 0)
+  std::uint64_t* retrig = nullptr;     ///< per comb cell: lanes triggered this tick
+  std::uint8_t* trig_mark = nullptr;   ///< per comb cell: already on trig_list
+  std::uint32_t* trig_list = nullptr;  ///< comb cells triggered this tick
+  bool oscillated = false;  ///< a settle hit kMaxTimedTicks; state needs reset_state()
+  std::uint64_t stat_events = 0;     ///< plane event adds since last drain (flush guard)
+  std::uint64_t timed_ticks = 0;     ///< non-empty wheel ticks processed
+  std::uint64_t timed_scheduled = 0; ///< slot pushes (pending-event schedules)
 };
 
 /// Vectorized PCG32 stimulus drawing: advance the per-lane generators of
@@ -155,6 +201,12 @@ struct Kernels {
   /// Full clock cycle: pre-edge settle, DFF sample + Q commit, post-edge
   /// settle, functional accounting over the touched list (which it clears).
   void (*step_cycle)(BitsimCtx& ctx);
+  /// Timed (kUnit / kCellDepth) clock cycle: the same shape, but each settle
+  /// is a level-synchronized event propagation through the slot ring -
+  /// glitch-accurate and lane-for-lane bit-identical to the scalar
+  /// EventSimulator under the same delay mode.  Requires the ctx's timed
+  /// state; sets ctx.oscillated instead of throwing on a failed settle.
+  void (*step_cycle_timed)(BitsimCtx& ctx);
   /// Evaluate every combinational cell once, storing outputs with no
   /// statistics and no bookkeeping; clears all dirty/touched state (the
   /// reset_state path).

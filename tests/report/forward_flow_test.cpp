@@ -91,20 +91,20 @@ TEST_F(ForwardFlowFixture, DynStatRatioInPlausibleBand) {
 }
 
 TEST(ForwardFlowActivitySource, BitParallelFeedsPowerOptimum) {
-  // ActivitySource::kBitParallel routes the 64-lane engine through
-  // characterization into find_optimum, estimating the same zero-delay "a"
-  // as the scalar kZero event-sim path (different stream partitioning, so
-  // statistically close, not bit-equal), and the optimum must land at the
-  // same working point.
+  // ActivitySource::kBitParallel routes the wide engine through
+  // characterization into find_optimum, estimating the same "a" as the
+  // scalar event-sim path of the matching delay mode (different stream
+  // partitioning, so statistically close, not bit-equal), and the optimum
+  // must land at the same working point.
   ForwardFlowOptions bp;
   bp.width = 8;
   bp.activity_vectors = 512;
   bp.activity_source = ActivitySource::kBitParallel;
+  bp.delay_mode = SimDelayMode::kZero;
   const ForwardResult bit = run_forward_flow("RCA", stm_cmos09_ll(), kPaperFrequency, bp);
 
   ForwardFlowOptions mc = bp;
   mc.activity_source = ActivitySource::kEventSim;
-  mc.delay_mode = SimDelayMode::kZero;
   const ForwardResult scalar = run_forward_flow("RCA", stm_cmos09_ll(), kPaperFrequency, mc);
 
   EXPECT_GT(bit.character.activity.transitions, 0u);  // a real tally, not an expectation
@@ -113,6 +113,14 @@ TEST(ForwardFlowActivitySource, BitParallelFeedsPowerOptimum) {
   EXPECT_NEAR(bit.optimum.vdd, scalar.optimum.vdd, 0.05);
   EXPECT_NEAR(bit.optimum.ptot, scalar.optimum.ptot, 0.05 * scalar.optimum.ptot);
   EXPECT_GT(bit.optimum.ptot, 0.0);
+
+  // The glitch-accurate leg: bit-parallel now honors kCellDepth, so "a"
+  // grows by the glitch contribution the zero-delay estimate misses.
+  ForwardFlowOptions timed = bp;
+  timed.delay_mode = SimDelayMode::kCellDepth;
+  const ForwardResult glitch = run_forward_flow("RCA", stm_cmos09_ll(), kPaperFrequency, timed);
+  EXPECT_GT(glitch.character.activity.glitches, 0u);
+  EXPECT_GT(glitch.character.arch.activity, bit.character.arch.activity);
 }
 
 }  // namespace

@@ -99,15 +99,7 @@ TEST(ServeHashingTest, KeyIsSensitiveToEveryContentField) {
 }
 
 TEST(ServeHashingTest, CanonicalizationMergesProvablyIdenticalRequests) {
-  // kBitParallel ignores delay_mode (the engine is zero-delay only).
-  OptimumRequest a = base_request();
-  a.activity_source = static_cast<std::uint8_t>(ActivitySource::kBitParallel);
-  a.delay_mode = static_cast<std::uint8_t>(SimDelayMode::kCellDepth);
-  OptimumRequest b = a;
-  b.delay_mode = static_cast<std::uint8_t>(SimDelayMode::kUnit);
-  EXPECT_EQ(key_of(a).digest, key_of(b).digest);
-
-  // kBddExact ignores the seed too (exact expectation).
+  // kBddExact ignores the seed and the delay mode (exact expectation).
   OptimumRequest c = base_request();
   c.activity_source = static_cast<std::uint8_t>(ActivitySource::kBddExact);
   c.seed = 1;
@@ -121,6 +113,28 @@ TEST(ServeHashingTest, CanonicalizationMergesProvablyIdenticalRequests) {
   OptimumRequest f = e;
   f.seed += 1;
   EXPECT_NE(key_of(e).digest, key_of(f).digest);
+}
+
+TEST(ServeHashingTest, BitParallelKeysAreDelayModeSensitive) {
+  // The bit-parallel engine runs every delay mode, so a kZero request and a
+  // glitch-accurate kCellDepth request MUST NOT share a cache entry: their
+  // activities (and therefore optima) genuinely differ.
+  OptimumRequest a = base_request();
+  a.activity_source = static_cast<std::uint8_t>(ActivitySource::kBitParallel);
+  a.delay_mode = static_cast<std::uint8_t>(SimDelayMode::kZero);
+  OptimumRequest b = a;
+  b.delay_mode = static_cast<std::uint8_t>(SimDelayMode::kCellDepth);
+  OptimumRequest c = a;
+  c.delay_mode = static_cast<std::uint8_t>(SimDelayMode::kUnit);
+  EXPECT_NE(key_of(a).digest, key_of(b).digest);
+  EXPECT_NE(key_of(a).digest, key_of(c).digest);
+  EXPECT_NE(key_of(b).digest, key_of(c).digest);
+
+  // And a bit-parallel request keys differently from the same scalar request
+  // only through the activity_source byte - both honor delay_mode now.
+  OptimumRequest scalar = b;
+  scalar.activity_source = static_cast<std::uint8_t>(ActivitySource::kEventSim);
+  EXPECT_NE(key_of(scalar).digest, key_of(b).digest);
 }
 
 TEST(ServeHashingTest, KeyDigestIsStableAcrossProcesses) {

@@ -41,21 +41,23 @@ INSTANTIATE_TEST_SUITE_P(Backends, BitsimBackend,
                            return std::string(simd::backend_name(info.param));
                          });
 
-/// Drive a BitSimulator and one scalar kZero EventSimulator per lane with
-/// identical stimulus (lane l's RNG == scalar l's RNG) for `cycles` cycles,
-/// asserting full per-lane state and statistics equality after every cycle.
+/// Drive a BitSimulator and one scalar EventSimulator per lane (both built
+/// with `mode`) with identical stimulus (lane l's RNG == scalar l's RNG) for
+/// `cycles` cycles, asserting full per-lane state and statistics equality
+/// after every cycle.
 void expect_lockstep_lanes(const Netlist& nl, simd::Backend backend, int lanes, int cycles,
-                           std::uint64_t seed, int reset_every = 0) {
+                           std::uint64_t seed, int reset_every = 0,
+                           SimDelayMode mode = SimDelayMode::kZero) {
   ASSERT_GE(lanes, 1);
   ASSERT_LE(lanes, BitSimulator::kLanes);
-  BitSimulator bit(nl, backend);
+  BitSimulator bit(nl, mode, backend);
   bit.set_active_mask(BitSimulator::lane_mask(lanes));
 
   std::vector<EventSimulator> scalars;
   std::vector<Pcg32> rngs;
   scalars.reserve(static_cast<std::size_t>(lanes));
   for (int l = 0; l < lanes; ++l) {
-    scalars.emplace_back(nl, SimDelayMode::kZero);
+    scalars.emplace_back(nl, mode);
     rngs.emplace_back(seed + static_cast<std::uint64_t>(l));
   }
 
@@ -272,14 +274,116 @@ TEST(BitsimLaneEquivalence, FewerVectorsThanLanes) {
   EXPECT_EQ(pooled.clock_cycles, sharded.clock_cycles);
 }
 
-TEST(BitsimLaneEquivalence, RejectsNonZeroDelayModes) {
+// --- timed modes (kUnit / kCellDepth) --------------------------------------
+
+TEST_P(BitsimBackend, TimedAllFamiliesWidth8) {
+  // Every generator family, both timed delay modes: per-lane transition,
+  // glitch, and cycle counters plus every net value must equal the scalar
+  // EventSimulator of the same mode, cycle for cycle.
+  for (const SimDelayMode mode : {SimDelayMode::kUnit, SimDelayMode::kCellDepth}) {
+    for (const std::string& name : multiplier_names()) {
+      const GeneratedMultiplier gen = build_multiplier(name, 8);
+      expect_lockstep_lanes(gen.netlist, GetParam(), 8,
+                            2 * std::max(1, gen.cycles_per_result),
+                            0x71e0d0 + static_cast<std::uint64_t>(mode == SimDelayMode::kUnit),
+                            /*reset_every=*/0, mode);
+    }
+  }
+}
+
+TEST_P(BitsimBackend, TimedPartialBlocksAndMidRunResets) {
+  // Lane counts straddling word boundaries, with alternating state/stats
+  // resets mid-run, under the glitch-accurate delay model.
+  const Netlist nl = array_multiplier(6);
+  for (const int lanes : {1, 3, 65, 511}) {
+    expect_lockstep_lanes(nl, GetParam(), lanes, 8,
+                          0x71e0 + static_cast<std::uint64_t>(lanes),
+                          /*reset_every=*/3, SimDelayMode::kCellDepth);
+  }
+}
+
+TEST_P(BitsimBackend, TimedSequentialDesign) {
+  // DFF clock edges between the two timed settles: Q toggles must seed the
+  // post-edge event propagation exactly like the scalar simulator's.
+  Netlist nl;
+  const Bus cnt = add_counter(nl, 4);
+  const Bus dec = add_decoder(nl, cnt);
+  const NetId en = nl.add_input("en");
+  const Bus held = register_bus(nl, dec, en);
+  add_output_bus(nl, "d", held);
+  expect_lockstep_lanes(nl, GetParam(), 32, 12, 0x71e5e9, 0, SimDelayMode::kUnit);
+  expect_lockstep_lanes(nl, GetParam(), 32, 12, 0x71e5ea, 0, SimDelayMode::kCellDepth);
+}
+
+TEST_P(BitsimBackend, TimedDirtyConeMatchesFullSettle) {
+  // The timed seed's dirty gate must be exact: incremental and full seeding
+  // agree on every word and counter, including held vectors.
+  const Netlist nl = array_multiplier(6);
+  BitSimulator inc(nl, SimDelayMode::kCellDepth, GetParam());
+  BitSimulator full(nl, SimDelayMode::kCellDepth, GetParam());
+  full.set_incremental(false);
+  std::vector<std::uint64_t> blocks(nl.primary_inputs().size() *
+                                    static_cast<std::size_t>(BitSimulator::kWords));
+  Pcg32 rng(0x71d17);
+  for (int c = 0; c < 12; ++c) {
+    if (c % 3 == 0) {
+      for (auto& w : blocks) w = rng.next_bits(64);
+      inc.set_inputs(blocks);
+      full.set_inputs(blocks);
+    }
+    inc.step_cycle();
+    full.step_cycle();
+    for (NetId n = 0; n < nl.num_nets(); ++n) {
+      for (int w = 0; w < BitSimulator::kWords; ++w) {
+        ASSERT_EQ(inc.word(n, w), full.word(n, w)) << "net " << n << " word " << w;
+      }
+    }
+    for (const int l : {0, 63, 255, 511}) {
+      ASSERT_EQ(inc.transitions(l), full.transitions(l)) << "lane " << l << " cycle " << c;
+      ASSERT_EQ(inc.glitches(l), full.glitches(l)) << "lane " << l << " cycle " << c;
+    }
+  }
+}
+
+TEST(BitsimLaneEquivalence, TimedPooledMatchesScalarSharded) {
+  // The activity seam under timed modes: pooled bit-parallel == scalar
+  // sharded, counter for counter, exactly like the kZero contract.
+  const GeneratedMultiplier gen = build_multiplier("Wallace", 8);
+  for (const SimDelayMode mode : {SimDelayMode::kUnit, SimDelayMode::kCellDepth}) {
+    ActivityOptions opt;
+    opt.num_vectors = 48;
+    opt.cycles_per_vector = gen.cycles_per_result;
+    opt.warmup_vectors = 2;
+    opt.delay_mode = mode;
+    opt.engine = ActivityEngine::kBitParallel;
+    const ActivityMeasurement pooled = measure_activity(gen.netlist, opt);
+
+    ActivityOptions scalar = opt;
+    scalar.engine = ActivityEngine::kScalarEvent;
+    const ActivityMeasurement sharded = measure_activity_sharded(gen.netlist, scalar, 48);
+
+    EXPECT_EQ(pooled.transitions, sharded.transitions);
+    EXPECT_EQ(pooled.glitches, sharded.glitches);
+    EXPECT_EQ(pooled.data_periods, sharded.data_periods);
+    EXPECT_EQ(pooled.clock_cycles, sharded.clock_cycles);
+    EXPECT_DOUBLE_EQ(pooled.activity, sharded.activity);
+    EXPECT_DOUBLE_EQ(pooled.glitch_fraction, sharded.glitch_fraction);
+  }
+}
+
+TEST(BitsimLaneEquivalence, RejectsMismatchedDelayMode) {
+  // The *_with entry points require the caller-owned simulator's mode to
+  // match the options (a kZero simulator cannot honor a kCellDepth request).
   const Netlist nl = array_multiplier(4);
+  BitSimulator sim(nl);  // kZero
   ActivityOptions opt;
   opt.engine = ActivityEngine::kBitParallel;
   opt.delay_mode = SimDelayMode::kCellDepth;
-  EXPECT_THROW((void)measure_activity(nl, opt), InvalidArgument);
-  opt.delay_mode = SimDelayMode::kUnit;
-  EXPECT_THROW((void)measure_activity_lanes(nl, opt), InvalidArgument);
+  EXPECT_THROW((void)measure_activity_lanes_with(sim, opt), InvalidArgument);
+  // The netlist-owning entry points construct a matching simulator instead.
+  opt.num_vectors = 4;
+  const ActivityMeasurement m = measure_activity(nl, opt);
+  EXPECT_GT(m.transitions, 0u);
 }
 
 // --- thread-count determinism (runs under the TSan CI filter) --------------
